@@ -1,0 +1,121 @@
+// A2 + A3 (DESIGN.md): ablations of the quality-control clause and GROUPING.
+//
+// A2 — BUT ONLY placement: §2.2.5 says the condition is "logically tested
+// after applying the preferences" (post-filter), while the BMO description
+// suggests restricting candidates first (pre-filter). Pre-filtering shrinks
+// the dominance test input, so it can be substantially cheaper — this bench
+// measures that gap (both are available via ConnectionOptions).
+//
+// A3 — GROUPING: BMO per partition (§2.2.5) vs a single global BMO.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdlib>
+
+#include "core/connection.h"
+#include "workload/generators.h"
+
+namespace prefsql {
+namespace {
+
+void SetupTrips(Connection& conn, size_t n) {
+  auto st = GenerateTrips(conn.database(), n, 13);
+  if (!st.ok()) std::abort();
+}
+
+const char kButOnlyQuery[] =
+    "SELECT id FROM trips "
+    "PREFERRING start_day AROUND '1999/7/3' AND duration AROUND 14 AND "
+    "LOWEST(price) "
+    "BUT ONLY DISTANCE(start_day) <= 14 AND DISTANCE(duration) <= 3";
+
+void RunButOnly(benchmark::State& state, EvaluationMode mode,
+                ButOnlyMode but_only) {
+  ConnectionOptions opts;
+  opts.mode = mode;
+  opts.but_only_mode = but_only;
+  Connection conn(opts);
+  SetupTrips(conn, static_cast<size_t>(state.range(0)));
+  size_t rows = 0;
+  for (auto _ : state) {
+    auto r = conn.Execute(kButOnlyQuery);
+    if (!r.ok()) std::abort();
+    rows = r->num_rows();
+    benchmark::DoNotOptimize(r);
+  }
+  state.counters["result_rows"] = static_cast<double>(rows);
+}
+
+void BM_ButOnlyPostFilter_Bnl(benchmark::State& state) {
+  RunButOnly(state, EvaluationMode::kBlockNestedLoop,
+             ButOnlyMode::kPostFilter);
+}
+BENCHMARK(BM_ButOnlyPostFilter_Bnl)->Arg(2000)->Arg(10000)->Arg(40000)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_ButOnlyPreFilter_Bnl(benchmark::State& state) {
+  RunButOnly(state, EvaluationMode::kBlockNestedLoop, ButOnlyMode::kPreFilter);
+}
+BENCHMARK(BM_ButOnlyPreFilter_Bnl)->Arg(2000)->Arg(10000)->Arg(40000)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_ButOnlyPostFilter_Rewrite(benchmark::State& state) {
+  RunButOnly(state, EvaluationMode::kRewrite, ButOnlyMode::kPostFilter);
+}
+BENCHMARK(BM_ButOnlyPostFilter_Rewrite)->Arg(2000)->Arg(10000)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_ButOnlyPreFilter_Rewrite(benchmark::State& state) {
+  RunButOnly(state, EvaluationMode::kRewrite, ButOnlyMode::kPreFilter);
+}
+BENCHMARK(BM_ButOnlyPreFilter_Rewrite)->Arg(2000)->Arg(10000)
+    ->Unit(benchmark::kMillisecond);
+
+// --- A3: GROUPING vs global BMO -------------------------------------------
+
+void RunGrouping(benchmark::State& state, bool grouped, EvaluationMode mode) {
+  ConnectionOptions opts;
+  opts.mode = mode;
+  Connection conn(opts);
+  SetupTrips(conn, static_cast<size_t>(state.range(0)));
+  std::string sql =
+      "SELECT id FROM trips PREFERRING duration AROUND 14 AND LOWEST(price)";
+  if (grouped) sql += " GROUPING destination";
+  size_t rows = 0;
+  for (auto _ : state) {
+    auto r = conn.Execute(sql);
+    if (!r.ok()) std::abort();
+    rows = r->num_rows();
+    benchmark::DoNotOptimize(r);
+  }
+  state.counters["result_rows"] = static_cast<double>(rows);
+}
+
+void BM_GlobalBmo_Bnl(benchmark::State& state) {
+  RunGrouping(state, false, EvaluationMode::kBlockNestedLoop);
+}
+BENCHMARK(BM_GlobalBmo_Bnl)->Arg(2000)->Arg(10000)->Arg(40000)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_GroupedBmo_Bnl(benchmark::State& state) {
+  RunGrouping(state, true, EvaluationMode::kBlockNestedLoop);
+}
+BENCHMARK(BM_GroupedBmo_Bnl)->Arg(2000)->Arg(10000)->Arg(40000)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_GlobalBmo_Rewrite(benchmark::State& state) {
+  RunGrouping(state, false, EvaluationMode::kRewrite);
+}
+BENCHMARK(BM_GlobalBmo_Rewrite)->Arg(2000)->Arg(10000)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_GroupedBmo_Rewrite(benchmark::State& state) {
+  RunGrouping(state, true, EvaluationMode::kRewrite);
+}
+BENCHMARK(BM_GroupedBmo_Rewrite)->Arg(2000)->Arg(10000)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace prefsql
+
+BENCHMARK_MAIN();

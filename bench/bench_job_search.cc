@@ -1,0 +1,161 @@
+// E3 (DESIGN.md): the §3.3 large-scale job-search benchmark.
+//
+// Paper setup: Informix 9.1, one relation of ~1.4M tuples x 74 attributes.
+// A pre-selection of hard criteria yields candidate sets of 300 / 600 / 1000
+// tuples; a second selection of 4 criteria is then executed three ways:
+//   SQL solution 1   — 4 conjunctive conditions in the WHERE clause,
+//   SQL solution 2   — 4 disjunctive conditions in the WHERE clause,
+//   Preference SQL   — 4 Pareto-accumulated conditions in PREFERRING.
+// The paper's table reports real times for the 3x2 grid of pre-selection
+// sizes and two different second-selection conditions.
+//
+// Substitution: the relation is generated (74 attributes, skewed skills; see
+// workload/generators.h) and scaled to the container by PREFSQL_BENCH_ROWS
+// (default 60000; the paper's 1.4M also works, given memory). Pre-selection
+// sizes are calibrated to 300/600/1000 by an availability threshold.
+// Expected shape (not absolute numbers): conjunctive is fast but returns
+// (near-)empty results; disjunctive is fast but floods; Preference SQL pays
+// the dominance test yet stays interactive and returns the small BMO set.
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "core/connection.h"
+#include "workload/generators.h"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double RunMs(prefsql::Connection& conn, const std::string& sql,
+             size_t* rows_out) {
+  // Best of 3 runs, like a warm database.
+  double best = 1e18;
+  for (int rep = 0; rep < 3; ++rep) {
+    auto t0 = Clock::now();
+    auto r = conn.Execute(sql);
+    auto t1 = Clock::now();
+    if (!r.ok()) {
+      std::fprintf(stderr, "query failed: %s\n  %s\n",
+                   r.status().ToString().c_str(), sql.c_str());
+      std::exit(1);
+    }
+    *rows_out = r->num_rows();
+    double ms = std::chrono::duration<double, std::milli>(t1 - t0).count();
+    if (ms < best) best = ms;
+  }
+  return best;
+}
+
+// Finds an availability threshold whose pre-selection size is close to
+// `target` (monotone in the threshold; binary search).
+int CalibrateThreshold(prefsql::Connection& conn, const std::string& region,
+                       size_t target) {
+  int lo = 0, hi = 366;
+  while (lo < hi) {
+    int mid = (lo + hi) / 2;
+    auto r = conn.Execute(
+        "SELECT COUNT(*) FROM profiles WHERE region = '" + region +
+        "' AND availability < " + std::to_string(mid));
+    size_t n = static_cast<size_t>(r->at(0, 0).AsInt());
+    if (n < target) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+struct Condition {
+  const char* name;
+  const char* skills[4];
+};
+
+}  // namespace
+
+int main() {
+  size_t rows = 60000;
+  if (const char* env = std::getenv("PREFSQL_BENCH_ROWS")) {
+    rows = static_cast<size_t>(std::strtoull(env, nullptr, 10));
+  }
+  std::printf(
+      "=== E3: job-search benchmark (paper 3.3) ===\n"
+      "relation: %zu tuples x 74 attributes (paper: ~1.4M; scale with "
+      "PREFSQL_BENCH_ROWS)\n\n",
+      rows);
+
+  prefsql::Connection conn;
+  prefsql::JobProfileConfig cfg;
+  cfg.rows = rows;
+  auto gen_start = Clock::now();
+  auto st = prefsql::GenerateJobProfiles(conn.database(), cfg);
+  if (!st.ok()) {
+    std::fprintf(stderr, "generation failed: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  std::printf("generated in %.1f ms\n\n",
+              std::chrono::duration<double, std::milli>(Clock::now() -
+                                                        gen_start)
+                  .count());
+
+  const Condition conditions[] = {
+      {"condition 1", {"java", "SQL", "perl", "SAP"}},
+      {"condition 2", {"python", "oracle", "C++", "javascript"}},
+  };
+  const size_t targets[] = {300, 600, 1000};
+  const char* region = "bavaria";
+
+  std::printf(
+      "%-12s %-12s | %12s %8s | %12s %8s | %12s %8s\n", "second sel.",
+      "pre-sel size", "SQL conj ms", "rows", "SQL disj ms", "rows",
+      "PrefSQL ms", "rows");
+  std::printf(
+      "--------------------------------------------------------------------"
+      "---------------------------\n");
+
+  for (const Condition& cond : conditions) {
+    for (size_t target : targets) {
+      int threshold = CalibrateThreshold(conn, region, target);
+      std::string pre = "region = '" + std::string(region) +
+                        "' AND availability < " + std::to_string(threshold);
+      auto count = conn.Execute("SELECT COUNT(*) FROM profiles WHERE " + pre);
+      size_t pre_size = static_cast<size_t>(count->at(0, 0).AsInt());
+
+      std::string conj_pred, disj_pred, pref_pred;
+      const char* cols[4] = {"skill_a", "skill_b", "skill_c", "skill_d"};
+      for (int i = 0; i < 4; ++i) {
+        std::string atom = std::string(cols[i]) + " = '" + cond.skills[i] + "'";
+        conj_pred += (i ? " AND " : "") + atom;
+        disj_pred += (i ? " OR " : "") + atom;
+        pref_pred += (i ? " AND " : "") + atom;
+      }
+      std::string conj = "SELECT id FROM profiles WHERE " + pre + " AND " +
+                         conj_pred;
+      std::string disj = "SELECT id FROM profiles WHERE " + pre + " AND (" +
+                         disj_pred + ")";
+      std::string pref = "SELECT id FROM profiles WHERE " + pre +
+                         " PREFERRING " + pref_pred;
+
+      size_t conj_rows, disj_rows, pref_rows;
+      double conj_ms = RunMs(conn, conj, &conj_rows);
+      double disj_ms = RunMs(conn, disj, &disj_rows);
+      double pref_ms = RunMs(conn, pref, &pref_rows);
+
+      std::printf("%-12s %-12zu | %12.1f %8zu | %12.1f %8zu | %12.1f %8zu\n",
+                  cond.name, pre_size, conj_ms, conj_rows, disj_ms, disj_rows,
+                  pref_ms, pref_rows);
+    }
+  }
+
+  std::printf(
+      "\nshape check (paper 3.3 / section 1 motivation):\n"
+      " * conjunctive second selection returns (near-)empty answers,\n"
+      " * disjunctive floods the user with weakly filtered candidates,\n"
+      " * Preference SQL returns the small Pareto-optimal set at "
+      "interactive cost\n"
+      "   via the high-level NOT EXISTS rewriting of section 3.2.\n");
+  return 0;
+}

@@ -1,0 +1,91 @@
+// E1 + E2 (DESIGN.md): regenerates the two worked examples the paper prints —
+// the §2.2.3 oldtimer adorned result table and the §3.2 Cars rewrite with its
+// Pareto-optimal answer. Verifies the expected rows and reports PASS/FAIL.
+
+#include <cstdio>
+#include <string>
+
+#include "core/connection.h"
+#include "workload/generators.h"
+
+namespace {
+
+int g_failures = 0;
+
+void Check(bool ok, const char* what) {
+  std::printf("  [%s] %s\n", ok ? "PASS" : "FAIL", what);
+  if (!ok) ++g_failures;
+}
+
+void RunOldtimerExample() {
+  std::printf("=== E1: oldtimer adorned result (paper 2.2.3) ===\n");
+  prefsql::Connection conn;
+  auto load = prefsql::LoadOldtimer(conn.database());
+  if (!load.ok()) {
+    std::printf("load failed: %s\n", load.ToString().c_str());
+    ++g_failures;
+    return;
+  }
+  const char* query =
+      "SELECT ident, color, age, LEVEL(color), DISTANCE(age) FROM oldtimer "
+      "PREFERRING (color = 'white' ELSE color = 'yellow') AND age AROUND 40 "
+      "ORDER BY DISTANCE(age)";
+  std::printf("query:\n  %s\n", query);
+  auto r = conn.Execute(query);
+  if (!r.ok()) {
+    std::printf("query failed: %s\n", r.status().ToString().c_str());
+    ++g_failures;
+    return;
+  }
+  std::printf("%s", r->ToString().c_str());
+  Check(r->num_rows() == 3, "three Pareto-optimal oldtimers");
+  Check(r->num_rows() == 3 && r->RowToString(0) == "Selma,red,40,3,0",
+        "row 1 = Selma red 40 | level 3 | distance 0");
+  Check(r->num_rows() == 3 && r->RowToString(1) == "Homer,yellow,35,2,5",
+        "row 2 = Homer yellow 35 | level 2 | distance 5");
+  Check(r->num_rows() == 3 && r->RowToString(2) == "Maggie,white,19,1,21",
+        "row 3 = Maggie white 19 | level 1 | distance 21");
+}
+
+void RunCarsRewriteExample() {
+  std::printf("\n=== E2: Cars rewrite example (paper 3.2) ===\n");
+  prefsql::Connection conn;
+  auto load = prefsql::LoadCarsExample(conn.database());
+  if (!load.ok()) {
+    std::printf("load failed: %s\n", load.ToString().c_str());
+    ++g_failures;
+    return;
+  }
+  const char* query =
+      "SELECT * FROM Cars PREFERRING Make = 'Audi' AND Diesel = 'yes'";
+  std::printf("preference query:\n  %s\n", query);
+  auto script = conn.RewriteToSql(query);
+  if (!script.ok()) {
+    std::printf("rewrite failed: %s\n", script.status().ToString().c_str());
+    ++g_failures;
+    return;
+  }
+  std::printf("generated SQL92 script:\n%s\n", script->c_str());
+  auto r = conn.Execute(query);
+  if (!r.ok()) {
+    std::printf("query failed: %s\n", r.status().ToString().c_str());
+    ++g_failures;
+    return;
+  }
+  std::printf("Pareto-optimal set:\n%s", r->ToString().c_str());
+  Check(r->num_rows() == 2, "Audi and BMW survive, Beetle is dominated");
+  Check(script->find("NOT EXISTS") != std::string::npos,
+        "rewrite uses the correlated NOT EXISTS anti-join");
+  Check(script->find("CASE WHEN") != std::string::npos,
+        "level columns use CASE WHEN ... THEN 1 ELSE 2 (paper's encoding)");
+}
+
+}  // namespace
+
+int main() {
+  RunOldtimerExample();
+  RunCarsRewriteExample();
+  std::printf("\n%s (%d failures)\n", g_failures == 0 ? "ALL PASS" : "FAILED",
+              g_failures);
+  return g_failures == 0 ? 0 : 1;
+}

@@ -1,0 +1,116 @@
+// E5 (DESIGN.md): the §3.1 claim that queries without preferences "are just
+// passed through to the database system without causing any noticeable
+// overhead", plus the cost of the Preference SQL Optimizer itself
+// (parse + rewrite, no execution) as preference complexity grows.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdlib>
+
+#include "core/analyzer.h"
+#include "core/connection.h"
+#include "core/rewriter.h"
+#include "engine/database.h"
+#include "sql/parser.h"
+#include "workload/generators.h"
+
+namespace prefsql {
+namespace {
+
+// --- pass-through: plain engine vs the Preference SQL connection ----------
+
+void SetupCars(Database& db) {
+  auto st = GenerateUsedCars(db, 5000, 7);
+  if (!st.ok()) std::abort();
+}
+
+void BM_StandardSqlDirectEngine(benchmark::State& state) {
+  Database db;
+  SetupCars(db);
+  const std::string sql =
+      "SELECT make, COUNT(*) FROM car WHERE price < 20000 GROUP BY make";
+  for (auto _ : state) {
+    auto r = db.Execute(sql);
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_StandardSqlDirectEngine);
+
+void BM_StandardSqlThroughConnection(benchmark::State& state) {
+  Connection conn;
+  SetupCars(conn.database());
+  const std::string sql =
+      "SELECT make, COUNT(*) FROM car WHERE price < 20000 GROUP BY make";
+  for (auto _ : state) {
+    auto r = conn.Execute(sql);
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_StandardSqlThroughConnection);
+
+// --- optimizer cost: parse + rewrite, by number of base preferences -------
+
+std::string PreferenceQueryWithLeaves(int leaves) {
+  static const char* atoms[] = {
+      "LOWEST(price)",      "LOWEST(mileage)",   "HIGHEST(power)",
+      "price AROUND 15000", "age BETWEEN 2, 6",  "color IN ('red', 'black')",
+  };
+  std::string preferring;
+  for (int i = 0; i < leaves; ++i) {
+    preferring += (i ? " AND " : "") + std::string(atoms[i % 6]);
+  }
+  return "SELECT id FROM car WHERE price < 30000 PREFERRING " + preferring;
+}
+
+void BM_ParsePreferenceQuery(benchmark::State& state) {
+  std::string sql = PreferenceQueryWithLeaves(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    auto st = ParseStatement(sql);
+    benchmark::DoNotOptimize(st);
+  }
+}
+BENCHMARK(BM_ParsePreferenceQuery)->Arg(1)->Arg(2)->Arg(4)->Arg(6);
+
+void BM_RewritePreferenceQuery(benchmark::State& state) {
+  std::string sql = PreferenceQueryWithLeaves(static_cast<int>(state.range(0)));
+  auto st = ParseStatement(sql);
+  auto analyzed = AnalyzePreferenceQuery(*st->select);
+  std::vector<std::string> base_columns = {
+      "id",    "make",  "model", "category", "color", "price",
+      "mileage", "power", "age",   "diesel",   "airbag"};
+  for (auto _ : state) {
+    auto out = RewritePreferenceQuery(*analyzed, base_columns,
+                                      ButOnlyMode::kPostFilter, "Aux");
+    benchmark::DoNotOptimize(out);
+  }
+}
+BENCHMARK(BM_RewritePreferenceQuery)->Arg(1)->Arg(2)->Arg(4)->Arg(6);
+
+// --- end-to-end: rewrite strategy vs in-engine BNL on the same query ------
+
+void RunPreferenceQuery(benchmark::State& state, EvaluationMode mode) {
+  ConnectionOptions opts;
+  opts.mode = mode;
+  Connection conn(opts);
+  SetupCars(conn.database());
+  std::string sql = PreferenceQueryWithLeaves(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    auto r = conn.Execute(sql);
+    benchmark::DoNotOptimize(r);
+  }
+}
+
+void BM_EndToEndRewrite(benchmark::State& state) {
+  RunPreferenceQuery(state, EvaluationMode::kRewrite);
+}
+BENCHMARK(BM_EndToEndRewrite)->Arg(2)->Arg(4);
+
+void BM_EndToEndBnl(benchmark::State& state) {
+  RunPreferenceQuery(state, EvaluationMode::kBlockNestedLoop);
+}
+BENCHMARK(BM_EndToEndBnl)->Arg(2)->Arg(4);
+
+}  // namespace
+}  // namespace prefsql
+
+BENCHMARK_MAIN();

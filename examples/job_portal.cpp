@@ -1,0 +1,76 @@
+// Job portal (paper §3.3 scenario + the section 1 motivation): the same
+// search executed the three ways the benchmark compares — conjunctive SQL
+// (empty-result problem), disjunctive SQL (flooding problem), and Preference
+// SQL (best matches only).
+
+#include <cstdio>
+
+#include "core/connection.h"
+#include "workload/generators.h"
+
+int main() {
+  prefsql::Connection conn;
+  prefsql::JobProfileConfig cfg;
+  cfg.rows = 20000;
+  auto gen = prefsql::GenerateJobProfiles(conn.database(), cfg);
+  if (!gen.ok()) {
+    std::printf("generation failed: %s\n", gen.ToString().c_str());
+    return 1;
+  }
+
+  // Pre-selection: hard criteria from the first search mask.
+  const std::string pre =
+      "region = 'bavaria' AND profession = 'programmer' AND availability "
+      "< 90";
+  auto candidates =
+      conn.Execute("SELECT COUNT(*) FROM profiles WHERE " + pre);
+  if (!candidates.ok()) {
+    std::printf("query failed: %s\n",
+                candidates.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("pre-selection (hard criteria): %s candidate profiles\n\n",
+              candidates->at(0, 0).ToString().c_str());
+
+  // Second selection: four skill wishes.
+  const std::string skills =
+      "skill_a = 'java' AND skill_b = 'SQL' AND skill_c = 'perl' AND "
+      "skill_d = 'SAP'";
+  const std::string skills_or =
+      "skill_a = 'java' OR skill_b = 'SQL' OR skill_c = 'perl' OR "
+      "skill_d = 'SAP'";
+
+  auto conjunctive = conn.Execute("SELECT id FROM profiles WHERE " + pre +
+                                  " AND " + skills);
+  auto disjunctive = conn.Execute("SELECT id FROM profiles WHERE " + pre +
+                                  " AND (" + skills_or + ")");
+  auto preference = conn.Execute("SELECT id FROM profiles WHERE " + pre +
+                                 " PREFERRING " + skills);
+  if (!conjunctive.ok() || !disjunctive.ok() || !preference.ok()) {
+    std::printf("a query failed\n");
+    return 1;
+  }
+
+  std::printf("SQL solution 1 (4 conjunctive conditions): %4zu hits%s\n",
+              conjunctive->num_rows(),
+              conjunctive->num_rows() == 0 ? "   <- the empty-result problem"
+                                           : "");
+  std::printf("SQL solution 2 (4 disjunctive conditions): %4zu hits   "
+              "<- the flooding problem\n",
+              disjunctive->num_rows());
+  std::printf("Preference SQL (4 Pareto conditions):      %4zu hits   "
+              "<- best matches only\n\n",
+              preference->num_rows());
+
+  // Show how close the best matches actually are.
+  auto explained = conn.Execute(
+      "SELECT id, skill_a, skill_b, skill_c, skill_d, "
+      "LEVEL(skill_a), LEVEL(skill_b), LEVEL(skill_c), LEVEL(skill_d) "
+      "FROM profiles WHERE " + pre + " PREFERRING " + skills);
+  if (explained.ok()) {
+    std::printf("the Pareto-optimal profiles, with per-criterion levels "
+                "(1 = wish fulfilled):\n%s",
+                explained->ToString(8).c_str());
+  }
+  return 0;
+}

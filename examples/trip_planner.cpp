@@ -1,0 +1,63 @@
+// Trip planner (paper §2.2.1 / §2.2.4): date-typed AROUND preferences,
+// quality control with BUT ONLY ("an empty result ... correlates with the
+// user's explicit intension!"), and GROUPING for per-destination best
+// matches.
+
+#include <cstdio>
+
+#include "core/connection.h"
+#include "workload/generators.h"
+
+int main() {
+  prefsql::Connection conn;
+  auto gen = prefsql::GenerateTrips(conn.database(), 800, 99);
+  if (!gen.ok()) {
+    std::printf("generation failed: %s\n", gen.ToString().c_str());
+    return 1;
+  }
+
+  // The §2.2.4 query: start around July 3rd, about two weeks, at most two
+  // days of deviation on either criterion.
+  const char* strict =
+      "SELECT id, destination, start_day, duration, "
+      "DISTANCE(start_day), DISTANCE(duration) "
+      "FROM trips "
+      "PREFERRING start_day AROUND '1999/7/3' AND duration AROUND 14 "
+      "BUT ONLY DISTANCE(start_day) <= 2 AND DISTANCE(duration) <= 2 "
+      "ORDER BY DISTANCE(start_day)";
+  std::printf("quality-controlled search (paper 2.2.4):\n%s\n\n", strict);
+  auto result = conn.Execute(strict);
+  if (!result.ok()) {
+    std::printf("query failed: %s\n", result.status().ToString().c_str());
+    return 1;
+  }
+  if (result->num_rows() == 0) {
+    std::printf("no trip within the quality thresholds — an empty result "
+                "that matches the user's explicit intention.\n\n");
+  } else {
+    std::printf("%s\n", result->ToString().c_str());
+  }
+
+  // Without quality control: the best possible compromises.
+  auto relaxed = conn.Execute(
+      "SELECT id, destination, start_day, duration "
+      "FROM trips "
+      "PREFERRING start_day AROUND '1999/7/3' AND duration AROUND 14");
+  if (relaxed.ok()) {
+    std::printf("without BUT ONLY — best possible matches:\n%s\n",
+                relaxed->ToString(10).c_str());
+  }
+
+  // GROUPING: the best offer per destination, one preference query.
+  auto grouped = conn.Execute(
+      "SELECT destination, id, duration, price "
+      "FROM trips WHERE category = 'beach' "
+      "PREFERRING duration AROUND 14 AND LOWEST(price) "
+      "GROUPING destination "
+      "ORDER BY destination");
+  if (grouped.ok()) {
+    std::printf("per-destination best beach trips (GROUPING):\n%s",
+                grouped->ToString(15).c_str());
+  }
+  return 0;
+}

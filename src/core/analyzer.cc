@@ -1,0 +1,113 @@
+#include "core/analyzer.h"
+
+#include "core/quality.h"
+#include "engine/evaluator.h"
+#include "util/string_util.h"
+
+namespace prefsql {
+
+Result<AnalyzedPreferenceQuery> AnalyzePreferenceQuery(
+    const SelectStmt& select) {
+  if (!select.IsPreferenceQuery()) {
+    return Status::InvalidArgument("query has no PREFERRING clause");
+  }
+  if (select.from.empty()) {
+    return Status::InvalidArgument("preference query requires a FROM clause");
+  }
+  if (!select.group_by.empty() || select.having != nullptr) {
+    // The paper's GROUPING clause performs "with soft constraints what
+    // GROUP BY does with hard constraints"; mixing both in one block is not
+    // part of Preference SQL 1.3.
+    return Status::NotImplemented(
+        "GROUP BY/HAVING cannot be combined with PREFERRING; "
+        "use the GROUPING clause for preference partitioning");
+  }
+  for (const auto& item : select.items) {
+    if (item.expr->kind != ExprKind::kStar && ContainsAggregate(*item.expr)) {
+      return Status::NotImplemented(
+          "aggregates cannot be combined with PREFERRING");
+    }
+  }
+  if (select.but_only != nullptr && !ContainsQualityCall(*select.but_only)) {
+    return Status::InvalidArgument(
+        "BUT ONLY condition must use at least one quality function "
+        "(TOP/LEVEL/DISTANCE)");
+  }
+  PSQL_ASSIGN_OR_RETURN(CompiledPreference pref,
+                        CompiledPreference::Compile(*select.preferring));
+  return AnalyzedPreferenceQuery(&select, std::move(pref));
+}
+
+namespace {
+
+void CollectColumnRefs(const Expr& e, std::vector<const Expr*>* out) {
+  if (e.kind == ExprKind::kColumnRef) {
+    out->push_back(&e);
+    return;
+  }
+  auto walk = [&](const ExprPtr& p) {
+    if (p) CollectColumnRefs(*p, out);
+  };
+  walk(e.left);
+  walk(e.right);
+  walk(e.lo);
+  walk(e.hi);
+  walk(e.case_else);
+  for (const auto& a : e.args) CollectColumnRefs(*a, out);
+  for (const auto& item : e.in_list) CollectColumnRefs(*item, out);
+  for (const auto& cw : e.case_whens) {
+    CollectColumnRefs(*cw.when, out);
+    CollectColumnRefs(*cw.then, out);
+  }
+}
+
+}  // namespace
+
+Result<PrefTermPtr> ExpandNamedPreferences(const PrefTerm& term,
+                                           const Catalog& catalog) {
+  if (term.kind == PrefKind::kNamedRef) {
+    PSQL_ASSIGN_OR_RETURN(const PrefTerm* stored,
+                          catalog.GetPreference(term.pref_name));
+    // Stored bodies were expanded when created; a defensive re-expansion
+    // keeps this correct even if that invariant is ever relaxed.
+    return ExpandNamedPreferences(*stored, catalog);
+  }
+  PrefTermPtr out = term.Clone();
+  for (auto& child : out->children) {
+    PSQL_ASSIGN_OR_RETURN(child, ExpandNamedPreferences(*child, catalog));
+  }
+  return out;
+}
+
+bool ContainsNamedPreference(const PrefTerm& term) {
+  if (term.kind == PrefKind::kNamedRef) return true;
+  for (const auto& child : term.children) {
+    if (ContainsNamedPreference(*child)) return true;
+  }
+  return false;
+}
+
+Status ValidatePreferenceColumns(const CompiledPreference& pref,
+                                 const std::vector<std::string>& columns) {
+  for (size_t i = 0; i < pref.num_leaves(); ++i) {
+    std::vector<const Expr*> refs;
+    CollectColumnRefs(*pref.leaf(i).attr, &refs);
+    for (const Expr* ref : refs) {
+      bool found = false;
+      for (const auto& col : columns) {
+        if (EqualsIgnoreCase(col, ref->column)) {
+          found = true;
+          break;
+        }
+      }
+      if (!found) {
+        return Status::InvalidArgument(
+            "preference attribute refers to unknown column '" + ref->column +
+            "'");
+      }
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace prefsql

@@ -1,0 +1,50 @@
+// Semantic analysis of a Preference SQL query block: compiles the PREFERRING
+// clause and enforces the restrictions of §2.2.5.
+
+#pragma once
+
+#include <memory>
+
+#include "preference/composite.h"
+#include "storage/catalog.h"
+#include "sql/ast.h"
+#include "util/status.h"
+
+namespace prefsql {
+
+/// Result of analyzing a query with a PREFERRING clause.
+struct AnalyzedPreferenceQuery {
+  /// The original statement (not owned).
+  const SelectStmt* query = nullptr;
+  /// The compiled preference of the PREFERRING clause.
+  CompiledPreference preference;
+
+  AnalyzedPreferenceQuery(const SelectStmt* q, CompiledPreference p)
+      : query(q), preference(std::move(p)) {}
+};
+
+/// Validates and compiles `select`. Errors on: missing PREFERRING clause,
+/// GROUP BY / aggregates combined with PREFERRING (unsupported, like the
+/// product's 1.3 restrictions), quality functions outside a preference
+/// query, malformed EXPLICIT edge sets, and BUT ONLY without effect.
+Result<AnalyzedPreferenceQuery> AnalyzePreferenceQuery(
+    const SelectStmt& select);
+
+/// Checks that every column referenced by a preference attribute expression
+/// exists in the candidate relation (`columns` = bare column names of
+/// SELECT * over the query's FROM). Catches typos before any view is
+/// created — even when the candidate set is empty.
+Status ValidatePreferenceColumns(const CompiledPreference& pref,
+                                 const std::vector<std::string>& columns);
+
+/// Replaces every `PREFERENCE <name>` reference in `term` by the stored
+/// definition from `catalog` (Preference Definition Language, §2.2). Stored
+/// definitions are expanded at CREATE PREFERENCE time, so one level of
+/// substitution suffices. Returns nullptr-free deep copy.
+Result<PrefTermPtr> ExpandNamedPreferences(const PrefTerm& term,
+                                           const Catalog& catalog);
+
+/// True iff the term tree contains a PREFERENCE reference.
+bool ContainsNamedPreference(const PrefTerm& term);
+
+}  // namespace prefsql

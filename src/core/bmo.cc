@@ -1,0 +1,182 @@
+#include "core/bmo.h"
+
+#include <algorithm>
+
+namespace prefsql {
+namespace {
+
+std::vector<size_t> NaiveNestedLoop(const CompiledPreference& pref,
+                                    const std::vector<PrefKey>& keys,
+                                    const std::vector<size_t>& candidates,
+                                    BmoStats* stats) {
+  // Paper §3.2: "Insert t1 into Max if there is no tuple t2 in R that is
+  // better than t1" — repeated for every t1.
+  std::vector<size_t> out;
+  for (size_t i : candidates) {
+    bool dominated = false;
+    for (size_t j : candidates) {
+      if (i == j) continue;
+      if (stats != nullptr) ++stats->comparisons;
+      if (pref.Dominates(keys[j], keys[i])) {
+        dominated = true;
+        break;
+      }
+    }
+    if (!dominated) out.push_back(i);
+  }
+  return out;
+}
+
+std::vector<size_t> BlockNestedLoop(const CompiledPreference& pref,
+                                    const std::vector<PrefKey>& keys,
+                                    const std::vector<size_t>& candidates,
+                                    size_t window_capacity, BmoStats* stats) {
+  struct Entry {
+    size_t index;
+    size_t insert_pass;
+  };
+  std::vector<size_t> result;          // confirmed skyline members
+  std::vector<Entry> window;
+  std::vector<size_t> input = candidates;
+  std::vector<size_t> overflow;
+  size_t pass = 0;
+
+  while (!input.empty()) {
+    overflow.clear();
+    for (size_t t : input) {
+      bool dominated = false;
+      // Compare against the window; evict dominated window entries.
+      size_t kept = 0;
+      for (size_t w = 0; w < window.size(); ++w) {
+        if (stats != nullptr) ++stats->comparisons;
+        Rel rel = pref.Compare(keys[t], keys[window[w].index]);
+        if (rel == Rel::kWorse) {
+          dominated = true;
+          // Tuples after w are untouched; keep the remainder as is.
+          for (size_t r = w; r < window.size(); ++r) {
+            window[kept++] = window[r];
+          }
+          break;
+        }
+        if (rel == Rel::kBetter) {
+          continue;  // evict window entry (do not keep)
+        }
+        window[kept++] = window[w];
+      }
+      window.resize(kept);
+      if (dominated) continue;
+      if (window_capacity == 0 || window.size() < window_capacity) {
+        window.push_back({t, pass});
+      } else {
+        overflow.push_back(t);
+      }
+    }
+    // End of pass: entries inserted in an *earlier* pass have now been
+    // compared against every live tuple (anything they dominate was dropped
+    // before reaching the overflow), so they are confirmed skyline members.
+    // Emitting them frees window space, which guarantees progress when the
+    // window is smaller than the skyline.
+    std::vector<Entry> remaining;
+    for (const Entry& e : window) {
+      if (e.insert_pass < pass) {
+        result.push_back(e.index);
+      } else {
+        remaining.push_back(e);
+      }
+    }
+    window = std::move(remaining);
+    input = overflow;
+    ++pass;
+    if (stats != nullptr) stats->passes = pass;
+  }
+  for (const Entry& e : window) result.push_back(e.index);
+  std::sort(result.begin(), result.end());
+  return result;
+}
+
+std::vector<size_t> SortFilterSkyline(const CompiledPreference& pref,
+                                      const std::vector<PrefKey>& keys,
+                                      const std::vector<size_t>& candidates,
+                                      BmoStats* stats) {
+  // Presort by a linear extension of the order: afterwards no tuple can be
+  // dominated by a later one, so a single forward pass with an append-only
+  // result window is exact.
+  std::vector<size_t> sorted = candidates;
+  std::stable_sort(sorted.begin(), sorted.end(), [&](size_t a, size_t b) {
+    return pref.LexLess(keys[a], keys[b]);
+  });
+  std::vector<size_t> result;
+  for (size_t t : sorted) {
+    bool dominated = false;
+    for (size_t r : result) {
+      if (stats != nullptr) ++stats->comparisons;
+      if (pref.Dominates(keys[r], keys[t])) {
+        dominated = true;
+        break;
+      }
+    }
+    if (!dominated) result.push_back(t);
+  }
+  std::sort(result.begin(), result.end());
+  return result;
+}
+
+}  // namespace
+
+std::vector<size_t> ComputeBmoTopK(const CompiledPreference& pref,
+                                   const std::vector<PrefKey>& keys,
+                                   const std::vector<size_t>& candidates,
+                                   size_t k, BmoStats* stats) {
+  if (k == 0) return {};
+  std::vector<size_t> sorted = candidates;
+  std::stable_sort(sorted.begin(), sorted.end(), [&](size_t a, size_t b) {
+    return pref.LexLess(keys[a], keys[b]);
+  });
+  std::vector<size_t> result;
+  for (size_t t : sorted) {
+    bool dominated = false;
+    for (size_t r : result) {
+      if (stats != nullptr) ++stats->comparisons;
+      if (pref.Dominates(keys[r], keys[t])) {
+        dominated = true;
+        break;
+      }
+    }
+    if (!dominated) {
+      result.push_back(t);
+      if (result.size() >= k) break;  // progressive early exit
+    }
+  }
+  std::sort(result.begin(), result.end());
+  return result;
+}
+
+const char* BmoAlgorithmToString(BmoAlgorithm a) {
+  switch (a) {
+    case BmoAlgorithm::kNaiveNestedLoop:
+      return "naive-nested-loop";
+    case BmoAlgorithm::kBlockNestedLoop:
+      return "block-nested-loop";
+    case BmoAlgorithm::kSortFilterSkyline:
+      return "sort-filter-skyline";
+  }
+  return "?";
+}
+
+std::vector<size_t> ComputeBmo(const CompiledPreference& pref,
+                               const std::vector<PrefKey>& keys,
+                               const std::vector<size_t>& candidates,
+                               const BmoOptions& options, BmoStats* stats) {
+  switch (options.algorithm) {
+    case BmoAlgorithm::kNaiveNestedLoop:
+      return NaiveNestedLoop(pref, keys, candidates, stats);
+    case BmoAlgorithm::kBlockNestedLoop:
+      return BlockNestedLoop(pref, keys, candidates, options.bnl_window,
+                             stats);
+    case BmoAlgorithm::kSortFilterSkyline:
+      return SortFilterSkyline(pref, keys, candidates, stats);
+  }
+  return {};
+}
+
+}  // namespace prefsql

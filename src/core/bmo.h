@@ -1,0 +1,69 @@
+// Best-Matches-Only (BMO) evaluation algorithms (§2.2.5, §3.2).
+//
+// Three in-engine algorithms compute the maximal elements of a set of tuples
+// under a compiled preference:
+//   * kNaiveNestedLoop — the paper's abstract selection method (§3.2):
+//     a tuple is maximal iff no other tuple is better. O(n²) always.
+//   * kBlockNestedLoop — BNL of [BKS01] with a bounded self-organizing
+//     window and multi-pass overflow handling.
+//   * kSortFilterSkyline — SFS: presort by a linear extension of the
+//     preference order, then a single filter pass against the growing
+//     result (no eviction needed because a later tuple can never dominate
+//     an earlier one).
+//
+// The fourth strategy — the rewrite to standard SQL with a NOT EXISTS
+// anti-join, which the commercial product used — lives in rewriter.h.
+
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "preference/composite.h"
+#include "util/status.h"
+
+namespace prefsql {
+
+/// In-engine BMO algorithm selector.
+enum class BmoAlgorithm {
+  kNaiveNestedLoop,
+  kBlockNestedLoop,
+  kSortFilterSkyline,
+};
+
+const char* BmoAlgorithmToString(BmoAlgorithm a);
+
+/// Tuning for the BMO computation.
+struct BmoOptions {
+  BmoAlgorithm algorithm = BmoAlgorithm::kBlockNestedLoop;
+  /// BNL window capacity in tuples; 0 = unbounded (single pass).
+  size_t bnl_window = 0;
+};
+
+/// Statistics of one BMO computation (benchmarks, tests).
+struct BmoStats {
+  size_t comparisons = 0;  ///< dominance tests performed
+  size_t passes = 1;       ///< BNL passes over the input
+};
+
+/// Returns the indices (into `keys`, ascending) of all maximal tuples.
+/// `candidates` restricts the input (e.g. one GROUPING partition); pass all
+/// indices for a plain query.
+std::vector<size_t> ComputeBmo(const CompiledPreference& pref,
+                               const std::vector<PrefKey>& keys,
+                               const std::vector<size_t>& candidates,
+                               const BmoOptions& options = {},
+                               BmoStats* stats = nullptr);
+
+/// Progressive top-k BMO (cf. [TEO01]): returns up to `k` maximal tuples
+/// without computing the full BMO set. Uses the SFS property that a tuple
+/// surviving the filter pass is definitely maximal, so the scan can stop at
+/// the k-th survivor. Which k maximal tuples are returned is unspecified
+/// (like LIMIT without ORDER BY). The query layer uses this for LIMIT
+/// pushdown in sort-filter mode.
+std::vector<size_t> ComputeBmoTopK(const CompiledPreference& pref,
+                                   const std::vector<PrefKey>& keys,
+                                   const std::vector<size_t>& candidates,
+                                   size_t k, BmoStats* stats = nullptr);
+
+}  // namespace prefsql

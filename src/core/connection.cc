@@ -1,0 +1,193 @@
+#include "core/connection.h"
+
+#include "core/preference_query.h"
+#include "core/rewriter.h"
+#include "sql/parser.h"
+#include "sql/printer.h"
+
+namespace prefsql {
+
+const char* EvaluationModeToString(EvaluationMode m) {
+  switch (m) {
+    case EvaluationMode::kRewrite:
+      return "rewrite";
+    case EvaluationMode::kBlockNestedLoop:
+      return "bnl";
+    case EvaluationMode::kNaiveNestedLoop:
+      return "naive";
+    case EvaluationMode::kSortFilterSkyline:
+      return "sfs";
+  }
+  return "?";
+}
+
+Result<ResultTable> Connection::Execute(const std::string& sql) {
+  PSQL_ASSIGN_OR_RETURN(Statement stmt, ParseStatement(sql));
+  return ExecuteStatement(stmt);
+}
+
+Result<ResultTable> Connection::ExecuteScript(const std::string& sql) {
+  PSQL_ASSIGN_OR_RETURN(auto stmts, ParseScript(sql));
+  if (stmts.empty()) return Status::InvalidArgument("empty script");
+  ResultTable last;
+  for (const auto& stmt : stmts) {
+    PSQL_ASSIGN_OR_RETURN(last, ExecuteStatement(stmt));
+  }
+  return last;
+}
+
+Result<ResultTable> Connection::ExecuteStatement(const Statement& stmt) {
+  last_stats_ = PreferenceQueryStats{};
+  if (stmt.kind == StatementKind::kSelect &&
+      stmt.select->IsPreferenceQuery()) {
+    last_stats_.was_preference_query = true;
+    PSQL_ASSIGN_OR_RETURN(auto expanded, ExpandSelect(*stmt.select));
+    return ExecutePreferenceSelect(*expanded);
+  }
+  if (stmt.kind == StatementKind::kExplain) {
+    return ExecuteExplain(stmt);
+  }
+  // INSERT ... SELECT with a PREFERRING clause (§2.2.5): evaluate the
+  // preference query here, then bulk-insert the BMO rows.
+  if (stmt.kind == StatementKind::kInsert && stmt.select != nullptr &&
+      stmt.select->IsPreferenceQuery()) {
+    last_stats_.was_preference_query = true;
+    PSQL_ASSIGN_OR_RETURN(auto expanded, ExpandSelect(*stmt.select));
+    PSQL_ASSIGN_OR_RETURN(ResultTable rows,
+                          ExecutePreferenceSelect(*expanded));
+    return db_.executor().InsertTable(stmt.name, stmt.insert_columns, rows);
+  }
+  // Everything else passes through to the database system (§3.1: "without
+  // causing any noticeable overhead").
+  return db_.ExecuteStatement(stmt);
+}
+
+Result<std::shared_ptr<SelectStmt>> Connection::ExpandSelect(
+    const SelectStmt& select) {
+  auto out = select.Clone();
+  if (out->preferring != nullptr &&
+      ContainsNamedPreference(*out->preferring)) {
+    PSQL_ASSIGN_OR_RETURN(
+        out->preferring,
+        ExpandNamedPreferences(*out->preferring, db_.catalog()));
+  }
+  return out;
+}
+
+Result<ResultTable> Connection::ExecuteExplain(const Statement& stmt) {
+  Schema schema = Schema::FromNames({"plan"});
+  std::vector<Row> lines;
+  auto add = [&](const std::string& s) { lines.push_back({Value::Text(s)}); };
+  if (!stmt.select->IsPreferenceQuery()) {
+    add("-- standard SQL: passed through to the host database unchanged");
+    add(SelectToSql(*stmt.select));
+    return ResultTable(std::move(schema), std::move(lines));
+  }
+  PSQL_ASSIGN_OR_RETURN(auto expanded, ExpandSelect(*stmt.select));
+  PSQL_ASSIGN_OR_RETURN(auto analyzed, AnalyzePreferenceQuery(*expanded));
+  PSQL_ASSIGN_OR_RETURN(auto base_columns, ProbeBaseColumns(*expanded));
+  auto rewritten = RewritePreferenceQuery(
+      analyzed, base_columns, options_.but_only_mode, "Aux");
+  if (!rewritten.ok()) {
+    if (rewritten.status().IsNotImplemented()) {
+      add("-- preference is not expressible as level columns; evaluated "
+          "in-engine (BNL)");
+      add(SelectToSql(*expanded));
+      return ResultTable(std::move(schema), std::move(lines));
+    }
+    return rewritten.status();
+  }
+  add("-- Preference SQL optimizer translation (paper 3.2)");
+  for (const auto& st : rewritten->setup) add(StatementToSql(st) + ";");
+  add(SelectToSql(*rewritten->query) + ";");
+  for (const auto& st : rewritten->teardown) add(StatementToSql(st) + ";");
+  return ResultTable(std::move(schema), std::move(lines));
+}
+
+Result<std::vector<std::string>> Connection::ProbeBaseColumns(
+    const SelectStmt& select) {
+  // Schema probe: run the candidate query with a FALSE predicate; only the
+  // output schema matters.
+  auto probe = std::make_shared<SelectStmt>();
+  probe->items.push_back({Expr::MakeStar(), ""});
+  for (const auto& tr : select.from) probe->from.push_back(tr->Clone());
+  probe->where = Expr::MakeLiteral(Value::Bool(false));
+  PSQL_ASSIGN_OR_RETURN(ResultTable rt, db_.ExecuteSelect(*probe));
+  return rt.schema().Names();
+}
+
+Result<ResultTable> Connection::ExecuteViaRewrite(const SelectStmt& select) {
+  PSQL_ASSIGN_OR_RETURN(auto analyzed, AnalyzePreferenceQuery(select));
+  PSQL_ASSIGN_OR_RETURN(auto base_columns, ProbeBaseColumns(select));
+  PSQL_RETURN_IF_ERROR(
+      ValidatePreferenceColumns(analyzed.preference, base_columns));
+  std::string aux_name =
+      "_prefsql_aux_" + std::to_string(++aux_counter_);
+  PSQL_ASSIGN_OR_RETURN(
+      RewriteOutput rewritten,
+      RewritePreferenceQuery(analyzed, base_columns, options_.but_only_mode,
+                             aux_name));
+  for (const auto& st : rewritten.setup) {
+    PSQL_ASSIGN_OR_RETURN(ResultTable ignored, db_.ExecuteStatement(st));
+    (void)ignored;
+  }
+  auto result = db_.ExecuteSelect(*rewritten.query);
+  if (!options_.keep_aux_views) {
+    for (const auto& st : rewritten.teardown) {
+      auto drop = db_.ExecuteStatement(st);
+      if (!drop.ok() && result.ok()) return drop.status();
+    }
+  }
+  PSQL_RETURN_IF_ERROR(result.status());
+  last_stats_.used_rewrite = true;
+  last_stats_.result_count = result->num_rows();
+  return result;
+}
+
+Result<ResultTable> Connection::ExecutePreferenceSelect(
+    const SelectStmt& select) {
+  if (options_.mode == EvaluationMode::kRewrite) {
+    auto result = ExecuteViaRewrite(select);
+    if (result.ok() || !result.status().IsNotImplemented()) return result;
+    // Rewriter refused (e.g. non-weak-order EXPLICIT): fall back to BNL.
+    last_stats_.rewrite_fallback = true;
+  }
+  DirectEvalOptions direct;
+  direct.but_only_mode = options_.but_only_mode;
+  direct.bmo.bnl_window = options_.bnl_window;
+  switch (options_.mode) {
+    case EvaluationMode::kNaiveNestedLoop:
+      direct.bmo.algorithm = BmoAlgorithm::kNaiveNestedLoop;
+      break;
+    case EvaluationMode::kSortFilterSkyline:
+      direct.bmo.algorithm = BmoAlgorithm::kSortFilterSkyline;
+      break;
+    case EvaluationMode::kRewrite:  // fallback
+    case EvaluationMode::kBlockNestedLoop:
+      direct.bmo.algorithm = BmoAlgorithm::kBlockNestedLoop;
+      break;
+  }
+  PSQL_ASSIGN_OR_RETURN(auto analyzed, AnalyzePreferenceQuery(select));
+  auto result = ExecutePreferenceQueryDirect(db_, analyzed, direct);
+  if (result.ok()) last_stats_.result_count = result->num_rows();
+  return result;
+}
+
+Result<std::string> Connection::RewriteToSql(const std::string& sql) {
+  PSQL_ASSIGN_OR_RETURN(Statement stmt, ParseStatement(sql));
+  if (stmt.kind != StatementKind::kSelect ||
+      !stmt.select->IsPreferenceQuery()) {
+    return Status::InvalidArgument(
+        "RewriteToSql expects a query with a PREFERRING clause");
+  }
+  PSQL_ASSIGN_OR_RETURN(auto analyzed, AnalyzePreferenceQuery(*stmt.select));
+  PSQL_ASSIGN_OR_RETURN(auto base_columns, ProbeBaseColumns(*stmt.select));
+  std::string aux_name = "Aux";
+  PSQL_ASSIGN_OR_RETURN(
+      RewriteOutput rewritten,
+      RewritePreferenceQuery(analyzed, base_columns, options_.but_only_mode,
+                             aux_name));
+  return rewritten.ToScript();
+}
+
+}  // namespace prefsql

@@ -1,0 +1,118 @@
+// Connection: the public entry point of the library — the analogue of the
+// paper's "Preference ODBC/JDBC driver" sitting in front of the Preference
+// SQL Optimizer and the standard SQL database (§3.1).
+//
+//   prefsql::Connection conn;
+//   conn.Execute("CREATE TABLE trips (dest TEXT, duration INTEGER)");
+//   conn.Execute("INSERT INTO trips VALUES ('Rome', 10), ('Oslo', 15)");
+//   auto result = conn.Execute(
+//       "SELECT * FROM trips PREFERRING duration AROUND 14");
+//   std::cout << result->ToString();
+//
+// Standard SQL passes straight through to the engine ("without causing any
+// noticeable overhead"); queries with a PREFERRING clause are rewritten into
+// standard SQL (the product's strategy) or evaluated with an in-engine
+// skyline algorithm, selectable per connection.
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "core/bmo.h"
+#include "core/quality.h"
+#include "engine/database.h"
+#include "types/result_table.h"
+#include "util/status.h"
+
+namespace prefsql {
+
+/// How preference queries are evaluated.
+enum class EvaluationMode {
+  /// Rewrite to standard SQL (Aux view + NOT EXISTS anti-join, §3.2) and run
+  /// it on the engine — the commercial product's strategy. Falls back to
+  /// kBlockNestedLoop when the preference is not rewritable.
+  kRewrite,
+  /// In-engine BNL skyline algorithm [BKS01].
+  kBlockNestedLoop,
+  /// In-engine naive nested loop (the §3.2 abstract selection method).
+  kNaiveNestedLoop,
+  /// In-engine sort-filter skyline.
+  kSortFilterSkyline,
+};
+
+const char* EvaluationModeToString(EvaluationMode m);
+
+/// Per-connection behaviour switches.
+struct ConnectionOptions {
+  EvaluationMode mode = EvaluationMode::kRewrite;
+  ButOnlyMode but_only_mode = ButOnlyMode::kPostFilter;
+  /// BNL window capacity (tuples); 0 = unbounded.
+  size_t bnl_window = 0;
+  /// Keep the generated Aux views after a rewritten query (debugging).
+  bool keep_aux_views = false;
+};
+
+/// A Preference SQL connection over an embedded in-memory database.
+class Connection {
+ public:
+  Connection() = default;
+  explicit Connection(ConnectionOptions options) : options_(options) {}
+
+  Connection(const Connection&) = delete;
+  Connection& operator=(const Connection&) = delete;
+
+  /// Parses and executes one statement (standard SQL or Preference SQL).
+  Result<ResultTable> Execute(const std::string& sql);
+
+  /// Executes a semicolon-separated script; returns the last result.
+  Result<ResultTable> ExecuteScript(const std::string& sql);
+
+  /// Executes an already-parsed statement. Beyond plain SELECTs this layer
+  /// handles: preference SELECTs (rewrite or in-engine BMO), EXPLAIN
+  /// (returns the optimizer's standard-SQL translation as a one-column
+  /// table), INSERT whose SELECT has a PREFERRING clause (§2.2.5), and
+  /// expansion of stored PREFERENCE references (PDL).
+  Result<ResultTable> ExecuteStatement(const Statement& stmt);
+
+  /// Translates a preference query into the standard SQL script the
+  /// rewriting optimizer would run (§3.2) without executing it.
+  Result<std::string> RewriteToSql(const std::string& sql);
+
+  /// The underlying standard-SQL database (catalog access, direct SQL).
+  Database& database() { return db_; }
+
+  ConnectionOptions& options() { return options_; }
+  const ConnectionOptions& options() const { return options_; }
+
+  /// Statistics of the last executed preference query.
+  struct PreferenceQueryStats {
+    bool was_preference_query = false;
+    bool used_rewrite = false;
+    bool rewrite_fallback = false;  // rewriter refused; BNL used instead
+    size_t candidate_count = 0;     // rows after WHERE (direct path only)
+    size_t result_count = 0;
+  };
+  const PreferenceQueryStats& last_stats() const { return last_stats_; }
+
+ private:
+  Result<ResultTable> ExecutePreferenceSelect(const SelectStmt& select);
+  Result<ResultTable> ExecuteViaRewrite(const SelectStmt& select);
+  Result<ResultTable> ExecuteExplain(const Statement& stmt);
+
+  /// Returns `select` with stored PREFERENCE references expanded (clones
+  /// only when needed).
+  Result<std::shared_ptr<SelectStmt>> ExpandSelect(const SelectStmt& select);
+
+  /// Column names a `SELECT *` over the query's FROM would produce (schema
+  /// probe for the rewriter).
+  Result<std::vector<std::string>> ProbeBaseColumns(const SelectStmt& select);
+
+  Database db_;
+  ConnectionOptions options_;
+  PreferenceQueryStats last_stats_;
+  uint64_t aux_counter_ = 0;
+};
+
+}  // namespace prefsql

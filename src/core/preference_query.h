@@ -1,0 +1,32 @@
+// Direct (in-engine) evaluation of a preference query: materialize the
+// candidates, compute the BMO set with a skyline algorithm, apply GROUPING
+// and BUT ONLY, evaluate quality functions, and project.
+//
+// This path implements the same BMO semantics as the §3.2 rewrite but keeps
+// everything inside the engine — it is both the fallback for preferences the
+// rewriter cannot express (non-weak-order EXPLICIT) and the baseline the
+// algorithm benchmarks compare against.
+
+#pragma once
+
+#include "core/analyzer.h"
+#include "core/bmo.h"
+#include "core/quality.h"
+#include "engine/database.h"
+#include "types/result_table.h"
+#include "util/status.h"
+
+namespace prefsql {
+
+/// Options of the direct evaluation path.
+struct DirectEvalOptions {
+  BmoOptions bmo;
+  ButOnlyMode but_only_mode = ButOnlyMode::kPostFilter;
+};
+
+/// Executes `analyzed` against `db` and returns the BMO result.
+Result<ResultTable> ExecutePreferenceQueryDirect(
+    Database& db, const AnalyzedPreferenceQuery& analyzed,
+    const DirectEvalOptions& options = {});
+
+}  // namespace prefsql

@@ -1,0 +1,99 @@
+#include "core/quality.h"
+
+namespace prefsql {
+
+Result<QualityFn> QualityFnFromName(const std::string& lower_name) {
+  if (lower_name == "top") return QualityFn::kTop;
+  if (lower_name == "level") return QualityFn::kLevel;
+  if (lower_name == "distance") return QualityFn::kDistance;
+  return Status::InvalidArgument("not a quality function: " + lower_name);
+}
+
+bool IsQualityFunction(const std::string& lower_name) {
+  return lower_name == "top" || lower_name == "level" ||
+         lower_name == "distance";
+}
+
+Result<ExprPtr> RewriteQualityCalls(const Expr& expr,
+                                    const QualityExprFactory& make) {
+  if (expr.kind == ExprKind::kFunction &&
+      IsQualityFunction(expr.function_name)) {
+    if (expr.args.size() != 1 ||
+        expr.args[0]->kind != ExprKind::kColumnRef) {
+      return Status::InvalidArgument(
+          "quality function " + expr.function_name +
+          "() expects a single attribute argument");
+    }
+    PSQL_ASSIGN_OR_RETURN(QualityFn fn, QualityFnFromName(expr.function_name));
+    return make(fn, expr.args[0]->column);
+  }
+  ExprPtr out = expr.Clone();
+  auto rewrite = [&](ExprPtr& p) -> Status {
+    if (p) {
+      PSQL_ASSIGN_OR_RETURN(p, RewriteQualityCalls(*p, make));
+    }
+    return Status::OK();
+  };
+  PSQL_RETURN_IF_ERROR(rewrite(out->left));
+  PSQL_RETURN_IF_ERROR(rewrite(out->right));
+  PSQL_RETURN_IF_ERROR(rewrite(out->lo));
+  PSQL_RETURN_IF_ERROR(rewrite(out->hi));
+  PSQL_RETURN_IF_ERROR(rewrite(out->case_else));
+  for (auto& a : out->args) {
+    PSQL_ASSIGN_OR_RETURN(a, RewriteQualityCalls(*a, make));
+  }
+  for (auto& item : out->in_list) {
+    PSQL_ASSIGN_OR_RETURN(item, RewriteQualityCalls(*item, make));
+  }
+  for (auto& cw : out->case_whens) {
+    PSQL_ASSIGN_OR_RETURN(cw.when, RewriteQualityCalls(*cw.when, make));
+    PSQL_ASSIGN_OR_RETURN(cw.then, RewriteQualityCalls(*cw.then, make));
+  }
+  return out;
+}
+
+bool ContainsQualityCall(const Expr& e) {
+  if (e.kind == ExprKind::kFunction && IsQualityFunction(e.function_name)) {
+    return true;
+  }
+  auto check = [](const ExprPtr& p) { return p && ContainsQualityCall(*p); };
+  if (check(e.left) || check(e.right) || check(e.lo) || check(e.hi) ||
+      check(e.case_else)) {
+    return true;
+  }
+  for (const auto& a : e.args) {
+    if (ContainsQualityCall(*a)) return true;
+  }
+  for (const auto& item : e.in_list) {
+    if (ContainsQualityCall(*item)) return true;
+  }
+  for (const auto& cw : e.case_whens) {
+    if (ContainsQualityCall(*cw.when) || ContainsQualityCall(*cw.then)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+double EffectiveOffset(const BasePreference& pref, double observed_min_score) {
+  auto offset = pref.QualityOffset();
+  return offset ? *offset : observed_min_score;
+}
+
+double ComputeDistance(const BasePreference& pref, const LeafKey& key,
+                       double observed_min_score) {
+  return key.score - EffectiveOffset(pref, observed_min_score);
+}
+
+int64_t ComputeLevel(const BasePreference& pref, const LeafKey& key,
+                     double observed_min_score) {
+  if (pref.IsCategorical()) return static_cast<int64_t>(key.score);
+  return ComputeDistance(pref, key, observed_min_score) == 0.0 ? 1 : 2;
+}
+
+bool ComputeTop(const BasePreference& pref, const LeafKey& key,
+                double observed_min_score) {
+  return ComputeDistance(pref, key, observed_min_score) == 0.0;
+}
+
+}  // namespace prefsql

@@ -1,0 +1,66 @@
+// Quality functions TOP / LEVEL / DISTANCE (answer explanation, §2.2.3) and
+// the BUT ONLY quality-control clause (§2.2.4).
+
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "preference/composite.h"
+#include "sql/ast.h"
+#include "util/status.h"
+
+namespace prefsql {
+
+/// The three quality functions of §2.2.3.
+enum class QualityFn { kTop, kLevel, kDistance };
+
+/// Placement of the BUT ONLY threshold relative to the dominance test. The
+/// paper states both that the condition "is logically tested after applying
+/// the preferences" (§2.2.5, the default here) and that the BMO process
+/// "consider[s] all other values within the BUT ONLY quality threshold"
+/// (pre-filtering). See DESIGN.md; both are implemented.
+enum class ButOnlyMode {
+  kPostFilter,  ///< compute BMO over all candidates, then apply BUT ONLY
+  kPreFilter,   ///< restrict candidates by BUT ONLY, then compute BMO
+};
+
+/// Maps "top"/"level"/"distance" to the enum; error otherwise.
+Result<QualityFn> QualityFnFromName(const std::string& lower_name);
+
+/// True iff `lower_name` is a quality function name.
+bool IsQualityFunction(const std::string& lower_name);
+
+/// Callback producing the replacement expression for one quality call.
+using QualityExprFactory =
+    std::function<Result<ExprPtr>(QualityFn fn, const std::string& column)>;
+
+/// Deep-rewrites `expr`, replacing every quality call TOP(a)/LEVEL(a)/
+/// DISTANCE(a) — whose argument must be a single column reference — by the
+/// expression `make` returns. Other nodes are cloned unchanged.
+Result<ExprPtr> RewriteQualityCalls(const Expr& expr,
+                                    const QualityExprFactory& make);
+
+/// True iff the tree contains a quality function call.
+bool ContainsQualityCall(const Expr& expr);
+
+// -- Direct (in-engine) quality computation --------------------------------
+//
+// DISTANCE(A) = score - offset where offset is the leaf's QualityOffset(),
+// or the minimum observed score for HIGHEST/LOWEST (distance from the
+// observed optimum). LEVEL(A) is the integer level for categorical
+// preferences and 1/2 (perfect / not perfect) for numeric ones. TOP(A) is
+// DISTANCE(A) = 0.
+
+double ComputeDistance(const BasePreference& pref, const LeafKey& key,
+                       double observed_min_score);
+int64_t ComputeLevel(const BasePreference& pref, const LeafKey& key,
+                     double observed_min_score);
+bool ComputeTop(const BasePreference& pref, const LeafKey& key,
+                double observed_min_score);
+
+/// The offset actually used for a leaf: QualityOffset() when fixed, else
+/// `observed_min_score`.
+double EffectiveOffset(const BasePreference& pref, double observed_min_score);
+
+}  // namespace prefsql

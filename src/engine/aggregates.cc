@@ -1,0 +1,78 @@
+#include "engine/aggregates.h"
+
+namespace prefsql {
+
+Result<AggregateKind> AggregateKindFromName(const std::string& lower_name,
+                                            bool star_arg) {
+  if (lower_name == "count") {
+    return star_arg ? AggregateKind::kCountStar : AggregateKind::kCount;
+  }
+  if (star_arg) {
+    return Status::InvalidArgument("'*' is only valid in COUNT(*)");
+  }
+  if (lower_name == "sum") return AggregateKind::kSum;
+  if (lower_name == "avg") return AggregateKind::kAvg;
+  if (lower_name == "min") return AggregateKind::kMin;
+  if (lower_name == "max") return AggregateKind::kMax;
+  return Status::InvalidArgument("unknown aggregate: " + lower_name);
+}
+
+Status AggregateAccumulator::Add(const Value& v) {
+  if (kind_ == AggregateKind::kCountStar) {
+    ++count_;
+    return Status::OK();
+  }
+  if (v.is_null()) return Status::OK();
+  if (distinct_) {
+    if (!seen_.insert(v).second) return Status::OK();
+  }
+  switch (kind_) {
+    case AggregateKind::kCount:
+      ++count_;
+      return Status::OK();
+    case AggregateKind::kSum:
+    case AggregateKind::kAvg: {
+      auto n = v.ToNumeric();
+      if (!n) {
+        return Status::InvalidArgument("SUM/AVG requires numeric input, got '" +
+                                       v.ToString() + "'");
+      }
+      if (v.type() != ValueType::kInt) sum_is_int_ = false;
+      isum_ += v.type() == ValueType::kInt ? v.AsInt() : 0;
+      sum_ += *n;
+      ++count_;
+      return Status::OK();
+    }
+    case AggregateKind::kMin:
+      if (min_.is_null() || Value::Compare(v, min_) < 0) min_ = v;
+      ++count_;
+      return Status::OK();
+    case AggregateKind::kMax:
+      if (max_.is_null() || Value::Compare(v, max_) > 0) max_ = v;
+      ++count_;
+      return Status::OK();
+    default:
+      return Status::Internal("unreachable");
+  }
+}
+
+Value AggregateAccumulator::Finish() const {
+  switch (kind_) {
+    case AggregateKind::kCountStar:
+    case AggregateKind::kCount:
+      return Value::Int(count_);
+    case AggregateKind::kSum:
+      if (count_ == 0) return Value::Null();
+      return sum_is_int_ ? Value::Int(isum_) : Value::Double(sum_);
+    case AggregateKind::kAvg:
+      if (count_ == 0) return Value::Null();
+      return Value::Double(sum_ / static_cast<double>(count_));
+    case AggregateKind::kMin:
+      return count_ == 0 ? Value::Null() : min_;
+    case AggregateKind::kMax:
+      return count_ == 0 ? Value::Null() : max_;
+  }
+  return Value::Null();
+}
+
+}  // namespace prefsql

@@ -1,0 +1,50 @@
+// Aggregate accumulators for GROUP BY / scalar aggregation.
+
+#pragma once
+
+#include <set>
+#include <string>
+
+#include "types/value.h"
+#include "util/status.h"
+
+namespace prefsql {
+
+/// Supported aggregate functions.
+enum class AggregateKind { kCountStar, kCount, kSum, kAvg, kMin, kMax };
+
+/// Maps a function name + argument shape to its AggregateKind.
+Result<AggregateKind> AggregateKindFromName(const std::string& lower_name,
+                                            bool star_arg);
+
+/// Streaming accumulator for one aggregate over one group. NULL inputs are
+/// skipped (except COUNT(*)); empty input yields COUNT 0 and NULL otherwise.
+class AggregateAccumulator {
+ public:
+  AggregateAccumulator(AggregateKind kind, bool distinct)
+      : kind_(kind), distinct_(distinct) {}
+
+  /// Feeds one input value (the evaluated argument; ignored for COUNT(*)).
+  Status Add(const Value& v);
+
+  /// Final aggregate value for the group.
+  Value Finish() const;
+
+ private:
+  struct ValueLess {
+    bool operator()(const Value& a, const Value& b) const {
+      return Value::Compare(a, b) < 0;
+    }
+  };
+
+  AggregateKind kind_;
+  bool distinct_;
+  int64_t count_ = 0;
+  double sum_ = 0.0;
+  bool sum_is_int_ = true;
+  int64_t isum_ = 0;
+  Value min_, max_;
+  std::set<Value, ValueLess> seen_;  // DISTINCT dedup
+};
+
+}  // namespace prefsql

@@ -1,0 +1,233 @@
+#include "engine/csv.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+namespace prefsql {
+namespace {
+
+// Splits CSV text into records of raw fields; handles quoted fields with
+// doubled-quote escapes and embedded newlines.
+Result<std::vector<std::vector<std::pair<std::string, bool>>>> SplitCsv(
+    const std::string& text, char sep) {
+  std::vector<std::vector<std::pair<std::string, bool>>> records;
+  std::vector<std::pair<std::string, bool>> record;  // (field, was_quoted)
+  std::string field;
+  bool quoted = false;    // current field was quoted
+  bool in_quotes = false;
+  size_t i = 0;
+  auto end_field = [&] {
+    record.emplace_back(std::move(field), quoted);
+    field.clear();
+    quoted = false;
+  };
+  auto end_record = [&] {
+    end_field();
+    // Skip completely empty trailing lines.
+    if (record.size() > 1 || !record[0].first.empty() || record[0].second) {
+      records.push_back(std::move(record));
+    }
+    record.clear();
+  };
+  while (i < text.size()) {
+    char c = text[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < text.size() && text[i + 1] == '"') {
+          field += '"';
+          i += 2;
+          continue;
+        }
+        in_quotes = false;
+        ++i;
+        continue;
+      }
+      field += c;
+      ++i;
+      continue;
+    }
+    if (c == '"' && field.empty()) {
+      in_quotes = true;
+      quoted = true;
+      ++i;
+      continue;
+    }
+    if (c == sep) {
+      end_field();
+      ++i;
+      continue;
+    }
+    if (c == '\n' || c == '\r') {
+      if (c == '\r' && i + 1 < text.size() && text[i + 1] == '\n') ++i;
+      end_record();
+      ++i;
+      continue;
+    }
+    field += c;
+    ++i;
+  }
+  if (in_quotes) {
+    return Status::InvalidArgument("unterminated quoted CSV field");
+  }
+  if (!field.empty() || !record.empty()) end_record();
+  return records;
+}
+
+bool LooksLikeInt(const std::string& s) {
+  if (s.empty()) return false;
+  size_t i = (s[0] == '-' || s[0] == '+') ? 1 : 0;
+  if (i == s.size()) return false;
+  for (; i < s.size(); ++i) {
+    if (!std::isdigit(static_cast<unsigned char>(s[i]))) return false;
+  }
+  return true;
+}
+
+bool LooksLikeDouble(const std::string& s) {
+  if (s.empty()) return false;
+  char* end = nullptr;
+  std::strtod(s.c_str(), &end);
+  return end != nullptr && *end == '\0' && end != s.c_str();
+}
+
+Value FieldToValue(const std::string& raw, bool was_quoted) {
+  if (!was_quoted) {
+    if (raw.empty()) return Value::Null();
+    if (LooksLikeInt(raw)) {
+      return Value::Int(std::strtoll(raw.c_str(), nullptr, 10));
+    }
+    if (LooksLikeDouble(raw)) {
+      return Value::Double(std::strtod(raw.c_str(), nullptr));
+    }
+  }
+  return Value::Text(raw);
+}
+
+std::string EscapeField(const std::string& s, char sep) {
+  bool needs_quotes = s.find(sep) != std::string::npos ||
+                      s.find('"') != std::string::npos ||
+                      s.find('\n') != std::string::npos;
+  if (!needs_quotes) return s;
+  std::string out = "\"";
+  for (char c : s) {
+    if (c == '"') out += "\"\"";
+    else out += c;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+Result<ResultTable> ParseCsv(const std::string& text,
+                             const CsvOptions& options) {
+  PSQL_ASSIGN_OR_RETURN(auto records, SplitCsv(text, options.separator));
+  if (records.empty()) {
+    return Status::InvalidArgument("empty CSV input");
+  }
+  std::vector<std::string> names;
+  size_t first_data = 0;
+  if (options.has_header) {
+    for (const auto& [field, quoted] : records[0]) names.push_back(field);
+    first_data = 1;
+  } else {
+    for (size_t c = 0; c < records[0].size(); ++c) {
+      names.push_back("c" + std::to_string(c));
+    }
+  }
+  std::vector<Row> rows;
+  for (size_t r = first_data; r < records.size(); ++r) {
+    if (records[r].size() != names.size()) {
+      return Status::InvalidArgument(
+          "CSV record " + std::to_string(r + 1) + " has " +
+          std::to_string(records[r].size()) + " fields, expected " +
+          std::to_string(names.size()));
+    }
+    Row row;
+    row.reserve(names.size());
+    for (const auto& [field, quoted] : records[r]) {
+      row.push_back(FieldToValue(field, quoted));
+    }
+    rows.push_back(std::move(row));
+  }
+  return ResultTable(Schema::FromNames(names), std::move(rows));
+}
+
+Result<size_t> ImportCsv(Database& db, const std::string& table,
+                         const std::string& text, const CsvOptions& options) {
+  PSQL_ASSIGN_OR_RETURN(ResultTable data, ParseCsv(text, options));
+  if (!db.catalog().HasTable(table)) {
+    // Infer column types from the first data row (TEXT when absent/NULL).
+    std::vector<ColumnDef> cols;
+    for (size_t c = 0; c < data.num_columns(); ++c) {
+      ColumnType type = ColumnType::kText;
+      if (data.num_rows() > 0) {
+        switch (data.at(0, c).type()) {
+          case ValueType::kInt:
+            type = ColumnType::kInt;
+            break;
+          case ValueType::kDouble:
+            type = ColumnType::kDouble;
+            break;
+          default:
+            type = ColumnType::kText;
+            break;
+        }
+      }
+      cols.push_back({data.schema().column(c).name, type});
+    }
+    PSQL_RETURN_IF_ERROR(db.catalog().CreateTable(table, cols, false));
+  }
+  PSQL_ASSIGN_OR_RETURN(Table * target, db.catalog().GetTable(table));
+  for (Row& row : data.rows()) {
+    PSQL_RETURN_IF_ERROR(target->Insert(std::move(row)));
+  }
+  return data.num_rows();
+}
+
+std::string ToCsv(const ResultTable& table, const CsvOptions& options) {
+  std::string out;
+  if (options.has_header) {
+    for (size_t c = 0; c < table.num_columns(); ++c) {
+      if (c) out += options.separator;
+      out += EscapeField(table.schema().column(c).name, options.separator);
+    }
+    out += '\n';
+  }
+  for (size_t r = 0; r < table.num_rows(); ++r) {
+    for (size_t c = 0; c < table.num_columns(); ++c) {
+      if (c) out += options.separator;
+      const Value& v = table.at(r, c);
+      if (v.is_null()) continue;  // NULL renders as an empty field
+      out += EscapeField(v.ToString(), options.separator);
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+Result<size_t> ImportCsvFile(Database& db, const std::string& table,
+                             const std::string& path,
+                             const CsvOptions& options) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return Status::NotFound("cannot open CSV file: " + path);
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return ImportCsv(db, table, buffer.str(), options);
+}
+
+Status ExportCsvFile(const ResultTable& table, const std::string& path,
+                     const CsvOptions& options) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    return Status::InvalidArgument("cannot open file for writing: " + path);
+  }
+  out << ToCsv(table, options);
+  return Status::OK();
+}
+
+}  // namespace prefsql

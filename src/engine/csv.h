@@ -1,0 +1,45 @@
+// CSV import/export: load real datasets into tables and dump query results,
+// so the library is usable beyond the built-in generators (and so the
+// benchmarks can be re-run against external data).
+
+#pragma once
+
+#include <string>
+
+#include "engine/database.h"
+#include "types/result_table.h"
+#include "util/status.h"
+
+namespace prefsql {
+
+/// RFC-4180-style options (subset): comma separator, '"' quoting with ""
+/// escapes, optional header row.
+struct CsvOptions {
+  char separator = ',';
+  bool has_header = true;
+};
+
+/// Parses CSV text into rows of TEXT/INT/DOUBLE values (numeric-looking
+/// fields become numbers, empty unquoted fields become NULL).
+Result<ResultTable> ParseCsv(const std::string& text,
+                             const CsvOptions& options = {});
+
+/// Imports CSV text into `table`. If the table does not exist it is created
+/// with column names from the header (or c0, c1, ... without one); column
+/// types are inferred from the first data row (INTEGER / DOUBLE / TEXT).
+/// Returns the number of inserted rows.
+Result<size_t> ImportCsv(Database& db, const std::string& table,
+                         const std::string& text,
+                         const CsvOptions& options = {});
+
+/// Renders a result table as CSV (header + rows; quotes where needed).
+std::string ToCsv(const ResultTable& table, const CsvOptions& options = {});
+
+/// File variants.
+Result<size_t> ImportCsvFile(Database& db, const std::string& table,
+                             const std::string& path,
+                             const CsvOptions& options = {});
+Status ExportCsvFile(const ResultTable& table, const std::string& path,
+                     const CsvOptions& options = {});
+
+}  // namespace prefsql

@@ -1,0 +1,48 @@
+// Database: the "standard SQL DB system" of the paper's architecture figure.
+// Owns a catalog and an executor; parses and runs standard SQL text.
+
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "engine/executor.h"
+#include "storage/catalog.h"
+#include "types/result_table.h"
+#include "util/status.h"
+
+namespace prefsql {
+
+/// An in-memory SQL database (SQL92-entry-level subset, no preferences).
+/// Preference SQL queries are rejected here; they belong to the
+/// prefsql::Connection layer which rewrites them into standard SQL first.
+class Database {
+ public:
+  Database();
+  ~Database();
+
+  Database(const Database&) = delete;
+  Database& operator=(const Database&) = delete;
+
+  /// Parses and runs one statement.
+  Result<ResultTable> Execute(const std::string& sql);
+
+  /// Parses and runs a semicolon-separated script; returns the result of the
+  /// last statement.
+  Result<ResultTable> ExecuteScript(const std::string& sql);
+
+  /// Runs an already-parsed statement.
+  Result<ResultTable> ExecuteStatement(const Statement& stmt);
+
+  /// Runs an already-parsed SELECT.
+  Result<ResultTable> ExecuteSelect(const SelectStmt& select);
+
+  Catalog& catalog() { return catalog_; }
+  Executor& executor() { return *executor_; }
+
+ private:
+  Catalog catalog_;
+  std::unique_ptr<Executor> executor_;
+};
+
+}  // namespace prefsql

@@ -1,0 +1,141 @@
+// Statement execution: SELECT pipeline (FROM/joins, WHERE, GROUP BY/HAVING,
+// DISTINCT, ORDER BY, LIMIT) plus DML and DDL.
+//
+// Everything materializes into ResultTables; base-table scans and view
+// materializations are borrowed rather than copied. Views referenced several
+// times inside one statement (the rewriter's Aux view appears as A1 and A2)
+// are materialized once per top-level statement via a cache.
+
+#pragma once
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "engine/evaluator.h"
+#include "sql/ast.h"
+#include "storage/catalog.h"
+#include "types/result_table.h"
+#include "util/status.h"
+
+namespace prefsql {
+
+/// Executes parsed statements against a catalog.
+class Executor : public SubqueryRunner {
+ public:
+  explicit Executor(Catalog* catalog) : catalog_(catalog) {}
+
+  /// Runs a top-level statement. SELECT returns its result; DML returns a
+  /// one-cell table [rows_affected]; DDL returns an empty table.
+  Result<ResultTable> ExecuteStatement(const Statement& stmt);
+
+  /// Runs a SELECT (used by the preference layer which builds ASTs directly).
+  Result<ResultTable> ExecuteSelect(const SelectStmt& select,
+                                    const EvalContext* outer = nullptr);
+
+  /// SubqueryRunner: correlated subqueries re-enter the executor with the
+  /// outer scope chained.
+  Result<ResultTable> RunSubquery(const SelectStmt& select,
+                                  const EvalContext* outer) override;
+
+  /// Early-exit EXISTS probe (stops at the first row passing WHERE when the
+  /// subquery has no grouping/limit machinery).
+  Result<bool> SubqueryExists(const SelectStmt& select,
+                              const EvalContext* outer) override;
+
+  /// Materializes `FROM ... WHERE ...` of `select`, preserving column
+  /// qualifiers (unlike SELECT *). The Preference SQL layer evaluates
+  /// preference attributes and quality functions against this relation.
+  Result<ResultTable> MaterializeCandidates(const SelectStmt& select);
+
+  /// Projection/distinct/order/limit pipeline over an explicit input
+  /// relation. Public so the Preference SQL layer can project the BMO result
+  /// set with the engine's own rules (alias handling, ordinals, ...).
+  Result<ResultTable> ProjectRows(const std::vector<SelectItem>& items,
+                                  bool distinct,
+                                  const std::vector<OrderItem>& order_by,
+                                  std::optional<int64_t> limit,
+                                  std::optional<int64_t> offset,
+                                  const Schema& in_schema,
+                                  const std::vector<Row>& in_rows,
+                                  const std::vector<uint32_t>& selection) {
+    return ProjectCore(items, distinct, order_by, limit, offset, in_schema,
+                       in_rows, selection, nullptr);
+  }
+
+  /// Inserts all rows of `data` into `table` (column mapping as in INSERT;
+  /// empty `columns` = positional). Returns [rows_affected]. Public so the
+  /// Preference SQL layer can execute INSERT statements whose SELECT has a
+  /// PREFERRING clause (§2.2.5).
+  Result<ResultTable> InsertTable(const std::string& table,
+                                  const std::vector<std::string>& columns,
+                                  const ResultTable& data);
+
+  /// Drops per-statement caches (view materializations). Called by the
+  /// Database facade between top-level statements.
+  void ClearStatementCache() { view_cache_.clear(); }
+
+  Catalog* catalog() { return catalog_; }
+
+  /// Execution counters (monotone per executor; used by tests and benches).
+  struct Stats {
+    uint64_t index_scans = 0;  ///< WHERE clauses served via a secondary index
+    uint64_t full_scans = 0;   ///< WHERE clauses evaluated by full scan
+  };
+  const Stats& stats() const { return stats_; }
+
+ private:
+  /// A resolved FROM source: schema plus row storage (owned or borrowed).
+  struct Source {
+    Schema schema;
+    std::vector<Row> owned;
+    const std::vector<Row>* borrowed = nullptr;
+    std::shared_ptr<ResultTable> keepalive;  // pins a cached view
+    const std::vector<Row>& data() const {
+      return borrowed != nullptr ? *borrowed : owned;
+    }
+  };
+
+  Result<Source> ResolveTableRef(const TableRef& tr, const EvalContext* outer);
+  Result<Source> ResolveFromList(
+      const std::vector<std::unique_ptr<TableRef>>& from,
+      const EvalContext* outer);
+  Result<Source> ExecuteJoin(const TableRef& tr, const EvalContext* outer);
+
+  Result<ResultTable> ProjectCore(const std::vector<SelectItem>& items,
+                                  bool distinct,
+                                  const std::vector<OrderItem>& order_by,
+                                  std::optional<int64_t> limit,
+                                  std::optional<int64_t> offset,
+                                  const Schema& in_schema,
+                                  const std::vector<Row>& in_rows,
+                                  const std::vector<uint32_t>& selection,
+                                  const EvalContext* outer);
+  Result<ResultTable> ProjectGrouped(const SelectStmt& select,
+                                     const Source& input,
+                                     const std::vector<uint32_t>& selection,
+                                     const EvalContext* outer);
+
+  /// Index-assisted scan: if `where` has equality conjuncts covering all
+  /// key columns of an index on `table_name`, returns the matching row
+  /// positions (callers still re-apply the full WHERE). nullopt = no index.
+  std::optional<std::vector<size_t>> TryIndexLookup(
+      const std::string& table_name, const std::string& visible_alias,
+      const Expr& where);
+
+  /// Computes the post-WHERE selection over a resolved source, using an
+  /// index when `from` is a single base table with a matching index.
+  Result<std::vector<uint32_t>> ComputeSelection(
+      const SelectStmt& select, const Source& input, const EvalContext* outer);
+
+  Result<ResultTable> ExecuteInsert(const Statement& stmt);
+  Result<ResultTable> ExecuteUpdate(const Statement& stmt);
+  Result<ResultTable> ExecuteDelete(const Statement& stmt);
+
+  Catalog* catalog_;
+  std::unordered_map<std::string, std::shared_ptr<ResultTable>> view_cache_;
+  Stats stats_;
+};
+
+}  // namespace prefsql

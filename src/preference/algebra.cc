@@ -1,0 +1,15 @@
+#include "preference/algebra.h"
+
+namespace prefsql {
+
+Result<ExprPtr> DualBasePreference::ScoreExpr(const Expr& attr) const {
+  // 0 - inner score: negation preserves the single-column encoding whenever
+  // the inner preference has one (non-weak-order EXPLICIT still refuses,
+  // and the query layer falls back to in-engine evaluation).
+  PSQL_ASSIGN_OR_RETURN(ExprPtr inner_expr, inner_->ScoreExpr(attr));
+  return Expr::MakeBinary(BinaryOp::kSub,
+                          Expr::MakeLiteral(Value::Double(0.0)),
+                          std::move(inner_expr));
+}
+
+}  // namespace prefsql

@@ -1,0 +1,30 @@
+#include "preference/preference.h"
+
+namespace prefsql {
+
+const char* RelToString(Rel rel) {
+  switch (rel) {
+    case Rel::kBetter:
+      return "better";
+    case Rel::kWorse:
+      return "worse";
+    case Rel::kEquivalent:
+      return "equivalent";
+    case Rel::kIncomparable:
+      return "incomparable";
+  }
+  return "?";
+}
+
+Rel FlipRel(Rel rel) {
+  switch (rel) {
+    case Rel::kBetter:
+      return Rel::kWorse;
+    case Rel::kWorse:
+      return Rel::kBetter;
+    default:
+      return rel;
+  }
+}
+
+}  // namespace prefsql

@@ -1,0 +1,100 @@
+#include "preference/validate.h"
+
+#include "util/string_util.h"
+
+namespace prefsql {
+
+Status CheckStrictPartialOrder(const CompiledPreference& pref,
+                               const std::vector<PrefKey>& keys) {
+  const size_t n = keys.size();
+  // Irreflexivity: Compare(k, k) must be equivalent, never better/worse.
+  for (size_t i = 0; i < n; ++i) {
+    if (pref.Compare(keys[i], keys[i]) != Rel::kEquivalent) {
+      return Status::Internal(StringPrintf(
+          "irreflexivity violated: key %zu compares non-equivalent to itself",
+          i));
+    }
+  }
+  // Asymmetry + consistency of the flipped comparison.
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < n; ++j) {
+      Rel ij = pref.Compare(keys[i], keys[j]);
+      Rel ji = pref.Compare(keys[j], keys[i]);
+      if (ji != FlipRel(ij)) {
+        return Status::Internal(StringPrintf(
+            "asymmetry violated between keys %zu and %zu: %s vs %s", i, j,
+            RelToString(ij), RelToString(ji)));
+      }
+    }
+  }
+  // Transitivity of dominance and of equivalence.
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < n; ++j) {
+      Rel ij = pref.Compare(keys[i], keys[j]);
+      if (ij != Rel::kBetter && ij != Rel::kEquivalent) continue;
+      for (size_t k = 0; k < n; ++k) {
+        Rel jk = pref.Compare(keys[j], keys[k]);
+        Rel ik = pref.Compare(keys[i], keys[k]);
+        if (ij == Rel::kBetter && jk == Rel::kBetter && ik != Rel::kBetter) {
+          return Status::Internal(StringPrintf(
+              "transitivity violated: %zu>%zu and %zu>%zu but %zu vs %zu is %s",
+              i, j, j, k, i, k, RelToString(ik)));
+        }
+        if (ij == Rel::kEquivalent && jk == Rel::kEquivalent &&
+            ik != Rel::kEquivalent) {
+          return Status::Internal(StringPrintf(
+              "equivalence not transitive across keys %zu, %zu, %zu", i, j, k));
+        }
+        // Mixed: better . equivalent = better.
+        if (ij == Rel::kBetter && jk == Rel::kEquivalent &&
+            ik != Rel::kBetter) {
+          return Status::Internal(StringPrintf(
+              "substitutability violated across keys %zu, %zu, %zu", i, j, k));
+        }
+      }
+    }
+  }
+  // LexLess must be a linear extension: a dominates b => LexLess(a, b).
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < n; ++j) {
+      if (pref.Compare(keys[i], keys[j]) == Rel::kBetter &&
+          !pref.LexLess(keys[i], keys[j])) {
+        return Status::Internal(StringPrintf(
+            "LexLess is not a linear extension for keys %zu, %zu", i, j));
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Status CheckBmoIsMaximalSet(const CompiledPreference& pref,
+                            const std::vector<PrefKey>& keys,
+                            const std::vector<size_t>& bmo) {
+  std::vector<bool> in_bmo(keys.size(), false);
+  for (size_t idx : bmo) {
+    if (idx >= keys.size()) {
+      return Status::Internal("BMO index out of range");
+    }
+    in_bmo[idx] = true;
+  }
+  for (size_t i = 0; i < keys.size(); ++i) {
+    bool dominated = false;
+    for (size_t j = 0; j < keys.size(); ++j) {
+      if (pref.Compare(keys[j], keys[i]) == Rel::kBetter) {
+        dominated = true;
+        break;
+      }
+    }
+    if (in_bmo[i] && dominated) {
+      return Status::Internal(StringPrintf(
+          "BMO contains dominated key %zu", i));
+    }
+    if (!in_bmo[i] && !dominated) {
+      return Status::Internal(StringPrintf(
+          "BMO is missing maximal key %zu", i));
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace prefsql

@@ -1,0 +1,30 @@
+// Strict-partial-order validation utilities.
+//
+// The preference model promises (§2.1) that every preference is an
+// irreflexive, transitive, asymmetric relation. These checks verify that
+// promise over a concrete key sample; they back the property-test suite and
+// can be enabled as a debugging aid on real query keys.
+
+#pragma once
+
+#include <vector>
+
+#include "preference/composite.h"
+#include "util/status.h"
+
+namespace prefsql {
+
+/// Verifies irreflexivity, asymmetry and transitivity of `pref` over all
+/// pairs/triples of `keys` (O(n^3); intended for tests with small samples).
+/// Also checks that LexLess is a linear extension of the order.
+Status CheckStrictPartialOrder(const CompiledPreference& pref,
+                               const std::vector<PrefKey>& keys);
+
+/// Verifies that `bmo` is exactly the set of maximal elements of `keys`:
+/// no result key is dominated by any input key, and every non-result key is
+/// dominated by some input key. `bmo` holds indices into `keys`.
+Status CheckBmoIsMaximalSet(const CompiledPreference& pref,
+                            const std::vector<PrefKey>& keys,
+                            const std::vector<size_t>& bmo);
+
+}  // namespace prefsql

@@ -1,0 +1,188 @@
+#include "sql/lexer.h"
+
+#include <cctype>
+#include <cstdlib>
+
+#include "util/string_util.h"
+
+namespace prefsql {
+namespace {
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+}  // namespace
+
+Result<std::vector<Token>> Tokenize(const std::string& input) {
+  std::vector<Token> out;
+  size_t i = 0;
+  const size_t n = input.size();
+  auto push = [&](TokenType t, std::string text, size_t off) {
+    Token tok;
+    tok.type = t;
+    tok.text = std::move(text);
+    tok.offset = off;
+    out.push_back(std::move(tok));
+  };
+  while (i < n) {
+    char c = input[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    // Line comment.
+    if (c == '-' && i + 1 < n && input[i + 1] == '-') {
+      while (i < n && input[i] != '\n') ++i;
+      continue;
+    }
+    size_t start = i;
+    if (IsIdentStart(c)) {
+      while (i < n && IsIdentChar(input[i])) ++i;
+      std::string word = input.substr(start, i - start);
+      std::string upper = ToUpper(word);
+      if (IsReservedWord(upper)) {
+        push(TokenType::kKeyword, upper, start);
+      } else {
+        push(TokenType::kIdentifier, word, start);
+      }
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && i + 1 < n &&
+         std::isdigit(static_cast<unsigned char>(input[i + 1])))) {
+      bool is_float = false;
+      while (i < n && std::isdigit(static_cast<unsigned char>(input[i]))) ++i;
+      if (i < n && input[i] == '.') {
+        is_float = true;
+        ++i;
+        while (i < n && std::isdigit(static_cast<unsigned char>(input[i]))) ++i;
+      }
+      if (i < n && (input[i] == 'e' || input[i] == 'E')) {
+        size_t save = i;
+        ++i;
+        if (i < n && (input[i] == '+' || input[i] == '-')) ++i;
+        if (i < n && std::isdigit(static_cast<unsigned char>(input[i]))) {
+          is_float = true;
+          while (i < n && std::isdigit(static_cast<unsigned char>(input[i])))
+            ++i;
+        } else {
+          i = save;  // not an exponent, e.g. "12e" -> number then identifier
+        }
+      }
+      std::string num = input.substr(start, i - start);
+      Token tok;
+      tok.offset = start;
+      tok.text = num;
+      if (is_float) {
+        tok.type = TokenType::kFloat;
+        tok.double_value = std::strtod(num.c_str(), nullptr);
+      } else {
+        tok.type = TokenType::kInteger;
+        tok.int_value = std::strtoll(num.c_str(), nullptr, 10);
+      }
+      out.push_back(std::move(tok));
+      continue;
+    }
+    if (c == '\'') {
+      std::string content;
+      ++i;
+      bool closed = false;
+      while (i < n) {
+        if (input[i] == '\'') {
+          if (i + 1 < n && input[i + 1] == '\'') {
+            content += '\'';
+            i += 2;
+          } else {
+            ++i;
+            closed = true;
+            break;
+          }
+        } else {
+          content += input[i++];
+        }
+      }
+      if (!closed) {
+        return Status::ParseError("unterminated string literal at offset " +
+                                  std::to_string(start));
+      }
+      Token tok;
+      tok.type = TokenType::kString;
+      tok.text = std::move(content);
+      tok.offset = start;
+      out.push_back(std::move(tok));
+      continue;
+    }
+    if (c == '"') {
+      // Quoted identifier.
+      std::string content;
+      ++i;
+      bool closed = false;
+      while (i < n) {
+        if (input[i] == '"') {
+          ++i;
+          closed = true;
+          break;
+        }
+        content += input[i++];
+      }
+      if (!closed) {
+        return Status::ParseError("unterminated quoted identifier at offset " +
+                                  std::to_string(start));
+      }
+      push(TokenType::kIdentifier, std::move(content), start);
+      continue;
+    }
+    auto two = [&](char a, char b) {
+      return c == a && i + 1 < n && input[i + 1] == b;
+    };
+    if (two('<', '>') || two('!', '=')) {
+      push(TokenType::kNe, input.substr(i, 2), start);
+      i += 2;
+      continue;
+    }
+    if (two('<', '=')) {
+      push(TokenType::kLe, "<=", start);
+      i += 2;
+      continue;
+    }
+    if (two('>', '=')) {
+      push(TokenType::kGe, ">=", start);
+      i += 2;
+      continue;
+    }
+    if (two('|', '|')) {
+      push(TokenType::kConcat, "||", start);
+      i += 2;
+      continue;
+    }
+    TokenType t;
+    switch (c) {
+      case '(': t = TokenType::kLParen; break;
+      case ')': t = TokenType::kRParen; break;
+      case ',': t = TokenType::kComma; break;
+      case '.': t = TokenType::kDot; break;
+      case ';': t = TokenType::kSemicolon; break;
+      case '*': t = TokenType::kStar; break;
+      case '+': t = TokenType::kPlus; break;
+      case '-': t = TokenType::kMinus; break;
+      case '/': t = TokenType::kSlash; break;
+      case '%': t = TokenType::kPercent; break;
+      case '=': t = TokenType::kEq; break;
+      case '<': t = TokenType::kLt; break;
+      case '>': t = TokenType::kGt; break;
+      default:
+        return Status::ParseError(std::string("unexpected character '") + c +
+                                  "' at offset " + std::to_string(start));
+    }
+    push(t, std::string(1, c), start);
+    ++i;
+  }
+  push(TokenType::kEnd, "", n);
+  return out;
+}
+
+}  // namespace prefsql

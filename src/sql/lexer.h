@@ -1,0 +1,17 @@
+// Hand-written lexer for the SQL / Preference SQL dialect.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sql/token.h"
+#include "util/status.h"
+
+namespace prefsql {
+
+/// Tokenizes `input`. The result always ends with a kEnd token. Comments
+/// (`-- ...` to end of line) and whitespace are skipped.
+Result<std::vector<Token>> Tokenize(const std::string& input);
+
+}  // namespace prefsql

@@ -1,0 +1,27 @@
+// Recursive-descent parser for the SQL / Preference SQL dialect.
+
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sql/ast.h"
+#include "util/status.h"
+
+namespace prefsql {
+
+/// Parses a single statement (a trailing semicolon is allowed).
+Result<Statement> ParseStatement(const std::string& sql);
+
+/// Parses a semicolon-separated script into statements.
+Result<std::vector<Statement>> ParseScript(const std::string& sql);
+
+/// Parses a standalone expression (used by tests).
+Result<ExprPtr> ParseExpression(const std::string& text);
+
+/// Parses a standalone PREFERRING term (used by tests and the preference
+/// builder API), e.g. "price AROUND 40000 AND HIGHEST(power)".
+Result<PrefTermPtr> ParsePreference(const std::string& text);
+
+}  // namespace prefsql

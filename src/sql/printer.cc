@@ -1,0 +1,346 @@
+#include "sql/printer.h"
+
+#include <cctype>
+
+#include "sql/token.h"
+#include "util/string_util.h"
+
+namespace prefsql {
+namespace {
+
+std::string TableRefToSql(const TableRef& tr) {
+  switch (tr.kind) {
+    case TableRef::Kind::kTable: {
+      std::string out = tr.table_name;
+      if (!tr.alias.empty() && !EqualsIgnoreCase(tr.alias, tr.table_name)) {
+        out += " " + tr.alias;
+      }
+      return out;
+    }
+    case TableRef::Kind::kSubquery:
+      return "(" + SelectToSql(*tr.subquery) + ") " + tr.alias;
+    case TableRef::Kind::kJoin: {
+      std::string out = TableRefToSql(*tr.join_left);
+      switch (tr.join_type) {
+        case TableRef::JoinType::kInner:
+          out += " JOIN ";
+          break;
+        case TableRef::JoinType::kLeft:
+          out += " LEFT JOIN ";
+          break;
+        case TableRef::JoinType::kCross:
+          out += " CROSS JOIN ";
+          break;
+      }
+      out += TableRefToSql(*tr.join_right);
+      if (tr.join_on) out += " ON " + ExprToSql(*tr.join_on);
+      return out;
+    }
+  }
+  return "?";
+}
+
+std::string ValueListToSql(const std::vector<Value>& values) {
+  std::vector<std::string> parts;
+  parts.reserve(values.size());
+  for (const auto& v : values) parts.push_back(v.ToSqlLiteral());
+  return Join(parts, ", ");
+}
+
+// Quotes an alias that is not a plain identifier (e.g. "LEVEL(color)").
+std::string AliasToSql(const std::string& alias) {
+  bool plain = !alias.empty() &&
+               (std::isalpha(static_cast<unsigned char>(alias[0])) ||
+                alias[0] == '_');
+  for (char ch : alias) {
+    if (!plain) break;
+    if (!std::isalnum(static_cast<unsigned char>(ch)) && ch != '_') {
+      plain = false;
+    }
+  }
+  if (plain && !IsReservedWord(ToUpper(alias))) return alias;
+  return "\"" + alias + "\"";
+}
+
+}  // namespace
+
+std::string ExprToSql(const Expr& e) {
+  switch (e.kind) {
+    case ExprKind::kLiteral:
+      return e.literal.ToSqlLiteral();
+    case ExprKind::kColumnRef:
+      return e.qualifier.empty() ? e.column : e.qualifier + "." + e.column;
+    case ExprKind::kStar:
+      return e.qualifier.empty() ? "*" : e.qualifier + ".*";
+    case ExprKind::kUnary:
+      if (e.unary_op == UnaryOp::kNot) return "NOT (" + ExprToSql(*e.left) + ")";
+      return "-(" + ExprToSql(*e.left) + ")";
+    case ExprKind::kBinary:
+      return "(" + ExprToSql(*e.left) + " " + BinaryOpToString(e.binary_op) +
+             " " + ExprToSql(*e.right) + ")";
+    case ExprKind::kIn: {
+      std::string out = ExprToSql(*e.left);
+      out += e.negated ? " NOT IN (" : " IN (";
+      if (e.subquery) {
+        out += SelectToSql(*e.subquery);
+      } else {
+        std::vector<std::string> parts;
+        for (const auto& item : e.in_list) parts.push_back(ExprToSql(*item));
+        out += Join(parts, ", ");
+      }
+      out += ")";
+      return out;
+    }
+    case ExprKind::kBetween: {
+      std::string out = ExprToSql(*e.left);
+      out += e.negated ? " NOT BETWEEN " : " BETWEEN ";
+      out += ExprToSql(*e.lo) + " AND " + ExprToSql(*e.hi);
+      return "(" + out + ")";
+    }
+    case ExprKind::kLike:
+      return "(" + ExprToSql(*e.left) + (e.negated ? " NOT LIKE " : " LIKE ") +
+             ExprToSql(*e.right) + ")";
+    case ExprKind::kIsNull:
+      return "(" + ExprToSql(*e.left) +
+             (e.negated ? " IS NOT NULL" : " IS NULL") + ")";
+    case ExprKind::kCase: {
+      std::string out = "CASE";
+      if (e.left) out += " " + ExprToSql(*e.left);
+      for (const auto& cw : e.case_whens) {
+        out += " WHEN " + ExprToSql(*cw.when) + " THEN " + ExprToSql(*cw.then);
+      }
+      if (e.case_else) out += " ELSE " + ExprToSql(*e.case_else);
+      out += " END";
+      return out;
+    }
+    case ExprKind::kFunction: {
+      std::string out = ToUpper(e.function_name) + "(";
+      if (e.distinct_arg) out += "DISTINCT ";
+      std::vector<std::string> parts;
+      for (const auto& a : e.args) parts.push_back(ExprToSql(*a));
+      out += Join(parts, ", ") + ")";
+      return out;
+    }
+    case ExprKind::kExists:
+      return std::string(e.negated ? "NOT " : "") + "EXISTS (" +
+             SelectToSql(*e.subquery) + ")";
+    case ExprKind::kSubquery:
+      return "(" + SelectToSql(*e.subquery) + ")";
+  }
+  return "?";
+}
+
+std::string PrefTermToSql(const PrefTerm& p) {
+  switch (p.kind) {
+    case PrefKind::kAround:
+      return ExprToSql(*p.attr) + " AROUND " + p.target.ToSqlLiteral();
+    case PrefKind::kBetween:
+      return ExprToSql(*p.attr) + " BETWEEN " + p.low.ToSqlLiteral() + ", " +
+             p.high.ToSqlLiteral();
+    case PrefKind::kLowest:
+      return "LOWEST(" + ExprToSql(*p.attr) + ")";
+    case PrefKind::kHighest:
+      return "HIGHEST(" + ExprToSql(*p.attr) + ")";
+    case PrefKind::kPos:
+      if (p.values.size() == 1) {
+        return ExprToSql(*p.attr) + " = " + p.values[0].ToSqlLiteral();
+      }
+      return ExprToSql(*p.attr) + " IN (" + ValueListToSql(p.values) + ")";
+    case PrefKind::kNeg:
+      if (p.values.size() == 1) {
+        return ExprToSql(*p.attr) + " <> " + p.values[0].ToSqlLiteral();
+      }
+      return ExprToSql(*p.attr) + " NOT IN (" + ValueListToSql(p.values) + ")";
+    case PrefKind::kPosPos: {
+      std::string attr = ExprToSql(*p.attr);
+      std::string first =
+          p.values.size() == 1
+              ? attr + " = " + p.values[0].ToSqlLiteral()
+              : attr + " IN (" + ValueListToSql(p.values) + ")";
+      std::string second =
+          p.values2.size() == 1
+              ? attr + " = " + p.values2[0].ToSqlLiteral()
+              : attr + " IN (" + ValueListToSql(p.values2) + ")";
+      return first + " ELSE " + second;
+    }
+    case PrefKind::kPosNeg: {
+      std::string attr = ExprToSql(*p.attr);
+      std::string first =
+          p.values.size() == 1
+              ? attr + " = " + p.values[0].ToSqlLiteral()
+              : attr + " IN (" + ValueListToSql(p.values) + ")";
+      std::string second =
+          p.values2.size() == 1
+              ? attr + " <> " + p.values2[0].ToSqlLiteral()
+              : attr + " NOT IN (" + ValueListToSql(p.values2) + ")";
+      return first + " ELSE " + second;
+    }
+    case PrefKind::kExplicit: {
+      std::vector<std::string> parts;
+      for (const auto& [better, worse] : p.edges) {
+        parts.push_back(better.ToSqlLiteral() + " BETTER THAN " +
+                        worse.ToSqlLiteral());
+      }
+      return ExprToSql(*p.attr) + " EXPLICIT (" + Join(parts, ", ") + ")";
+    }
+    case PrefKind::kContains:
+      return ExprToSql(*p.attr) + " CONTAINS " + p.target.ToSqlLiteral();
+    case PrefKind::kNamedRef:
+      return "PREFERENCE " + p.pref_name;
+    case PrefKind::kPareto: {
+      std::vector<std::string> parts;
+      for (const auto& c : p.children) {
+        std::string s = PrefTermToSql(*c);
+        if (!c->IsBase()) s = "(" + s + ")";
+        parts.push_back(std::move(s));
+      }
+      return Join(parts, " AND ");
+    }
+    case PrefKind::kPrioritized: {
+      std::vector<std::string> parts;
+      for (const auto& c : p.children) {
+        std::string s = PrefTermToSql(*c);
+        if (c->kind == PrefKind::kPrioritized) s = "(" + s + ")";
+        parts.push_back(std::move(s));
+      }
+      return Join(parts, " CASCADE ");
+    }
+    case PrefKind::kIntersect: {
+      std::vector<std::string> parts;
+      for (const auto& c : p.children) {
+        std::string s = PrefTermToSql(*c);
+        if (!c->IsBase()) s = "(" + s + ")";
+        parts.push_back(std::move(s));
+      }
+      return Join(parts, " INTERSECT ");
+    }
+    case PrefKind::kDual:
+      return "DUAL(" + PrefTermToSql(*p.children[0]) + ")";
+  }
+  return "?";
+}
+
+std::string SelectToSql(const SelectStmt& s) {
+  std::string out = "SELECT ";
+  if (s.distinct) out += "DISTINCT ";
+  std::vector<std::string> items;
+  for (const auto& item : s.items) {
+    std::string t = ExprToSql(*item.expr);
+    if (!item.alias.empty()) t += " AS " + AliasToSql(item.alias);
+    items.push_back(std::move(t));
+  }
+  out += Join(items, ", ");
+  if (!s.from.empty()) {
+    out += " FROM ";
+    std::vector<std::string> froms;
+    for (const auto& tr : s.from) froms.push_back(TableRefToSql(*tr));
+    out += Join(froms, ", ");
+  }
+  if (s.where) out += " WHERE " + ExprToSql(*s.where);
+  if (s.preferring) {
+    out += " PREFERRING " + PrefTermToSql(*s.preferring);
+    if (!s.grouping.empty()) out += " GROUPING " + Join(s.grouping, ", ");
+    if (s.but_only) out += " BUT ONLY " + ExprToSql(*s.but_only);
+  }
+  if (!s.group_by.empty()) {
+    std::vector<std::string> parts;
+    for (const auto& g : s.group_by) parts.push_back(ExprToSql(*g));
+    out += " GROUP BY " + Join(parts, ", ");
+    if (s.having) out += " HAVING " + ExprToSql(*s.having);
+  }
+  if (!s.order_by.empty()) {
+    std::vector<std::string> parts;
+    for (const auto& o : s.order_by) {
+      parts.push_back(ExprToSql(*o.expr) + (o.ascending ? "" : " DESC"));
+    }
+    out += " ORDER BY " + Join(parts, ", ");
+  }
+  if (s.limit) out += " LIMIT " + std::to_string(*s.limit);
+  if (s.offset) out += " OFFSET " + std::to_string(*s.offset);
+  return out;
+}
+
+std::string StatementToSql(const Statement& st) {
+  switch (st.kind) {
+    case StatementKind::kSelect:
+      return SelectToSql(*st.select);
+    case StatementKind::kCreateTable: {
+      std::string out = "CREATE TABLE ";
+      if (st.if_not_exists) out += "IF NOT EXISTS ";
+      out += st.name + " (";
+      std::vector<std::string> cols;
+      for (const auto& c : st.columns) {
+        const char* t = "TEXT";
+        switch (c.type) {
+          case ColumnType::kInt: t = "INTEGER"; break;
+          case ColumnType::kDouble: t = "DOUBLE"; break;
+          case ColumnType::kText: t = "TEXT"; break;
+          case ColumnType::kBool: t = "BOOLEAN"; break;
+          case ColumnType::kDate: t = "DATE"; break;
+        }
+        cols.push_back(c.name + " " + t);
+      }
+      out += Join(cols, ", ") + ")";
+      return out;
+    }
+    case StatementKind::kCreateView:
+      return "CREATE VIEW " + st.name + " AS " + SelectToSql(*st.select);
+    case StatementKind::kCreateIndex:
+      return "CREATE INDEX " + st.name + " ON " + st.on_table + " (" +
+             Join(st.index_columns, ", ") + ")";
+    case StatementKind::kCreatePreference:
+      return "CREATE PREFERENCE " + st.name + " AS " +
+             PrefTermToSql(*st.preference);
+    case StatementKind::kExplain:
+      return "EXPLAIN " + SelectToSql(*st.select);
+    case StatementKind::kInsert: {
+      std::string out = "INSERT INTO " + st.name;
+      if (!st.insert_columns.empty()) {
+        out += " (" + Join(st.insert_columns, ", ") + ")";
+      }
+      if (st.select) {
+        out += " " + SelectToSql(*st.select);
+      } else {
+        out += " VALUES ";
+        std::vector<std::string> rows;
+        for (const auto& row : st.insert_rows) {
+          std::vector<std::string> vals;
+          for (const auto& e : row) vals.push_back(ExprToSql(*e));
+          rows.push_back("(" + Join(vals, ", ") + ")");
+        }
+        out += Join(rows, ", ");
+      }
+      return out;
+    }
+    case StatementKind::kUpdate: {
+      std::string out = "UPDATE " + st.name + " SET ";
+      std::vector<std::string> parts;
+      for (const auto& [col, e] : st.assignments) {
+        parts.push_back(col + " = " + ExprToSql(*e));
+      }
+      out += Join(parts, ", ");
+      if (st.where) out += " WHERE " + ExprToSql(*st.where);
+      return out;
+    }
+    case StatementKind::kDelete: {
+      std::string out = "DELETE FROM " + st.name;
+      if (st.where) out += " WHERE " + ExprToSql(*st.where);
+      return out;
+    }
+    case StatementKind::kDrop: {
+      std::string out = "DROP ";
+      switch (st.drop_kind) {
+        case Statement::DropKind::kTable: out += "TABLE "; break;
+        case Statement::DropKind::kView: out += "VIEW "; break;
+        case Statement::DropKind::kIndex: out += "INDEX "; break;
+        case Statement::DropKind::kPreference: out += "PREFERENCE "; break;
+      }
+      if (st.if_exists) out += "IF EXISTS ";
+      out += st.name;
+      return out;
+    }
+  }
+  return "?";
+}
+
+}  // namespace prefsql

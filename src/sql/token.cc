@@ -1,0 +1,50 @@
+#include "sql/token.h"
+
+#include <unordered_set>
+
+#include "util/string_util.h"
+
+namespace prefsql {
+
+bool Token::IsKeyword(const char* kw) const {
+  return type == TokenType::kKeyword && text == kw;
+}
+
+std::string Token::Describe() const {
+  switch (type) {
+    case TokenType::kEnd:
+      return "<end of input>";
+    case TokenType::kIdentifier:
+      return "identifier '" + text + "'";
+    case TokenType::kKeyword:
+      return "keyword " + text;
+    case TokenType::kString:
+      return "string '" + text + "'";
+    case TokenType::kInteger:
+      return "integer " + std::to_string(int_value);
+    case TokenType::kFloat:
+      return "number";
+    default:
+      return "'" + text + "'";
+  }
+}
+
+bool IsReservedWord(const std::string& upper) {
+  static const std::unordered_set<std::string> kWords = {
+      // Standard SQL subset.
+      "SELECT", "FROM", "WHERE", "GROUP", "BY", "HAVING", "ORDER", "ASC",
+      "DESC", "LIMIT", "OFFSET", "INSERT", "INTO", "VALUES", "CREATE",
+      "TABLE", "VIEW", "INDEX", "DROP", "UPDATE", "SET", "DELETE", "JOIN",
+      "INNER", "LEFT", "OUTER", "CROSS", "ON", "AS", "AND", "OR", "NOT",
+      "IN", "EXISTS", "BETWEEN", "LIKE", "IS", "NULL", "CASE", "WHEN",
+      "THEN", "ELSE", "END", "DISTINCT", "TRUE", "FALSE", "DATE", "IF",
+      "UNION", "ALL",
+      // Preference SQL extensions (paper §2.2).
+      "PREFERRING", "GROUPING", "BUT", "ONLY", "CASCADE", "AROUND",
+      "PREFERENCE", "EXPLAIN", "DUAL", "INTERSECT",
+      "CONTAINS", "EXPLICIT", "BETTER", "THAN", "LOWEST", "HIGHEST",
+  };
+  return kWords.count(upper) > 0;
+}
+
+}  // namespace prefsql

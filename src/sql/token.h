@@ -1,0 +1,54 @@
+// Token definitions for the SQL / Preference SQL lexer.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace prefsql {
+
+/// Lexical token categories. Keywords are folded into kKeyword with the
+/// upper-cased text in Token::text; Preference-SQL-specific words (AROUND,
+/// CASCADE, LOWEST, ...) are ordinary keywords of the extended dialect.
+enum class TokenType {
+  kEnd,
+  kIdentifier,   ///< bare or "quoted" identifier
+  kKeyword,      ///< reserved word, upper-cased in text
+  kString,       ///< 'single quoted', unescaped content in text
+  kInteger,      ///< integer literal, value in int_value
+  kFloat,        ///< floating literal, value in double_value
+  kLParen,
+  kRParen,
+  kComma,
+  kDot,
+  kSemicolon,
+  kStar,         ///< '*' (multiplication or SELECT *)
+  kPlus,
+  kMinus,
+  kSlash,
+  kPercent,
+  kEq,           ///< '='
+  kNe,           ///< '<>' or '!='
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+  kConcat,       ///< '||'
+};
+
+/// One lexed token with its source offset (for error messages).
+struct Token {
+  TokenType type = TokenType::kEnd;
+  std::string text;       // identifier/keyword/string content
+  int64_t int_value = 0;
+  double double_value = 0.0;
+  size_t offset = 0;      // byte offset in the input
+
+  bool IsKeyword(const char* kw) const;
+  std::string Describe() const;
+};
+
+/// True iff `word` (upper-cased) is a reserved word of the dialect.
+bool IsReservedWord(const std::string& upper);
+
+}  // namespace prefsql

@@ -1,0 +1,186 @@
+#include "storage/catalog.h"
+
+#include "util/string_util.h"
+
+namespace prefsql {
+
+std::string Catalog::Key(const std::string& name) { return ToLower(name); }
+
+Status Catalog::CreateTable(const std::string& name,
+                            std::vector<ColumnDef> columns,
+                            bool if_not_exists) {
+  std::string key = Key(name);
+  if (tables_.count(key) || views_.count(key)) {
+    if (if_not_exists) return Status::OK();
+    return Status::AlreadyExists("table or view '" + name + "' already exists");
+  }
+  if (columns.empty()) {
+    return Status::InvalidArgument("table '" + name + "' needs columns");
+  }
+  for (size_t i = 0; i < columns.size(); ++i) {
+    for (size_t j = i + 1; j < columns.size(); ++j) {
+      if (EqualsIgnoreCase(columns[i].name, columns[j].name)) {
+        return Status::InvalidArgument("duplicate column '" + columns[i].name +
+                                       "' in table " + name);
+      }
+    }
+  }
+  tables_[key] = std::make_unique<Table>(name, std::move(columns));
+  return Status::OK();
+}
+
+Status Catalog::CreateView(const std::string& name,
+                           std::shared_ptr<SelectStmt> definition) {
+  std::string key = Key(name);
+  if (tables_.count(key) || views_.count(key)) {
+    return Status::AlreadyExists("table or view '" + name + "' already exists");
+  }
+  views_[key] = std::move(definition);
+  return Status::OK();
+}
+
+Status Catalog::CreateIndex(const std::string& name, const std::string& table,
+                            const std::vector<std::string>& columns) {
+  std::string key = Key(name);
+  if (indexes_.count(key)) {
+    return Status::AlreadyExists("index '" + name + "' already exists");
+  }
+  PSQL_ASSIGN_OR_RETURN(Table * tbl, GetTable(table));
+  std::vector<size_t> cols;
+  for (const auto& c : columns) {
+    PSQL_ASSIGN_OR_RETURN(size_t idx, tbl->ColumnIndex(c));
+    cols.push_back(idx);
+  }
+  if (cols.empty()) {
+    return Status::InvalidArgument("index '" + name + "' needs key columns");
+  }
+  indexes_[key] = std::make_unique<Index>(name, tbl, std::move(cols));
+  index_table_[key] = Key(table);
+  return Status::OK();
+}
+
+Status Catalog::CreatePreference(const std::string& name,
+                                 PrefTermPtr definition) {
+  std::string key = Key(name);
+  if (preferences_.count(key)) {
+    return Status::AlreadyExists("preference '" + name + "' already exists");
+  }
+  preferences_[key] = std::move(definition);
+  return Status::OK();
+}
+
+Result<const PrefTerm*> Catalog::GetPreference(const std::string& name) const {
+  auto it = preferences_.find(Key(name));
+  if (it == preferences_.end()) {
+    return Status::NotFound("no preference '" + name + "'");
+  }
+  return it->second.get();
+}
+
+bool Catalog::HasPreference(const std::string& name) const {
+  return preferences_.count(Key(name)) > 0;
+}
+
+Status Catalog::Drop(Statement::DropKind kind, const std::string& name,
+                     bool if_exists) {
+  std::string key = Key(name);
+  switch (kind) {
+    case Statement::DropKind::kTable: {
+      auto it = tables_.find(key);
+      if (it == tables_.end()) {
+        if (if_exists) return Status::OK();
+        return Status::NotFound("no table '" + name + "'");
+      }
+      // Drop dependent indexes first.
+      for (auto iit = indexes_.begin(); iit != indexes_.end();) {
+        if (index_table_[iit->first] == key) {
+          index_table_.erase(iit->first);
+          iit = indexes_.erase(iit);
+        } else {
+          ++iit;
+        }
+      }
+      tables_.erase(it);
+      return Status::OK();
+    }
+    case Statement::DropKind::kView: {
+      auto it = views_.find(key);
+      if (it == views_.end()) {
+        if (if_exists) return Status::OK();
+        return Status::NotFound("no view '" + name + "'");
+      }
+      views_.erase(it);
+      return Status::OK();
+    }
+    case Statement::DropKind::kIndex: {
+      auto it = indexes_.find(key);
+      if (it == indexes_.end()) {
+        if (if_exists) return Status::OK();
+        return Status::NotFound("no index '" + name + "'");
+      }
+      index_table_.erase(key);
+      indexes_.erase(it);
+      return Status::OK();
+    }
+    case Statement::DropKind::kPreference: {
+      auto it = preferences_.find(key);
+      if (it == preferences_.end()) {
+        if (if_exists) return Status::OK();
+        return Status::NotFound("no preference '" + name + "'");
+      }
+      preferences_.erase(it);
+      return Status::OK();
+    }
+  }
+  return Status::Internal("unreachable");
+}
+
+Result<Table*> Catalog::GetTable(const std::string& name) const {
+  auto it = tables_.find(Key(name));
+  if (it == tables_.end()) {
+    return Status::NotFound("no table '" + name + "'");
+  }
+  return it->second.get();
+}
+
+Result<std::shared_ptr<SelectStmt>> Catalog::GetView(
+    const std::string& name) const {
+  auto it = views_.find(Key(name));
+  if (it == views_.end()) {
+    return Status::NotFound("no view '" + name + "'");
+  }
+  return it->second;
+}
+
+bool Catalog::HasTable(const std::string& name) const {
+  return tables_.count(Key(name)) > 0;
+}
+
+bool Catalog::HasView(const std::string& name) const {
+  return views_.count(Key(name)) > 0;
+}
+
+std::vector<Index*> Catalog::IndexesOn(const std::string& table) const {
+  std::vector<Index*> out;
+  std::string tkey = Key(table);
+  for (const auto& [iname, tname] : index_table_) {
+    if (tname == tkey) out.push_back(indexes_.at(iname).get());
+  }
+  return out;
+}
+
+Index* Catalog::FindIndex(const std::string& table,
+                          const std::vector<size_t>& columns) const {
+  for (Index* idx : IndexesOn(table)) {
+    if (idx->key_columns() == columns) return idx;
+  }
+  return nullptr;
+}
+
+std::vector<std::string> Catalog::TableNames() const {
+  std::vector<std::string> out;
+  for (const auto& [k, t] : tables_) out.push_back(t->name());
+  return out;
+}
+
+}  // namespace prefsql

@@ -1,0 +1,64 @@
+// Catalog: name -> table / view / index mapping for one database.
+
+#pragma once
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "sql/ast.h"
+#include "storage/index.h"
+#include "storage/table.h"
+#include "util/status.h"
+
+namespace prefsql {
+
+/// Owns all persistent objects of a database instance.
+class Catalog {
+ public:
+  Status CreateTable(const std::string& name, std::vector<ColumnDef> columns,
+                     bool if_not_exists);
+  Status CreateView(const std::string& name,
+                    std::shared_ptr<SelectStmt> definition);
+  Status CreateIndex(const std::string& name, const std::string& table,
+                     const std::vector<std::string>& columns);
+
+  /// Stores a named preference (Preference Definition Language, §2.2). The
+  /// definition must already have nested PREFERENCE references expanded.
+  Status CreatePreference(const std::string& name, PrefTermPtr definition);
+  Result<const PrefTerm*> GetPreference(const std::string& name) const;
+  bool HasPreference(const std::string& name) const;
+
+  Status Drop(Statement::DropKind kind, const std::string& name,
+              bool if_exists);
+
+  /// Base table lookup (views are not returned here).
+  Result<Table*> GetTable(const std::string& name) const;
+  /// View definition lookup.
+  Result<std::shared_ptr<SelectStmt>> GetView(const std::string& name) const;
+  bool HasTable(const std::string& name) const;
+  bool HasView(const std::string& name) const;
+
+  /// Indexes defined on `table`.
+  std::vector<Index*> IndexesOn(const std::string& table) const;
+
+  /// Finds an index on `table` whose key columns are exactly `columns`
+  /// (order-sensitive); nullptr if none.
+  Index* FindIndex(const std::string& table,
+                   const std::vector<size_t>& columns) const;
+
+  std::vector<std::string> TableNames() const;
+
+ private:
+  static std::string Key(const std::string& name);
+
+  std::unordered_map<std::string, std::unique_ptr<Table>> tables_;
+  std::unordered_map<std::string, std::shared_ptr<SelectStmt>> views_;
+  std::unordered_map<std::string, std::unique_ptr<Index>> indexes_;
+  std::unordered_map<std::string, PrefTermPtr> preferences_;
+  // index name -> table key, for IndexesOn.
+  std::unordered_map<std::string, std::string> index_table_;
+};
+
+}  // namespace prefsql

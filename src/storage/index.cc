@@ -1,0 +1,49 @@
+#include "storage/index.h"
+
+#include "storage/table.h"
+
+namespace prefsql {
+
+Index::Index(std::string name, const Table* table,
+             std::vector<size_t> key_columns)
+    : name_(std::move(name)),
+      table_(table),
+      key_columns_(std::move(key_columns)) {}
+
+void Index::RefreshIfStale() {
+  if (built_version_ == table_->version()) return;
+  entries_.clear();
+  const auto& rows = table_->rows();
+  for (size_t i = 0; i < rows.size(); ++i) {
+    Row key;
+    key.reserve(key_columns_.size());
+    for (size_t c : key_columns_) key.push_back(rows[i][c]);
+    entries_[std::move(key)].push_back(i);
+  }
+  built_version_ = table_->version();
+}
+
+const std::vector<size_t>& Index::Lookup(const Row& key) {
+  RefreshIfStale();
+  auto it = entries_.find(key);
+  if (it == entries_.end()) return empty_;
+  return it->second;
+}
+
+std::vector<size_t> Index::RangeLookup(const Value& lo, const Value& hi) {
+  RefreshIfStale();
+  std::vector<size_t> out;
+  auto begin = entries_.lower_bound(Row{lo});
+  for (auto it = begin; it != entries_.end(); ++it) {
+    if (Value::Compare(it->first[0], hi) > 0) break;
+    out.insert(out.end(), it->second.begin(), it->second.end());
+  }
+  return out;
+}
+
+size_t Index::NumDistinctKeys() {
+  RefreshIfStale();
+  return entries_.size();
+}
+
+}  // namespace prefsql

@@ -1,0 +1,61 @@
+// Secondary index: an ordered multimap from key rows to row positions.
+//
+// The paper notes that "having the right indices available current SQL
+// optimizers can efficiently process" the rewritten NOT EXISTS query; the
+// engine uses these indexes for equality lookups in filters and joins.
+
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "types/value.h"
+#include "util/status.h"
+
+namespace prefsql {
+
+class Table;
+
+/// Ordered secondary index over one or more columns of a base table.
+/// Rebuilt lazily when the table version changes (simple and correct for an
+/// analytics-style workload; no incremental maintenance).
+class Index {
+ public:
+  Index(std::string name, const Table* table, std::vector<size_t> key_columns);
+
+  const std::string& name() const { return name_; }
+  const std::vector<size_t>& key_columns() const { return key_columns_; }
+
+  /// Row positions whose key equals `key` (same arity as key_columns).
+  /// Refreshes the index if the table changed.
+  const std::vector<size_t>& Lookup(const Row& key);
+
+  /// Row positions with key in [lo, hi] on a single-column index.
+  std::vector<size_t> RangeLookup(const Value& lo, const Value& hi);
+
+  /// Number of distinct keys (after refresh).
+  size_t NumDistinctKeys();
+
+ private:
+  struct RowLess {
+    bool operator()(const Row& a, const Row& b) const {
+      for (size_t i = 0; i < a.size() && i < b.size(); ++i) {
+        int c = Value::Compare(a[i], b[i]);
+        if (c != 0) return c < 0;
+      }
+      return a.size() < b.size();
+    }
+  };
+
+  void RefreshIfStale();
+
+  std::string name_;
+  const Table* table_;
+  std::vector<size_t> key_columns_;
+  uint64_t built_version_ = ~0ULL;
+  std::map<Row, std::vector<size_t>, RowLess> entries_;
+  std::vector<size_t> empty_;
+};
+
+}  // namespace prefsql

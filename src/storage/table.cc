@@ -1,0 +1,114 @@
+#include "storage/table.h"
+
+#include <cmath>
+
+#include "types/date.h"
+#include "util/string_util.h"
+
+namespace prefsql {
+
+Table::Table(std::string name, std::vector<ColumnDef> columns)
+    : name_(std::move(name)), columns_(std::move(columns)) {
+  std::vector<ColumnInfo> infos;
+  infos.reserve(columns_.size());
+  for (const auto& c : columns_) infos.push_back({"", c.name});
+  schema_ = Schema(std::move(infos));
+}
+
+Result<size_t> Table::ColumnIndex(const std::string& column) const {
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (EqualsIgnoreCase(columns_[i].name, column)) return i;
+  }
+  return Status::NotFound("no column '" + column + "' in table " + name_);
+}
+
+Result<Value> Table::CoerceToColumn(size_t col, Value value) const {
+  if (value.is_null()) return value;
+  switch (columns_[col].type) {
+    case ColumnType::kInt:
+      if (value.type() == ValueType::kInt) return value;
+      if (value.type() == ValueType::kDouble) {
+        double d = value.AsDouble();
+        if (d == std::floor(d)) return Value::Int(static_cast<int64_t>(d));
+      }
+      break;
+    case ColumnType::kDouble:
+      if (value.type() == ValueType::kDouble) return value;
+      if (value.type() == ValueType::kInt) {
+        return Value::Double(static_cast<double>(value.AsInt()));
+      }
+      break;
+    case ColumnType::kText:
+      if (value.type() == ValueType::kText) return value;
+      // Render non-text scalars; keeps INSERT ergonomics close to SQLite.
+      return Value::Text(value.ToString());
+    case ColumnType::kBool:
+      if (value.type() == ValueType::kBool) return value;
+      if (value.type() == ValueType::kInt) {
+        return Value::Bool(value.AsInt() != 0);
+      }
+      break;
+    case ColumnType::kDate:
+      if (value.type() == ValueType::kDate) return value;
+      if (value.type() == ValueType::kText) {
+        auto days = ParseDate(value.AsText());
+        if (days) return Value::Date(*days);
+      }
+      if (value.type() == ValueType::kInt) return Value::Date(value.AsInt());
+      break;
+  }
+  return Status::InvalidArgument(
+      "cannot store " + std::string(ValueTypeToString(value.type())) +
+      " value '" + value.ToString() + "' in column " + name_ + "." +
+      columns_[col].name);
+}
+
+Status Table::Insert(Row row) {
+  if (row.size() != columns_.size()) {
+    return Status::InvalidArgument(
+        "INSERT into " + name_ + " expects " +
+        std::to_string(columns_.size()) + " values, got " +
+        std::to_string(row.size()));
+  }
+  for (size_t i = 0; i < row.size(); ++i) {
+    PSQL_ASSIGN_OR_RETURN(row[i], CoerceToColumn(i, std::move(row[i])));
+  }
+  rows_.push_back(std::move(row));
+  ++version_;
+  return Status::OK();
+}
+
+void Table::BulkLoadUnchecked(std::vector<Row> rows) {
+  if (rows_.empty()) {
+    rows_ = std::move(rows);
+  } else {
+    rows_.reserve(rows_.size() + rows.size());
+    for (auto& r : rows) rows_.push_back(std::move(r));
+  }
+  ++version_;
+}
+
+size_t Table::DeleteWhere(const std::vector<bool>& matches) {
+  size_t kept = 0;
+  size_t deleted = 0;
+  for (size_t i = 0; i < rows_.size(); ++i) {
+    if (i < matches.size() && matches[i]) {
+      ++deleted;
+    } else {
+      if (kept != i) rows_[kept] = std::move(rows_[i]);
+      ++kept;
+    }
+  }
+  rows_.resize(kept);
+  if (deleted > 0) ++version_;
+  return deleted;
+}
+
+Status Table::UpdateCell(size_t row, size_t col, Value value) {
+  PSQL_ASSIGN_OR_RETURN(auto coerced, CoerceToColumn(col, std::move(value)));
+  rows_[row][col] = std::move(coerced);
+  ++version_;
+  return Status::OK();
+}
+
+}  // namespace prefsql

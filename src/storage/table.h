@@ -1,0 +1,65 @@
+// Base table storage: a typed heap of rows.
+
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sql/ast.h"
+#include "types/schema.h"
+#include "types/value.h"
+#include "util/status.h"
+
+namespace prefsql {
+
+/// An in-memory base table: column definitions plus a row heap.
+///
+/// Values are checked/coerced against the declared column type on insert
+/// (INTEGER accepts doubles with integral value, DATE accepts date-formatted
+/// TEXT, DOUBLE accepts INTEGER, ...). NULL is allowed in any column.
+class Table {
+ public:
+  Table(std::string name, std::vector<ColumnDef> columns);
+
+  const std::string& name() const { return name_; }
+  const std::vector<ColumnDef>& columns() const { return columns_; }
+  const Schema& schema() const { return schema_; }
+  const std::vector<Row>& rows() const { return rows_; }
+  size_t num_rows() const { return rows_.size(); }
+
+  /// Finds the position of `column` (case-insensitive).
+  Result<size_t> ColumnIndex(const std::string& column) const;
+
+  /// Validates/coerces and appends a row. The row must have one value per
+  /// column.
+  Status Insert(Row row);
+
+  /// Appends rows without per-value validation (trusted bulk load used by
+  /// the workload generators).
+  void BulkLoadUnchecked(std::vector<Row> rows);
+
+  /// Deletes all rows matching `predicate` (row index based); returns the
+  /// number of deleted rows.
+  size_t DeleteWhere(const std::vector<bool>& matches);
+
+  /// In-place update of a row cell with type coercion.
+  Status UpdateCell(size_t row, size_t col, Value value);
+
+  /// Coerces `value` to the declared type of column `col` (also used by
+  /// UPDATE/INSERT...SELECT paths).
+  Result<Value> CoerceToColumn(size_t col, Value value) const;
+
+  /// Monotone counter bumped on every mutation; indexes use it to detect
+  /// staleness.
+  uint64_t version() const { return version_; }
+
+ private:
+  std::string name_;
+  std::vector<ColumnDef> columns_;
+  Schema schema_;
+  std::vector<Row> rows_;
+  uint64_t version_ = 0;
+};
+
+}  // namespace prefsql

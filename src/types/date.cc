@@ -1,0 +1,82 @@
+#include "types/date.h"
+
+#include <cctype>
+#include <cstdio>
+
+namespace prefsql {
+namespace {
+
+bool IsLeap(int y) { return (y % 4 == 0 && y % 100 != 0) || y % 400 == 0; }
+
+int DaysInMonth(int y, int m) {
+  static const int kDays[] = {31, 28, 31, 30, 31, 30, 31, 31, 30, 31, 30, 31};
+  if (m == 2 && IsLeap(y)) return 29;
+  return kDays[m - 1];
+}
+
+// Howard Hinnant's days_from_civil algorithm.
+int64_t DaysFromCivil(int64_t y, unsigned m, unsigned d) {
+  y -= m <= 2;
+  const int64_t era = (y >= 0 ? y : y - 399) / 400;
+  const unsigned yoe = static_cast<unsigned>(y - era * 400);
+  const unsigned doy = (153 * (m + (m > 2 ? -3 : 9)) + 2) / 5 + d - 1;
+  const unsigned doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;
+  return era * 146097 + static_cast<int64_t>(doe) - 719468;
+}
+
+void CivilFromDays(int64_t z, int64_t* y, unsigned* m, unsigned* d) {
+  z += 719468;
+  const int64_t era = (z >= 0 ? z : z - 146096) / 146097;
+  const unsigned doe = static_cast<unsigned>(z - era * 146097);
+  const unsigned yoe = (doe - doe / 1460 + doe / 36524 - doe / 146096) / 365;
+  const int64_t yy = static_cast<int64_t>(yoe) + era * 400;
+  const unsigned doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+  const unsigned mp = (5 * doy + 2) / 153;
+  *d = doy - (153 * mp + 2) / 5 + 1;
+  *m = mp + (mp < 10 ? 3 : -9);
+  *y = yy + (*m <= 2);
+}
+
+}  // namespace
+
+std::optional<int64_t> DateToDayNumber(int year, int month, int day) {
+  if (month < 1 || month > 12) return std::nullopt;
+  if (day < 1 || day > DaysInMonth(year, month)) return std::nullopt;
+  return DaysFromCivil(year, static_cast<unsigned>(month),
+                       static_cast<unsigned>(day));
+}
+
+std::optional<int64_t> ParseDate(std::string_view text) {
+  // Accepted shapes: YYYY/M/D, YYYY-M-D with 1-2 digit month/day.
+  int part[3] = {0, 0, 0};
+  int idx = 0;
+  int digits = 0;
+  char sep = 0;
+  for (char c : text) {
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      part[idx] = part[idx] * 10 + (c - '0');
+      if (++digits > 4) return std::nullopt;
+    } else if (c == '/' || c == '-') {
+      if (sep == 0) sep = c;
+      if (c != sep || digits == 0 || idx >= 2) return std::nullopt;
+      ++idx;
+      digits = 0;
+    } else {
+      return std::nullopt;
+    }
+  }
+  if (idx != 2 || digits == 0) return std::nullopt;
+  return DateToDayNumber(part[0], part[1], part[2]);
+}
+
+std::string FormatDate(int64_t day_number) {
+  int64_t y;
+  unsigned m, d;
+  CivilFromDays(day_number, &y, &m, &d);
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%04lld-%02u-%02u",
+                static_cast<long long>(y), m, d);
+  return buf;
+}
+
+}  // namespace prefsql

@@ -1,0 +1,29 @@
+// Calendar date support.
+//
+// The paper's trips example uses `start_day AROUND '1999/7/3'` with
+// DISTANCE(start_day) measured in days, so dates must participate in numeric
+// distance arithmetic. Dates are represented as a day number in the proleptic
+// Gregorian calendar (days since 1970-01-01; negative before).
+
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace prefsql {
+
+/// Converts a calendar date to its day number (days since 1970-01-01).
+/// Valid for the proleptic Gregorian calendar; no range checking beyond
+/// month/day validity.
+std::optional<int64_t> DateToDayNumber(int year, int month, int day);
+
+/// Parses 'YYYY/M/D' or 'YYYY-M-D' into a day number. Returns nullopt for
+/// anything else (including out-of-range month/day).
+std::optional<int64_t> ParseDate(std::string_view text);
+
+/// Formats a day number back to 'YYYY-MM-DD'.
+std::string FormatDate(int64_t day_number);
+
+}  // namespace prefsql

@@ -1,0 +1,63 @@
+#include "types/result_table.h"
+
+#include <algorithm>
+
+namespace prefsql {
+
+std::string ResultTable::ToString(size_t max_rows) const {
+  std::vector<size_t> widths(num_columns());
+  std::vector<std::string> headers;
+  headers.reserve(num_columns());
+  for (size_t c = 0; c < num_columns(); ++c) {
+    headers.push_back(schema_.column(c).name);
+    widths[c] = headers.back().size();
+  }
+  size_t shown = std::min(max_rows, rows_.size());
+  std::vector<std::vector<std::string>> cells(shown);
+  for (size_t r = 0; r < shown; ++r) {
+    cells[r].reserve(num_columns());
+    for (size_t c = 0; c < num_columns(); ++c) {
+      cells[r].push_back(rows_[r][c].ToString());
+      widths[c] = std::max(widths[c], cells[r].back().size());
+    }
+  }
+  std::string out;
+  auto emit_row = [&](const std::vector<std::string>& vals) {
+    out += "|";
+    for (size_t c = 0; c < vals.size(); ++c) {
+      out += " ";
+      out += vals[c];
+      out.append(widths[c] - vals[c].size(), ' ');
+      out += " |";
+    }
+    out += "\n";
+  };
+  auto emit_sep = [&] {
+    out += "+";
+    for (size_t c = 0; c < num_columns(); ++c) {
+      out.append(widths[c] + 2, '-');
+      out += "+";
+    }
+    out += "\n";
+  };
+  emit_sep();
+  emit_row(headers);
+  emit_sep();
+  for (size_t r = 0; r < shown; ++r) emit_row(cells[r]);
+  emit_sep();
+  if (shown < rows_.size()) {
+    out += "(" + std::to_string(rows_.size() - shown) + " more rows)\n";
+  }
+  return out;
+}
+
+std::string ResultTable::RowToString(size_t row) const {
+  std::string out;
+  for (size_t c = 0; c < num_columns(); ++c) {
+    if (c > 0) out += ",";
+    out += rows_[row][c].ToString();
+  }
+  return out;
+}
+
+}  // namespace prefsql

@@ -1,0 +1,42 @@
+// ResultTable: a fully materialized query result (schema + rows) with
+// pretty-printing, the unit of data exchanged between engine operators.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "types/schema.h"
+#include "types/value.h"
+
+namespace prefsql {
+
+/// Materialized relation: a schema and a vector of rows.
+class ResultTable {
+ public:
+  ResultTable() = default;
+  ResultTable(Schema schema, std::vector<Row> rows)
+      : schema_(std::move(schema)), rows_(std::move(rows)) {}
+
+  const Schema& schema() const { return schema_; }
+  Schema& schema() { return schema_; }
+  const std::vector<Row>& rows() const { return rows_; }
+  std::vector<Row>& rows() { return rows_; }
+  size_t num_rows() const { return rows_.size(); }
+  size_t num_columns() const { return schema_.num_columns(); }
+
+  /// Cell accessor (no bounds checking beyond vector's).
+  const Value& at(size_t row, size_t col) const { return rows_[row][col]; }
+
+  /// ASCII-art rendering with a header line, for examples and debugging.
+  std::string ToString(size_t max_rows = 100) const;
+
+  /// One-line CSV-ish rendering of a single row (tests).
+  std::string RowToString(size_t row) const;
+
+ private:
+  Schema schema_;
+  std::vector<Row> rows_;
+};
+
+}  // namespace prefsql

@@ -1,0 +1,103 @@
+#include "types/schema.h"
+
+#include "util/string_util.h"
+
+namespace prefsql {
+
+Schema::Schema(std::vector<ColumnInfo> columns) : columns_(std::move(columns)) {
+  BuildIndex();
+}
+
+Schema Schema::FromNames(const std::vector<std::string>& names) {
+  std::vector<ColumnInfo> cols;
+  cols.reserve(names.size());
+  for (const auto& n : names) cols.push_back({"", n});
+  return Schema(std::move(cols));
+}
+
+void Schema::BuildIndex() {
+  by_name_.clear();
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    by_name_[ToLower(columns_[i].name)].push_back(i);
+  }
+}
+
+Result<size_t> Schema::Resolve(const std::string& qualifier,
+                               const std::string& name) const {
+  auto it = by_name_.find(ToLower(name));
+  if (it == by_name_.end()) {
+    return Status::InvalidArgument("unknown column: " +
+                                   (qualifier.empty() ? name
+                                                      : qualifier + "." + name));
+  }
+  if (qualifier.empty()) {
+    if (it->second.size() > 1) {
+      return Status::InvalidArgument("ambiguous column: " + name);
+    }
+    return it->second[0];
+  }
+  std::optional<size_t> found;
+  for (size_t idx : it->second) {
+    if (EqualsIgnoreCase(columns_[idx].qualifier, qualifier)) {
+      if (found) {
+        return Status::InvalidArgument("ambiguous column: " + qualifier + "." +
+                                       name);
+      }
+      found = idx;
+    }
+  }
+  if (!found) {
+    return Status::InvalidArgument("unknown column: " + qualifier + "." + name);
+  }
+  return *found;
+}
+
+std::optional<size_t> Schema::TryResolve(const std::string& qualifier,
+                                         const std::string& name) const {
+  auto r = Resolve(qualifier, name);
+  if (!r.ok()) return std::nullopt;
+  return r.value();
+}
+
+Schema::ResolveOutcome Schema::ResolveScoped(const std::string& qualifier,
+                                             const std::string& name,
+                                             size_t* out) const {
+  auto it = by_name_.find(ToLower(name));
+  if (it == by_name_.end()) return ResolveOutcome::kNotFound;
+  if (qualifier.empty()) {
+    if (it->second.size() > 1) return ResolveOutcome::kAmbiguous;
+    *out = it->second[0];
+    return ResolveOutcome::kFound;
+  }
+  std::optional<size_t> found;
+  for (size_t idx : it->second) {
+    if (EqualsIgnoreCase(columns_[idx].qualifier, qualifier)) {
+      if (found) return ResolveOutcome::kAmbiguous;
+      found = idx;
+    }
+  }
+  if (!found) return ResolveOutcome::kNotFound;
+  *out = *found;
+  return ResolveOutcome::kFound;
+}
+
+Schema Schema::Concat(const Schema& right) const {
+  std::vector<ColumnInfo> cols = columns_;
+  cols.insert(cols.end(), right.columns_.begin(), right.columns_.end());
+  return Schema(std::move(cols));
+}
+
+Schema Schema::WithQualifier(const std::string& alias) const {
+  std::vector<ColumnInfo> cols = columns_;
+  for (auto& c : cols) c.qualifier = alias;
+  return Schema(std::move(cols));
+}
+
+std::vector<std::string> Schema::Names() const {
+  std::vector<std::string> out;
+  out.reserve(columns_.size());
+  for (const auto& c : columns_) out.push_back(c.name);
+  return out;
+}
+
+}  // namespace prefsql

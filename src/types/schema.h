@@ -1,0 +1,71 @@
+// Schema: ordered, possibly qualified column names attached to a row stream.
+
+#pragma once
+
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "util/status.h"
+
+namespace prefsql {
+
+/// One column of a schema. `qualifier` is the table alias the column is
+/// visible under ("" when unqualified, e.g. computed expressions).
+struct ColumnInfo {
+  std::string qualifier;
+  std::string name;
+
+  /// "qualifier.name" or just "name".
+  std::string FullName() const {
+    return qualifier.empty() ? name : qualifier + "." + name;
+  }
+};
+
+/// Ordered list of columns with (case-insensitive) name resolution.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<ColumnInfo> columns);
+
+  /// Builds an unqualified schema from bare column names.
+  static Schema FromNames(const std::vector<std::string>& names);
+
+  size_t num_columns() const { return columns_.size(); }
+  const ColumnInfo& column(size_t i) const { return columns_[i]; }
+  const std::vector<ColumnInfo>& columns() const { return columns_; }
+
+  /// Resolves a column reference. Empty `qualifier` matches any qualifier
+  /// but errors when the bare name is ambiguous.
+  Result<size_t> Resolve(const std::string& qualifier,
+                         const std::string& name) const;
+
+  /// Resolve without error machinery; nullopt when absent or ambiguous.
+  std::optional<size_t> TryResolve(const std::string& qualifier,
+                                   const std::string& name) const;
+
+  /// Resolution outcome used by scoped (correlated) lookup: kNotFound lets
+  /// the evaluator fall through to the outer scope, kAmbiguous is an error.
+  enum class ResolveOutcome { kFound, kNotFound, kAmbiguous };
+  ResolveOutcome ResolveScoped(const std::string& qualifier,
+                               const std::string& name, size_t* out) const;
+
+  /// Schema of `this` followed by `right` (used by joins).
+  Schema Concat(const Schema& right) const;
+
+  /// Same columns re-qualified with `alias` (FROM table AS alias).
+  Schema WithQualifier(const std::string& alias) const;
+
+  /// Bare column names in order.
+  std::vector<std::string> Names() const;
+
+ private:
+  void BuildIndex();
+
+  std::vector<ColumnInfo> columns_;
+  // Lower-cased bare name -> column positions (for ambiguity detection).
+  std::unordered_map<std::string, std::vector<size_t>> by_name_;
+};
+
+}  // namespace prefsql

@@ -1,0 +1,259 @@
+#include "types/value.h"
+
+#include <cmath>
+#include <cstdio>
+#include <functional>
+
+#include "types/date.h"
+#include "util/string_util.h"
+
+namespace prefsql {
+
+const char* ValueTypeToString(ValueType t) {
+  switch (t) {
+    case ValueType::kNull:
+      return "NULL";
+    case ValueType::kBool:
+      return "BOOLEAN";
+    case ValueType::kInt:
+      return "INTEGER";
+    case ValueType::kDouble:
+      return "DOUBLE";
+    case ValueType::kText:
+      return "TEXT";
+    case ValueType::kDate:
+      return "DATE";
+  }
+  return "?";
+}
+
+std::optional<ColumnType> ParseColumnType(const std::string& name) {
+  std::string n = ToUpper(name);
+  if (n == "INT" || n == "INTEGER" || n == "BIGINT" || n == "SMALLINT") {
+    return ColumnType::kInt;
+  }
+  if (n == "DOUBLE" || n == "REAL" || n == "FLOAT" || n == "NUMERIC" ||
+      n == "DECIMAL") {
+    return ColumnType::kDouble;
+  }
+  if (n == "TEXT" || n == "VARCHAR" || n == "CHAR" || n == "STRING") {
+    return ColumnType::kText;
+  }
+  if (n == "BOOLEAN" || n == "BOOL") return ColumnType::kBool;
+  if (n == "DATE") return ColumnType::kDate;
+  return std::nullopt;
+}
+
+Value Value::Date(int64_t day_number) {
+  return Value(Payload(DatePayload{day_number}));
+}
+
+ValueType Value::type() const {
+  switch (data_.index()) {
+    case 0:
+      return ValueType::kNull;
+    case 1:
+      return ValueType::kBool;
+    case 2:
+      return ValueType::kInt;
+    case 3:
+      return ValueType::kDouble;
+    case 4:
+      return ValueType::kText;
+    case 5:
+      return ValueType::kDate;
+  }
+  return ValueType::kNull;
+}
+
+int64_t Value::AsInt() const {
+  if (auto* d = std::get_if<double>(&data_)) return static_cast<int64_t>(*d);
+  return std::get<int64_t>(data_);
+}
+
+double Value::AsDouble() const {
+  if (auto* i = std::get_if<int64_t>(&data_)) return static_cast<double>(*i);
+  if (auto* dt = std::get_if<DatePayload>(&data_)) {
+    return static_cast<double>(dt->days);
+  }
+  return std::get<double>(data_);
+}
+
+int64_t Value::AsDateDays() const { return std::get<DatePayload>(data_).days; }
+
+std::optional<double> Value::ToNumeric() const {
+  switch (type()) {
+    case ValueType::kInt:
+      return static_cast<double>(std::get<int64_t>(data_));
+    case ValueType::kDouble:
+      return std::get<double>(data_);
+    case ValueType::kDate:
+      return static_cast<double>(std::get<DatePayload>(data_).days);
+    case ValueType::kText: {
+      auto days = ParseDate(std::get<std::string>(data_));
+      if (days) return static_cast<double>(*days);
+      return std::nullopt;
+    }
+    default:
+      return std::nullopt;
+  }
+}
+
+namespace {
+
+// Comparison kind buckets: values of the same bucket are comparable.
+enum class Kind { kNull, kBool, kNumeric, kText };
+
+Kind KindOf(const Value& v) {
+  switch (v.type()) {
+    case ValueType::kNull:
+      return Kind::kNull;
+    case ValueType::kBool:
+      return Kind::kBool;
+    case ValueType::kText:
+      return Kind::kText;
+    default:
+      return Kind::kNumeric;
+  }
+}
+
+}  // namespace
+
+std::optional<bool> Value::SqlEquals(const Value& other) const {
+  if (is_null() || other.is_null()) return std::nullopt;
+  Kind ka = KindOf(*this), kb = KindOf(other);
+  if (ka != kb) {
+    // TEXT vs DATE comparisons succeed when the text parses as a date; other
+    // cross-kind comparisons are simply false (dynamic typing, SQLite-like).
+    if ((type() == ValueType::kDate && other.type() == ValueType::kText) ||
+        (type() == ValueType::kText && other.type() == ValueType::kDate)) {
+      auto a = ToNumeric(), b = other.ToNumeric();
+      if (a && b) return *a == *b;
+    }
+    return false;
+  }
+  switch (ka) {
+    case Kind::kBool:
+      return AsBool() == other.AsBool();
+    case Kind::kNumeric:
+      return AsDouble() == other.AsDouble();
+    case Kind::kText:
+      return AsText() == other.AsText();
+    default:
+      return std::nullopt;
+  }
+}
+
+std::optional<bool> Value::SqlLess(const Value& other) const {
+  if (is_null() || other.is_null()) return std::nullopt;
+  Kind ka = KindOf(*this), kb = KindOf(other);
+  if (ka != kb) {
+    if ((type() == ValueType::kDate || other.type() == ValueType::kDate)) {
+      auto a = ToNumeric(), b = other.ToNumeric();
+      if (a && b) return *a < *b;
+    }
+    return std::nullopt;
+  }
+  switch (ka) {
+    case Kind::kBool:
+      return AsBool() < other.AsBool();
+    case Kind::kNumeric:
+      return AsDouble() < other.AsDouble();
+    case Kind::kText:
+      return AsText() < other.AsText();
+    default:
+      return std::nullopt;
+  }
+}
+
+int Value::Compare(const Value& a, const Value& b) {
+  Kind ka = KindOf(a), kb = KindOf(b);
+  if (ka != kb) return static_cast<int>(ka) < static_cast<int>(kb) ? -1 : 1;
+  switch (ka) {
+    case Kind::kNull:
+      return 0;
+    case Kind::kBool:
+      return a.AsBool() == b.AsBool() ? 0 : (a.AsBool() < b.AsBool() ? -1 : 1);
+    case Kind::kNumeric: {
+      double x = a.AsDouble(), y = b.AsDouble();
+      if (x < y) return -1;
+      if (x > y) return 1;
+      return 0;
+    }
+    case Kind::kText:
+      return a.AsText().compare(b.AsText()) < 0
+                 ? -1
+                 : (a.AsText() == b.AsText() ? 0 : 1);
+  }
+  return 0;
+}
+
+std::string Value::ToString() const {
+  switch (type()) {
+    case ValueType::kNull:
+      return "NULL";
+    case ValueType::kBool:
+      return AsBool() ? "TRUE" : "FALSE";
+    case ValueType::kInt:
+      return std::to_string(std::get<int64_t>(data_));
+    case ValueType::kDouble: {
+      double d = std::get<double>(data_);
+      if (d == static_cast<int64_t>(d) && std::abs(d) < 1e15) {
+        // Integral doubles print without trailing zeros (e.g. "40000").
+        return std::to_string(static_cast<int64_t>(d));
+      }
+      char buf[64];
+      std::snprintf(buf, sizeof(buf), "%g", d);
+      return buf;
+    }
+    case ValueType::kText:
+      return AsText();
+    case ValueType::kDate:
+      return FormatDate(AsDateDays());
+  }
+  return "?";
+}
+
+std::string Value::ToSqlLiteral() const {
+  switch (type()) {
+    case ValueType::kText:
+      return QuoteSqlString(AsText());
+    case ValueType::kDate:
+      return "DATE " + QuoteSqlString(FormatDate(AsDateDays()));
+    default:
+      return ToString();
+  }
+}
+
+size_t Value::Hash() const {
+  switch (type()) {
+    case ValueType::kNull:
+      return 0x9e3779b97f4a7c15ULL;
+    case ValueType::kBool:
+      return AsBool() ? 2 : 1;
+    case ValueType::kText:
+      return std::hash<std::string>{}(AsText());
+    default:
+      // All numeric kinds hash through double so INT 3, DOUBLE 3.0 and a date
+      // with day number 3 collide consistently with IdentityEquals.
+      return std::hash<double>{}(AsDouble());
+  }
+}
+
+size_t HashRow(const Row& row) {
+  size_t h = 0;
+  for (const Value& v : row) {
+    h = h * 1099511628211ULL + v.Hash();
+  }
+  return h;
+}
+
+bool RowsIdentityEqual(const Row& a, const Row& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (!a[i].IdentityEquals(b[i])) return false;
+  }
+  return true;
+}
+
+}  // namespace prefsql

@@ -1,0 +1,124 @@
+// Dynamically typed SQL value.
+//
+// The engine is dynamically typed like SQLite: every cell holds a Value and
+// operators coerce between the numeric types. NULL follows SQL three-valued
+// logic; comparison helpers therefore return std::optional<bool> where
+// nullopt means UNKNOWN.
+
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "util/status.h"
+
+namespace prefsql {
+
+/// Runtime type tag of a Value.
+enum class ValueType {
+  kNull = 0,
+  kBool,
+  kInt,
+  kDouble,
+  kText,
+  kDate,  ///< day number (days since 1970-01-01), prints as YYYY-MM-DD
+};
+
+/// Declared column types accepted by CREATE TABLE.
+enum class ColumnType { kInt, kDouble, kText, kBool, kDate };
+
+/// Name of a ValueType ("NULL", "INTEGER", ...).
+const char* ValueTypeToString(ValueType t);
+
+/// Parses a CREATE TABLE type name (INTEGER/INT, DOUBLE/REAL/FLOAT/NUMERIC,
+/// TEXT/VARCHAR/CHAR/STRING, BOOLEAN/BOOL, DATE).
+std::optional<ColumnType> ParseColumnType(const std::string& name);
+
+/// One SQL value: NULL, boolean, 64-bit integer, double, text, or date.
+class Value {
+ public:
+  /// NULL value.
+  Value() : data_(std::monostate{}) {}
+  static Value Null() { return Value(); }
+  static Value Bool(bool b) { return Value(Payload(b)); }
+  static Value Int(int64_t i) { return Value(Payload(i)); }
+  static Value Double(double d) { return Value(Payload(d)); }
+  static Value Text(std::string s) { return Value(Payload(std::move(s))); }
+  /// A date from its day number (see types/date.h).
+  static Value Date(int64_t day_number);
+
+  ValueType type() const;
+  bool is_null() const { return type() == ValueType::kNull; }
+  bool is_numeric() const {
+    ValueType t = type();
+    return t == ValueType::kInt || t == ValueType::kDouble ||
+           t == ValueType::kDate;
+  }
+
+  /// Accessors; each requires the matching type().
+  bool AsBool() const { return std::get<bool>(data_); }
+  int64_t AsInt() const;
+  double AsDouble() const;
+  const std::string& AsText() const { return std::get<std::string>(data_); }
+  int64_t AsDateDays() const;
+
+  /// Numeric view used by arithmetic and distance computations: INT, DOUBLE
+  /// and DATE produce their numeric magnitude; TEXT that parses as a date
+  /// produces its day number (so `start_day AROUND '1999/7/3'` works on TEXT
+  /// columns); everything else is nullopt.
+  std::optional<double> ToNumeric() const;
+
+  /// SQL equality under three-valued logic (NULL ⇒ UNKNOWN). Numeric types
+  /// compare by value across INT/DOUBLE/DATE; TEXT compares case-sensitively;
+  /// BOOL compares with BOOL only; cross-kind comparisons are false.
+  std::optional<bool> SqlEquals(const Value& other) const;
+
+  /// SQL `<` under three-valued logic; same coercion rules as SqlEquals.
+  /// Cross-kind comparisons yield UNKNOWN.
+  std::optional<bool> SqlLess(const Value& other) const;
+
+  /// Total ordering for ORDER BY / GROUP BY / DISTINCT and index keys:
+  /// NULL < BOOL < numeric < TEXT; deterministic across kinds (unlike the
+  /// SQL comparisons, never "unknown").
+  static int Compare(const Value& a, const Value& b);
+
+  /// Exact equality under the total ordering (NULL equals NULL here).
+  bool IdentityEquals(const Value& other) const {
+    return Compare(*this, other) == 0;
+  }
+
+  /// SQL text rendering (NULL prints as "NULL", booleans as TRUE/FALSE,
+  /// doubles trimmed, dates as YYYY-MM-DD).
+  std::string ToString() const;
+
+  /// Rendering as a SQL literal (TEXT quoted, DATE as DATE 'YYYY-MM-DD').
+  std::string ToSqlLiteral() const;
+
+  /// Hash consistent with IdentityEquals (for hash joins / grouping).
+  size_t Hash() const;
+
+ private:
+  struct DatePayload {
+    int64_t days;
+    bool operator==(const DatePayload&) const = default;
+  };
+  using Payload = std::variant<std::monostate, bool, int64_t, double,
+                               std::string, DatePayload>;
+  explicit Value(Payload p) : data_(std::move(p)) {}
+
+  Payload data_;
+};
+
+/// A tuple: one Value per column of the owning schema.
+using Row = std::vector<Value>;
+
+/// Hash of a full row (grouping keys, hash join keys).
+size_t HashRow(const Row& row);
+
+/// Identity comparison of two rows (same arity assumed).
+bool RowsIdentityEqual(const Row& a, const Row& b);
+
+}  // namespace prefsql

@@ -1,0 +1,46 @@
+#include "util/random.h"
+
+#include <cmath>
+
+namespace prefsql {
+
+int64_t Random::Uniform(int64_t lo, int64_t hi) {
+  std::uniform_int_distribution<int64_t> dist(lo, hi);
+  return dist(rng_);
+}
+
+double Random::UniformDouble(double lo, double hi) {
+  std::uniform_real_distribution<double> dist(lo, hi);
+  return dist(rng_);
+}
+
+bool Random::Bernoulli(double p) {
+  std::bernoulli_distribution dist(p);
+  return dist(rng_);
+}
+
+size_t Random::Zipf(size_t n, double s) {
+  // Inverse-CDF sampling over the finite Zipf distribution. n is small for
+  // all workloads (category dictionaries), so the linear scan is fine.
+  if (n == 0) return 0;
+  double norm = 0.0;
+  for (size_t i = 1; i <= n; ++i) norm += 1.0 / std::pow(static_cast<double>(i), s);
+  double u = UniformDouble(0.0, norm);
+  double acc = 0.0;
+  for (size_t i = 1; i <= n; ++i) {
+    acc += 1.0 / std::pow(static_cast<double>(i), s);
+    if (u <= acc) return i - 1;
+  }
+  return n - 1;
+}
+
+std::string Random::Identifier(size_t len) {
+  std::string out;
+  out.reserve(len);
+  for (size_t i = 0; i < len; ++i) {
+    out += static_cast<char>('a' + Uniform(0, 25));
+  }
+  return out;
+}
+
+}  // namespace prefsql

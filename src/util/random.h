@@ -1,0 +1,47 @@
+// Deterministic pseudo-random generator used by the workload generators and
+// property tests. Wrapping std::mt19937_64 keeps every dataset reproducible
+// from a single seed across platforms.
+
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <string>
+#include <vector>
+
+namespace prefsql {
+
+/// Seedable random source with the distributions the workloads need.
+class Random {
+ public:
+  explicit Random(uint64_t seed) : rng_(seed) {}
+
+  /// Uniform integer in [lo, hi] (inclusive).
+  int64_t Uniform(int64_t lo, int64_t hi);
+
+  /// Uniform double in [lo, hi).
+  double UniformDouble(double lo, double hi);
+
+  /// Bernoulli draw with probability `p` of true.
+  bool Bernoulli(double p);
+
+  /// Zipf-distributed index in [0, n) with exponent `s` (skewed categorical
+  /// values; skill fields in the job-profile workload are heavy-tailed).
+  size_t Zipf(size_t n, double s = 1.0);
+
+  /// Picks one element of `choices` uniformly.
+  template <typename T>
+  const T& Choice(const std::vector<T>& choices) {
+    return choices[static_cast<size_t>(Uniform(0, static_cast<int64_t>(choices.size()) - 1))];
+  }
+
+  /// Random lower-case identifier of length `len`.
+  std::string Identifier(size_t len);
+
+  std::mt19937_64& engine() { return rng_; }
+
+ private:
+  std::mt19937_64 rng_;
+};
+
+}  // namespace prefsql

@@ -1,0 +1,46 @@
+#include "util/status.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace prefsql {
+
+const char* StatusCodeToString(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kParseError:
+      return "Parse error";
+    case StatusCode::kInvalidArgument:
+      return "Invalid argument";
+    case StatusCode::kNotFound:
+      return "Not found";
+    case StatusCode::kAlreadyExists:
+      return "Already exists";
+    case StatusCode::kNotImplemented:
+      return "Not implemented";
+    case StatusCode::kInternal:
+      return "Internal error";
+  }
+  return "Unknown";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string out = StatusCodeToString(code_);
+  if (!message_.empty()) {
+    out += ": ";
+    out += message_;
+  }
+  return out;
+}
+
+namespace internal {
+
+void AbortWithMessage(const std::string& msg) {
+  std::fprintf(stderr, "prefsql fatal: %s\n", msg.c_str());
+  std::abort();
+}
+
+}  // namespace internal
+}  // namespace prefsql

@@ -1,0 +1,35 @@
+// Small string helpers shared across the library.
+
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace prefsql {
+
+/// Lower-cases ASCII characters (SQL identifiers and keywords are
+/// case-insensitive in this dialect).
+std::string ToLower(std::string_view s);
+
+/// Upper-cases ASCII characters.
+std::string ToUpper(std::string_view s);
+
+/// Case-insensitive ASCII string equality.
+bool EqualsIgnoreCase(std::string_view a, std::string_view b);
+
+/// Joins `parts` with `sep`.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// True iff `haystack` contains `needle` ignoring ASCII case (used by the
+/// CONTAINS base preference).
+bool ContainsIgnoreCase(std::string_view haystack, std::string_view needle);
+
+/// SQL single-quoted string literal: quotes and doubles embedded quotes.
+std::string QuoteSqlString(std::string_view s);
+
+/// printf-style formatting into a std::string.
+std::string StringPrintf(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+}  // namespace prefsql

@@ -1,0 +1,302 @@
+#include "workload/generators.h"
+
+#include "types/date.h"
+#include "util/random.h"
+#include "util/string_util.h"
+
+namespace prefsql {
+namespace {
+
+// Creates the table and bulk-loads rows without per-value validation (the
+// generators produce well-typed values by construction).
+Status CreateAndLoad(Database& db, const std::string& name,
+                     std::vector<ColumnDef> columns, std::vector<Row> rows) {
+  PSQL_RETURN_IF_ERROR(
+      db.catalog().CreateTable(name, std::move(columns), false));
+  PSQL_ASSIGN_OR_RETURN(Table * table, db.catalog().GetTable(name));
+  table->BulkLoadUnchecked(std::move(rows));
+  return Status::OK();
+}
+
+const std::vector<std::string> kMakes = {
+    "Opel",  "BMW",   "Audi",  "Volkswagen", "Mercedes",
+    "Fiat",  "Ford",  "Toyota", "Renault",   "Volvo"};
+const std::vector<std::string> kCategories = {
+    "roadster", "passenger", "suv", "van", "coupe", "estate"};
+const std::vector<std::string> kColors = {
+    "red", "black", "silver", "white", "blue", "green", "yellow", "brown"};
+const std::vector<std::string> kCities = {
+    "Augsburg", "Munich", "Berlin", "Hamburg", "Cologne",
+    "Frankfurt", "Stuttgart", "Dresden"};
+const std::vector<std::string> kLocations = {
+    "downtown", "suburb", "airport", "old town", "fair grounds"};
+const std::vector<std::string> kSkills = {
+    "java", "C++", "SQL", "COBOL", "perl", "python", "SAP", "oracle",
+    "javascript", "assembler", "fortran", "delphi"};
+const std::vector<std::string> kDestinations = {
+    "Rome", "Paris", "Mallorca", "Crete", "Lisbon", "Oslo", "Vienna",
+    "Prague", "Istanbul", "Madeira"};
+const std::vector<std::string> kTripCategories = {
+    "beach", "city", "hiking", "cruise", "ski"};
+const std::vector<std::string> kManufacturers = {
+    "Aturi", "Whirlwind", "CleanTech", "Bosch", "Siemens", "Gorenje"};
+const std::vector<std::string> kShops = {
+    "Amazon", "BOL", "Buecher.de", "Libri", "Weltbild", "Hugendubel"};
+const std::vector<std::string> kRegions = {
+    "north", "south", "east", "west", "bavaria", "saxony", "hesse",
+    "berlin", "hamburg", "rhineland", "swabia", "franconia", "palatinate",
+    "baden", "thuringia", "holstein"};
+const std::vector<std::string> kProfessions = {
+    "programmer", "nurse", "driver", "teacher", "electrician", "carpenter",
+    "accountant", "cook", "waiter", "mechanic", "plumber", "painter",
+    "clerk", "cashier", "welder", "gardener", "baker", "butcher",
+    "cleaner", "guard", "analyst", "designer", "architect", "engineer",
+    "consultant", "translator", "librarian", "optician", "tailor",
+    "roofer", "glazier", "mason", "farmer", "fisher", "forester",
+    "florist", "jeweler", "locksmith", "miller", "brewer"};
+
+}  // namespace
+
+Status LoadOldtimer(Database& db) {
+  std::vector<ColumnDef> cols = {{"ident", ColumnType::kText},
+                                 {"color", ColumnType::kText},
+                                 {"age", ColumnType::kInt}};
+  // Exactly the relation printed in §2.2.3.
+  std::vector<Row> rows = {
+      {Value::Text("Maggie"), Value::Text("white"), Value::Int(19)},
+      {Value::Text("Bart"), Value::Text("green"), Value::Int(19)},
+      {Value::Text("Homer"), Value::Text("yellow"), Value::Int(35)},
+      {Value::Text("Selma"), Value::Text("red"), Value::Int(40)},
+      {Value::Text("Smithers"), Value::Text("red"), Value::Int(43)},
+      {Value::Text("Skinner"), Value::Text("yellow"), Value::Int(51)},
+  };
+  return CreateAndLoad(db, "oldtimer", std::move(cols), std::move(rows));
+}
+
+Status LoadCarsExample(Database& db) {
+  std::vector<ColumnDef> cols = {
+      {"Identifier", ColumnType::kInt}, {"Make", ColumnType::kText},
+      {"Model", ColumnType::kText},     {"Price", ColumnType::kInt},
+      {"Mileage", ColumnType::kInt},    {"Airbag", ColumnType::kText},
+      {"Diesel", ColumnType::kText}};
+  // Exactly the relation of the §3.2 rewrite example.
+  std::vector<Row> rows = {
+      {Value::Int(1), Value::Text("Audi"), Value::Text("A6"),
+       Value::Int(40000), Value::Int(15000), Value::Text("yes"),
+       Value::Text("no")},
+      {Value::Int(2), Value::Text("BMW"), Value::Text("5 series"),
+       Value::Int(35000), Value::Int(30000), Value::Text("yes"),
+       Value::Text("yes")},
+      {Value::Int(3), Value::Text("Volkswagen"), Value::Text("Beetle"),
+       Value::Int(20000), Value::Int(10000), Value::Text("yes"),
+       Value::Text("no")},
+  };
+  return CreateAndLoad(db, "Cars", std::move(cols), std::move(rows));
+}
+
+Status GenerateUsedCars(Database& db, size_t n, uint64_t seed,
+                        const std::string& table) {
+  Random rng(seed);
+  std::vector<ColumnDef> cols = {
+      {"id", ColumnType::kInt},        {"make", ColumnType::kText},
+      {"model", ColumnType::kText},    {"category", ColumnType::kText},
+      {"color", ColumnType::kText},    {"price", ColumnType::kInt},
+      {"mileage", ColumnType::kInt},   {"power", ColumnType::kInt},
+      {"age", ColumnType::kInt},       {"diesel", ColumnType::kText},
+      {"airbag", ColumnType::kText}};
+  std::vector<Row> rows;
+  rows.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    const std::string& make = kMakes[rng.Zipf(kMakes.size(), 0.8)];
+    int64_t age = rng.Uniform(0, 25);
+    int64_t power = rng.Uniform(40, 320);
+    // Price correlates with power and anti-correlates with age/mileage so
+    // the Pareto fronts are non-trivial.
+    int64_t mileage = rng.Uniform(0, 30000) * (age + 1) / 3;
+    int64_t price =
+        1000 + power * 400 - age * 1200 - mileage / 40 + rng.Uniform(-3000, 3000);
+    if (price < 500) price = 500 + rng.Uniform(0, 1000);
+    rows.push_back({Value::Int(static_cast<int64_t>(i)),
+                    Value::Text(make),
+                    Value::Text(make.substr(0, 2) + std::to_string(rng.Uniform(100, 999))),
+                    Value::Text(kCategories[rng.Zipf(kCategories.size(), 0.7)]),
+                    Value::Text(rng.Choice(kColors)),
+                    Value::Int(price),
+                    Value::Int(mileage),
+                    Value::Int(power),
+                    Value::Int(age),
+                    Value::Text(rng.Bernoulli(0.35) ? "yes" : "no"),
+                    Value::Text(rng.Bernoulli(0.85) ? "yes" : "no")});
+  }
+  return CreateAndLoad(db, table, std::move(cols), std::move(rows));
+}
+
+Status GenerateProducts(Database& db, size_t n, uint64_t seed,
+                        const std::string& table) {
+  Random rng(seed);
+  std::vector<ColumnDef> cols = {
+      {"id", ColumnType::kInt},
+      {"manufacturer", ColumnType::kText},
+      {"width", ColumnType::kInt},
+      {"spinspeed", ColumnType::kInt},
+      {"powerconsumption", ColumnType::kDouble},
+      {"waterconsumption", ColumnType::kDouble},
+      {"price", ColumnType::kInt},
+      {"rating", ColumnType::kInt}};
+  std::vector<Row> rows;
+  rows.reserve(n);
+  static const int64_t kWidths[] = {45, 50, 55, 60, 65, 70};
+  static const int64_t kSpins[] = {800, 1000, 1200, 1400, 1600};
+  for (size_t i = 0; i < n; ++i) {
+    int64_t spin = kSpins[rng.Uniform(0, 4)];
+    double power = 0.5 + rng.UniformDouble(0.0, 1.4);
+    double water = 35.0 + rng.UniformDouble(0.0, 30.0);
+    // Better (lower) consumption costs money.
+    int64_t price = 900 + spin / 2 +
+                    static_cast<int64_t>((2.0 - power) * 500) +
+                    static_cast<int64_t>((65.0 - water) * 15) +
+                    rng.Uniform(-150, 150);
+    rows.push_back({Value::Int(static_cast<int64_t>(i)),
+                    Value::Text(kManufacturers[rng.Zipf(kManufacturers.size(), 0.6)]),
+                    Value::Int(kWidths[rng.Uniform(0, 5)]),
+                    Value::Int(spin),
+                    Value::Double(power),
+                    Value::Double(water),
+                    Value::Int(price),
+                    Value::Int(rng.Uniform(1, 5))});
+  }
+  return CreateAndLoad(db, table, std::move(cols), std::move(rows));
+}
+
+Status GenerateTrips(Database& db, size_t n, uint64_t seed,
+                     const std::string& table) {
+  Random rng(seed);
+  std::vector<ColumnDef> cols = {
+      {"id", ColumnType::kInt},         {"destination", ColumnType::kText},
+      {"start_day", ColumnType::kDate}, {"duration", ColumnType::kInt},
+      {"price", ColumnType::kInt},      {"category", ColumnType::kText}};
+  std::vector<Row> rows;
+  rows.reserve(n);
+  int64_t season_start = *DateToDayNumber(1999, 5, 1);
+  for (size_t i = 0; i < n; ++i) {
+    int64_t duration = rng.Uniform(3, 28);
+    rows.push_back({Value::Int(static_cast<int64_t>(i)),
+                    Value::Text(rng.Choice(kDestinations)),
+                    Value::Date(season_start + rng.Uniform(0, 150)),
+                    Value::Int(duration),
+                    Value::Int(300 + duration * rng.Uniform(40, 120)),
+                    Value::Text(rng.Choice(kTripCategories))});
+  }
+  return CreateAndLoad(db, table, std::move(cols), std::move(rows));
+}
+
+Status GenerateHotels(Database& db, size_t n, uint64_t seed,
+                      const std::string& table) {
+  Random rng(seed);
+  std::vector<ColumnDef> cols = {
+      {"id", ColumnType::kInt},       {"name", ColumnType::kText},
+      {"city", ColumnType::kText},    {"location", ColumnType::kText},
+      {"price", ColumnType::kInt},    {"stars", ColumnType::kInt}};
+  std::vector<Row> rows;
+  rows.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    int64_t stars = rng.Uniform(1, 5);
+    rows.push_back({Value::Int(static_cast<int64_t>(i)),
+                    Value::Text("Hotel " + ToUpper(rng.Identifier(1)) +
+                                rng.Identifier(6)),
+                    Value::Text(rng.Choice(kCities)),
+                    Value::Text(kLocations[rng.Zipf(kLocations.size(), 0.5)]),
+                    Value::Int(40 + stars * rng.Uniform(15, 60)),
+                    Value::Int(stars)});
+  }
+  return CreateAndLoad(db, table, std::move(cols), std::move(rows));
+}
+
+Status GenerateProgrammers(Database& db, size_t n, uint64_t seed,
+                           const std::string& table) {
+  Random rng(seed);
+  std::vector<ColumnDef> cols = {
+      {"id", ColumnType::kInt},        {"name", ColumnType::kText},
+      {"exp", ColumnType::kText},      {"languages", ColumnType::kText},
+      {"salary", ColumnType::kInt},    {"region", ColumnType::kText}};
+  std::vector<Row> rows;
+  rows.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    std::string langs = rng.Choice(kSkills);
+    size_t extra = static_cast<size_t>(rng.Uniform(0, 3));
+    for (size_t k = 0; k < extra; ++k) langs += ", " + rng.Choice(kSkills);
+    rows.push_back({Value::Int(static_cast<int64_t>(i)),
+                    Value::Text(ToUpper(rng.Identifier(1)) + rng.Identifier(7)),
+                    Value::Text(kSkills[rng.Zipf(kSkills.size(), 0.9)]),
+                    Value::Text(langs),
+                    Value::Int(rng.Uniform(30, 95) * 1000),
+                    Value::Text(rng.Choice(kRegions))});
+  }
+  return CreateAndLoad(db, table, std::move(cols), std::move(rows));
+}
+
+Status GenerateJobProfiles(Database& db, const JobProfileConfig& config) {
+  Random rng(config.seed);
+  std::vector<ColumnDef> cols = {
+      {"id", ColumnType::kInt},
+      {"region", ColumnType::kText},
+      {"profession", ColumnType::kText},
+      {"availability", ColumnType::kInt},
+      {"skill_a", ColumnType::kText},
+      {"skill_b", ColumnType::kText},
+      {"skill_c", ColumnType::kText},
+      {"skill_d", ColumnType::kText},
+      {"experience", ColumnType::kInt},
+      {"salary", ColumnType::kInt},
+      {"age", ColumnType::kInt}};
+  while (cols.size() < config.total_attributes) {
+    cols.push_back({"f" + std::to_string(cols.size()), ColumnType::kInt});
+  }
+  std::vector<Row> rows;
+  rows.reserve(config.rows);
+  for (size_t i = 0; i < config.rows; ++i) {
+    Row row;
+    row.reserve(cols.size());
+    row.push_back(Value::Int(static_cast<int64_t>(i)));
+    row.push_back(Value::Text(rng.Choice(kRegions)));
+    row.push_back(Value::Text(kProfessions[rng.Zipf(kProfessions.size(), 0.9)]));
+    row.push_back(Value::Int(rng.Uniform(0, 365)));
+    for (int s = 0; s < 4; ++s) {
+      row.push_back(Value::Text(kSkills[rng.Zipf(kSkills.size(), 0.8)]));
+    }
+    row.push_back(Value::Int(rng.Uniform(0, 40)));
+    row.push_back(Value::Int(rng.Uniform(20, 120) * 1000));
+    row.push_back(Value::Int(rng.Uniform(18, 64)));
+    while (row.size() < cols.size()) {
+      row.push_back(Value::Int(rng.Uniform(0, 1000000)));
+    }
+    rows.push_back(std::move(row));
+  }
+  return CreateAndLoad(db, config.table, std::move(cols), std::move(rows));
+}
+
+Status GenerateShopOffers(Database& db, size_t n, uint64_t seed,
+                          const std::string& table) {
+  Random rng(seed);
+  std::vector<ColumnDef> cols = {
+      {"id", ColumnType::kInt},           {"shop", ColumnType::kText},
+      {"product", ColumnType::kText},     {"price", ColumnType::kDouble},
+      {"shipping", ColumnType::kDouble},  {"delivery_days", ColumnType::kInt},
+      {"rating", ColumnType::kInt}};
+  std::vector<Row> rows;
+  rows.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    double base = rng.UniformDouble(8.0, 60.0);
+    rows.push_back({Value::Int(static_cast<int64_t>(i)),
+                    Value::Text(rng.Choice(kShops)),
+                    Value::Text("item-" + std::to_string(rng.Uniform(1, 40))),
+                    Value::Double(base),
+                    Value::Double(rng.Bernoulli(0.3) ? 0.0
+                                                     : rng.UniformDouble(2.0, 7.0)),
+                    Value::Int(rng.Uniform(1, 14)),
+                    Value::Int(rng.Uniform(1, 5))});
+  }
+  return CreateAndLoad(db, table, std::move(cols), std::move(rows));
+}
+
+}  // namespace prefsql

@@ -1,0 +1,77 @@
+// Deterministic synthetic workload generators for the paper's scenarios.
+//
+// Substitution note (DESIGN.md): the paper benchmarks against 1.4M real job
+// profiles with 74 attributes on Informix; we generate a deterministic
+// dataset of the same shape (74 attributes, skewed categorical skills,
+// calibratable pre-selection selectivities). Absolute sizes are tunable so
+// the benchmark fits the test machine; the comparison shape is preserved.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "engine/database.h"
+#include "util/status.h"
+
+namespace prefsql {
+
+/// Loads the paper's 6-row `oldtimer` table (§2.2.3) into `db`.
+Status LoadOldtimer(Database& db);
+
+/// Loads the paper's 3-row `Cars` relation from the §3.2 rewrite example.
+Status LoadCarsExample(Database& db);
+
+/// Generates `used_cars(id, make, model, category, color, price, mileage,
+/// power, age, diesel, airbag)` — the §2.2.2 car-dealer scenario.
+Status GenerateUsedCars(Database& db, size_t n, uint64_t seed = 42,
+                        const std::string& table = "car");
+
+/// Generates `products(id, manufacturer, width, spinspeed,
+/// powerconsumption, waterconsumption, price, rating)` — washing machines
+/// for the §4.1 e-shop search mask.
+Status GenerateProducts(Database& db, size_t n, uint64_t seed = 42,
+                        const std::string& table = "products");
+
+/// Generates `trips(id, destination, start_day, duration, price, category)`
+/// — the §2.2.4 travel scenario (start_day is a DATE).
+Status GenerateTrips(Database& db, size_t n, uint64_t seed = 42,
+                     const std::string& table = "trips");
+
+/// Generates `hotels(id, name, city, location, price, stars)` (§2.2.1 NEG
+/// example).
+Status GenerateHotels(Database& db, size_t n, uint64_t seed = 42,
+                      const std::string& table = "hotels");
+
+/// Generates `programmers(id, name, exp, languages, salary, region)`
+/// (§2.2.1 POS example); `exp` holds the main skill, `languages` a
+/// comma-separated list for CONTAINS.
+Status GenerateProgrammers(Database& db, size_t n, uint64_t seed = 42,
+                           const std::string& table = "programmers");
+
+/// Configuration of the §3.3 job-profile benchmark relation.
+struct JobProfileConfig {
+  size_t rows = 200000;          ///< paper: ~1.4M (scaled for the container)
+  uint64_t seed = 42;
+  std::string table = "profiles";
+  /// Number of attributes including the benchmark-relevant ones; the paper's
+  /// relation has 74 attributes per tuple.
+  size_t total_attributes = 74;
+};
+
+/// Generates the job-profile relation. Benchmark-relevant attributes:
+///   region (TEXT, 16 values, uniform)     — pre-selection
+///   profession (TEXT, 40 values, Zipf)    — pre-selection
+///   availability (INTEGER days, 0..365)   — pre-selection range
+///   skill_a .. skill_d (TEXT, Zipf)       — the 4 second-selection criteria
+///   experience (INTEGER years), salary (INTEGER), age (INTEGER)
+/// plus filler attributes f0, f1, ... to reach `total_attributes` columns.
+Status GenerateJobProfiles(Database& db, const JobProfileConfig& config = {});
+
+/// Generates `offers(id, shop, product, price, shipping, delivery_days,
+/// rating)` — synthetic meta-search snapshots for the COSIMA scenario
+/// (§4.3): `n` offers as gathered into the temporary comparison-shopping DB.
+Status GenerateShopOffers(Database& db, size_t n, uint64_t seed = 42,
+                          const std::string& table = "offers");
+
+}  // namespace prefsql

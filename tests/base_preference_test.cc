@@ -1,0 +1,170 @@
+#include "preference/base_preferences.h"
+
+#include <gtest/gtest.h>
+
+#include "engine/evaluator.h"
+#include "sql/parser.h"
+
+namespace prefsql {
+namespace {
+
+Rel CompareValues(const BasePreference& p, const Value& a, const Value& b) {
+  return p.Compare(p.MakeKey(a), p.MakeKey(b));
+}
+
+TEST(AroundPreferenceTest, ScoreIsDistanceToTarget) {
+  AroundPreference p(14.0);
+  EXPECT_DOUBLE_EQ(p.Score(Value::Int(14)), 0.0);
+  EXPECT_DOUBLE_EQ(p.Score(Value::Int(10)), 4.0);
+  EXPECT_DOUBLE_EQ(p.Score(Value::Int(18)), 4.0);
+  EXPECT_EQ(p.Score(Value::Null()), kWorstScore);
+  EXPECT_EQ(p.Score(Value::Text("junk")), kWorstScore);
+}
+
+TEST(AroundPreferenceTest, DominanceAndEquivalence) {
+  AroundPreference p(14.0);
+  EXPECT_EQ(CompareValues(p, Value::Int(14), Value::Int(10)), Rel::kBetter);
+  EXPECT_EQ(CompareValues(p, Value::Int(10), Value::Int(14)), Rel::kWorse);
+  // Equidistant values on both sides are equivalent.
+  EXPECT_EQ(CompareValues(p, Value::Int(10), Value::Int(18)),
+            Rel::kEquivalent);
+  // Any real value beats NULL; two NULLs tie.
+  EXPECT_EQ(CompareValues(p, Value::Int(99999), Value::Null()), Rel::kBetter);
+  EXPECT_EQ(CompareValues(p, Value::Null(), Value::Null()), Rel::kEquivalent);
+}
+
+TEST(AroundPreferenceTest, WorksOnDates) {
+  AroundPreference p(10775.0);  // 1999-07-03
+  EXPECT_DOUBLE_EQ(p.Score(Value::Date(10777)), 2.0);
+  EXPECT_DOUBLE_EQ(p.Score(Value::Text("1999/7/1")), 2.0);
+}
+
+TEST(BetweenPreferenceTest, InsideIsPerfect) {
+  BetweenPreference p(1500, 2000);
+  EXPECT_DOUBLE_EQ(p.Score(Value::Int(1500)), 0.0);
+  EXPECT_DOUBLE_EQ(p.Score(Value::Int(1750)), 0.0);
+  EXPECT_DOUBLE_EQ(p.Score(Value::Int(2000)), 0.0);
+  EXPECT_DOUBLE_EQ(p.Score(Value::Int(1400)), 100.0);
+  EXPECT_DOUBLE_EQ(p.Score(Value::Int(2300)), 300.0);
+  // All values inside the interval are equivalent.
+  EXPECT_EQ(CompareValues(p, Value::Int(1600), Value::Int(1900)),
+            Rel::kEquivalent);
+  EXPECT_EQ(CompareValues(p, Value::Int(1400), Value::Int(2050)), Rel::kWorse);
+}
+
+TEST(LowestHighestPreferenceTest, Ordering) {
+  LowestPreference lo;
+  EXPECT_EQ(CompareValues(lo, Value::Int(1), Value::Int(2)), Rel::kBetter);
+  EXPECT_EQ(CompareValues(lo, Value::Double(1.5), Value::Int(1)), Rel::kWorse);
+  HighestPreference hi;
+  EXPECT_EQ(CompareValues(hi, Value::Int(2), Value::Int(1)), Rel::kBetter);
+  EXPECT_EQ(CompareValues(hi, Value::Int(2), Value::Double(2.0)),
+            Rel::kEquivalent);
+  EXPECT_EQ(hi.Score(Value::Null()), kWorstScore);
+}
+
+TEST(PosPreferenceTest, Levels) {
+  auto p = MakePosPreference({Value::Text("java"), Value::Text("C++")});
+  EXPECT_DOUBLE_EQ(p->Score(Value::Text("java")), 1.0);
+  EXPECT_DOUBLE_EQ(p->Score(Value::Text("C++")), 1.0);
+  EXPECT_DOUBLE_EQ(p->Score(Value::Text("perl")), 2.0);
+  EXPECT_DOUBLE_EQ(p->Score(Value::Null()), 2.0);
+  EXPECT_EQ(CompareValues(*p, Value::Text("java"), Value::Text("perl")),
+            Rel::kBetter);
+  EXPECT_EQ(CompareValues(*p, Value::Text("java"), Value::Text("C++")),
+            Rel::kEquivalent);
+  EXPECT_TRUE(p->IsCategorical());
+}
+
+TEST(NegPreferenceTest, DislikedValuesLoseButRemainAcceptable) {
+  auto p = MakeNegPreference({Value::Text("downtown")});
+  EXPECT_DOUBLE_EQ(p->Score(Value::Text("suburb")), 1.0);
+  EXPECT_DOUBLE_EQ(p->Score(Value::Text("downtown")), 2.0);
+  // NULL is "not the disliked value": level 1 (consistent with the SQL
+  // rewrite where IN -> UNKNOWN falls to ELSE 1).
+  EXPECT_DOUBLE_EQ(p->Score(Value::Null()), 1.0);
+}
+
+TEST(PosPosPreferenceTest, ThreeLevels) {
+  auto p = MakePosPosPreference({Value::Text("white")}, {Value::Text("yellow")});
+  EXPECT_DOUBLE_EQ(p->Score(Value::Text("white")), 1.0);
+  EXPECT_DOUBLE_EQ(p->Score(Value::Text("yellow")), 2.0);
+  EXPECT_DOUBLE_EQ(p->Score(Value::Text("red")), 3.0);
+}
+
+TEST(PosNegPreferenceTest, NeutralMiddle) {
+  auto p = MakePosNegPreference({Value::Text("roadster")},
+                                {Value::Text("passenger")});
+  EXPECT_DOUBLE_EQ(p->Score(Value::Text("roadster")), 1.0);
+  EXPECT_DOUBLE_EQ(p->Score(Value::Text("suv")), 2.0);
+  EXPECT_DOUBLE_EQ(p->Score(Value::Text("passenger")), 3.0);
+}
+
+TEST(ContainsPreferenceTest, CaseInsensitiveSubstring) {
+  ContainsPreference p("garden");
+  EXPECT_DOUBLE_EQ(p.Score(Value::Text("House with GARDEN view")), 1.0);
+  EXPECT_DOUBLE_EQ(p.Score(Value::Text("city flat")), 2.0);
+  EXPECT_DOUBLE_EQ(p.Score(Value::Int(7)), 2.0);
+  EXPECT_DOUBLE_EQ(p.Score(Value::Null()), 2.0);
+}
+
+// Property: the generated SQL score expression computes exactly Score()
+// for every built-in preference over a value grid.
+class ScoreExprFidelityTest
+    : public ::testing::TestWithParam<std::shared_ptr<BasePreference>> {};
+
+TEST_P(ScoreExprFidelityTest, SqlExprMatchesNativeScore) {
+  const BasePreference& p = *GetParam();
+  ExprPtr attr = Expr::MakeColumn("", "v");
+  auto expr = p.ScoreExpr(*attr);
+  ASSERT_TRUE(expr.ok()) << p.TypeName();
+  Schema schema = Schema::FromNames({"v"});
+  std::vector<Value> grid = {
+      Value::Null(),          Value::Int(0),     Value::Int(14),
+      Value::Int(40),         Value::Int(-3),    Value::Double(13.5),
+      Value::Double(2000.0),  Value::Text("java"), Value::Text("C++"),
+      Value::Text("perl"),    Value::Text("white"), Value::Text("yellow"),
+      Value::Text("a garden house"), Value::Text("downtown")};
+  for (const Value& v : grid) {
+    Row row{v};
+    auto got = Evaluate(**expr, EvalContext::For(schema, row));
+    ASSERT_TRUE(got.ok()) << p.TypeName() << " on " << v.ToString() << ": "
+                          << got.status().ToString();
+    double native = p.Score(v);
+    auto num = got->ToNumeric();
+    // Text scores: the SQL expr yields a numeric level too.
+    ASSERT_TRUE(num.has_value()) << p.TypeName() << " on " << v.ToString();
+    EXPECT_DOUBLE_EQ(*num, native) << p.TypeName() << " on " << v.ToString();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllBuiltins, ScoreExprFidelityTest,
+    ::testing::Values(
+        std::make_shared<AroundPreference>(14.0),
+        std::make_shared<AroundPreference>(-2.5),
+        std::make_shared<BetweenPreference>(0.0, 0.9),
+        std::make_shared<BetweenPreference>(1500.0, 2000.0),
+        std::shared_ptr<BasePreference>(new LowestPreference()),
+        std::shared_ptr<BasePreference>(new HighestPreference()),
+        std::shared_ptr<BasePreference>(
+            MakePosPreference({Value::Text("java"), Value::Text("C++")})),
+        std::shared_ptr<BasePreference>(
+            MakeNegPreference({Value::Text("downtown")})),
+        std::shared_ptr<BasePreference>(MakePosPosPreference(
+            {Value::Text("white")}, {Value::Text("yellow")})),
+        std::shared_ptr<BasePreference>(MakePosNegPreference(
+            {Value::Text("java")}, {Value::Text("perl")})),
+        std::shared_ptr<BasePreference>(new ContainsPreference("garden"))));
+
+TEST(QualityOffsetTest, PerTypeConventions) {
+  EXPECT_EQ(AroundPreference(1).QualityOffset(), 0.0);
+  EXPECT_EQ(BetweenPreference(0, 1).QualityOffset(), 0.0);
+  EXPECT_FALSE(LowestPreference().QualityOffset().has_value());
+  EXPECT_FALSE(HighestPreference().QualityOffset().has_value());
+  EXPECT_EQ(MakePosPreference({Value::Int(1)})->QualityOffset(), 1.0);
+  EXPECT_EQ(ContainsPreference("x").QualityOffset(), 1.0);
+}
+
+}  // namespace
+}  // namespace prefsql

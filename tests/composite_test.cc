@@ -1,0 +1,137 @@
+#include "preference/composite.h"
+
+#include <gtest/gtest.h>
+
+#include "sql/parser.h"
+
+namespace prefsql {
+namespace {
+
+CompiledPreference Compile(const std::string& text) {
+  auto term = ParsePreference(text);
+  EXPECT_TRUE(term.ok()) << text << ": " << term.status().ToString();
+  auto pref = CompiledPreference::Compile(**term);
+  EXPECT_TRUE(pref.ok()) << text << ": " << pref.status().ToString();
+  return std::move(pref).value();
+}
+
+PrefKey KeyOf(const CompiledPreference& pref, const Schema& schema, Row row) {
+  auto k = pref.MakeKey(schema, row);
+  EXPECT_TRUE(k.ok()) << k.status().ToString();
+  return std::move(k).value();
+}
+
+TEST(CompositeTest, CompileFlattensLeavesInPreOrder) {
+  CompiledPreference p =
+      Compile("(a AROUND 1 AND LOWEST(b)) CASCADE c = 'x'");
+  EXPECT_EQ(p.num_leaves(), 3u);
+  EXPECT_STREQ(p.leaf(0).pref->TypeName(), "AROUND");
+  EXPECT_STREQ(p.leaf(1).pref->TypeName(), "LOWEST");
+  EXPECT_STREQ(p.leaf(2).pref->TypeName(), "POS");
+  EXPECT_EQ(p.root().kind, PrefNode::Kind::kPrioritized);
+}
+
+TEST(CompositeTest, ParetoDominance) {
+  CompiledPreference p = Compile("HIGHEST(x) AND HIGHEST(y)");
+  Schema s = Schema::FromNames({"x", "y"});
+  PrefKey better = KeyOf(p, s, {Value::Int(2), Value::Int(2)});
+  PrefKey worse = KeyOf(p, s, {Value::Int(1), Value::Int(2)});
+  PrefKey incomp = KeyOf(p, s, {Value::Int(3), Value::Int(1)});
+  EXPECT_EQ(p.Compare(better, worse), Rel::kBetter);
+  EXPECT_EQ(p.Compare(worse, better), Rel::kWorse);
+  EXPECT_EQ(p.Compare(better, incomp), Rel::kIncomparable);
+  EXPECT_EQ(p.Compare(better, better), Rel::kEquivalent);
+  EXPECT_TRUE(p.Dominates(better, worse));
+  EXPECT_FALSE(p.Dominates(worse, better));
+  EXPECT_FALSE(p.Dominates(better, incomp));
+}
+
+TEST(CompositeTest, PrioritizedDominanceIsLexicographic) {
+  CompiledPreference p = Compile("LOWEST(x) CASCADE LOWEST(y)");
+  Schema s = Schema::FromNames({"x", "y"});
+  PrefKey a = KeyOf(p, s, {Value::Int(1), Value::Int(9)});
+  PrefKey b = KeyOf(p, s, {Value::Int(2), Value::Int(0)});
+  PrefKey c = KeyOf(p, s, {Value::Int(1), Value::Int(5)});
+  EXPECT_EQ(p.Compare(a, b), Rel::kBetter);   // first component decides
+  EXPECT_EQ(p.Compare(c, a), Rel::kBetter);   // tie -> second decides
+  EXPECT_EQ(p.Compare(a, a), Rel::kEquivalent);
+}
+
+TEST(CompositeTest, CascadeOfParetoGroups) {
+  // (P1 AND P2) CASCADE P3: P3 only breaks exact (P1,P2)-level ties.
+  CompiledPreference p =
+      Compile("(LOWEST(x) AND LOWEST(y)) CASCADE LOWEST(z)");
+  Schema s = Schema::FromNames({"x", "y", "z"});
+  PrefKey base = KeyOf(p, s, {Value::Int(1), Value::Int(1), Value::Int(5)});
+  PrefKey tie_better_z =
+      KeyOf(p, s, {Value::Int(1), Value::Int(1), Value::Int(2)});
+  PrefKey pareto_incomp =
+      KeyOf(p, s, {Value::Int(0), Value::Int(2), Value::Int(0)});
+  EXPECT_EQ(p.Compare(tie_better_z, base), Rel::kBetter);
+  // Pareto-incomparable in the first group stays incomparable overall
+  // even with a better z.
+  EXPECT_EQ(p.Compare(pareto_incomp, base), Rel::kIncomparable);
+}
+
+TEST(CompositeTest, ParetoOverExplicitBranches) {
+  CompiledPreference p = Compile(
+      "c EXPLICIT ('a' BETTER THAN 'b', 'a' BETTER THAN 'z') AND LOWEST(x)");
+  Schema s = Schema::FromNames({"c", "x"});
+  PrefKey top = KeyOf(p, s, {Value::Text("a"), Value::Int(1)});
+  PrefKey mid = KeyOf(p, s, {Value::Text("b"), Value::Int(2)});
+  PrefKey other = KeyOf(p, s, {Value::Text("z"), Value::Int(1)});
+  EXPECT_EQ(p.Compare(top, mid), Rel::kBetter);
+  EXPECT_EQ(p.Compare(mid, other), Rel::kIncomparable);  // b vs z incomparable
+}
+
+TEST(CompositeTest, MakeKeyEvaluatesAttrExpressions) {
+  CompiledPreference p = Compile("HIGHEST(power / weight)");
+  Schema s = Schema::FromNames({"power", "weight"});
+  PrefKey k = KeyOf(p, s, {Value::Int(100), Value::Int(4)});
+  EXPECT_DOUBLE_EQ(k[0].score, -25.0);
+}
+
+TEST(CompositeTest, MakeKeyErrorsOnUnknownColumn) {
+  CompiledPreference p = Compile("LOWEST(zzz)");
+  Schema s = Schema::FromNames({"x"});
+  Row row{Value::Int(1)};
+  EXPECT_FALSE(p.MakeKey(s, row).ok());
+}
+
+TEST(CompositeTest, LeafForColumnResolution) {
+  CompiledPreference p = Compile("a AROUND 1 AND LOWEST(b)");
+  auto slot_a = p.LeafForColumn("a");
+  ASSERT_TRUE(slot_a.ok());
+  EXPECT_EQ(*slot_a, 0u);
+  auto slot_b = p.LeafForColumn("B");  // case-insensitive
+  ASSERT_TRUE(slot_b.ok());
+  EXPECT_EQ(*slot_b, 1u);
+  EXPECT_TRUE(p.LeafForColumn("c").status().IsInvalidArgument());
+  // Ambiguity: two preferences on the same column.
+  CompiledPreference dup = Compile("a AROUND 1 AND LOWEST(a)");
+  EXPECT_TRUE(dup.LeafForColumn("a").status().IsInvalidArgument());
+}
+
+TEST(CompositeTest, IsRewritable) {
+  EXPECT_TRUE(Compile("LOWEST(a) AND b = 'x'").IsRewritable());
+  EXPECT_TRUE(
+      Compile("c EXPLICIT ('a' BETTER THAN 'b', 'b' BETTER THAN 'd')")
+          .IsRewritable());  // chain = weak order
+  EXPECT_FALSE(
+      Compile("c EXPLICIT ('a' BETTER THAN 'b', 'x' BETTER THAN 'y')")
+          .IsRewritable());  // parallel chains
+}
+
+TEST(CompositeTest, CompileRejectsBadBounds) {
+  auto term = ParsePreference("x BETWEEN 5, 2");
+  ASSERT_TRUE(term.ok());
+  EXPECT_FALSE(CompiledPreference::Compile(**term).ok());
+}
+
+TEST(CompositeTest, TermIsPreservedForTheRewriter) {
+  CompiledPreference p = Compile("LOWEST(a) CASCADE b = 'x'");
+  EXPECT_EQ(p.term().kind, PrefKind::kPrioritized);
+}
+
+}  // namespace
+}  // namespace prefsql

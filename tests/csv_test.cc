@@ -1,0 +1,133 @@
+#include "engine/csv.h"
+
+#include <gtest/gtest.h>
+
+#include "core/connection.h"
+
+namespace prefsql {
+namespace {
+
+TEST(CsvParseTest, HeaderAndTypes) {
+  auto t = ParseCsv("id,name,price\n1,widget,9.5\n2,gadget,12\n");
+  ASSERT_TRUE(t.ok()) << t.status().ToString();
+  EXPECT_EQ(t->schema().Names(),
+            (std::vector<std::string>{"id", "name", "price"}));
+  ASSERT_EQ(t->num_rows(), 2u);
+  EXPECT_EQ(t->at(0, 0).type(), ValueType::kInt);
+  EXPECT_EQ(t->at(0, 1).type(), ValueType::kText);
+  EXPECT_EQ(t->at(0, 2).type(), ValueType::kDouble);
+  EXPECT_EQ(t->at(1, 2).AsInt(), 12);  // bare 12 parses as INT
+}
+
+TEST(CsvParseTest, QuotingRules) {
+  auto t = ParseCsv(
+      "a,b\n\"has, comma\",\"has \"\"quotes\"\"\"\n\"multi\nline\",plain\n");
+  ASSERT_TRUE(t.ok()) << t.status().ToString();
+  ASSERT_EQ(t->num_rows(), 2u);
+  EXPECT_EQ(t->at(0, 0).AsText(), "has, comma");
+  EXPECT_EQ(t->at(0, 1).AsText(), "has \"quotes\"");
+  EXPECT_EQ(t->at(1, 0).AsText(), "multi\nline");
+}
+
+TEST(CsvParseTest, EmptyUnquotedFieldIsNullQuotedIsEmptyText) {
+  auto t = ParseCsv("a,b\n,\"\"\n");
+  ASSERT_TRUE(t.ok());
+  EXPECT_TRUE(t->at(0, 0).is_null());
+  EXPECT_EQ(t->at(0, 1).AsText(), "");
+}
+
+TEST(CsvParseTest, QuotedNumbersStayText) {
+  auto t = ParseCsv("zip\n\"01234\"\n");
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t->at(0, 0).AsText(), "01234");
+}
+
+TEST(CsvParseTest, Errors) {
+  EXPECT_FALSE(ParseCsv("").ok());
+  EXPECT_FALSE(ParseCsv("a,b\n1\n").ok());        // ragged record
+  EXPECT_FALSE(ParseCsv("a\n\"oops\n").ok());     // unterminated quote
+}
+
+TEST(CsvParseTest, NoHeaderAndCustomSeparator) {
+  CsvOptions opt;
+  opt.has_header = false;
+  opt.separator = ';';
+  auto t = ParseCsv("1;x\n2;y\n", opt);
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t->schema().Names(), (std::vector<std::string>{"c0", "c1"}));
+  EXPECT_EQ(t->num_rows(), 2u);
+}
+
+TEST(CsvImportTest, CreatesTableAndSupportsPreferences) {
+  Connection conn;
+  auto n = ImportCsv(conn.database(), "flights",
+                     "id,dest,price,stops\n"
+                     "1,Rome,120.5,0\n"
+                     "2,Rome,80.0,2\n"
+                     "3,Rome,95.0,1\n"
+                     "4,Oslo,60.0,0\n");
+  ASSERT_TRUE(n.ok()) << n.status().ToString();
+  EXPECT_EQ(*n, 4u);
+  auto r = conn.Execute(
+      "SELECT id FROM flights WHERE dest = 'Rome' "
+      "PREFERRING LOWEST(price) AND LOWEST(stops) ORDER BY id");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  // Skyline of (price, stops): (120.5, 0), (80, 2), (95, 1).
+  EXPECT_EQ(r->num_rows(), 3u);
+}
+
+TEST(CsvImportTest, AppendsToExistingTable) {
+  Connection conn;
+  ASSERT_TRUE(conn.Execute("CREATE TABLE t (a INTEGER, b TEXT)").ok());
+  auto n1 = ImportCsv(conn.database(), "t", "a,b\n1,x\n");
+  auto n2 = ImportCsv(conn.database(), "t", "a,b\n2,y\n");
+  ASSERT_TRUE(n1.ok() && n2.ok());
+  auto r = conn.Execute("SELECT COUNT(*) FROM t");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->at(0, 0).AsInt(), 2);
+  // Type coercion against the declared schema still applies.
+  EXPECT_FALSE(ImportCsv(conn.database(), "t", "a,b\n2.5,z\n").ok());
+}
+
+TEST(CsvExportTest, RoundTrip) {
+  ResultTable t(Schema::FromNames({"id", "note"}),
+                {{Value::Int(1), Value::Text("plain")},
+                 {Value::Int(2), Value::Text("with, comma")},
+                 {Value::Null(), Value::Text("x\"y")}});
+  std::string csv = ToCsv(t);
+  EXPECT_EQ(csv,
+            "id,note\n"
+            "1,plain\n"
+            "2,\"with, comma\"\n"
+            ",\"x\"\"y\"\n");
+  auto back = ParseCsv(csv);
+  ASSERT_TRUE(back.ok());
+  ASSERT_EQ(back->num_rows(), 3u);
+  EXPECT_TRUE(back->at(2, 0).is_null());
+  EXPECT_EQ(back->at(2, 1).AsText(), "x\"y");
+}
+
+TEST(CsvFileTest, FileRoundTrip) {
+  Connection conn;
+  ASSERT_TRUE(conn.ExecuteScript(
+                       "CREATE TABLE t (a INTEGER, b TEXT);"
+                       "INSERT INTO t VALUES (1, 'x'), (2, 'y')")
+                  .ok());
+  auto data = conn.Execute("SELECT * FROM t ORDER BY a");
+  ASSERT_TRUE(data.ok());
+  std::string path = ::testing::TempDir() + "/prefsql_csv_test.csv";
+  ASSERT_TRUE(ExportCsvFile(*data, path).ok());
+  Connection conn2;
+  auto n = ImportCsvFile(conn2.database(), "t2", path);
+  ASSERT_TRUE(n.ok()) << n.status().ToString();
+  EXPECT_EQ(*n, 2u);
+  auto r = conn2.Execute("SELECT b FROM t2 WHERE a = 2");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->at(0, 0).AsText(), "y");
+  EXPECT_TRUE(ImportCsvFile(conn2.database(), "t3", "/nonexistent.csv")
+                  .status()
+                  .IsNotFound());
+}
+
+}  // namespace
+}  // namespace prefsql

@@ -1,0 +1,76 @@
+#include "engine/database.h"
+
+#include <gtest/gtest.h>
+
+namespace prefsql {
+namespace {
+
+TEST(DatabaseTest, ExecuteScriptReturnsLastResult) {
+  Database db;
+  auto r = db.ExecuteScript(
+      "CREATE TABLE t (x INTEGER);"
+      "INSERT INTO t VALUES (1), (2), (3);"
+      "SELECT SUM(x) FROM t");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->at(0, 0).AsInt(), 6);
+}
+
+TEST(DatabaseTest, EmptyScriptIsError) {
+  Database db;
+  EXPECT_FALSE(db.ExecuteScript(";;").ok());
+}
+
+TEST(DatabaseTest, ScriptStopsAtFirstError) {
+  Database db;
+  auto r = db.ExecuteScript(
+      "CREATE TABLE t (x INTEGER);"
+      "INSERT INTO nosuch VALUES (1);"
+      "SELECT * FROM t");
+  EXPECT_TRUE(r.status().IsNotFound());
+  // The first statement took effect.
+  EXPECT_TRUE(db.catalog().HasTable("t"));
+}
+
+TEST(DatabaseTest, ParseErrorsPropagate) {
+  Database db;
+  EXPECT_TRUE(db.Execute("SELEC 1").status().IsParseError());
+  EXPECT_TRUE(db.Execute("SELECT FROM").status().IsParseError());
+}
+
+TEST(DatabaseTest, DdlResultsAreEmptyTables) {
+  Database db;
+  auto r = db.Execute("CREATE TABLE t (x INTEGER)");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->num_rows(), 0u);
+  EXPECT_EQ(r->num_columns(), 0u);
+}
+
+TEST(DatabaseTest, ViewsSeeMutationsBetweenStatements) {
+  Database db;
+  ASSERT_TRUE(db.ExecuteScript(
+                    "CREATE TABLE t (x INTEGER);"
+                    "CREATE VIEW v AS SELECT * FROM t WHERE x > 0;"
+                    "INSERT INTO t VALUES (1)")
+                  .ok());
+  auto r1 = db.Execute("SELECT COUNT(*) FROM v");
+  ASSERT_TRUE(r1.ok());
+  EXPECT_EQ(r1->at(0, 0).AsInt(), 1);
+  ASSERT_TRUE(db.Execute("INSERT INTO t VALUES (2)").ok());
+  auto r2 = db.Execute("SELECT COUNT(*) FROM v");
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ(r2->at(0, 0).AsInt(), 2);
+}
+
+TEST(DatabaseTest, CreateIndexViaSql) {
+  Database db;
+  ASSERT_TRUE(db.ExecuteScript(
+                    "CREATE TABLE t (x INTEGER);"
+                    "CREATE INDEX ix ON t (x)")
+                  .ok());
+  EXPECT_EQ(db.catalog().IndexesOn("t").size(), 1u);
+  ASSERT_TRUE(db.Execute("DROP INDEX ix").ok());
+  EXPECT_EQ(db.catalog().IndexesOn("t").size(), 0u);
+}
+
+}  // namespace
+}  // namespace prefsql

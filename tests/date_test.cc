@@ -1,0 +1,65 @@
+#include "types/date.h"
+
+#include <gtest/gtest.h>
+
+namespace prefsql {
+namespace {
+
+TEST(DateTest, EpochIsZero) {
+  EXPECT_EQ(DateToDayNumber(1970, 1, 1), 0);
+  EXPECT_EQ(DateToDayNumber(1970, 1, 2), 1);
+  EXPECT_EQ(DateToDayNumber(1969, 12, 31), -1);
+}
+
+TEST(DateTest, KnownDates) {
+  // 2000-03-01 is day 11017 (Hinnant's civil_from_days reference).
+  EXPECT_EQ(DateToDayNumber(2000, 3, 1), 11017);
+  EXPECT_EQ(DateToDayNumber(1999, 7, 3), 10775);
+}
+
+TEST(DateTest, RejectsInvalidCalendarDates) {
+  EXPECT_FALSE(DateToDayNumber(1999, 13, 1).has_value());
+  EXPECT_FALSE(DateToDayNumber(1999, 0, 1).has_value());
+  EXPECT_FALSE(DateToDayNumber(1999, 2, 29).has_value());  // not a leap year
+  EXPECT_TRUE(DateToDayNumber(2000, 2, 29).has_value());   // leap year
+  EXPECT_FALSE(DateToDayNumber(1900, 2, 29).has_value());  // century rule
+  EXPECT_FALSE(DateToDayNumber(1999, 4, 31).has_value());
+}
+
+TEST(DateTest, ParseAcceptsBothSeparators) {
+  EXPECT_EQ(ParseDate("1999/7/3"), DateToDayNumber(1999, 7, 3));
+  EXPECT_EQ(ParseDate("1999-07-03"), DateToDayNumber(1999, 7, 3));
+  EXPECT_EQ(ParseDate("2024-12-31"), DateToDayNumber(2024, 12, 31));
+}
+
+TEST(DateTest, ParseRejectsGarbage) {
+  EXPECT_FALSE(ParseDate("").has_value());
+  EXPECT_FALSE(ParseDate("hello").has_value());
+  EXPECT_FALSE(ParseDate("1999/7").has_value());
+  EXPECT_FALSE(ParseDate("1999/7/3/4").has_value());
+  EXPECT_FALSE(ParseDate("1999/7-3").has_value());  // mixed separators
+  EXPECT_FALSE(ParseDate("19999/7/3").has_value()); // 5-digit year
+  EXPECT_FALSE(ParseDate("1999//3").has_value());
+}
+
+TEST(DateTest, FormatRoundTrips) {
+  for (int64_t day : {0L, 10775L, 11017L, -719468L + 100L, 20000L}) {
+    auto parsed = ParseDate(FormatDate(day));
+    ASSERT_TRUE(parsed.has_value()) << FormatDate(day);
+    EXPECT_EQ(*parsed, day);
+  }
+  EXPECT_EQ(FormatDate(10775), "1999-07-03");
+}
+
+TEST(DateTest, RoundTripSweepOverTwoYears) {
+  // Every day across a leap boundary survives format->parse.
+  int64_t start = *DateToDayNumber(1999, 1, 1);
+  for (int64_t d = start; d < start + 800; ++d) {
+    auto back = ParseDate(FormatDate(d));
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(*back, d);
+  }
+}
+
+}  // namespace
+}  // namespace prefsql

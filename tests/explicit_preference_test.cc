@@ -1,0 +1,121 @@
+#include "preference/explicit_preference.h"
+
+#include <gtest/gtest.h>
+
+namespace prefsql {
+namespace {
+
+std::pair<Value, Value> Edge(const char* better, const char* worse) {
+  return {Value::Text(better), Value::Text(worse)};
+}
+
+Rel CompareValues(const BasePreference& p, const Value& a, const Value& b) {
+  return p.Compare(p.MakeKey(a), p.MakeKey(b));
+}
+
+TEST(ExplicitPreferenceTest, DirectEdgeDominance) {
+  auto p = ExplicitPreference::Make({Edge("red", "blue")});
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(CompareValues(**p, Value::Text("red"), Value::Text("blue")),
+            Rel::kBetter);
+  EXPECT_EQ(CompareValues(**p, Value::Text("blue"), Value::Text("red")),
+            Rel::kWorse);
+}
+
+TEST(ExplicitPreferenceTest, TransitiveReachability) {
+  auto p = ExplicitPreference::Make(
+      {Edge("a", "b"), Edge("b", "c"), Edge("c", "d")});
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(CompareValues(**p, Value::Text("a"), Value::Text("d")),
+            Rel::kBetter);
+  EXPECT_EQ(CompareValues(**p, Value::Text("b"), Value::Text("d")),
+            Rel::kBetter);
+}
+
+TEST(ExplicitPreferenceTest, IncomparableBranches) {
+  // Diamond minus the middle link: b and c are incomparable.
+  auto p = ExplicitPreference::Make(
+      {Edge("a", "b"), Edge("a", "c"), Edge("b", "d"), Edge("c", "d")});
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(CompareValues(**p, Value::Text("b"), Value::Text("c")),
+            Rel::kIncomparable);
+  EXPECT_EQ(CompareValues(**p, Value::Text("a"), Value::Text("d")),
+            Rel::kBetter);
+}
+
+TEST(ExplicitPreferenceTest, UnmentionedValuesAreWorstAndEquivalent) {
+  auto p = ExplicitPreference::Make({Edge("a", "b")});
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(CompareValues(**p, Value::Text("b"), Value::Text("zzz")),
+            Rel::kBetter);
+  EXPECT_EQ(CompareValues(**p, Value::Text("x"), Value::Text("y")),
+            Rel::kEquivalent);
+  EXPECT_EQ(CompareValues(**p, Value::Null(), Value::Text("zzz")),
+            Rel::kEquivalent);  // NULL is unmentioned too
+}
+
+TEST(ExplicitPreferenceTest, CycleRejected) {
+  auto direct = ExplicitPreference::Make({Edge("a", "a")});
+  EXPECT_TRUE(direct.status().IsInvalidArgument());
+  auto cyc =
+      ExplicitPreference::Make({Edge("a", "b"), Edge("b", "c"), Edge("c", "a")});
+  EXPECT_TRUE(cyc.status().IsInvalidArgument());
+}
+
+TEST(ExplicitPreferenceTest, NullValuesRejected) {
+  auto p = ExplicitPreference::Make({{Value::Null(), Value::Text("b")}});
+  EXPECT_TRUE(p.status().IsInvalidArgument());
+}
+
+TEST(ExplicitPreferenceTest, ScoreIsLinearExtension) {
+  auto p = ExplicitPreference::Make(
+      {Edge("a", "b"), Edge("a", "c"), Edge("b", "d"), Edge("c", "d")});
+  ASSERT_TRUE(p.ok());
+  std::vector<Value> values = {Value::Text("a"), Value::Text("b"),
+                               Value::Text("c"), Value::Text("d"),
+                               Value::Text("other")};
+  for (const Value& x : values) {
+    for (const Value& y : values) {
+      if (CompareValues(**p, x, y) == Rel::kBetter) {
+        EXPECT_LT((*p)->Score(x), (*p)->Score(y))
+            << x.ToString() << " vs " << y.ToString();
+      }
+    }
+  }
+}
+
+TEST(ExplicitPreferenceTest, WeakOrderDetection) {
+  // A chain is a weak order.
+  auto chain = ExplicitPreference::Make({Edge("a", "b"), Edge("b", "c")});
+  ASSERT_TRUE(chain.ok());
+  EXPECT_TRUE((*chain)->IsWeakOrder());
+  ExprPtr attr = Expr::MakeColumn("", "v");
+  EXPECT_TRUE((*chain)->ScoreExpr(*attr).ok());
+
+  // Two incomparable maximal elements with a common lower bound are NOT a
+  // weak order: 'a' and 'x' share rank 0 but only 'a' dominates 'b'.
+  auto non_weak = ExplicitPreference::Make({Edge("a", "b"), Edge("x", "y"),
+                                            Edge("a", "y")});
+  ASSERT_TRUE(non_weak.ok());
+  EXPECT_FALSE((*non_weak)->IsWeakOrder());
+  EXPECT_TRUE((*non_weak)->ScoreExpr(*attr).status().IsNotImplemented());
+}
+
+TEST(ExplicitPreferenceTest, ParallelChainsOfEqualLengthAreWeak) {
+  // a>b and x>y: ranks a=x=0, b=y=1; dominance == rank order? a vs y:
+  // not reachable but rank(a) < rank(y) -> NOT a weak order.
+  auto p = ExplicitPreference::Make({Edge("a", "b"), Edge("x", "y")});
+  ASSERT_TRUE(p.ok());
+  EXPECT_FALSE((*p)->IsWeakOrder());
+}
+
+TEST(ExplicitPreferenceTest, IntegerValues) {
+  auto p = ExplicitPreference::Make(
+      {{Value::Int(1), Value::Int(2)}, {Value::Int(2), Value::Int(3)}});
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(CompareValues(**p, Value::Int(1), Value::Int(3)), Rel::kBetter);
+  EXPECT_EQ((*p)->num_values(), 3u);
+}
+
+}  // namespace
+}  // namespace prefsql

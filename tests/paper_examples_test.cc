@@ -1,0 +1,220 @@
+// Every concrete example query of the paper, reproduced end-to-end
+// (experiment ids E1 and E2 of DESIGN.md plus the §2.2.1/§2.2.2 snippets).
+
+#include <gtest/gtest.h>
+
+#include "core/connection.h"
+#include "workload/generators.h"
+
+namespace prefsql {
+namespace {
+
+class PaperExamplesTest : public ::testing::TestWithParam<EvaluationMode> {
+ protected:
+  void SetUp() override { conn_.options().mode = GetParam(); }
+
+  ResultTable Run(const std::string& sql) {
+    auto r = conn_.Execute(sql);
+    EXPECT_TRUE(r.ok()) << sql << " -> " << r.status().ToString();
+    return r.ok() ? std::move(r).value() : ResultTable();
+  }
+
+  Connection conn_;
+};
+
+// E1: §2.2.3 — the oldtimer adorned result, byte for byte.
+TEST_P(PaperExamplesTest, OldtimerAdornedResult) {
+  ASSERT_TRUE(LoadOldtimer(conn_.database()).ok());
+  ResultTable t = Run(
+      "SELECT ident, color, age, LEVEL(color), DISTANCE(age) FROM oldtimer "
+      "PREFERRING (color = 'white' ELSE color = 'yellow') AND age AROUND 40 "
+      "ORDER BY DISTANCE(age)");
+  ASSERT_EQ(t.num_rows(), 3u);
+  EXPECT_EQ(t.RowToString(0), "Selma,red,40,3,0");
+  EXPECT_EQ(t.RowToString(1), "Homer,yellow,35,2,5");
+  EXPECT_EQ(t.RowToString(2), "Maggie,white,19,1,21");
+}
+
+// E2: §3.2 — the Cars rewrite example. Pareto-optimal: the Audi (Make
+// level 1) and the BMW (Diesel level 1); the Beetle is dominated by both.
+TEST_P(PaperExamplesTest, CarsParetoResult) {
+  ASSERT_TRUE(LoadCarsExample(conn_.database()).ok());
+  ResultTable t = Run(
+      "SELECT Identifier, Make FROM Cars "
+      "PREFERRING Make = 'Audi' AND Diesel = 'yes' ORDER BY Identifier");
+  ASSERT_EQ(t.num_rows(), 2u);
+  EXPECT_EQ(t.at(0, 1).AsText(), "Audi");
+  EXPECT_EQ(t.at(1, 1).AsText(), "BMW");
+}
+
+// §2.2.1 — trips AROUND 14: perfect matches if available.
+TEST_P(PaperExamplesTest, TripsAroundDuration) {
+  ASSERT_TRUE(conn_.ExecuteScript(
+                       "CREATE TABLE trips (id INTEGER, duration INTEGER);"
+                       "INSERT INTO trips VALUES (1, 7), (2, 13), (3, 16)")
+                  .ok());
+  ResultTable t = Run("SELECT id FROM trips PREFERRING duration AROUND 14");
+  ASSERT_EQ(t.num_rows(), 1u);
+  EXPECT_EQ(t.at(0, 0).AsInt(), 2);  // 13 is closest to 14
+}
+
+// §2.2.1 — HIGHEST(area): the largest apartment.
+TEST_P(PaperExamplesTest, ApartmentsHighestArea) {
+  ASSERT_TRUE(conn_.ExecuteScript(
+                       "CREATE TABLE apartments (id INTEGER, area INTEGER);"
+                       "INSERT INTO apartments VALUES (1, 55), (2, 80), "
+                       "(3, 80), (4, 30)")
+                  .ok());
+  ResultTable t =
+      Run("SELECT id FROM apartments PREFERRING HIGHEST(area) ORDER BY id");
+  ASSERT_EQ(t.num_rows(), 2u);  // both 80s
+  EXPECT_EQ(t.at(0, 0).AsInt(), 2);
+}
+
+// §2.2.1 — POS: java or C++ wanted, otherwise anyone.
+TEST_P(PaperExamplesTest, ProgrammersPosPreference) {
+  ASSERT_TRUE(conn_.ExecuteScript(
+                       "CREATE TABLE programmers (id INTEGER, exp TEXT);"
+                       "INSERT INTO programmers VALUES (1, 'perl'), "
+                       "(2, 'java'), (3, 'C++'), (4, 'COBOL')")
+                  .ok());
+  ResultTable with_match = Run(
+      "SELECT id FROM programmers PREFERRING exp IN ('java', 'C++') "
+      "ORDER BY id");
+  ASSERT_EQ(with_match.num_rows(), 2u);
+  EXPECT_EQ(with_match.at(0, 0).AsInt(), 2);
+  // Without any match, everybody is an acceptable alternative (BMO).
+  ASSERT_TRUE(conn_.Execute("DELETE FROM programmers WHERE id IN (2, 3)").ok());
+  ResultTable fallback = Run(
+      "SELECT id FROM programmers PREFERRING exp IN ('java', 'C++')");
+  EXPECT_EQ(fallback.num_rows(), 2u);  // perl and COBOL both level 2
+}
+
+// §2.2.1 — NEG: not downtown if possible, else downtown beats nothing.
+TEST_P(PaperExamplesTest, HotelsNegPreference) {
+  ASSERT_TRUE(conn_.ExecuteScript(
+                       "CREATE TABLE hotels (id INTEGER, location TEXT);"
+                       "INSERT INTO hotels VALUES (1, 'downtown'), "
+                       "(2, 'suburb'), (3, 'downtown')")
+                  .ok());
+  ResultTable t = Run(
+      "SELECT id FROM hotels PREFERRING location <> 'downtown'");
+  ASSERT_EQ(t.num_rows(), 1u);
+  EXPECT_EQ(t.at(0, 0).AsInt(), 2);
+  // Only downtown rooms left: they are returned rather than nothing.
+  ASSERT_TRUE(conn_.Execute("DELETE FROM hotels WHERE id = 2").ok());
+  ResultTable only_downtown = Run(
+      "SELECT id FROM hotels PREFERRING location <> 'downtown'");
+  EXPECT_EQ(only_downtown.num_rows(), 2u);
+}
+
+// §2.2.2 — Pareto accumulation of HIGHEST(main_memory) AND
+// HIGHEST(cpu_speed).
+TEST_P(PaperExamplesTest, ComputersPareto) {
+  ASSERT_TRUE(conn_.ExecuteScript(
+                       "CREATE TABLE computers (id INTEGER, main_memory "
+                       "INTEGER, cpu_speed INTEGER);"
+                       "INSERT INTO computers VALUES (1, 512, 800), "
+                       "(2, 256, 1000), (3, 512, 1000), (4, 128, 600)")
+                  .ok());
+  ResultTable t = Run(
+      "SELECT id FROM computers PREFERRING HIGHEST(main_memory) AND "
+      "HIGHEST(cpu_speed)");
+  ASSERT_EQ(t.num_rows(), 1u);
+  EXPECT_EQ(t.at(0, 0).AsInt(), 3);  // dominates all others
+}
+
+// §2.2.2 — cascade: memory first, then black-or-brown color.
+TEST_P(PaperExamplesTest, ComputersCascade) {
+  ASSERT_TRUE(conn_.ExecuteScript(
+                       "CREATE TABLE computers (id INTEGER, main_memory "
+                       "INTEGER, color TEXT);"
+                       "INSERT INTO computers VALUES (1, 512, 'beige'), "
+                       "(2, 512, 'black'), (3, 256, 'black')")
+                  .ok());
+  ResultTable t = Run(
+      "SELECT id FROM computers PREFERRING HIGHEST(main_memory) CASCADE "
+      "color IN ('black', 'brown')");
+  ASSERT_EQ(t.num_rows(), 1u);
+  EXPECT_EQ(t.at(0, 0).AsInt(), 2);  // max memory, then preferred color
+}
+
+// §2.2.2 — the full car wish, on a hand-built relation where the expected
+// winner is unambiguous.
+TEST_P(PaperExamplesTest, FullCarWish) {
+  ASSERT_TRUE(conn_.ExecuteScript(
+                       "CREATE TABLE car (id INTEGER, make TEXT, category "
+                       "TEXT, price INTEGER, power INTEGER, color TEXT, "
+                       "mileage INTEGER);"
+                       "INSERT INTO car VALUES "
+                       // two Opel roadsters, equal price distance & power;
+                       // red beats blue in the cascade.
+                       "(1, 'Opel', 'roadster', 40000, 150, 'blue', 60000), "
+                       "(2, 'Opel', 'roadster', 40000, 150, 'red', 80000), "
+                       // dominated on price distance:
+                       "(3, 'Opel', 'roadster', 55000, 150, 'red', 10000), "
+                       // knocked out by WHERE:
+                       "(4, 'BMW', 'roadster', 40000, 200, 'red', 10000), "
+                       // passenger car: worst category level:
+                       "(5, 'Opel', 'passenger', 40000, 150, 'red', 10000)")
+                  .ok());
+  ResultTable t = Run(
+      "SELECT id FROM car WHERE make = 'Opel' "
+      "PREFERRING (category = 'roadster' ELSE category <> 'passenger' AND "
+      "price AROUND 40000 AND HIGHEST(power)) "
+      "CASCADE color = 'red' CASCADE LOWEST(mileage)");
+  ASSERT_EQ(t.num_rows(), 1u);
+  EXPECT_EQ(t.at(0, 0).AsInt(), 2);
+}
+
+// §2.2.4 — quality control on trips: possibly-empty result is intended.
+TEST_P(PaperExamplesTest, TripsButOnly) {
+  ASSERT_TRUE(conn_.ExecuteScript(
+                       "CREATE TABLE trips (id INTEGER, start_day DATE, "
+                       "duration INTEGER);"
+                       "INSERT INTO trips VALUES "
+                       "(1, '1999/7/1', 14), "   // start 2 days off, perfect duration
+                       "(2, '1999/7/3', 21), "   // perfect start, 7 days too long
+                       "(3, '1999/6/20', 13)")   // both off
+                  .ok());
+  ResultTable t = Run(
+      "SELECT id FROM trips "
+      "PREFERRING start_day AROUND '1999/7/3' AND duration AROUND 14 "
+      "BUT ONLY DISTANCE(start_day) <= 2 AND DISTANCE(duration) <= 2");
+  ASSERT_EQ(t.num_rows(), 1u);
+  EXPECT_EQ(t.at(0, 0).AsInt(), 1);
+  // Tighter thresholds empty the result — "this correlates with the user's
+  // explicit intension!" (§2.2.4).
+  ResultTable empty = Run(
+      "SELECT id FROM trips "
+      "PREFERRING start_day AROUND '1999/7/3' AND duration AROUND 14 "
+      "BUT ONLY DISTANCE(start_day) <= 1 AND DISTANCE(duration) <= 1");
+  EXPECT_EQ(empty.num_rows(), 0u);
+}
+
+// §4.1 — the washing-machine search mask query (hard manufacturer + soft
+// cascade of technical criteria).
+TEST_P(PaperExamplesTest, WashingMachineSearchMask) {
+  ASSERT_TRUE(GenerateProducts(conn_.database(), 400, 3).ok());
+  ResultTable t = Run(
+      "SELECT * FROM products WHERE manufacturer = 'Aturi' "
+      "PREFERRING (width AROUND 60 AND spinspeed AROUND 1200) CASCADE "
+      "(powerconsumption BETWEEN 0, 0.9 AND LOWEST(waterconsumption) "
+      "AND price BETWEEN 1500, 2000)");
+  EXPECT_GT(t.num_rows(), 0u);
+  // Every result is an Aturi machine (hard constraint).
+  for (size_t i = 0; i < t.num_rows(); ++i) {
+    EXPECT_EQ(t.at(i, 1).AsText(), "Aturi");
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    BothPaths, PaperExamplesTest,
+    ::testing::Values(EvaluationMode::kRewrite,
+                      EvaluationMode::kBlockNestedLoop),
+    [](const auto& info) {
+      return std::string(EvaluationModeToString(info.param));
+    });
+
+}  // namespace
+}  // namespace prefsql

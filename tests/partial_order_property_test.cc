@@ -1,0 +1,105 @@
+// Property tests: every preference the language can express must be a
+// strict partial order (irreflexive, asymmetric, transitive — §2.1), its
+// equivalence must be substitutable, and LexLess must be a linear extension.
+// Verified over randomized tuple samples for a family of preference shapes.
+
+#include <gtest/gtest.h>
+
+#include "preference/validate.h"
+#include "sql/parser.h"
+#include "util/random.h"
+
+namespace prefsql {
+namespace {
+
+class PartialOrderPropertyTest : public ::testing::TestWithParam<const char*> {
+};
+
+TEST_P(PartialOrderPropertyTest, RandomSampleSatisfiesAxioms) {
+  auto term = ParsePreference(GetParam());
+  ASSERT_TRUE(term.ok()) << term.status().ToString();
+  auto pref = CompiledPreference::Compile(**term);
+  ASSERT_TRUE(pref.ok()) << pref.status().ToString();
+
+  Schema schema = Schema::FromNames({"a", "b", "c", "d"});
+  Random rng(2026);
+  std::vector<std::string> words = {"java", "C++",  "perl",  "white",
+                                    "yellow", "red", "other", "x"};
+  std::vector<PrefKey> keys;
+  for (int i = 0; i < 60; ++i) {
+    Row row;
+    for (int col = 0; col < 4; ++col) {
+      switch (rng.Uniform(0, 3)) {
+        case 0:
+          row.push_back(Value::Int(rng.Uniform(-5, 20)));
+          break;
+        case 1:
+          row.push_back(Value::Double(rng.UniformDouble(-2.0, 25.0)));
+          break;
+        case 2:
+          row.push_back(Value::Text(rng.Choice(words)));
+          break;
+        default:
+          row.push_back(Value::Null());
+          break;
+      }
+    }
+    auto key = pref->MakeKey(schema, row);
+    ASSERT_TRUE(key.ok()) << key.status().ToString();
+    keys.push_back(std::move(key).value());
+  }
+  Status check = CheckStrictPartialOrder(*pref, keys);
+  EXPECT_TRUE(check.ok()) << GetParam() << ": " << check.ToString();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PreferenceShapes, PartialOrderPropertyTest,
+    ::testing::Values(
+        // Base preferences.
+        "a AROUND 7",
+        "a BETWEEN 2, 9",
+        "LOWEST(a)",
+        "HIGHEST(b)",
+        "c IN ('java', 'C++')",
+        "c <> 'perl'",
+        "c = 'white' ELSE c = 'yellow'",
+        "c = 'java' ELSE c <> 'perl'",
+        "c CONTAINS 'a'",
+        "c EXPLICIT ('white' BETTER THAN 'yellow', 'yellow' BETTER THAN "
+        "'red')",
+        "c EXPLICIT ('white' BETTER THAN 'red', 'yellow' BETTER THAN 'red', "
+        "'white' BETTER THAN 'other')",  // non-weak-order DAG
+        // Pareto accumulations.
+        "LOWEST(a) AND HIGHEST(b)",
+        "a AROUND 7 AND b AROUND 3 AND c IN ('java')",
+        "c EXPLICIT ('white' BETTER THAN 'red', 'yellow' BETTER THAN 'x') "
+        "AND LOWEST(a)",
+        // Prioritizations.
+        "LOWEST(a) CASCADE HIGHEST(b)",
+        "c = 'java' CASCADE a AROUND 7 CASCADE LOWEST(b)",
+        // Mixed trees.
+        "(LOWEST(a) AND HIGHEST(b)) CASCADE c = 'white'",
+        "c IN ('java') CASCADE (a AROUND 7 AND b BETWEEN 1, 4)",
+        "(a AROUND 7 CASCADE LOWEST(b)) AND c = 'white'",
+        "(LOWEST(a) AND c EXPLICIT ('white' BETTER THAN 'red', 'java' BETTER "
+        "THAN 'x')) CASCADE HIGHEST(b)"));
+
+TEST(PartialOrderValidatorTest, DetectsBrokenBmo) {
+  auto term = ParsePreference("LOWEST(a)");
+  ASSERT_TRUE(term.ok());
+  auto pref = CompiledPreference::Compile(**term);
+  ASSERT_TRUE(pref.ok());
+  Schema schema = Schema::FromNames({"a"});
+  std::vector<PrefKey> keys;
+  for (int v : {3, 1, 2}) {
+    keys.push_back(pref->MakeKey(schema, {Value::Int(v)}).value());
+  }
+  // Correct BMO is {index 1}.
+  EXPECT_TRUE(CheckBmoIsMaximalSet(*pref, keys, {1}).ok());
+  EXPECT_FALSE(CheckBmoIsMaximalSet(*pref, keys, {0}).ok());   // dominated
+  EXPECT_FALSE(CheckBmoIsMaximalSet(*pref, keys, {}).ok());    // missing
+  EXPECT_FALSE(CheckBmoIsMaximalSet(*pref, keys, {5}).ok());   // out of range
+}
+
+}  // namespace
+}  // namespace prefsql

@@ -1,0 +1,217 @@
+// Preference Definition Language (§2.2: "preferences ... can be defined as
+// persistent objects"), EXPLAIN, preference INSERT (§2.2.5) and the
+// index-assisted pre-selection scan (§3.2 "having the right indices").
+
+#include <gtest/gtest.h>
+
+#include "core/connection.h"
+#include "workload/generators.h"
+
+namespace prefsql {
+namespace {
+
+class PdlTest : public ::testing::Test {
+ protected:
+  void SetUp() override { ASSERT_TRUE(LoadOldtimer(conn_.database()).ok()); }
+
+  ResultTable Run(const std::string& sql) {
+    auto r = conn_.Execute(sql);
+    EXPECT_TRUE(r.ok()) << sql << " -> " << r.status().ToString();
+    return r.ok() ? std::move(r).value() : ResultTable();
+  }
+
+  Connection conn_;
+};
+
+TEST_F(PdlTest, CreateAndUseNamedPreference) {
+  Run("CREATE PREFERENCE classic AS (color = 'white' ELSE color = 'yellow') "
+      "AND age AROUND 40");
+  ResultTable t = Run(
+      "SELECT ident FROM oldtimer PREFERRING PREFERENCE classic "
+      "ORDER BY ident");
+  ASSERT_EQ(t.num_rows(), 3u);
+  EXPECT_EQ(t.at(0, 0).AsText(), "Homer");
+}
+
+TEST_F(PdlTest, NamedPreferenceComposesWithAdHocOnes) {
+  Run("CREATE PREFERENCE vintage AS HIGHEST(age)");
+  ResultTable t = Run(
+      "SELECT ident FROM oldtimer "
+      "PREFERRING PREFERENCE vintage CASCADE color = 'yellow'");
+  ASSERT_EQ(t.num_rows(), 1u);
+  EXPECT_EQ(t.at(0, 0).AsText(), "Skinner");  // oldest, and yellow
+}
+
+TEST_F(PdlTest, NamedPreferencesCanReferenceOthers) {
+  Run("CREATE PREFERENCE base_age AS age AROUND 40");
+  Run("CREATE PREFERENCE full AS PREFERENCE base_age AND color = 'red'");
+  ResultTable t = Run("SELECT ident FROM oldtimer PREFERRING PREFERENCE full");
+  ASSERT_EQ(t.num_rows(), 1u);
+  EXPECT_EQ(t.at(0, 0).AsText(), "Selma");
+}
+
+TEST_F(PdlTest, UnknownReferenceFails) {
+  auto r = conn_.Execute("SELECT * FROM oldtimer PREFERRING PREFERENCE nope");
+  EXPECT_TRUE(r.status().IsNotFound());
+  // ... also inside CREATE PREFERENCE at use time.
+  ASSERT_TRUE(conn_.Execute("CREATE PREFERENCE broken AS PREFERENCE nope").ok());
+  auto use = conn_.Execute(
+      "SELECT * FROM oldtimer PREFERRING PREFERENCE broken");
+  EXPECT_TRUE(use.status().IsNotFound());
+}
+
+TEST_F(PdlTest, DuplicateAndDrop) {
+  Run("CREATE PREFERENCE p AS LOWEST(age)");
+  EXPECT_TRUE(conn_.Execute("CREATE PREFERENCE p AS HIGHEST(age)")
+                  .status()
+                  .IsAlreadyExists());
+  Run("DROP PREFERENCE p");
+  EXPECT_TRUE(conn_.Execute("DROP PREFERENCE p").status().IsNotFound());
+  ASSERT_TRUE(conn_.Execute("DROP PREFERENCE IF EXISTS p").ok());
+  EXPECT_FALSE(conn_.database().catalog().HasPreference("p"));
+}
+
+TEST_F(PdlTest, QualityFunctionsWorkThroughNamedPreference) {
+  Run("CREATE PREFERENCE near40 AS age AROUND 40");
+  ResultTable t = Run(
+      "SELECT ident, DISTANCE(age) FROM oldtimer "
+      "PREFERRING PREFERENCE near40");
+  ASSERT_EQ(t.num_rows(), 1u);
+  EXPECT_EQ(t.at(0, 0).AsText(), "Selma");
+  EXPECT_DOUBLE_EQ(t.at(0, 1).AsDouble(), 0.0);
+}
+
+TEST_F(PdlTest, ExplainPreferenceQuery) {
+  ResultTable t = Run("EXPLAIN SELECT ident FROM oldtimer PREFERRING "
+                      "age AROUND 40");
+  ASSERT_GE(t.num_rows(), 3u);
+  std::string all;
+  for (size_t i = 0; i < t.num_rows(); ++i) all += t.at(i, 0).AsText() + "\n";
+  EXPECT_NE(all.find("CREATE VIEW Aux"), std::string::npos) << all;
+  EXPECT_NE(all.find("NOT EXISTS"), std::string::npos);
+  EXPECT_NE(all.find("DROP VIEW Aux"), std::string::npos);
+  // EXPLAIN must not leave any view behind or touch the data.
+  EXPECT_FALSE(conn_.database().catalog().HasView("Aux"));
+}
+
+TEST_F(PdlTest, ExplainStandardQuery) {
+  ResultTable t = Run("EXPLAIN SELECT * FROM oldtimer WHERE age > 30");
+  ASSERT_EQ(t.num_rows(), 2u);
+  EXPECT_NE(t.at(0, 0).AsText().find("passed through"), std::string::npos);
+}
+
+TEST_F(PdlTest, ExplainNonRewritableFallsBackDescriptively) {
+  ResultTable t = Run(
+      "EXPLAIN SELECT * FROM oldtimer PREFERRING color EXPLICIT "
+      "('red' BETTER THAN 'green', 'white' BETTER THAN 'yellow')");
+  ASSERT_GE(t.num_rows(), 1u);
+  EXPECT_NE(t.at(0, 0).AsText().find("in-engine"), std::string::npos);
+}
+
+TEST_F(PdlTest, InsertWithPreferenceSelect) {
+  Run("CREATE TABLE best (ident TEXT, color TEXT, age INTEGER)");
+  ResultTable affected = Run(
+      "INSERT INTO best SELECT * FROM oldtimer PREFERRING age AROUND 40");
+  EXPECT_EQ(affected.at(0, 0).AsInt(), 1);
+  ResultTable t = Run("SELECT ident FROM best");
+  ASSERT_EQ(t.num_rows(), 1u);
+  EXPECT_EQ(t.at(0, 0).AsText(), "Selma");
+}
+
+TEST_F(PdlTest, InsertWithPreferenceSelectAndColumnList) {
+  Run("CREATE TABLE shortlist (name TEXT, years INTEGER)");
+  Run("INSERT INTO shortlist (name, years) "
+      "SELECT ident, age FROM oldtimer PREFERRING LOWEST(age)");
+  ResultTable t = Run("SELECT name, years FROM shortlist ORDER BY name");
+  ASSERT_EQ(t.num_rows(), 2u);  // Maggie and Bart, both 19
+  EXPECT_EQ(t.at(0, 0).AsText(), "Bart");
+  EXPECT_EQ(t.at(0, 1).AsInt(), 19);
+}
+
+TEST(IndexScanTest, EqualityWhereUsesIndex) {
+  Connection conn;
+  ASSERT_TRUE(GenerateUsedCars(conn.database(), 2000, 3).ok());
+  ASSERT_TRUE(conn.Execute("CREATE INDEX by_make ON car (make)").ok());
+  uint64_t before = conn.database().executor().stats().index_scans;
+  auto r = conn.Execute("SELECT COUNT(*) FROM car WHERE make = 'Opel'");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(conn.database().executor().stats().index_scans, before + 1);
+
+  // Same count as a full scan (correctness of the index path).
+  Connection plain;
+  ASSERT_TRUE(GenerateUsedCars(plain.database(), 2000, 3).ok());
+  auto expected = plain.Execute("SELECT COUNT(*) FROM car WHERE make = 'Opel'");
+  ASSERT_TRUE(expected.ok());
+  EXPECT_EQ(r->at(0, 0).AsInt(), expected->at(0, 0).AsInt());
+}
+
+TEST(IndexScanTest, ResidualPredicateStillApplies) {
+  Connection conn;
+  ASSERT_TRUE(GenerateUsedCars(conn.database(), 2000, 3).ok());
+  ASSERT_TRUE(conn.Execute("CREATE INDEX by_make ON car (make)").ok());
+  auto indexed = conn.Execute(
+      "SELECT id FROM car WHERE make = 'Opel' AND price < 20000 ORDER BY id");
+  ASSERT_TRUE(indexed.ok());
+  Connection plain;
+  ASSERT_TRUE(GenerateUsedCars(plain.database(), 2000, 3).ok());
+  auto full = plain.Execute(
+      "SELECT id FROM car WHERE make = 'Opel' AND price < 20000 ORDER BY id");
+  ASSERT_TRUE(full.ok());
+  ASSERT_EQ(indexed->num_rows(), full->num_rows());
+  for (size_t i = 0; i < full->num_rows(); ++i) {
+    EXPECT_EQ(indexed->RowToString(i), full->RowToString(i));
+  }
+}
+
+TEST(IndexScanTest, MultiColumnIndexPreferred) {
+  Connection conn;
+  ASSERT_TRUE(GenerateUsedCars(conn.database(), 2000, 3).ok());
+  ASSERT_TRUE(conn.Execute("CREATE INDEX by_make ON car (make)").ok());
+  ASSERT_TRUE(
+      conn.Execute("CREATE INDEX by_make_color ON car (make, color)").ok());
+  auto r = conn.Execute(
+      "SELECT COUNT(*) FROM car WHERE make = 'Opel' AND color = 'red'");
+  ASSERT_TRUE(r.ok());
+  EXPECT_GE(conn.database().executor().stats().index_scans, 1u);
+  Connection plain;
+  ASSERT_TRUE(GenerateUsedCars(plain.database(), 2000, 3).ok());
+  auto expected = plain.Execute(
+      "SELECT COUNT(*) FROM car WHERE make = 'Opel' AND color = 'red'");
+  EXPECT_EQ(r->at(0, 0).AsInt(), expected->at(0, 0).AsInt());
+}
+
+TEST(IndexScanTest, PreferenceQueryPreSelectionUsesIndex) {
+  // The §3.3 scenario: the hard pre-selection should run off the index in
+  // both evaluation paths.
+  for (EvaluationMode mode :
+       {EvaluationMode::kRewrite, EvaluationMode::kBlockNestedLoop}) {
+    ConnectionOptions opts;
+    opts.mode = mode;
+    Connection conn(opts);
+    ASSERT_TRUE(GenerateUsedCars(conn.database(), 2000, 3).ok());
+    ASSERT_TRUE(conn.Execute("CREATE INDEX by_make ON car (make)").ok());
+    uint64_t before = conn.database().executor().stats().index_scans;
+    auto r = conn.Execute(
+        "SELECT id FROM car WHERE make = 'Opel' "
+        "PREFERRING LOWEST(price) AND LOWEST(mileage)");
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    EXPECT_GT(conn.database().executor().stats().index_scans, before)
+        << EvaluationModeToString(mode);
+    EXPECT_GT(r->num_rows(), 0u);
+  }
+}
+
+TEST(IndexScanTest, RoundTripOfNamedPreferenceStatements) {
+  // Printer round trip for the new statements.
+  Connection conn;
+  ASSERT_TRUE(LoadOldtimer(conn.database()).ok());
+  ASSERT_TRUE(conn.Execute(
+                      "CREATE PREFERENCE p AS age AROUND 40 AND color = 'red'")
+                  .ok());
+  auto r = conn.Execute("SELECT ident FROM oldtimer PREFERRING PREFERENCE p");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->num_rows(), 1u);
+}
+
+}  // namespace
+}  // namespace prefsql

@@ -1,0 +1,128 @@
+#include "sql/printer.h"
+
+#include <gtest/gtest.h>
+
+#include "sql/parser.h"
+
+namespace prefsql {
+namespace {
+
+// Round-trip property: parse -> print -> parse -> print must be a fixpoint.
+class RoundTripTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(RoundTripTest, PrintParsePrintIsFixpoint) {
+  const char* sql = GetParam();
+  auto first = ParseStatement(sql);
+  ASSERT_TRUE(first.ok()) << sql << ": " << first.status().ToString();
+  std::string printed = StatementToSql(*first);
+  auto second = ParseStatement(printed);
+  ASSERT_TRUE(second.ok()) << printed << ": " << second.status().ToString();
+  EXPECT_EQ(StatementToSql(*second), printed) << "original: " << sql;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Statements, RoundTripTest,
+    ::testing::Values(
+        "SELECT 1",
+        "SELECT a, b AS x FROM t",
+        "SELECT * FROM t WHERE a = 1 AND b <> 'x' OR NOT (c < 2)",
+        "SELECT t.* FROM t u",
+        "SELECT a FROM t WHERE a IN (1, 2, 3)",
+        "SELECT a FROM t WHERE a NOT IN (SELECT b FROM u)",
+        "SELECT a FROM t WHERE a BETWEEN 1 AND 10",
+        "SELECT a FROM t WHERE name LIKE 'A%' AND x IS NOT NULL",
+        "SELECT CASE WHEN a = 1 THEN 'x' ELSE 'y' END FROM t",
+        "SELECT CASE a WHEN 1 THEN 'x' WHEN 2 THEN 'z' END FROM t",
+        "SELECT COUNT(*), SUM(x), COUNT(DISTINCT y) FROM t GROUP BY z "
+        "HAVING COUNT(*) > 1",
+        "SELECT a FROM t ORDER BY a DESC, b LIMIT 5 OFFSET 2",
+        "SELECT DISTINCT a FROM t",
+        "SELECT * FROM a JOIN b ON a.id = b.id",
+        "SELECT * FROM a LEFT JOIN b ON a.id = b.id CROSS JOIN c",
+        "SELECT * FROM (SELECT a FROM t) sub",
+        "SELECT (SELECT MAX(x) FROM u) FROM t",
+        "SELECT * FROM t WHERE EXISTS (SELECT 1 FROM u WHERE u.id = t.id)",
+        "SELECT DATE '1999-07-03' FROM t",
+        "SELECT -x, +3, 'it''s' FROM t",
+        "SELECT a || b FROM t",
+        "SELECT x % 2 FROM t",
+        "CREATE TABLE t (id INTEGER, name TEXT, price DOUBLE, ok BOOLEAN, "
+        "d DATE)",
+        "CREATE VIEW v AS SELECT a FROM t",
+        "CREATE INDEX i ON t (a, b)",
+        "INSERT INTO t VALUES (1, 'x'), (2, 'y')",
+        "INSERT INTO t (a, b) SELECT x, y FROM u",
+        "UPDATE t SET a = 1, b = b + 1 WHERE c = 'z'",
+        "DELETE FROM t WHERE a IS NULL",
+        "DROP TABLE IF EXISTS t",
+        "DROP VIEW v",
+        // Preference SQL blocks.
+        "SELECT * FROM trips PREFERRING duration AROUND 14",
+        "SELECT * FROM apartments PREFERRING HIGHEST(area)",
+        "SELECT * FROM programmers PREFERRING exp IN ('java', 'C++')",
+        "SELECT * FROM hotels PREFERRING location <> 'downtown'",
+        "SELECT * FROM computers PREFERRING HIGHEST(main_memory) AND "
+        "HIGHEST(cpu_speed)",
+        "SELECT * FROM computers PREFERRING HIGHEST(main_memory) CASCADE "
+        "color IN ('black', 'brown')",
+        "SELECT * FROM car WHERE make = 'Opel' PREFERRING (category = "
+        "'roadster' ELSE category <> 'passenger' AND price AROUND 40000 AND "
+        "HIGHEST(power)) CASCADE color = 'red' CASCADE LOWEST(mileage)",
+        "SELECT * FROM trips PREFERRING start_day AROUND DATE '1999-07-03' "
+        "AND duration AROUND 14 BUT ONLY (DISTANCE(start_day) <= 2 AND "
+        "DISTANCE(duration) <= 2)",
+        "SELECT * FROM t PREFERRING x BETWEEN 0, 0.9 AND LOWEST(y) "
+        "GROUPING city",
+        "SELECT * FROM t PREFERRING c EXPLICIT ('a' BETTER THAN 'b', "
+        "'b' BETTER THAN 'd')",
+        "SELECT * FROM t PREFERRING doc CONTAINS 'garden'",
+        "SELECT ident, LEVEL(color), DISTANCE(age) FROM oldtimer PREFERRING "
+        "color = 'white' ELSE color = 'yellow' AND age AROUND 40",
+        "CREATE PREFERENCE classic AS age AROUND 40 AND color = 'red'",
+        "DROP PREFERENCE classic",
+        "SELECT * FROM t PREFERRING PREFERENCE classic CASCADE LOWEST(x)",
+        "EXPLAIN SELECT * FROM t PREFERRING LOWEST(x)",
+        "SELECT * FROM t PREFERRING DUAL(LOWEST(x)) CASCADE y = 'a'",
+        "SELECT * FROM t PREFERRING LOWEST(x) INTERSECT HIGHEST(y) AND "
+        "x AROUND 3"));
+
+TEST(PrinterTest, ExprToSqlShapes) {
+  auto e = ParseExpression("a.b + 1");
+  ASSERT_TRUE(e.ok());
+  EXPECT_EQ(ExprToSql(**e), "(a.b + 1)");
+}
+
+TEST(PrinterTest, PrefTermToSqlShapes) {
+  auto p = ParsePreference("price AROUND 40000 AND HIGHEST(power)");
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(PrefTermToSql(**p), "price AROUND 40000 AND HIGHEST(power)");
+  auto c = ParsePreference("a = 'x' CASCADE LOWEST(m)");
+  ASSERT_TRUE(c.ok());
+  EXPECT_EQ(PrefTermToSql(**c), "a = 'x' CASCADE LOWEST(m)");
+}
+
+TEST(PrinterTest, QuotedAliasSurvives) {
+  auto st = ParseStatement("SELECT a AS \"weird name()\" FROM t");
+  ASSERT_TRUE(st.ok());
+  std::string printed = StatementToSql(*st);
+  EXPECT_NE(printed.find("\"weird name()\""), std::string::npos);
+  EXPECT_TRUE(ParseStatement(printed).ok());
+}
+
+TEST(PrinterTest, PreferenceClauseOrdering) {
+  auto st = ParseStatement(
+      "SELECT * FROM t PREFERRING LOWEST(x) GROUPING g BUT ONLY "
+      "DISTANCE(x) < 3 ORDER BY y");
+  ASSERT_TRUE(st.ok());
+  std::string printed = StatementToSql(*st);
+  size_t preferring = printed.find("PREFERRING");
+  size_t grouping = printed.find("GROUPING");
+  size_t but_only = printed.find("BUT ONLY");
+  size_t order_by = printed.find("ORDER BY");
+  EXPECT_LT(preferring, grouping);
+  EXPECT_LT(grouping, but_only);
+  EXPECT_LT(but_only, order_by);
+}
+
+}  // namespace
+}  // namespace prefsql

@@ -1,0 +1,67 @@
+#include "util/random.h"
+
+#include <gtest/gtest.h>
+
+namespace prefsql {
+namespace {
+
+TEST(RandomTest, DeterministicForSameSeed) {
+  Random a(7), b(7);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Uniform(0, 1000), b.Uniform(0, 1000));
+  }
+}
+
+TEST(RandomTest, UniformStaysInRange) {
+  Random rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    int64_t v = rng.Uniform(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+  }
+}
+
+TEST(RandomTest, UniformDoubleStaysInRange) {
+  Random rng(2);
+  for (int i = 0; i < 1000; ++i) {
+    double v = rng.UniformDouble(1.0, 2.0);
+    EXPECT_GE(v, 1.0);
+    EXPECT_LT(v, 2.0);
+  }
+}
+
+TEST(RandomTest, ZipfSkewsTowardsLowIndices) {
+  Random rng(3);
+  std::vector<int> counts(10, 0);
+  for (int i = 0; i < 20000; ++i) {
+    size_t idx = rng.Zipf(10, 1.0);
+    ASSERT_LT(idx, 10u);
+    counts[idx]++;
+  }
+  // Zipf with s=1: index 0 should appear several times more often than 9.
+  EXPECT_GT(counts[0], counts[9] * 3);
+  // And the ordering should be roughly monotone at the extremes.
+  EXPECT_GT(counts[0], counts[4]);
+}
+
+TEST(RandomTest, IdentifierShapeAndDeterminism) {
+  Random a(9), b(9);
+  std::string ia = a.Identifier(8), ib = b.Identifier(8);
+  EXPECT_EQ(ia, ib);
+  EXPECT_EQ(ia.size(), 8u);
+  for (char c : ia) {
+    EXPECT_GE(c, 'a');
+    EXPECT_LE(c, 'z');
+  }
+}
+
+TEST(RandomTest, BernoulliExtremes) {
+  Random rng(4);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(rng.Bernoulli(0.0));
+    EXPECT_TRUE(rng.Bernoulli(1.0));
+  }
+}
+
+}  // namespace
+}  // namespace prefsql

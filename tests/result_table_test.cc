@@ -1,0 +1,50 @@
+#include "types/result_table.h"
+
+#include <gtest/gtest.h>
+
+namespace prefsql {
+namespace {
+
+ResultTable SampleTable() {
+  return ResultTable(
+      Schema::FromNames({"id", "name"}),
+      {{Value::Int(1), Value::Text("alpha")},
+       {Value::Int(2), Value::Text("beta")}});
+}
+
+TEST(ResultTableTest, Dimensions) {
+  ResultTable t = SampleTable();
+  EXPECT_EQ(t.num_rows(), 2u);
+  EXPECT_EQ(t.num_columns(), 2u);
+  EXPECT_EQ(t.at(0, 1).AsText(), "alpha");
+}
+
+TEST(ResultTableTest, ToStringContainsHeaderAndCells) {
+  std::string s = SampleTable().ToString();
+  EXPECT_NE(s.find("id"), std::string::npos);
+  EXPECT_NE(s.find("name"), std::string::npos);
+  EXPECT_NE(s.find("alpha"), std::string::npos);
+  EXPECT_NE(s.find("beta"), std::string::npos);
+}
+
+TEST(ResultTableTest, ToStringTruncates) {
+  std::vector<Row> rows;
+  for (int i = 0; i < 10; ++i) rows.push_back({Value::Int(i)});
+  ResultTable t(Schema::FromNames({"n"}), std::move(rows));
+  std::string s = t.ToString(3);
+  EXPECT_NE(s.find("7 more rows"), std::string::npos);
+  EXPECT_EQ(s.find("9"), std::string::npos);
+}
+
+TEST(ResultTableTest, RowToString) {
+  EXPECT_EQ(SampleTable().RowToString(1), "2,beta");
+}
+
+TEST(ResultTableTest, EmptyTable) {
+  ResultTable t;
+  EXPECT_EQ(t.num_rows(), 0u);
+  EXPECT_EQ(t.num_columns(), 0u);
+}
+
+}  // namespace
+}  // namespace prefsql

@@ -1,0 +1,184 @@
+#include "core/rewriter.h"
+
+#include <gtest/gtest.h>
+
+#include "core/connection.h"
+#include "sql/parser.h"
+#include "sql/printer.h"
+
+namespace prefsql {
+namespace {
+
+RewriteOutput Rewrite(const std::string& sql,
+                      const std::vector<std::string>& base_columns,
+                      ButOnlyMode mode = ButOnlyMode::kPostFilter) {
+  auto st = ParseStatement(sql);
+  EXPECT_TRUE(st.ok()) << st.status().ToString();
+  auto analyzed = AnalyzePreferenceQuery(*st->select);
+  EXPECT_TRUE(analyzed.ok()) << analyzed.status().ToString();
+  auto out = RewritePreferenceQuery(*analyzed, base_columns, mode, "Aux");
+  EXPECT_TRUE(out.ok()) << out.status().ToString();
+  return std::move(out).value();
+}
+
+TEST(RewriterTest, CarsExampleShape) {
+  // The §3.2 example: PREFERRING Make = 'Audi' AND Diesel = 'yes'.
+  RewriteOutput out = Rewrite(
+      "SELECT * FROM Cars PREFERRING Make = 'Audi' AND Diesel = 'yes'",
+      {"Identifier", "Make", "Model", "Price", "Mileage", "Airbag", "Diesel"});
+  ASSERT_EQ(out.setup.size(), 1u);
+  EXPECT_EQ(out.setup[0].kind, StatementKind::kCreateView);
+  std::string view_sql = StatementToSql(out.setup[0]);
+  // Level columns use the paper's CASE WHEN ... THEN 1 ELSE 2 encoding.
+  EXPECT_NE(view_sql.find("CASE WHEN Make IN ('Audi') THEN 1 ELSE 2 END"),
+            std::string::npos)
+      << view_sql;
+  EXPECT_NE(view_sql.find("CASE WHEN Diesel IN ('yes') THEN 1 ELSE 2 END"),
+            std::string::npos);
+
+  std::string main_sql = SelectToSql(*out.query);
+  // The correlated anti-join with the paper's <= / < structure.
+  EXPECT_NE(main_sql.find("NOT EXISTS"), std::string::npos);
+  EXPECT_NE(main_sql.find("A2._lvl0 <= A1._lvl0"), std::string::npos);
+  EXPECT_NE(main_sql.find("A2._lvl1 <= A1._lvl1"), std::string::npos);
+  EXPECT_NE(main_sql.find("A2._lvl0 < A1._lvl0"), std::string::npos);
+  EXPECT_NE(main_sql.find("A2._lvl1 < A1._lvl1"), std::string::npos);
+  // '*' projects the base columns, not the level columns.
+  EXPECT_NE(main_sql.find("Identifier"), std::string::npos);
+  EXPECT_EQ(main_sql.find("SELECT *"), std::string::npos);
+
+  ASSERT_EQ(out.teardown.size(), 1u);
+  EXPECT_EQ(StatementToSql(out.teardown[0]), "DROP VIEW Aux");
+}
+
+TEST(RewriterTest, ScriptIsValidStandardSql) {
+  RewriteOutput out = Rewrite(
+      "SELECT ident FROM oldtimer PREFERRING age AROUND 40",
+      {"ident", "color", "age"});
+  std::string script = out.ToScript();
+  auto stmts = ParseScript(script);
+  ASSERT_TRUE(stmts.ok()) << script << "\n" << stmts.status().ToString();
+  EXPECT_EQ(stmts->size(), 3u);
+  // The generated script contains no PREFERRING clause anywhere.
+  EXPECT_EQ(script.find("PREFERRING"), std::string::npos);
+}
+
+TEST(RewriterTest, PrioritizedDominanceIsLexicographic) {
+  RewriteOutput out = Rewrite(
+      "SELECT a FROM t PREFERRING LOWEST(a) CASCADE LOWEST(b)", {"a", "b"});
+  std::string main_sql = SelectToSql(*out.query);
+  // B1 OR (E1 AND B2).
+  EXPECT_NE(main_sql.find("(A2._lvl0 < A1._lvl0) OR ((A2._lvl0 = A1._lvl0) "
+                          "AND (A2._lvl1 < A1._lvl1))"),
+            std::string::npos)
+      << main_sql;
+}
+
+TEST(RewriterTest, WhereClauseMovesIntoAuxView) {
+  RewriteOutput out = Rewrite(
+      "SELECT a FROM t WHERE a > 5 PREFERRING LOWEST(b)", {"a", "b"});
+  std::string view_sql = StatementToSql(out.setup[0]);
+  EXPECT_NE(view_sql.find("WHERE (a > 5)"), std::string::npos) << view_sql;
+  EXPECT_EQ(SelectToSql(*out.query).find("a > 5"), std::string::npos);
+}
+
+TEST(RewriterTest, GroupingAddsPartitionEquality) {
+  RewriteOutput out = Rewrite(
+      "SELECT * FROM t PREFERRING LOWEST(a) GROUPING city", {"a", "city"});
+  std::string main_sql = SelectToSql(*out.query);
+  EXPECT_NE(main_sql.find("A2.city = A1.city"), std::string::npos);
+  EXPECT_NE(main_sql.find("A2.city IS NULL"), std::string::npos);
+}
+
+TEST(RewriterTest, ButOnlyPostFilterSitsInOuterWhere) {
+  RewriteOutput out = Rewrite(
+      "SELECT * FROM t PREFERRING a AROUND 10 BUT ONLY DISTANCE(a) <= 2",
+      {"a"});
+  ASSERT_EQ(out.setup.size(), 1u);  // no second view
+  std::string main_sql = SelectToSql(*out.query);
+  EXPECT_NE(main_sql.find("A1._lvl0 <= 2"), std::string::npos) << main_sql;
+}
+
+TEST(RewriterTest, ButOnlyPreFilterCreatesFilteredView) {
+  RewriteOutput out = Rewrite(
+      "SELECT * FROM t PREFERRING a AROUND 10 BUT ONLY DISTANCE(a) <= 2",
+      {"a"}, ButOnlyMode::kPreFilter);
+  ASSERT_EQ(out.setup.size(), 2u);
+  EXPECT_EQ(out.setup[1].name, "Aux_f");
+  std::string main_sql = SelectToSql(*out.query);
+  EXPECT_NE(main_sql.find("FROM Aux_f A1"), std::string::npos);
+  EXPECT_EQ(out.teardown.size(), 2u);  // drops filtered view first
+  EXPECT_EQ(out.teardown[0].name, "Aux_f");
+}
+
+TEST(RewriterTest, QualityFunctionsInSelectList) {
+  RewriteOutput out = Rewrite(
+      "SELECT ident, LEVEL(color), DISTANCE(age), TOP(age) FROM oldtimer "
+      "PREFERRING color = 'white' ELSE color = 'yellow' AND age AROUND 40",
+      {"ident", "color", "age"});
+  std::string main_sql = SelectToSql(*out.query);
+  EXPECT_NE(main_sql.find("A1._lvl0 AS \"LEVEL(color)\""), std::string::npos)
+      << main_sql;
+  EXPECT_NE(main_sql.find("A1._lvl1 AS \"DISTANCE(age)\""), std::string::npos);
+  EXPECT_NE(main_sql.find("(A1._lvl1 = 0) AS \"TOP(age)\""),
+            std::string::npos);
+}
+
+TEST(RewriterTest, HighestDistanceUsesObservedOptimum) {
+  RewriteOutput out = Rewrite(
+      "SELECT a, DISTANCE(a) FROM t PREFERRING HIGHEST(a)", {"a"});
+  std::string main_sql = SelectToSql(*out.query);
+  // DISTANCE against HIGHEST subtracts the observed minimum score via a
+  // scalar subquery over the Aux view.
+  EXPECT_NE(main_sql.find("(SELECT MIN(_lvl0) FROM Aux)"), std::string::npos)
+      << main_sql;
+}
+
+TEST(RewriterTest, LevelColumnNamesAvoidCollisions) {
+  RewriteOutput out = Rewrite(
+      "SELECT * FROM t PREFERRING LOWEST(a)", {"a", "_lvl0"});
+  std::string view_sql = StatementToSql(out.setup[0]);
+  EXPECT_NE(view_sql.find("_lvl0_x"), std::string::npos) << view_sql;
+}
+
+TEST(RewriterTest, NonWeakOrderExplicitIsNotImplemented) {
+  auto st = ParseStatement(
+      "SELECT * FROM t PREFERRING c EXPLICIT ('a' BETTER THAN 'b', "
+      "'x' BETTER THAN 'y')");
+  ASSERT_TRUE(st.ok());
+  auto analyzed = AnalyzePreferenceQuery(*st->select);
+  ASSERT_TRUE(analyzed.ok());
+  auto out = RewritePreferenceQuery(*analyzed, {"c"},
+                                    ButOnlyMode::kPostFilter, "Aux");
+  EXPECT_TRUE(out.status().IsNotImplemented());
+}
+
+TEST(RewriterTest, QualifiedStarIsNotImplemented) {
+  auto st = ParseStatement("SELECT t.* FROM t PREFERRING LOWEST(a)");
+  ASSERT_TRUE(st.ok());
+  auto analyzed = AnalyzePreferenceQuery(*st->select);
+  ASSERT_TRUE(analyzed.ok());
+  auto out = RewritePreferenceQuery(*analyzed, {"a"},
+                                    ButOnlyMode::kPostFilter, "Aux");
+  EXPECT_TRUE(out.status().IsNotImplemented());
+}
+
+TEST(AnalyzerTest, Restrictions) {
+  auto run = [](const std::string& sql) {
+    auto st = ParseStatement(sql);
+    EXPECT_TRUE(st.ok()) << st.status().ToString();
+    return AnalyzePreferenceQuery(*st->select).status();
+  };
+  EXPECT_TRUE(run("SELECT 1 FROM t").IsInvalidArgument());  // no PREFERRING
+  EXPECT_TRUE(run("SELECT COUNT(*) FROM t PREFERRING LOWEST(a)")
+                  .IsNotImplemented());
+  EXPECT_TRUE(run("SELECT a FROM t PREFERRING LOWEST(a) GROUP BY a")
+                  .IsNotImplemented());
+  // BUT ONLY without quality functions has no defined meaning.
+  EXPECT_TRUE(run("SELECT a FROM t PREFERRING LOWEST(a) BUT ONLY a > 1")
+                  .IsInvalidArgument());
+  EXPECT_TRUE(run("SELECT a FROM t PREFERRING LOWEST(a)").ok());
+}
+
+}  // namespace
+}  // namespace prefsql

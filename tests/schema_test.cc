@@ -1,0 +1,85 @@
+#include "types/schema.h"
+
+#include <gtest/gtest.h>
+
+namespace prefsql {
+namespace {
+
+Schema TwoTableSchema() {
+  return Schema({{"a", "id"}, {"a", "price"}, {"b", "id"}, {"b", "name"}});
+}
+
+TEST(SchemaTest, FromNames) {
+  Schema s = Schema::FromNames({"x", "y"});
+  EXPECT_EQ(s.num_columns(), 2u);
+  EXPECT_EQ(s.column(0).name, "x");
+  EXPECT_EQ(s.column(0).qualifier, "");
+  EXPECT_EQ(s.column(1).FullName(), "y");
+}
+
+TEST(SchemaTest, QualifiedResolution) {
+  Schema s = TwoTableSchema();
+  auto r = s.Resolve("a", "price");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 1u);
+  auto r2 = s.Resolve("b", "name");
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ(*r2, 3u);
+}
+
+TEST(SchemaTest, BareNameAmbiguity) {
+  Schema s = TwoTableSchema();
+  auto r = s.Resolve("", "id");
+  EXPECT_FALSE(r.ok());  // ambiguous across a and b
+  auto r2 = s.Resolve("", "price");
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ(*r2, 1u);
+}
+
+TEST(SchemaTest, UnknownColumn) {
+  Schema s = TwoTableSchema();
+  EXPECT_FALSE(s.Resolve("", "missing").ok());
+  EXPECT_FALSE(s.Resolve("c", "id").ok());
+  EXPECT_FALSE(s.TryResolve("", "missing").has_value());
+}
+
+TEST(SchemaTest, CaseInsensitiveNames) {
+  Schema s = TwoTableSchema();
+  EXPECT_TRUE(s.Resolve("A", "PRICE").ok());
+  EXPECT_TRUE(s.Resolve("", "Name").ok());
+}
+
+TEST(SchemaTest, ResolveScopedOutcomes) {
+  Schema s = TwoTableSchema();
+  size_t idx = 99;
+  EXPECT_EQ(s.ResolveScoped("", "price", &idx),
+            Schema::ResolveOutcome::kFound);
+  EXPECT_EQ(idx, 1u);
+  EXPECT_EQ(s.ResolveScoped("", "id", &idx),
+            Schema::ResolveOutcome::kAmbiguous);
+  EXPECT_EQ(s.ResolveScoped("", "zzz", &idx),
+            Schema::ResolveOutcome::kNotFound);
+  EXPECT_EQ(s.ResolveScoped("c", "price", &idx),
+            Schema::ResolveOutcome::kNotFound);
+}
+
+TEST(SchemaTest, ConcatAndQualify) {
+  Schema left = Schema::FromNames({"x"}).WithQualifier("l");
+  Schema right = Schema::FromNames({"y"}).WithQualifier("r");
+  Schema joined = left.Concat(right);
+  EXPECT_EQ(joined.num_columns(), 2u);
+  EXPECT_EQ(joined.column(0).FullName(), "l.x");
+  EXPECT_EQ(joined.column(1).FullName(), "r.y");
+  size_t idx;
+  EXPECT_EQ(joined.ResolveScoped("r", "y", &idx),
+            Schema::ResolveOutcome::kFound);
+  EXPECT_EQ(idx, 1u);
+}
+
+TEST(SchemaTest, Names) {
+  EXPECT_EQ(TwoTableSchema().Names(),
+            (std::vector<std::string>{"id", "price", "id", "name"}));
+}
+
+}  // namespace
+}  // namespace prefsql

@@ -1,0 +1,154 @@
+#include <gtest/gtest.h>
+
+#include "storage/catalog.h"
+#include "storage/index.h"
+#include "storage/table.h"
+
+namespace prefsql {
+namespace {
+
+std::vector<ColumnDef> Cols() {
+  return {{"id", ColumnType::kInt},
+          {"name", ColumnType::kText},
+          {"price", ColumnType::kDouble},
+          {"day", ColumnType::kDate}};
+}
+
+TEST(TableTest, InsertCoercesTypes) {
+  Table t("t", Cols());
+  ASSERT_TRUE(t.Insert({Value::Int(1), Value::Text("a"), Value::Int(5),
+                        Value::Text("1999/7/3")})
+                  .ok());
+  EXPECT_EQ(t.num_rows(), 1u);
+  EXPECT_EQ(t.rows()[0][2].type(), ValueType::kDouble);  // int -> double
+  EXPECT_EQ(t.rows()[0][3].type(), ValueType::kDate);    // text -> date
+  // Integral double into INTEGER column.
+  ASSERT_TRUE(t.Insert({Value::Double(2.0), Value::Null(), Value::Null(),
+                        Value::Null()})
+                  .ok());
+  EXPECT_EQ(t.rows()[1][0].AsInt(), 2);
+}
+
+TEST(TableTest, InsertRejectsBadValues) {
+  Table t("t", Cols());
+  // Fractional double into INTEGER column.
+  EXPECT_FALSE(t.Insert({Value::Double(2.5), Value::Null(), Value::Null(),
+                         Value::Null()})
+                   .ok());
+  // Non-date text into DATE column.
+  EXPECT_FALSE(t.Insert({Value::Int(1), Value::Null(), Value::Null(),
+                         Value::Text("nope")})
+                   .ok());
+  // Wrong arity.
+  EXPECT_FALSE(t.Insert({Value::Int(1)}).ok());
+  EXPECT_EQ(t.num_rows(), 0u);
+}
+
+TEST(TableTest, NullAllowedEverywhere) {
+  Table t("t", Cols());
+  EXPECT_TRUE(
+      t.Insert({Value::Null(), Value::Null(), Value::Null(), Value::Null()})
+          .ok());
+}
+
+TEST(TableTest, TextColumnRendersScalars) {
+  Table t("t", {{"s", ColumnType::kText}});
+  ASSERT_TRUE(t.Insert({Value::Int(42)}).ok());
+  EXPECT_EQ(t.rows()[0][0].AsText(), "42");
+}
+
+TEST(TableTest, DeleteWhereCompacts) {
+  Table t("t", {{"id", ColumnType::kInt}});
+  for (int i = 0; i < 5; ++i) ASSERT_TRUE(t.Insert({Value::Int(i)}).ok());
+  EXPECT_EQ(t.DeleteWhere({false, true, false, true, false}), 2u);
+  ASSERT_EQ(t.num_rows(), 3u);
+  EXPECT_EQ(t.rows()[0][0].AsInt(), 0);
+  EXPECT_EQ(t.rows()[1][0].AsInt(), 2);
+  EXPECT_EQ(t.rows()[2][0].AsInt(), 4);
+}
+
+TEST(TableTest, VersionBumpsOnMutation) {
+  Table t("t", {{"id", ColumnType::kInt}});
+  uint64_t v0 = t.version();
+  ASSERT_TRUE(t.Insert({Value::Int(1)}).ok());
+  EXPECT_GT(t.version(), v0);
+  uint64_t v1 = t.version();
+  ASSERT_TRUE(t.UpdateCell(0, 0, Value::Int(2)).ok());
+  EXPECT_GT(t.version(), v1);
+}
+
+TEST(IndexTest, LookupAndStaleness) {
+  Table t("t", {{"id", ColumnType::kInt}, {"grp", ColumnType::kText}});
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(
+        t.Insert({Value::Int(i), Value::Text(i % 2 ? "odd" : "even")}).ok());
+  }
+  Index idx("by_grp", &t, {1});
+  EXPECT_EQ(idx.Lookup({Value::Text("odd")}).size(), 5u);
+  EXPECT_EQ(idx.Lookup({Value::Text("none")}).size(), 0u);
+  EXPECT_EQ(idx.NumDistinctKeys(), 2u);
+  // Mutation is picked up on the next lookup.
+  ASSERT_TRUE(t.Insert({Value::Int(10), Value::Text("even")}).ok());
+  EXPECT_EQ(idx.Lookup({Value::Text("even")}).size(), 6u);
+}
+
+TEST(IndexTest, RangeLookup) {
+  Table t("t", {{"v", ColumnType::kInt}});
+  for (int i = 0; i < 20; ++i) ASSERT_TRUE(t.Insert({Value::Int(i)}).ok());
+  Index idx("by_v", &t, {0});
+  auto hits = idx.RangeLookup(Value::Int(5), Value::Int(8));
+  EXPECT_EQ(hits.size(), 4u);
+}
+
+TEST(CatalogTest, CreateGetDropTable) {
+  Catalog c;
+  ASSERT_TRUE(c.CreateTable("T1", Cols(), false).ok());
+  EXPECT_TRUE(c.HasTable("t1"));  // case-insensitive
+  EXPECT_TRUE(c.GetTable("T1").ok());
+  // Duplicate.
+  EXPECT_TRUE(c.CreateTable("t1", Cols(), false).IsAlreadyExists());
+  EXPECT_TRUE(c.CreateTable("t1", Cols(), true).ok());  // IF NOT EXISTS
+  ASSERT_TRUE(c.Drop(Statement::DropKind::kTable, "t1", false).ok());
+  EXPECT_FALSE(c.HasTable("t1"));
+  EXPECT_TRUE(
+      c.Drop(Statement::DropKind::kTable, "t1", false).IsNotFound());
+  EXPECT_TRUE(c.Drop(Statement::DropKind::kTable, "t1", true).ok());
+}
+
+TEST(CatalogTest, DuplicateColumnRejected) {
+  Catalog c;
+  EXPECT_FALSE(c.CreateTable("t", {{"a", ColumnType::kInt},
+                                   {"A", ColumnType::kInt}},
+                             false)
+                   .ok());
+}
+
+TEST(CatalogTest, IndexLifecycle) {
+  Catalog c;
+  ASSERT_TRUE(c.CreateTable("t", Cols(), false).ok());
+  ASSERT_TRUE(c.CreateIndex("i1", "t", {"id"}).ok());
+  EXPECT_TRUE(c.CreateIndex("i1", "t", {"id"}).IsAlreadyExists());
+  EXPECT_FALSE(c.CreateIndex("i2", "t", {"missing"}).ok());
+  EXPECT_EQ(c.IndexesOn("t").size(), 1u);
+  EXPECT_NE(c.FindIndex("t", {0}), nullptr);
+  EXPECT_EQ(c.FindIndex("t", {1}), nullptr);
+  // Dropping the table drops its indexes.
+  ASSERT_TRUE(c.Drop(Statement::DropKind::kTable, "t", false).ok());
+  EXPECT_EQ(c.IndexesOn("t").size(), 0u);
+}
+
+TEST(CatalogTest, ViewsShareNamespaceWithTables) {
+  Catalog c;
+  ASSERT_TRUE(c.CreateTable("t", Cols(), false).ok());
+  auto def = std::make_shared<SelectStmt>();
+  EXPECT_TRUE(c.CreateView("t", def).IsAlreadyExists());
+  ASSERT_TRUE(c.CreateView("v", def).ok());
+  EXPECT_TRUE(c.HasView("V"));
+  EXPECT_TRUE(c.GetView("v").ok());
+  EXPECT_FALSE(c.CreateTable("v", Cols(), false).ok());
+  ASSERT_TRUE(c.Drop(Statement::DropKind::kView, "v", false).ok());
+  EXPECT_FALSE(c.HasView("v"));
+}
+
+}  // namespace
+}  // namespace prefsql

@@ -1,0 +1,47 @@
+#include "util/string_util.h"
+
+#include <gtest/gtest.h>
+
+namespace prefsql {
+namespace {
+
+TEST(StringUtilTest, CaseConversion) {
+  EXPECT_EQ(ToLower("SeLeCt"), "select");
+  EXPECT_EQ(ToUpper("SeLeCt"), "SELECT");
+  EXPECT_EQ(ToLower(""), "");
+}
+
+TEST(StringUtilTest, EqualsIgnoreCase) {
+  EXPECT_TRUE(EqualsIgnoreCase("ABC", "abc"));
+  EXPECT_TRUE(EqualsIgnoreCase("", ""));
+  EXPECT_FALSE(EqualsIgnoreCase("abc", "abd"));
+  EXPECT_FALSE(EqualsIgnoreCase("abc", "ab"));
+}
+
+TEST(StringUtilTest, Join) {
+  EXPECT_EQ(Join({}, ", "), "");
+  EXPECT_EQ(Join({"a"}, ", "), "a");
+  EXPECT_EQ(Join({"a", "b", "c"}, "-"), "a-b-c");
+}
+
+TEST(StringUtilTest, ContainsIgnoreCase) {
+  EXPECT_TRUE(ContainsIgnoreCase("Java, C++, SQL", "java"));
+  EXPECT_TRUE(ContainsIgnoreCase("abc", ""));
+  EXPECT_FALSE(ContainsIgnoreCase("", "x"));
+  EXPECT_TRUE(ContainsIgnoreCase("xxJAVAyy", "java"));
+  EXPECT_FALSE(ContainsIgnoreCase("jav", "java"));
+}
+
+TEST(StringUtilTest, QuoteSqlString) {
+  EXPECT_EQ(QuoteSqlString("abc"), "'abc'");
+  EXPECT_EQ(QuoteSqlString("it's"), "'it''s'");
+  EXPECT_EQ(QuoteSqlString(""), "''");
+}
+
+TEST(StringUtilTest, StringPrintf) {
+  EXPECT_EQ(StringPrintf("%d-%s", 7, "x"), "7-x");
+  EXPECT_EQ(StringPrintf("empty"), "empty");
+}
+
+}  // namespace
+}  // namespace prefsql

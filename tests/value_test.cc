@@ -1,0 +1,130 @@
+#include "types/value.h"
+
+#include <gtest/gtest.h>
+
+#include "types/date.h"
+
+namespace prefsql {
+namespace {
+
+TEST(ValueTest, TypesAndAccessors) {
+  EXPECT_EQ(Value::Null().type(), ValueType::kNull);
+  EXPECT_TRUE(Value::Null().is_null());
+  EXPECT_EQ(Value::Bool(true).type(), ValueType::kBool);
+  EXPECT_TRUE(Value::Bool(true).AsBool());
+  EXPECT_EQ(Value::Int(5).AsInt(), 5);
+  EXPECT_EQ(Value::Double(2.5).AsDouble(), 2.5);
+  EXPECT_EQ(Value::Text("hi").AsText(), "hi");
+  EXPECT_EQ(Value::Date(10775).AsDateDays(), 10775);
+}
+
+TEST(ValueTest, NumericCoercion) {
+  EXPECT_EQ(Value::Int(3).AsDouble(), 3.0);
+  EXPECT_EQ(Value::Double(3.9).AsInt(), 3);  // truncation
+  EXPECT_TRUE(Value::Int(1).is_numeric());
+  EXPECT_TRUE(Value::Date(0).is_numeric());
+  EXPECT_FALSE(Value::Text("x").is_numeric());
+}
+
+TEST(ValueTest, ToNumericParsesDateText) {
+  auto n = Value::Text("1999/7/3").ToNumeric();
+  ASSERT_TRUE(n.has_value());
+  EXPECT_EQ(*n, 10775.0);
+  EXPECT_FALSE(Value::Text("hello").ToNumeric().has_value());
+  EXPECT_FALSE(Value::Null().ToNumeric().has_value());
+  EXPECT_FALSE(Value::Bool(true).ToNumeric().has_value());
+}
+
+TEST(ValueTest, SqlEqualsThreeValued) {
+  EXPECT_FALSE(Value::Null().SqlEquals(Value::Int(1)).has_value());
+  EXPECT_FALSE(Value::Int(1).SqlEquals(Value::Null()).has_value());
+  EXPECT_EQ(Value::Int(3).SqlEquals(Value::Double(3.0)), true);
+  EXPECT_EQ(Value::Int(3).SqlEquals(Value::Int(4)), false);
+  EXPECT_EQ(Value::Text("a").SqlEquals(Value::Text("a")), true);
+  EXPECT_EQ(Value::Text("a").SqlEquals(Value::Text("A")), false);
+  // Cross-kind equality is plain false (not unknown).
+  EXPECT_EQ(Value::Int(1).SqlEquals(Value::Text("1")), false);
+  EXPECT_EQ(Value::Bool(true).SqlEquals(Value::Int(1)), false);
+}
+
+TEST(ValueTest, DateTextEquality) {
+  Value d = Value::Date(10775);
+  EXPECT_EQ(d.SqlEquals(Value::Text("1999/7/3")), true);
+  EXPECT_EQ(Value::Text("1999-07-03").SqlEquals(d), true);
+  EXPECT_EQ(d.SqlEquals(Value::Text("1999/7/4")), false);
+}
+
+TEST(ValueTest, SqlLess) {
+  EXPECT_EQ(Value::Int(1).SqlLess(Value::Int(2)), true);
+  EXPECT_EQ(Value::Int(2).SqlLess(Value::Int(1)), false);
+  EXPECT_EQ(Value::Double(1.5).SqlLess(Value::Int(2)), true);
+  EXPECT_EQ(Value::Text("a").SqlLess(Value::Text("b")), true);
+  EXPECT_FALSE(Value::Null().SqlLess(Value::Int(1)).has_value());
+  // Text vs int is unknown, not an order.
+  EXPECT_FALSE(Value::Text("a").SqlLess(Value::Int(1)).has_value());
+  // Dates order by day number.
+  EXPECT_EQ(Value::Date(10).SqlLess(Value::Date(11)), true);
+}
+
+TEST(ValueTest, TotalOrderCompare) {
+  // NULL < BOOL < numeric < TEXT.
+  EXPECT_LT(Value::Compare(Value::Null(), Value::Bool(false)), 0);
+  EXPECT_LT(Value::Compare(Value::Bool(true), Value::Int(0)), 0);
+  EXPECT_LT(Value::Compare(Value::Int(999), Value::Text("")), 0);
+  EXPECT_EQ(Value::Compare(Value::Null(), Value::Null()), 0);
+  EXPECT_EQ(Value::Compare(Value::Int(3), Value::Double(3.0)), 0);
+  EXPECT_GT(Value::Compare(Value::Text("b"), Value::Text("a")), 0);
+}
+
+TEST(ValueTest, IdentityEqualsTreatsNullsEqual) {
+  EXPECT_TRUE(Value::Null().IdentityEquals(Value::Null()));
+  EXPECT_TRUE(Value::Int(2).IdentityEquals(Value::Double(2.0)));
+  EXPECT_FALSE(Value::Int(2).IdentityEquals(Value::Int(3)));
+}
+
+TEST(ValueTest, ToStringRendering) {
+  EXPECT_EQ(Value::Null().ToString(), "NULL");
+  EXPECT_EQ(Value::Bool(true).ToString(), "TRUE");
+  EXPECT_EQ(Value::Bool(false).ToString(), "FALSE");
+  EXPECT_EQ(Value::Int(-7).ToString(), "-7");
+  EXPECT_EQ(Value::Double(40000.0).ToString(), "40000");  // integral doubles
+  EXPECT_EQ(Value::Double(2.5).ToString(), "2.5");
+  EXPECT_EQ(Value::Text("x").ToString(), "x");
+  EXPECT_EQ(Value::Date(10775).ToString(), "1999-07-03");
+}
+
+TEST(ValueTest, ToSqlLiteral) {
+  EXPECT_EQ(Value::Text("it's").ToSqlLiteral(), "'it''s'");
+  EXPECT_EQ(Value::Int(3).ToSqlLiteral(), "3");
+  EXPECT_EQ(Value::Date(10775).ToSqlLiteral(), "DATE '1999-07-03'");
+  EXPECT_EQ(Value::Null().ToSqlLiteral(), "NULL");
+}
+
+TEST(ValueTest, HashConsistentWithIdentity) {
+  EXPECT_EQ(Value::Int(3).Hash(), Value::Double(3.0).Hash());
+  EXPECT_EQ(Value::Null().Hash(), Value::Null().Hash());
+  EXPECT_EQ(Value::Text("abc").Hash(), Value::Text("abc").Hash());
+}
+
+TEST(ValueTest, RowHelpers) {
+  Row a{Value::Int(1), Value::Text("x")};
+  Row b{Value::Int(1), Value::Text("x")};
+  Row c{Value::Int(1), Value::Text("y")};
+  EXPECT_TRUE(RowsIdentityEqual(a, b));
+  EXPECT_FALSE(RowsIdentityEqual(a, c));
+  EXPECT_FALSE(RowsIdentityEqual(a, Row{Value::Int(1)}));
+  EXPECT_EQ(HashRow(a), HashRow(b));
+}
+
+TEST(ColumnTypeTest, ParseColumnTypeAliases) {
+  EXPECT_EQ(ParseColumnType("INT"), ColumnType::kInt);
+  EXPECT_EQ(ParseColumnType("integer"), ColumnType::kInt);
+  EXPECT_EQ(ParseColumnType("VARCHAR"), ColumnType::kText);
+  EXPECT_EQ(ParseColumnType("REAL"), ColumnType::kDouble);
+  EXPECT_EQ(ParseColumnType("bool"), ColumnType::kBool);
+  EXPECT_EQ(ParseColumnType("DATE"), ColumnType::kDate);
+  EXPECT_FALSE(ParseColumnType("BLOB").has_value());
+}
+
+}  // namespace
+}  // namespace prefsql

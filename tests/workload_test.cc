@@ -1,0 +1,137 @@
+#include "workload/generators.h"
+
+#include <gtest/gtest.h>
+
+namespace prefsql {
+namespace {
+
+int64_t Count(Database& db, const std::string& sql) {
+  auto r = db.Execute(sql);
+  EXPECT_TRUE(r.ok()) << sql << ": " << r.status().ToString();
+  return r.ok() ? r->at(0, 0).AsInt() : -1;
+}
+
+TEST(WorkloadTest, OldtimerMatchesPaperRelation) {
+  Database db;
+  ASSERT_TRUE(LoadOldtimer(db).ok());
+  EXPECT_EQ(Count(db, "SELECT COUNT(*) FROM oldtimer"), 6);
+  auto r = db.Execute("SELECT color FROM oldtimer WHERE ident = 'Selma'");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->at(0, 0).AsText(), "red");
+}
+
+TEST(WorkloadTest, CarsExampleMatchesPaperRelation) {
+  Database db;
+  ASSERT_TRUE(LoadCarsExample(db).ok());
+  EXPECT_EQ(Count(db, "SELECT COUNT(*) FROM Cars"), 3);
+  EXPECT_EQ(Count(db, "SELECT COUNT(*) FROM Cars WHERE Make = 'Audi'"), 1);
+  EXPECT_EQ(Count(db, "SELECT COUNT(*) FROM Cars WHERE Diesel = 'yes'"), 1);
+}
+
+TEST(WorkloadTest, GeneratorsAreDeterministic) {
+  Database a, b;
+  ASSERT_TRUE(GenerateUsedCars(a, 100, 5).ok());
+  ASSERT_TRUE(GenerateUsedCars(b, 100, 5).ok());
+  auto ra = a.Execute("SELECT * FROM car ORDER BY id");
+  auto rb = b.Execute("SELECT * FROM car ORDER BY id");
+  ASSERT_TRUE(ra.ok() && rb.ok());
+  ASSERT_EQ(ra->num_rows(), rb->num_rows());
+  for (size_t i = 0; i < ra->num_rows(); ++i) {
+    EXPECT_EQ(ra->RowToString(i), rb->RowToString(i));
+  }
+  // Different seed, different data.
+  Database c;
+  ASSERT_TRUE(GenerateUsedCars(c, 100, 6).ok());
+  auto rc = c.Execute("SELECT * FROM car ORDER BY id");
+  ASSERT_TRUE(rc.ok());
+  bool any_diff = false;
+  for (size_t i = 0; i < ra->num_rows() && !any_diff; ++i) {
+    any_diff = ra->RowToString(i) != rc->RowToString(i);
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(WorkloadTest, UsedCarShape) {
+  Database db;
+  ASSERT_TRUE(GenerateUsedCars(db, 500, 1).ok());
+  EXPECT_EQ(Count(db, "SELECT COUNT(*) FROM car"), 500);
+  EXPECT_EQ(Count(db, "SELECT COUNT(*) FROM car WHERE price < 500"), 0);
+  EXPECT_GT(Count(db, "SELECT COUNT(*) FROM car WHERE make = 'Opel'"), 0);
+  EXPECT_GT(Count(db, "SELECT COUNT(*) FROM car WHERE diesel = 'yes'"), 0);
+}
+
+TEST(WorkloadTest, ProductsShape) {
+  Database db;
+  ASSERT_TRUE(GenerateProducts(db, 300, 1).ok());
+  EXPECT_EQ(Count(db, "SELECT COUNT(*) FROM products"), 300);
+  EXPECT_EQ(
+      Count(db, "SELECT COUNT(*) FROM products WHERE powerconsumption < 0.5"),
+      0);
+  EXPECT_GT(
+      Count(db, "SELECT COUNT(*) FROM products WHERE manufacturer = 'Aturi'"),
+      0);
+}
+
+TEST(WorkloadTest, TripsHaveDates) {
+  Database db;
+  ASSERT_TRUE(GenerateTrips(db, 200, 1).ok());
+  EXPECT_EQ(Count(db,
+                  "SELECT COUNT(*) FROM trips WHERE start_day >= "
+                  "DATE '1999-05-01' AND start_day <= DATE '1999-09-28'"),
+            200);
+  EXPECT_EQ(Count(db, "SELECT COUNT(*) FROM trips WHERE duration < 3"), 0);
+}
+
+TEST(WorkloadTest, HotelsAndProgrammers) {
+  Database db;
+  ASSERT_TRUE(GenerateHotels(db, 150, 1).ok());
+  ASSERT_TRUE(GenerateProgrammers(db, 150, 1).ok());
+  EXPECT_GT(Count(db,
+                  "SELECT COUNT(*) FROM hotels WHERE location = 'downtown'"),
+            0);
+  EXPECT_GT(Count(db, "SELECT COUNT(*) FROM programmers WHERE exp = 'java'"),
+            0);
+  // Zipf skew: java (rank 0) should dominate the tail skill.
+  EXPECT_GT(Count(db, "SELECT COUNT(*) FROM programmers WHERE exp = 'java'"),
+            Count(db, "SELECT COUNT(*) FROM programmers WHERE exp = 'delphi'"));
+}
+
+TEST(WorkloadTest, JobProfilesHave74Attributes) {
+  Database db;
+  JobProfileConfig cfg;
+  cfg.rows = 500;
+  ASSERT_TRUE(GenerateJobProfiles(db, cfg).ok());
+  auto table = db.catalog().GetTable("profiles");
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ((*table)->columns().size(), 74u);
+  EXPECT_EQ((*table)->num_rows(), 500u);
+  // The pre-selection attributes have the documented domains.
+  EXPECT_EQ(Count(db, "SELECT COUNT(*) FROM profiles WHERE availability > 365"),
+            0);
+  EXPECT_EQ(Count(db, "SELECT COUNT(DISTINCT region) FROM profiles"), 16);
+}
+
+TEST(WorkloadTest, ShopOffersShape) {
+  Database db;
+  ASSERT_TRUE(GenerateShopOffers(db, 400, 1).ok());
+  EXPECT_EQ(Count(db, "SELECT COUNT(*) FROM offers"), 400);
+  EXPECT_GT(Count(db, "SELECT COUNT(*) FROM offers WHERE shipping = 0"), 0);
+  EXPECT_EQ(Count(db, "SELECT COUNT(*) FROM offers WHERE rating > 5"), 0);
+}
+
+TEST(WorkloadTest, CustomTableNames) {
+  Database db;
+  ASSERT_TRUE(GenerateUsedCars(db, 10, 1, "fleet_a").ok());
+  ASSERT_TRUE(GenerateUsedCars(db, 10, 2, "fleet_b").ok());
+  EXPECT_EQ(Count(db, "SELECT COUNT(*) FROM fleet_a"), 10);
+  EXPECT_EQ(Count(db, "SELECT COUNT(*) FROM fleet_b"), 10);
+}
+
+TEST(WorkloadTest, DuplicateGenerationFails) {
+  Database db;
+  ASSERT_TRUE(GenerateUsedCars(db, 10, 1).ok());
+  EXPECT_TRUE(GenerateUsedCars(db, 10, 1).IsAlreadyExists());
+}
+
+}  // namespace
+}  // namespace prefsql

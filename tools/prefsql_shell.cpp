@@ -1,0 +1,154 @@
+// prefsql_shell: an interactive Preference SQL session — the closest thing
+// to pointing an ODBC client at the paper's middleware stack.
+//
+//   $ ./build/tools/prefsql_shell
+//   prefsql> .demo cars
+//   prefsql> SELECT * FROM Cars PREFERRING Make = 'Audi' AND Diesel = 'yes';
+//   prefsql> EXPLAIN SELECT * FROM Cars PREFERRING Make = 'Audi';
+//   prefsql> .mode bnl
+//   prefsql> .quit
+//
+// Dot commands: .help, .tables, .mode rewrite|bnl|naive|sfs, .demo <name>,
+// .quit. Everything else is (Preference) SQL, terminated by ';'.
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "core/connection.h"
+#include "engine/csv.h"
+#include "util/string_util.h"
+#include "workload/generators.h"
+
+namespace {
+
+using prefsql::Connection;
+using prefsql::EvaluationMode;
+
+void PrintHelp() {
+  std::printf(
+      "commands:\n"
+      "  .help                 this text\n"
+      "  .tables               list tables\n"
+      "  .mode <m>             evaluation mode: rewrite | bnl | naive | sfs\n"
+      "  .demo <name>          load demo data: oldtimer | cars | usedcars |\n"
+      "                        products | trips | hotels | programmers\n"
+      "  .import <file> <tbl>  import a CSV file into a (new) table\n"
+      "  .quit                 exit\n"
+      "anything else: SQL / Preference SQL, terminated by ';'\n"
+      "  (try: SELECT ... PREFERRING x AROUND 10 AND LOWEST(y);\n"
+      "        EXPLAIN SELECT ... PREFERRING ...;)\n");
+}
+
+bool HandleDotCommand(Connection& conn, const std::string& line) {
+  if (line == ".help") {
+    PrintHelp();
+    return true;
+  }
+  if (line == ".tables") {
+    for (const auto& name : conn.database().catalog().TableNames()) {
+      std::printf("%s\n", name.c_str());
+    }
+    return true;
+  }
+  if (line.rfind(".mode", 0) == 0) {
+    std::string mode = line.size() > 6 ? line.substr(6) : "";
+    if (mode == "rewrite") {
+      conn.options().mode = EvaluationMode::kRewrite;
+    } else if (mode == "bnl") {
+      conn.options().mode = EvaluationMode::kBlockNestedLoop;
+    } else if (mode == "naive") {
+      conn.options().mode = EvaluationMode::kNaiveNestedLoop;
+    } else if (mode == "sfs") {
+      conn.options().mode = EvaluationMode::kSortFilterSkyline;
+    } else {
+      std::printf("unknown mode '%s' (rewrite | bnl | naive | sfs)\n",
+                  mode.c_str());
+      return true;
+    }
+    std::printf("evaluation mode: %s\n",
+                prefsql::EvaluationModeToString(conn.options().mode));
+    return true;
+  }
+  if (line.rfind(".demo", 0) == 0) {
+    std::string name = line.size() > 6 ? line.substr(6) : "";
+    prefsql::Status st;
+    if (name == "oldtimer") {
+      st = prefsql::LoadOldtimer(conn.database());
+    } else if (name == "cars") {
+      st = prefsql::LoadCarsExample(conn.database());
+    } else if (name == "usedcars") {
+      st = prefsql::GenerateUsedCars(conn.database(), 2000);
+    } else if (name == "products") {
+      st = prefsql::GenerateProducts(conn.database(), 1000);
+    } else if (name == "trips") {
+      st = prefsql::GenerateTrips(conn.database(), 800);
+    } else if (name == "hotels") {
+      st = prefsql::GenerateHotels(conn.database(), 500);
+    } else if (name == "programmers") {
+      st = prefsql::GenerateProgrammers(conn.database(), 500);
+    } else {
+      std::printf("unknown demo '%s'\n", name.c_str());
+      return true;
+    }
+    std::printf("%s\n", st.ok() ? "loaded" : st.ToString().c_str());
+    return true;
+  }
+  if (line.rfind(".import", 0) == 0) {
+    std::string rest = line.size() > 8 ? line.substr(8) : "";
+    size_t space = rest.find(' ');
+    if (space == std::string::npos) {
+      std::printf("usage: .import <file> <table>\n");
+      return true;
+    }
+    auto n = prefsql::ImportCsvFile(conn.database(), rest.substr(space + 1),
+                                    rest.substr(0, space));
+    if (n.ok()) {
+      std::printf("imported %zu rows\n", *n);
+    } else {
+      std::printf("%s\n", n.status().ToString().c_str());
+    }
+    return true;
+  }
+  if (line == ".quit" || line == ".exit") return false;
+  std::printf("unknown command %s (try .help)\n", line.c_str());
+  return true;
+}
+
+}  // namespace
+
+int main() {
+  Connection conn;
+  std::printf("Preference SQL shell — .help for commands, .quit to exit\n");
+  std::string buffer;
+  std::string line;
+  while (true) {
+    std::printf(buffer.empty() ? "prefsql> " : "    ...> ");
+    std::fflush(stdout);
+    if (!std::getline(std::cin, line)) break;
+    // Trim trailing whitespace.
+    while (!line.empty() && (line.back() == ' ' || line.back() == '\r' ||
+                             line.back() == '\t')) {
+      line.pop_back();
+    }
+    if (buffer.empty() && !line.empty() && line[0] == '.') {
+      if (!HandleDotCommand(conn, line)) break;
+      continue;
+    }
+    buffer += line + "\n";
+    if (line.empty() || line.back() != ';') continue;
+    auto result = conn.ExecuteScript(buffer);
+    buffer.clear();
+    if (!result.ok()) {
+      std::printf("error: %s\n", result.status().ToString().c_str());
+      continue;
+    }
+    if (result->num_columns() > 0) {
+      std::printf("%s(%zu rows)\n", result->ToString(50).c_str(),
+                  result->num_rows());
+    } else {
+      std::printf("ok\n");
+    }
+  }
+  return 0;
+}
