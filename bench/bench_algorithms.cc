@@ -7,6 +7,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_json.h"
+
 #include <cstdlib>
 #include <string>
 #include <vector>
@@ -134,4 +136,4 @@ BENCHMARK(BM_BnlWindowCapacity)
 }  // namespace
 }  // namespace prefsql
 
-BENCHMARK_MAIN();
+PREFSQL_BENCHMARK_MAIN("algorithms");

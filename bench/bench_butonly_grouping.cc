@@ -10,6 +10,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_json.h"
+
 #include <cstdlib>
 
 #include "core/connection.h"
@@ -118,4 +120,4 @@ BENCHMARK(BM_GroupedBmo_Rewrite)->Arg(2000)->Arg(10000)
 }  // namespace
 }  // namespace prefsql
 
-BENCHMARK_MAIN();
+PREFSQL_BENCHMARK_MAIN("butonly_grouping");

@@ -18,6 +18,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_json.h"
 #include "core/connection.h"
 #include "util/random.h"
 #include "workload/generators.h"
@@ -116,5 +117,22 @@ int main() {
       "preference step adds\nonly a small overhead to the 1-2 s meta-search "
       "dominated by shop access)\n",
       total_ms / static_cast<double>(kSessions));
+
+  prefsql::benchjson::Writer json("cosima");
+  for (const Bucket& b : buckets) {
+    json.BeginRecord()
+        .Field("section", "bmo_size_distribution")
+        .Field("bucket", b.label)
+        .Field("sessions", static_cast<uint64_t>(b.count));
+  }
+  json.BeginRecord()
+      .Field("section", "summary")
+      .Field("sessions", static_cast<uint64_t>(kSessions))
+      .Field("share_within_1_20_pct", share)
+      .Field("mean_query_ms", total_ms / static_cast<double>(kSessions));
+  if (!json.Write()) {
+    std::fprintf(stderr, "failed to write BENCH_cosima.json\n");
+    return 1;
+  }
   return share >= 50.0 ? 0 : 1;
 }

@@ -10,6 +10,7 @@
 #include <cstdlib>
 #include <memory>
 
+#include "bench_json.h"
 #include "core/connection.h"
 #include "workload/generators.h"
 
@@ -18,8 +19,9 @@ namespace {
 
 constexpr size_t kRows = 30000;
 
-std::unique_ptr<Connection> MakeConnection(bool with_index) {
-  auto conn = std::make_unique<Connection>();
+std::unique_ptr<Connection> MakeConnection(bool with_index,
+                                           ConnectionOptions options = {}) {
+  auto conn = std::make_unique<Connection>(options);
   JobProfileConfig cfg;
   cfg.rows = kRows;
   if (!GenerateJobProfiles(conn->database(), cfg).ok()) std::abort();
@@ -80,7 +82,40 @@ void BM_PreferenceQueryIndexScan(benchmark::State& state) {
 }
 BENCHMARK(BM_PreferenceQueryIndexScan)->Unit(benchmark::kMillisecond);
 
+// LIMIT-k pushdown through the BmoOperator: in sort-filter mode a bare
+// LIMIT stops the skyline filter pass at the k-th maximal tuple, so the
+// bmo_comparisons counter must come out measurably below the full-BMO run
+// over the same candidates.
+void RunSfsPreference(benchmark::State& state, const char* suffix) {
+  ConnectionOptions opts;
+  opts.mode = EvaluationMode::kSortFilterSkyline;
+  auto conn = MakeConnection(true, opts);
+  std::string sql = std::string(kPreferenceQuery) + suffix;
+  size_t rows = 0;
+  for (auto _ : state) {
+    auto r = conn->Execute(sql);
+    if (!r.ok()) std::abort();
+    rows = r->num_rows();
+    benchmark::DoNotOptimize(r);
+  }
+  state.counters["bmo_comparisons"] =
+      static_cast<double>(conn->last_stats().bmo_comparisons);
+  state.counters["candidates"] =
+      static_cast<double>(conn->last_stats().candidate_count);
+  state.counters["result_rows"] = static_cast<double>(rows);
+}
+
+void BM_PreferenceFullBmoSfs(benchmark::State& state) {
+  RunSfsPreference(state, "");
+}
+BENCHMARK(BM_PreferenceFullBmoSfs)->Unit(benchmark::kMillisecond);
+
+void BM_PreferenceTopKPushdownSfs(benchmark::State& state) {
+  RunSfsPreference(state, " LIMIT 5");
+}
+BENCHMARK(BM_PreferenceTopKPushdownSfs)->Unit(benchmark::kMillisecond);
+
 }  // namespace
 }  // namespace prefsql
 
-BENCHMARK_MAIN();
+PREFSQL_BENCHMARK_MAIN("index_scan");

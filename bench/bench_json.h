@@ -1,0 +1,111 @@
+// Machine-readable benchmark output: every bench_* binary writes a
+// BENCH_<name>.json next to its human-readable report so the perf
+// trajectory of the engine can be tracked across commits.
+//
+// Google-benchmark-based benches use PREFSQL_BENCHMARK_MAIN(name), which
+// tees the standard JSON reporter (ops, wall time, custom counters such as
+// bmo_comparisons) into the file. Plain-main benches record rows through
+// benchjson::Writer.
+
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace prefsql {
+namespace benchjson {
+
+/// Flat record-list JSON writer: {"benchmark": <name>, "records": [{...}]}.
+class Writer {
+ public:
+  explicit Writer(std::string name) : name_(std::move(name)) {}
+
+  Writer& BeginRecord() {
+    records_.emplace_back();
+    return *this;
+  }
+  Writer& Field(const std::string& key, const std::string& value) {
+    records_.back().emplace_back(key, Quote(value));
+    return *this;
+  }
+  Writer& Field(const std::string& key, const char* value) {
+    return Field(key, std::string(value));
+  }
+  Writer& Field(const std::string& key, double value) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.6g", value);
+    records_.back().emplace_back(key, buf);
+    return *this;
+  }
+  Writer& Field(const std::string& key, uint64_t value) {
+    records_.back().emplace_back(key, std::to_string(value));
+    return *this;
+  }
+
+  /// Writes BENCH_<name>.json into the working directory.
+  bool Write() const {
+    std::ofstream out("BENCH_" + name_ + ".json");
+    if (!out) return false;
+    out << "{\n  \"benchmark\": " << Quote(name_) << ",\n  \"records\": [";
+    for (size_t r = 0; r < records_.size(); ++r) {
+      out << (r == 0 ? "\n" : ",\n") << "    {";
+      for (size_t f = 0; f < records_[r].size(); ++f) {
+        if (f > 0) out << ", ";
+        out << Quote(records_[r][f].first) << ": " << records_[r][f].second;
+      }
+      out << "}";
+    }
+    out << "\n  ]\n}\n";
+    return out.good();
+  }
+
+ private:
+  static std::string Quote(const std::string& s) {
+    std::string out = "\"";
+    for (char c : s) {
+      if (c == '"' || c == '\\') out += '\\';
+      out += c;
+    }
+    out += '"';
+    return out;
+  }
+
+  std::string name_;
+  std::vector<std::vector<std::pair<std::string, std::string>>> records_;
+};
+
+}  // namespace benchjson
+}  // namespace prefsql
+
+/// main() for google-benchmark benches: console output for humans plus the
+/// stock JSON file reporter (including per-benchmark counters) into
+/// BENCH_<name>.json, unless the caller passes an explicit --benchmark_out.
+#define PREFSQL_BENCHMARK_MAIN(name)                                       \
+  int main(int argc, char** argv) {                                        \
+    std::string psql_out_flag = "--benchmark_out=BENCH_" name ".json";     \
+    std::string psql_fmt_flag = "--benchmark_out_format=json";             \
+    std::vector<char*> psql_args(argv, argv + argc);                       \
+    bool psql_user_out = false;                                            \
+    for (int i = 1; i < argc; ++i) {                                       \
+      if (std::string(argv[i]).rfind("--benchmark_out=", 0) == 0) {        \
+        psql_user_out = true;                                              \
+      }                                                                    \
+    }                                                                      \
+    if (!psql_user_out) {                                                  \
+      psql_args.push_back(psql_out_flag.data());                           \
+      psql_args.push_back(psql_fmt_flag.data());                           \
+    }                                                                      \
+    int psql_argc = static_cast<int>(psql_args.size());                    \
+    benchmark::Initialize(&psql_argc, psql_args.data());                   \
+    if (benchmark::ReportUnrecognizedArguments(psql_argc,                  \
+                                               psql_args.data())) {        \
+      return 1;                                                            \
+    }                                                                      \
+    benchmark::RunSpecifiedBenchmarks();                                   \
+    benchmark::Shutdown();                                                 \
+    return 0;                                                              \
+  }

@@ -5,15 +5,20 @@
 #include <cstdio>
 #include <string>
 
+#include "bench_json.h"
 #include "core/connection.h"
 #include "workload/generators.h"
 
 namespace {
 
 int g_failures = 0;
+prefsql::benchjson::Writer g_json("paper_examples");
 
 void Check(bool ok, const char* what) {
   std::printf("  [%s] %s\n", ok ? "PASS" : "FAIL", what);
+  g_json.BeginRecord()
+      .Field("check", what)
+      .Field("pass", static_cast<uint64_t>(ok ? 1 : 0));
   if (!ok) ++g_failures;
 }
 
@@ -87,5 +92,12 @@ int main() {
   RunCarsRewriteExample();
   std::printf("\n%s (%d failures)\n", g_failures == 0 ? "ALL PASS" : "FAILED",
               g_failures);
+  g_json.BeginRecord()
+      .Field("check", "total_failures")
+      .Field("failures", static_cast<uint64_t>(g_failures));
+  if (!g_json.Write()) {
+    std::fprintf(stderr, "failed to write BENCH_paper_examples.json\n");
+    return 1;
+  }
   return g_failures == 0 ? 0 : 1;
 }

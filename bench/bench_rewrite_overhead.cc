@@ -5,6 +5,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_json.h"
+
 #include <cstdlib>
 
 #include "core/analyzer.h"
@@ -113,4 +115,4 @@ BENCHMARK(BM_EndToEndBnl)->Arg(2)->Arg(4);
 }  // namespace
 }  // namespace prefsql
 
-BENCHMARK_MAIN();
+PREFSQL_BENCHMARK_MAIN("rewrite_overhead");

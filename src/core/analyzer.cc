@@ -93,14 +93,7 @@ Status ValidatePreferenceColumns(const CompiledPreference& pref,
     std::vector<const Expr*> refs;
     CollectColumnRefs(*pref.leaf(i).attr, &refs);
     for (const Expr* ref : refs) {
-      bool found = false;
-      for (const auto& col : columns) {
-        if (EqualsIgnoreCase(col, ref->column)) {
-          found = true;
-          break;
-        }
-      }
-      if (!found) {
+      if (!FindNameIgnoreCase(columns, ref->column)) {
         return Status::InvalidArgument(
             "preference attribute refers to unknown column '" + ref->column +
             "'");

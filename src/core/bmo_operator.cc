@@ -1,0 +1,185 @@
+#include "core/bmo_operator.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace prefsql {
+
+std::string BmoQualityColumnName(QualityFn fn, size_t leaf) {
+  const char* tag = fn == QualityFn::kTop     ? "top"
+                    : fn == QualityFn::kLevel ? "level"
+                                              : "dist";
+  return "$" + std::string(tag) + "_" + std::to_string(leaf);
+}
+
+BmoOperator::BmoOperator(OperatorPtr child, const CompiledPreference* pref,
+                         BmoOperatorConfig config, SubqueryRunner* runner)
+    : child_(std::move(child)),
+      pref_(pref),
+      config_(std::move(config)),
+      runner_(runner) {
+  std::vector<ColumnInfo> aug_cols = child_->schema().columns();
+  for (size_t l = 0; l < pref_->num_leaves(); ++l) {
+    for (QualityFn fn :
+         {QualityFn::kTop, QualityFn::kLevel, QualityFn::kDistance}) {
+      quality_slots_.emplace_back(fn, l);
+      aug_cols.push_back({"", BmoQualityColumnName(fn, l)});
+    }
+  }
+  aug_schema_ = Schema(std::move(aug_cols));
+}
+
+Status BmoOperator::Open() {
+  PSQL_RETURN_IF_ERROR(child_->Open());
+  rows_.clear();
+  keys_.clear();
+  survivors_.clear();
+  pos_ = 0;
+  stats_ = BmoStats{};
+
+  // 1. Pull the candidate stream; compute preference keys as rows arrive.
+  //    Base-table rows stay borrowed (no tuple copies between scan and BMO).
+  RowRef ref;
+  while (true) {
+    PSQL_ASSIGN_OR_RETURN(bool more, child_->Next(&ref));
+    if (!more) break;
+    PSQL_ASSIGN_OR_RETURN(
+        PrefKey key, pref_->MakeKey(child_->schema(), ref.row(), runner_));
+    keys_.push_back(std::move(key));
+    rows_.push_back(std::move(ref));
+  }
+  const size_t n = rows_.size();
+  candidate_count_ = n;
+
+  // 2. GROUPING partitions (§2.2.5): BMO within each partition.
+  std::vector<std::vector<size_t>> partitions;
+  if (config_.grouping_cols.empty()) {
+    partitions.emplace_back();
+    partitions[0].reserve(n);
+    for (size_t i = 0; i < n; ++i) partitions[0].push_back(i);
+  } else {
+    std::unordered_map<size_t, std::vector<size_t>> by_hash;  // hash->part ids
+    std::vector<Row> part_keys;
+    for (size_t i = 0; i < n; ++i) {
+      Row gkey;
+      gkey.reserve(config_.grouping_cols.size());
+      for (size_t c : config_.grouping_cols) gkey.push_back(rows_[i].row()[c]);
+      size_t h = HashRow(gkey);
+      size_t part = SIZE_MAX;
+      for (size_t cand_part : by_hash[h]) {
+        if (RowsIdentityEqual(part_keys[cand_part], gkey)) {
+          part = cand_part;
+          break;
+        }
+      }
+      if (part == SIZE_MAX) {
+        part = partitions.size();
+        partitions.emplace_back();
+        part_keys.push_back(std::move(gkey));
+        by_hash[h].push_back(part);
+      }
+      partitions[part].push_back(i);
+    }
+  }
+
+  // 3. Observed minimum score per leaf per partition (quality offsets for
+  //    HIGHEST/LOWEST distances, computed over the unfiltered candidates).
+  min_scores_.assign(partitions.size(), {});
+  partition_of_.assign(n, 0);
+  for (size_t p = 0; p < partitions.size(); ++p) {
+    min_scores_[p].assign(pref_->num_leaves(), kWorstScore);
+    for (size_t i : partitions[p]) {
+      partition_of_[i] = p;
+      for (size_t l = 0; l < pref_->num_leaves(); ++l) {
+        min_scores_[p][l] = std::min(min_scores_[p][l], keys_[i][l].score);
+      }
+    }
+  }
+
+  // 4. BMO per partition, with optional BUT ONLY pre/post filtering and
+  //    progressive top-k pushdown.
+  for (const auto& part : partitions) {
+    std::vector<size_t> candidates = part;
+    if (config_.but_only != nullptr &&
+        config_.but_only_mode == ButOnlyMode::kPreFilter) {
+      std::vector<size_t> filtered;
+      for (size_t i : candidates) {
+        PSQL_ASSIGN_OR_RETURN(bool pass, PassesButOnly(i));
+        if (pass) filtered.push_back(i);
+      }
+      candidates = std::move(filtered);
+    }
+    BmoStats part_stats;
+    std::vector<size_t> bmo =
+        config_.top_k ? ComputeBmoTopK(*pref_, keys_, candidates,
+                                       *config_.top_k, &part_stats)
+                      : ComputeBmo(*pref_, keys_, candidates, config_.bmo,
+                                   &part_stats);
+    stats_.comparisons += part_stats.comparisons;
+    stats_.passes = std::max(stats_.passes, part_stats.passes);
+    if (config_.but_only != nullptr &&
+        config_.but_only_mode == ButOnlyMode::kPostFilter) {
+      for (size_t i : bmo) {
+        PSQL_ASSIGN_OR_RETURN(bool pass, PassesButOnly(i));
+        if (pass) survivors_.push_back(i);
+      }
+    } else {
+      survivors_.insert(survivors_.end(), bmo.begin(), bmo.end());
+    }
+  }
+  // Emit in candidate order (like LIMIT without ORDER BY, the particular
+  // maximal tuples of a top-k run are unspecified, but the order is stable).
+  std::sort(survivors_.begin(), survivors_.end());
+  return Status::OK();
+}
+
+Row BmoOperator::BuildAugmentedRow(size_t i) const {
+  Row row = rows_[i].row();
+  const auto& mins = min_scores_[partition_of_[i]];
+  for (auto [fn, leaf] : quality_slots_) {
+    const BasePreference& base = *pref_->leaf(leaf).pref;
+    switch (fn) {
+      case QualityFn::kTop:
+        row.push_back(Value::Bool(ComputeTop(base, keys_[i][leaf],
+                                             mins[leaf])));
+        break;
+      case QualityFn::kLevel:
+        row.push_back(Value::Int(ComputeLevel(base, keys_[i][leaf],
+                                              mins[leaf])));
+        break;
+      case QualityFn::kDistance:
+        row.push_back(Value::Double(ComputeDistance(base, keys_[i][leaf],
+                                                    mins[leaf])));
+        break;
+    }
+  }
+  return row;
+}
+
+Result<bool> BmoOperator::PassesButOnly(size_t i) {
+  Row aug = BuildAugmentedRow(i);
+  EvalContext ctx{&aug_schema_, &aug, nullptr, runner_};
+  return EvaluatePredicate(*config_.but_only, ctx);
+}
+
+Result<bool> BmoOperator::Next(RowRef* out) {
+  if (pos_ >= survivors_.size()) return false;
+  size_t i = survivors_[pos_++];
+  if (config_.emit_quality_columns) {
+    *out = RowRef::Owned(BuildAugmentedRow(i));
+  } else {
+    *out = std::move(rows_[i]);  // each survivor is emitted exactly once
+  }
+  return true;
+}
+
+void BmoOperator::Close() {
+  child_->Close();
+  rows_.clear();
+  keys_.clear();
+  partition_of_.clear();
+  min_scores_.clear();
+  survivors_.clear();
+}
+
+}  // namespace prefsql

@@ -1,0 +1,92 @@
+// BmoOperator: the paper's plug-in preference selection operator (§3.2) as
+// a physical pipeline operator. It pulls the candidate stream (scan/filter
+// tree planned by engine/planner.h), computes preference keys per tuple as
+// they arrive, partitions by the GROUPING attributes (§2.2.5), runs one of
+// the three BMO algorithms (core/bmo.h) per partition, and streams the
+// maximal tuples to the projection tail.
+//
+// LIMIT pushdown: with `top_k` set (bare LIMIT, sort-filter mode) the
+// operator runs the progressive ComputeBmoTopK and stops the filter pass at
+// the k-th confirmed maximal tuple — measurably fewer dominance comparisons
+// than the full BMO (see stats()).
+//
+// BUT ONLY (§2.2.4) evaluates against an augmented row (candidate columns +
+// quality columns); the augmented schema is only emitted downstream when
+// the query projects quality functions.
+
+#pragma once
+
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/bmo.h"
+#include "core/quality.h"
+#include "engine/evaluator.h"
+#include "engine/operators/operator.h"
+#include "preference/composite.h"
+
+namespace prefsql {
+
+/// Name of the synthetic quality column for `leaf` ("$top_0", "$level_2",
+/// ...); TOP/LEVEL/DISTANCE calls are rewritten to reference these.
+std::string BmoQualityColumnName(QualityFn fn, size_t leaf);
+
+/// Configuration of one BmoOperator instance.
+struct BmoOperatorConfig {
+  BmoOptions bmo;
+  /// Progressive top-k pushdown (bare LIMIT in sort-filter mode).
+  std::optional<size_t> top_k;
+  /// GROUPING partition columns (positions in the candidate schema).
+  std::vector<size_t> grouping_cols;
+  /// BUT ONLY condition, rewritten against the augmented schema (not
+  /// owned; must outlive the plan). nullptr = none.
+  const Expr* but_only = nullptr;
+  ButOnlyMode but_only_mode = ButOnlyMode::kPostFilter;
+  /// Emit candidate columns + quality columns (queries projecting or
+  /// ordering by TOP/LEVEL/DISTANCE); otherwise candidate columns pass
+  /// through as row views.
+  bool emit_quality_columns = false;
+};
+
+class BmoOperator : public PhysicalOperator {
+ public:
+  BmoOperator(OperatorPtr child, const CompiledPreference* pref,
+              BmoOperatorConfig config, SubqueryRunner* runner);
+
+  const Schema& schema() const override {
+    return config_.emit_quality_columns ? aug_schema_ : child_->schema();
+  }
+  Status Open() override;
+  Result<bool> Next(RowRef* out) override;
+  void Close() override;
+
+  /// Dominance-test counters of the last Open (accumulated over
+  /// partitions; survives Close for benches).
+  const BmoStats& stats() const { return stats_; }
+  /// Candidate rows consumed from the child by the last Open.
+  size_t candidate_count() const { return candidate_count_; }
+
+ private:
+  Row BuildAugmentedRow(size_t i) const;
+  Result<bool> PassesButOnly(size_t i);
+
+  OperatorPtr child_;
+  const CompiledPreference* pref_;
+  BmoOperatorConfig config_;
+  SubqueryRunner* runner_;
+  Schema aug_schema_;
+  std::vector<std::pair<QualityFn, size_t>> quality_slots_;
+
+  std::vector<RowRef> rows_;
+  std::vector<PrefKey> keys_;
+  std::vector<size_t> partition_of_;
+  std::vector<std::vector<double>> min_scores_;  // per partition per leaf
+  std::vector<size_t> survivors_;
+  size_t pos_ = 0;
+  size_t candidate_count_ = 0;
+  BmoStats stats_;
+};
+
+}  // namespace prefsql

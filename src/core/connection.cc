@@ -168,8 +168,14 @@ Result<ResultTable> Connection::ExecutePreferenceSelect(
       break;
   }
   PSQL_ASSIGN_OR_RETURN(auto analyzed, AnalyzePreferenceQuery(select));
-  auto result = ExecutePreferenceQueryDirect(db_, analyzed, direct);
-  if (result.ok()) last_stats_.result_count = result->num_rows();
+  DirectEvalStats direct_stats;
+  auto result =
+      ExecutePreferenceQueryDirect(db_, analyzed, direct, &direct_stats);
+  if (result.ok()) {
+    last_stats_.result_count = result->num_rows();
+    last_stats_.candidate_count = direct_stats.candidate_count;
+    last_stats_.bmo_comparisons = direct_stats.bmo.comparisons;
+  }
   return result;
 }
 

@@ -93,6 +93,7 @@ class Connection {
     bool rewrite_fallback = false;  // rewriter refused; BNL used instead
     size_t candidate_count = 0;     // rows after WHERE (direct path only)
     size_t result_count = 0;
+    size_t bmo_comparisons = 0;     // dominance tests (direct path only)
   };
   const PreferenceQueryStats& last_stats() const { return last_stats_; }
 

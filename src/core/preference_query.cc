@@ -1,192 +1,55 @@
 #include "core/preference_query.h"
 
-#include <algorithm>
-#include <unordered_map>
+#include <memory>
+#include <utility>
+#include <vector>
 
+#include "core/bmo_operator.h"
+#include "engine/planner.h"
 #include "sql/printer.h"
 #include "util/string_util.h"
 
 namespace prefsql {
-namespace {
-
-// Synthetic column names for quality values of leaf `i`.
-std::string QualityColName(QualityFn fn, size_t leaf) {
-  const char* tag = fn == QualityFn::kTop     ? "top"
-                    : fn == QualityFn::kLevel ? "level"
-                                              : "dist";
-  return "$" + std::string(tag) + "_" + std::to_string(leaf);
-}
-
-}  // namespace
 
 Result<ResultTable> ExecutePreferenceQueryDirect(
     Database& db, const AnalyzedPreferenceQuery& analyzed,
-    const DirectEvalOptions& options) {
+    const DirectEvalOptions& options, DirectEvalStats* stats) {
   const SelectStmt& q = *analyzed.query;
   const CompiledPreference& pref = analyzed.preference;
   Executor& executor = db.executor();
+  Planner planner(&executor);
 
-  // 1. Candidates: FROM ... WHERE ... with qualifiers preserved.
-  PSQL_ASSIGN_OR_RETURN(ResultTable cands,
-                        executor.MaterializeCandidates(q));
-  const Schema& cand_schema = cands.schema();
-  const std::vector<Row>& cand_rows = cands.rows();
-  const size_t n = cand_rows.size();
+  // 1. Candidate pipeline: FROM ... WHERE ... with qualifiers preserved,
+  //    streamed (index scan when the WHERE has a usable access path).
+  PSQL_ASSIGN_OR_RETURN(OperatorPtr candidates, planner.PlanCandidates(q, nullptr));
+  const Schema cand_schema = candidates->schema();
   PSQL_RETURN_IF_ERROR(
       ValidatePreferenceColumns(pref, cand_schema.Names()));
 
-  // 2. Preference keys.
-  std::vector<PrefKey> keys;
-  keys.reserve(n);
-  for (const Row& row : cand_rows) {
-    PSQL_ASSIGN_OR_RETURN(PrefKey key,
-                          pref.MakeKey(cand_schema, row, &executor));
-    keys.push_back(std::move(key));
+  // 2. GROUPING attributes (§2.2.5) resolve against the candidate schema.
+  std::vector<size_t> grouping_cols;
+  for (const auto& g : q.grouping) {
+    PSQL_ASSIGN_OR_RETURN(size_t idx, cand_schema.Resolve("", g));
+    grouping_cols.push_back(idx);
   }
 
-  // 3. GROUPING partitions (§2.2.5): BMO within each partition.
-  std::vector<std::vector<size_t>> partitions;
-  if (q.grouping.empty()) {
-    partitions.emplace_back();
-    partitions[0].reserve(n);
-    for (size_t i = 0; i < n; ++i) partitions[0].push_back(i);
-  } else {
-    std::vector<size_t> group_cols;
-    for (const auto& g : q.grouping) {
-      PSQL_ASSIGN_OR_RETURN(size_t idx, cand_schema.Resolve("", g));
-      group_cols.push_back(idx);
-    }
-    std::unordered_map<size_t, std::vector<size_t>> by_hash;  // hash->part ids
-    std::vector<Row> part_keys;
-    for (size_t i = 0; i < n; ++i) {
-      Row gkey;
-      gkey.reserve(group_cols.size());
-      for (size_t c : group_cols) gkey.push_back(cand_rows[i][c]);
-      size_t h = HashRow(gkey);
-      size_t part = SIZE_MAX;
-      for (size_t cand_part : by_hash[h]) {
-        if (RowsIdentityEqual(part_keys[cand_part], gkey)) {
-          part = cand_part;
-          break;
-        }
-      }
-      if (part == SIZE_MAX) {
-        part = partitions.size();
-        partitions.emplace_back();
-        part_keys.push_back(std::move(gkey));
-        by_hash[h].push_back(part);
-      }
-      partitions[part].push_back(i);
-    }
-  }
-
-  // 4. Observed minimum score per leaf per partition (quality offsets for
-  //    HIGHEST/LOWEST distances, computed over the unfiltered candidates).
-  std::vector<std::vector<double>> min_scores(partitions.size());
-  std::vector<size_t> partition_of(n, 0);
-  for (size_t p = 0; p < partitions.size(); ++p) {
-    min_scores[p].assign(pref.num_leaves(), kWorstScore);
-    for (size_t i : partitions[p]) {
-      partition_of[i] = p;
-      for (size_t l = 0; l < pref.num_leaves(); ++l) {
-        min_scores[p][l] = std::min(min_scores[p][l], keys[i][l].score);
-      }
-    }
-  }
-
-  // 5. Augmented relation: candidate columns + quality columns. Select
-  //    items, BUT ONLY and ORDER BY are rewritten to reference them.
-  std::vector<ColumnInfo> aug_cols = cand_schema.columns();
-  std::vector<std::pair<QualityFn, size_t>> quality_slots;
-  for (size_t l = 0; l < pref.num_leaves(); ++l) {
-    for (QualityFn fn :
-         {QualityFn::kTop, QualityFn::kLevel, QualityFn::kDistance}) {
-      quality_slots.emplace_back(fn, l);
-      aug_cols.push_back({"", QualityColName(fn, l)});
-    }
-  }
-  Schema aug_schema(std::move(aug_cols));
-
+  // 3. Quality calls (TOP/LEVEL/DISTANCE) rewrite to the BmoOperator's
+  //    synthetic columns.
   auto quality_factory = [&](QualityFn fn,
                              const std::string& column) -> Result<ExprPtr> {
     PSQL_ASSIGN_OR_RETURN(size_t slot, pref.LeafForColumn(column));
-    return Expr::MakeColumn("", QualityColName(fn, slot));
+    return Expr::MakeColumn("", BmoQualityColumnName(fn, slot));
   };
 
-  std::vector<Row> aug_rows;
-  aug_rows.reserve(n);
-  for (size_t i = 0; i < n; ++i) {
-    Row row = cand_rows[i];
-    const auto& mins = min_scores[partition_of[i]];
-    for (auto [fn, leaf] : quality_slots) {
-      const BasePreference& base = *pref.leaf(leaf).pref;
-      switch (fn) {
-        case QualityFn::kTop:
-          row.push_back(Value::Bool(ComputeTop(base, keys[i][leaf],
-                                               mins[leaf])));
-          break;
-        case QualityFn::kLevel:
-          row.push_back(Value::Int(ComputeLevel(base, keys[i][leaf],
-                                                mins[leaf])));
-          break;
-        case QualityFn::kDistance:
-          row.push_back(Value::Double(ComputeDistance(base, keys[i][leaf],
-                                                      mins[leaf])));
-          break;
-      }
-    }
-    aug_rows.push_back(std::move(row));
-  }
-
-  // 6. Optional BUT ONLY pre-filtering of the candidates (§2.2.4 variant).
   ExprPtr but_only;
   if (q.but_only != nullptr) {
     PSQL_ASSIGN_OR_RETURN(but_only,
                           RewriteQualityCalls(*q.but_only, quality_factory));
   }
-  auto passes_but_only = [&](size_t i) -> Result<bool> {
-    EvalContext ctx{&aug_schema, &aug_rows[i], nullptr, &executor};
-    return EvaluatePredicate(*but_only, ctx);
-  };
 
-  // 7. BMO per partition. LIMIT pushdown: a bare LIMIT (no ORDER BY /
-  //    BUT ONLY / GROUPING / DISTINCT) in sort-filter mode runs the
-  //    progressive top-k variant and stops at the k-th maximal tuple.
-  bool progressive_topk =
-      q.limit.has_value() && !q.offset && q.order_by.empty() &&
-      q.grouping.empty() && q.but_only == nullptr && !q.distinct &&
-      options.bmo.algorithm == BmoAlgorithm::kSortFilterSkyline;
-  std::vector<uint32_t> survivors;
-  for (const auto& part : partitions) {
-    std::vector<size_t> candidates = part;
-    if (but_only != nullptr &&
-        options.but_only_mode == ButOnlyMode::kPreFilter) {
-      std::vector<size_t> filtered;
-      for (size_t i : candidates) {
-        PSQL_ASSIGN_OR_RETURN(bool pass, passes_but_only(i));
-        if (pass) filtered.push_back(i);
-      }
-      candidates = std::move(filtered);
-    }
-    std::vector<size_t> bmo =
-        progressive_topk
-            ? ComputeBmoTopK(pref, keys, candidates,
-                             static_cast<size_t>(*q.limit))
-            : ComputeBmo(pref, keys, candidates, options.bmo);
-    if (but_only != nullptr &&
-        options.but_only_mode == ButOnlyMode::kPostFilter) {
-      for (size_t i : bmo) {
-        PSQL_ASSIGN_OR_RETURN(bool pass, passes_but_only(i));
-        if (pass) survivors.push_back(static_cast<uint32_t>(i));
-      }
-    } else {
-      for (size_t i : bmo) survivors.push_back(static_cast<uint32_t>(i));
-    }
-  }
-  std::sort(survivors.begin(), survivors.end());
-
-  // 8. Final projection with quality functions rewritten to the synthetic
-  //    columns. '*' must expand to the *candidate* columns only.
+  // 4. Final projection items with quality functions rewritten. '*' must
+  //    expand to the *candidate* columns only (never the quality columns).
+  bool quality_projected = false;
   std::vector<SelectItem> items;
   for (const auto& item : q.items) {
     if (item.expr->kind == ExprKind::kStar) {
@@ -200,6 +63,7 @@ Result<ResultTable> ExecutePreferenceQueryDirect(
       }
       continue;
     }
+    quality_projected |= ContainsQualityCall(*item.expr);
     PSQL_ASSIGN_OR_RETURN(ExprPtr e,
                           RewriteQualityCalls(*item.expr, quality_factory));
     std::string alias = item.alias;
@@ -210,13 +74,42 @@ Result<ResultTable> ExecutePreferenceQueryDirect(
   }
   std::vector<OrderItem> order_by;
   for (const auto& oi : q.order_by) {
+    quality_projected |= ContainsQualityCall(*oi.expr);
     PSQL_ASSIGN_OR_RETURN(ExprPtr e,
                           RewriteQualityCalls(*oi.expr, quality_factory));
     order_by.push_back({std::move(e), oi.ascending});
   }
 
-  return executor.ProjectRows(items, q.distinct, order_by, q.limit, q.offset,
-                              aug_schema, aug_rows, survivors);
+  // 5. BMO operator. LIMIT pushdown: a bare LIMIT (no ORDER BY / BUT ONLY /
+  //    GROUPING / DISTINCT) in sort-filter mode runs the progressive top-k
+  //    variant and stops the filter pass at the k-th maximal tuple.
+  BmoOperatorConfig config;
+  config.bmo = options.bmo;
+  config.grouping_cols = std::move(grouping_cols);
+  config.but_only = but_only.get();
+  config.but_only_mode = options.but_only_mode;
+  config.emit_quality_columns = quality_projected;
+  bool progressive_topk =
+      q.limit.has_value() && *q.limit >= 0 && !q.offset && q.order_by.empty() &&
+      q.grouping.empty() && q.but_only == nullptr && !q.distinct &&
+      options.bmo.algorithm == BmoAlgorithm::kSortFilterSkyline;
+  if (progressive_topk) config.top_k = static_cast<size_t>(*q.limit);
+
+  auto bmo = std::make_unique<BmoOperator>(std::move(candidates), &pref,
+                                           std::move(config), &executor);
+  BmoOperator* bmo_observer = bmo.get();
+
+  // 6. Projection tail over the streamed maximal tuples.
+  PSQL_ASSIGN_OR_RETURN(
+      OperatorPtr root,
+      planner.PlanTail(std::move(items), q.distinct, std::move(order_by),
+                       q.limit, q.offset, std::move(bmo), nullptr));
+  auto result = DrainToTable(*root);
+  if (stats != nullptr) {
+    stats->bmo = bmo_observer->stats();
+    stats->candidate_count = bmo_observer->candidate_count();
+  }
+  return result;
 }
 
 }  // namespace prefsql

@@ -1,6 +1,8 @@
-// Direct (in-engine) evaluation of a preference query: materialize the
-// candidates, compute the BMO set with a skyline algorithm, apply GROUPING
-// and BUT ONLY, evaluate quality functions, and project.
+// Direct (in-engine) evaluation of a preference query through the operator
+// pipeline: the planner streams `FROM ... WHERE` candidates into a
+// BmoOperator (skyline algorithm + GROUPING + BUT ONLY + quality columns),
+// and the projection tail streams the maximal tuples out — no whole-relation
+// materialization between scan and BMO.
 //
 // This path implements the same BMO semantics as the §3.2 rewrite but keeps
 // everything inside the engine — it is both the fallback for preferences the
@@ -24,9 +26,15 @@ struct DirectEvalOptions {
   ButOnlyMode but_only_mode = ButOnlyMode::kPostFilter;
 };
 
+/// Observability of one direct evaluation (benches, Connection stats).
+struct DirectEvalStats {
+  BmoStats bmo;
+  size_t candidate_count = 0;  ///< rows after WHERE, before BMO
+};
+
 /// Executes `analyzed` against `db` and returns the BMO result.
 Result<ResultTable> ExecutePreferenceQueryDirect(
     Database& db, const AnalyzedPreferenceQuery& analyzed,
-    const DirectEvalOptions& options = {});
+    const DirectEvalOptions& options = {}, DirectEvalStats* stats = nullptr);
 
 }  // namespace prefsql

@@ -189,17 +189,7 @@ std::vector<std::string> MakeLevelColumnNames(
   std::vector<std::string> out;
   for (size_t i = 0; i < count; ++i) {
     std::string name = "_lvl" + std::to_string(i);
-    bool collides = true;
-    while (collides) {
-      collides = false;
-      for (const auto& b : base_columns) {
-        if (EqualsIgnoreCase(b, name)) {
-          collides = true;
-          name += "_x";
-          break;
-        }
-      }
-    }
+    while (FindNameIgnoreCase(base_columns, name)) name += "_x";
     out.push_back(std::move(name));
   }
   return out;

@@ -1,73 +1,11 @@
 #include "engine/executor.h"
 
 #include <algorithm>
-#include <unordered_map>
 
-#include "engine/aggregates.h"
-#include "sql/printer.h"
+#include "engine/planner.h"
 #include "util/string_util.h"
 
 namespace prefsql {
-namespace {
-
-// Derives an output column name for a select item without alias.
-std::string DeriveColumnName(const Expr& e, size_t position) {
-  switch (e.kind) {
-    case ExprKind::kColumnRef:
-      return e.column;
-    case ExprKind::kFunction:
-      if (!e.args.empty() && e.args[0]->kind == ExprKind::kColumnRef) {
-        return ToUpper(e.function_name) + "(" + e.args[0]->column + ")";
-      }
-      return ToUpper(e.function_name);
-    case ExprKind::kLiteral:
-      return e.literal.ToString();
-    default: {
-      std::string text = ExprToSql(e);
-      if (text.size() <= 32) return text;
-      return "col" + std::to_string(position + 1);
-    }
-  }
-}
-
-// Extracts equi-join key pairs from an ON conjunction; non-extractable
-// conjuncts land in `residual`.
-void ExtractEquiKeys(const Expr& on, const Schema& left, const Schema& right,
-                     std::vector<std::pair<size_t, size_t>>* keys,
-                     std::vector<const Expr*>* residual) {
-  if (on.kind == ExprKind::kBinary && on.binary_op == BinaryOp::kAnd) {
-    ExtractEquiKeys(*on.left, left, right, keys, residual);
-    ExtractEquiKeys(*on.right, left, right, keys, residual);
-    return;
-  }
-  if (on.kind == ExprKind::kBinary && on.binary_op == BinaryOp::kEq &&
-      on.left->kind == ExprKind::kColumnRef &&
-      on.right->kind == ExprKind::kColumnRef) {
-    auto l_in_left = left.TryResolve(on.left->qualifier, on.left->column);
-    auto r_in_right = right.TryResolve(on.right->qualifier, on.right->column);
-    if (l_in_left && r_in_right) {
-      keys->emplace_back(*l_in_left, *r_in_right);
-      return;
-    }
-    auto l_in_right = right.TryResolve(on.left->qualifier, on.left->column);
-    auto r_in_left = left.TryResolve(on.right->qualifier, on.right->column);
-    if (l_in_right && r_in_left) {
-      keys->emplace_back(*r_in_left, *l_in_right);
-      return;
-    }
-  }
-  residual->push_back(&on);
-}
-
-Row ConcatRows(const Row& a, const Row& b) {
-  Row out;
-  out.reserve(a.size() + b.size());
-  out.insert(out.end(), a.begin(), a.end());
-  out.insert(out.end(), b.begin(), b.end());
-  return out;
-}
-
-}  // namespace
 
 // ===========================================================================
 // Statement dispatch
@@ -121,708 +59,33 @@ Result<ResultTable> Executor::ExecuteStatement(const Statement& stmt) {
 }
 
 // ===========================================================================
-// FROM resolution
-// ===========================================================================
-
-Result<Executor::Source> Executor::ResolveTableRef(const TableRef& tr,
-                                                   const EvalContext* outer) {
-  switch (tr.kind) {
-    case TableRef::Kind::kTable: {
-      std::string visible = tr.alias.empty() ? tr.table_name : tr.alias;
-      if (catalog_->HasTable(tr.table_name)) {
-        PSQL_ASSIGN_OR_RETURN(Table * table,
-                              catalog_->GetTable(tr.table_name));
-        Source src;
-        src.schema = table->schema().WithQualifier(visible);
-        src.borrowed = &table->rows();
-        return src;
-      }
-      if (catalog_->HasView(tr.table_name)) {
-        // Views materialize once per top-level statement; the rewriter's Aux
-        // view is referenced twice (A1/A2) and must not run twice.
-        std::string key = ToLower(tr.table_name);
-        auto it = view_cache_.find(key);
-        std::shared_ptr<ResultTable> materialized;
-        if (it != view_cache_.end()) {
-          materialized = it->second;
-        } else {
-          PSQL_ASSIGN_OR_RETURN(auto def, catalog_->GetView(tr.table_name));
-          PSQL_ASSIGN_OR_RETURN(ResultTable rt, ExecuteSelect(*def, nullptr));
-          materialized = std::make_shared<ResultTable>(std::move(rt));
-          view_cache_[key] = materialized;
-        }
-        Source src;
-        src.schema = materialized->schema().WithQualifier(visible);
-        src.borrowed = &materialized->rows();
-        src.keepalive = materialized;
-        return src;
-      }
-      return Status::NotFound("no table or view '" + tr.table_name + "'");
-    }
-    case TableRef::Kind::kSubquery: {
-      PSQL_ASSIGN_OR_RETURN(ResultTable rt,
-                            ExecuteSelect(*tr.subquery, outer));
-      Source src;
-      src.schema = rt.schema().WithQualifier(tr.alias);
-      src.owned = std::move(rt.rows());
-      return src;
-    }
-    case TableRef::Kind::kJoin:
-      return ExecuteJoin(tr, outer);
-  }
-  return Status::Internal("unreachable table ref kind");
-}
-
-Result<Executor::Source> Executor::ExecuteJoin(const TableRef& tr,
-                                               const EvalContext* outer) {
-  PSQL_ASSIGN_OR_RETURN(Source left, ResolveTableRef(*tr.join_left, outer));
-  PSQL_ASSIGN_OR_RETURN(Source right, ResolveTableRef(*tr.join_right, outer));
-  Source out;
-  out.schema = left.schema.Concat(right.schema);
-  const auto& lrows = left.data();
-  const auto& rrows = right.data();
-
-  std::vector<std::pair<size_t, size_t>> keys;
-  std::vector<const Expr*> residual;
-  if (tr.join_on != nullptr) {
-    ExtractEquiKeys(*tr.join_on, left.schema, right.schema, &keys, &residual);
-  }
-
-  auto residual_ok = [&](const Row& combined) -> Result<bool> {
-    EvalContext ctx{&out.schema, &combined, outer, this};
-    for (const Expr* e : residual) {
-      PSQL_ASSIGN_OR_RETURN(bool pass, EvaluatePredicate(*e, ctx));
-      if (!pass) return false;
-    }
-    return true;
-  };
-
-  bool is_left_join = tr.join_type == TableRef::JoinType::kLeft;
-
-  if (!keys.empty()) {
-    // Hash join: build on the right input, probe with the left.
-    std::unordered_map<size_t, std::vector<size_t>> build;
-    build.reserve(rrows.size() * 2);
-    auto key_of = [](const Row& row, const std::vector<size_t>& cols) {
-      Row key;
-      key.reserve(cols.size());
-      for (size_t c : cols) key.push_back(row[c]);
-      return key;
-    };
-    std::vector<size_t> lcols, rcols;
-    for (auto& [l, r] : keys) {
-      lcols.push_back(l);
-      rcols.push_back(r);
-    }
-    for (size_t j = 0; j < rrows.size(); ++j) {
-      build[HashRow(key_of(rrows[j], rcols))].push_back(j);
-    }
-    for (size_t i = 0; i < lrows.size(); ++i) {
-      Row lkey = key_of(lrows[i], lcols);
-      bool matched = false;
-      auto it = build.find(HashRow(lkey));
-      if (it != build.end()) {
-        for (size_t j : it->second) {
-          Row rkey = key_of(rrows[j], rcols);
-          if (!RowsIdentityEqual(lkey, rkey)) continue;
-          // NULL keys never join.
-          bool has_null = false;
-          for (const auto& v : lkey) has_null |= v.is_null();
-          if (has_null) continue;
-          Row combined = ConcatRows(lrows[i], rrows[j]);
-          PSQL_ASSIGN_OR_RETURN(bool pass, residual_ok(combined));
-          if (pass) {
-            out.owned.push_back(std::move(combined));
-            matched = true;
-          }
-        }
-      }
-      if (is_left_join && !matched) {
-        Row combined = lrows[i];
-        combined.resize(out.schema.num_columns());  // NULL-pad the right side
-        out.owned.push_back(std::move(combined));
-      }
-    }
-    return out;
-  }
-
-  // Nested-loop join (CROSS, or ON without extractable equi-keys).
-  for (size_t i = 0; i < lrows.size(); ++i) {
-    bool matched = false;
-    for (size_t j = 0; j < rrows.size(); ++j) {
-      Row combined = ConcatRows(lrows[i], rrows[j]);
-      bool pass = true;
-      if (tr.join_on != nullptr) {
-        EvalContext ctx{&out.schema, &combined, outer, this};
-        PSQL_ASSIGN_OR_RETURN(pass, EvaluatePredicate(*tr.join_on, ctx));
-      }
-      if (pass) {
-        out.owned.push_back(std::move(combined));
-        matched = true;
-      }
-    }
-    if (is_left_join && !matched) {
-      Row combined = lrows[i];
-      combined.resize(out.schema.num_columns());
-      out.owned.push_back(std::move(combined));
-    }
-  }
-  return out;
-}
-
-Result<Executor::Source> Executor::ResolveFromList(
-    const std::vector<std::unique_ptr<TableRef>>& from,
-    const EvalContext* outer) {
-  PSQL_ASSIGN_OR_RETURN(Source acc, ResolveTableRef(*from[0], outer));
-  for (size_t i = 1; i < from.size(); ++i) {
-    PSQL_ASSIGN_OR_RETURN(Source next, ResolveTableRef(*from[i], outer));
-    Source combined;
-    combined.schema = acc.schema.Concat(next.schema);
-    const auto& lrows = acc.data();
-    const auto& rrows = next.data();
-    combined.owned.reserve(lrows.size() * rrows.size());
-    for (const auto& l : lrows) {
-      for (const auto& r : rrows) {
-        combined.owned.push_back(ConcatRows(l, r));
-      }
-    }
-    acc = std::move(combined);
-  }
-  return acc;
-}
-
-// ===========================================================================
-// SELECT pipeline
+// SELECT facade over the operator pipeline
 // ===========================================================================
 
 Result<ResultTable> Executor::ExecuteSelect(const SelectStmt& select,
                                             const EvalContext* outer) {
-  if (select.IsPreferenceQuery()) {
-    return Status::InvalidArgument(
-        "PREFERRING queries must go through the Preference SQL layer "
-        "(prefsql::Connection), not the plain engine");
-  }
-  if (select.from.empty()) {
-    // SELECT <exprs>: one synthetic empty row.
-    Schema empty_schema;
-    Row empty_row;
-    Source src;
-    src.schema = empty_schema;
-    src.owned.push_back(empty_row);
-    std::vector<uint32_t> sel{0};
-    if (select.where != nullptr) {
-      EvalContext ctx{&src.schema, &src.owned[0], outer, this};
-      PSQL_ASSIGN_OR_RETURN(bool pass, EvaluatePredicate(*select.where, ctx));
-      if (!pass) sel.clear();
-    }
-    return ProjectCore(select.items, select.distinct, select.order_by,
-                       select.limit, select.offset, src.schema, src.owned, sel,
-                       outer);
-  }
-
-  PSQL_ASSIGN_OR_RETURN(Source input, ResolveFromList(select.from, outer));
-  const auto& rows = input.data();
-  PSQL_ASSIGN_OR_RETURN(std::vector<uint32_t> selection,
-                        ComputeSelection(select, input, outer));
-
-  bool has_aggregates = !select.group_by.empty() || select.having != nullptr;
-  if (!has_aggregates) {
-    for (const auto& item : select.items) {
-      if (ContainsAggregate(*item.expr)) {
-        has_aggregates = true;
-        break;
-      }
-    }
-  }
-  if (has_aggregates) {
-    return ProjectGrouped(select, input, selection, outer);
-  }
-  return ProjectCore(select.items, select.distinct, select.order_by,
-                     select.limit, select.offset, input.schema, rows,
-                     selection, outer);
-}
-
-Result<ResultTable> Executor::ProjectCore(
-    const std::vector<SelectItem>& items, bool distinct,
-    const std::vector<OrderItem>& order_by, std::optional<int64_t> limit,
-    std::optional<int64_t> offset, const Schema& in_schema,
-    const std::vector<Row>& in_rows, const std::vector<uint32_t>& selection,
-    const EvalContext* outer) {
-  // Expand stars and derive the output schema.
-  std::vector<const Expr*> out_exprs_storage;
-  std::vector<ExprPtr> synthesized;
-  std::vector<ColumnInfo> out_cols;
-  for (size_t i = 0; i < items.size(); ++i) {
-    const Expr& e = *items[i].expr;
-    if (e.kind == ExprKind::kStar) {
-      for (size_t c = 0; c < in_schema.num_columns(); ++c) {
-        const ColumnInfo& ci = in_schema.column(c);
-        if (!e.qualifier.empty() &&
-            !EqualsIgnoreCase(e.qualifier, ci.qualifier)) {
-          continue;
-        }
-        synthesized.push_back(Expr::MakeColumn(ci.qualifier, ci.name));
-        out_exprs_storage.push_back(synthesized.back().get());
-        out_cols.push_back({"", ci.name});
-      }
-      continue;
-    }
-    out_exprs_storage.push_back(&e);
-    std::string name =
-        !items[i].alias.empty() ? items[i].alias : DeriveColumnName(e, i);
-    out_cols.push_back({"", std::move(name)});
-  }
-  if (out_cols.empty()) {
-    return Status::InvalidArgument("empty select list");
-  }
-  Schema out_schema(std::move(out_cols));
-
-  std::vector<Row> out_rows;
-  out_rows.reserve(selection.size());
-  std::vector<uint32_t> input_of_output;
-  input_of_output.reserve(selection.size());
-  for (uint32_t idx : selection) {
-    EvalContext ctx{&in_schema, &in_rows[idx], outer, this};
-    Row out;
-    out.reserve(out_exprs_storage.size());
-    for (const Expr* e : out_exprs_storage) {
-      PSQL_ASSIGN_OR_RETURN(Value v, Evaluate(*e, ctx));
-      out.push_back(std::move(v));
-    }
-    out_rows.push_back(std::move(out));
-    input_of_output.push_back(idx);
-  }
-
-  if (distinct) {
-    std::unordered_map<size_t, std::vector<size_t>> seen;
-    std::vector<Row> dedup;
-    std::vector<uint32_t> dedup_src;
-    for (size_t i = 0; i < out_rows.size(); ++i) {
-      size_t h = HashRow(out_rows[i]);
-      bool dup = false;
-      for (size_t j : seen[h]) {
-        if (RowsIdentityEqual(dedup[j], out_rows[i])) {
-          dup = true;
-          break;
-        }
-      }
-      if (!dup) {
-        seen[h].push_back(dedup.size());
-        dedup.push_back(std::move(out_rows[i]));
-        dedup_src.push_back(input_of_output[i]);
-      }
-    }
-    out_rows = std::move(dedup);
-    input_of_output = std::move(dedup_src);
-  }
-
-  // ORDER BY: keys evaluate against the output columns (aliases, ordinals)
-  // or, failing that, the input row.
-  if (!order_by.empty()) {
-    std::vector<Row> keys(out_rows.size());
-    std::vector<bool> asc;
-    for (const auto& oi : order_by) asc.push_back(oi.ascending);
-    for (size_t k = 0; k < order_by.size(); ++k) {
-      const Expr& e = *order_by[k].expr;
-      // ORDER BY <ordinal>.
-      if (e.kind == ExprKind::kLiteral && e.literal.type() == ValueType::kInt) {
-        int64_t ord = e.literal.AsInt();
-        if (ord < 1 || ord > static_cast<int64_t>(out_schema.num_columns())) {
-          return Status::InvalidArgument("ORDER BY position out of range");
-        }
-        for (size_t i = 0; i < out_rows.size(); ++i) {
-          keys[i].push_back(out_rows[i][static_cast<size_t>(ord - 1)]);
-        }
-        continue;
-      }
-      // ORDER BY <output column / alias>.
-      if (e.kind == ExprKind::kColumnRef && e.qualifier.empty()) {
-        if (auto pos = out_schema.TryResolve("", e.column)) {
-          for (size_t i = 0; i < out_rows.size(); ++i) {
-            keys[i].push_back(out_rows[i][*pos]);
-          }
-          continue;
-        }
-      }
-      // General expression over the input row.
-      for (size_t i = 0; i < out_rows.size(); ++i) {
-        EvalContext ctx{&in_schema, &in_rows[input_of_output[i]], outer, this};
-        PSQL_ASSIGN_OR_RETURN(Value v, Evaluate(e, ctx));
-        keys[i].push_back(std::move(v));
-      }
-    }
-    std::vector<size_t> perm(out_rows.size());
-    for (size_t i = 0; i < perm.size(); ++i) perm[i] = i;
-    std::stable_sort(perm.begin(), perm.end(), [&](size_t a, size_t b) {
-      for (size_t k = 0; k < asc.size(); ++k) {
-        int c = Value::Compare(keys[a][k], keys[b][k]);
-        if (c != 0) return asc[k] ? c < 0 : c > 0;
-      }
-      return false;
-    });
-    std::vector<Row> sorted;
-    sorted.reserve(out_rows.size());
-    for (size_t i : perm) sorted.push_back(std::move(out_rows[i]));
-    out_rows = std::move(sorted);
-  }
-
-  // OFFSET / LIMIT.
-  if (offset && *offset > 0) {
-    size_t skip = std::min<size_t>(static_cast<size_t>(*offset), out_rows.size());
-    out_rows.erase(out_rows.begin(), out_rows.begin() + skip);
-  }
-  if (limit && static_cast<size_t>(*limit) < out_rows.size()) {
-    out_rows.resize(static_cast<size_t>(*limit));
-  }
-  return ResultTable(std::move(out_schema), std::move(out_rows));
-}
-
-// ===========================================================================
-// GROUP BY / aggregation
-// ===========================================================================
-
-namespace {
-
-// Collects distinct aggregate calls in an expression tree.
-void CollectAggregates(const Expr& e, std::vector<const Expr*>* out) {
-  if (e.kind == ExprKind::kFunction && IsAggregateFunction(e.function_name)) {
-    for (const Expr* seen : *out) {
-      if (ExprStructurallyEqual(*seen, e)) return;
-    }
-    out->push_back(&e);
-    return;  // aggregates cannot nest
-  }
-  auto walk = [&](const ExprPtr& p) {
-    if (p) CollectAggregates(*p, out);
-  };
-  walk(e.left);
-  walk(e.right);
-  walk(e.lo);
-  walk(e.hi);
-  walk(e.case_else);
-  for (const auto& a : e.args) CollectAggregates(*a, out);
-  for (const auto& item : e.in_list) CollectAggregates(*item, out);
-  for (const auto& cw : e.case_whens) {
-    CollectAggregates(*cw.when, out);
-    CollectAggregates(*cw.then, out);
-  }
-}
-
-// Rewrites `e`, replacing group-by expressions and aggregate calls with
-// references into the synthetic per-group schema.
-ExprPtr RewriteForGroups(const Expr& e, const std::vector<ExprPtr>& group_by,
-                         const std::vector<std::string>& group_names,
-                         const std::vector<const Expr*>& aggs,
-                         const std::vector<std::string>& agg_names) {
-  for (size_t i = 0; i < group_by.size(); ++i) {
-    if (ExprStructurallyEqual(*group_by[i], e)) {
-      return Expr::MakeColumn("", group_names[i]);
-    }
-  }
-  for (size_t j = 0; j < aggs.size(); ++j) {
-    if (ExprStructurallyEqual(*aggs[j], e)) {
-      return Expr::MakeColumn("", agg_names[j]);
-    }
-  }
-  ExprPtr out = e.Clone();
-  auto rewrite = [&](ExprPtr& p) {
-    if (p) p = RewriteForGroups(*p, group_by, group_names, aggs, agg_names);
-  };
-  rewrite(out->left);
-  rewrite(out->right);
-  rewrite(out->lo);
-  rewrite(out->hi);
-  rewrite(out->case_else);
-  for (auto& a : out->args) {
-    a = RewriteForGroups(*a, group_by, group_names, aggs, agg_names);
-  }
-  for (auto& item : out->in_list) {
-    item = RewriteForGroups(*item, group_by, group_names, aggs, agg_names);
-  }
-  for (auto& cw : out->case_whens) {
-    cw.when = RewriteForGroups(*cw.when, group_by, group_names, aggs, agg_names);
-    cw.then = RewriteForGroups(*cw.then, group_by, group_names, aggs, agg_names);
-  }
-  return out;
-}
-
-}  // namespace
-
-Result<ResultTable> Executor::ProjectGrouped(
-    const SelectStmt& select, const Source& input,
-    const std::vector<uint32_t>& selection, const EvalContext* outer) {
-  const auto& rows = input.data();
-
-  for (const auto& item : select.items) {
-    if (item.expr->kind == ExprKind::kStar) {
-      return Status::InvalidArgument("SELECT * cannot be used with GROUP BY");
-    }
-  }
-
-  // Gather aggregate calls across items, HAVING and ORDER BY.
-  std::vector<const Expr*> aggs;
-  for (const auto& item : select.items) CollectAggregates(*item.expr, &aggs);
-  if (select.having) CollectAggregates(*select.having, &aggs);
-  for (const auto& oi : select.order_by) CollectAggregates(*oi.expr, &aggs);
-
-  std::vector<AggregateKind> agg_kinds;
-  for (const Expr* a : aggs) {
-    bool star = !a->args.empty() && a->args[0]->kind == ExprKind::kStar;
-    if (a->args.size() != 1) {
-      return Status::InvalidArgument("aggregate " + a->function_name +
-                                     " expects exactly one argument");
-    }
-    PSQL_ASSIGN_OR_RETURN(AggregateKind kind,
-                          AggregateKindFromName(a->function_name, star));
-    agg_kinds.push_back(kind);
-  }
-
-  // Group rows.
-  struct Group {
-    Row key;
-    std::vector<AggregateAccumulator> accs;
-  };
-  std::vector<Group> groups;
-  std::unordered_map<size_t, std::vector<size_t>> group_index;
-
-  auto new_group = [&](Row key) {
-    Group g;
-    g.key = std::move(key);
-    for (size_t j = 0; j < aggs.size(); ++j) {
-      g.accs.emplace_back(agg_kinds[j], aggs[j]->distinct_arg);
-    }
-    groups.push_back(std::move(g));
-    return groups.size() - 1;
-  };
-
-  for (uint32_t idx : selection) {
-    EvalContext ctx{&input.schema, &rows[idx], outer, this};
-    Row key;
-    key.reserve(select.group_by.size());
-    for (const auto& g : select.group_by) {
-      PSQL_ASSIGN_OR_RETURN(Value v, Evaluate(*g, ctx));
-      key.push_back(std::move(v));
-    }
-    size_t h = HashRow(key);
-    size_t gidx = SIZE_MAX;
-    for (size_t cand : group_index[h]) {
-      if (RowsIdentityEqual(groups[cand].key, key)) {
-        gidx = cand;
-        break;
-      }
-    }
-    if (gidx == SIZE_MAX) {
-      gidx = new_group(std::move(key));
-      group_index[h].push_back(gidx);
-    }
-    for (size_t j = 0; j < aggs.size(); ++j) {
-      Value arg;  // NULL placeholder for COUNT(*)
-      if (agg_kinds[j] != AggregateKind::kCountStar) {
-        PSQL_ASSIGN_OR_RETURN(arg, Evaluate(*aggs[j]->args[0], ctx));
-      }
-      PSQL_RETURN_IF_ERROR(groups[gidx].accs[j].Add(arg));
-    }
-  }
-  // Scalar aggregation over an empty input still yields one group.
-  if (select.group_by.empty() && groups.empty()) new_group(Row{});
-
-  // Synthetic per-group relation.
-  std::vector<std::string> group_names, agg_names;
-  std::vector<ColumnInfo> cols;
-  for (size_t i = 0; i < select.group_by.size(); ++i) {
-    std::string name;
-    if (select.group_by[i]->kind == ExprKind::kColumnRef) {
-      name = select.group_by[i]->column;
-    } else {
-      name = "$g" + std::to_string(i);
-    }
-    group_names.push_back(name);
-    cols.push_back({"", name});
-  }
-  for (size_t j = 0; j < aggs.size(); ++j) {
-    agg_names.push_back("$a" + std::to_string(j));
-    cols.push_back({"", agg_names.back()});
-  }
-  Schema group_schema(std::move(cols));
-  std::vector<Row> group_rows;
-  group_rows.reserve(groups.size());
-  for (auto& g : groups) {
-    Row r = std::move(g.key);
-    for (auto& acc : g.accs) r.push_back(acc.Finish());
-    group_rows.push_back(std::move(r));
-  }
-
-  // Rewrite items / HAVING / ORDER BY against the synthetic schema.
-  std::vector<SelectItem> items;
-  for (size_t i = 0; i < select.items.size(); ++i) {
-    const auto& item = select.items[i];
-    SelectItem out;
-    out.expr = RewriteForGroups(*item.expr, select.group_by, group_names, aggs,
-                                agg_names);
-    out.alias = !item.alias.empty() ? item.alias
-                                    : DeriveColumnName(*item.expr, i);
-    items.push_back(std::move(out));
-  }
-  std::vector<OrderItem> order_by;
-  for (const auto& oi : select.order_by) {
-    order_by.push_back({RewriteForGroups(*oi.expr, select.group_by,
-                                         group_names, aggs, agg_names),
-                        oi.ascending});
-  }
-
-  std::vector<uint32_t> group_selection;
-  if (select.having != nullptr) {
-    ExprPtr having = RewriteForGroups(*select.having, select.group_by,
-                                      group_names, aggs, agg_names);
-    for (uint32_t i = 0; i < group_rows.size(); ++i) {
-      EvalContext ctx{&group_schema, &group_rows[i], outer, this};
-      PSQL_ASSIGN_OR_RETURN(bool pass, EvaluatePredicate(*having, ctx));
-      if (pass) group_selection.push_back(i);
-    }
-  } else {
-    for (uint32_t i = 0; i < group_rows.size(); ++i) {
-      group_selection.push_back(i);
-    }
-  }
-
-  return ProjectCore(items, select.distinct, order_by, select.limit,
-                     select.offset, group_schema, group_rows, group_selection,
-                     outer);
-}
-
-namespace {
-
-// Collects top-level `column = literal` conjuncts of a predicate. Columns
-// must be unqualified or qualified with `alias`.
-void CollectEqualityConjuncts(
-    const Expr& e, const std::string& alias,
-    std::vector<std::pair<std::string, const Value*>>* out) {
-  if (e.kind == ExprKind::kBinary && e.binary_op == BinaryOp::kAnd) {
-    CollectEqualityConjuncts(*e.left, alias, out);
-    CollectEqualityConjuncts(*e.right, alias, out);
-    return;
-  }
-  if (e.kind != ExprKind::kBinary || e.binary_op != BinaryOp::kEq) return;
-  const Expr* col = nullptr;
-  const Expr* lit = nullptr;
-  if (e.left->kind == ExprKind::kColumnRef &&
-      e.right->kind == ExprKind::kLiteral) {
-    col = e.left.get();
-    lit = e.right.get();
-  } else if (e.right->kind == ExprKind::kColumnRef &&
-             e.left->kind == ExprKind::kLiteral) {
-    col = e.right.get();
-    lit = e.left.get();
-  } else {
-    return;
-  }
-  if (!col->qualifier.empty() && !EqualsIgnoreCase(col->qualifier, alias)) {
-    return;
-  }
-  out->emplace_back(col->column, &lit->literal);
-}
-
-}  // namespace
-
-std::optional<std::vector<size_t>> Executor::TryIndexLookup(
-    const std::string& table_name, const std::string& visible_alias,
-    const Expr& where) {
-  auto table = catalog_->GetTable(table_name);
-  if (!table.ok()) return std::nullopt;
-  std::vector<std::pair<std::string, const Value*>> equalities;
-  CollectEqualityConjuncts(where, visible_alias, &equalities);
-  if (equalities.empty()) return std::nullopt;
-
-  // Pick the index with the most key columns fully covered by equalities
-  // ("having the right indices available", §3.2).
-  Index* best = nullptr;
-  for (Index* idx : catalog_->IndexesOn(table_name)) {
-    bool covered = true;
-    for (size_t key_col : idx->key_columns()) {
-      const std::string& name = (*table)->columns()[key_col].name;
-      bool found = false;
-      for (const auto& [col, value] : equalities) {
-        if (EqualsIgnoreCase(col, name)) {
-          found = true;
-          break;
-        }
-      }
-      if (!found) {
-        covered = false;
-        break;
-      }
-    }
-    if (covered && (best == nullptr ||
-                    idx->key_columns().size() > best->key_columns().size())) {
-      best = idx;
-    }
-  }
-  if (best == nullptr) return std::nullopt;
-
-  Row key;
-  for (size_t key_col : best->key_columns()) {
-    const std::string& name = (*table)->columns()[key_col].name;
-    for (const auto& [col, value] : equalities) {
-      if (EqualsIgnoreCase(col, name)) {
-        key.push_back(*value);
-        break;
-      }
-    }
-  }
-  return best->Lookup(key);
-}
-
-Result<std::vector<uint32_t>> Executor::ComputeSelection(
-    const SelectStmt& select, const Source& input, const EvalContext* outer) {
-  const auto& rows = input.data();
-  std::vector<uint32_t> selection;
-  if (select.where == nullptr) {
-    selection.reserve(rows.size());
-    for (uint32_t i = 0; i < rows.size(); ++i) selection.push_back(i);
-    return selection;
-  }
-  // Index-assisted path: single base-table FROM with a covering index.
-  if (select.from.size() == 1 &&
-      select.from[0]->kind == TableRef::Kind::kTable &&
-      catalog_->HasTable(select.from[0]->table_name)) {
-    const std::string& visible = select.from[0]->alias.empty()
-                                     ? select.from[0]->table_name
-                                     : select.from[0]->alias;
-    auto positions =
-        TryIndexLookup(select.from[0]->table_name, visible, *select.where);
-    if (positions) {
-      ++stats_.index_scans;
-      for (size_t pos : *positions) {
-        EvalContext ctx{&input.schema, &rows[pos], outer, this};
-        PSQL_ASSIGN_OR_RETURN(bool pass,
-                              EvaluatePredicate(*select.where, ctx));
-        if (pass) selection.push_back(static_cast<uint32_t>(pos));
-      }
-      std::sort(selection.begin(), selection.end());
-      return selection;
-    }
-  }
-  ++stats_.full_scans;
-  for (uint32_t i = 0; i < rows.size(); ++i) {
-    EvalContext ctx{&input.schema, &rows[i], outer, this};
-    PSQL_ASSIGN_OR_RETURN(bool pass, EvaluatePredicate(*select.where, ctx));
-    if (pass) selection.push_back(i);
-  }
-  return selection;
+  Planner planner(this);
+  PSQL_ASSIGN_OR_RETURN(OperatorPtr plan, planner.PlanSelect(select, outer));
+  return DrainToTable(*plan);
 }
 
 Result<ResultTable> Executor::MaterializeCandidates(const SelectStmt& select) {
-  if (select.from.empty()) {
-    return Status::InvalidArgument("preference query requires a FROM clause");
-  }
-  PSQL_ASSIGN_OR_RETURN(Source input, ResolveFromList(select.from, nullptr));
-  const auto& rows = input.data();
-  PSQL_ASSIGN_OR_RETURN(std::vector<uint32_t> selection,
-                        ComputeSelection(select, input, nullptr));
-  std::vector<Row> out;
-  out.reserve(selection.size());
-  for (uint32_t i : selection) out.push_back(rows[i]);
-  return ResultTable(input.schema, std::move(out));
+  Planner planner(this);
+  PSQL_ASSIGN_OR_RETURN(OperatorPtr plan,
+                        planner.PlanCandidates(select, nullptr));
+  return DrainToTable(*plan);
+}
+
+Result<std::shared_ptr<ResultTable>> Executor::MaterializeViewCached(
+    const std::string& name) {
+  std::string key = ToLower(name);
+  auto it = view_cache_.find(key);
+  if (it != view_cache_.end()) return it->second;
+  PSQL_ASSIGN_OR_RETURN(auto def, catalog_->GetView(name));
+  PSQL_ASSIGN_OR_RETURN(ResultTable rt, ExecuteSelect(*def, nullptr));
+  auto materialized = std::make_shared<ResultTable>(std::move(rt));
+  view_cache_[key] = materialized;
+  return materialized;
 }
 
 Result<ResultTable> Executor::InsertTable(const std::string& table,
@@ -870,8 +133,9 @@ Result<ResultTable> Executor::RunSubquery(const SelectStmt& select,
 Result<bool> Executor::SubqueryExists(const SelectStmt& select,
                                       const EvalContext* outer) {
   // Fast path: plain SELECT without grouping/limit machinery can stop at the
-  // first row whose WHERE predicate holds. This is what makes the rewritten
-  // NOT EXISTS dominance query tractable (§3.2).
+  // first row the streamed FROM/WHERE pipeline produces. This is what makes
+  // the rewritten NOT EXISTS dominance query tractable (§3.2). Scan counters
+  // stay untouched (probes would drown the per-statement counts).
   bool plain = select.group_by.empty() && select.having == nullptr &&
                !select.limit && !select.offset && !select.preferring &&
                !select.from.empty();
@@ -888,15 +152,20 @@ Result<bool> Executor::SubqueryExists(const SelectStmt& select,
     PSQL_ASSIGN_OR_RETURN(ResultTable rt, ExecuteSelect(select, outer));
     return rt.num_rows() > 0;
   }
-  PSQL_ASSIGN_OR_RETURN(Source input, ResolveFromList(select.from, outer));
-  const auto& rows = input.data();
-  if (select.where == nullptr) return !rows.empty();
-  for (const auto& row : rows) {
-    EvalContext ctx{&input.schema, &row, outer, this};
-    PSQL_ASSIGN_OR_RETURN(bool pass, EvaluatePredicate(*select.where, ctx));
-    if (pass) return true;
+  Planner planner(this);
+  PSQL_ASSIGN_OR_RETURN(
+      OperatorPtr plan,
+      planner.PlanCandidates(select, outer, /*count_stats=*/false));
+  Status open = plan->Open();
+  if (!open.ok()) {
+    plan->Close();
+    return open;
   }
-  return false;
+  RowRef row;
+  auto more = plan->Next(&row);
+  plan->Close();
+  PSQL_RETURN_IF_ERROR(more.status());
+  return *more;
 }
 
 // ===========================================================================

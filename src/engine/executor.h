@@ -1,10 +1,10 @@
-// Statement execution: SELECT pipeline (FROM/joins, WHERE, GROUP BY/HAVING,
-// DISTINCT, ORDER BY, LIMIT) plus DML and DDL.
+// Statement execution facade. SELECTs compile into a pull-based physical
+// operator tree (engine/planner.h + engine/operators/) and stream row views
+// instead of materializing every stage; DML and DDL execute here directly.
 //
-// Everything materializes into ResultTables; base-table scans and view
-// materializations are borrowed rather than copied. Views referenced several
-// times inside one statement (the rewriter's Aux view appears as A1 and A2)
-// are materialized once per top-level statement via a cache.
+// Views referenced several times inside one statement (the rewriter's Aux
+// view appears as A1 and A2) are materialized once per top-level statement
+// via a cache.
 
 #pragma once
 
@@ -30,7 +30,8 @@ class Executor : public SubqueryRunner {
   /// one-cell table [rows_affected]; DDL returns an empty table.
   Result<ResultTable> ExecuteStatement(const Statement& stmt);
 
-  /// Runs a SELECT (used by the preference layer which builds ASTs directly).
+  /// Runs a SELECT: plans the operator tree and drains it (used by the
+  /// preference layer which builds ASTs directly).
   Result<ResultTable> ExecuteSelect(const SelectStmt& select,
                                     const EvalContext* outer = nullptr);
 
@@ -39,30 +40,15 @@ class Executor : public SubqueryRunner {
   Result<ResultTable> RunSubquery(const SelectStmt& select,
                                   const EvalContext* outer) override;
 
-  /// Early-exit EXISTS probe (stops at the first row passing WHERE when the
-  /// subquery has no grouping/limit machinery).
+  /// Early-exit EXISTS probe: pulls a single row from the streamed
+  /// FROM/WHERE pipeline when the subquery has no grouping/limit machinery.
   Result<bool> SubqueryExists(const SelectStmt& select,
                               const EvalContext* outer) override;
 
   /// Materializes `FROM ... WHERE ...` of `select`, preserving column
-  /// qualifiers (unlike SELECT *). The Preference SQL layer evaluates
-  /// preference attributes and quality functions against this relation.
+  /// qualifiers (unlike SELECT *). Kept as a thin facade over
+  /// Planner::PlanCandidates for callers that need the full relation.
   Result<ResultTable> MaterializeCandidates(const SelectStmt& select);
-
-  /// Projection/distinct/order/limit pipeline over an explicit input
-  /// relation. Public so the Preference SQL layer can project the BMO result
-  /// set with the engine's own rules (alias handling, ordinals, ...).
-  Result<ResultTable> ProjectRows(const std::vector<SelectItem>& items,
-                                  bool distinct,
-                                  const std::vector<OrderItem>& order_by,
-                                  std::optional<int64_t> limit,
-                                  std::optional<int64_t> offset,
-                                  const Schema& in_schema,
-                                  const std::vector<Row>& in_rows,
-                                  const std::vector<uint32_t>& selection) {
-    return ProjectCore(items, distinct, order_by, limit, offset, in_schema,
-                       in_rows, selection, nullptr);
-  }
 
   /// Inserts all rows of `data` into `table` (column mapping as in INSERT;
   /// empty `columns` = positional). Returns [rows_affected]. Public so the
@@ -71,6 +57,10 @@ class Executor : public SubqueryRunner {
   Result<ResultTable> InsertTable(const std::string& table,
                                   const std::vector<std::string>& columns,
                                   const ResultTable& data);
+
+  /// Materializes a view once per top-level statement (planner access path).
+  Result<std::shared_ptr<ResultTable>> MaterializeViewCached(
+      const std::string& name);
 
   /// Drops per-statement caches (view materializations). Called by the
   /// Database facade between top-level statements.
@@ -85,50 +75,16 @@ class Executor : public SubqueryRunner {
   };
   const Stats& stats() const { return stats_; }
 
- private:
-  /// A resolved FROM source: schema plus row storage (owned or borrowed).
-  struct Source {
-    Schema schema;
-    std::vector<Row> owned;
-    const std::vector<Row>* borrowed = nullptr;
-    std::shared_ptr<ResultTable> keepalive;  // pins a cached view
-    const std::vector<Row>& data() const {
-      return borrowed != nullptr ? *borrowed : owned;
+  /// Records the access-path choice of one planned WHERE (planner only).
+  void CountScan(bool used_index) {
+    if (used_index) {
+      ++stats_.index_scans;
+    } else {
+      ++stats_.full_scans;
     }
-  };
+  }
 
-  Result<Source> ResolveTableRef(const TableRef& tr, const EvalContext* outer);
-  Result<Source> ResolveFromList(
-      const std::vector<std::unique_ptr<TableRef>>& from,
-      const EvalContext* outer);
-  Result<Source> ExecuteJoin(const TableRef& tr, const EvalContext* outer);
-
-  Result<ResultTable> ProjectCore(const std::vector<SelectItem>& items,
-                                  bool distinct,
-                                  const std::vector<OrderItem>& order_by,
-                                  std::optional<int64_t> limit,
-                                  std::optional<int64_t> offset,
-                                  const Schema& in_schema,
-                                  const std::vector<Row>& in_rows,
-                                  const std::vector<uint32_t>& selection,
-                                  const EvalContext* outer);
-  Result<ResultTable> ProjectGrouped(const SelectStmt& select,
-                                     const Source& input,
-                                     const std::vector<uint32_t>& selection,
-                                     const EvalContext* outer);
-
-  /// Index-assisted scan: if `where` has equality conjuncts covering all
-  /// key columns of an index on `table_name`, returns the matching row
-  /// positions (callers still re-apply the full WHERE). nullopt = no index.
-  std::optional<std::vector<size_t>> TryIndexLookup(
-      const std::string& table_name, const std::string& visible_alias,
-      const Expr& where);
-
-  /// Computes the post-WHERE selection over a resolved source, using an
-  /// index when `from` is a single base table with a matching index.
-  Result<std::vector<uint32_t>> ComputeSelection(
-      const SelectStmt& select, const Source& input, const EvalContext* outer);
-
+ private:
   Result<ResultTable> ExecuteInsert(const Statement& stmt);
   Result<ResultTable> ExecuteUpdate(const Statement& stmt);
   Result<ResultTable> ExecuteDelete(const Statement& stmt);

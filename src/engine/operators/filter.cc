@@ -1,0 +1,36 @@
+#include "engine/operators/filter.h"
+
+namespace prefsql {
+
+FilterOperator::FilterOperator(OperatorPtr child, const Expr* predicate,
+                               const EvalContext* outer,
+                               SubqueryRunner* runner)
+    : child_(std::move(child)),
+      predicate_(predicate),
+      outer_(outer),
+      runner_(runner) {}
+
+FilterOperator::FilterOperator(OperatorPtr child, ExprPtr predicate,
+                               const EvalContext* outer,
+                               SubqueryRunner* runner)
+    : child_(std::move(child)),
+      owned_predicate_(std::move(predicate)),
+      predicate_(owned_predicate_.get()),
+      outer_(outer),
+      runner_(runner) {}
+
+Result<bool> FilterOperator::Next(RowRef* out) {
+  RowRef row;
+  while (true) {
+    PSQL_ASSIGN_OR_RETURN(bool more, child_->Next(&row));
+    if (!more) return false;
+    EvalContext ctx{&child_->schema(), &row.row(), outer_, runner_};
+    PSQL_ASSIGN_OR_RETURN(bool pass, EvaluatePredicate(*predicate_, ctx));
+    if (pass) {
+      *out = std::move(row);
+      return true;
+    }
+  }
+}
+
+}  // namespace prefsql

@@ -1,0 +1,194 @@
+#include "engine/operators/join.h"
+
+namespace prefsql {
+namespace {
+
+Row ConcatRows(const Row& a, const Row& b) {
+  Row out;
+  out.reserve(a.size() + b.size());
+  out.insert(out.end(), a.begin(), a.end());
+  out.insert(out.end(), b.begin(), b.end());
+  return out;
+}
+
+Row KeyOf(const Row& row, const std::vector<size_t>& cols) {
+  Row key;
+  key.reserve(cols.size());
+  for (size_t c : cols) key.push_back(row[c]);
+  return key;
+}
+
+/// NULL-pads `left` to the combined width (LEFT JOIN without match).
+Row PadRight(const Row& left, size_t width) {
+  Row combined = left;
+  combined.resize(width);
+  return combined;
+}
+
+}  // namespace
+
+// ===========================================================================
+// HashJoinOperator
+// ===========================================================================
+
+HashJoinOperator::HashJoinOperator(OperatorPtr left, OperatorPtr right,
+                                   std::vector<size_t> left_keys,
+                                   std::vector<size_t> right_keys,
+                                   std::vector<const Expr*> residual,
+                                   bool left_join, const EvalContext* outer,
+                                   SubqueryRunner* runner)
+    : left_(std::move(left)),
+      right_(std::move(right)),
+      schema_(left_->schema().Concat(right_->schema())),
+      left_keys_(std::move(left_keys)),
+      right_keys_(std::move(right_keys)),
+      residual_(std::move(residual)),
+      left_join_(left_join),
+      outer_(outer),
+      runner_(runner) {}
+
+Status HashJoinOperator::Open() {
+  PSQL_RETURN_IF_ERROR(left_->Open());
+  PSQL_RETURN_IF_ERROR(right_->Open());
+  build_rows_.clear();
+  build_index_.clear();
+  RowRef row;
+  while (true) {
+    PSQL_ASSIGN_OR_RETURN(bool more, right_->Next(&row));
+    if (!more) break;
+    build_index_[HashRow(KeyOf(row.row(), right_keys_))].push_back(
+        build_rows_.size());
+    build_rows_.push_back(std::move(row));
+  }
+  left_valid_ = false;
+  return Status::OK();
+}
+
+Result<bool> HashJoinOperator::AdvanceLeft() {
+  PSQL_ASSIGN_OR_RETURN(bool more, left_->Next(&left_row_));
+  if (!more) return false;
+  left_valid_ = true;
+  left_matched_ = false;
+  match_pos_ = 0;
+  left_key_ = KeyOf(left_row_.row(), left_keys_);
+  left_key_null_ = false;
+  for (const auto& v : left_key_) left_key_null_ |= v.is_null();
+  auto it = build_index_.find(HashRow(left_key_));
+  matches_ = it != build_index_.end() ? &it->second : nullptr;
+  return true;
+}
+
+Result<bool> HashJoinOperator::Next(RowRef* out) {
+  while (true) {
+    if (!left_valid_) {
+      PSQL_ASSIGN_OR_RETURN(bool more, AdvanceLeft());
+      if (!more) return false;
+    }
+    // NULL keys never join.
+    if (matches_ != nullptr && !left_key_null_) {
+      while (match_pos_ < matches_->size()) {
+        size_t j = (*matches_)[match_pos_++];
+        const Row& right_row = build_rows_[j].row();
+        if (!RowsIdentityEqual(left_key_, KeyOf(right_row, right_keys_))) {
+          continue;
+        }
+        Row combined = ConcatRows(left_row_.row(), right_row);
+        bool pass = true;
+        EvalContext ctx{&schema_, &combined, outer_, runner_};
+        for (const Expr* e : residual_) {
+          PSQL_ASSIGN_OR_RETURN(pass, EvaluatePredicate(*e, ctx));
+          if (!pass) break;
+        }
+        if (pass) {
+          left_matched_ = true;
+          *out = RowRef::Owned(std::move(combined));
+          return true;
+        }
+      }
+    }
+    // Left row exhausted.
+    left_valid_ = false;
+    if (left_join_ && !left_matched_) {
+      *out = RowRef::Owned(PadRight(left_row_.row(), schema_.num_columns()));
+      return true;
+    }
+  }
+}
+
+void HashJoinOperator::Close() {
+  left_->Close();
+  right_->Close();
+  build_rows_.clear();
+  build_index_.clear();
+}
+
+// ===========================================================================
+// NestedLoopJoinOperator
+// ===========================================================================
+
+NestedLoopJoinOperator::NestedLoopJoinOperator(OperatorPtr left,
+                                               OperatorPtr right,
+                                               const Expr* join_on,
+                                               bool left_join,
+                                               const EvalContext* outer,
+                                               SubqueryRunner* runner)
+    : left_(std::move(left)),
+      right_(std::move(right)),
+      schema_(left_->schema().Concat(right_->schema())),
+      join_on_(join_on),
+      left_join_(left_join),
+      outer_(outer),
+      runner_(runner) {}
+
+Status NestedLoopJoinOperator::Open() {
+  PSQL_RETURN_IF_ERROR(left_->Open());
+  PSQL_RETURN_IF_ERROR(right_->Open());
+  right_rows_.clear();
+  RowRef row;
+  while (true) {
+    PSQL_ASSIGN_OR_RETURN(bool more, right_->Next(&row));
+    if (!more) break;
+    right_rows_.push_back(std::move(row));
+  }
+  left_valid_ = false;
+  return Status::OK();
+}
+
+Result<bool> NestedLoopJoinOperator::Next(RowRef* out) {
+  while (true) {
+    if (!left_valid_) {
+      PSQL_ASSIGN_OR_RETURN(bool more, left_->Next(&left_row_));
+      if (!more) return false;
+      left_valid_ = true;
+      left_matched_ = false;
+      right_pos_ = 0;
+    }
+    while (right_pos_ < right_rows_.size()) {
+      const Row& right_row = right_rows_[right_pos_++].row();
+      Row combined = ConcatRows(left_row_.row(), right_row);
+      bool pass = true;
+      if (join_on_ != nullptr) {
+        EvalContext ctx{&schema_, &combined, outer_, runner_};
+        PSQL_ASSIGN_OR_RETURN(pass, EvaluatePredicate(*join_on_, ctx));
+      }
+      if (pass) {
+        left_matched_ = true;
+        *out = RowRef::Owned(std::move(combined));
+        return true;
+      }
+    }
+    left_valid_ = false;
+    if (left_join_ && !left_matched_) {
+      *out = RowRef::Owned(PadRight(left_row_.row(), schema_.num_columns()));
+      return true;
+    }
+  }
+}
+
+void NestedLoopJoinOperator::Close() {
+  left_->Close();
+  right_->Close();
+  right_rows_.clear();
+}
+
+}  // namespace prefsql

@@ -1,0 +1,87 @@
+// Join operators. The planner extracts equi-join keys from the ON clause
+// and picks HashJoinOperator when any exist; otherwise (CROSS JOIN, ON
+// without extractable keys, comma-list FROM) NestedLoopJoinOperator runs.
+// Both stream the left input and materialize the right at Open; LEFT JOIN
+// NULL-pads unmatched left rows.
+
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "engine/evaluator.h"
+#include "engine/operators/operator.h"
+#include "sql/ast.h"
+
+namespace prefsql {
+
+/// Hash join on equi-key columns with an optional residual conjunction.
+class HashJoinOperator : public PhysicalOperator {
+ public:
+  HashJoinOperator(OperatorPtr left, OperatorPtr right,
+                   std::vector<size_t> left_keys,
+                   std::vector<size_t> right_keys,
+                   std::vector<const Expr*> residual, bool left_join,
+                   const EvalContext* outer, SubqueryRunner* runner);
+
+  const Schema& schema() const override { return schema_; }
+  Status Open() override;
+  Result<bool> Next(RowRef* out) override;
+  void Close() override;
+
+ private:
+  Result<bool> AdvanceLeft();
+
+  OperatorPtr left_;
+  OperatorPtr right_;
+  Schema schema_;
+  std::vector<size_t> left_keys_;
+  std::vector<size_t> right_keys_;
+  std::vector<const Expr*> residual_;
+  bool left_join_;
+  const EvalContext* outer_;
+  SubqueryRunner* runner_;
+
+  // Build side (right input), materialized at Open.
+  std::vector<RowRef> build_rows_;
+  std::unordered_map<size_t, std::vector<size_t>> build_index_;
+
+  // Probe state for the current left row.
+  RowRef left_row_;
+  Row left_key_;
+  bool left_key_null_ = false;
+  const std::vector<size_t>* matches_ = nullptr;
+  size_t match_pos_ = 0;
+  bool left_matched_ = false;
+  bool left_valid_ = false;
+};
+
+/// Nested-loop join; `join_on` may be null (cross product).
+class NestedLoopJoinOperator : public PhysicalOperator {
+ public:
+  NestedLoopJoinOperator(OperatorPtr left, OperatorPtr right,
+                         const Expr* join_on, bool left_join,
+                         const EvalContext* outer, SubqueryRunner* runner);
+
+  const Schema& schema() const override { return schema_; }
+  Status Open() override;
+  Result<bool> Next(RowRef* out) override;
+  void Close() override;
+
+ private:
+  OperatorPtr left_;
+  OperatorPtr right_;
+  Schema schema_;
+  const Expr* join_on_;
+  bool left_join_;
+  const EvalContext* outer_;
+  SubqueryRunner* runner_;
+
+  std::vector<RowRef> right_rows_;
+  RowRef left_row_;
+  size_t right_pos_ = 0;
+  bool left_matched_ = false;
+  bool left_valid_ = false;
+};
+
+}  // namespace prefsql

@@ -1,0 +1,26 @@
+#include "engine/operators/operator.h"
+
+namespace prefsql {
+
+Result<ResultTable> DrainToTable(PhysicalOperator& op) {
+  Status open = op.Open();
+  if (!open.ok()) {
+    op.Close();
+    return open;
+  }
+  std::vector<Row> rows;
+  RowRef ref;
+  while (true) {
+    auto more = op.Next(&ref);
+    if (!more.ok()) {
+      op.Close();
+      return more.status();
+    }
+    if (!*more) break;
+    rows.push_back(std::move(ref).IntoRow());
+  }
+  op.Close();
+  return ResultTable(op.schema(), std::move(rows));
+}
+
+}  // namespace prefsql

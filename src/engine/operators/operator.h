@@ -1,0 +1,42 @@
+// Physical operator interface: pull-based open/next/close execution (the
+// Volcano iterator model). The planner (engine/planner.h) compiles a
+// SelectStmt into a tree of these; the executor facade drains the root into
+// a ResultTable, while early-exit consumers (EXISTS probes, LIMIT) stop
+// pulling as soon as they are satisfied.
+
+#pragma once
+
+#include <memory>
+
+#include "types/result_table.h"
+#include "types/row_view.h"
+#include "types/schema.h"
+#include "util/status.h"
+
+namespace prefsql {
+
+/// One node of a physical execution plan.
+class PhysicalOperator {
+ public:
+  virtual ~PhysicalOperator() = default;
+
+  /// Output schema; known from construction (plan time).
+  virtual const Schema& schema() const = 0;
+
+  /// Prepares execution; pipeline breakers (sort, hash build, aggregation,
+  /// BMO) consume their input here.
+  virtual Status Open() = 0;
+
+  /// Produces the next row into `*out`; returns false at end of stream.
+  virtual Result<bool> Next(RowRef* out) = 0;
+
+  /// Releases per-execution state. Must be safe to call after Open failed.
+  virtual void Close() = 0;
+};
+
+using OperatorPtr = std::unique_ptr<PhysicalOperator>;
+
+/// Opens, fully drains and closes `op`, materializing a ResultTable.
+Result<ResultTable> DrainToTable(PhysicalOperator& op);
+
+}  // namespace prefsql

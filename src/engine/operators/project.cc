@@ -1,0 +1,81 @@
+#include "engine/operators/project.h"
+
+namespace prefsql {
+
+ProjectOperator::ProjectOperator(OperatorPtr child, Schema out_schema,
+                                 std::vector<ExprPtr> exprs,
+                                 const EvalContext* outer,
+                                 SubqueryRunner* runner)
+    : child_(std::move(child)),
+      schema_(std::move(out_schema)),
+      exprs_(std::move(exprs)),
+      outer_(outer),
+      runner_(runner) {}
+
+Result<bool> ProjectOperator::Next(RowRef* out) {
+  RowRef in;
+  PSQL_ASSIGN_OR_RETURN(bool more, child_->Next(&in));
+  if (!more) return false;
+  EvalContext ctx{&child_->schema(), &in.row(), outer_, runner_};
+  Row row;
+  row.reserve(exprs_.size());
+  for (const ExprPtr& e : exprs_) {
+    PSQL_ASSIGN_OR_RETURN(Value v, Evaluate(*e, ctx));
+    row.push_back(std::move(v));
+  }
+  *out = RowRef::Owned(std::move(row));
+  return true;
+}
+
+DistinctOperator::DistinctOperator(OperatorPtr child, size_t key_width)
+    : child_(std::move(child)), key_width_(key_width) {}
+
+Status DistinctOperator::Open() {
+  seen_rows_.clear();
+  seen_.clear();
+  return child_->Open();
+}
+
+Result<bool> DistinctOperator::Next(RowRef* out) {
+  RowRef row;
+  while (true) {
+    PSQL_ASSIGN_OR_RETURN(bool more, child_->Next(&row));
+    if (!more) return false;
+    const Row& r = row.row();
+    size_t h = HashRowPrefix(r, key_width_);
+    bool dup = false;
+    for (size_t idx : seen_[h]) {
+      if (RowPrefixIdentityEqual(seen_rows_[idx], r, key_width_)) {
+        dup = true;
+        break;
+      }
+    }
+    if (dup) continue;
+    Row prefix(r.begin(), r.begin() + static_cast<ptrdiff_t>(key_width_));
+    seen_[h].push_back(seen_rows_.size());
+    seen_rows_.push_back(std::move(prefix));
+    *out = std::move(row);
+    return true;
+  }
+}
+
+void DistinctOperator::Close() {
+  child_->Close();
+  seen_rows_.clear();
+  seen_.clear();
+}
+
+PrefixOperator::PrefixOperator(OperatorPtr child, Schema out_schema)
+    : child_(std::move(child)), schema_(std::move(out_schema)) {}
+
+Result<bool> PrefixOperator::Next(RowRef* out) {
+  RowRef in;
+  PSQL_ASSIGN_OR_RETURN(bool more, child_->Next(&in));
+  if (!more) return false;
+  Row row = std::move(in).IntoRow();
+  row.resize(schema_.num_columns());
+  *out = RowRef::Owned(std::move(row));
+  return true;
+}
+
+}  // namespace prefsql

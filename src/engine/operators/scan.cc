@@ -1,0 +1,61 @@
+#include "engine/operators/scan.h"
+
+namespace prefsql {
+
+SeqScanOperator::SeqScanOperator(Schema schema, const std::vector<Row>* rows,
+                                 std::shared_ptr<ResultTable> keepalive)
+    : schema_(std::move(schema)),
+      rows_(rows),
+      keepalive_(std::move(keepalive)) {}
+
+SeqScanOperator::SeqScanOperator(Schema schema, ResultTable owned)
+    : schema_(std::move(schema)), owned_(std::move(owned)) {
+  rows_ = &owned_.rows();
+}
+
+Status SeqScanOperator::Open() {
+  pos_ = 0;
+  return Status::OK();
+}
+
+Result<bool> SeqScanOperator::Next(RowRef* out) {
+  if (pos_ >= rows_->size()) return false;
+  *out = RowRef::Borrowed(&(*rows_)[pos_++]);
+  return true;
+}
+
+void SeqScanOperator::Close() {}
+
+PositionScanOperator::PositionScanOperator(Schema schema,
+                                           const std::vector<Row>* rows,
+                                           std::vector<size_t> positions)
+    : schema_(std::move(schema)),
+      rows_(rows),
+      positions_(std::move(positions)) {}
+
+Status PositionScanOperator::Open() {
+  pos_ = 0;
+  return Status::OK();
+}
+
+Result<bool> PositionScanOperator::Next(RowRef* out) {
+  if (pos_ >= positions_.size()) return false;
+  *out = RowRef::Borrowed(&(*rows_)[positions_[pos_++]]);
+  return true;
+}
+
+void PositionScanOperator::Close() {}
+
+Status OneRowOperator::Open() {
+  done_ = false;
+  return Status::OK();
+}
+
+Result<bool> OneRowOperator::Next(RowRef* out) {
+  if (done_) return false;
+  done_ = true;
+  *out = RowRef::Borrowed(&row_);
+  return true;
+}
+
+}  // namespace prefsql

@@ -1,0 +1,74 @@
+// Access-path operators: sequential scan, index-selected position scan, and
+// the synthetic one-row source used by FROM-less SELECTs.
+
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "engine/operators/operator.h"
+
+namespace prefsql {
+
+/// Scans a row vector in order. The vector is either borrowed (base-table
+/// heap, cached view — optionally pinned via `keepalive`) or owned (FROM
+/// subquery materialization).
+class SeqScanOperator : public PhysicalOperator {
+ public:
+  /// Borrowing scan; `keepalive` may pin a shared view materialization.
+  SeqScanOperator(Schema schema, const std::vector<Row>* rows,
+                  std::shared_ptr<ResultTable> keepalive = nullptr);
+
+  /// Owning scan over a materialized result.
+  SeqScanOperator(Schema schema, ResultTable owned);
+
+  const Schema& schema() const override { return schema_; }
+  Status Open() override;
+  Result<bool> Next(RowRef* out) override;
+  void Close() override;
+
+ private:
+  Schema schema_;
+  ResultTable owned_;
+  const std::vector<Row>* rows_;
+  std::shared_ptr<ResultTable> keepalive_;
+  size_t pos_ = 0;
+};
+
+/// Emits the rows at `positions` (in order) of a borrowed row vector; the
+/// access path for index-served scans and for re-projecting an explicit
+/// selection vector over a materialized relation.
+class PositionScanOperator : public PhysicalOperator {
+ public:
+  PositionScanOperator(Schema schema, const std::vector<Row>* rows,
+                       std::vector<size_t> positions);
+
+  const Schema& schema() const override { return schema_; }
+  Status Open() override;
+  Result<bool> Next(RowRef* out) override;
+  void Close() override;
+
+ private:
+  Schema schema_;
+  const std::vector<Row>* rows_;
+  std::vector<size_t> positions_;
+  size_t pos_ = 0;
+};
+
+/// Produces exactly one empty row (SELECT without FROM).
+class OneRowOperator : public PhysicalOperator {
+ public:
+  OneRowOperator() = default;
+
+  const Schema& schema() const override { return schema_; }
+  Status Open() override;
+  Result<bool> Next(RowRef* out) override;
+  void Close() override {}
+
+ private:
+  Schema schema_;
+  Row row_;
+  bool done_ = false;
+};
+
+}  // namespace prefsql

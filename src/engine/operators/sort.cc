@@ -1,0 +1,68 @@
+#include "engine/operators/sort.h"
+
+#include <algorithm>
+
+namespace prefsql {
+
+SortOperator::SortOperator(OperatorPtr child, std::vector<SortKey> keys)
+    : child_(std::move(child)), keys_(std::move(keys)) {}
+
+Status SortOperator::Open() {
+  PSQL_RETURN_IF_ERROR(child_->Open());
+  rows_.clear();
+  pos_ = 0;
+  RowRef ref;
+  while (true) {
+    PSQL_ASSIGN_OR_RETURN(bool more, child_->Next(&ref));
+    if (!more) break;
+    rows_.push_back(std::move(ref).IntoRow());
+  }
+  std::stable_sort(rows_.begin(), rows_.end(),
+                   [this](const Row& a, const Row& b) {
+                     for (const SortKey& k : keys_) {
+                       int c = Value::Compare(a[k.column], b[k.column]);
+                       if (c != 0) return k.ascending ? c < 0 : c > 0;
+                     }
+                     return false;
+                   });
+  return Status::OK();
+}
+
+Result<bool> SortOperator::Next(RowRef* out) {
+  if (pos_ >= rows_.size()) return false;
+  *out = RowRef::Owned(std::move(rows_[pos_++]));
+  return true;
+}
+
+void SortOperator::Close() {
+  child_->Close();
+  rows_.clear();
+}
+
+LimitOperator::LimitOperator(OperatorPtr child, std::optional<int64_t> limit,
+                             std::optional<int64_t> offset)
+    : child_(std::move(child)), limit_(limit), offset_(offset) {}
+
+Status LimitOperator::Open() {
+  skipped_ = 0;
+  emitted_ = 0;
+  return child_->Open();
+}
+
+Result<bool> LimitOperator::Next(RowRef* out) {
+  if (limit_ && emitted_ >= *limit_) return false;
+  RowRef row;
+  while (true) {
+    PSQL_ASSIGN_OR_RETURN(bool more, child_->Next(&row));
+    if (!more) return false;
+    if (offset_ && skipped_ < *offset_) {
+      ++skipped_;
+      continue;
+    }
+    ++emitted_;
+    *out = std::move(row);
+    return true;
+  }
+}
+
+}  // namespace prefsql

@@ -1,0 +1,73 @@
+// Planner: compiles a SelectStmt into a tree of physical operators
+// (engine/operators/). Access-path selection (sequential scan vs. index
+// lookup for equality/range predicates), join algorithm choice (hash vs.
+// nested loop) and the projection/distinct/order/limit tail all happen
+// here; execution is pure pulling afterwards.
+//
+// The Preference SQL layer uses PlanCandidates to stream `FROM ... WHERE`
+// (qualifiers preserved) into a BmoOperator, and PlanTail to project the
+// BMO stream with the engine's own rules.
+
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "engine/evaluator.h"
+#include "engine/operators/operator.h"
+#include "sql/ast.h"
+#include "util/status.h"
+
+namespace prefsql {
+
+class Executor;
+
+class Planner {
+ public:
+  /// The executor provides the catalog, the per-statement view cache, scan
+  /// counters, and subquery execution.
+  explicit Planner(Executor* executor) : executor_(executor) {}
+
+  /// Plans a full (non-preference) SELECT pipeline.
+  Result<OperatorPtr> PlanSelect(const SelectStmt& select,
+                                 const EvalContext* outer);
+
+  /// Plans `FROM ... WHERE ...` of `select` with column qualifiers
+  /// preserved (no projection). `count_stats` = false leaves the executor's
+  /// scan counters untouched (EXISTS probes).
+  Result<OperatorPtr> PlanCandidates(const SelectStmt& select,
+                                     const EvalContext* outer,
+                                     bool count_stats = true);
+
+  /// Plans the projection/distinct/order/limit tail over `child`. Takes
+  /// ownership of the item/order expressions (callers clone from the AST or
+  /// pass synthesized rewrites).
+  Result<OperatorPtr> PlanTail(std::vector<SelectItem> items, bool distinct,
+                               std::vector<OrderItem> order_by,
+                               std::optional<int64_t> limit,
+                               std::optional<int64_t> offset,
+                               OperatorPtr child, const EvalContext* outer);
+
+ private:
+  Result<OperatorPtr> PlanTableRef(const TableRef& tr,
+                                   const EvalContext* outer);
+  Result<OperatorPtr> PlanJoin(const TableRef& tr, const EvalContext* outer);
+  Result<OperatorPtr> PlanFromWhere(const SelectStmt& select,
+                                    const EvalContext* outer,
+                                    bool count_stats);
+  Result<OperatorPtr> PlanAggregate(const SelectStmt& select,
+                                    OperatorPtr input,
+                                    const EvalContext* outer);
+
+  /// Index-assisted access path: row positions matching the indexable
+  /// equality/range conjuncts of `where` (callers re-apply the full WHERE);
+  /// nullopt when no usable index exists.
+  std::optional<std::vector<size_t>> TryIndexPositions(
+      const std::string& table_name, const std::string& visible_alias,
+      const Expr& where);
+
+  Executor* executor_;
+};
+
+}  // namespace prefsql

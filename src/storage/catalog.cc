@@ -18,11 +18,12 @@ Status Catalog::CreateTable(const std::string& name,
     return Status::InvalidArgument("table '" + name + "' needs columns");
   }
   for (size_t i = 0; i < columns.size(); ++i) {
-    for (size_t j = i + 1; j < columns.size(); ++j) {
-      if (EqualsIgnoreCase(columns[i].name, columns[j].name)) {
-        return Status::InvalidArgument("duplicate column '" + columns[i].name +
-                                       "' in table " + name);
-      }
+    auto first = FindNameIgnoreCase(
+        columns, columns[i].name,
+        [](const ColumnDef& c) { return std::string_view(c.name); });
+    if (first && *first != i) {
+      return Status::InvalidArgument("duplicate column '" + columns[i].name +
+                                     "' in table " + name);
     }
   }
   tables_[key] = std::make_unique<Table>(name, std::move(columns));

@@ -31,11 +31,17 @@ const std::vector<size_t>& Index::Lookup(const Row& key) {
 }
 
 std::vector<size_t> Index::RangeLookup(const Value& lo, const Value& hi) {
+  return RangeLookupBounds(&lo, &hi);
+}
+
+std::vector<size_t> Index::RangeLookupBounds(const Value* lo,
+                                             const Value* hi) {
   RefreshIfStale();
   std::vector<size_t> out;
-  auto begin = entries_.lower_bound(Row{lo});
+  auto begin = lo != nullptr ? entries_.lower_bound(Row{*lo})
+                             : entries_.begin();
   for (auto it = begin; it != entries_.end(); ++it) {
-    if (Value::Compare(it->first[0], hi) > 0) break;
+    if (hi != nullptr && Value::Compare(it->first[0], *hi) > 0) break;
     out.insert(out.end(), it->second.begin(), it->second.end());
   }
   return out;

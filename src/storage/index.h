@@ -34,6 +34,10 @@ class Index {
   /// Row positions with key in [lo, hi] on a single-column index.
   std::vector<size_t> RangeLookup(const Value& lo, const Value& hi);
 
+  /// Like RangeLookup with optionally open bounds (nullptr = unbounded);
+  /// the planner's access path for range predicates (col < v, BETWEEN, ...).
+  std::vector<size_t> RangeLookupBounds(const Value* lo, const Value* hi);
+
   /// Number of distinct keys (after refresh).
   size_t NumDistinctKeys();
 

@@ -16,9 +16,9 @@ Table::Table(std::string name, std::vector<ColumnDef> columns)
 }
 
 Result<size_t> Table::ColumnIndex(const std::string& column) const {
-  for (size_t i = 0; i < columns_.size(); ++i) {
-    if (EqualsIgnoreCase(columns_[i].name, column)) return i;
-  }
+  auto idx = FindNameIgnoreCase(
+      columns_, column, [](const ColumnDef& c) { return std::string_view(c.name); });
+  if (idx) return *idx;
   return Status::NotFound("no column '" + column + "' in table " + name_);
 }
 

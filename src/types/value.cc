@@ -240,17 +240,23 @@ size_t Value::Hash() const {
   }
 }
 
-size_t HashRow(const Row& row) {
+size_t HashRow(const Row& row) { return HashRowPrefix(row, row.size()); }
+
+size_t HashRowPrefix(const Row& row, size_t width) {
   size_t h = 0;
-  for (const Value& v : row) {
-    h = h * 1099511628211ULL + v.Hash();
+  for (size_t i = 0; i < width && i < row.size(); ++i) {
+    h = h * 1099511628211ULL + row[i].Hash();
   }
   return h;
 }
 
 bool RowsIdentityEqual(const Row& a, const Row& b) {
   if (a.size() != b.size()) return false;
-  for (size_t i = 0; i < a.size(); ++i) {
+  return RowPrefixIdentityEqual(a, b, a.size());
+}
+
+bool RowPrefixIdentityEqual(const Row& a, const Row& b, size_t width) {
+  for (size_t i = 0; i < width; ++i) {
     if (!a[i].IdentityEquals(b[i])) return false;
   }
   return true;

@@ -118,7 +118,15 @@ using Row = std::vector<Value>;
 /// Hash of a full row (grouping keys, hash join keys).
 size_t HashRow(const Row& row);
 
+/// Hash of the first `width` values of a row (DISTINCT over the visible
+/// columns while hidden sort keys trail behind).
+size_t HashRowPrefix(const Row& row, size_t width);
+
 /// Identity comparison of two rows (same arity assumed).
 bool RowsIdentityEqual(const Row& a, const Row& b);
+
+/// Identity comparison of the first `width` values (both rows must have at
+/// least `width` columns).
+bool RowPrefixIdentityEqual(const Row& a, const Row& b, size_t width);
 
 }  // namespace prefsql

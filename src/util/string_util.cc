@@ -47,6 +47,12 @@ bool ContainsIgnoreCase(std::string_view haystack, std::string_view needle) {
   return false;
 }
 
+std::optional<size_t> FindNameIgnoreCase(const std::vector<std::string>& names,
+                                         std::string_view target) {
+  return FindNameIgnoreCase(names, target,
+                            [](const std::string& s) { return std::string_view(s); });
+}
+
 std::string QuoteSqlString(std::string_view s) {
   std::string out;
   out.reserve(s.size() + 2);

@@ -2,6 +2,7 @@
 
 #pragma once
 
+#include <optional>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -24,6 +25,26 @@ std::string Join(const std::vector<std::string>& parts, std::string_view sep);
 /// True iff `haystack` contains `needle` ignoring ASCII case (used by the
 /// CONTAINS base preference).
 bool ContainsIgnoreCase(std::string_view haystack, std::string_view needle);
+
+/// Case-insensitive linear name lookup: index of the first element of
+/// `range` whose projected name equals `target` (ASCII case-insensitive),
+/// or nullopt. The shared primitive behind column/attribute resolution in
+/// the storage, planner and preference layers (Schema keeps its hash-map
+/// variant for the hot resolution path).
+template <typename Range, typename Proj>
+std::optional<size_t> FindNameIgnoreCase(const Range& range,
+                                         std::string_view target, Proj proj) {
+  size_t i = 0;
+  for (const auto& element : range) {
+    if (EqualsIgnoreCase(proj(element), target)) return i;
+    ++i;
+  }
+  return std::nullopt;
+}
+
+/// Overload for plain name lists.
+std::optional<size_t> FindNameIgnoreCase(const std::vector<std::string>& names,
+                                         std::string_view target);
 
 /// SQL single-quoted string literal: quotes and doubles embedded quotes.
 std::string QuoteSqlString(std::string_view s);

@@ -1,0 +1,206 @@
+// Randomized BMO parity property test: for generated workloads and random
+// preference terms, the naive nested loop, BNL (several window sizes), SFS
+// and the full operator-pipeline path (every Connection evaluation mode)
+// must return the same maximal set, and the progressive ComputeBmoTopK(k)
+// must return a k-subset of it with fewer (or equal) dominance comparisons.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/bmo.h"
+#include "core/connection.h"
+#include "sql/parser.h"
+#include "util/random.h"
+#include "workload/generators.h"
+
+namespace prefsql {
+namespace {
+
+// A random weak-order preference over the numeric car columns: 2-4 distinct
+// dimensions combined with AND (Pareto) or CASCADE (prioritization).
+std::string RandomPreferenceText(Random& rng) {
+  struct Dim {
+    const char* column;
+    int64_t lo, hi;  // plausible AROUND target range
+  };
+  std::vector<Dim> dims = {{"price", 5000, 40000},
+                           {"mileage", 0, 200000},
+                           {"power", 50, 300},
+                           {"age", 0, 30}};
+  size_t n = static_cast<size_t>(rng.Uniform(2, 4));
+  std::string text;
+  for (size_t d = 0; d < n; ++d) {
+    const Dim& dim = dims[d];
+    std::string atom;
+    switch (rng.Uniform(0, 2)) {
+      case 0:
+        atom = "LOWEST(" + std::string(dim.column) + ")";
+        break;
+      case 1:
+        atom = "HIGHEST(" + std::string(dim.column) + ")";
+        break;
+      default:
+        atom = std::string(dim.column) + " AROUND " +
+               std::to_string(rng.Uniform(dim.lo, dim.hi));
+        break;
+    }
+    if (d > 0) text += rng.Bernoulli(0.3) ? " CASCADE " : " AND ";
+    text += atom;
+  }
+  return text;
+}
+
+class BmoParityPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(BmoParityPropertyTest, AllPathsReturnTheSameMaximalSet) {
+  uint64_t seed = GetParam();
+  Random rng(seed);
+  std::string pref_text = RandomPreferenceText(rng);
+  SCOPED_TRACE("PREFERRING " + pref_text);
+
+  // Reference: keys over the materialized candidate relation, naive BMO.
+  Connection ref_conn;
+  ASSERT_TRUE(GenerateUsedCars(ref_conn.database(), 400, seed).ok());
+  auto stmt = ParseStatement("SELECT * FROM car");
+  ASSERT_TRUE(stmt.ok());
+  auto candidates =
+      ref_conn.database().executor().MaterializeCandidates(*stmt->select);
+  ASSERT_TRUE(candidates.ok());
+  auto term = ParsePreference(pref_text);
+  ASSERT_TRUE(term.ok()) << term.status().ToString();
+  auto pref = CompiledPreference::Compile(**term);
+  ASSERT_TRUE(pref.ok()) << pref.status().ToString();
+
+  std::vector<PrefKey> keys;
+  std::vector<size_t> all;
+  for (size_t i = 0; i < candidates->num_rows(); ++i) {
+    auto key = pref->MakeKey(candidates->schema(), candidates->rows()[i]);
+    ASSERT_TRUE(key.ok());
+    keys.push_back(std::move(key).value());
+    all.push_back(i);
+  }
+  auto reference =
+      ComputeBmo(*pref, keys, all, {BmoAlgorithm::kNaiveNestedLoop, 0});
+
+  // 1. Direct algorithms agree, across BNL window sizes.
+  for (size_t window : {size_t{0}, size_t{1}, size_t{7}, size_t{64}}) {
+    auto bnl = ComputeBmo(*pref, keys, all,
+                          {BmoAlgorithm::kBlockNestedLoop, window});
+    EXPECT_EQ(bnl, reference) << "BNL window " << window;
+  }
+  auto sfs =
+      ComputeBmo(*pref, keys, all, {BmoAlgorithm::kSortFilterSkyline, 0});
+  EXPECT_EQ(sfs, reference);
+
+  // 2. ComputeBmoTopK(k) returns a k-subset of the maximal set without
+  //    extra comparisons.
+  BmoStats full_stats;
+  ComputeBmo(*pref, keys, all, {BmoAlgorithm::kSortFilterSkyline, 0},
+             &full_stats);
+  std::set<size_t> reference_set(reference.begin(), reference.end());
+  for (size_t k : {size_t{0}, size_t{1}, size_t{5}, size_t{1000}}) {
+    BmoStats topk_stats;
+    auto topk = ComputeBmoTopK(*pref, keys, all, k, &topk_stats);
+    EXPECT_EQ(topk.size(), std::min(k, reference.size())) << "k=" << k;
+    for (size_t idx : topk) {
+      EXPECT_TRUE(reference_set.count(idx)) << "k=" << k << " idx=" << idx;
+    }
+    EXPECT_LE(topk_stats.comparisons, full_stats.comparisons) << "k=" << k;
+  }
+
+  // Reference ids (the generated car table has id in column 0).
+  std::vector<std::string> reference_ids;
+  for (size_t idx : reference) {
+    reference_ids.push_back(candidates->at(idx, 0).ToString());
+  }
+  std::sort(reference_ids.begin(), reference_ids.end());
+
+  // 3. The operator-pipeline path agrees in every evaluation mode.
+  for (EvaluationMode mode :
+       {EvaluationMode::kRewrite, EvaluationMode::kBlockNestedLoop,
+        EvaluationMode::kNaiveNestedLoop,
+        EvaluationMode::kSortFilterSkyline}) {
+    ConnectionOptions opts;
+    opts.mode = mode;
+    opts.bnl_window = static_cast<size_t>(rng.Uniform(0, 16));
+    Connection conn(opts);
+    ASSERT_TRUE(GenerateUsedCars(conn.database(), 400, seed).ok());
+    auto r = conn.Execute("SELECT id FROM car PREFERRING " + pref_text);
+    ASSERT_TRUE(r.ok()) << EvaluationModeToString(mode) << ": "
+                        << r.status().ToString();
+    std::vector<std::string> ids;
+    for (size_t i = 0; i < r->num_rows(); ++i) {
+      ids.push_back(r->at(i, 0).ToString());
+    }
+    std::sort(ids.begin(), ids.end());
+    EXPECT_EQ(ids, reference_ids) << EvaluationModeToString(mode);
+  }
+
+  // 4. LIMIT pushdown through the pipeline: SFS mode with a bare LIMIT
+  //    returns min(k, |BMO|) maximal rows with no more dominance
+  //    comparisons than the full run.
+  {
+    ConnectionOptions opts;
+    opts.mode = EvaluationMode::kSortFilterSkyline;
+    Connection conn(opts);
+    ASSERT_TRUE(GenerateUsedCars(conn.database(), 400, seed).ok());
+    auto full = conn.Execute("SELECT id FROM car PREFERRING " + pref_text);
+    ASSERT_TRUE(full.ok());
+    size_t full_comparisons = conn.last_stats().bmo_comparisons;
+    size_t k = 3;
+    auto limited = conn.Execute("SELECT id FROM car PREFERRING " + pref_text +
+                                " LIMIT " + std::to_string(k));
+    ASSERT_TRUE(limited.ok());
+    EXPECT_EQ(limited->num_rows(), std::min(k, reference.size()));
+    EXPECT_LE(conn.last_stats().bmo_comparisons, full_comparisons);
+    for (size_t i = 0; i < limited->num_rows(); ++i) {
+      EXPECT_TRUE(std::binary_search(reference_ids.begin(),
+                                     reference_ids.end(),
+                                     limited->at(i, 0).ToString()));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BmoParityPropertyTest,
+                         ::testing::Values(1u, 5u, 23u, 57u, 111u, 4242u));
+
+// The pipeline handles GROUPING partitions: per-partition BMO matches a
+// manual per-group reference on a generated workload.
+TEST(BmoParityPropertyTest, GroupingPartitionsMatchPerGroupReference) {
+  for (uint64_t seed : {2u, 31u}) {
+    Connection conn;
+    ASSERT_TRUE(GenerateUsedCars(conn.database(), 300, seed).ok());
+    auto grouped = conn.Execute(
+        "SELECT id FROM car PREFERRING LOWEST(price) AND HIGHEST(power) "
+        "GROUPING make");
+    ASSERT_TRUE(grouped.ok()) << grouped.status().ToString();
+
+    // Reference: one preference query per make, unioned.
+    auto makes = conn.Execute("SELECT DISTINCT make FROM car");
+    ASSERT_TRUE(makes.ok());
+    std::vector<std::string> expected;
+    for (size_t m = 0; m < makes->num_rows(); ++m) {
+      auto r = conn.Execute(
+          "SELECT id FROM car WHERE make = '" + makes->at(m, 0).AsText() +
+          "' PREFERRING LOWEST(price) AND HIGHEST(power)");
+      ASSERT_TRUE(r.ok());
+      for (size_t i = 0; i < r->num_rows(); ++i) {
+        expected.push_back(r->at(i, 0).ToString());
+      }
+    }
+    std::sort(expected.begin(), expected.end());
+    std::vector<std::string> actual;
+    for (size_t i = 0; i < grouped->num_rows(); ++i) {
+      actual.push_back(grouped->at(i, 0).ToString());
+    }
+    std::sort(actual.begin(), actual.end());
+    EXPECT_EQ(actual, expected) << "seed " << seed;
+  }
+}
+
+}  // namespace
+}  // namespace prefsql
