@@ -61,6 +61,25 @@ void CollectColumnRefs(const Expr& e, std::vector<const Expr*>* out) {
   }
 }
 
+bool ContainsSubquery(const Expr& e) {
+  if (e.subquery != nullptr) return true;
+  auto walk = [&](const ExprPtr& p) { return p && ContainsSubquery(*p); };
+  if (walk(e.left) || walk(e.right) || walk(e.lo) || walk(e.hi) ||
+      walk(e.case_else)) {
+    return true;
+  }
+  for (const auto& a : e.args) {
+    if (ContainsSubquery(*a)) return true;
+  }
+  for (const auto& item : e.in_list) {
+    if (ContainsSubquery(*item)) return true;
+  }
+  for (const auto& cw : e.case_whens) {
+    if (ContainsSubquery(*cw.when) || ContainsSubquery(*cw.then)) return true;
+  }
+  return false;
+}
+
 }  // namespace
 
 Result<PrefTermPtr> ExpandNamedPreferences(const PrefTerm& term,
@@ -101,6 +120,29 @@ Status ValidatePreferenceColumns(const CompiledPreference& pref,
     }
   }
   return Status::OK();
+}
+
+std::optional<std::vector<std::pair<std::string, std::string>>>
+PreferenceColumnRefs(const CompiledPreference& pref) {
+  std::vector<std::pair<std::string, std::string>> out;
+  for (size_t i = 0; i < pref.num_leaves(); ++i) {
+    const Expr& attr = *pref.leaf(i).attr;
+    if (ContainsSubquery(attr)) return std::nullopt;
+    std::vector<const Expr*> refs;
+    CollectColumnRefs(attr, &refs);
+    for (const Expr* ref : refs) {
+      bool seen = false;
+      for (const auto& [q, c] : out) {
+        if (EqualsIgnoreCase(q, ref->qualifier) &&
+            EqualsIgnoreCase(c, ref->column)) {
+          seen = true;
+          break;
+        }
+      }
+      if (!seen) out.emplace_back(ref->qualifier, ref->column);
+    }
+  }
+  return out;
 }
 
 }  // namespace prefsql

@@ -4,6 +4,10 @@
 #pragma once
 
 #include <memory>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
 
 #include "preference/composite.h"
 #include "storage/catalog.h"
@@ -46,5 +50,13 @@ Result<PrefTermPtr> ExpandNamedPreferences(const PrefTerm& term,
 
 /// True iff the term tree contains a PREFERENCE reference.
 bool ContainsNamedPreference(const PrefTerm& term);
+
+/// Partition-compatibility metadata for the planner's pushdown pass: the
+/// deduplicated (qualifier, column) references of all leaf attribute
+/// expressions. Returns nullopt when a leaf contains a subquery — the
+/// preference is then unbindable to a join side and the BMO block must stay
+/// above the join.
+std::optional<std::vector<std::pair<std::string, std::string>>>
+PreferenceColumnRefs(const CompiledPreference& pref);
 
 }  // namespace prefsql

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <unordered_map>
 
+#include "core/bmo_parallel.h"
+
 namespace prefsql {
 
 std::string BmoQualityColumnName(QualityFn fn, size_t leaf) {
@@ -29,13 +31,15 @@ BmoOperator::BmoOperator(OperatorPtr child, const CompiledPreference* pref,
   aug_schema_ = Schema(std::move(aug_cols));
 }
 
+BmoOperator::~BmoOperator() { FlushStats(); }
+
 Status BmoOperator::Open() {
   PSQL_RETURN_IF_ERROR(child_->Open());
   rows_.clear();
   keys_.clear();
   survivors_.clear();
   pos_ = 0;
-  stats_ = BmoStats{};
+  run_stats_ = BmoRunStats{};
 
   // 1. Pull the candidate stream; compute preference keys as rows arrive.
   //    Base-table rows stay borrowed (no tuple copies between scan and BMO).
@@ -43,13 +47,13 @@ Status BmoOperator::Open() {
   while (true) {
     PSQL_ASSIGN_OR_RETURN(bool more, child_->Next(&ref));
     if (!more) break;
+    ++run_stats_.candidate_count;
     PSQL_ASSIGN_OR_RETURN(
         PrefKey key, pref_->MakeKey(child_->schema(), ref.row(), runner_));
     keys_.push_back(std::move(key));
     rows_.push_back(std::move(ref));
   }
   const size_t n = rows_.size();
-  candidate_count_ = n;
 
   // 2. GROUPING partitions (§2.2.5): BMO within each partition.
   std::vector<std::vector<size_t>> partitions;
@@ -96,40 +100,69 @@ Status BmoOperator::Open() {
     }
   }
 
-  // 4. BMO per partition, with optional BUT ONLY pre/post filtering and
-  //    progressive top-k pushdown.
-  for (const auto& part : partitions) {
-    std::vector<size_t> candidates = part;
-    if (config_.but_only != nullptr &&
-        config_.but_only_mode == ButOnlyMode::kPreFilter) {
+  // 4. BUT ONLY pre-filtering runs serially first — it goes through the
+  //    expression evaluator (subqueries, catalog), which must stay on this
+  //    thread.
+  run_stats_.partitions = partitions.size();
+  if (config_.but_only != nullptr &&
+      config_.but_only_mode == ButOnlyMode::kPreFilter) {
+    for (auto& part : partitions) {
       std::vector<size_t> filtered;
-      for (size_t i : candidates) {
+      for (size_t i : part) {
         PSQL_ASSIGN_OR_RETURN(bool pass, PassesButOnly(i));
         if (pass) filtered.push_back(i);
       }
-      candidates = std::move(filtered);
-    }
-    BmoStats part_stats;
-    std::vector<size_t> bmo =
-        config_.top_k ? ComputeBmoTopK(*pref_, keys_, candidates,
-                                       *config_.top_k, &part_stats)
-                      : ComputeBmo(*pref_, keys_, candidates, config_.bmo,
-                                   &part_stats);
-    stats_.comparisons += part_stats.comparisons;
-    stats_.passes = std::max(stats_.passes, part_stats.passes);
-    if (config_.but_only != nullptr &&
-        config_.but_only_mode == ButOnlyMode::kPostFilter) {
-      for (size_t i : bmo) {
-        PSQL_ASSIGN_OR_RETURN(bool pass, PassesButOnly(i));
-        if (pass) survivors_.push_back(i);
-      }
-    } else {
-      survivors_.insert(survivors_.end(), bmo.begin(), bmo.end());
+      part = std::move(filtered);
     }
   }
-  // Emit in candidate order (like LIMIT without ORDER BY, the particular
+
+  // 5. BMO per partition — parallel over a thread pool when configured and
+  //    worthwhile; dominance tests only touch the prebuilt keys. The
+  //    progressive top-k pushdown stays serial (truncated local skylines do
+  //    not merge exactly).
+  std::vector<size_t> maximal;
+  bool parallel = config_.threads > 1 && !config_.top_k &&
+                  n >= config_.parallel_min_rows;
+  if (parallel) {
+    ParallelBmoOptions par;
+    par.threads = config_.threads;
+    // Chunk at the same granularity that justified spinning up threads, so
+    // a partition just past the threshold still splits across the pool.
+    par.min_chunk = std::max<size_t>(1, config_.parallel_min_rows);
+    ParallelBmoStats par_stats;
+    maximal = ComputeBmoPartitionedParallel(*pref_, keys_, partitions,
+                                            config_.bmo, par, &par_stats);
+    run_stats_.bmo = par_stats.bmo;
+    run_stats_.threads_used = par_stats.threads_used;
+  } else {
+    for (const auto& part : partitions) {
+      BmoStats part_stats;
+      std::vector<size_t> bmo =
+          config_.top_k ? ComputeBmoTopK(*pref_, keys_, part, *config_.top_k,
+                                         &part_stats)
+                        : ComputeBmo(*pref_, keys_, part, config_.bmo,
+                                     &part_stats);
+      run_stats_.bmo.comparisons += part_stats.comparisons;
+      run_stats_.bmo.passes =
+          std::max(run_stats_.bmo.passes, part_stats.passes);
+      maximal.insert(maximal.end(), bmo.begin(), bmo.end());
+    }
+    std::sort(maximal.begin(), maximal.end());
+  }
+
+  // 6. BUT ONLY post-filtering (serial, evaluator-bound like the pre pass).
+  if (config_.but_only != nullptr &&
+      config_.but_only_mode == ButOnlyMode::kPostFilter) {
+    for (size_t i : maximal) {
+      PSQL_ASSIGN_OR_RETURN(bool pass, PassesButOnly(i));
+      if (pass) survivors_.push_back(i);
+    }
+  } else {
+    survivors_ = std::move(maximal);
+  }
+  // Emitted in candidate order (like LIMIT without ORDER BY, the particular
   // maximal tuples of a top-k run are unspecified, but the order is stable).
-  std::sort(survivors_.begin(), survivors_.end());
+  run_stats_.result_count = survivors_.size();
   return Status::OK();
 }
 
@@ -180,6 +213,13 @@ void BmoOperator::Close() {
   partition_of_.clear();
   min_scores_.clear();
   survivors_.clear();
+  // run_stats_ survives Close (benches, Connection::last_stats) — flush it
+  // now so early-stopping consumers still observe correct counters.
+  FlushStats();
+}
+
+void BmoOperator::FlushStats() {
+  if (config_.stats_sink != nullptr) *config_.stats_sink = run_stats_;
 }
 
 }  // namespace prefsql

@@ -33,6 +33,17 @@ namespace prefsql {
 /// ...); TOP/LEVEL/DISTANCE calls are rewritten to reference these.
 std::string BmoQualityColumnName(QualityFn fn, size_t leaf);
 
+/// Observability of one BmoOperator run, flushed into the configured sink on
+/// Close() (and from the destructor) so the numbers are correct even when a
+/// consumer stops pulling early or the drain aborts with an error.
+struct BmoRunStats {
+  BmoStats bmo;                ///< dominance-test counters
+  size_t candidate_count = 0;  ///< rows consumed from the child
+  size_t result_count = 0;     ///< maximal tuples after BUT ONLY
+  size_t partitions = 0;       ///< GROUPING partitions evaluated
+  size_t threads_used = 1;     ///< parallel pool width (1 = serial)
+};
+
 /// Configuration of one BmoOperator instance.
 struct BmoOperatorConfig {
   BmoOptions bmo;
@@ -48,12 +59,20 @@ struct BmoOperatorConfig {
   /// ordering by TOP/LEVEL/DISTANCE); otherwise candidate columns pass
   /// through as row views.
   bool emit_quality_columns = false;
+  /// Parallel partitioned execution (core/bmo_parallel.h); 0/1 = serial.
+  /// Ignored while the progressive top-k pushdown is active.
+  size_t threads = 0;
+  /// Minimum candidate rows before worker threads spin up.
+  size_t parallel_min_rows = 4096;
+  /// Stats flushed on Close()/destruction (not owned; may be nullptr).
+  BmoRunStats* stats_sink = nullptr;
 };
 
 class BmoOperator : public PhysicalOperator {
  public:
   BmoOperator(OperatorPtr child, const CompiledPreference* pref,
               BmoOperatorConfig config, SubqueryRunner* runner);
+  ~BmoOperator() override;
 
   const Schema& schema() const override {
     return config_.emit_quality_columns ? aug_schema_ : child_->schema();
@@ -64,13 +83,17 @@ class BmoOperator : public PhysicalOperator {
 
   /// Dominance-test counters of the last Open (accumulated over
   /// partitions; survives Close for benches).
-  const BmoStats& stats() const { return stats_; }
+  const BmoStats& stats() const { return run_stats_.bmo; }
   /// Candidate rows consumed from the child by the last Open.
-  size_t candidate_count() const { return candidate_count_; }
+  size_t candidate_count() const { return run_stats_.candidate_count; }
+  /// Full run counters of the last Open (survive Close).
+  const BmoRunStats& run_stats() const { return run_stats_; }
 
  private:
   Row BuildAugmentedRow(size_t i) const;
   Result<bool> PassesButOnly(size_t i);
+  /// Copies the run counters into the configured sink (if any).
+  void FlushStats();
 
   OperatorPtr child_;
   const CompiledPreference* pref_;
@@ -85,8 +108,7 @@ class BmoOperator : public PhysicalOperator {
   std::vector<std::vector<double>> min_scores_;  // per partition per leaf
   std::vector<size_t> survivors_;
   size_t pos_ = 0;
-  size_t candidate_count_ = 0;
-  BmoStats stats_;
+  BmoRunStats run_stats_;
 };
 
 }  // namespace prefsql

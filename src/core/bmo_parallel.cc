@@ -1,0 +1,129 @@
+#include "core/bmo_parallel.h"
+
+#include <algorithm>
+
+#include "util/thread_pool.h"
+
+namespace prefsql {
+namespace {
+
+/// One leaf skyline task: a slice of one partition.
+struct ChunkTask {
+  size_t partition = 0;
+  std::vector<size_t> candidates;
+  std::vector<size_t> survivors;  // filled by the worker
+  BmoStats stats;                 // filled by the worker
+};
+
+std::vector<size_t> SerialPerPartition(
+    const CompiledPreference& pref, const std::vector<PrefKey>& keys,
+    const std::vector<std::vector<size_t>>& partitions,
+    const BmoOptions& options, ParallelBmoStats* stats) {
+  std::vector<size_t> out;
+  for (const auto& part : partitions) {
+    BmoStats part_stats;
+    std::vector<size_t> bmo = ComputeBmo(pref, keys, part, options,
+                                         &part_stats);
+    out.insert(out.end(), bmo.begin(), bmo.end());
+    if (stats != nullptr) {
+      stats->bmo.comparisons += part_stats.comparisons;
+      stats->bmo.passes = std::max(stats->bmo.passes, part_stats.passes);
+      ++stats->chunk_tasks;
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace
+
+std::vector<size_t> ComputeBmoPartitionedParallel(
+    const CompiledPreference& pref, const std::vector<PrefKey>& keys,
+    const std::vector<std::vector<size_t>>& partitions,
+    const BmoOptions& options, const ParallelBmoOptions& par,
+    ParallelBmoStats* stats) {
+  if (stats != nullptr) *stats = ParallelBmoStats{};
+  if (par.threads <= 1) {
+    return SerialPerPartition(pref, keys, partitions, options, stats);
+  }
+
+  // Slice every partition into at most `threads` chunks of at least
+  // `min_chunk` rows (one chunk = the serial case for that partition).
+  const size_t min_chunk = std::max<size_t>(1, par.min_chunk);
+  std::vector<ChunkTask> tasks;
+  std::vector<size_t> chunks_of(partitions.size(), 0);
+  for (size_t p = 0; p < partitions.size(); ++p) {
+    const auto& part = partitions[p];
+    size_t n_chunks = std::min(par.threads,
+                               std::max<size_t>(1, part.size() / min_chunk));
+    chunks_of[p] = n_chunks;
+    size_t base = part.size() / n_chunks;
+    size_t extra = part.size() % n_chunks;
+    size_t offset = 0;
+    for (size_t c = 0; c < n_chunks; ++c) {
+      size_t len = base + (c < extra ? 1 : 0);
+      ChunkTask task;
+      task.partition = p;
+      task.candidates.assign(part.begin() + offset,
+                             part.begin() + offset + len);
+      offset += len;
+      tasks.push_back(std::move(task));
+    }
+  }
+
+  ThreadPool pool(std::min(par.threads, std::max<size_t>(1, tasks.size())));
+  for (ChunkTask& task : tasks) {
+    pool.Submit([&pref, &keys, &options, &task] {
+      task.survivors =
+          ComputeBmo(pref, keys, task.candidates, options, &task.stats);
+    });
+  }
+  pool.Wait();
+
+  // Merge: per partition, the union of local skylines goes through one
+  // final dominance pass (a no-op concatenation for single-chunk
+  // partitions). Merge passes for different partitions run concurrently.
+  std::vector<std::vector<size_t>> merged(partitions.size());
+  std::vector<BmoStats> merge_stats(partitions.size());
+  std::vector<std::vector<size_t>> merge_input(partitions.size());
+  for (ChunkTask& task : tasks) {
+    auto& in = merge_input[task.partition];
+    in.insert(in.end(), task.survivors.begin(), task.survivors.end());
+  }
+  for (size_t p = 0; p < partitions.size(); ++p) {
+    if (chunks_of[p] <= 1) {
+      merged[p] = std::move(merge_input[p]);
+      continue;
+    }
+    pool.Submit([&pref, &keys, &options, &merged, &merge_stats, &merge_input,
+                 p] {
+      merged[p] = ComputeBmo(pref, keys, merge_input[p], options,
+                             &merge_stats[p]);
+    });
+  }
+  pool.Wait();
+
+  std::vector<size_t> out;
+  for (size_t p = 0; p < partitions.size(); ++p) {
+    out.insert(out.end(), merged[p].begin(), merged[p].end());
+  }
+  std::sort(out.begin(), out.end());
+
+  if (stats != nullptr) {
+    stats->threads_used = pool.thread_count();
+    stats->chunk_tasks = tasks.size();
+    for (const ChunkTask& task : tasks) {
+      stats->bmo.comparisons += task.stats.comparisons;
+      stats->bmo.passes = std::max(stats->bmo.passes, task.stats.passes);
+    }
+    for (size_t p = 0; p < partitions.size(); ++p) {
+      if (chunks_of[p] <= 1) continue;
+      stats->merge_candidates += merge_input[p].size();
+      stats->bmo.comparisons += merge_stats[p].comparisons;
+      stats->bmo.passes = std::max(stats->bmo.passes, merge_stats[p].passes);
+    }
+  }
+  return out;
+}
+
+}  // namespace prefsql

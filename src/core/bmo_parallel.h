@@ -1,0 +1,57 @@
+// Parallel partitioned BMO: runs the skyline of core/bmo.h concurrently on
+// a small thread pool.
+//
+// Partitioning happens at two levels:
+//   1. GROUPING partitions are independent by definition (§2.2.5) — each is
+//      a separate skyline task.
+//   2. A large partition is block-partitioned into chunks; every chunk's
+//      local skyline runs in parallel, then the per-partition survivors are
+//      merged with one final dominance pass. The merge is exact because
+//      dominance is a strict partial order: any tuple dominated in the full
+//      partition is dominated by some *locally maximal* tuple (follow the
+//      dominance chain inside the dominator's chunk), so it cannot survive
+//      the final pass over the union of local skylines.
+//
+// Key extraction and dominance tests are pure functions of the prebuilt
+// PrefKeys — no evaluator or catalog state crosses a thread boundary. The
+// progressive top-k variant stays serial (truncated local skylines do not
+// merge exactly); the query layer bypasses parallelism when LIMIT pushdown
+// is active.
+
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/bmo.h"
+
+namespace prefsql {
+
+/// Tuning of the parallel partitioned BMO.
+struct ParallelBmoOptions {
+  /// Worker threads; <= 1 falls back to the serial per-partition loop.
+  size_t threads = 0;
+  /// Target rows per block-partition chunk; chunks never exceed `threads`
+  /// per partition.
+  size_t min_chunk = 2048;
+};
+
+/// Observability of one parallel run.
+struct ParallelBmoStats {
+  BmoStats bmo;                ///< summed over all chunk and merge tasks
+  size_t chunk_tasks = 0;      ///< leaf skyline tasks executed
+  size_t merge_candidates = 0; ///< rows entering final dominance passes
+  size_t threads_used = 1;     ///< pool width actually spun up
+};
+
+/// Computes the per-partition maximal tuples of `partitions` (indices into
+/// `keys`) and returns their union, ascending. Equivalent to running
+/// ComputeBmo per partition and concatenating; with `par.threads > 1` the
+/// work is spread over a thread pool as described above.
+std::vector<size_t> ComputeBmoPartitionedParallel(
+    const CompiledPreference& pref, const std::vector<PrefKey>& keys,
+    const std::vector<std::vector<size_t>>& partitions,
+    const BmoOptions& options, const ParallelBmoOptions& par,
+    ParallelBmoStats* stats = nullptr);
+
+}  // namespace prefsql

@@ -1,9 +1,9 @@
 #include "core/connection.h"
 
-#include "core/preference_query.h"
 #include "core/rewriter.h"
 #include "sql/parser.h"
 #include "sql/printer.h"
+#include "util/string_util.h"
 
 namespace prefsql {
 
@@ -38,6 +38,9 @@ Result<ResultTable> Connection::ExecuteScript(const std::string& sql) {
 
 Result<ResultTable> Connection::ExecuteStatement(const Statement& stmt) {
   last_stats_ = PreferenceQueryStats{};
+  if (stmt.kind == StatementKind::kSet) {
+    return ExecuteSet(stmt);
+  }
   if (stmt.kind == StatementKind::kSelect &&
       stmt.select->IsPreferenceQuery()) {
     last_stats_.was_preference_query = true;
@@ -60,6 +63,136 @@ Result<ResultTable> Connection::ExecuteStatement(const Statement& stmt) {
   // Everything else passes through to the database system (§3.1: "without
   // causing any noticeable overhead").
   return db_.ExecuteStatement(stmt);
+}
+
+namespace {
+
+// Interprets a SET value as a non-negative integer.
+Result<size_t> SetValueAsSize(const Value& v, const std::string& knob) {
+  if (v.type() == ValueType::kInt && v.AsInt() >= 0) {
+    return static_cast<size_t>(v.AsInt());
+  }
+  return Status::InvalidArgument("SET " + knob +
+                                 " expects a non-negative integer");
+}
+
+// Interprets a SET value as a boolean (on/off/true/false/1/0).
+Result<bool> SetValueAsBool(const Value& v, const std::string& knob) {
+  if (v.type() == ValueType::kBool) return v.AsBool();
+  if (v.type() == ValueType::kInt) return v.AsInt() != 0;
+  if (v.type() == ValueType::kText) {
+    const std::string t = ToLower(v.AsText());
+    if (t == "on" || t == "true" || t == "1") return true;
+    if (t == "off" || t == "false" || t == "0") return false;
+  }
+  return Status::InvalidArgument("SET " + knob + " expects on or off");
+}
+
+}  // namespace
+
+Result<ResultTable> Connection::ExecuteSet(const Statement& stmt) {
+  const std::string knob = ToLower(stmt.name);
+  const Value& v = stmt.set_value;
+  const ConnectionOptions defaults;
+  const bool reset = v.type() == ValueType::kNull ||
+                     (v.type() == ValueType::kText &&
+                      ToLower(v.AsText()) == "default");
+  if (knob == "bmo_threads") {
+    if (reset) {
+      options_.bmo_threads = defaults.bmo_threads;
+    } else {
+      PSQL_ASSIGN_OR_RETURN(options_.bmo_threads, SetValueAsSize(v, knob));
+    }
+  } else if (knob == "parallel_min_rows") {
+    if (reset) {
+      options_.parallel_min_rows = defaults.parallel_min_rows;
+    } else {
+      PSQL_ASSIGN_OR_RETURN(options_.parallel_min_rows,
+                            SetValueAsSize(v, knob));
+    }
+  } else if (knob == "bnl_window") {
+    if (reset) {
+      options_.bnl_window = defaults.bnl_window;
+    } else {
+      PSQL_ASSIGN_OR_RETURN(options_.bnl_window, SetValueAsSize(v, knob));
+    }
+  } else if (knob == "preference_pushdown") {
+    if (reset) {
+      options_.preference_pushdown = defaults.preference_pushdown;
+    } else {
+      PSQL_ASSIGN_OR_RETURN(options_.preference_pushdown,
+                            SetValueAsBool(v, knob));
+    }
+  } else if (knob == "keep_aux_views") {
+    if (reset) {
+      options_.keep_aux_views = defaults.keep_aux_views;
+    } else {
+      PSQL_ASSIGN_OR_RETURN(options_.keep_aux_views, SetValueAsBool(v, knob));
+    }
+  } else if (knob == "evaluation_mode") {
+    if (reset) {
+      options_.mode = defaults.mode;
+    } else if (v.type() == ValueType::kText) {
+      const std::string m = ToLower(v.AsText());
+      if (m == "rewrite") {
+        options_.mode = EvaluationMode::kRewrite;
+      } else if (m == "bnl") {
+        options_.mode = EvaluationMode::kBlockNestedLoop;
+      } else if (m == "naive") {
+        options_.mode = EvaluationMode::kNaiveNestedLoop;
+      } else if (m == "sfs") {
+        options_.mode = EvaluationMode::kSortFilterSkyline;
+      } else {
+        return Status::InvalidArgument(
+            "SET evaluation_mode expects rewrite, bnl, naive or sfs");
+      }
+    } else {
+      return Status::InvalidArgument(
+          "SET evaluation_mode expects rewrite, bnl, naive or sfs");
+    }
+  } else if (knob == "but_only_mode") {
+    const std::string m =
+        v.type() == ValueType::kText ? ToLower(v.AsText()) : "";
+    if (reset) {
+      options_.but_only_mode = defaults.but_only_mode;
+    } else if (m == "prefilter") {
+      options_.but_only_mode = ButOnlyMode::kPreFilter;
+    } else if (m == "postfilter") {
+      options_.but_only_mode = ButOnlyMode::kPostFilter;
+    } else {
+      return Status::InvalidArgument(
+          "SET but_only_mode expects prefilter or postfilter");
+    }
+  } else {
+    return Status::InvalidArgument(
+        "unknown setting '" + stmt.name +
+        "' (known: evaluation_mode, bmo_threads, parallel_min_rows, "
+        "preference_pushdown, bnl_window, but_only_mode, keep_aux_views)");
+  }
+
+  // Echo the effective value so scripts/shell users see what stuck.
+  std::string effective;
+  if (knob == "bmo_threads") {
+    effective = std::to_string(options_.bmo_threads);
+  } else if (knob == "parallel_min_rows") {
+    effective = std::to_string(options_.parallel_min_rows);
+  } else if (knob == "bnl_window") {
+    effective = std::to_string(options_.bnl_window);
+  } else if (knob == "preference_pushdown") {
+    effective = options_.preference_pushdown ? "on" : "off";
+  } else if (knob == "keep_aux_views") {
+    effective = options_.keep_aux_views ? "on" : "off";
+  } else if (knob == "evaluation_mode") {
+    effective = EvaluationModeToString(options_.mode);
+  } else if (knob == "but_only_mode") {
+    effective = options_.but_only_mode == ButOnlyMode::kPreFilter
+                    ? "prefilter"
+                    : "postfilter";
+  }
+  Schema schema = Schema::FromNames({"setting", "value"});
+  std::vector<Row> rows;
+  rows.push_back({Value::Text(knob), Value::Text(effective)});
+  return ResultTable(std::move(schema), std::move(rows));
 }
 
 Result<std::shared_ptr<SelectStmt>> Connection::ExpandSelect(
@@ -85,6 +218,23 @@ Result<ResultTable> Connection::ExecuteExplain(const Statement& stmt) {
   }
   PSQL_ASSIGN_OR_RETURN(auto expanded, ExpandSelect(*stmt.select));
   PSQL_ASSIGN_OR_RETURN(auto analyzed, AnalyzePreferenceQuery(*expanded));
+  if (options_.mode != EvaluationMode::kRewrite) {
+    // Direct path: describe the physical decisions (pushdown placement,
+    // skyline algorithm, parallelism) by compiling the plan without
+    // draining it.
+    DirectEvalOptions direct = DirectOptions();
+    PSQL_ASSIGN_OR_RETURN(
+        PreferencePlan plan,
+        BuildPreferencePlan(db_, analyzed, direct, /*count_stats=*/false));
+    add("-- direct evaluation (mode=" +
+        std::string(EvaluationModeToString(options_.mode)) +
+        ", algorithm=" +
+        std::string(BmoAlgorithmToString(direct.bmo.algorithm)) +
+        ", bmo_threads=" + std::to_string(direct.threads) + ")");
+    add("-- " + plan.pushdown_detail);
+    add(SelectToSql(*expanded));
+    return ResultTable(std::move(schema), std::move(lines));
+  }
   PSQL_ASSIGN_OR_RETURN(auto base_columns, ProbeBaseColumns(*expanded));
   auto rewritten = RewritePreferenceQuery(
       analyzed, base_columns, options_.but_only_mode, "Aux");
@@ -144,17 +294,13 @@ Result<ResultTable> Connection::ExecuteViaRewrite(const SelectStmt& select) {
   return result;
 }
 
-Result<ResultTable> Connection::ExecutePreferenceSelect(
-    const SelectStmt& select) {
-  if (options_.mode == EvaluationMode::kRewrite) {
-    auto result = ExecuteViaRewrite(select);
-    if (result.ok() || !result.status().IsNotImplemented()) return result;
-    // Rewriter refused (e.g. non-weak-order EXPLICIT): fall back to BNL.
-    last_stats_.rewrite_fallback = true;
-  }
+DirectEvalOptions Connection::DirectOptions() const {
   DirectEvalOptions direct;
   direct.but_only_mode = options_.but_only_mode;
   direct.bmo.bnl_window = options_.bnl_window;
+  direct.threads = options_.bmo_threads;
+  direct.parallel_min_rows = options_.parallel_min_rows;
+  direct.pushdown = options_.preference_pushdown;
   switch (options_.mode) {
     case EvaluationMode::kNaiveNestedLoop:
       direct.bmo.algorithm = BmoAlgorithm::kNaiveNestedLoop;
@@ -167,14 +313,34 @@ Result<ResultTable> Connection::ExecutePreferenceSelect(
       direct.bmo.algorithm = BmoAlgorithm::kBlockNestedLoop;
       break;
   }
+  return direct;
+}
+
+Result<ResultTable> Connection::ExecutePreferenceSelect(
+    const SelectStmt& select) {
+  if (options_.mode == EvaluationMode::kRewrite) {
+    auto result = ExecuteViaRewrite(select);
+    if (result.ok() || !result.status().IsNotImplemented()) return result;
+    // Rewriter refused (e.g. non-weak-order EXPLICIT): fall back to BNL.
+    last_stats_.rewrite_fallback = true;
+  }
   PSQL_ASSIGN_OR_RETURN(auto analyzed, AnalyzePreferenceQuery(select));
   DirectEvalStats direct_stats;
-  auto result =
-      ExecutePreferenceQueryDirect(db_, analyzed, direct, &direct_stats);
+  auto result = ExecutePreferenceQueryDirect(db_, analyzed, DirectOptions(),
+                                             &direct_stats);
+  // The BMO operators flush their counters on Close, so the stats are
+  // meaningful even when the drain failed partway.
+  last_stats_.candidate_count = direct_stats.candidate_count;
+  last_stats_.bmo_comparisons = direct_stats.bmo.comparisons;
+  last_stats_.bmo_partitions = direct_stats.partitions;
+  last_stats_.bmo_threads_used = direct_stats.threads_used;
+  last_stats_.used_pushdown = direct_stats.used_pushdown;
+  last_stats_.pushdown_detail = direct_stats.pushdown_detail;
+  last_stats_.prefilter_candidate_count =
+      direct_stats.prefilter.candidate_count;
+  last_stats_.prefilter_result_count = direct_stats.prefilter.result_count;
   if (result.ok()) {
     last_stats_.result_count = result->num_rows();
-    last_stats_.candidate_count = direct_stats.candidate_count;
-    last_stats_.bmo_comparisons = direct_stats.bmo.comparisons;
   }
   return result;
 }

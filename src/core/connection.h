@@ -21,6 +21,7 @@
 #include <string>
 
 #include "core/bmo.h"
+#include "core/preference_query.h"
 #include "core/quality.h"
 #include "engine/database.h"
 #include "types/result_table.h"
@@ -44,7 +45,9 @@ enum class EvaluationMode {
 
 const char* EvaluationModeToString(EvaluationMode m);
 
-/// Per-connection behaviour switches.
+/// Per-connection behaviour switches. All of these are also reachable from
+/// SQL via `SET <knob> = <value>` (e.g. `SET bmo_threads = 4`,
+/// `SET preference_pushdown = off`, `SET evaluation_mode = sfs`).
 struct ConnectionOptions {
   EvaluationMode mode = EvaluationMode::kRewrite;
   ButOnlyMode but_only_mode = ButOnlyMode::kPostFilter;
@@ -52,6 +55,13 @@ struct ConnectionOptions {
   size_t bnl_window = 0;
   /// Keep the generated Aux views after a rewritten query (debugging).
   bool keep_aux_views = false;
+  /// Worker threads of the parallel partitioned BMO (direct path);
+  /// 0/1 = serial.
+  size_t bmo_threads = 0;
+  /// Minimum candidate rows before BMO worker threads spin up.
+  size_t parallel_min_rows = 4096;
+  /// Algebraic preference pushdown below joins (direct path).
+  bool preference_pushdown = true;
 };
 
 /// A Preference SQL connection over an embedded in-memory database.
@@ -86,7 +96,9 @@ class Connection {
   ConnectionOptions& options() { return options_; }
   const ConnectionOptions& options() const { return options_; }
 
-  /// Statistics of the last executed preference query.
+  /// Statistics of the last executed preference query. The direct-path
+  /// counters are valid even when the query failed partway (the BMO
+  /// operators flush their stats on Close).
   struct PreferenceQueryStats {
     bool was_preference_query = false;
     bool used_rewrite = false;
@@ -94,6 +106,12 @@ class Connection {
     size_t candidate_count = 0;     // rows after WHERE (direct path only)
     size_t result_count = 0;
     size_t bmo_comparisons = 0;     // dominance tests (direct path only)
+    size_t bmo_partitions = 0;      // GROUPING partitions (direct path)
+    size_t bmo_threads_used = 1;    // parallel pool width (1 = serial)
+    bool used_pushdown = false;     // BMO prefilter pushed below the join
+    std::string pushdown_detail;    // placement / rejection reason
+    size_t prefilter_candidate_count = 0;  // rows into the pushed prefilter
+    size_t prefilter_result_count = 0;     // rows surviving the prefilter
   };
   const PreferenceQueryStats& last_stats() const { return last_stats_; }
 
@@ -101,6 +119,10 @@ class Connection {
   Result<ResultTable> ExecutePreferenceSelect(const SelectStmt& select);
   Result<ResultTable> ExecuteViaRewrite(const SelectStmt& select);
   Result<ResultTable> ExecuteExplain(const Statement& stmt);
+  /// SET <knob> = <value>: run-time access to ConnectionOptions.
+  Result<ResultTable> ExecuteSet(const Statement& stmt);
+  /// The direct-path options the current ConnectionOptions imply.
+  DirectEvalOptions DirectOptions() const;
 
   /// Returns `select` with stored PREFERENCE references expanded (clones
   /// only when needed).

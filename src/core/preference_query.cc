@@ -1,27 +1,83 @@
 #include "core/preference_query.h"
 
+#include <algorithm>
 #include <memory>
 #include <utility>
 #include <vector>
 
-#include "core/bmo_operator.h"
 #include "engine/planner.h"
 #include "sql/printer.h"
 #include "util/string_util.h"
 
 namespace prefsql {
 
-Result<ResultTable> ExecutePreferenceQueryDirect(
+Result<PreferencePlan> BuildPreferencePlan(
     Database& db, const AnalyzedPreferenceQuery& analyzed,
-    const DirectEvalOptions& options, DirectEvalStats* stats) {
+    const DirectEvalOptions& options, bool count_stats) {
   const SelectStmt& q = *analyzed.query;
   const CompiledPreference& pref = analyzed.preference;
   Executor& executor = db.executor();
   Planner planner(&executor);
 
+  PreferencePlan plan;
+  plan.bmo_stats = std::make_unique<BmoRunStats>();
+  plan.prefilter_stats = std::make_unique<BmoRunStats>();
+
+  // Quality-function usage decides both the augmented output schema and the
+  // pushdown eligibility: LEVEL/DISTANCE offsets are relative to the
+  // *observed* per-partition minima, which a pre-filter below the join
+  // would change.
+  bool quality_projected = false;
+  for (const auto& item : q.items) {
+    quality_projected |= item.expr->kind != ExprKind::kStar &&
+                         ContainsQualityCall(*item.expr);
+  }
+  for (const auto& oi : q.order_by) {
+    quality_projected |= ContainsQualityCall(*oi.expr);
+  }
+
   // 1. Candidate pipeline: FROM ... WHERE ... with qualifiers preserved,
-  //    streamed (index scan when the WHERE has a usable access path).
-  PSQL_ASSIGN_OR_RETURN(OperatorPtr candidates, planner.PlanCandidates(q, nullptr));
+  //    streamed (index scan when the WHERE has a usable access path). When
+  //    sound, the algebraic pushdown places a semi-skyline pre-filter below
+  //    the join (partitioned by join keys + pref-side GROUPING columns);
+  //    the full BMO block on top keeps the semantics exact.
+  PushdownReport report;
+  report.detail = "no pushdown: not attempted";
+  OperatorPtr candidates;
+  std::optional<PreferencePushdown> pd;
+  if (options.pushdown && q.but_only == nullptr && !quality_projected) {
+    auto pref_columns = PreferenceColumnRefs(pref);
+    if (pref_columns.has_value()) {
+      pd.emplace();
+      pd->pref_columns = std::move(*pref_columns);
+      pd->grouping = q.grouping;
+      pd->make_prefilter = [&](OperatorPtr input,
+                               std::vector<size_t> partition_cols) {
+        BmoOperatorConfig c;
+        c.bmo = options.bmo;
+        c.grouping_cols = std::move(partition_cols);
+        c.threads = options.threads;
+        c.parallel_min_rows = options.parallel_min_rows;
+        c.stats_sink = plan.prefilter_stats.get();
+        return OperatorPtr(std::make_unique<BmoOperator>(
+            std::move(input), &pref, std::move(c), &executor));
+      };
+    } else {
+      report.detail = "no pushdown: preference attribute uses a subquery";
+    }
+  } else if (options.pushdown) {
+    report.detail =
+        "no pushdown: BUT ONLY / quality functions depend on the full "
+        "candidate set";
+  } else {
+    report.detail = "no pushdown: disabled";
+  }
+  PSQL_ASSIGN_OR_RETURN(
+      candidates,
+      planner.PlanCandidates(q, nullptr, count_stats,
+                             pd ? &*pd : nullptr, &report));
+  plan.used_pushdown = report.pushed;
+  plan.pushdown_detail = std::move(report.detail);
   const Schema cand_schema = candidates->schema();
   PSQL_RETURN_IF_ERROR(
       ValidatePreferenceColumns(pref, cand_schema.Names()));
@@ -41,15 +97,14 @@ Result<ResultTable> ExecutePreferenceQueryDirect(
     return Expr::MakeColumn("", BmoQualityColumnName(fn, slot));
   };
 
-  ExprPtr but_only;
   if (q.but_only != nullptr) {
-    PSQL_ASSIGN_OR_RETURN(but_only,
-                          RewriteQualityCalls(*q.but_only, quality_factory));
+    PSQL_ASSIGN_OR_RETURN(
+        plan.owned_but_only,
+        RewriteQualityCalls(*q.but_only, quality_factory));
   }
 
   // 4. Final projection items with quality functions rewritten. '*' must
   //    expand to the *candidate* columns only (never the quality columns).
-  bool quality_projected = false;
   std::vector<SelectItem> items;
   for (const auto& item : q.items) {
     if (item.expr->kind == ExprKind::kStar) {
@@ -63,7 +118,6 @@ Result<ResultTable> ExecutePreferenceQueryDirect(
       }
       continue;
     }
-    quality_projected |= ContainsQualityCall(*item.expr);
     PSQL_ASSIGN_OR_RETURN(ExprPtr e,
                           RewriteQualityCalls(*item.expr, quality_factory));
     std::string alias = item.alias;
@@ -74,7 +128,6 @@ Result<ResultTable> ExecutePreferenceQueryDirect(
   }
   std::vector<OrderItem> order_by;
   for (const auto& oi : q.order_by) {
-    quality_projected |= ContainsQualityCall(*oi.expr);
     PSQL_ASSIGN_OR_RETURN(ExprPtr e,
                           RewriteQualityCalls(*oi.expr, quality_factory));
     order_by.push_back({std::move(e), oi.ascending});
@@ -86,9 +139,12 @@ Result<ResultTable> ExecutePreferenceQueryDirect(
   BmoOperatorConfig config;
   config.bmo = options.bmo;
   config.grouping_cols = std::move(grouping_cols);
-  config.but_only = but_only.get();
+  config.but_only = plan.owned_but_only.get();
   config.but_only_mode = options.but_only_mode;
   config.emit_quality_columns = quality_projected;
+  config.threads = options.threads;
+  config.parallel_min_rows = options.parallel_min_rows;
+  config.stats_sink = plan.bmo_stats.get();
   bool progressive_topk =
       q.limit.has_value() && *q.limit >= 0 && !q.offset && q.order_by.empty() &&
       q.grouping.empty() && q.but_only == nullptr && !q.distinct &&
@@ -97,17 +153,33 @@ Result<ResultTable> ExecutePreferenceQueryDirect(
 
   auto bmo = std::make_unique<BmoOperator>(std::move(candidates), &pref,
                                            std::move(config), &executor);
-  BmoOperator* bmo_observer = bmo.get();
 
   // 6. Projection tail over the streamed maximal tuples.
   PSQL_ASSIGN_OR_RETURN(
-      OperatorPtr root,
+      plan.root,
       planner.PlanTail(std::move(items), q.distinct, std::move(order_by),
                        q.limit, q.offset, std::move(bmo), nullptr));
-  auto result = DrainToTable(*root);
+  return plan;
+}
+
+Result<ResultTable> ExecutePreferenceQueryDirect(
+    Database& db, const AnalyzedPreferenceQuery& analyzed,
+    const DirectEvalOptions& options, DirectEvalStats* stats) {
+  PSQL_ASSIGN_OR_RETURN(PreferencePlan plan,
+                        BuildPreferencePlan(db, analyzed, options));
+  auto result = DrainToTable(*plan.root);
   if (stats != nullptr) {
-    stats->bmo = bmo_observer->stats();
-    stats->candidate_count = bmo_observer->candidate_count();
+    // The sinks were flushed by Close (DrainToTable closes even on error),
+    // so the counters are valid for partial runs too.
+    stats->bmo = plan.bmo_stats->bmo;
+    stats->bmo.comparisons += plan.prefilter_stats->bmo.comparisons;
+    stats->candidate_count = plan.bmo_stats->candidate_count;
+    stats->partitions = plan.bmo_stats->partitions;
+    stats->threads_used = std::max(plan.bmo_stats->threads_used,
+                                   plan.prefilter_stats->threads_used);
+    stats->used_pushdown = plan.used_pushdown;
+    stats->pushdown_detail = plan.pushdown_detail;
+    stats->prefilter = *plan.prefilter_stats;
   }
   return result;
 }

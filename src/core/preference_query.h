@@ -4,6 +4,14 @@
 // and the projection tail streams the maximal tuples out — no whole-relation
 // materialization between scan and BMO.
 //
+// Two optimizations ride on this path:
+//   * Algebraic preference pushdown (Planner::PlanCandidates): when the
+//     preference's quality columns bind to one side of an equi-join, a
+//     semi-skyline pre-filter (per join-key-group maxima) runs below the
+//     join and the full BMO on top guarantees correctness.
+//   * Parallel partitioned BMO (core/bmo_parallel.h): GROUPING partitions
+//     and block-partitioned chunks evaluated on a thread pool.
+//
 // This path implements the same BMO semantics as the §3.2 rewrite but keeps
 // everything inside the engine — it is both the fallback for preferences the
 // rewriter cannot express (non-weak-order EXPLICIT) and the baseline the
@@ -11,8 +19,12 @@
 
 #pragma once
 
+#include <memory>
+#include <string>
+
 #include "core/analyzer.h"
 #include "core/bmo.h"
+#include "core/bmo_operator.h"
 #include "core/quality.h"
 #include "engine/database.h"
 #include "types/result_table.h"
@@ -24,15 +36,50 @@ namespace prefsql {
 struct DirectEvalOptions {
   BmoOptions bmo;
   ButOnlyMode but_only_mode = ButOnlyMode::kPostFilter;
+  /// Worker threads for the parallel partitioned BMO; 0/1 = serial.
+  size_t threads = 0;
+  /// Minimum candidate rows before worker threads spin up.
+  size_t parallel_min_rows = 4096;
+  /// Attempt the algebraic preference pushdown below joins.
+  bool pushdown = true;
 };
 
 /// Observability of one direct evaluation (benches, Connection stats).
 struct DirectEvalStats {
-  BmoStats bmo;
-  size_t candidate_count = 0;  ///< rows after WHERE, before BMO
+  BmoStats bmo;                ///< dominance tests, BMO block + pre-filter
+  size_t candidate_count = 0;  ///< rows after WHERE, before the BMO block
+  size_t partitions = 0;       ///< GROUPING partitions of the BMO block
+  size_t threads_used = 1;     ///< parallel pool width (1 = serial)
+  bool used_pushdown = false;  ///< semi-skyline pre-filter below the join
+  std::string pushdown_detail; ///< placement / rejection reason
+  BmoRunStats prefilter;       ///< counters of the pushed-down pre-filter
 };
 
-/// Executes `analyzed` against `db` and returns the BMO result.
+/// A compiled direct-evaluation plan: the operator tree plus the stats
+/// sinks its BMO operators flush on Close (valid even when the drain stops
+/// early or fails).
+struct PreferencePlan {
+  std::unique_ptr<BmoRunStats> bmo_stats;        ///< BMO block counters
+  std::unique_ptr<BmoRunStats> prefilter_stats;  ///< pushdown pre-filter
+  bool used_pushdown = false;
+  std::string pushdown_detail;
+  /// BUT ONLY rewritten against the augmented schema (referenced by the
+  /// operators in `root`).
+  ExprPtr owned_but_only;
+  /// Declared after the sinks it flushes into: destroyed first.
+  OperatorPtr root;
+};
+
+/// Compiles `analyzed` into an executable plan without draining it
+/// (EXPLAIN uses this to describe the pushdown decision, with
+/// `count_stats` false so describing a plan leaves the executor's scan
+/// counters untouched).
+Result<PreferencePlan> BuildPreferencePlan(
+    Database& db, const AnalyzedPreferenceQuery& analyzed,
+    const DirectEvalOptions& options = {}, bool count_stats = true);
+
+/// Executes `analyzed` against `db` and returns the BMO result. `stats` is
+/// populated even when execution fails partway.
 Result<ResultTable> ExecutePreferenceQueryDirect(
     Database& db, const AnalyzedPreferenceQuery& analyzed,
     const DirectEvalOptions& options = {}, DirectEvalStats* stats = nullptr);

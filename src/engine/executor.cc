@@ -43,6 +43,10 @@ Result<ResultTable> Executor::ExecuteStatement(const Statement& stmt) {
       return Status::InvalidArgument(
           "EXPLAIN is handled by the Preference SQL layer "
           "(prefsql::Connection)");
+    case StatementKind::kSet:
+      return Status::InvalidArgument(
+          "SET is handled by the Preference SQL layer "
+          "(prefsql::Connection)");
     case StatementKind::kInsert:
       return ExecuteInsert(stmt);
     case StatementKind::kUpdate:

@@ -168,6 +168,61 @@ void CollectRangeConjuncts(
   }
 }
 
+// Splits a predicate into its top-level AND conjuncts.
+void FlattenConjuncts(const Expr& e, std::vector<const Expr*>* out) {
+  if (e.kind == ExprKind::kBinary && e.binary_op == BinaryOp::kAnd) {
+    FlattenConjuncts(*e.left, out);
+    FlattenConjuncts(*e.right, out);
+    return;
+  }
+  out->push_back(&e);
+}
+
+// Collects the column references of `e`; returns false when the expression
+// contains a subquery (whose correlated references are invisible here).
+bool CollectRefsNoSubquery(const Expr& e, std::vector<const Expr*>* refs) {
+  if (e.subquery != nullptr) return false;
+  if (e.kind == ExprKind::kColumnRef) {
+    refs->push_back(&e);
+    return true;
+  }
+  auto walk = [&](const ExprPtr& p) {
+    return p == nullptr || CollectRefsNoSubquery(*p, refs);
+  };
+  if (!walk(e.left) || !walk(e.right) || !walk(e.lo) || !walk(e.hi) ||
+      !walk(e.case_else)) {
+    return false;
+  }
+  for (const auto& a : e.args) {
+    if (!CollectRefsNoSubquery(*a, refs)) return false;
+  }
+  for (const auto& item : e.in_list) {
+    if (!CollectRefsNoSubquery(*item, refs)) return false;
+  }
+  for (const auto& cw : e.case_whens) {
+    if (!CollectRefsNoSubquery(*cw.when, refs) ||
+        !CollectRefsNoSubquery(*cw.then, refs)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+// True when planning the table ref would execute a subquery (planning twice
+// for a rejected pushdown attempt must stay side-effect free).
+bool RefContainsSubquery(const TableRef& tr) {
+  switch (tr.kind) {
+    case TableRef::Kind::kTable:
+      return false;
+    case TableRef::Kind::kSubquery:
+      return true;
+    case TableRef::Kind::kJoin:
+      return RefContainsSubquery(*tr.join_left) ||
+             RefContainsSubquery(*tr.join_right);
+  }
+  return true;
+}
+
 std::vector<SelectItem> CloneItems(const std::vector<SelectItem>& items) {
   std::vector<SelectItem> out;
   out.reserve(items.size());
@@ -291,9 +346,17 @@ Result<OperatorPtr> Planner::PlanSelect(const SelectStmt& select,
 
 Result<OperatorPtr> Planner::PlanCandidates(const SelectStmt& select,
                                             const EvalContext* outer,
-                                            bool count_stats) {
+                                            bool count_stats,
+                                            const PreferencePushdown* pushdown,
+                                            PushdownReport* report) {
   if (select.from.empty()) {
     return Status::InvalidArgument("preference query requires a FROM clause");
+  }
+  if (pushdown != nullptr) {
+    PSQL_ASSIGN_OR_RETURN(
+        auto pushed,
+        TryPlanPushdown(select, outer, count_stats, *pushdown, report));
+    if (pushed) return std::move(*pushed);
   }
   return PlanFromWhere(select, outer, count_stats);
 }
@@ -404,6 +467,204 @@ Result<OperatorPtr> Planner::PlanFromWhere(const SelectStmt& select,
   if (count_stats) executor_->CountScan(/*used_index=*/false);
   return OperatorPtr(std::make_unique<FilterOperator>(
       std::move(acc), select.where.get(), outer, executor_));
+}
+
+// ===========================================================================
+// Algebraic preference pushdown
+// ===========================================================================
+
+Result<std::optional<OperatorPtr>> Planner::TryPlanPushdown(
+    const SelectStmt& select, const EvalContext* outer, bool count_stats,
+    const PreferencePushdown& pushdown, PushdownReport* report) {
+  auto reject = [&](const std::string& why) -> std::optional<OperatorPtr> {
+    if (report != nullptr) {
+      report->pushed = false;
+      report->detail = "no pushdown: " + why;
+    }
+    return std::nullopt;
+  };
+  if (pushdown.make_prefilter == nullptr || pushdown.pref_columns.empty()) {
+    return reject("no bindable preference columns");
+  }
+  if (select.from.size() != 1 ||
+      select.from[0]->kind != TableRef::Kind::kJoin) {
+    return reject("FROM is not a single join");
+  }
+  const TableRef& tr = *select.from[0];
+  if (RefContainsSubquery(tr)) {
+    return reject("join side contains a subquery");
+  }
+
+  // Plan both sides (cheap: scans over tables/views only, checked above).
+  PSQL_ASSIGN_OR_RETURN(OperatorPtr left, PlanTableRef(*tr.join_left, outer));
+  PSQL_ASSIGN_OR_RETURN(OperatorPtr right,
+                        PlanTableRef(*tr.join_right, outer));
+
+  // 1. Every quality column must bind to exactly one side — and to neither
+  //    side ambiguously, or the pre-filter and the BMO on top could resolve
+  //    the same name differently.
+  bool all_left = true, all_right = true;
+  for (const auto& [q, c] : pushdown.pref_columns) {
+    bool in_left = left->schema().TryResolve(q, c).has_value();
+    bool in_right = right->schema().TryResolve(q, c).has_value();
+    if (in_left && in_right) {
+      return reject("quality column '" + c + "' binds to both join sides");
+    }
+    all_left &= in_left;
+    all_right &= in_right;
+  }
+  if (!all_left && !all_right) {
+    return reject("quality columns do not bind to a single join side");
+  }
+  const bool pref_on_left = all_left;
+  const Schema& side_schema = pref_on_left ? left->schema() : right->schema();
+  const Schema& other_schema = pref_on_left ? right->schema() : left->schema();
+
+  // 2. Join shape. Equi-join with no residual conjuncts: tuples sharing the
+  //    side's key columns have identical join fates, so a per-key-group
+  //    dominance drop is exact. A cross join makes every fate identical.
+  //    LEFT JOIN additionally requires the preference side to be preserved
+  //    (the left side), or null-padding changes the fate argument.
+  std::vector<std::pair<size_t, size_t>> keys;
+  std::vector<size_t> partition_cols;
+  const char* join_kind = "cross";
+  bool left_join = tr.join_type == TableRef::JoinType::kLeft;
+  if (tr.join_on != nullptr) {
+    std::vector<const Expr*> residual;
+    ExtractEquiKeys(*tr.join_on, left->schema(), right->schema(), &keys,
+                    &residual);
+    if (!residual.empty()) {
+      return reject("join condition has non-equi conjuncts");
+    }
+    if (keys.empty()) return reject("join condition yields no equi keys");
+    for (const auto& [l, r] : keys) {
+      partition_cols.push_back(pref_on_left ? l : r);
+    }
+    join_kind = "hash";
+  } else if (left_join) {
+    return reject("LEFT JOIN without ON");
+  }
+  if (left_join && !pref_on_left) {
+    return reject("preference side is not preserved by the LEFT JOIN");
+  }
+
+  // 3. GROUPING columns on the preference side further partition the
+  //    pre-filter (per-group maxima must survive); other-side GROUPING
+  //    columns never split same-fate side tuples.
+  for (const std::string& g : pushdown.grouping) {
+    bool in_side = side_schema.TryResolve("", g).has_value();
+    bool in_other = other_schema.TryResolve("", g).has_value();
+    if (in_side && in_other) {
+      return reject("GROUPING column '" + g + "' binds to both join sides");
+    }
+    if (!in_side && !in_other) {
+      return reject("GROUPING column '" + g + "' does not bind");
+    }
+    if (in_side) partition_cols.push_back(*side_schema.TryResolve("", g));
+  }
+  std::sort(partition_cols.begin(), partition_cols.end());
+  partition_cols.erase(
+      std::unique(partition_cols.begin(), partition_cols.end()),
+      partition_cols.end());
+
+  // 4. WHERE conjuncts must each bind wholly to one side. Pref-side
+  //    conjuncts move below the pre-filter (a dominator filtered away later
+  //    would make the drop of its victims unsound); the rest stays above
+  //    the join. A conjunct straddling both sides rules the pushdown out.
+  std::vector<const Expr*> below, above;
+  if (select.where != nullptr) {
+    std::vector<const Expr*> conjuncts;
+    FlattenConjuncts(*select.where, &conjuncts);
+    for (const Expr* conjunct : conjuncts) {
+      std::vector<const Expr*> refs;
+      if (!CollectRefsNoSubquery(*conjunct, &refs)) {
+        return reject("WHERE conjunct contains a subquery");
+      }
+      bool any_side = false, any_other = false;
+      for (const Expr* ref : refs) {
+        bool in_side =
+            side_schema.TryResolve(ref->qualifier, ref->column).has_value();
+        bool in_other =
+            other_schema.TryResolve(ref->qualifier, ref->column).has_value();
+        if (in_side && in_other) {
+          return reject("WHERE column '" + ref->column +
+                        "' binds to both join sides");
+        }
+        any_side |= in_side;
+        any_other |= in_other;
+        if (!in_side && !in_other) {
+          return reject("WHERE column '" + ref->column + "' does not bind");
+        }
+      }
+      if (any_side && any_other) {
+        return reject("WHERE conjunct straddles the join");
+      }
+      (any_side ? below : above).push_back(conjunct);
+    }
+  }
+
+  // Assemble: side scan -> [pref-side filter] -> semi-skyline pre-filter ->
+  // join -> [remaining filter]. The BMO block on top (built by the caller)
+  // re-runs the full dominance test, so the pre-filter only ever *reduces*
+  // the candidate stream.
+  auto conjunction = [](const std::vector<const Expr*>& parts) {
+    std::vector<ExprPtr> clones;
+    clones.reserve(parts.size());
+    for (const Expr* p : parts) clones.push_back(p->Clone());
+    return Expr::MakeConjunction(std::move(clones));
+  };
+  OperatorPtr side = pref_on_left ? std::move(left) : std::move(right);
+  if (!below.empty()) {
+    side = std::make_unique<FilterOperator>(std::move(side),
+                                            conjunction(below), outer,
+                                            executor_);
+  }
+  std::string detail = "pushdown: bmo prefilter below " +
+                       std::string(join_kind) + " join, side=" +
+                       (pref_on_left ? "left" : "right") + ", partition_cols=[";
+  for (size_t i = 0; i < partition_cols.size(); ++i) {
+    if (i > 0) detail += ",";
+    detail += side_schema.column(partition_cols[i]).name;
+  }
+  detail += "]";
+  if (!below.empty()) {
+    detail += ", " + std::to_string(below.size()) + " conjunct(s) below";
+  }
+  side = pushdown.make_prefilter(std::move(side), std::move(partition_cols));
+
+  OperatorPtr op;
+  if (pref_on_left) {
+    left = std::move(side);
+  } else {
+    right = std::move(side);
+  }
+  if (!keys.empty()) {
+    std::vector<size_t> lcols, rcols;
+    for (auto& [l, r] : keys) {
+      lcols.push_back(l);
+      rcols.push_back(r);
+    }
+    op = std::make_unique<HashJoinOperator>(
+        std::move(left), std::move(right), std::move(lcols), std::move(rcols),
+        std::vector<const Expr*>{}, left_join, outer, executor_);
+  } else {
+    op = std::make_unique<NestedLoopJoinOperator>(
+        std::move(left), std::move(right), nullptr, /*left_join=*/false,
+        outer, executor_);
+  }
+  if (!above.empty()) {
+    op = std::make_unique<FilterOperator>(std::move(op), conjunction(above),
+                                          outer, executor_);
+  }
+  // Mirror PlanFromWhere: a WHERE-driven scan counts once, never indexed.
+  if (count_stats && select.where != nullptr) {
+    executor_->CountScan(/*used_index=*/false);
+  }
+  if (report != nullptr) {
+    report->pushed = true;
+    report->detail = std::move(detail);
+  }
+  return std::optional<OperatorPtr>(std::move(op));
 }
 
 std::optional<std::vector<size_t>> Planner::TryIndexPositions(

@@ -10,8 +10,10 @@
 
 #pragma once
 
+#include <functional>
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "engine/evaluator.h"
@@ -22,6 +24,33 @@
 namespace prefsql {
 
 class Executor;
+
+/// Builds the preference layer's semi-skyline pre-filter over `input`,
+/// computing per-partition maximal tuples; `partition_cols` are positions in
+/// input's schema. Supplied by core (the planner stays preference-agnostic).
+using PrefilterFactory =
+    std::function<OperatorPtr(OperatorPtr input,
+                              std::vector<size_t> partition_cols)>;
+
+/// Request to push the BMO block below the query's join (algebraic
+/// preference pushdown). The planner applies it only when provably sound;
+/// see Planner::PlanCandidates.
+struct PreferencePushdown {
+  /// (qualifier, column) references of the preference's leaf attribute
+  /// expressions (the quality columns).
+  std::vector<std::pair<std::string, std::string>> pref_columns;
+  /// GROUPING attribute names of the query (bare names).
+  std::vector<std::string> grouping;
+  PrefilterFactory make_prefilter;
+};
+
+/// Outcome of a pushdown attempt (EXPLAIN, Connection::last_stats, tests).
+struct PushdownReport {
+  bool pushed = false;
+  /// Human-readable decision: the pre-filter placement when pushed, the
+  /// rejection reason otherwise.
+  std::string detail;
+};
 
 class Planner {
  public:
@@ -36,9 +65,23 @@ class Planner {
   /// Plans `FROM ... WHERE ...` of `select` with column qualifiers
   /// preserved (no projection). `count_stats` = false leaves the executor's
   /// scan counters untouched (EXISTS probes).
+  ///
+  /// With `pushdown` set, attempts the algebraic preference pushdown: when
+  /// the FROM is a single two-way join, every preference quality column
+  /// binds to exactly one join side, and each WHERE conjunct binds wholly
+  /// to one side, the pre-filter from `pushdown->make_prefilter` is placed
+  /// below the join on the preference side — partitioned by the side's
+  /// equi-join keys plus its GROUPING columns, so that every tuple it drops
+  /// is dominated by a kept tuple with the same join fate. Pref-side WHERE
+  /// conjuncts move below the pre-filter (dominators must not be filtered
+  /// away later); the remaining conjuncts stay above the join. Falls back
+  /// to the ordinary plan otherwise; `report` records the decision.
   Result<OperatorPtr> PlanCandidates(const SelectStmt& select,
                                      const EvalContext* outer,
-                                     bool count_stats = true);
+                                     bool count_stats = true,
+                                     const PreferencePushdown* pushdown =
+                                         nullptr,
+                                     PushdownReport* report = nullptr);
 
   /// Plans the projection/distinct/order/limit tail over `child`. Takes
   /// ownership of the item/order expressions (callers clone from the AST or
@@ -53,6 +96,11 @@ class Planner {
   Result<OperatorPtr> PlanTableRef(const TableRef& tr,
                                    const EvalContext* outer);
   Result<OperatorPtr> PlanJoin(const TableRef& tr, const EvalContext* outer);
+  /// The pushdown plan described at PlanCandidates, or nullopt (with the
+  /// rejection reason in `report`) when a soundness condition fails.
+  Result<std::optional<OperatorPtr>> TryPlanPushdown(
+      const SelectStmt& select, const EvalContext* outer, bool count_stats,
+      const PreferencePushdown& pushdown, PushdownReport* report);
   Result<OperatorPtr> PlanFromWhere(const SelectStmt& select,
                                     const EvalContext* outer,
                                     bool count_stats);

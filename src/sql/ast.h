@@ -253,6 +253,7 @@ enum class StatementKind {
   kDelete,
   kDrop,
   kExplain,           ///< EXPLAIN <select>: show the optimizer's translation
+  kSet,               ///< SET <knob> = <value>: connection-level tuning
 };
 
 /// Top-level statement (uniform node, like Expr).
@@ -285,6 +286,9 @@ struct Statement {
 
   // kCreatePreference
   PrefTermPtr preference;
+
+  // kSet: `name` holds the knob; bare words (on, sfs, ...) arrive as text.
+  Value set_value;
 
   // kDrop
   enum class DropKind { kTable, kView, kIndex, kPreference } drop_kind =

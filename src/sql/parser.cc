@@ -72,6 +72,7 @@ class Parser {
   Result<Statement> ParseUpdate();
   Result<Statement> ParseDelete();
   Result<Statement> ParseDrop();
+  Result<Statement> ParseSet();
   Result<std::shared_ptr<SelectStmt>> ParseSelect();
   Result<std::unique_ptr<TableRef>> ParseTableRef();
   Result<std::unique_ptr<TableRef>> ParseTableRefPrimary();
@@ -120,6 +121,7 @@ Result<Statement> Parser::ParseStatementTop() {
   if (CheckKeyword("UPDATE")) return ParseUpdate();
   if (CheckKeyword("DELETE")) return ParseDelete();
   if (CheckKeyword("DROP")) return ParseDrop();
+  if (CheckKeyword("SET")) return ParseSet();
   if (MatchKeyword("EXPLAIN")) {
     Statement st;
     st.kind = StatementKind::kExplain;
@@ -281,6 +283,46 @@ Result<Statement> Parser::ParseDrop() {
     st.if_exists = true;
   }
   PSQL_ASSIGN_OR_RETURN(st.name, ExpectIdentifier("object name"));
+  return st;
+}
+
+Result<Statement> Parser::ParseSet() {
+  // SET <knob> = <value>; the value may be a literal or a bare word
+  // (on/off/sfs/...), which arrives as text.
+  PSQL_RETURN_IF_ERROR(ExpectKeyword("SET"));
+  Statement st;
+  st.kind = StatementKind::kSet;
+  PSQL_ASSIGN_OR_RETURN(st.name, ExpectIdentifier("setting name"));
+  PSQL_RETURN_IF_ERROR(Expect(TokenType::kEq, "'='"));
+  const Token& tok = Peek();
+  switch (tok.type) {
+    case TokenType::kInteger:
+      st.set_value = Value::Int(tok.int_value);
+      break;
+    case TokenType::kFloat:
+      st.set_value = Value::Double(tok.double_value);
+      break;
+    case TokenType::kString:
+    case TokenType::kIdentifier:
+      st.set_value = Value::Text(tok.text);
+      break;
+    case TokenType::kKeyword:
+      if (tok.IsKeyword("TRUE")) {
+        st.set_value = Value::Bool(true);
+      } else if (tok.IsKeyword("FALSE")) {
+        st.set_value = Value::Bool(false);
+      } else if (tok.IsKeyword("DEFAULT")) {
+        st.set_value = Value::Null();  // Null = reset to the default
+      } else {
+        // Reserved words used as bare values (e.g. `SET x = on`) arrive as
+        // upper-cased keywords; the knob layer matches case-insensitively.
+        st.set_value = Value::Text(tok.text);
+      }
+      break;
+    default:
+      return Error("expected a SET value");
+  }
+  Advance();
   return st;
 }
 

@@ -293,6 +293,11 @@ std::string StatementToSql(const Statement& st) {
              PrefTermToSql(*st.preference);
     case StatementKind::kExplain:
       return "EXPLAIN " + SelectToSql(*st.select);
+    case StatementKind::kSet:
+      // A null value is the parsed form of `SET <knob> = DEFAULT`.
+      return "SET " + st.name + " = " +
+             (st.set_value.is_null() ? "DEFAULT"
+                                     : st.set_value.ToSqlLiteral());
     case StatementKind::kInsert: {
       std::string out = "INSERT INTO " + st.name;
       if (!st.insert_columns.empty()) {

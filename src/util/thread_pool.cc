@@ -1,0 +1,63 @@
+#include "util/thread_pool.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace prefsql {
+
+ThreadPool::ThreadPool(size_t threads) {
+  threads = std::max<size_t>(1, threads);
+  workers_.reserve(threads);
+  for (size_t i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    shutting_down_ = true;
+  }
+  task_ready_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    queue_.push_back(std::move(task));
+  }
+  task_ready_.notify_one();
+}
+
+void ThreadPool::Wait() {
+  std::unique_lock<std::mutex> lock(mu_);
+  all_done_.wait(lock, [this] { return queue_.empty() && in_flight_ == 0; });
+}
+
+void ThreadPool::WorkerLoop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (true) {
+    task_ready_.wait(lock,
+                     [this] { return shutting_down_ || !queue_.empty(); });
+    if (queue_.empty()) {
+      if (shutting_down_) return;
+      continue;
+    }
+    std::function<void()> task = std::move(queue_.front());
+    queue_.pop_front();
+    ++in_flight_;
+    lock.unlock();
+    task();
+    lock.lock();
+    --in_flight_;
+    if (queue_.empty() && in_flight_ == 0) all_done_.notify_all();
+  }
+}
+
+size_t ThreadPool::HardwareThreads() {
+  unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : static_cast<size_t>(n);
+}
+
+}  // namespace prefsql

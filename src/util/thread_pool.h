@@ -1,0 +1,57 @@
+// A small fixed-size worker pool for intra-query parallelism (parallel
+// partitioned BMO, core/bmo_parallel.h). Tasks are plain std::function
+// thunks; Submit never blocks, Wait blocks until every submitted task has
+// finished. The pool is reusable: Submit/Wait cycles can repeat until
+// destruction.
+//
+// Tasks must not throw — error propagation is by value (capture a Status
+// slot per task). Keeping the pool exception-free keeps the sanitizer
+// builds honest about what crosses thread boundaries.
+
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace prefsql {
+
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers (at least one).
+  explicit ThreadPool(size_t threads);
+
+  /// Joins all workers; pending tasks are still executed first.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task; runs on some worker thread.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until the queue is empty and no task is in flight.
+  void Wait();
+
+  size_t thread_count() const { return workers_.size(); }
+
+  /// std::thread::hardware_concurrency with a sane floor of 1.
+  static size_t HardwareThreads();
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable task_ready_;
+  std::condition_variable all_done_;
+  std::deque<std::function<void()>> queue_;
+  size_t in_flight_ = 0;
+  bool shutting_down_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace prefsql

@@ -1,0 +1,17 @@
+-- Pareto accumulation over two numeric dimensions (paper 2.2.2).
+CREATE TABLE car (id INTEGER, make TEXT, price INTEGER, mileage INTEGER, power INTEGER);
+INSERT INTO car VALUES
+  (1, 'vw',   22000, 60000, 110),
+  (2, 'vw',   15000, 90000,  90),
+  (3, 'bmw',  30000, 30000, 200),
+  (4, 'bmw',  25000, 45000, 150),
+  (5, 'opel', 12000, 120000, 75),
+  (6, 'opel', 12000, 80000,  75),
+  (7, 'audi', 28000, 20000, 170),
+  (8, 'audi', 19000, 95000, 125);
+
+SELECT id, price, mileage FROM car
+  PREFERRING LOWEST(price) AND LOWEST(mileage) ORDER BY id;
+
+SELECT id, price, power FROM car
+  PREFERRING LOWEST(price) AND HIGHEST(power) ORDER BY id;

@@ -1,0 +1,16 @@
+-- Prioritized composition (CASCADE): the first preference dominates.
+CREATE TABLE car (id INTEGER, color TEXT, price INTEGER, age INTEGER);
+INSERT INTO car VALUES
+  (1, 'white',  9000, 35),
+  (2, 'white', 14000, 40),
+  (3, 'yellow', 8000, 40),
+  (4, 'red',    7000, 42),
+  (5, 'white', 14000, 38),
+  (6, 'yellow', 6000, 45);
+
+SELECT id, color, price FROM car
+  PREFERRING color = 'white' CASCADE LOWEST(price) ORDER BY id;
+
+SELECT id, color, age FROM car
+  PREFERRING (color = 'white' ELSE color = 'yellow') AND age AROUND 40
+  ORDER BY id;

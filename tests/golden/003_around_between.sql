@@ -1,0 +1,14 @@
+-- AROUND and the preference BETWEEN (soft interval, paper 2.2.1).
+CREATE TABLE trips (id INTEGER, dest TEXT, duration INTEGER, price INTEGER);
+INSERT INTO trips VALUES
+  (1, 'rome',  10, 900),
+  (2, 'oslo',  15, 1100),
+  (3, 'crete', 14, 1300),
+  (4, 'malta', 13,  800),
+  (5, 'nice',  21,  700),
+  (6, 'york',   7,  500);
+
+SELECT id, duration FROM trips PREFERRING duration AROUND 14 ORDER BY id;
+
+SELECT id, duration, price FROM trips
+  PREFERRING duration BETWEEN 9, 14 AND LOWEST(price) ORDER BY id;

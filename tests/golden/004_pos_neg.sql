@@ -1,0 +1,18 @@
+-- POS / NEG set preferences and POS ELSE NEG chains (paper 2.2.1).
+CREATE TABLE programmers (id INTEGER, name TEXT, exp TEXT, salary INTEGER);
+INSERT INTO programmers VALUES
+  (1, 'ann',  'java',   65000),
+  (2, 'bob',  'C++',    70000),
+  (3, 'cloe', 'perl',   60000),
+  (4, 'dan',  'cobol',  55000),
+  (5, 'eve',  'python', 72000),
+  (6, 'finn', 'java',   58000);
+
+SELECT id, exp FROM programmers
+  PREFERRING exp IN ('java', 'C++') ORDER BY id;
+
+SELECT id, exp FROM programmers
+  PREFERRING exp NOT IN ('cobol') AND LOWEST(salary) ORDER BY id;
+
+SELECT id, exp FROM programmers
+  PREFERRING exp IN ('java') ELSE exp NOT IN ('cobol', 'perl') ORDER BY id;

@@ -1,0 +1,18 @@
+-- EXPLICIT better-than graphs; non-weak orders force the in-engine BMO even
+-- in rewrite mode (the rewriter refuses, BNL fallback).
+CREATE TABLE shirts (id INTEGER, color TEXT, price INTEGER);
+INSERT INTO shirts VALUES
+  (1, 'red',    20),
+  (2, 'green',  18),
+  (3, 'blue',   22),
+  (4, 'black',  19),
+  (5, 'red',    15),
+  (6, 'white',  21);
+
+SELECT id, color FROM shirts
+  PREFERRING color EXPLICIT ('red' BETTER THAN 'green',
+                             'green' BETTER THAN 'blue') ORDER BY id;
+
+SELECT id, color, price FROM shirts
+  PREFERRING color EXPLICIT ('red' BETTER THAN 'green') AND LOWEST(price)
+  ORDER BY id;

@@ -1,0 +1,17 @@
+-- GROUPING: per-partition best matches (paper 2.2.5).
+CREATE TABLE car (id INTEGER, make TEXT, price INTEGER, power INTEGER);
+INSERT INTO car VALUES
+  (1, 'vw',   22000, 110),
+  (2, 'vw',   15000,  90),
+  (3, 'bmw',  30000, 200),
+  (4, 'bmw',  25000, 150),
+  (5, 'opel', 12000,  75),
+  (6, 'opel', 14000,  90),
+  (7, 'audi', 28000, 170),
+  (8, 'audi', 19000, 125);
+
+SELECT id, make, price FROM car
+  PREFERRING LOWEST(price) GROUPING make ORDER BY id;
+
+SELECT id, make, price, power FROM car
+  PREFERRING LOWEST(price) AND HIGHEST(power) GROUPING make ORDER BY id;

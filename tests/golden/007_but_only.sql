@@ -1,0 +1,17 @@
+-- BUT ONLY quality filters over the BMO set (paper 2.2.4).
+CREATE TABLE car (id INTEGER, price INTEGER, mileage INTEGER);
+INSERT INTO car VALUES
+  (1, 20000,  60000),
+  (2, 15000,  90000),
+  (3, 30000,  30000),
+  (4, 25000,  45000),
+  (5, 12000, 120000),
+  (6, 28000,  20000);
+
+SELECT id, price, mileage FROM car
+  PREFERRING LOWEST(price) AND LOWEST(mileage)
+  BUT ONLY DISTANCE(price) <= 8000 ORDER BY id;
+
+SELECT id, price FROM car
+  PREFERRING price AROUND 21000
+  BUT ONLY DISTANCE(price) <= 1500 ORDER BY id;

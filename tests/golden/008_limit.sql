@@ -1,0 +1,22 @@
+-- LIMIT over preference queries. The bare-LIMIT case uses k >= |BMO| (which
+-- k maximal tuples a progressive top-k run picks is unspecified); the
+-- ORDER BY + LIMIT case is deterministic for any k.
+CREATE TABLE car (id INTEGER, price INTEGER, power INTEGER);
+INSERT INTO car VALUES
+  (1, 22000, 110),
+  (2, 15000,  90),
+  (3, 30000, 200),
+  (4, 25000, 150),
+  (5, 12000,  75),
+  (6, 28000, 170),
+  (7, 19000, 125),
+  (8, 16000,  95);
+
+SELECT id FROM car PREFERRING LOWEST(price) AND HIGHEST(power) LIMIT 20;
+
+SELECT id, price FROM car
+  PREFERRING LOWEST(price) AND HIGHEST(power) ORDER BY price, id LIMIT 3;
+
+SELECT id, price FROM car
+  PREFERRING LOWEST(price) AND HIGHEST(power)
+  ORDER BY price DESC, id LIMIT 2 OFFSET 1;

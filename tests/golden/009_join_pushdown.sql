@@ -1,0 +1,30 @@
+-- Preference over an equi-join whose quality columns bind to one side: the
+-- optimizer may push a semi-skyline prefilter below the join (the harness
+-- re-runs this with the pushdown disabled and diffs the output).
+CREATE TABLE car (id INTEGER, make TEXT, price INTEGER, power INTEGER);
+INSERT INTO car VALUES
+  (1, 'vw',   22000, 110),
+  (2, 'vw',   15000,  90),
+  (3, 'bmw',  30000, 200),
+  (4, 'bmw',  25000, 150),
+  (5, 'opel', 12000,  75),
+  (6, 'fiat', 11000,  70);
+CREATE TABLE dealer (did INTEGER, dmake TEXT, city TEXT, rating INTEGER);
+INSERT INTO dealer VALUES
+  (10, 'vw',   'ulm',      4),
+  (11, 'bmw',  'munich',   5),
+  (12, 'opel', 'augsburg', 3),
+  (13, 'vw',   'berlin',   2);
+
+SELECT id, city FROM car c JOIN dealer d ON c.make = d.dmake
+  PREFERRING LOWEST(price) ORDER BY id, city;
+
+SELECT id, price, city FROM car c JOIN dealer d ON c.make = d.dmake
+  WHERE rating >= 3 AND power >= 80
+  PREFERRING LOWEST(price) AND HIGHEST(power) ORDER BY id, city;
+
+SELECT id, city FROM car c LEFT JOIN dealer d ON c.make = d.dmake
+  PREFERRING LOWEST(price) ORDER BY id, city;
+
+SELECT id, make, city FROM car c JOIN dealer d ON c.make = d.dmake
+  PREFERRING LOWEST(price) GROUPING make ORDER BY id, city;

@@ -1,0 +1,20 @@
+-- Plain SQL passes through the engine untouched: joins of all shapes.
+CREATE TABLE emp (id INTEGER, name TEXT, dept INTEGER, salary INTEGER);
+CREATE TABLE dept (id INTEGER, name TEXT);
+INSERT INTO emp VALUES
+  (1, 'ann', 1, 65000),
+  (2, 'bob', 1, 70000),
+  (3, 'cloe', 2, 60000),
+  (4, 'dan', 3, 55000);
+INSERT INTO dept VALUES (1, 'eng'), (2, 'sales');
+
+SELECT e.name, d.name AS dept_name FROM emp e JOIN dept d ON e.dept = d.id
+  ORDER BY e.name;
+
+SELECT e.name, d.name AS dept_name
+  FROM emp e LEFT JOIN dept d ON e.dept = d.id ORDER BY e.name;
+
+SELECT e.name, d.name AS dept_name FROM emp e, dept d
+  WHERE e.dept = d.id AND e.salary > 60000 ORDER BY e.name, dept_name;
+
+SELECT COUNT(*) AS pairs FROM emp e CROSS JOIN dept d;

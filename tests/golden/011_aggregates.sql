@@ -1,0 +1,22 @@
+-- Plain SQL aggregation: GROUP BY / HAVING / aggregate expressions.
+CREATE TABLE sales (id INTEGER, region TEXT, amount INTEGER, year INTEGER);
+INSERT INTO sales VALUES
+  (1, 'north', 100, 2024),
+  (2, 'north', 250, 2024),
+  (3, 'south', 300, 2024),
+  (4, 'south',  50, 2025),
+  (5, 'west',  400, 2025),
+  (6, 'west',  150, 2024),
+  (7, 'north',  75, 2025);
+
+SELECT region, COUNT(*) AS n, SUM(amount) AS total, AVG(amount) AS mean
+  FROM sales GROUP BY region ORDER BY region;
+
+SELECT region, SUM(amount) AS total FROM sales
+  WHERE year = 2024 GROUP BY region HAVING SUM(amount) > 200
+  ORDER BY region;
+
+SELECT year, MIN(amount) AS lo, MAX(amount) AS hi FROM sales
+  GROUP BY year ORDER BY year;
+
+SELECT DISTINCT region FROM sales ORDER BY region;

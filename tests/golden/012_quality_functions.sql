@@ -1,0 +1,15 @@
+-- Quality functions TOP/LEVEL/DISTANCE projected alongside the BMO set
+-- (paper 2.2.4); evaluated relative to the observed per-partition optimum.
+CREATE TABLE car (id INTEGER, price INTEGER, age INTEGER);
+INSERT INTO car VALUES
+  (1, 20000, 35),
+  (2, 15000, 42),
+  (3, 30000, 38),
+  (4, 25000, 40),
+  (5, 12000, 45);
+
+SELECT id, price, LEVEL(price) FROM car
+  PREFERRING price AROUND 20000 ORDER BY id;
+
+SELECT id, age, DISTANCE(age) FROM car
+  PREFERRING age AROUND 40 BUT ONLY DISTANCE(age) <= 2 ORDER BY id;

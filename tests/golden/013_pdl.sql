@@ -1,0 +1,20 @@
+-- Preference Definition Language: stored preferences (paper 2.2) and their
+-- expansion inside larger PREFERRING terms.
+CREATE TABLE oldtimer (ident INTEGER, color TEXT, age INTEGER, price INTEGER);
+INSERT INTO oldtimer VALUES
+  (1, 'white',  35, 40000),
+  (2, 'yellow', 40, 35000),
+  (3, 'red',    41, 20000),
+  (4, 'white',  39, 45000),
+  (5, 'black',  45, 15000);
+
+CREATE PREFERENCE near40 AS age AROUND 40;
+CREATE PREFERENCE classic AS PREFERENCE near40 AND color IN ('white', 'yellow');
+
+SELECT ident, age FROM oldtimer PREFERRING PREFERENCE near40 ORDER BY ident;
+
+SELECT ident, color, age FROM oldtimer
+  PREFERRING PREFERENCE classic ORDER BY ident;
+
+SELECT ident FROM oldtimer
+  PREFERRING PREFERENCE near40 CASCADE LOWEST(price) ORDER BY ident;

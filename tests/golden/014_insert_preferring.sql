@@ -1,0 +1,18 @@
+-- INSERT ... SELECT with a PREFERRING clause (paper 2.2.5): the BMO set is
+-- materialized into a table.
+CREATE TABLE car (id INTEGER, price INTEGER, mileage INTEGER);
+INSERT INTO car VALUES
+  (1, 20000,  60000),
+  (2, 15000,  90000),
+  (3, 30000,  30000),
+  (4, 25000,  45000),
+  (5, 12000, 120000);
+CREATE TABLE best (id INTEGER, price INTEGER, mileage INTEGER);
+
+INSERT INTO best SELECT * FROM car
+  PREFERRING LOWEST(price) AND LOWEST(mileage);
+
+SELECT id, price, mileage FROM best ORDER BY id;
+
+DELETE FROM best WHERE price > 20000;
+SELECT COUNT(*) AS remaining FROM best;

@@ -1,0 +1,23 @@
+-- Hard WHERE predicates (with an index available) feeding the preference
+-- selection; range and equality access paths.
+CREATE TABLE flat (id INTEGER, city TEXT, rent INTEGER, rooms INTEGER, area INTEGER);
+INSERT INTO flat VALUES
+  (1, 'ulm',     900, 3,  80),
+  (2, 'ulm',     700, 2,  55),
+  (3, 'ulm',    1200, 4, 100),
+  (4, 'munich', 1500, 3,  75),
+  (5, 'munich', 1100, 2,  50),
+  (6, 'augsburg', 800, 3, 70),
+  (7, 'ulm',     650, 1,  35),
+  (8, 'munich', 1900, 4, 110);
+CREATE INDEX flat_city ON flat (city);
+CREATE INDEX flat_rent ON flat (rent);
+
+SELECT id, rent, area FROM flat WHERE city = 'ulm'
+  PREFERRING LOWEST(rent) AND HIGHEST(area) ORDER BY id;
+
+SELECT id, rent FROM flat WHERE rent BETWEEN 700 AND 1200
+  PREFERRING HIGHEST(area) ORDER BY id;
+
+SELECT id, city, rent FROM flat WHERE rooms >= 2 AND rent < 1600
+  PREFERRING LOWEST(rent) GROUPING city ORDER BY id;

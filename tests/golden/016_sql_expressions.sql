@@ -1,0 +1,25 @@
+-- Plain-SQL expression coverage: CASE, LIKE, IN, scalar subqueries, EXISTS.
+CREATE TABLE product (id INTEGER, name TEXT, price DOUBLE, cat TEXT);
+INSERT INTO product VALUES
+  (1, 'laptop',   999.5, 'tech'),
+  (2, 'lamp',      25.0, 'home'),
+  (3, 'label',      2.5, 'office'),
+  (4, 'lemonade',   3.25, 'food'),
+  (5, 'ladder',    45.0, 'home');
+
+SELECT name,
+       CASE WHEN price > 100 THEN 'premium'
+            WHEN price > 10 THEN 'mid' ELSE 'budget' END AS tier
+  FROM product ORDER BY name;
+
+SELECT name FROM product WHERE name LIKE 'la%' ORDER BY name;
+
+SELECT name FROM product
+  WHERE cat IN ('home', 'office') AND price < 30 ORDER BY name;
+
+SELECT name, price FROM product
+  WHERE price > (SELECT AVG(price) FROM product) ORDER BY name;
+
+SELECT p.name FROM product p
+  WHERE EXISTS (SELECT 1 FROM product q WHERE q.cat = p.cat AND q.id <> p.id)
+  ORDER BY p.name;

@@ -1,0 +1,52 @@
+// Shared random-preference generator for the parity-style property tests
+// (BMO parallel stress, planner pushdown): weak-order preferences over the
+// generated car workload's numeric columns, combined with AND / CASCADE.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/random.h"
+
+namespace prefsql {
+namespace testutil {
+
+/// A random weak-order preference over the numeric car columns: 2-4 distinct
+/// dimensions combined with AND (Pareto) or CASCADE (prioritization).
+/// `qualifier` prefixes every column ("c." for join tests).
+inline std::string RandomCarPreferenceText(Random& rng,
+                                           const std::string& qualifier = "") {
+  struct Dim {
+    const char* column;
+    int64_t lo, hi;  // plausible AROUND target range
+  };
+  std::vector<Dim> dims = {{"price", 5000, 40000},
+                           {"mileage", 0, 200000},
+                           {"power", 50, 300},
+                           {"age", 0, 30}};
+  size_t n = static_cast<size_t>(rng.Uniform(2, 4));
+  std::string text;
+  for (size_t d = 0; d < n; ++d) {
+    const Dim& dim = dims[d];
+    std::string col = qualifier + dim.column;
+    std::string atom;
+    switch (rng.Uniform(0, 2)) {
+      case 0:
+        atom = "LOWEST(" + col + ")";
+        break;
+      case 1:
+        atom = "HIGHEST(" + col + ")";
+        break;
+      default:
+        atom = col + " AROUND " + std::to_string(rng.Uniform(dim.lo, dim.hi));
+        break;
+    }
+    if (d > 0) text += rng.Bernoulli(0.3) ? " CASCADE " : " AND ";
+    text += atom;
+  }
+  return text;
+}
+
+}  // namespace testutil
+}  // namespace prefsql

@@ -1,0 +1,168 @@
+// Golden-file SQL end-to-end harness: every tests/golden/*.sql script runs
+// against a fresh Connection; the formatted results of its SELECT/EXPLAIN
+// statements are diffed against the sibling .expected file.
+//
+// Each script is additionally re-run under direct evaluation (serial),
+// direct evaluation with the parallel partitioned BMO forced on, and
+// sort-filter mode with the preference pushdown disabled — all four
+// configurations must produce byte-identical output, pinning the
+// cross-path/cross-parallelism equivalence the engine promises.
+//
+// Regenerate the .expected files with: PREFSQL_GOLDEN_REGEN=1 ctest -R
+// sql_golden (then review the diff like any other code change).
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/connection.h"
+#include "sql/parser.h"
+#include "sql/printer.h"
+
+namespace prefsql {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string GoldenDir() {
+#ifdef PREFSQL_GOLDEN_DIR
+  return PREFSQL_GOLDEN_DIR;
+#else
+  return "tests/golden";
+#endif
+}
+
+std::vector<std::string> ListScripts() {
+  std::vector<std::string> out;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(GoldenDir(), ec)) {
+    if (entry.path().extension() == ".sql") {
+      out.push_back(entry.path().stem().string());
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::string ReadFile(const fs::path& path) {
+  std::ifstream in(path);
+  std::stringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+/// One configuration the script runs under; the prelude executes before the
+/// script (the script's own SET statements still win afterwards).
+struct Variant {
+  const char* label;
+  const char* prelude;
+};
+
+constexpr Variant kVariants[] = {
+    {"rewrite (default)", ""},
+    {"direct serial", "SET evaluation_mode = bnl;"},
+    {"direct parallel",
+     "SET evaluation_mode = bnl; SET bmo_threads = 4; "
+     "SET parallel_min_rows = 1;"},
+    {"sfs, pushdown off",
+     "SET evaluation_mode = sfs; SET preference_pushdown = off;"},
+};
+
+/// Executes `script` under `variant` and renders the SELECT/EXPLAIN outputs.
+std::string RunScript(const std::string& script, const Variant& variant,
+                      bool* ok, std::string* error) {
+  *ok = false;
+  Connection conn;
+  if (variant.prelude[0] != '\0') {
+    auto prelude = conn.ExecuteScript(variant.prelude);
+    if (!prelude.ok()) {
+      *error = "prelude failed: " + prelude.status().ToString();
+      return "";
+    }
+  }
+  auto stmts = ParseScript(script);
+  if (!stmts.ok()) {
+    *error = "parse failed: " + stmts.status().ToString();
+    return "";
+  }
+  std::string out;
+  size_t query_no = 0;
+  for (const Statement& stmt : *stmts) {
+    auto result = conn.ExecuteStatement(stmt);
+    if (!result.ok()) {
+      *error = "statement failed: " + result.status().ToString() + "\n  " +
+               StatementToSql(stmt);
+      return "";
+    }
+    if (stmt.kind != StatementKind::kSelect &&
+        stmt.kind != StatementKind::kExplain) {
+      continue;
+    }
+    ++query_no;
+    out += "-- query " + std::to_string(query_no) + "\n";
+    out += result->ToString(/*max_rows=*/1000);
+    out += "\n";
+  }
+  *ok = true;
+  return out;
+}
+
+class SqlGoldenTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(SqlGoldenTest, MatchesExpectedInEveryConfiguration) {
+  const fs::path dir = GoldenDir();
+  const fs::path sql_path = dir / (GetParam() + ".sql");
+  const fs::path expected_path = dir / (GetParam() + ".expected");
+  const std::string script = ReadFile(sql_path);
+  ASSERT_FALSE(script.empty()) << "cannot read " << sql_path;
+
+  bool ok = false;
+  std::string error;
+  const std::string baseline = RunScript(script, kVariants[0], &ok, &error);
+  ASSERT_TRUE(ok) << kVariants[0].label << ": " << error;
+
+  if (std::getenv("PREFSQL_GOLDEN_REGEN") != nullptr) {
+    std::ofstream out(expected_path);
+    out << baseline;
+    ASSERT_TRUE(out.good()) << "cannot write " << expected_path;
+  } else {
+    ASSERT_TRUE(fs::exists(expected_path))
+        << expected_path << " missing — run with PREFSQL_GOLDEN_REGEN=1";
+    EXPECT_EQ(ReadFile(expected_path), baseline)
+        << "golden mismatch for " << sql_path
+        << " (regen with PREFSQL_GOLDEN_REGEN=1 and review the diff)";
+  }
+
+  // Every other configuration must reproduce the baseline byte for byte.
+  for (size_t v = 1; v < std::size(kVariants); ++v) {
+    const std::string actual = RunScript(script, kVariants[v], &ok, &error);
+    ASSERT_TRUE(ok) << kVariants[v].label << ": " << error;
+    EXPECT_EQ(baseline, actual) << "configuration '" << kVariants[v].label
+                                << "' diverges for " << sql_path;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Scripts, SqlGoldenTest,
+                         ::testing::ValuesIn(ListScripts()),
+                         [](const ::testing::TestParamInfo<std::string>& i) {
+                           std::string name = i.param;
+                           for (char& c : name) {
+                             if (!std::isalnum(static_cast<unsigned char>(c))) {
+                               c = '_';
+                             }
+                           }
+                           return name;
+                         });
+
+// The suite must never silently run empty (e.g. a bad PREFSQL_GOLDEN_DIR).
+TEST(SqlGoldenTest, ScriptsWereDiscovered) {
+  EXPECT_GE(ListScripts().size(), 12u) << "golden dir: " << GoldenDir();
+}
+
+}  // namespace
+}  // namespace prefsql
