@@ -24,12 +24,16 @@ namespace {
 
 struct Dataset {
   CompiledPreference pref;
-  std::vector<PrefKey> keys;
+  KeyStore keys;                // packed SoA keys (production path)
+  std::vector<PrefKey> aos;     // tuple-at-a-time keys (generic baseline)
   std::vector<size_t> all;
 };
 
-// d-dimensional Pareto preference over independent uniform integers.
-Dataset MakeDataset(size_t n, int dims, bool anti_correlated) {
+// `dims`-dimensional Pareto preference over independent uniform integers.
+// `with_aos` additionally builds the tuple-at-a-time PrefKey vector — only
+// the generic-recursive baseline bench reads it.
+Dataset MakeDataset(size_t n, int dims, bool anti_correlated,
+                    bool with_aos = false) {
   static const char* cols[] = {"a", "b", "c", "d", "e", "f"};
   std::string text;
   std::vector<std::string> names;
@@ -43,7 +47,9 @@ Dataset MakeDataset(size_t n, int dims, bool anti_correlated) {
   if (!pref.ok()) std::abort();
   Schema schema = Schema::FromNames(names);
   Random rng(n * 31 + static_cast<size_t>(dims));
-  Dataset ds{std::move(pref).value(), {}, {}};
+  Dataset ds{std::move(pref).value(), {}, {}, {}};
+  ds.keys.Reset(ds.pref.num_leaves());
+  ds.keys.Reserve(n);
   for (size_t i = 0; i < n; ++i) {
     Row row;
     if (anti_correlated && dims == 2) {
@@ -56,7 +62,8 @@ Dataset MakeDataset(size_t n, int dims, bool anti_correlated) {
         row.push_back(Value::Int(rng.Uniform(0, 100000)));
       }
     }
-    ds.keys.push_back(ds.pref.MakeKey(schema, row).value());
+    if (!ds.pref.AppendKey(schema, row, &ds.keys).ok()) std::abort();
+    if (with_aos) ds.aos.push_back(ds.pref.MakeKey(schema, row).value());
     ds.all.push_back(i);
   }
   return ds;
@@ -101,6 +108,22 @@ void BM_SortFilterSkyline(benchmark::State& state) {
 BENCHMARK(BM_SortFilterSkyline)
     ->Args({1000, 2})->Args({4000, 2})->Args({16000, 2})->Args({64000, 2})
     ->Args({4000, 4})->Args({64000, 4})->Unit(benchmark::kMillisecond);
+
+// LESS: SFS with the elimination-filter prepass; the EF window drops most
+// dominated tuples before the sort, so the gap to SFS widens with n.
+void BM_Less(benchmark::State& state) {
+  RunAlgorithm(state, BmoAlgorithm::kLess);
+}
+BENCHMARK(BM_Less)
+    ->Args({1000, 2})->Args({4000, 2})->Args({16000, 2})->Args({64000, 2})
+    ->Args({4000, 4})->Args({64000, 4})->Unit(benchmark::kMillisecond);
+
+void BM_LessAntiCorrelated(benchmark::State& state) {
+  RunAlgorithm(state, BmoAlgorithm::kLess, true);
+}
+BENCHMARK(BM_LessAntiCorrelated)
+    ->Args({1000, 2})->Args({4000, 2})->Args({16000, 2})
+    ->Unit(benchmark::kMillisecond);
 
 // Dimensionality sweep at fixed n: skyline growth drives all algorithms.
 void BM_BnlDimensionality(benchmark::State& state) {
@@ -166,6 +189,60 @@ void BM_ParallelBmoGrouped(benchmark::State& state) { RunParallel(state, 16); }
 BENCHMARK(BM_ParallelBmoGrouped)
     ->Args({100000, 1})->Args({100000, 4})->Args({200000, 1})
     ->Args({200000, 4})->Unit(benchmark::kMillisecond)->UseRealTime();
+
+// Packed vs generic dominance kernels: raw dominance-test throughput of the
+// compiled program over the SoA KeyStore against the recursive virtual
+// Compare over tuple-at-a-time PrefKeys (the pre-KeyStore path). Pair
+// indices are precomputed so both loops measure nothing but the tests.
+std::vector<std::pair<size_t, size_t>> RandomPairs(size_t n, size_t count) {
+  Random rng(n * 7 + 5);
+  std::vector<std::pair<size_t, size_t>> pairs;
+  pairs.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    pairs.emplace_back(
+        static_cast<size_t>(rng.Uniform(0, static_cast<int64_t>(n) - 1)),
+        static_cast<size_t>(rng.Uniform(0, static_cast<int64_t>(n) - 1)));
+  }
+  return pairs;
+}
+
+void BM_DominancePackedKernel(benchmark::State& state) {
+  size_t n = static_cast<size_t>(state.range(0));
+  int dims = static_cast<int>(state.range(1));
+  Dataset ds = MakeDataset(n, dims, false);
+  auto pairs = RandomPairs(n, 1 << 16);
+  size_t acc = 0;
+  for (auto _ : state) {
+    for (const auto& [i, j] : pairs) {
+      acc += static_cast<size_t>(ds.pref.program().Compare(ds.keys, i, j));
+    }
+    benchmark::DoNotOptimize(acc);
+  }
+  state.counters["kernel"] =
+      static_cast<double>(static_cast<int>(ds.pref.program().kernel()));
+  state.SetItemsProcessed(static_cast<int64_t>(pairs.size()) *
+                          static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_DominancePackedKernel)
+    ->Args({100000, 2})->Args({100000, 4})->Unit(benchmark::kMillisecond);
+
+void BM_DominanceGenericRecursive(benchmark::State& state) {
+  size_t n = static_cast<size_t>(state.range(0));
+  int dims = static_cast<int>(state.range(1));
+  Dataset ds = MakeDataset(n, dims, false, /*with_aos=*/true);
+  auto pairs = RandomPairs(n, 1 << 16);
+  size_t acc = 0;
+  for (auto _ : state) {
+    for (const auto& [i, j] : pairs) {
+      acc += static_cast<size_t>(ds.pref.Compare(ds.aos[i], ds.aos[j]));
+    }
+    benchmark::DoNotOptimize(acc);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(pairs.size()) *
+                          static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_DominanceGenericRecursive)
+    ->Args({100000, 2})->Args({100000, 4})->Unit(benchmark::kMillisecond);
 
 // BNL window-capacity ablation: small windows trigger multi-pass overflow.
 void BM_BnlWindowCapacity(benchmark::State& state) {

@@ -5,19 +5,25 @@
 namespace prefsql {
 namespace {
 
-std::vector<size_t> NaiveNestedLoop(const CompiledPreference& pref,
-                                    const std::vector<PrefKey>& keys,
-                                    const std::vector<size_t>& candidates,
+// Result vectors grow toward the skyline size, which is unknown upfront;
+// reserving a modest floor removes the early reallocation churn without
+// over-committing memory for small partitions.
+size_t ResultReserve(size_t n) { return std::min<size_t>(n, 256); }
+
+std::vector<size_t> NaiveNestedLoop(const DominanceProgram& prog,
+                                    const KeyStore& keys,
+                                    std::span<const size_t> candidates,
                                     BmoStats* stats) {
   // Paper §3.2: "Insert t1 into Max if there is no tuple t2 in R that is
   // better than t1" — repeated for every t1.
   std::vector<size_t> out;
+  out.reserve(ResultReserve(candidates.size()));
   for (size_t i : candidates) {
     bool dominated = false;
     for (size_t j : candidates) {
       if (i == j) continue;
       if (stats != nullptr) ++stats->comparisons;
-      if (pref.Dominates(keys[j], keys[i])) {
+      if (prog.Dominates(keys, j, i)) {
         dominated = true;
         break;
       }
@@ -27,17 +33,21 @@ std::vector<size_t> NaiveNestedLoop(const CompiledPreference& pref,
   return out;
 }
 
-std::vector<size_t> BlockNestedLoop(const CompiledPreference& pref,
-                                    const std::vector<PrefKey>& keys,
-                                    const std::vector<size_t>& candidates,
+std::vector<size_t> BlockNestedLoop(const DominanceProgram& prog,
+                                    const KeyStore& keys,
+                                    std::span<const size_t> candidates,
                                     size_t window_capacity, BmoStats* stats) {
   struct Entry {
     size_t index;
     size_t insert_pass;
   };
   std::vector<size_t> result;          // confirmed skyline members
+  result.reserve(ResultReserve(candidates.size()));
   std::vector<Entry> window;
-  std::vector<size_t> input = candidates;
+  window.reserve(window_capacity != 0
+                     ? std::min(window_capacity, candidates.size())
+                     : ResultReserve(candidates.size()));
+  std::vector<size_t> input(candidates.begin(), candidates.end());
   std::vector<size_t> overflow;
   size_t pass = 0;
 
@@ -49,7 +59,7 @@ std::vector<size_t> BlockNestedLoop(const CompiledPreference& pref,
       size_t kept = 0;
       for (size_t w = 0; w < window.size(); ++w) {
         if (stats != nullptr) ++stats->comparisons;
-        Rel rel = pref.Compare(keys[t], keys[window[w].index]);
+        Rel rel = prog.Compare(keys, t, window[w].index);
         if (rel == Rel::kWorse) {
           dominated = true;
           // Tuples after w are untouched; keep the remainder as is.
@@ -94,23 +104,24 @@ std::vector<size_t> BlockNestedLoop(const CompiledPreference& pref,
   return result;
 }
 
-std::vector<size_t> SortFilterSkyline(const CompiledPreference& pref,
-                                      const std::vector<PrefKey>& keys,
-                                      const std::vector<size_t>& candidates,
+std::vector<size_t> SortFilterSkyline(const DominanceProgram& prog,
+                                      const KeyStore& keys,
+                                      std::span<const size_t> candidates,
                                       BmoStats* stats) {
   // Presort by a linear extension of the order: afterwards no tuple can be
   // dominated by a later one, so a single forward pass with an append-only
   // result window is exact.
-  std::vector<size_t> sorted = candidates;
+  std::vector<size_t> sorted(candidates.begin(), candidates.end());
   std::stable_sort(sorted.begin(), sorted.end(), [&](size_t a, size_t b) {
-    return pref.LexLess(keys[a], keys[b]);
+    return keys.LexLess(a, b);
   });
   std::vector<size_t> result;
+  result.reserve(ResultReserve(candidates.size()));
   for (size_t t : sorted) {
     bool dominated = false;
     for (size_t r : result) {
       if (stats != nullptr) ++stats->comparisons;
-      if (pref.Dominates(keys[r], keys[t])) {
+      if (prog.Dominates(keys, r, t)) {
         dominated = true;
         break;
       }
@@ -121,23 +132,84 @@ std::vector<size_t> SortFilterSkyline(const CompiledPreference& pref,
   return result;
 }
 
+// LESS [GSG05]: before sorting, an elimination-filter (EF) window of a few
+// high-dominance tuples drops most dominated tuples in one linear scan —
+// the work the external-sort pass 0 does in the original algorithm. The EF
+// holds seen tuples with the lowest score volume (sum of leaf scores, a
+// cheap proxy for dominance power); dropping anything an EF member
+// dominates is sound because EF members are input tuples themselves. The
+// SFS sort + filter over the survivors keeps the result exact.
+std::vector<size_t> LessSkyline(const DominanceProgram& prog,
+                                const KeyStore& keys,
+                                std::span<const size_t> candidates,
+                                size_t ef_capacity, BmoStats* stats) {
+  const size_t L = keys.num_leaves();
+  auto volume = [&](size_t t) {
+    const double* s = keys.scores(t);
+    double sum = 0;
+    for (size_t i = 0; i < L; ++i) sum += s[i];
+    return sum;
+  };
+
+  struct EfEntry {
+    size_t index;
+    double volume;
+  };
+  std::vector<EfEntry> ef;
+  ef.reserve(std::max<size_t>(1, ef_capacity));
+
+  std::vector<size_t> survivors;
+  survivors.reserve(candidates.size());
+  for (size_t t : candidates) {
+    bool dominated = false;
+    for (const EfEntry& e : ef) {
+      if (stats != nullptr) ++stats->comparisons;
+      if (prog.Dominates(keys, e.index, t)) {
+        dominated = true;
+        break;
+      }
+    }
+    if (dominated) continue;
+    survivors.push_back(t);
+    // Admit t when it beats the weakest EF entry by volume (or there is
+    // room); the window self-organizes toward the most dominant tuples.
+    double v = volume(t);
+    if (ef.size() < ef_capacity) {
+      ef.push_back({t, v});
+    } else if (!ef.empty()) {
+      size_t weakest = 0;
+      for (size_t e = 1; e < ef.size(); ++e) {
+        if (ef[e].volume > ef[weakest].volume) weakest = e;
+      }
+      if (v < ef[weakest].volume) ef[weakest] = {t, v};
+    }
+  }
+
+  // The survivors go through the plain SFS sort + filter pass, which
+  // restores exactness regardless of what the EF window dropped.
+  return SortFilterSkyline(prog, keys, survivors, stats);
+}
+
 }  // namespace
 
 std::vector<size_t> ComputeBmoTopK(const CompiledPreference& pref,
-                                   const std::vector<PrefKey>& keys,
-                                   const std::vector<size_t>& candidates,
+                                   const KeyStore& keys,
+                                   std::span<const size_t> candidates,
                                    size_t k, BmoStats* stats) {
+  const DominanceProgram& prog = pref.program();
+  if (stats != nullptr) stats->kernel = prog.kernel();
   if (k == 0) return {};
-  std::vector<size_t> sorted = candidates;
+  std::vector<size_t> sorted(candidates.begin(), candidates.end());
   std::stable_sort(sorted.begin(), sorted.end(), [&](size_t a, size_t b) {
-    return pref.LexLess(keys[a], keys[b]);
+    return keys.LexLess(a, b);
   });
   std::vector<size_t> result;
+  result.reserve(std::min(k, candidates.size()));
   for (size_t t : sorted) {
     bool dominated = false;
     for (size_t r : result) {
       if (stats != nullptr) ++stats->comparisons;
-      if (pref.Dominates(keys[r], keys[t])) {
+      if (prog.Dominates(keys, r, t)) {
         dominated = true;
         break;
       }
@@ -159,22 +231,38 @@ const char* BmoAlgorithmToString(BmoAlgorithm a) {
       return "block-nested-loop";
     case BmoAlgorithm::kSortFilterSkyline:
       return "sort-filter-skyline";
+    case BmoAlgorithm::kLess:
+      return "less";
   }
   return "?";
 }
 
+Result<BmoAlgorithm> BmoAlgorithmFromString(const std::string& name) {
+  if (name == "naive") return BmoAlgorithm::kNaiveNestedLoop;
+  if (name == "bnl") return BmoAlgorithm::kBlockNestedLoop;
+  if (name == "sfs") return BmoAlgorithm::kSortFilterSkyline;
+  if (name == "less") return BmoAlgorithm::kLess;
+  return Status::InvalidArgument("unknown BMO algorithm '" + name +
+                                 "' (expected naive, bnl, sfs or less)");
+}
+
 std::vector<size_t> ComputeBmo(const CompiledPreference& pref,
-                               const std::vector<PrefKey>& keys,
-                               const std::vector<size_t>& candidates,
+                               const KeyStore& keys,
+                               std::span<const size_t> candidates,
                                const BmoOptions& options, BmoStats* stats) {
+  const DominanceProgram& prog = pref.program();
+  if (stats != nullptr) stats->kernel = prog.kernel();
   switch (options.algorithm) {
     case BmoAlgorithm::kNaiveNestedLoop:
-      return NaiveNestedLoop(pref, keys, candidates, stats);
+      return NaiveNestedLoop(prog, keys, candidates, stats);
     case BmoAlgorithm::kBlockNestedLoop:
-      return BlockNestedLoop(pref, keys, candidates, options.bnl_window,
+      return BlockNestedLoop(prog, keys, candidates, options.bnl_window,
                              stats);
     case BmoAlgorithm::kSortFilterSkyline:
-      return SortFilterSkyline(pref, keys, candidates, stats);
+      return SortFilterSkyline(prog, keys, candidates, stats);
+    case BmoAlgorithm::kLess:
+      return LessSkyline(prog, keys, candidates,
+                         std::max<size_t>(1, options.less_window), stats);
   }
   return {};
 }

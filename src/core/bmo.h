@@ -1,6 +1,6 @@
 // Best-Matches-Only (BMO) evaluation algorithms (§2.2.5, §3.2).
 //
-// Three in-engine algorithms compute the maximal elements of a set of tuples
+// Four in-engine algorithms compute the maximal elements of a set of tuples
 // under a compiled preference:
 //   * kNaiveNestedLoop — the paper's abstract selection method (§3.2):
 //     a tuple is maximal iff no other tuple is better. O(n²) always.
@@ -10,13 +10,24 @@
 //     preference order, then a single filter pass against the growing
 //     result (no eviction needed because a later tuple can never dominate
 //     an earlier one).
+//   * kLess — LESS [GSG05]: SFS with an elimination-filter window folded
+//     into the presort. A small window of high-dominance tuples (lowest
+//     score volume) drops most dominated tuples in the initial scan, so the
+//     sort and the filter pass run over a fraction of the input.
 //
-// The fourth strategy — the rewrite to standard SQL with a NOT EXISTS
+// All algorithms read keys from the packed KeyStore and test dominance
+// through the preference's compiled DominanceProgram (flat opcodes,
+// specialized kernels) — see preference/dominance_program.h. The recursive
+// CompiledPreference::Compare remains the parity oracle.
+//
+// The fifth strategy — the rewrite to standard SQL with a NOT EXISTS
 // anti-join, which the commercial product used — lives in rewriter.h.
 
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
+#include <span>
 #include <vector>
 
 #include "preference/composite.h"
@@ -29,29 +40,40 @@ enum class BmoAlgorithm {
   kNaiveNestedLoop,
   kBlockNestedLoop,
   kSortFilterSkyline,
+  kLess,
 };
 
 const char* BmoAlgorithmToString(BmoAlgorithm a);
+
+/// Parses "naive"/"bnl"/"sfs"/"less" (lower case); error otherwise.
+Result<BmoAlgorithm> BmoAlgorithmFromString(const std::string& name);
 
 /// Tuning for the BMO computation.
 struct BmoOptions {
   BmoAlgorithm algorithm = BmoAlgorithm::kBlockNestedLoop;
   /// BNL window capacity in tuples; 0 = unbounded (single pass).
   size_t bnl_window = 0;
+  /// LESS elimination-filter window capacity in tuples.
+  size_t less_window = 32;
 };
 
 /// Statistics of one BMO computation (benchmarks, tests).
 struct BmoStats {
   size_t comparisons = 0;  ///< dominance tests performed
   size_t passes = 1;       ///< BNL passes over the input
+  /// Wall time spent building the packed keys, filled by the key-building
+  /// layer (BmoOperator); the algorithms themselves never build keys.
+  uint64_t key_build_ns = 0;
+  /// Dominance kernel the preference's compiled program dispatched to.
+  DominanceKernel kernel = DominanceKernel::kGeneric;
 };
 
 /// Returns the indices (into `keys`, ascending) of all maximal tuples.
 /// `candidates` restricts the input (e.g. one GROUPING partition); pass all
 /// indices for a plain query.
 std::vector<size_t> ComputeBmo(const CompiledPreference& pref,
-                               const std::vector<PrefKey>& keys,
-                               const std::vector<size_t>& candidates,
+                               const KeyStore& keys,
+                               std::span<const size_t> candidates,
                                const BmoOptions& options = {},
                                BmoStats* stats = nullptr);
 
@@ -62,8 +84,8 @@ std::vector<size_t> ComputeBmo(const CompiledPreference& pref,
 /// (like LIMIT without ORDER BY). The query layer uses this for LIMIT
 /// pushdown in sort-filter mode.
 std::vector<size_t> ComputeBmoTopK(const CompiledPreference& pref,
-                                   const std::vector<PrefKey>& keys,
-                                   const std::vector<size_t>& candidates,
+                                   const KeyStore& keys,
+                                   std::span<const size_t> candidates,
                                    size_t k, BmoStats* stats = nullptr);
 
 }  // namespace prefsql

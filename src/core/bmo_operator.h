@@ -103,7 +103,7 @@ class BmoOperator : public PhysicalOperator {
   std::vector<std::pair<QualityFn, size_t>> quality_slots_;
 
   std::vector<RowRef> rows_;
-  std::vector<PrefKey> keys_;
+  KeyStore keys_;  ///< packed SoA keys shared by every partition / chunk
   std::vector<size_t> partition_of_;
   std::vector<std::vector<double>> min_scores_;  // per partition per leaf
   std::vector<size_t> survivors_;

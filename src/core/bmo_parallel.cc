@@ -1,22 +1,30 @@
 #include "core/bmo_parallel.h"
 
 #include <algorithm>
+#include <span>
 
 #include "util/thread_pool.h"
 
 namespace prefsql {
 namespace {
 
-/// One leaf skyline task: a slice of one partition.
+/// One leaf skyline task: a slice of one partition's index vector (viewed,
+/// not copied — the partition vectors outlive the pool).
 struct ChunkTask {
   size_t partition = 0;
-  std::vector<size_t> candidates;
+  std::span<const size_t> candidates;
   std::vector<size_t> survivors;  // filled by the worker
   BmoStats stats;                 // filled by the worker
 };
 
+void MergeStats(ParallelBmoStats* stats, const BmoStats& task_stats) {
+  stats->bmo.comparisons += task_stats.comparisons;
+  stats->bmo.passes = std::max(stats->bmo.passes, task_stats.passes);
+  stats->bmo.kernel = task_stats.kernel;
+}
+
 std::vector<size_t> SerialPerPartition(
-    const CompiledPreference& pref, const std::vector<PrefKey>& keys,
+    const CompiledPreference& pref, const KeyStore& keys,
     const std::vector<std::vector<size_t>>& partitions,
     const BmoOptions& options, ParallelBmoStats* stats) {
   std::vector<size_t> out;
@@ -26,8 +34,7 @@ std::vector<size_t> SerialPerPartition(
                                          &part_stats);
     out.insert(out.end(), bmo.begin(), bmo.end());
     if (stats != nullptr) {
-      stats->bmo.comparisons += part_stats.comparisons;
-      stats->bmo.passes = std::max(stats->bmo.passes, part_stats.passes);
+      MergeStats(stats, part_stats);
       ++stats->chunk_tasks;
     }
   }
@@ -38,7 +45,7 @@ std::vector<size_t> SerialPerPartition(
 }  // namespace
 
 std::vector<size_t> ComputeBmoPartitionedParallel(
-    const CompiledPreference& pref, const std::vector<PrefKey>& keys,
+    const CompiledPreference& pref, const KeyStore& keys,
     const std::vector<std::vector<size_t>>& partitions,
     const BmoOptions& options, const ParallelBmoOptions& par,
     ParallelBmoStats* stats) {
@@ -64,8 +71,7 @@ std::vector<size_t> ComputeBmoPartitionedParallel(
       size_t len = base + (c < extra ? 1 : 0);
       ChunkTask task;
       task.partition = p;
-      task.candidates.assign(part.begin() + offset,
-                             part.begin() + offset + len);
+      task.candidates = std::span<const size_t>(part.data() + offset, len);
       offset += len;
       tasks.push_back(std::move(task));
     }
@@ -112,15 +118,11 @@ std::vector<size_t> ComputeBmoPartitionedParallel(
   if (stats != nullptr) {
     stats->threads_used = pool.thread_count();
     stats->chunk_tasks = tasks.size();
-    for (const ChunkTask& task : tasks) {
-      stats->bmo.comparisons += task.stats.comparisons;
-      stats->bmo.passes = std::max(stats->bmo.passes, task.stats.passes);
-    }
+    for (const ChunkTask& task : tasks) MergeStats(stats, task.stats);
     for (size_t p = 0; p < partitions.size(); ++p) {
       if (chunks_of[p] <= 1) continue;
       stats->merge_candidates += merge_input[p].size();
-      stats->bmo.comparisons += merge_stats[p].comparisons;
-      stats->bmo.passes = std::max(stats->bmo.passes, merge_stats[p].passes);
+      MergeStats(stats, merge_stats[p]);
     }
   }
   return out;

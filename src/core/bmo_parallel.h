@@ -47,9 +47,10 @@ struct ParallelBmoStats {
 /// Computes the per-partition maximal tuples of `partitions` (indices into
 /// `keys`) and returns their union, ascending. Equivalent to running
 /// ComputeBmo per partition and concatenating; with `par.threads > 1` the
-/// work is spread over a thread pool as described above.
+/// work is spread over a thread pool as described above. Chunk tasks view
+/// the partition index vectors as spans — no candidate list is copied.
 std::vector<size_t> ComputeBmoPartitionedParallel(
-    const CompiledPreference& pref, const std::vector<PrefKey>& keys,
+    const CompiledPreference& pref, const KeyStore& keys,
     const std::vector<std::vector<size_t>>& partitions,
     const BmoOptions& options, const ParallelBmoOptions& par,
     ParallelBmoStats* stats = nullptr);

@@ -150,6 +150,17 @@ Result<ResultTable> Connection::ExecuteSet(const Statement& stmt) {
       return Status::InvalidArgument(
           "SET evaluation_mode expects rewrite, bnl, naive or sfs");
     }
+  } else if (knob == "bmo_algorithm") {
+    if (reset) {
+      options_.bmo_algorithm = defaults.bmo_algorithm;
+    } else if (v.type() == ValueType::kText) {
+      PSQL_ASSIGN_OR_RETURN(auto algo,
+                            BmoAlgorithmFromString(ToLower(v.AsText())));
+      options_.bmo_algorithm = algo;
+    } else {
+      return Status::InvalidArgument(
+          "SET bmo_algorithm expects naive, bnl, sfs, less or default");
+    }
   } else if (knob == "but_only_mode") {
     const std::string m =
         v.type() == ValueType::kText ? ToLower(v.AsText()) : "";
@@ -166,8 +177,9 @@ Result<ResultTable> Connection::ExecuteSet(const Statement& stmt) {
   } else {
     return Status::InvalidArgument(
         "unknown setting '" + stmt.name +
-        "' (known: evaluation_mode, bmo_threads, parallel_min_rows, "
-        "preference_pushdown, bnl_window, but_only_mode, keep_aux_views)");
+        "' (known: evaluation_mode, bmo_algorithm, bmo_threads, "
+        "parallel_min_rows, preference_pushdown, bnl_window, but_only_mode, "
+        "keep_aux_views)");
   }
 
   // Echo the effective value so scripts/shell users see what stuck.
@@ -184,6 +196,10 @@ Result<ResultTable> Connection::ExecuteSet(const Statement& stmt) {
     effective = options_.keep_aux_views ? "on" : "off";
   } else if (knob == "evaluation_mode") {
     effective = EvaluationModeToString(options_.mode);
+  } else if (knob == "bmo_algorithm") {
+    effective = options_.bmo_algorithm
+                    ? BmoAlgorithmToString(*options_.bmo_algorithm)
+                    : "default";
   } else if (knob == "but_only_mode") {
     effective = options_.but_only_mode == ButOnlyMode::kPreFilter
                     ? "prefilter"
@@ -230,6 +246,9 @@ Result<ResultTable> Connection::ExecuteExplain(const Statement& stmt) {
         std::string(EvaluationModeToString(options_.mode)) +
         ", algorithm=" +
         std::string(BmoAlgorithmToString(direct.bmo.algorithm)) +
+        ", kernel=" +
+        std::string(DominanceKernelToString(
+            analyzed.preference.program().kernel())) +
         ", bmo_threads=" + std::to_string(direct.threads) + ")");
     add("-- " + plan.pushdown_detail);
     add(SelectToSql(*expanded));
@@ -313,6 +332,9 @@ DirectEvalOptions Connection::DirectOptions() const {
       direct.bmo.algorithm = BmoAlgorithm::kBlockNestedLoop;
       break;
   }
+  // The bmo_algorithm knob overrides the algorithm the mode implies (the
+  // only way to select LESS, which has no evaluation mode of its own).
+  if (options_.bmo_algorithm) direct.bmo.algorithm = *options_.bmo_algorithm;
   return direct;
 }
 
@@ -326,7 +348,8 @@ Result<ResultTable> Connection::ExecutePreferenceSelect(
   }
   PSQL_ASSIGN_OR_RETURN(auto analyzed, AnalyzePreferenceQuery(select));
   DirectEvalStats direct_stats;
-  auto result = ExecutePreferenceQueryDirect(db_, analyzed, DirectOptions(),
+  const DirectEvalOptions direct_options = DirectOptions();
+  auto result = ExecutePreferenceQueryDirect(db_, analyzed, direct_options,
                                              &direct_stats);
   // The BMO operators flush their counters on Close, so the stats are
   // meaningful even when the drain failed partway.
@@ -334,6 +357,10 @@ Result<ResultTable> Connection::ExecutePreferenceSelect(
   last_stats_.bmo_comparisons = direct_stats.bmo.comparisons;
   last_stats_.bmo_partitions = direct_stats.partitions;
   last_stats_.bmo_threads_used = direct_stats.threads_used;
+  last_stats_.bmo_algorithm =
+      BmoAlgorithmToString(direct_options.bmo.algorithm);
+  last_stats_.bmo_kernel = DominanceKernelToString(direct_stats.bmo.kernel);
+  last_stats_.bmo_key_build_ns = direct_stats.bmo.key_build_ns;
   last_stats_.used_pushdown = direct_stats.used_pushdown;
   last_stats_.pushdown_detail = direct_stats.pushdown_detail;
   last_stats_.prefilter_candidate_count =

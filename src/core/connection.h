@@ -18,6 +18,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <string>
 
 #include "core/bmo.h"
@@ -51,6 +52,9 @@ const char* EvaluationModeToString(EvaluationMode m);
 struct ConnectionOptions {
   EvaluationMode mode = EvaluationMode::kRewrite;
   ButOnlyMode but_only_mode = ButOnlyMode::kPostFilter;
+  /// Overrides the in-engine skyline algorithm the evaluation mode implies
+  /// (`SET bmo_algorithm = naive|bnl|sfs|less`); nullopt = follow the mode.
+  std::optional<BmoAlgorithm> bmo_algorithm;
   /// BNL window capacity (tuples); 0 = unbounded.
   size_t bnl_window = 0;
   /// Keep the generated Aux views after a rewritten query (debugging).
@@ -108,6 +112,9 @@ class Connection {
     size_t bmo_comparisons = 0;     // dominance tests (direct path only)
     size_t bmo_partitions = 0;      // GROUPING partitions (direct path)
     size_t bmo_threads_used = 1;    // parallel pool width (1 = serial)
+    std::string bmo_algorithm;      // skyline algorithm run (direct path)
+    std::string bmo_kernel;         // dominance kernel (packed vs generic)
+    uint64_t bmo_key_build_ns = 0;  // packed key construction time
     bool used_pushdown = false;     // BMO prefilter pushed below the join
     std::string pushdown_detail;    // placement / rejection reason
     size_t prefilter_candidate_count = 0;  // rows into the pushed prefilter

@@ -42,6 +42,12 @@ class DualBasePreference : public BasePreference {
     return FlipRel(inner_->Compare(ia, ib));
   }
 
+  /// The flipped-and-negated comparison of a score-only inner preference is
+  /// the plain score comparison of the (already negated) dual scores.
+  bool CompareIsScoreOnly() const override {
+    return inner_->CompareIsScoreOnly();
+  }
+
   Result<ExprPtr> ScoreExpr(const Expr& attr) const override;
 
   /// LEVEL on a dual has no natural discrete reading; report the numeric

@@ -116,6 +116,7 @@ Result<CompiledPreference> CompiledPreference::Compile(const PrefTerm& term) {
   PSQL_ASSIGN_OR_RETURN(out.root_, Build(term, &out.leaves_,
                                          /*dualize=*/false));
   out.term_ = term.Clone();
+  out.program_ = DominanceProgram::Compile(*out.root_, out.leaves_);
   return out;
 }
 
@@ -130,6 +131,23 @@ Result<PrefKey> CompiledPreference::MakeKey(const Schema& schema,
     key.push_back(leaf.pref->MakeKey(v));
   }
   return key;
+}
+
+Status CompiledPreference::AppendKey(const Schema& schema, const Row& row,
+                                     KeyStore* store,
+                                     SubqueryRunner* runner) const {
+  EvalContext ctx{&schema, &row, nullptr, runner};
+  for (const auto& leaf : leaves_) {
+    auto v = Evaluate(*leaf.attr, ctx);
+    if (!v.ok()) {
+      store->RollbackRow();
+      return v.status();
+    }
+    LeafKey k = leaf.pref->MakeKey(*v);
+    store->PushLeaf(k.score, k.explicit_id);
+  }
+  store->CommitRow();
+  return Status::OK();
 }
 
 Rel CompiledPreference::CompareNode(const PrefNode& node, const PrefKey& a,

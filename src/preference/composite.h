@@ -8,6 +8,8 @@
 #include <vector>
 
 #include "engine/evaluator.h"
+#include "preference/dominance_program.h"
+#include "preference/key_store.h"
 #include "preference/preference.h"
 #include "sql/ast.h"
 #include "types/schema.h"
@@ -54,7 +56,18 @@ class CompiledPreference {
   Result<PrefKey> MakeKey(const Schema& schema, const Row& row,
                           SubqueryRunner* runner = nullptr) const;
 
-  /// Compares two tuples under the full preference tree.
+  /// Evaluates the leaf attribute expressions for `row` and appends the key
+  /// to `store` (which must be bound to num_leaves() leaves) — the packed
+  /// equivalent of MakeKey, with no per-tuple allocation.
+  Status AppendKey(const Schema& schema, const Row& row, KeyStore* store,
+                   SubqueryRunner* runner = nullptr) const;
+
+  /// The flat dominance program the BMO kernels evaluate (compiled once).
+  const DominanceProgram& program() const { return program_; }
+
+  /// Compares two tuples under the full preference tree — the recursive
+  /// reference implementation; program() is the production kernel and is
+  /// property-tested against this oracle.
   Rel Compare(const PrefKey& a, const PrefKey& b) const;
 
   /// True iff `a` strictly dominates `b`.
@@ -91,6 +104,7 @@ class CompiledPreference {
   std::vector<PrefLeaf> leaves_;
   std::unique_ptr<PrefNode> root_;
   PrefTermPtr term_;
+  DominanceProgram program_;
 };
 
 }  // namespace prefsql

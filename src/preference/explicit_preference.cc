@@ -72,15 +72,21 @@ Result<std::unique_ptr<ExplicitPreference>> ExplicitPreference::Make(
   p->max_rank_ = 0;
   for (size_t i = 0; i < n; ++i) p->max_rank_ = std::max(p->max_rank_, p->rank_[i]);
 
-  // Weak-order check: dominance must coincide with rank comparison on every
-  // mentioned pair (then and only then a single numeric column is faithful).
+  // Score-faithfulness check: the single rank column encodes the order
+  // exactly iff (a) dominance coincides with rank comparison on every
+  // mentioned pair and (b) no two distinct mentioned values share a rank.
+  // Without (b), same-rank values are incomparable under Compare but the
+  // encoding would call them equivalent — indistinguishable for a flat
+  // skyline, yet different under Pareto composition (an incomparable
+  // component voids dominance, an equivalent one does not) and in the SQL
+  // rewrite. In effect the mentioned values must form a chain.
   p->is_weak_order_ = true;
   for (size_t i = 0; i < n && p->is_weak_order_; ++i) {
     for (size_t j = 0; j < n; ++j) {
       if (i == j) continue;
       bool dominates = p->reach_[i * n + j];
       bool rank_less = p->rank_[i] < p->rank_[j];
-      if (dominates != rank_less) {
+      if (dominates != rank_less || p->rank_[i] == p->rank_[j]) {
         p->is_weak_order_ = false;
         break;
       }

@@ -34,6 +34,10 @@ class ExplicitPreference : public BasePreference {
   /// share a rank).
   Rel Compare(const LeafKey& a, const LeafKey& b) const override;
 
+  /// For a weak order the rank score is a faithful encoding (same argument
+  /// as ScoreExpr), so the packed kernels may compare scores directly.
+  bool CompareIsScoreOnly() const override { return is_weak_order_; }
+
   /// Succeeds only when the order is a weak order (then the rank is a
   /// faithful single-column encoding); otherwise NotImplemented, and the
   /// query layer falls back to in-engine BMO evaluation.
@@ -42,7 +46,11 @@ class ExplicitPreference : public BasePreference {
   bool IsCategorical() const override { return true; }
   std::optional<double> QualityOffset() const override { return 1.0; }
 
-  /// True iff incomparability is transitive, i.e. rank order == dominance.
+  /// True iff the rank score is a faithful single-column encoding: the
+  /// mentioned values form a chain (rank order == dominance AND no two
+  /// distinct values share a rank). Two same-rank values are incomparable
+  /// under Compare but equivalent under any numeric encoding — a difference
+  /// that surfaces under Pareto composition and in the SQL rewrite.
   bool IsWeakOrder() const { return is_weak_order_; }
 
   size_t num_values() const { return values_.size(); }

@@ -1,0 +1,99 @@
+// KeyStore: contiguous structure-of-arrays storage for preference keys.
+//
+// The BMO hot loop performs O(n²) dominance tests over per-tuple keys; the
+// tuple-at-a-time representation (PrefKey = std::vector<LeafKey>) costs one
+// heap allocation per tuple and scatters the scores the packed kernels want
+// to stream. The KeyStore packs all keys of a candidate set into two flat
+// arrays — `scores[n * L]` and `explicit_ids[n * L]` (L = number of
+// preference leaves, row-major) — so a tuple's key is a contiguous slice,
+// the whole set is one reservation, and the dominance kernels of
+// dominance_program.h touch nothing but sequential memory.
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "preference/preference.h"
+
+namespace prefsql {
+
+class KeyStore {
+ public:
+  KeyStore() = default;
+  explicit KeyStore(size_t num_leaves) : num_leaves_(num_leaves) {}
+
+  /// Clears the store and re-binds it to an L-leaf preference.
+  void Reset(size_t num_leaves) {
+    num_leaves_ = num_leaves;
+    size_ = 0;
+    scores_.clear();
+    explicit_ids_.clear();
+  }
+
+  /// One reservation for `rows` keys (the "zero per-tuple allocations"
+  /// contract once the estimate holds).
+  void Reserve(size_t rows) {
+    scores_.reserve(rows * num_leaves_);
+    explicit_ids_.reserve(rows * num_leaves_);
+  }
+
+  size_t size() const { return size_; }
+  size_t num_leaves() const { return num_leaves_; }
+
+  /// The packed score / id slices of one tuple (length num_leaves()).
+  const double* scores(size_t row) const {
+    return scores_.data() + row * num_leaves_;
+  }
+  const int32_t* ids(size_t row) const {
+    return explicit_ids_.data() + row * num_leaves_;
+  }
+
+  double score(size_t row, size_t leaf) const {
+    return scores_[row * num_leaves_ + leaf];
+  }
+  LeafKey key(size_t row, size_t leaf) const {
+    return LeafKey{scores_[row * num_leaves_ + leaf],
+                   explicit_ids_[row * num_leaves_ + leaf]};
+  }
+
+  /// Appends one tuple's key from its AoS form (tests, oracle cross-checks).
+  void Append(const std::vector<LeafKey>& key) {
+    for (const LeafKey& k : key) PushLeaf(k.score, k.explicit_id);
+    CommitRow();
+  }
+
+  // Streaming append protocol used by CompiledPreference::AppendKey: push
+  // num_leaves() leaves, then commit; RollbackRow discards a half-built row
+  // when a leaf expression fails to evaluate.
+  void PushLeaf(double score, int32_t explicit_id) {
+    scores_.push_back(score);
+    explicit_ids_.push_back(explicit_id);
+  }
+  void CommitRow() { ++size_; }
+  void RollbackRow() {
+    scores_.resize(size_ * num_leaves_);
+    explicit_ids_.resize(size_ * num_leaves_);
+  }
+
+  /// Pre-order lexicographic comparison by leaf scores — the same linear
+  /// extension as CompiledPreference::LexLess, over the packed layout.
+  bool LexLess(size_t a, size_t b) const {
+    const double* sa = scores(a);
+    const double* sb = scores(b);
+    for (size_t i = 0; i < num_leaves_; ++i) {
+      if (sa[i] < sb[i]) return true;
+      if (sa[i] > sb[i]) return false;
+    }
+    return false;
+  }
+
+ private:
+  size_t num_leaves_ = 0;
+  size_t size_ = 0;
+  std::vector<double> scores_;
+  std::vector<int32_t> explicit_ids_;
+};
+
+}  // namespace prefsql

@@ -74,6 +74,12 @@ class BasePreference {
     return Rel::kEquivalent;
   }
 
+  /// True when Compare is exactly the default score comparison; the packed
+  /// dominance kernels (dominance_program.h) may then compare raw scores
+  /// without virtual dispatch. Non-weak-order EXPLICIT returns false (its
+  /// Compare is DAG reachability, which scores cannot encode).
+  virtual bool CompareIsScoreOnly() const { return true; }
+
   /// Builds the SQL expression computing Score over `attr` (the level column
   /// of the rewriter's Aux view, §3.2). Returns NotImplemented when the
   /// preference cannot be expressed as one numeric column (non-weak-order

@@ -26,7 +26,7 @@ namespace {
 
 struct Dataset {
   CompiledPreference pref;
-  std::vector<PrefKey> keys;
+  KeyStore keys;
 };
 
 // d-dimensional random dataset under a random AND/CASCADE preference.
@@ -39,15 +39,15 @@ Dataset MakeDataset(uint64_t seed, size_t n) {
   EXPECT_TRUE(pref.ok()) << text;
   Schema schema = Schema::FromNames({"price", "mileage", "power", "age"});
   Dataset ds{std::move(pref).value(), {}};
+  ds.keys.Reset(ds.pref.num_leaves());
+  ds.keys.Reserve(n);
   for (size_t i = 0; i < n; ++i) {
     Row row;
     row.push_back(Value::Int(rng.Uniform(5000, 40000)));
     row.push_back(Value::Int(rng.Uniform(0, 200000)));
     row.push_back(Value::Int(rng.Uniform(50, 300)));
     row.push_back(Value::Int(rng.Uniform(0, 30)));
-    auto key = ds.pref.MakeKey(schema, row);
-    EXPECT_TRUE(key.ok());
-    ds.keys.push_back(std::move(key).value());
+    EXPECT_TRUE(ds.pref.AppendKey(schema, row, &ds.keys).ok());
   }
   return ds;
 }
@@ -97,8 +97,9 @@ TEST_P(BmoParallelParityTest, MatchesSerialAcrossThreadsAndPartitions) {
       }
     }
     // All BMO algorithms agree through the parallel path too.
-    for (BmoAlgorithm algo : {BmoAlgorithm::kNaiveNestedLoop,
-                              BmoAlgorithm::kSortFilterSkyline}) {
+    for (BmoAlgorithm algo :
+         {BmoAlgorithm::kNaiveNestedLoop, BmoAlgorithm::kSortFilterSkyline,
+          BmoAlgorithm::kLess}) {
       ParallelBmoOptions par;
       par.threads = 4;
       par.min_chunk = 32;

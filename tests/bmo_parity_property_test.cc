@@ -1,8 +1,15 @@
-// Randomized BMO parity property test: for generated workloads and random
-// preference terms, the naive nested loop, BNL (several window sizes), SFS
-// and the full operator-pipeline path (every Connection evaluation mode)
-// must return the same maximal set, and the progressive ComputeBmoTopK(k)
-// must return a k-subset of it with fewer (or equal) dominance comparisons.
+// Randomized BMO parity property tests:
+//   * For generated workloads and random preference terms, the naive nested
+//     loop, BNL (several window sizes), SFS, LESS and the full
+//     operator-pipeline path (every Connection evaluation mode, plus the
+//     bmo_algorithm=less override) must return the same maximal set, and
+//     the progressive ComputeBmoTopK(k) must return a k-subset of it with
+//     fewer (or equal) dominance comparisons.
+//   * The compiled dominance program (flat opcodes + packed kernels over the
+//     KeyStore) must agree with the recursive CompiledPreference::Compare
+//     oracle on randomized preference trees including EXPLICIT leaves
+//     (weak-order and general partial orders), DUAL wrappers, Prioritized /
+//     Pareto / INTERSECT mixes — ≥10k (preference, key-pair) samples.
 
 #include <gtest/gtest.h>
 
@@ -75,18 +82,20 @@ TEST_P(BmoParityPropertyTest, AllPathsReturnTheSameMaximalSet) {
   auto pref = CompiledPreference::Compile(**term);
   ASSERT_TRUE(pref.ok()) << pref.status().ToString();
 
-  std::vector<PrefKey> keys;
+  KeyStore keys(pref->num_leaves());
+  keys.Reserve(candidates->num_rows());
   std::vector<size_t> all;
   for (size_t i = 0; i < candidates->num_rows(); ++i) {
-    auto key = pref->MakeKey(candidates->schema(), candidates->rows()[i]);
-    ASSERT_TRUE(key.ok());
-    keys.push_back(std::move(key).value());
+    ASSERT_TRUE(
+        pref->AppendKey(candidates->schema(), candidates->rows()[i], &keys)
+            .ok());
     all.push_back(i);
   }
   auto reference =
       ComputeBmo(*pref, keys, all, {BmoAlgorithm::kNaiveNestedLoop, 0});
 
-  // 1. Direct algorithms agree, across BNL window sizes.
+  // 1. Direct algorithms agree, across BNL window sizes and LESS
+  //    elimination-filter capacities.
   for (size_t window : {size_t{0}, size_t{1}, size_t{7}, size_t{64}}) {
     auto bnl = ComputeBmo(*pref, keys, all,
                           {BmoAlgorithm::kBlockNestedLoop, window});
@@ -95,6 +104,13 @@ TEST_P(BmoParityPropertyTest, AllPathsReturnTheSameMaximalSet) {
   auto sfs =
       ComputeBmo(*pref, keys, all, {BmoAlgorithm::kSortFilterSkyline, 0});
   EXPECT_EQ(sfs, reference);
+  for (size_t ef : {size_t{1}, size_t{8}, size_t{32}}) {
+    BmoOptions less_opt;
+    less_opt.algorithm = BmoAlgorithm::kLess;
+    less_opt.less_window = ef;
+    auto less = ComputeBmo(*pref, keys, all, less_opt);
+    EXPECT_EQ(less, reference) << "LESS window " << ef;
+  }
 
   // 2. ComputeBmoTopK(k) returns a k-subset of the maximal set without
   //    extra comparisons.
@@ -119,7 +135,8 @@ TEST_P(BmoParityPropertyTest, AllPathsReturnTheSameMaximalSet) {
   }
   std::sort(reference_ids.begin(), reference_ids.end());
 
-  // 3. The operator-pipeline path agrees in every evaluation mode.
+  // 3. The operator-pipeline path agrees in every evaluation mode, and
+  //    under the bmo_algorithm=less override.
   for (EvaluationMode mode :
        {EvaluationMode::kRewrite, EvaluationMode::kBlockNestedLoop,
         EvaluationMode::kNaiveNestedLoop,
@@ -138,6 +155,22 @@ TEST_P(BmoParityPropertyTest, AllPathsReturnTheSameMaximalSet) {
     }
     std::sort(ids.begin(), ids.end());
     EXPECT_EQ(ids, reference_ids) << EvaluationModeToString(mode);
+  }
+  {
+    ConnectionOptions opts;
+    opts.mode = EvaluationMode::kBlockNestedLoop;
+    opts.bmo_algorithm = BmoAlgorithm::kLess;
+    Connection conn(opts);
+    ASSERT_TRUE(GenerateUsedCars(conn.database(), 400, seed).ok());
+    auto r = conn.Execute("SELECT id FROM car PREFERRING " + pref_text);
+    ASSERT_TRUE(r.ok()) << "less: " << r.status().ToString();
+    EXPECT_EQ(conn.last_stats().bmo_algorithm, "less");
+    std::vector<std::string> ids;
+    for (size_t i = 0; i < r->num_rows(); ++i) {
+      ids.push_back(r->at(i, 0).ToString());
+    }
+    std::sort(ids.begin(), ids.end());
+    EXPECT_EQ(ids, reference_ids) << "bmo_algorithm=less";
   }
 
   // 4. LIMIT pushdown through the pipeline: SFS mode with a bare LIMIT
@@ -167,6 +200,201 @@ TEST_P(BmoParityPropertyTest, AllPathsReturnTheSameMaximalSet) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, BmoParityPropertyTest,
                          ::testing::Values(1u, 5u, 23u, 57u, 111u, 4242u));
+
+// ---------------------------------------------------------------------------
+// Dominance program vs recursive Compare oracle on randomized trees.
+// ---------------------------------------------------------------------------
+
+// A random preference tree over small integer/text columns c0..c5, depth up
+// to 3, covering every constructor the program compiles: weak-order leaves
+// (LOWEST/HIGHEST/AROUND/POS), EXPLICIT better-than graphs (frequently not
+// weak orders), DUAL wrappers, AND / CASCADE / INTERSECT combinators.
+std::string RandomTreeText(Random& rng, int depth, size_t* next_col) {
+  auto leaf = [&]() -> std::string {
+    std::string col = "c" + std::to_string((*next_col)++ % 6);
+    switch (rng.Uniform(0, 4)) {
+      case 0:
+        return "LOWEST(" + col + ")";
+      case 1:
+        return "HIGHEST(" + col + ")";
+      case 2:
+        return col + " AROUND " + std::to_string(rng.Uniform(0, 9));
+      case 3:
+        return col + " IN ('v" + std::to_string(rng.Uniform(0, 4)) + "', 'v" +
+               std::to_string(rng.Uniform(5, 9)) + "')";
+      default: {
+        // EXPLICIT over values v0..v9; 2-5 random edges. Retry on the rare
+        // cyclic draw by orienting edges from lower to higher value id.
+        size_t n_edges = static_cast<size_t>(rng.Uniform(2, 5));
+        std::string text = col + " EXPLICIT (";
+        for (size_t e = 0; e < n_edges; ++e) {
+          int64_t a = rng.Uniform(0, 8);
+          int64_t b = rng.Uniform(static_cast<int64_t>(a) + 1, 9);
+          if (e > 0) text += ", ";
+          text += "'v" + std::to_string(a) + "' BETTER THAN 'v" +
+                  std::to_string(b) + "'";
+        }
+        return text + ")";
+      }
+    }
+  };
+  std::string node;
+  if (depth <= 0 || rng.Bernoulli(0.35)) {
+    node = leaf();
+  } else {
+    const char* op = rng.Bernoulli(0.4)   ? " AND "
+                     : rng.Bernoulli(0.5) ? " CASCADE "
+                                          : " INTERSECT ";
+    size_t n = static_cast<size_t>(rng.Uniform(2, 3));
+    node = "(";
+    for (size_t i = 0; i < n; ++i) {
+      if (i > 0) node += op;
+      node += RandomTreeText(rng, depth - 1, next_col);
+    }
+    node += ")";
+  }
+  if (rng.Bernoulli(0.2)) node = "DUAL(" + node + ")";
+  return node;
+}
+
+// Random row over c0..c5: small integers and 'v<k>' texts (so EXPLICIT
+// leaves hit mentioned and unmentioned values), with occasional NULLs.
+Row RandomTreeRow(Random& rng) {
+  Row row;
+  for (size_t c = 0; c < 6; ++c) {
+    int64_t pick = rng.Uniform(0, 9);
+    if (rng.Bernoulli(0.05)) {
+      row.push_back(Value::Null());
+    } else if (rng.Bernoulli(0.5)) {
+      row.push_back(Value::Int(pick));
+    } else {
+      row.push_back(Value::Text("v" + std::to_string(pick)));
+    }
+  }
+  return row;
+}
+
+TEST(DominanceProgramParityTest, ProgramMatchesRecursiveCompareOracle) {
+  Random rng(20260729);
+  Schema schema =
+      Schema::FromNames({"c0", "c1", "c2", "c3", "c4", "c5"});
+  size_t samples = 0;
+  size_t general_kernel_trees = 0;
+  constexpr size_t kTrees = 120;
+  constexpr size_t kRows = 24;
+  for (size_t t = 0; t < kTrees; ++t) {
+    size_t next_col = static_cast<size_t>(rng.Uniform(0, 5));
+    std::string text = RandomTreeText(rng, 3, &next_col);
+    SCOPED_TRACE("PREFERRING " + text);
+    auto term = ParsePreference(text);
+    ASSERT_TRUE(term.ok()) << term.status().ToString();
+    auto pref = CompiledPreference::Compile(**term);
+    ASSERT_TRUE(pref.ok()) << pref.status().ToString();
+    if (pref->program().kernel() == DominanceKernel::kGeneric) {
+      ++general_kernel_trees;
+    }
+
+    KeyStore store(pref->num_leaves());
+    store.Reserve(kRows);
+    std::vector<PrefKey> oracle_keys;
+    for (size_t r = 0; r < kRows; ++r) {
+      Row row = RandomTreeRow(rng);
+      ASSERT_TRUE(pref->AppendKey(schema, row, &store).ok());
+      auto key = pref->MakeKey(schema, row);
+      ASSERT_TRUE(key.ok());
+      oracle_keys.push_back(std::move(key).value());
+      // The packed store and the oracle key must agree leaf for leaf.
+      for (size_t l = 0; l < pref->num_leaves(); ++l) {
+        ASSERT_EQ(store.key(r, l).score, oracle_keys[r][l].score);
+        ASSERT_EQ(store.key(r, l).explicit_id, oracle_keys[r][l].explicit_id);
+      }
+    }
+    for (size_t i = 0; i < kRows; ++i) {
+      for (size_t j = 0; j < kRows; ++j) {
+        Rel want = pref->Compare(oracle_keys[i], oracle_keys[j]);
+        Rel got = pref->program().Compare(store, i, j);
+        ASSERT_EQ(got, want)
+            << "pair (" << i << ", " << j << "), kernel "
+            << DominanceKernelToString(pref->program().kernel());
+        EXPECT_EQ(pref->program().Dominates(store, i, j),
+                  want == Rel::kBetter);
+        ++samples;
+      }
+    }
+  }
+  // The acceptance bar: ≥10k randomized (preference, key-pair) samples,
+  // exercising both the packed kernels and the generic opcode evaluator.
+  EXPECT_GE(samples, 10000u);
+  EXPECT_GT(general_kernel_trees, 10u);
+  EXPECT_LT(general_kernel_trees, kTrees);
+}
+
+// The packed kernels engage exactly for the advertised shapes.
+TEST(DominanceProgramParityTest, KernelSelection) {
+  auto kernel_of = [](const std::string& text) {
+    auto term = ParsePreference(text);
+    EXPECT_TRUE(term.ok()) << text;
+    auto pref = CompiledPreference::Compile(**term);
+    EXPECT_TRUE(pref.ok()) << text;
+    return pref->program().kernel();
+  };
+  EXPECT_EQ(kernel_of("LOWEST(a) AND HIGHEST(b) AND c AROUND 5"),
+            DominanceKernel::kPackedPareto);
+  EXPECT_EQ(kernel_of("LOWEST(a)"), DominanceKernel::kPackedPareto);
+  // Nested same-kind Pareto flattens into the packed kernel.
+  EXPECT_EQ(kernel_of("LOWEST(a) AND (HIGHEST(b) AND LOWEST(c))"),
+            DominanceKernel::kPackedPareto);
+  EXPECT_EQ(kernel_of("LOWEST(a) CASCADE HIGHEST(b)"),
+            DominanceKernel::kPackedLex);
+  // DUAL of a weak order stays packed (scores are negated at key time).
+  EXPECT_EQ(kernel_of("DUAL(LOWEST(a)) AND HIGHEST(b)"),
+            DominanceKernel::kPackedPareto);
+  // Mixed combinators and non-weak-order EXPLICIT fall back to the generic
+  // opcode evaluator.
+  EXPECT_EQ(kernel_of("LOWEST(a) AND (HIGHEST(b) CASCADE LOWEST(c))"),
+            DominanceKernel::kGeneric);
+  EXPECT_EQ(kernel_of("a EXPLICIT ('x' BETTER THAN 'y', 'u' BETTER THAN 'w') "
+                      "AND LOWEST(b)"),
+            DominanceKernel::kGeneric);
+  // A weak-order EXPLICIT chain is score-faithful, hence packed.
+  EXPECT_EQ(kernel_of("a EXPLICIT ('x' BETTER THAN 'y')"),
+            DominanceKernel::kPackedPareto);
+  EXPECT_EQ(kernel_of("LOWEST(a) INTERSECT HIGHEST(b)"),
+            DominanceKernel::kGeneric);
+}
+
+// Regression: composite nesting deeper than the evaluator's inline frame
+// buffer (64) must spill to the heap, not mis-answer. Alternating AND /
+// CASCADE defeats the same-kind flattening; the tuples tie on every leaf
+// except the innermost, so only a full descent finds the dominance.
+TEST(DominanceProgramParityTest, DeepAlternatingNestingSpillsCorrectly) {
+  constexpr int kDepth = 80;
+  std::string text = "LOWEST(b)";  // innermost leaf, the only decider
+  for (int i = 0; i < kDepth; ++i) {
+    const char* op = (i % 2 == 0) ? " AND " : " CASCADE ";
+    text = "LOWEST(a)" + std::string(op) + "(" + text + ")";
+  }
+  auto term = ParsePreference(text);
+  ASSERT_TRUE(term.ok()) << term.status().ToString();
+  auto pref = CompiledPreference::Compile(**term);
+  ASSERT_TRUE(pref.ok()) << pref.status().ToString();
+  ASSERT_EQ(pref->program().kernel(), DominanceKernel::kGeneric);
+
+  Schema schema = Schema::FromNames({"a", "b"});
+  KeyStore store(pref->num_leaves());
+  Row better = {Value::Int(1), Value::Int(0)};
+  Row worse = {Value::Int(1), Value::Int(5)};
+  ASSERT_TRUE(pref->AppendKey(schema, better, &store).ok());
+  ASSERT_TRUE(pref->AppendKey(schema, worse, &store).ok());
+  auto key_better = pref->MakeKey(schema, better);
+  auto key_worse = pref->MakeKey(schema, worse);
+  ASSERT_TRUE(key_better.ok());
+  ASSERT_TRUE(key_worse.ok());
+  ASSERT_EQ(pref->Compare(*key_better, *key_worse), Rel::kBetter);
+  EXPECT_EQ(pref->program().Compare(store, 0, 1), Rel::kBetter);
+  EXPECT_EQ(pref->program().Compare(store, 1, 0), Rel::kWorse);
+  EXPECT_TRUE(pref->program().Dominates(store, 0, 1));
+}
 
 // The pipeline handles GROUPING partitions: per-partition BMO matches a
 // manual per-group reference on a generated workload.

@@ -14,7 +14,8 @@ namespace {
 
 struct Fixture {
   CompiledPreference pref;
-  std::vector<PrefKey> keys;
+  KeyStore keys;                 // packed keys the algorithms consume
+  std::vector<PrefKey> oracle;   // AoS keys for the recursive validators
   std::vector<size_t> all;
 };
 
@@ -26,9 +27,12 @@ Fixture MakeFixture(const std::string& pref_text,
   auto pref = CompiledPreference::Compile(**term);
   EXPECT_TRUE(pref.ok()) << pref.status().ToString();
   Schema schema = Schema::FromNames(columns);
-  Fixture f{std::move(pref).value(), {}, {}};
+  Fixture f{std::move(pref).value(), {}, {}, {}};
+  f.keys.Reset(f.pref.num_leaves());
+  f.keys.Reserve(rows.size());
   for (size_t i = 0; i < rows.size(); ++i) {
-    f.keys.push_back(f.pref.MakeKey(schema, rows[i]).value());
+    EXPECT_TRUE(f.pref.AppendKey(schema, rows[i], &f.keys).ok());
+    f.oracle.push_back(f.pref.MakeKey(schema, rows[i]).value());
     f.all.push_back(i);
   }
   return f;
@@ -60,9 +64,9 @@ TEST(BmoTest, SingleLowestKeepsAllMinima) {
                           {{Value::Int(3)}, {Value::Int(1)}, {Value::Int(1)},
                            {Value::Int(2)}},
                           {"a"});
-  for (auto algo : {BmoAlgorithm::kNaiveNestedLoop,
-                    BmoAlgorithm::kBlockNestedLoop,
-                    BmoAlgorithm::kSortFilterSkyline}) {
+  for (auto algo :
+       {BmoAlgorithm::kNaiveNestedLoop, BmoAlgorithm::kBlockNestedLoop,
+        BmoAlgorithm::kSortFilterSkyline, BmoAlgorithm::kLess}) {
     BmoOptions opt;
     opt.algorithm = algo;
     auto bmo = ComputeBmo(f.pref, f.keys, f.all, opt);
@@ -83,18 +87,20 @@ TEST(BmoTest, ParetoSkylineSmall) {
       {"a", "b"});
   auto bmo = ComputeBmo(f.pref, f.keys, f.all);
   EXPECT_EQ(bmo, (std::vector<size_t>{0, 2, 3}));
-  EXPECT_TRUE(CheckBmoIsMaximalSet(f.pref, f.keys, bmo).ok());
+  EXPECT_TRUE(CheckBmoIsMaximalSet(f.pref, f.oracle, bmo).ok());
 }
 
 TEST(BmoTest, EmptyAndSingletonInputs) {
   Fixture f = MakeFixture("LOWEST(a)", {{Value::Int(1)}}, {"a"});
-  for (auto algo : {BmoAlgorithm::kNaiveNestedLoop,
-                    BmoAlgorithm::kBlockNestedLoop,
-                    BmoAlgorithm::kSortFilterSkyline}) {
+  const std::vector<size_t> none;
+  const std::vector<size_t> only{0};
+  for (auto algo :
+       {BmoAlgorithm::kNaiveNestedLoop, BmoAlgorithm::kBlockNestedLoop,
+        BmoAlgorithm::kSortFilterSkyline, BmoAlgorithm::kLess}) {
     BmoOptions opt;
     opt.algorithm = algo;
-    EXPECT_TRUE(ComputeBmo(f.pref, f.keys, {}, opt).empty());
-    EXPECT_EQ(ComputeBmo(f.pref, f.keys, {0}, opt),
+    EXPECT_TRUE(ComputeBmo(f.pref, f.keys, none, opt).empty());
+    EXPECT_EQ(ComputeBmo(f.pref, f.keys, only, opt),
               (std::vector<size_t>{0}));
   }
 }
@@ -104,7 +110,8 @@ TEST(BmoTest, CandidateSubsetRestrictsInput) {
                           {{Value::Int(1)}, {Value::Int(5)}, {Value::Int(9)}},
                           {"a"});
   // Without index 0, the minimum of the remaining set wins.
-  auto bmo = ComputeBmo(f.pref, f.keys, {1, 2});
+  const std::vector<size_t> subset{1, 2};
+  auto bmo = ComputeBmo(f.pref, f.keys, subset);
   EXPECT_EQ(bmo, (std::vector<size_t>{1}));
 }
 
@@ -123,9 +130,13 @@ TEST_P(BmoEquivalenceTest, AllAlgorithmsAgree) {
                         {BmoAlgorithm::kBlockNestedLoop, 0});
   auto sfs = ComputeBmo(f.pref, f.keys, f.all,
                         {BmoAlgorithm::kSortFilterSkyline, 0});
+  BmoOptions less_opt;
+  less_opt.algorithm = BmoAlgorithm::kLess;
+  auto less = ComputeBmo(f.pref, f.keys, f.all, less_opt);
   EXPECT_EQ(naive, bnl);
   EXPECT_EQ(naive, sfs);
-  EXPECT_TRUE(CheckBmoIsMaximalSet(f.pref, f.keys, naive).ok());
+  EXPECT_EQ(naive, less);
+  EXPECT_TRUE(CheckBmoIsMaximalSet(f.pref, f.oracle, naive).ok());
 }
 
 INSTANTIATE_TEST_SUITE_P(
@@ -155,6 +166,25 @@ TEST_P(BnlWindowTest, BoundedWindowIsExact) {
 
 INSTANTIATE_TEST_SUITE_P(WindowSizes, BnlWindowTest,
                          ::testing::Values(1, 2, 4, 8, 16, 64, 1024));
+
+// LESS must be exact for any elimination-filter window capacity (the EF
+// only pre-drops tuples a real input tuple dominates; the SFS pass over the
+// survivors restores exactness).
+class LessWindowTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(LessWindowTest, EliminationFilterIsExact) {
+  Fixture f = RandomParetoFixture(300, 3, 13, 30);
+  auto reference = ComputeBmo(f.pref, f.keys, f.all,
+                              {BmoAlgorithm::kNaiveNestedLoop, 0});
+  BmoOptions opt;
+  opt.algorithm = BmoAlgorithm::kLess;
+  opt.less_window = static_cast<size_t>(GetParam());
+  auto less = ComputeBmo(f.pref, f.keys, f.all, opt);
+  EXPECT_EQ(less, reference) << "less_window=" << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(WindowSizes, LessWindowTest,
+                         ::testing::Values(0, 1, 2, 8, 32, 256, 100000));
 
 TEST(BmoTest, StatsCountComparisons) {
   Fixture f = RandomParetoFixture(100, 2, 3, 50);
@@ -256,7 +286,7 @@ TEST(BmoTest, ExplicitPreferenceWithIncomparables) {
   // Maximal: 'a' and 'x' and 'b'? 'b' is dominated only by 'a'; wait, 'b'
   // is dominated by 'a' (index 2), 'y' by 'x' (1), 'other' by all mentioned.
   EXPECT_EQ(bmo, (std::vector<size_t>{1, 2}));
-  EXPECT_TRUE(CheckBmoIsMaximalSet(f.pref, f.keys, bmo).ok());
+  EXPECT_TRUE(CheckBmoIsMaximalSet(f.pref, f.oracle, bmo).ok());
 }
 
 }  // namespace

@@ -101,6 +101,22 @@ TEST(ExplicitPreferenceTest, WeakOrderDetection) {
   EXPECT_TRUE((*non_weak)->ScoreExpr(*attr).status().IsNotImplemented());
 }
 
+TEST(ExplicitPreferenceTest, SharedRankMaximaAreNotScoreFaithful) {
+  // 'a' and 'x' both dominate exactly {'b'}: dominance matches rank order,
+  // but 'a' vs 'x' is incomparable while the rank encoding would call them
+  // equivalent — observable under Pareto composition, so the order must not
+  // count as rewritable (regression for the dominance-program kernels).
+  auto p = ExplicitPreference::Make({Edge("a", "b"), Edge("x", "b")});
+  ASSERT_TRUE(p.ok());
+  EXPECT_FALSE((*p)->IsWeakOrder());
+  EXPECT_FALSE((*p)->CompareIsScoreOnly());
+  ExprPtr attr = Expr::MakeColumn("", "v");
+  EXPECT_TRUE((*p)->ScoreExpr(*attr).status().IsNotImplemented());
+  EXPECT_EQ((*p)->Compare((*p)->MakeKey(Value::Text("a")),
+                          (*p)->MakeKey(Value::Text("x"))),
+            Rel::kIncomparable);
+}
+
 TEST(ExplicitPreferenceTest, ParallelChainsOfEqualLengthAreWeak) {
   // a>b and x>y: ranks a=x=0, b=y=1; dominance == rank order? a vs y:
   // not reachable but rank(a) < rank(y) -> NOT a weak order.

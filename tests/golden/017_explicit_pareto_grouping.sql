@@ -1,0 +1,35 @@
+-- EXPLICIT (a general partial order, generic dominance kernel) mixed with
+-- Pareto dimensions under GROUPING: per-partition BMO with incomparable
+-- colors inside each category.
+CREATE TABLE garments (id INTEGER, category TEXT, color TEXT,
+                       price INTEGER, rating INTEGER);
+INSERT INTO garments VALUES
+  (1,  'shirt',  'red',    25, 4),
+  (2,  'shirt',  'green',  18, 5),
+  (3,  'shirt',  'blue',   22, 3),
+  (4,  'shirt',  'black',  19, 5),
+  (5,  'shirt',  'red',    15, 2),
+  (6,  'jacket', 'blue',   80, 4),
+  (7,  'jacket', 'red',    95, 5),
+  (8,  'jacket', 'green',  70, 3),
+  (9,  'jacket', 'white',  60, 2),
+  (10, 'jacket', 'black',  85, 5),
+  (11, 'trousers', 'black', 40, 4),
+  (12, 'trousers', 'blue',  35, 4),
+  (13, 'trousers', 'red',   45, 1);
+
+-- The color order is not a weak order ('red' and 'black' are incomparable
+-- maxima), so the rewriter refuses and every path runs the in-engine BMO.
+SELECT id, category, color, price FROM garments
+  PREFERRING color EXPLICIT ('red' BETTER THAN 'green',
+                             'black' BETTER THAN 'green',
+                             'green' BETTER THAN 'blue')
+             AND LOWEST(price)
+  GROUPING category ORDER BY id;
+
+-- Same graph prioritized over a Pareto pair, still per category.
+SELECT id, category, color, price, rating FROM garments
+  PREFERRING color EXPLICIT ('red' BETTER THAN 'green',
+                             'black' BETTER THAN 'green')
+             CASCADE (LOWEST(price) AND HIGHEST(rating))
+  GROUPING category ORDER BY id;

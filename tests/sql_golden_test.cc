@@ -3,10 +3,11 @@
 // statements are diffed against the sibling .expected file.
 //
 // Each script is additionally re-run under direct evaluation (serial),
-// direct evaluation with the parallel partitioned BMO forced on, and
-// sort-filter mode with the preference pushdown disabled — all four
-// configurations must produce byte-identical output, pinning the
-// cross-path/cross-parallelism equivalence the engine promises.
+// direct evaluation with the parallel partitioned BMO forced on,
+// sort-filter mode with the preference pushdown disabled, and direct
+// evaluation with the LESS skyline algorithm — all five configurations must
+// produce byte-identical output, pinning the cross-path/cross-parallelism/
+// cross-algorithm equivalence the engine promises.
 //
 // Regenerate the .expected files with: PREFSQL_GOLDEN_REGEN=1 ctest -R
 // sql_golden (then review the diff like any other code change).
@@ -71,6 +72,8 @@ constexpr Variant kVariants[] = {
      "SET parallel_min_rows = 1;"},
     {"sfs, pushdown off",
      "SET evaluation_mode = sfs; SET preference_pushdown = off;"},
+    {"direct less",
+     "SET evaluation_mode = bnl; SET bmo_algorithm = less;"},
 };
 
 /// Executes `script` under `variant` and renders the SELECT/EXPLAIN outputs.
