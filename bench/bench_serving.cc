@@ -1,0 +1,205 @@
+// Serving-scale behaviour of the shared-engine architecture: repeated-query
+// throughput cold vs. warm (prepared-plan cache + preference-key cache),
+// cache benefit vs. caches off, multi-session scaling over one shared
+// Engine, and the cost of invalidation churn (DML between queries).
+//
+// Writes BENCH_serving.json (bench_json.h record format). Wall times on
+// shared CI runners are noisy; the signal is the cold/warm ratio and the
+// hit flags, which are deterministic.
+
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_json.h"
+#include "core/connection.h"
+#include "workload/generators.h"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double MsSince(Clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+}
+
+constexpr size_t kRows = 20000;
+constexpr int kWarmIters = 50;
+const char* kQuery =
+    "SELECT id FROM car PREFERRING LOWEST(price) AND LOWEST(mileage)";
+
+// Mean latency of `iters` repetitions of kQuery on `conn`.
+double MeanMs(prefsql::Connection& conn, int iters) {
+  const auto t0 = Clock::now();
+  for (int i = 0; i < iters; ++i) {
+    auto r = conn.Execute(kQuery);
+    if (!r.ok()) {
+      std::fprintf(stderr, "query failed: %s\n", r.status().ToString().c_str());
+      std::exit(1);
+    }
+  }
+  return MsSince(t0) / iters;
+}
+
+}  // namespace
+
+int main() {
+  prefsql::benchjson::Writer json("serving");
+  std::printf("=== Serving: engine caches and multi-session scaling ===\n");
+
+  // --- 1. Cold vs warm, direct mode (plan cache + key cache) -------------
+  {
+    prefsql::Connection conn;
+    if (!prefsql::GenerateUsedCars(conn.database(), kRows, 7).ok()) {
+      std::fprintf(stderr, "generation failed\n");
+      return 1;
+    }
+    (void)conn.Execute("SET evaluation_mode = bnl");
+    const auto t0 = Clock::now();
+    (void)conn.Execute(kQuery);
+    const double cold_ms = MsSince(t0);
+    const bool cold_hit = conn.last_stats().key_cache_hit;
+    const uint64_t cold_key_ns = conn.last_stats().bmo_key_build_ns;
+    const double warm_ms = MeanMs(conn, kWarmIters);
+    const bool warm_key_hit = conn.last_stats().key_cache_hit;
+    const bool warm_plan_hit = conn.last_stats().plan_cache_hit;
+    const uint64_t warm_key_ns = conn.last_stats().bmo_key_build_ns;
+    std::printf(
+        "direct bnl, %zu rows: cold %.3f ms (key build %.3f ms) -> warm "
+        "%.3f ms (key hit %d, plan hit %d), speedup %.2fx\n",
+        kRows, cold_ms, cold_key_ns / 1e6, warm_ms, warm_key_hit,
+        warm_plan_hit, cold_ms / warm_ms);
+    json.BeginRecord()
+        .Field("section", "cold_vs_warm")
+        .Field("mode", "bnl")
+        .Field("rows", static_cast<uint64_t>(kRows))
+        .Field("cold_ms", cold_ms)
+        .Field("cold_key_build_ms", cold_key_ns / 1e6)
+        .Field("cold_key_cache_hit", static_cast<uint64_t>(cold_hit))
+        .Field("warm_ms", warm_ms)
+        .Field("warm_key_build_ms", warm_key_ns / 1e6)
+        .Field("warm_key_cache_hit", static_cast<uint64_t>(warm_key_hit))
+        .Field("warm_plan_cache_hit", static_cast<uint64_t>(warm_plan_hit))
+        .Field("warm_qps", 1000.0 / warm_ms)
+        .Field("speedup", cold_ms / warm_ms);
+  }
+
+  // --- 2. Warm latency with the caches disabled (the baseline the caches
+  //        are measured against) ------------------------------------------
+  {
+    prefsql::Connection conn;
+    if (!prefsql::GenerateUsedCars(conn.database(), kRows, 7).ok()) return 1;
+    (void)conn.Execute("SET evaluation_mode = bnl");
+    (void)conn.Execute("SET plan_cache = off");
+    (void)conn.Execute("SET key_cache = off");
+    (void)conn.Execute(kQuery);  // comparable "already touched" state
+    const double nocache_ms = MeanMs(conn, kWarmIters);
+    std::printf("direct bnl, caches off: %.3f ms per query\n", nocache_ms);
+    json.BeginRecord()
+        .Field("section", "caches_off")
+        .Field("mode", "bnl")
+        .Field("rows", static_cast<uint64_t>(kRows))
+        .Field("warm_ms", nocache_ms)
+        .Field("warm_qps", 1000.0 / nocache_ms);
+  }
+
+  // --- 3. Rewrite mode: the plan cache skips lex/parse/analyze -----------
+  {
+    prefsql::Connection conn;
+    if (!prefsql::GenerateUsedCars(conn.database(), 2000, 7).ok()) return 1;
+    const auto t0 = Clock::now();
+    (void)conn.Execute(kQuery);
+    const double cold_ms = MsSince(t0);
+    const double warm_ms = MeanMs(conn, kWarmIters);
+    std::printf("rewrite, 2000 rows: cold %.3f ms -> warm %.3f ms\n",
+                cold_ms, warm_ms);
+    json.BeginRecord()
+        .Field("section", "cold_vs_warm")
+        .Field("mode", "rewrite")
+        .Field("rows", static_cast<uint64_t>(2000))
+        .Field("cold_ms", cold_ms)
+        .Field("warm_ms", warm_ms)
+        .Field("warm_plan_cache_hit",
+               static_cast<uint64_t>(conn.last_stats().plan_cache_hit));
+  }
+
+  // --- 4. Multi-session scaling over one shared engine -------------------
+  for (size_t sessions : {1u, 2u, 4u}) {
+    auto engine = std::make_shared<prefsql::Engine>();
+    {
+      prefsql::Connection setup;
+      setup.Attach(engine);
+      if (!prefsql::GenerateUsedCars(setup.database(), kRows, 7).ok()) {
+        return 1;
+      }
+    }
+    constexpr int kPerSession = 40;
+    const auto t0 = Clock::now();
+    std::vector<std::thread> threads;
+    for (size_t s = 0; s < sessions; ++s) {
+      threads.emplace_back([&engine] {
+        prefsql::Connection conn;
+        conn.Attach(engine);
+        (void)conn.Execute("SET evaluation_mode = bnl");
+        for (int i = 0; i < kPerSession; ++i) (void)conn.Execute(kQuery);
+      });
+    }
+    for (auto& t : threads) t.join();
+    const double total_ms = MsSince(t0);
+    const double qps = sessions * kPerSession * 1000.0 / total_ms;
+    std::printf("%zu session(s): %.0f queries/s (%.3f ms total)\n", sessions,
+                qps, total_ms);
+    json.BeginRecord()
+        .Field("section", "multi_session")
+        .Field("sessions", static_cast<uint64_t>(sessions))
+        .Field("queries", static_cast<uint64_t>(sessions * kPerSession))
+        .Field("total_ms", total_ms)
+        .Field("qps", qps)
+        .Field("hw_threads",
+               static_cast<uint64_t>(std::thread::hardware_concurrency()));
+  }
+
+  // --- 5. Invalidation churn: DML between queries keeps the key cache
+  //        permanently cold ------------------------------------------------
+  {
+    prefsql::Connection conn;
+    if (!prefsql::GenerateUsedCars(conn.database(), kRows, 7).ok()) return 1;
+    (void)conn.Execute("SET evaluation_mode = bnl");
+    (void)conn.Execute(kQuery);
+    constexpr int kIters = 20;
+    const auto t0 = Clock::now();
+    for (int i = 0; i < kIters; ++i) {
+      (void)conn.Execute(
+          "INSERT INTO car VALUES (999999, 'zz', 'zz', 'zz', 'zz', 999999, "
+          "999999, 1, 1, 0, 0)");
+      (void)conn.Execute("DELETE FROM car WHERE id = 999999");
+      auto r = conn.Execute(kQuery);
+      if (!r.ok()) {
+        std::fprintf(stderr, "churn query failed: %s\n",
+                     r.status().ToString().c_str());
+        return 1;
+      }
+    }
+    const double churn_ms = MsSince(t0) / kIters;
+    std::printf(
+        "invalidation churn: %.3f ms per (insert+delete+query) round, key "
+        "hit=%d\n",
+        churn_ms, conn.last_stats().key_cache_hit);
+    json.BeginRecord()
+        .Field("section", "invalidation_churn")
+        .Field("rows", static_cast<uint64_t>(kRows))
+        .Field("round_ms", churn_ms)
+        .Field("final_key_cache_hit",
+               static_cast<uint64_t>(conn.last_stats().key_cache_hit));
+  }
+
+  if (!json.Write()) {
+    std::fprintf(stderr, "failed to write BENCH_serving.json\n");
+    return 1;
+  }
+  std::printf("wrote BENCH_serving.json\n");
+  return 0;
+}

@@ -35,7 +35,8 @@ Result<AnalyzedPreferenceQuery> AnalyzePreferenceQuery(
   }
   PSQL_ASSIGN_OR_RETURN(CompiledPreference pref,
                         CompiledPreference::Compile(*select.preferring));
-  return AnalyzedPreferenceQuery(&select, std::move(pref));
+  return AnalyzedPreferenceQuery(
+      &select, std::make_shared<const CompiledPreference>(std::move(pref)));
 }
 
 namespace {

@@ -16,15 +16,21 @@
 
 namespace prefsql {
 
-/// Result of analyzing a query with a PREFERRING clause.
+/// Result of analyzing a query with a PREFERRING clause. The compiled
+/// preference is held by shared_ptr so the engine's plan cache can reuse
+/// one compilation across queries and sessions (it is immutable after
+/// Compile and safe to share).
 struct AnalyzedPreferenceQuery {
   /// The original statement (not owned).
   const SelectStmt* query = nullptr;
-  /// The compiled preference of the PREFERRING clause.
-  CompiledPreference preference;
+  /// The compiled preference of the PREFERRING clause (shared, immutable).
+  std::shared_ptr<const CompiledPreference> pref;
 
-  AnalyzedPreferenceQuery(const SelectStmt* q, CompiledPreference p)
-      : query(q), preference(std::move(p)) {}
+  AnalyzedPreferenceQuery(const SelectStmt* q,
+                          std::shared_ptr<const CompiledPreference> p)
+      : query(q), pref(std::move(p)) {}
+
+  const CompiledPreference& preference() const { return *pref; }
 };
 
 /// Validates and compiles `select`. Errors on: missing PREFERRING clause,

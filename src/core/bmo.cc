@@ -132,17 +132,18 @@ std::vector<size_t> SortFilterSkyline(const DominanceProgram& prog,
   return result;
 }
 
-// LESS [GSG05]: before sorting, an elimination-filter (EF) window of a few
+// The LESS elimination-filter (EF) prepass: a window of a few
 // high-dominance tuples drops most dominated tuples in one linear scan —
 // the work the external-sort pass 0 does in the original algorithm. The EF
 // holds seen tuples with the lowest score volume (sum of leaf scores, a
 // cheap proxy for dominance power); dropping anything an EF member
-// dominates is sound because EF members are input tuples themselves. The
-// SFS sort + filter over the survivors keeps the result exact.
-std::vector<size_t> LessSkyline(const DominanceProgram& prog,
-                                const KeyStore& keys,
-                                std::span<const size_t> candidates,
-                                size_t ef_capacity, BmoStats* stats) {
+// dominates is sound because EF members are input tuples themselves, so
+// every dropped tuple is dominated and can appear in no BMO result.
+std::vector<size_t> EliminationFilterScan(const DominanceProgram& prog,
+                                          const KeyStore& keys,
+                                          std::span<const size_t> candidates,
+                                          size_t ef_capacity,
+                                          BmoStats* stats) {
   const size_t L = keys.num_leaves();
   auto volume = [&](size_t t) {
     const double* s = keys.scores(t);
@@ -184,9 +185,18 @@ std::vector<size_t> LessSkyline(const DominanceProgram& prog,
       if (v < ef[weakest].volume) ef[weakest] = {t, v};
     }
   }
+  return survivors;
+}
 
-  // The survivors go through the plain SFS sort + filter pass, which
-  // restores exactness regardless of what the EF window dropped.
+// LESS [GSG05]: the EF prepass above, then the SFS sort + filter over the
+// survivors, which restores exactness regardless of what the EF window
+// dropped.
+std::vector<size_t> LessSkyline(const DominanceProgram& prog,
+                                const KeyStore& keys,
+                                std::span<const size_t> candidates,
+                                size_t ef_capacity, BmoStats* stats) {
+  std::vector<size_t> survivors =
+      EliminationFilterScan(prog, keys, candidates, ef_capacity, stats);
   return SortFilterSkyline(prog, keys, survivors, stats);
 }
 
@@ -195,11 +205,28 @@ std::vector<size_t> LessSkyline(const DominanceProgram& prog,
 std::vector<size_t> ComputeBmoTopK(const CompiledPreference& pref,
                                    const KeyStore& keys,
                                    std::span<const size_t> candidates,
-                                   size_t k, BmoStats* stats) {
+                                   size_t k, const BmoOptions& options,
+                                   BmoStats* stats) {
   const DominanceProgram& prog = pref.program();
   if (stats != nullptr) stats->kernel = prog.kernel();
   if (k == 0) return {};
-  std::vector<size_t> sorted(candidates.begin(), candidates.end());
+  // LESS EF prepass: the presort then runs over the (usually much smaller)
+  // survivor set instead of the full input. Dropped tuples are dominated,
+  // so the set of maximal tuples — and, because the EF scan preserves
+  // relative order, the exact k returned below — is unchanged. The prepass
+  // trades O(n * ef_window) extra dominance tests for shrinking the
+  // O(n log n) presort to the survivors, so it only runs on inputs large
+  // enough for the sort to dominate; below the threshold the progressive
+  // filter alone already does fewer dominance tests than a full BMO.
+  constexpr size_t kEfMinRows = 4096;
+  std::vector<size_t> sorted;
+  if (candidates.size() >= kEfMinRows) {
+    sorted = EliminationFilterScan(
+        prog, keys, candidates, std::max<size_t>(1, options.less_window),
+        stats);
+  } else {
+    sorted.assign(candidates.begin(), candidates.end());
+  }
   std::stable_sort(sorted.begin(), sorted.end(), [&](size_t a, size_t b) {
     return keys.LexLess(a, b);
   });

@@ -78,14 +78,18 @@ std::vector<size_t> ComputeBmo(const CompiledPreference& pref,
                                BmoStats* stats = nullptr);
 
 /// Progressive top-k BMO (cf. [TEO01]): returns up to `k` maximal tuples
-/// without computing the full BMO set. Uses the SFS property that a tuple
-/// surviving the filter pass is definitely maximal, so the scan can stop at
-/// the k-th survivor. Which k maximal tuples are returned is unspecified
-/// (like LIMIT without ORDER BY). The query layer uses this for LIMIT
-/// pushdown in sort-filter mode.
+/// without computing the full BMO set. The LESS elimination-filter prepass
+/// drops most dominated tuples in one linear scan first (dropped tuples are
+/// dominated, hence never maximal, so the result is unaffected), and only
+/// the survivors are sorted; the filter pass then stops at the k-th
+/// confirmed maximal tuple (a tuple surviving the SFS filter is definitely
+/// maximal). Which k maximal tuples are returned is unspecified (like LIMIT
+/// without ORDER BY). The query layer uses this for LIMIT pushdown in
+/// sort-filter mode; `options.less_window` sizes the prepass window.
 std::vector<size_t> ComputeBmoTopK(const CompiledPreference& pref,
                                    const KeyStore& keys,
                                    std::span<const size_t> candidates,
-                                   size_t k, BmoStats* stats = nullptr);
+                                   size_t k, const BmoOptions& options = {},
+                                   BmoStats* stats = nullptr);
 
 }  // namespace prefsql

@@ -37,48 +37,56 @@ BmoOperator::~BmoOperator() { FlushStats(); }
 Status BmoOperator::Open() {
   PSQL_RETURN_IF_ERROR(child_->Open());
   rows_.clear();
-  keys_.Reset(pref_->num_leaves());
+  keys_.reset();
   survivors_.clear();
   pos_ = 0;
   run_stats_ = BmoRunStats{};
 
-  // 1. Pull the candidate stream; compute preference keys as rows arrive,
-  //    appended straight into the packed KeyStore (no per-tuple key
-  //    allocation). Base-table rows stay borrowed (no tuple copies between
-  //    scan and BMO).
-  using Clock = std::chrono::steady_clock;
-  // key_build_ns is estimated by timing one row in kTimingStride: the rows
-  // of one stream are homogeneous, and per-row clock reads would otherwise
-  // cost a measurable slice of the ingest loop this layout optimizes.
-  constexpr uint64_t kTimingStride = 16;
-  uint64_t key_build_ns = 0;
-  uint64_t timed_rows = 0;
+  // 1. Pull the candidate stream. Base-table rows stay borrowed (no tuple
+  //    copies between scan and BMO).
   RowRef ref;
   while (true) {
     PSQL_ASSIGN_OR_RETURN(bool more, child_->Next(&ref));
     if (!more) break;
-    const bool timed = run_stats_.candidate_count % kTimingStride == 0;
     ++run_stats_.candidate_count;
-    const auto t0 = timed ? Clock::now() : Clock::time_point{};
-    PSQL_RETURN_IF_ERROR(
-        pref_->AppendKey(child_->schema(), ref.row(), &keys_, runner_));
-    if (timed) {
-      key_build_ns += static_cast<uint64_t>(
-          std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
-                                                               t0)
-              .count());
-      ++timed_rows;
-    }
     rows_.push_back(std::move(ref));
   }
-  // Unbiased estimate: mean timed-row cost times the row count.
-  run_stats_.bmo.key_build_ns =
-      timed_rows == 0
-          ? 0
-          : key_build_ns * run_stats_.candidate_count / timed_rows;
   const size_t n = rows_.size();
 
-  // 2. GROUPING partitions (§2.2.5): BMO within each partition.
+  // 2. Packed keys: an engine key-cache hit reuses the whole store (the
+  //    cached row count matching the pulled count re-checks the planner's
+  //    1:1 row correspondence); otherwise build into a fresh store —
+  //    appended straight into the packed KeyStore, no per-tuple key
+  //    allocation — and publish it when this run is cache-keyed.
+  if (config_.key_cache != nullptr) {
+    auto cached = config_.key_cache->Lookup(config_.key_cache_key);
+    if (cached != nullptr && cached->size() == n &&
+        cached->num_leaves() == pref_->num_leaves()) {
+      keys_ = std::move(cached);
+      run_stats_.key_cache_hit = true;  // key_build_ns stays 0
+    }
+  }
+  if (keys_ == nullptr) {
+    using Clock = std::chrono::steady_clock;
+    auto built = std::make_shared<KeyStore>(pref_->num_leaves());
+    built->Reserve(n);
+    const auto t0 = Clock::now();
+    for (const RowRef& r : rows_) {
+      PSQL_RETURN_IF_ERROR(
+          pref_->AppendKey(child_->schema(), r.row(), built.get(), runner_));
+    }
+    run_stats_.bmo.key_build_ns = static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                             t0)
+            .count());
+    keys_ = std::move(built);
+    if (config_.key_cache != nullptr) {
+      config_.key_cache->Insert(config_.key_cache_key, keys_);
+    }
+  }
+  const KeyStore& keys = *keys_;
+
+  // 3. GROUPING partitions (§2.2.5): BMO within each partition.
   std::vector<std::vector<size_t>> partitions;
   if (config_.grouping_cols.empty()) {
     partitions.emplace_back();
@@ -109,7 +117,7 @@ Status BmoOperator::Open() {
     }
   }
 
-  // 3. Observed minimum score per leaf per partition (quality offsets for
+  // 4. Observed minimum score per leaf per partition (quality offsets for
   //    HIGHEST/LOWEST distances, computed over the unfiltered candidates).
   min_scores_.assign(partitions.size(), {});
   partition_of_.assign(n, 0);
@@ -118,12 +126,12 @@ Status BmoOperator::Open() {
     for (size_t i : partitions[p]) {
       partition_of_[i] = p;
       for (size_t l = 0; l < pref_->num_leaves(); ++l) {
-        min_scores_[p][l] = std::min(min_scores_[p][l], keys_.score(i, l));
+        min_scores_[p][l] = std::min(min_scores_[p][l], keys.score(i, l));
       }
     }
   }
 
-  // 4. BUT ONLY pre-filtering runs serially first — it goes through the
+  // 5. BUT ONLY pre-filtering runs serially first — it goes through the
   //    expression evaluator (subqueries, catalog), which must stay on this
   //    thread.
   run_stats_.partitions = partitions.size();
@@ -139,7 +147,7 @@ Status BmoOperator::Open() {
     }
   }
 
-  // 5. BMO per partition — parallel over a thread pool when configured and
+  // 6. BMO per partition — parallel over a thread pool when configured and
   //    worthwhile; dominance tests only touch the prebuilt keys. The
   //    progressive top-k pushdown stays serial (truncated local skylines do
   //    not merge exactly).
@@ -153,7 +161,7 @@ Status BmoOperator::Open() {
     // a partition just past the threshold still splits across the pool.
     par.min_chunk = std::max<size_t>(1, config_.parallel_min_rows);
     ParallelBmoStats par_stats;
-    maximal = ComputeBmoPartitionedParallel(*pref_, keys_, partitions,
+    maximal = ComputeBmoPartitionedParallel(*pref_, keys, partitions,
                                             config_.bmo, par, &par_stats);
     // Keep the operator-side key-build estimate across the wholesale copy.
     const uint64_t built_ns = run_stats_.bmo.key_build_ns;
@@ -164,9 +172,9 @@ Status BmoOperator::Open() {
     for (const auto& part : partitions) {
       BmoStats part_stats;
       std::vector<size_t> bmo =
-          config_.top_k ? ComputeBmoTopK(*pref_, keys_, part, *config_.top_k,
-                                         &part_stats)
-                        : ComputeBmo(*pref_, keys_, part, config_.bmo,
+          config_.top_k ? ComputeBmoTopK(*pref_, keys, part, *config_.top_k,
+                                         config_.bmo, &part_stats)
+                        : ComputeBmo(*pref_, keys, part, config_.bmo,
                                      &part_stats);
       run_stats_.bmo.comparisons += part_stats.comparisons;
       run_stats_.bmo.passes =
@@ -177,7 +185,7 @@ Status BmoOperator::Open() {
     std::sort(maximal.begin(), maximal.end());
   }
 
-  // 6. BUT ONLY post-filtering (serial, evaluator-bound like the pre pass).
+  // 7. BUT ONLY post-filtering (serial, evaluator-bound like the pre pass).
   if (config_.but_only != nullptr &&
       config_.but_only_mode == ButOnlyMode::kPostFilter) {
     for (size_t i : maximal) {
@@ -198,7 +206,7 @@ Row BmoOperator::BuildAugmentedRow(size_t i) const {
   const auto& mins = min_scores_[partition_of_[i]];
   for (auto [fn, leaf] : quality_slots_) {
     const BasePreference& base = *pref_->leaf(leaf).pref;
-    const LeafKey key = keys_.key(i, leaf);
+    const LeafKey key = keys_->key(i, leaf);
     switch (fn) {
       case QualityFn::kTop:
         row.push_back(Value::Bool(ComputeTop(base, key, mins[leaf])));
@@ -234,7 +242,7 @@ Result<bool> BmoOperator::Next(RowRef* out) {
 void BmoOperator::Close() {
   child_->Close();
   rows_.clear();
-  keys_.Reset(pref_->num_leaves());
+  keys_.reset();
   partition_of_.clear();
   min_scores_.clear();
   survivors_.clear();

@@ -1,9 +1,10 @@
 // BmoOperator: the paper's plug-in preference selection operator (§3.2) as
 // a physical pipeline operator. It pulls the candidate stream (scan/filter
-// tree planned by engine/planner.h), computes preference keys per tuple as
-// they arrive, partitions by the GROUPING attributes (§2.2.5), runs one of
-// the three BMO algorithms (core/bmo.h) per partition, and streams the
-// maximal tuples to the projection tail.
+// tree planned by engine/planner.h), obtains the packed preference keys —
+// from the engine key cache when the run is cache-keyed and the table is
+// unchanged, freshly built otherwise — partitions by the GROUPING
+// attributes (§2.2.5), runs one of the BMO algorithms (core/bmo.h) per
+// partition, and streams the maximal tuples to the projection tail.
 //
 // LIMIT pushdown: with `top_k` set (bare LIMIT, sort-filter mode) the
 // operator runs the progressive ComputeBmoTopK and stops the filter pass at
@@ -26,6 +27,7 @@
 #include "engine/evaluator.h"
 #include "engine/operators/operator.h"
 #include "preference/composite.h"
+#include "preference/key_cache.h"
 
 namespace prefsql {
 
@@ -42,6 +44,9 @@ struct BmoRunStats {
   size_t result_count = 0;     ///< maximal tuples after BUT ONLY
   size_t partitions = 0;       ///< GROUPING partitions evaluated
   size_t threads_used = 1;     ///< parallel pool width (1 = serial)
+  /// The packed keys came from the engine key cache (key build skipped;
+  /// bmo.key_build_ns stays 0).
+  bool key_cache_hit = false;
 };
 
 /// Configuration of one BmoOperator instance.
@@ -66,6 +71,13 @@ struct BmoOperatorConfig {
   size_t parallel_min_rows = 4096;
   /// Stats flushed on Close()/destruction (not owned; may be nullptr).
   BmoRunStats* stats_sink = nullptr;
+  /// Engine key cache to consult/fill for this run (not owned; nullptr =
+  /// off). The planner sets it only when the candidate child is a bare
+  /// full scan of one base table in storage order, so the cached keys line
+  /// up 1:1 with the pulled rows; `key_cache_key` carries the
+  /// (preference fingerprint, table id, table version) identity.
+  KeyCache* key_cache = nullptr;
+  KeyCacheKey key_cache_key;
 };
 
 class BmoOperator : public PhysicalOperator {
@@ -103,7 +115,9 @@ class BmoOperator : public PhysicalOperator {
   std::vector<std::pair<QualityFn, size_t>> quality_slots_;
 
   std::vector<RowRef> rows_;
-  KeyStore keys_;  ///< packed SoA keys shared by every partition / chunk
+  /// Packed SoA keys shared by every partition / chunk: freshly built, or
+  /// borrowed wholesale from the engine key cache (immutable either way).
+  std::shared_ptr<const KeyStore> keys_;
   std::vector<size_t> partition_of_;
   std::vector<std::vector<double>> min_scores_;  // per partition per leaf
   std::vector<size_t> survivors_;

@@ -9,140 +9,94 @@
 //       "SELECT * FROM trips PREFERRING duration AROUND 14");
 //   std::cout << result->ToString();
 //
+// A Connection is a thin facade bundling one Session (per-client knobs and
+// stats, core/session.h) with an Engine (shared catalog + executor +
+// caches, core/engine.h). By default each Connection owns a private engine
+// — the classic embedded behaviour; Attach() switches it onto a shared
+// engine so many connections serve one database, as in the paper's
+// deployment:
+//
+//   auto engine = std::make_shared<prefsql::Engine>();
+//   prefsql::Connection a, b;
+//   a.Attach(engine);
+//   b.Attach(engine);   // b sees every table a creates
+//
 // Standard SQL passes straight through to the engine ("without causing any
-// noticeable overhead"); queries with a PREFERRING clause are rewritten into
-// standard SQL (the product's strategy) or evaluated with an in-engine
-// skyline algorithm, selectable per connection.
+// noticeable overhead"); queries with a PREFERRING clause are rewritten
+// into standard SQL (the product's strategy) or evaluated with an in-engine
+// skyline algorithm, selectable per session.
 
 #pragma once
 
-#include <cstdint>
 #include <memory>
-#include <optional>
 #include <string>
 
-#include "core/bmo.h"
-#include "core/preference_query.h"
-#include "core/quality.h"
-#include "engine/database.h"
+#include "core/engine.h"
+#include "core/session.h"
 #include "types/result_table.h"
 #include "util/status.h"
 
 namespace prefsql {
 
-/// How preference queries are evaluated.
-enum class EvaluationMode {
-  /// Rewrite to standard SQL (Aux view + NOT EXISTS anti-join, §3.2) and run
-  /// it on the engine — the commercial product's strategy. Falls back to
-  /// kBlockNestedLoop when the preference is not rewritable.
-  kRewrite,
-  /// In-engine BNL skyline algorithm [BKS01].
-  kBlockNestedLoop,
-  /// In-engine naive nested loop (the §3.2 abstract selection method).
-  kNaiveNestedLoop,
-  /// In-engine sort-filter skyline.
-  kSortFilterSkyline,
-};
-
-const char* EvaluationModeToString(EvaluationMode m);
-
-/// Per-connection behaviour switches. All of these are also reachable from
-/// SQL via `SET <knob> = <value>` (e.g. `SET bmo_threads = 4`,
-/// `SET preference_pushdown = off`, `SET evaluation_mode = sfs`).
-struct ConnectionOptions {
-  EvaluationMode mode = EvaluationMode::kRewrite;
-  ButOnlyMode but_only_mode = ButOnlyMode::kPostFilter;
-  /// Overrides the in-engine skyline algorithm the evaluation mode implies
-  /// (`SET bmo_algorithm = naive|bnl|sfs|less`); nullopt = follow the mode.
-  std::optional<BmoAlgorithm> bmo_algorithm;
-  /// BNL window capacity (tuples); 0 = unbounded.
-  size_t bnl_window = 0;
-  /// Keep the generated Aux views after a rewritten query (debugging).
-  bool keep_aux_views = false;
-  /// Worker threads of the parallel partitioned BMO (direct path);
-  /// 0/1 = serial.
-  size_t bmo_threads = 0;
-  /// Minimum candidate rows before BMO worker threads spin up.
-  size_t parallel_min_rows = 4096;
-  /// Algebraic preference pushdown below joins (direct path).
-  bool preference_pushdown = true;
-};
-
-/// A Preference SQL connection over an embedded in-memory database.
+/// A Preference SQL connection: one session over a private or shared engine.
 class Connection {
  public:
-  Connection() = default;
-  explicit Connection(ConnectionOptions options) : options_(options) {}
+  Connection() : engine_(std::make_shared<Engine>()) {}
+  explicit Connection(ConnectionOptions options)
+      : engine_(std::make_shared<Engine>()), session_(options) {}
 
   Connection(const Connection&) = delete;
   Connection& operator=(const Connection&) = delete;
 
+  /// Attaches this connection to `engine`, releasing the private one. The
+  /// session's knobs and stats are kept. Statements of connections sharing
+  /// an engine are isolated by the engine's statement lock (reads run
+  /// concurrently, writes exclusively).
+  void Attach(std::shared_ptr<Engine> engine) { engine_ = std::move(engine); }
+
+  /// The engine this connection runs on (pass it to another connection's
+  /// Attach to share the database).
+  const std::shared_ptr<Engine>& engine() const { return engine_; }
+
   /// Parses and executes one statement (standard SQL or Preference SQL).
-  Result<ResultTable> Execute(const std::string& sql);
+  Result<ResultTable> Execute(const std::string& sql) {
+    return engine_->Execute(session_, sql);
+  }
 
   /// Executes a semicolon-separated script; returns the last result.
-  Result<ResultTable> ExecuteScript(const std::string& sql);
+  Result<ResultTable> ExecuteScript(const std::string& sql) {
+    return engine_->ExecuteScript(session_, sql);
+  }
 
-  /// Executes an already-parsed statement. Beyond plain SELECTs this layer
-  /// handles: preference SELECTs (rewrite or in-engine BMO), EXPLAIN
-  /// (returns the optimizer's standard-SQL translation as a one-column
-  /// table), INSERT whose SELECT has a PREFERRING clause (§2.2.5), and
-  /// expansion of stored PREFERENCE references (PDL).
-  Result<ResultTable> ExecuteStatement(const Statement& stmt);
+  /// Executes an already-parsed statement (see Engine::ExecuteStatement).
+  Result<ResultTable> ExecuteStatement(const Statement& stmt) {
+    return engine_->ExecuteStatement(session_, stmt);
+  }
 
   /// Translates a preference query into the standard SQL script the
   /// rewriting optimizer would run (§3.2) without executing it.
-  Result<std::string> RewriteToSql(const std::string& sql);
+  Result<std::string> RewriteToSql(const std::string& sql) {
+    return engine_->RewriteToSql(session_, sql);
+  }
 
   /// The underlying standard-SQL database (catalog access, direct SQL).
-  Database& database() { return db_; }
+  Database& database() { return engine_->database(); }
 
-  ConnectionOptions& options() { return options_; }
-  const ConnectionOptions& options() const { return options_; }
+  ConnectionOptions& options() { return session_.options(); }
+  const ConnectionOptions& options() const { return session_.options(); }
 
-  /// Statistics of the last executed preference query. The direct-path
-  /// counters are valid even when the query failed partway (the BMO
-  /// operators flush their stats on Close).
-  struct PreferenceQueryStats {
-    bool was_preference_query = false;
-    bool used_rewrite = false;
-    bool rewrite_fallback = false;  // rewriter refused; BNL used instead
-    size_t candidate_count = 0;     // rows after WHERE (direct path only)
-    size_t result_count = 0;
-    size_t bmo_comparisons = 0;     // dominance tests (direct path only)
-    size_t bmo_partitions = 0;      // GROUPING partitions (direct path)
-    size_t bmo_threads_used = 1;    // parallel pool width (1 = serial)
-    std::string bmo_algorithm;      // skyline algorithm run (direct path)
-    std::string bmo_kernel;         // dominance kernel (packed vs generic)
-    uint64_t bmo_key_build_ns = 0;  // packed key construction time
-    bool used_pushdown = false;     // BMO prefilter pushed below the join
-    std::string pushdown_detail;    // placement / rejection reason
-    size_t prefilter_candidate_count = 0;  // rows into the pushed prefilter
-    size_t prefilter_result_count = 0;     // rows surviving the prefilter
-  };
-  const PreferenceQueryStats& last_stats() const { return last_stats_; }
+  /// Stats struct of the last executed preference query (kept as a nested
+  /// alias for source compatibility; the type lives in core/session.h).
+  using PreferenceQueryStats = prefsql::PreferenceQueryStats;
+  const PreferenceQueryStats& last_stats() const {
+    return session_.last_stats();
+  }
+
+  Session& session() { return session_; }
 
  private:
-  Result<ResultTable> ExecutePreferenceSelect(const SelectStmt& select);
-  Result<ResultTable> ExecuteViaRewrite(const SelectStmt& select);
-  Result<ResultTable> ExecuteExplain(const Statement& stmt);
-  /// SET <knob> = <value>: run-time access to ConnectionOptions.
-  Result<ResultTable> ExecuteSet(const Statement& stmt);
-  /// The direct-path options the current ConnectionOptions imply.
-  DirectEvalOptions DirectOptions() const;
-
-  /// Returns `select` with stored PREFERENCE references expanded (clones
-  /// only when needed).
-  Result<std::shared_ptr<SelectStmt>> ExpandSelect(const SelectStmt& select);
-
-  /// Column names a `SELECT *` over the query's FROM would produce (schema
-  /// probe for the rewriter).
-  Result<std::vector<std::string>> ProbeBaseColumns(const SelectStmt& select);
-
-  Database db_;
-  ConnectionOptions options_;
-  PreferenceQueryStats last_stats_;
-  uint64_t aux_counter_ = 0;
+  std::shared_ptr<Engine> engine_;
+  Session session_;
 };
 
 }  // namespace prefsql

@@ -1,0 +1,655 @@
+#include "core/engine.h"
+
+#include <cctype>
+#include <mutex>
+#include <string_view>
+#include <unordered_map>
+
+#include "core/analyzer.h"
+#include "core/rewriter.h"
+#include "sql/normalize.h"
+#include "sql/parser.h"
+#include "sql/printer.h"
+#include "util/string_util.h"
+
+namespace prefsql {
+
+const char* EvaluationModeToString(EvaluationMode m) {
+  switch (m) {
+    case EvaluationMode::kRewrite:
+      return "rewrite";
+    case EvaluationMode::kBlockNestedLoop:
+      return "bnl";
+    case EvaluationMode::kNaiveNestedLoop:
+      return "naive";
+    case EvaluationMode::kSortFilterSkyline:
+      return "sfs";
+  }
+  return "?";
+}
+
+namespace {
+
+// Restores catalog version bumps when the rewrite path exits (including on
+// error) after suppressing them around its transient Aux views.
+class ScopedVersionBumpSuppression {
+ public:
+  explicit ScopedVersionBumpSuppression(Catalog* catalog) : catalog_(catalog) {
+    catalog_->set_suppress_version_bumps(true);
+  }
+  ~ScopedVersionBumpSuppression() {
+    catalog_->set_suppress_version_bumps(false);
+  }
+
+ private:
+  Catalog* catalog_;
+};
+
+bool IsCacheableKind(StatementKind kind) {
+  return kind == StatementKind::kSelect || kind == StatementKind::kExplain;
+}
+
+// Case-insensitive keyword prefix test on normalized (case-preserved) text.
+bool StartsWithKeyword(const std::string& text, std::string_view keyword) {
+  if (text.size() < keyword.size()) return false;
+  for (size_t i = 0; i < keyword.size(); ++i) {
+    if (std::tolower(static_cast<unsigned char>(text[i])) != keyword[i]) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+uint64_t Engine::KnobFingerprint(const ConnectionOptions& o) {
+  uint64_t h = kFingerprintSeed;
+  h = FingerprintMix(h, static_cast<uint64_t>(o.mode));
+  h = FingerprintMix(h, static_cast<uint64_t>(o.but_only_mode));
+  h = FingerprintMix(
+      h, o.bmo_algorithm ? 1 + static_cast<uint64_t>(*o.bmo_algorithm) : 0);
+  h = FingerprintMix(h, o.bnl_window);
+  h = FingerprintMix(h, o.keep_aux_views ? 1 : 0);
+  h = FingerprintMix(h, o.bmo_threads);
+  h = FingerprintMix(h, o.parallel_min_rows);
+  h = FingerprintMix(h, o.preference_pushdown ? 1 : 0);
+  h = FingerprintMix(h, o.key_cache ? 1 : 0);
+  return h;
+}
+
+Result<ResultTable> Engine::Execute(Session& session, const std::string& sql) {
+  if (session.options().plan_cache) {
+    // Probe the plan cache with the normalized text before paying for the
+    // parse; only SELECT/EXPLAIN are cached (cheap prefix test). The
+    // normalized form is a key, never an input: the original text is what
+    // gets parsed on a miss.
+    std::string text = NormalizeSql(sql);
+    if (StartsWithKeyword(text, "select") ||
+        StartsWithKeyword(text, "explain")) {
+      PlanCacheKey key{std::move(text), KnobFingerprint(session.options()),
+                       db_.catalog().version()};
+      if (auto cached = plan_cache_.Lookup(key)) {
+        return ExecutePrepared(session, *cached, /*plan_cache_hit=*/true);
+      }
+      PSQL_ASSIGN_OR_RETURN(Statement stmt, ParseStatement(sql));
+      if (IsCacheableKind(stmt.kind) && stmt.select != nullptr) {
+        PSQL_ASSIGN_OR_RETURN(auto prepared,
+                              BuildPreparation(stmt.kind, stmt.select));
+        plan_cache_.Insert(key, prepared);
+        return ExecutePrepared(session, *prepared, /*plan_cache_hit=*/false);
+      }
+      return ExecuteStatement(session, stmt);
+    }
+  }
+  PSQL_ASSIGN_OR_RETURN(Statement stmt, ParseStatement(sql));
+  return ExecuteStatement(session, stmt);
+}
+
+Result<ResultTable> Engine::ExecuteScript(Session& session,
+                                          const std::string& sql) {
+  PSQL_ASSIGN_OR_RETURN(auto stmts, ParseScript(sql));
+  if (stmts.empty()) return Status::InvalidArgument("empty script");
+  ResultTable last;
+  for (const auto& stmt : stmts) {
+    PSQL_ASSIGN_OR_RETURN(last, ExecuteStatement(session, stmt));
+  }
+  return last;
+}
+
+Result<ResultTable> Engine::ExecuteStatement(Session& session,
+                                             const Statement& stmt) {
+  session.mutable_last_stats() = PreferenceQueryStats{};
+  if (stmt.kind == StatementKind::kSet) {
+    return ExecuteSet(session, stmt);
+  }
+
+  if (IsCacheableKind(stmt.kind) && stmt.select != nullptr) {
+    // Pre-parsed statements skip the parse already, so the cache only pays
+    // off where preparation still does real work: PDL expansion and
+    // preference compilation. Plain SELECT/EXPLAIN skip the print+lookup.
+    if (session.options().plan_cache && stmt.select->IsPreferenceQuery()) {
+      // The printed text keys identically to the raw-text path.
+      PlanCacheKey key{NormalizeSql(StatementToSql(stmt)),
+                       KnobFingerprint(session.options()),
+                       db_.catalog().version()};
+      auto cached = plan_cache_.Lookup(key);
+      const bool hit = cached != nullptr;
+      if (!hit) {
+        PSQL_ASSIGN_OR_RETURN(cached,
+                              BuildPreparation(stmt.kind, stmt.select));
+        plan_cache_.Insert(key, cached);
+      }
+      return ExecutePrepared(session, *cached, hit);
+    }
+    PSQL_ASSIGN_OR_RETURN(auto prepared,
+                          BuildPreparation(stmt.kind, stmt.select));
+    return ExecutePrepared(session, *prepared, /*plan_cache_hit=*/false);
+  }
+
+  // INSERT ... SELECT with a PREFERRING clause (§2.2.5): evaluate the
+  // preference query, then bulk-insert the BMO rows — one exclusive
+  // critical section for the whole statement.
+  if (stmt.kind == StatementKind::kInsert && stmt.select != nullptr &&
+      stmt.select->IsPreferenceQuery()) {
+    session.mutable_last_stats().was_preference_query = true;
+    std::unique_lock<std::shared_mutex> lock(mutex_);
+    PSQL_ASSIGN_OR_RETURN(auto expanded, ExpandSelect(*stmt.select));
+    PSQL_ASSIGN_OR_RETURN(auto analyzed, AnalyzePreferenceQuery(*expanded));
+    PreparedStatement prepared;
+    prepared.kind = StatementKind::kSelect;
+    prepared.select = stmt.select;
+    prepared.expanded = std::move(expanded);
+    prepared.preference = analyzed.pref;
+    prepared.catalog_version = db_.catalog().version();
+    PSQL_ASSIGN_OR_RETURN(
+        ResultTable rows,
+        ExecutePreferenceSelect(session, prepared,
+                                /*locked_exclusive=*/true));
+    auto result =
+        db_.executor().InsertTable(stmt.name, stmt.insert_columns, rows);
+    SweepCaches();
+    SnapshotCacheCounters(session);
+    return result;
+  }
+
+  // Everything else passes through to the database system (§3.1: "without
+  // causing any noticeable overhead") — DML/DDL, so exclusively, with a
+  // cache sweep afterwards to reclaim entries the write made unreachable.
+  std::unique_lock<std::shared_mutex> lock(mutex_);
+  auto result = db_.ExecuteStatement(stmt);
+  SweepCaches();
+  SnapshotCacheCounters(session);
+  return result;
+}
+
+Result<std::shared_ptr<const PreparedStatement>> Engine::BuildPreparation(
+    StatementKind kind, std::shared_ptr<const SelectStmt> select) {
+  auto prepared = std::make_shared<PreparedStatement>();
+  prepared->kind = kind;
+  prepared->select = select;
+  if (select != nullptr && select->IsPreferenceQuery()) {
+    // PDL expansion reads the catalog; everything else is pure.
+    std::shared_lock<std::shared_mutex> lock(mutex_);
+    PSQL_ASSIGN_OR_RETURN(auto expanded, ExpandSelect(*select));
+    PSQL_ASSIGN_OR_RETURN(auto analyzed, AnalyzePreferenceQuery(*expanded));
+    prepared->expanded = std::move(expanded);
+    prepared->preference = analyzed.pref;
+    prepared->catalog_version = db_.catalog().version();
+  }
+  return std::shared_ptr<const PreparedStatement>(std::move(prepared));
+}
+
+Result<Engine::PreparationView> Engine::RefreshPreparationLocked(
+    const PreparedStatement& prepared) {
+  if (db_.catalog().version() == prepared.catalog_version) {
+    return PreparationView{prepared.expanded, prepared.preference};
+  }
+  // DDL committed between preparation/lookup and this lock acquisition — a
+  // stored PREFERENCE may mean something else now. Re-derive under the
+  // held lock so the execution is consistent with the catalog it reads.
+  PSQL_ASSIGN_OR_RETURN(auto expanded, ExpandSelect(*prepared.select));
+  PSQL_ASSIGN_OR_RETURN(auto analyzed, AnalyzePreferenceQuery(*expanded));
+  return PreparationView{std::move(expanded), analyzed.pref};
+}
+
+Result<ResultTable> Engine::ExecutePrepared(Session& session,
+                                            const PreparedStatement& prepared,
+                                            bool plan_cache_hit) {
+  session.mutable_last_stats() = PreferenceQueryStats{};
+  session.mutable_last_stats().plan_cache_hit = plan_cache_hit;
+  if (prepared.kind == StatementKind::kExplain) {
+    auto result = ExecuteExplain(session, prepared);
+    SnapshotCacheCounters(session);
+    return result;
+  }
+  if (prepared.select->IsPreferenceQuery()) {
+    session.mutable_last_stats().was_preference_query = true;
+    auto result = ExecutePreferenceSelect(session, prepared,
+                                          /*locked_exclusive=*/false);
+    SnapshotCacheCounters(session);
+    return result;
+  }
+  Result<ResultTable> result = [&] {
+    std::shared_lock<std::shared_mutex> lock(mutex_);
+    return db_.ExecuteSelect(*prepared.select);
+  }();
+  SnapshotCacheCounters(session);
+  return result;
+}
+
+Result<std::shared_ptr<SelectStmt>> Engine::ExpandSelect(
+    const SelectStmt& select) {
+  auto out = select.Clone();
+  if (out->preferring != nullptr &&
+      ContainsNamedPreference(*out->preferring)) {
+    PSQL_ASSIGN_OR_RETURN(
+        out->preferring,
+        ExpandNamedPreferences(*out->preferring, db_.catalog()));
+  }
+  return out;
+}
+
+Result<std::vector<std::string>> Engine::ProbeBaseColumns(
+    const SelectStmt& select) {
+  // Schema probe: run the candidate query with a FALSE predicate; only the
+  // output schema matters.
+  auto probe = std::make_shared<SelectStmt>();
+  probe->items.push_back({Expr::MakeStar(), ""});
+  for (const auto& tr : select.from) probe->from.push_back(tr->Clone());
+  probe->where = Expr::MakeLiteral(Value::Bool(false));
+  PSQL_ASSIGN_OR_RETURN(ResultTable rt, db_.ExecuteSelect(*probe));
+  return rt.schema().Names();
+}
+
+DirectEvalOptions Engine::DirectOptions(const Session& session) {
+  const ConnectionOptions& options = session.options();
+  DirectEvalOptions direct;
+  direct.but_only_mode = options.but_only_mode;
+  direct.bmo.bnl_window = options.bnl_window;
+  direct.threads = options.bmo_threads;
+  direct.parallel_min_rows = options.parallel_min_rows;
+  direct.pushdown = options.preference_pushdown;
+  direct.key_cache = options.key_cache ? &key_cache_ : nullptr;
+  switch (options.mode) {
+    case EvaluationMode::kNaiveNestedLoop:
+      direct.bmo.algorithm = BmoAlgorithm::kNaiveNestedLoop;
+      break;
+    case EvaluationMode::kSortFilterSkyline:
+      direct.bmo.algorithm = BmoAlgorithm::kSortFilterSkyline;
+      break;
+    case EvaluationMode::kRewrite:  // fallback
+    case EvaluationMode::kBlockNestedLoop:
+      direct.bmo.algorithm = BmoAlgorithm::kBlockNestedLoop;
+      break;
+  }
+  // The bmo_algorithm knob overrides the algorithm the mode implies (the
+  // only way to select LESS, which has no evaluation mode of its own).
+  if (options.bmo_algorithm) direct.bmo.algorithm = *options.bmo_algorithm;
+  return direct;
+}
+
+Result<ResultTable> Engine::ExecutePreferenceSelect(
+    Session& session, const PreparedStatement& prepared,
+    bool locked_exclusive) {
+  if (session.options().mode == EvaluationMode::kRewrite) {
+    Result<ResultTable> result = [&]() -> Result<ResultTable> {
+      if (locked_exclusive) {
+        PSQL_ASSIGN_OR_RETURN(PreparationView view,
+                              RefreshPreparationLocked(prepared));
+        return ExecuteViaRewrite(session, *view.expanded, view.preference);
+      }
+      // The rewrite strategy creates and drops Aux views in the shared
+      // catalog, so it is a writer.
+      std::unique_lock<std::shared_mutex> lock(mutex_);
+      PSQL_ASSIGN_OR_RETURN(PreparationView view,
+                            RefreshPreparationLocked(prepared));
+      return ExecuteViaRewrite(session, *view.expanded, view.preference);
+    }();
+    if (result.ok() || !result.status().IsNotImplemented()) return result;
+    // Rewriter refused (e.g. non-weak-order EXPLICIT): fall back to BNL.
+    session.mutable_last_stats().rewrite_fallback = true;
+  }
+  if (locked_exclusive) {
+    PSQL_ASSIGN_OR_RETURN(PreparationView view,
+                          RefreshPreparationLocked(prepared));
+    return ExecuteDirect(session, *view.expanded, view.preference);
+  }
+  std::shared_lock<std::shared_mutex> lock(mutex_);
+  PSQL_ASSIGN_OR_RETURN(PreparationView view,
+                        RefreshPreparationLocked(prepared));
+  return ExecuteDirect(session, *view.expanded, view.preference);
+}
+
+Result<ResultTable> Engine::ExecuteViaRewrite(
+    Session& session, const SelectStmt& select,
+    const std::shared_ptr<const CompiledPreference>& pref) {
+  PreferenceQueryStats& stats = session.mutable_last_stats();
+  AnalyzedPreferenceQuery analyzed(&select, pref);
+  PSQL_ASSIGN_OR_RETURN(auto base_columns, ProbeBaseColumns(select));
+  PSQL_RETURN_IF_ERROR(
+      ValidatePreferenceColumns(analyzed.preference(), base_columns));
+  std::string aux_name =
+      "_prefsql_aux_" + std::to_string(aux_counter_.fetch_add(1) + 1);
+  PSQL_ASSIGN_OR_RETURN(
+      RewriteOutput rewritten,
+      RewritePreferenceQuery(analyzed, base_columns,
+                             session.options().but_only_mode, aux_name));
+  // The transient Aux views must not churn the catalog version — cached
+  // preparations do not depend on them.
+  ScopedVersionBumpSuppression suppress(&db_.catalog());
+  for (const auto& st : rewritten.setup) {
+    PSQL_ASSIGN_OR_RETURN(ResultTable ignored, db_.ExecuteStatement(st));
+    (void)ignored;
+  }
+  auto result = db_.ExecuteSelect(*rewritten.query);
+  if (!session.options().keep_aux_views) {
+    for (const auto& st : rewritten.teardown) {
+      auto drop = db_.ExecuteStatement(st);
+      if (!drop.ok() && result.ok()) return drop.status();
+    }
+  }
+  PSQL_RETURN_IF_ERROR(result.status());
+  stats.used_rewrite = true;
+  stats.result_count = result->num_rows();
+  return result;
+}
+
+Result<ResultTable> Engine::ExecuteDirect(
+    Session& session, const SelectStmt& select,
+    const std::shared_ptr<const CompiledPreference>& pref) {
+  PreferenceQueryStats& stats = session.mutable_last_stats();
+  AnalyzedPreferenceQuery analyzed(&select, pref);
+  DirectEvalStats direct_stats;
+  const DirectEvalOptions direct_options = DirectOptions(session);
+  auto result = ExecutePreferenceQueryDirect(db_, analyzed, direct_options,
+                                             &direct_stats);
+  // The BMO operators flush their counters on Close, so the stats are
+  // meaningful even when the drain failed partway.
+  stats.candidate_count = direct_stats.candidate_count;
+  stats.bmo_comparisons = direct_stats.bmo.comparisons;
+  stats.bmo_partitions = direct_stats.partitions;
+  stats.bmo_threads_used = direct_stats.threads_used;
+  stats.bmo_algorithm = BmoAlgorithmToString(direct_options.bmo.algorithm);
+  stats.bmo_kernel = DominanceKernelToString(direct_stats.bmo.kernel);
+  stats.bmo_key_build_ns = direct_stats.bmo.key_build_ns;
+  stats.used_pushdown = direct_stats.used_pushdown;
+  stats.pushdown_detail = direct_stats.pushdown_detail;
+  stats.prefilter_candidate_count = direct_stats.prefilter.candidate_count;
+  stats.prefilter_result_count = direct_stats.prefilter.result_count;
+  stats.key_cache_eligible = direct_stats.key_cache_eligible;
+  stats.key_cache_hit = direct_stats.key_cache_hit;
+  stats.key_cache_detail = direct_stats.key_cache_detail;
+  if (result.ok()) {
+    stats.result_count = result->num_rows();
+  }
+  return result;
+}
+
+Result<ResultTable> Engine::ExecuteExplain(Session& session,
+                                           const PreparedStatement& prepared) {
+  Schema schema = Schema::FromNames({"plan"});
+  std::vector<Row> lines;
+  auto add = [&](const std::string& s) { lines.push_back({Value::Text(s)}); };
+  const SelectStmt& select = *prepared.select;
+  if (!select.IsPreferenceQuery()) {
+    add("-- standard SQL: passed through to the host database unchanged");
+    add(SelectToSql(select));
+    return ResultTable(std::move(schema), std::move(lines));
+  }
+  const std::string plan_cache_line =
+      std::string("-- plan cache: ") +
+      (session.last_stats().plan_cache_hit ? "hit" : "miss") +
+      " (catalog version " + std::to_string(db_.catalog().version()) + ")";
+  std::shared_lock<std::shared_mutex> lock(mutex_);
+  PSQL_ASSIGN_OR_RETURN(PreparationView view,
+                        RefreshPreparationLocked(prepared));
+  const SelectStmt& expanded = *view.expanded;
+  AnalyzedPreferenceQuery analyzed(&expanded, view.preference);
+  if (session.options().mode != EvaluationMode::kRewrite) {
+    // Direct path: describe the physical decisions (pushdown placement,
+    // skyline algorithm, parallelism, cache keying) by compiling the plan
+    // without draining it.
+    DirectEvalOptions direct = DirectOptions(session);
+    PSQL_ASSIGN_OR_RETURN(
+        PreferencePlan plan,
+        BuildPreferencePlan(db_, analyzed, direct, /*count_stats=*/false));
+    add("-- direct evaluation (mode=" +
+        std::string(EvaluationModeToString(session.options().mode)) +
+        ", algorithm=" +
+        std::string(BmoAlgorithmToString(direct.bmo.algorithm)) +
+        ", kernel=" +
+        std::string(DominanceKernelToString(
+            analyzed.preference().program().kernel())) +
+        ", bmo_threads=" + std::to_string(direct.threads) + ")");
+    add("-- " + plan.pushdown_detail);
+    add("-- " + plan.key_cache_detail);
+    add(plan_cache_line);
+    add(SelectToSql(expanded));
+    return ResultTable(std::move(schema), std::move(lines));
+  }
+  PSQL_ASSIGN_OR_RETURN(auto base_columns, ProbeBaseColumns(expanded));
+  auto rewritten =
+      RewritePreferenceQuery(analyzed, base_columns,
+                             session.options().but_only_mode, "Aux");
+  if (!rewritten.ok()) {
+    if (rewritten.status().IsNotImplemented()) {
+      add("-- preference is not expressible as level columns; evaluated "
+          "in-engine (BNL)");
+      add(plan_cache_line);
+      add(SelectToSql(expanded));
+      return ResultTable(std::move(schema), std::move(lines));
+    }
+    return rewritten.status();
+  }
+  add("-- Preference SQL optimizer translation (paper 3.2)");
+  add(plan_cache_line);
+  for (const auto& st : rewritten->setup) add(StatementToSql(st) + ";");
+  add(SelectToSql(*rewritten->query) + ";");
+  for (const auto& st : rewritten->teardown) add(StatementToSql(st) + ";");
+  return ResultTable(std::move(schema), std::move(lines));
+}
+
+Result<std::string> Engine::RewriteToSql(Session& session,
+                                         const std::string& sql) {
+  PSQL_ASSIGN_OR_RETURN(Statement stmt, ParseStatement(sql));
+  if (stmt.kind != StatementKind::kSelect ||
+      !stmt.select->IsPreferenceQuery()) {
+    return Status::InvalidArgument(
+        "RewriteToSql expects a query with a PREFERRING clause");
+  }
+  PSQL_ASSIGN_OR_RETURN(auto analyzed, AnalyzePreferenceQuery(*stmt.select));
+  std::shared_lock<std::shared_mutex> lock(mutex_);
+  PSQL_ASSIGN_OR_RETURN(auto base_columns, ProbeBaseColumns(*stmt.select));
+  std::string aux_name = "Aux";
+  PSQL_ASSIGN_OR_RETURN(
+      RewriteOutput rewritten,
+      RewritePreferenceQuery(analyzed, base_columns,
+                             session.options().but_only_mode, aux_name));
+  return rewritten.ToScript();
+}
+
+void Engine::SnapshotCacheCounters(Session& session) {
+  PreferenceQueryStats& stats = session.mutable_last_stats();
+  stats.plan_cache_evictions = plan_cache_.counters().evictions;
+  stats.key_cache_evictions = key_cache_.counters().evictions;
+}
+
+void Engine::SweepCaches() {
+  plan_cache_.EvictOtherVersions(db_.catalog().version());
+  // Live incarnations: table id -> current version.
+  std::unordered_map<uint64_t, uint64_t> live;
+  for (const auto& name : db_.catalog().TableNames()) {
+    auto table = db_.catalog().GetTable(name);
+    if (table.ok()) live[(*table)->id()] = (*table)->version();
+  }
+  key_cache_.EvictStale([&](uint64_t table_id, uint64_t version) {
+    auto it = live.find(table_id);
+    return it != live.end() && it->second == version;
+  });
+}
+
+namespace {
+
+// Interprets a SET value as a non-negative integer.
+Result<size_t> SetValueAsSize(const Value& v, const std::string& knob) {
+  if (v.type() == ValueType::kInt && v.AsInt() >= 0) {
+    return static_cast<size_t>(v.AsInt());
+  }
+  return Status::InvalidArgument("SET " + knob +
+                                 " expects a non-negative integer");
+}
+
+// Interprets a SET value as a boolean (on/off/true/false/1/0).
+Result<bool> SetValueAsBool(const Value& v, const std::string& knob) {
+  if (v.type() == ValueType::kBool) return v.AsBool();
+  if (v.type() == ValueType::kInt) return v.AsInt() != 0;
+  if (v.type() == ValueType::kText) {
+    const std::string t = ToLower(v.AsText());
+    if (t == "on" || t == "true" || t == "1") return true;
+    if (t == "off" || t == "false" || t == "0") return false;
+  }
+  return Status::InvalidArgument("SET " + knob + " expects on or off");
+}
+
+}  // namespace
+
+Result<ResultTable> Engine::ExecuteSet(Session& session,
+                                       const Statement& stmt) {
+  ConnectionOptions& options = session.options();
+  const std::string knob = ToLower(stmt.name);
+  const Value& v = stmt.set_value;
+  const ConnectionOptions defaults;
+  const bool reset = v.type() == ValueType::kNull ||
+                     (v.type() == ValueType::kText &&
+                      ToLower(v.AsText()) == "default");
+  if (knob == "bmo_threads") {
+    if (reset) {
+      options.bmo_threads = defaults.bmo_threads;
+    } else {
+      PSQL_ASSIGN_OR_RETURN(options.bmo_threads, SetValueAsSize(v, knob));
+    }
+  } else if (knob == "parallel_min_rows") {
+    if (reset) {
+      options.parallel_min_rows = defaults.parallel_min_rows;
+    } else {
+      PSQL_ASSIGN_OR_RETURN(options.parallel_min_rows,
+                            SetValueAsSize(v, knob));
+    }
+  } else if (knob == "bnl_window") {
+    if (reset) {
+      options.bnl_window = defaults.bnl_window;
+    } else {
+      PSQL_ASSIGN_OR_RETURN(options.bnl_window, SetValueAsSize(v, knob));
+    }
+  } else if (knob == "preference_pushdown") {
+    if (reset) {
+      options.preference_pushdown = defaults.preference_pushdown;
+    } else {
+      PSQL_ASSIGN_OR_RETURN(options.preference_pushdown,
+                            SetValueAsBool(v, knob));
+    }
+  } else if (knob == "keep_aux_views") {
+    if (reset) {
+      options.keep_aux_views = defaults.keep_aux_views;
+    } else {
+      PSQL_ASSIGN_OR_RETURN(options.keep_aux_views, SetValueAsBool(v, knob));
+    }
+  } else if (knob == "plan_cache") {
+    if (reset) {
+      options.plan_cache = defaults.plan_cache;
+    } else {
+      PSQL_ASSIGN_OR_RETURN(options.plan_cache, SetValueAsBool(v, knob));
+    }
+  } else if (knob == "key_cache") {
+    if (reset) {
+      options.key_cache = defaults.key_cache;
+    } else {
+      PSQL_ASSIGN_OR_RETURN(options.key_cache, SetValueAsBool(v, knob));
+    }
+  } else if (knob == "evaluation_mode") {
+    if (reset) {
+      options.mode = defaults.mode;
+    } else if (v.type() == ValueType::kText) {
+      const std::string m = ToLower(v.AsText());
+      if (m == "rewrite") {
+        options.mode = EvaluationMode::kRewrite;
+      } else if (m == "bnl") {
+        options.mode = EvaluationMode::kBlockNestedLoop;
+      } else if (m == "naive") {
+        options.mode = EvaluationMode::kNaiveNestedLoop;
+      } else if (m == "sfs") {
+        options.mode = EvaluationMode::kSortFilterSkyline;
+      } else {
+        return Status::InvalidArgument(
+            "SET evaluation_mode expects rewrite, bnl, naive or sfs");
+      }
+    } else {
+      return Status::InvalidArgument(
+          "SET evaluation_mode expects rewrite, bnl, naive or sfs");
+    }
+  } else if (knob == "bmo_algorithm") {
+    if (reset) {
+      options.bmo_algorithm = defaults.bmo_algorithm;
+    } else if (v.type() == ValueType::kText) {
+      PSQL_ASSIGN_OR_RETURN(auto algo,
+                            BmoAlgorithmFromString(ToLower(v.AsText())));
+      options.bmo_algorithm = algo;
+    } else {
+      return Status::InvalidArgument(
+          "SET bmo_algorithm expects naive, bnl, sfs, less or default");
+    }
+  } else if (knob == "but_only_mode") {
+    const std::string m =
+        v.type() == ValueType::kText ? ToLower(v.AsText()) : "";
+    if (reset) {
+      options.but_only_mode = defaults.but_only_mode;
+    } else if (m == "prefilter") {
+      options.but_only_mode = ButOnlyMode::kPreFilter;
+    } else if (m == "postfilter") {
+      options.but_only_mode = ButOnlyMode::kPostFilter;
+    } else {
+      return Status::InvalidArgument(
+          "SET but_only_mode expects prefilter or postfilter");
+    }
+  } else {
+    return Status::InvalidArgument(
+        "unknown setting '" + stmt.name +
+        "' (known: evaluation_mode, bmo_algorithm, bmo_threads, "
+        "parallel_min_rows, preference_pushdown, bnl_window, but_only_mode, "
+        "keep_aux_views, plan_cache, key_cache)");
+  }
+
+  // Echo the effective value so scripts/shell users see what stuck.
+  std::string effective;
+  if (knob == "bmo_threads") {
+    effective = std::to_string(options.bmo_threads);
+  } else if (knob == "parallel_min_rows") {
+    effective = std::to_string(options.parallel_min_rows);
+  } else if (knob == "bnl_window") {
+    effective = std::to_string(options.bnl_window);
+  } else if (knob == "preference_pushdown") {
+    effective = options.preference_pushdown ? "on" : "off";
+  } else if (knob == "keep_aux_views") {
+    effective = options.keep_aux_views ? "on" : "off";
+  } else if (knob == "plan_cache") {
+    effective = options.plan_cache ? "on" : "off";
+  } else if (knob == "key_cache") {
+    effective = options.key_cache ? "on" : "off";
+  } else if (knob == "evaluation_mode") {
+    effective = EvaluationModeToString(options.mode);
+  } else if (knob == "bmo_algorithm") {
+    effective = options.bmo_algorithm
+                    ? BmoAlgorithmToString(*options.bmo_algorithm)
+                    : "default";
+  } else if (knob == "but_only_mode") {
+    effective = options.but_only_mode == ButOnlyMode::kPreFilter
+                    ? "prefilter"
+                    : "postfilter";
+  }
+  Schema schema = Schema::FromNames({"setting", "value"});
+  std::vector<Row> rows;
+  rows.push_back({Value::Text(knob), Value::Text(effective)});
+  return ResultTable(std::move(schema), std::move(rows));
+}
+
+}  // namespace prefsql

@@ -1,0 +1,166 @@
+// Engine: the shared half of the paper's §3.1 architecture — one Preference
+// SQL optimizer plus one standard SQL database serving many client
+// sessions.
+//
+//   auto engine = std::make_shared<Engine>();
+//   Connection a, b;
+//   a.Attach(engine);
+//   b.Attach(engine);         // b sees every table a creates
+//
+// The engine owns the catalog/executor (Database), the prepared-plan cache
+// and the preference-key cache, and a statement-level shared_mutex that
+// gives snapshot-consistent reads: read-only statements (SELECT, EXPLAIN,
+// direct-path preference queries) run concurrently under a shared lock,
+// while writes (DML, DDL, rewrite-mode preference queries — they create
+// transient Aux views — and INSERT ... SELECT PREFERRING) take the lock
+// exclusively. A statement therefore always sees a stable table version,
+// which is what makes the version-keyed caches sound:
+//
+//   * plan cache  — (normalized text, knob fingerprint, catalog version)
+//                   -> parsed + expanded + compiled preparation;
+//   * key cache   — (preference fingerprint, table id, table version)
+//                   -> packed KeyStore (see preference/key_cache.h).
+//
+// Any DDL bumps the catalog version and any DML bumps the table version, so
+// stale entries become unreachable by key; after each write statement the
+// engine additionally sweeps both caches to reclaim the dead entries early
+// (the sweep feeds the eviction counters surfaced in last_stats/EXPLAIN).
+//
+// Per-session state (knobs, last_stats) lives in Session objects
+// (core/session.h); the Connection facade (core/connection.h) bundles one
+// Session with an engine reference for the classic embedded API.
+
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <shared_mutex>
+#include <string>
+
+#include "core/plan_cache.h"
+#include "core/preference_query.h"
+#include "core/session.h"
+#include "engine/database.h"
+#include "preference/key_cache.h"
+#include "types/result_table.h"
+#include "util/status.h"
+
+namespace prefsql {
+
+class Engine {
+ public:
+  Engine() = default;
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  /// Parses and executes one statement on behalf of `session`. Repeated
+  /// SELECT/EXPLAIN texts skip the parse through the plan cache.
+  Result<ResultTable> Execute(Session& session, const std::string& sql);
+
+  /// Executes a semicolon-separated script; returns the last result.
+  Result<ResultTable> ExecuteScript(Session& session, const std::string& sql);
+
+  /// Executes an already-parsed statement. Beyond plain SELECTs this layer
+  /// handles: preference SELECTs (rewrite or in-engine BMO), EXPLAIN
+  /// (returns the optimizer's standard-SQL translation as a one-column
+  /// table), INSERT whose SELECT has a PREFERRING clause (§2.2.5), SET
+  /// (session knobs), and expansion of stored PREFERENCE references (PDL).
+  Result<ResultTable> ExecuteStatement(Session& session,
+                                       const Statement& stmt);
+
+  /// Translates a preference query into the standard SQL script the
+  /// rewriting optimizer would run (§3.2) without executing it.
+  Result<std::string> RewriteToSql(Session& session, const std::string& sql);
+
+  /// The underlying standard-SQL database. Unsynchronized — direct access
+  /// is for single-threaded setup (tests, generators, benches); concurrent
+  /// sessions must go through Execute*.
+  Database& database() { return db_; }
+
+  PlanCache& plan_cache() { return plan_cache_; }
+  KeyCache& key_cache() { return key_cache_; }
+
+ private:
+  /// Builds the preparation of one SELECT/EXPLAIN statement: for preference
+  /// queries, expands stored PREFERENCE references and compiles the
+  /// PREFERRING clause (under a shared lock — the expansion reads the
+  /// catalog).
+  Result<std::shared_ptr<const PreparedStatement>> BuildPreparation(
+      StatementKind kind, std::shared_ptr<const SelectStmt> select);
+
+  /// Executes a prepared SELECT/EXPLAIN.
+  Result<ResultTable> ExecutePrepared(Session& session,
+                                      const PreparedStatement& prepared,
+                                      bool plan_cache_hit);
+
+  /// The expanded/compiled artifacts a statement should execute with.
+  struct PreparationView {
+    std::shared_ptr<const SelectStmt> expanded;
+    std::shared_ptr<const CompiledPreference> preference;
+  };
+
+  /// Returns `prepared`'s artifacts — re-expanded and re-compiled when DDL
+  /// moved the catalog version since preparation (a stored PREFERENCE may
+  /// have been redefined in the gap between cache lookup and lock
+  /// acquisition). Caller must hold the statement lock.
+  Result<PreparationView> RefreshPreparationLocked(
+      const PreparedStatement& prepared);
+
+  /// Preference SELECT with the PREFERRING clause already expanded and
+  /// compiled. Takes the statement lock itself (exclusive for the rewrite
+  /// strategy, shared for direct evaluation) unless `locked_exclusive`.
+  Result<ResultTable> ExecutePreferenceSelect(
+      Session& session, const PreparedStatement& prepared,
+      bool locked_exclusive);
+
+  /// §3.2 rewrite strategy; caller must hold the lock exclusively (the Aux
+  /// views are created in the shared catalog).
+  Result<ResultTable> ExecuteViaRewrite(
+      Session& session, const SelectStmt& select,
+      const std::shared_ptr<const CompiledPreference>& pref);
+
+  /// Direct (in-engine BMO) strategy; caller must hold the lock.
+  Result<ResultTable> ExecuteDirect(
+      Session& session, const SelectStmt& select,
+      const std::shared_ptr<const CompiledPreference>& pref);
+
+  Result<ResultTable> ExecuteExplain(Session& session,
+                                     const PreparedStatement& prepared);
+
+  /// SET <knob> = <value>: run-time access to the session's options.
+  Result<ResultTable> ExecuteSet(Session& session, const Statement& stmt);
+
+  /// The direct-path options `session`'s ConnectionOptions imply.
+  DirectEvalOptions DirectOptions(const Session& session);
+
+  /// Returns `select` with stored PREFERENCE references expanded (clones
+  /// only when needed). Caller must hold the lock (catalog read).
+  Result<std::shared_ptr<SelectStmt>> ExpandSelect(const SelectStmt& select);
+
+  /// Column names a `SELECT *` over the query's FROM would produce (schema
+  /// probe for the rewriter). Caller must hold the lock.
+  Result<std::vector<std::string>> ProbeBaseColumns(const SelectStmt& select);
+
+  /// Copies the caches' cumulative eviction counters into `session`'s
+  /// last_stats.
+  void SnapshotCacheCounters(Session& session);
+
+  /// Reclaims cache entries made unreachable by a write statement; caller
+  /// must hold the lock exclusively.
+  void SweepCaches();
+
+  /// Hash of every knob that affects how a statement prepares or executes;
+  /// part of the plan-cache key so differently-tuned sessions never share a
+  /// preparation.
+  static uint64_t KnobFingerprint(const ConnectionOptions& options);
+
+  Database db_;
+  /// Statement-level reader/writer lock; see file comment.
+  std::shared_mutex mutex_;
+  PlanCache plan_cache_;
+  KeyCache key_cache_;
+  std::atomic<uint64_t> aux_counter_{0};
+};
+
+}  // namespace prefsql

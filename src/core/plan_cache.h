@@ -1,0 +1,108 @@
+// PlanCache: engine-owned reuse of statement preparations across queries
+// and sessions.
+//
+// "Preparing" a statement covers everything up to execution that does not
+// depend on table contents: lex + parse, stored-PREFERENCE expansion (PDL),
+// and compilation of the PREFERRING clause into a CompiledPreference
+// (semantic analysis, EXPLICIT closure, dominance-program compilation). A
+// cache entry is keyed by
+//
+//   (normalized statement text, session knob fingerprint, catalog version)
+//
+// so a repeated statement skips all of it. Normalization (sql/normalize.h)
+// collapses whitespace but preserves case, so the key never conflates two
+// spellings that would display differently. The catalog version component
+// makes any DDL (including CREATE/DROP PREFERENCE, which changes what an
+// expansion means) leave older preparations unreachable; the knob
+// fingerprint isolates sessions whose settings would prepare differently.
+// Only SELECT and EXPLAIN statements are cached — they are the serving hot
+// path, and they never mutate.
+//
+// Entries are immutable and shared: concurrent sessions may execute the
+// same preparation simultaneously (the ASTs and the compiled preference are
+// only ever read during execution).
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "preference/composite.h"
+#include "sql/ast.h"
+#include "util/lru_cache.h"
+
+namespace prefsql {
+
+/// One cached preparation. `select` is the parsed query block (kSelect and
+/// kExplain are the only cached kinds); the last two fields are engaged for
+/// preference queries only.
+struct PreparedStatement {
+  StatementKind kind = StatementKind::kSelect;
+  std::shared_ptr<const SelectStmt> select;
+  /// PREFERRING with stored PREFERENCE references expanded (PDL).
+  std::shared_ptr<const SelectStmt> expanded;
+  /// The compiled PREFERRING clause of `expanded`.
+  std::shared_ptr<const CompiledPreference> preference;
+  /// Catalog version the expansion was prepared against. The engine
+  /// re-validates it under the statement lock and re-expands when DDL
+  /// committed in between (the cache key alone cannot close that window —
+  /// it is computed before the lock is taken).
+  uint64_t catalog_version = 0;
+};
+
+struct PlanCacheKey {
+  std::string text;  ///< NormalizeSql of the statement
+  uint64_t knob_fingerprint = 0;
+  uint64_t catalog_version = 0;
+
+  bool operator==(const PlanCacheKey& other) const = default;
+};
+
+class PlanCache {
+ public:
+  explicit PlanCache(size_t capacity = 256) : cache_(capacity) {}
+
+  /// The cached preparation for `key`, or nullptr. Counts a hit or miss
+  /// and refreshes the entry's LRU position.
+  std::shared_ptr<const PreparedStatement> Lookup(const PlanCacheKey& key) {
+    return cache_.Lookup(key);
+  }
+
+  /// Publishes a preparation (replacing any entry under `key`). May
+  /// LRU-evict the least recently used entry.
+  void Insert(const PlanCacheKey& key,
+              std::shared_ptr<const PreparedStatement> prepared) {
+    if (prepared != nullptr) cache_.Insert(key, std::move(prepared));
+  }
+
+  /// Early reclamation after DDL: drops every entry whose catalog version
+  /// differs from `current` (they can never be looked up again). Returns
+  /// the number of dropped entries.
+  size_t EvictOtherVersions(uint64_t current) {
+    return cache_.EvictWhere([current](const PlanCacheKey& key) {
+      return key.catalog_version != current;
+    });
+  }
+
+  struct KeyHash {
+    size_t operator()(const PlanCacheKey& k) const {
+      uint64_t h = FingerprintString(kFingerprintSeed, k.text);
+      h = FingerprintMix(h, k.knob_fingerprint);
+      h = FingerprintMix(h, k.catalog_version);
+      return static_cast<size_t>(h);
+    }
+  };
+
+  using Counters =
+      LruCache<PlanCacheKey, std::shared_ptr<const PreparedStatement>,
+               KeyHash>::Counters;
+  Counters counters() const { return cache_.counters(); }
+  size_t size() const { return cache_.size(); }
+
+ private:
+  LruCache<PlanCacheKey, std::shared_ptr<const PreparedStatement>, KeyHash>
+      cache_;
+};
+
+}  // namespace prefsql

@@ -15,7 +15,7 @@ Result<PreferencePlan> BuildPreferencePlan(
     Database& db, const AnalyzedPreferenceQuery& analyzed,
     const DirectEvalOptions& options, bool count_stats) {
   const SelectStmt& q = *analyzed.query;
-  const CompiledPreference& pref = analyzed.preference;
+  const CompiledPreference& pref = analyzed.preference();
   Executor& executor = db.executor();
   Planner planner(&executor);
 
@@ -145,6 +145,39 @@ Result<PreferencePlan> BuildPreferencePlan(
   config.threads = options.threads;
   config.parallel_min_rows = options.parallel_min_rows;
   config.stats_sink = plan.bmo_stats.get();
+
+  // Key-cache eligibility: the packed keys are reusable across queries only
+  // when the candidate stream is exactly the table heap in storage order —
+  // one base table (not a view or join), no WHERE, no pushed-down
+  // pre-filter — and every leaf key is a pure function of the row alone (no
+  // subqueries in preference attributes, whose value could depend on other
+  // tables). The cache key embeds the preference tree hash, the table's
+  // process-unique id and its mutation version, so a match is provably the
+  // same keys.
+  if (options.key_cache == nullptr) {
+    plan.key_cache_detail = "key cache: disabled";
+  } else if (plan.used_pushdown || q.from.size() != 1 ||
+             q.from[0]->kind != TableRef::Kind::kTable ||
+             q.where != nullptr) {
+    plan.key_cache_detail =
+        "key cache: not eligible (candidates are not a bare base-table scan)";
+  } else if (!db.catalog().HasTable(q.from[0]->table_name)) {
+    plan.key_cache_detail = "key cache: not eligible (view or missing table)";
+  } else if (!PreferenceColumnRefs(pref).has_value()) {
+    plan.key_cache_detail =
+        "key cache: not eligible (preference attribute uses a subquery)";
+  } else {
+    PSQL_ASSIGN_OR_RETURN(Table * table,
+                          db.catalog().GetTable(q.from[0]->table_name));
+    config.key_cache = options.key_cache;
+    config.key_cache_key =
+        KeyCacheKey{pref.Fingerprint(), PrefTermToSql(pref.term()),
+                    table->id(), table->version()};
+    plan.key_cache_eligible = true;
+    plan.key_cache_detail = "key cache: eligible (table " +
+                            q.from[0]->table_name + ", version " +
+                            std::to_string(table->version()) + ")";
+  }
   bool progressive_topk =
       q.limit.has_value() && *q.limit >= 0 && !q.offset && q.order_by.empty() &&
       q.grouping.empty() && q.but_only == nullptr && !q.distinct &&
@@ -180,6 +213,9 @@ Result<ResultTable> ExecutePreferenceQueryDirect(
     stats->used_pushdown = plan.used_pushdown;
     stats->pushdown_detail = plan.pushdown_detail;
     stats->prefilter = *plan.prefilter_stats;
+    stats->key_cache_eligible = plan.key_cache_eligible;
+    stats->key_cache_hit = plan.bmo_stats->key_cache_hit;
+    stats->key_cache_detail = plan.key_cache_detail;
   }
   return result;
 }

@@ -42,6 +42,11 @@ struct DirectEvalOptions {
   size_t parallel_min_rows = 4096;
   /// Attempt the algebraic preference pushdown below joins.
   bool pushdown = true;
+  /// Engine key cache (not owned; nullptr = off). Consulted when the
+  /// candidate stream is a bare full scan of one base table — the packed
+  /// keys are then a pure function of (preference, table contents) and are
+  /// reused across queries and sessions.
+  KeyCache* key_cache = nullptr;
 };
 
 /// Observability of one direct evaluation (benches, Connection stats).
@@ -53,6 +58,9 @@ struct DirectEvalStats {
   bool used_pushdown = false;  ///< semi-skyline pre-filter below the join
   std::string pushdown_detail; ///< placement / rejection reason
   BmoRunStats prefilter;       ///< counters of the pushed-down pre-filter
+  bool key_cache_eligible = false;  ///< run was keyed against the key cache
+  bool key_cache_hit = false;  ///< packed keys reused from the key cache
+  std::string key_cache_detail;  ///< eligibility / rejection reason
 };
 
 /// A compiled direct-evaluation plan: the operator tree plus the stats
@@ -63,6 +71,8 @@ struct PreferencePlan {
   std::unique_ptr<BmoRunStats> prefilter_stats;  ///< pushdown pre-filter
   bool used_pushdown = false;
   std::string pushdown_detail;
+  bool key_cache_eligible = false;
+  std::string key_cache_detail;
   /// BUT ONLY rewritten against the augmented schema (referenced by the
   /// operators in `root`).
   ExprPtr owned_but_only;

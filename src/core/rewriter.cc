@@ -218,7 +218,7 @@ Result<RewriteOutput> RewritePreferenceQuery(
     const std::vector<std::string>& base_columns, ButOnlyMode but_only_mode,
     const std::string& aux_view_name) {
   const SelectStmt& q = *analyzed.query;
-  const CompiledPreference& pref = analyzed.preference;
+  const CompiledPreference& pref = analyzed.preference();
 
   // Qualified stars cannot be re-expanded over the Aux view.
   for (const auto& item : q.items) {

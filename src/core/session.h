@@ -1,0 +1,115 @@
+// Session: the per-client half of the shared-engine architecture.
+//
+// The paper's deployment (§3.1) puts one Preference SQL optimizer in front
+// of one standard SQL database serving many clients. Mirroring that split,
+// an Engine (core/engine.h) owns everything clients share — catalog,
+// executor, plan cache, key cache — while a Session holds only what is
+// private to one client: its knobs (ConnectionOptions, reachable from SQL
+// via SET) and the statistics of its last preference query. Sessions are
+// cheap; creating one per request is fine.
+
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "core/bmo.h"
+#include "core/quality.h"
+
+namespace prefsql {
+
+/// How preference queries are evaluated.
+enum class EvaluationMode {
+  /// Rewrite to standard SQL (Aux view + NOT EXISTS anti-join, §3.2) and run
+  /// it on the engine — the commercial product's strategy. Falls back to
+  /// kBlockNestedLoop when the preference is not rewritable.
+  kRewrite,
+  /// In-engine BNL skyline algorithm [BKS01].
+  kBlockNestedLoop,
+  /// In-engine naive nested loop (the §3.2 abstract selection method).
+  kNaiveNestedLoop,
+  /// In-engine sort-filter skyline.
+  kSortFilterSkyline,
+};
+
+const char* EvaluationModeToString(EvaluationMode m);
+
+/// Per-session behaviour switches. All of these are also reachable from
+/// SQL via `SET <knob> = <value>` (e.g. `SET bmo_threads = 4`,
+/// `SET preference_pushdown = off`, `SET evaluation_mode = sfs`).
+struct ConnectionOptions {
+  EvaluationMode mode = EvaluationMode::kRewrite;
+  ButOnlyMode but_only_mode = ButOnlyMode::kPostFilter;
+  /// Overrides the in-engine skyline algorithm the evaluation mode implies
+  /// (`SET bmo_algorithm = naive|bnl|sfs|less`); nullopt = follow the mode.
+  std::optional<BmoAlgorithm> bmo_algorithm;
+  /// BNL window capacity (tuples); 0 = unbounded.
+  size_t bnl_window = 0;
+  /// Keep the generated Aux views after a rewritten query (debugging).
+  bool keep_aux_views = false;
+  /// Worker threads of the parallel partitioned BMO (direct path);
+  /// 0/1 = serial.
+  size_t bmo_threads = 0;
+  /// Minimum candidate rows before BMO worker threads spin up.
+  size_t parallel_min_rows = 4096;
+  /// Algebraic preference pushdown below joins (direct path).
+  bool preference_pushdown = true;
+  /// Consult the engine's prepared-plan cache (skips lex/parse/analyze on
+  /// repeated SELECT/EXPLAIN statements).
+  bool plan_cache = true;
+  /// Consult the engine's preference-key cache (reuses packed KeyStores for
+  /// repeated PREFERRING queries over unchanged tables; direct path).
+  bool key_cache = true;
+};
+
+/// Statistics of the last executed preference query (plus, for any cached
+/// statement, the cache outcome). The direct-path counters are valid even
+/// when the query failed partway (the BMO operators flush their stats on
+/// Close).
+struct PreferenceQueryStats {
+  bool was_preference_query = false;
+  bool used_rewrite = false;
+  bool rewrite_fallback = false;  // rewriter refused; BNL used instead
+  size_t candidate_count = 0;     // rows after WHERE (direct path only)
+  size_t result_count = 0;
+  size_t bmo_comparisons = 0;     // dominance tests (direct path only)
+  size_t bmo_partitions = 0;      // GROUPING partitions (direct path)
+  size_t bmo_threads_used = 1;    // parallel pool width (1 = serial)
+  std::string bmo_algorithm;      // skyline algorithm run (direct path)
+  std::string bmo_kernel;         // dominance kernel (packed vs generic)
+  uint64_t bmo_key_build_ns = 0;  // packed key construction time
+  bool used_pushdown = false;     // BMO prefilter pushed below the join
+  std::string pushdown_detail;    // placement / rejection reason
+  size_t prefilter_candidate_count = 0;  // rows into the pushed prefilter
+  size_t prefilter_result_count = 0;     // rows surviving the prefilter
+  // Cache observability (tentpole satellites). The hit flags describe this
+  // statement; the eviction counters are cumulative engine-wide totals
+  // snapshotted after it.
+  bool plan_cache_hit = false;     // preparation reused (parse/analyze skipped)
+  bool key_cache_eligible = false; // run was keyed against the key cache
+  bool key_cache_hit = false;      // packed keys reused (key build skipped)
+  std::string key_cache_detail;    // eligibility / rejection reason
+  uint64_t plan_cache_evictions = 0;
+  uint64_t key_cache_evictions = 0;
+};
+
+/// Per-client state over a (possibly shared) Engine.
+class Session {
+ public:
+  Session() = default;
+  explicit Session(ConnectionOptions options) : options_(options) {}
+
+  ConnectionOptions& options() { return options_; }
+  const ConnectionOptions& options() const { return options_; }
+
+  const PreferenceQueryStats& last_stats() const { return last_stats_; }
+  /// Engine-internal: the stats sink of the statement being executed.
+  PreferenceQueryStats& mutable_last_stats() { return last_stats_; }
+
+ private:
+  ConnectionOptions options_;
+  PreferenceQueryStats last_stats_;
+};
+
+}  // namespace prefsql

@@ -8,7 +8,9 @@
 
 #pragma once
 
+#include <atomic>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -64,23 +66,28 @@ class Executor : public SubqueryRunner {
 
   /// Drops per-statement caches (view materializations). Called by the
   /// Database facade between top-level statements.
-  void ClearStatementCache() { view_cache_.clear(); }
+  void ClearStatementCache() {
+    std::lock_guard<std::mutex> lock(view_cache_mutex_);
+    view_cache_.clear();
+  }
 
   Catalog* catalog() { return catalog_; }
 
   /// Execution counters (monotone per executor; used by tests and benches).
+  /// Atomic so concurrent reader sessions of a shared engine can count scans
+  /// without synchronization.
   struct Stats {
-    uint64_t index_scans = 0;  ///< WHERE clauses served via a secondary index
-    uint64_t full_scans = 0;   ///< WHERE clauses evaluated by full scan
+    std::atomic<uint64_t> index_scans{0};  ///< WHEREs served via an index
+    std::atomic<uint64_t> full_scans{0};   ///< WHEREs evaluated by full scan
   };
   const Stats& stats() const { return stats_; }
 
   /// Records the access-path choice of one planned WHERE (planner only).
   void CountScan(bool used_index) {
     if (used_index) {
-      ++stats_.index_scans;
+      stats_.index_scans.fetch_add(1, std::memory_order_relaxed);
     } else {
-      ++stats_.full_scans;
+      stats_.full_scans.fetch_add(1, std::memory_order_relaxed);
     }
   }
 
@@ -90,6 +97,9 @@ class Executor : public SubqueryRunner {
   Result<ResultTable> ExecuteDelete(const Statement& stmt);
 
   Catalog* catalog_;
+  /// Guards view_cache_ against concurrent reader sessions; entries are
+  /// shared_ptr so a concurrent clear never invalidates an in-flight read.
+  std::mutex view_cache_mutex_;
   std::unordered_map<std::string, std::shared_ptr<ResultTable>> view_cache_;
   Stats stats_;
 };

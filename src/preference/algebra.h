@@ -30,6 +30,11 @@ class DualBasePreference : public BasePreference {
 
   const char* TypeName() const override { return "DUAL"; }
 
+  uint64_t Fingerprint() const override {
+    return FingerprintMix(BasePreference::Fingerprint(),
+                          inner_->Fingerprint());
+  }
+
   double Score(const Value& v) const override { return -inner_->Score(v); }
 
   int32_t ExplicitId(const Value& v) const override {

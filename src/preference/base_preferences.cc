@@ -36,6 +36,10 @@ ExprPtr InList(const Expr& attr, const std::vector<Value>& values) {
 // AROUND
 // ---------------------------------------------------------------------------
 
+uint64_t AroundPreference::Fingerprint() const {
+  return FingerprintDouble(BasePreference::Fingerprint(), target_);
+}
+
 double AroundPreference::Score(const Value& v) const {
   auto n = Num(v);
   if (!n) return kWorstScore;
@@ -53,6 +57,11 @@ Result<ExprPtr> AroundPreference::ScoreExpr(const Expr& attr) const {
 // ---------------------------------------------------------------------------
 // BETWEEN
 // ---------------------------------------------------------------------------
+
+uint64_t BetweenPreference::Fingerprint() const {
+  return FingerprintDouble(FingerprintDouble(BasePreference::Fingerprint(), low_),
+                           high_);
+}
 
 double BetweenPreference::Score(const Value& v) const {
   auto n = Num(v);
@@ -137,6 +146,15 @@ LayeredSetPreference::LayeredSetPreference(
       layers_(std::move(layers)),
       others_level_(others_level.value_or(static_cast<int>(layers_.size()) + 1)) {}
 
+uint64_t LayeredSetPreference::Fingerprint() const {
+  uint64_t h = BasePreference::Fingerprint();
+  for (const auto& layer : layers_) {
+    h = FingerprintMix(h, layer.size());
+    for (const auto& v : layer) h = FingerprintValue(h, v);
+  }
+  return FingerprintMix(h, static_cast<uint64_t>(others_level_));
+}
+
 double LayeredSetPreference::Score(const Value& v) const {
   if (!v.is_null()) {
     for (size_t i = 0; i < layers_.size(); ++i) {
@@ -202,6 +220,10 @@ std::unique_ptr<BasePreference> MakePosNegPreference(std::vector<Value> pos,
 // ---------------------------------------------------------------------------
 // CONTAINS
 // ---------------------------------------------------------------------------
+
+uint64_t ContainsPreference::Fingerprint() const {
+  return FingerprintString(BasePreference::Fingerprint(), needle_);
+}
 
 double ContainsPreference::Score(const Value& v) const {
   if (v.type() != ValueType::kText) return 2.0;

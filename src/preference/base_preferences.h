@@ -15,6 +15,7 @@ class AroundPreference : public BasePreference {
  public:
   explicit AroundPreference(double target) : target_(target) {}
   const char* TypeName() const override { return "AROUND"; }
+  uint64_t Fingerprint() const override;
   double Score(const Value& v) const override;
   Result<ExprPtr> ScoreExpr(const Expr& attr) const override;
   bool IsCategorical() const override { return false; }
@@ -31,6 +32,7 @@ class BetweenPreference : public BasePreference {
  public:
   BetweenPreference(double low, double high) : low_(low), high_(high) {}
   const char* TypeName() const override { return "BETWEEN"; }
+  uint64_t Fingerprint() const override;
   double Score(const Value& v) const override;
   Result<ExprPtr> ScoreExpr(const Expr& attr) const override;
   bool IsCategorical() const override { return false; }
@@ -72,6 +74,7 @@ class LayeredSetPreference : public BasePreference {
                        std::optional<int> others_level = std::nullopt);
 
   const char* TypeName() const override { return type_name_; }
+  uint64_t Fingerprint() const override;
   double Score(const Value& v) const override;
   Result<ExprPtr> ScoreExpr(const Expr& attr) const override;
   bool IsCategorical() const override { return true; }
@@ -103,6 +106,7 @@ class ContainsPreference : public BasePreference {
   explicit ContainsPreference(std::string needle)
       : needle_(std::move(needle)) {}
   const char* TypeName() const override { return "CONTAINS"; }
+  uint64_t Fingerprint() const override;
   double Score(const Value& v) const override;
   Result<ExprPtr> ScoreExpr(const Expr& attr) const override;
   bool IsCategorical() const override { return true; }

@@ -24,6 +24,10 @@ class ExplicitPreference : public BasePreference {
 
   const char* TypeName() const override { return "EXPLICIT"; }
 
+  /// Mixes the mentioned values (in id order) and the transitive closure —
+  /// together they determine the order completely.
+  uint64_t Fingerprint() const override;
+
   /// Layer rank + 1 (longest chain from a maximal value); a monotone linear
   /// extension of the order. Unmentioned values score max_rank + 2.
   double Score(const Value& v) const override;

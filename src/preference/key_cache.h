@@ -1,0 +1,100 @@
+// KeyCache: engine-owned reuse of packed preference keys across queries.
+//
+// Building the KeyStore (one leaf-attribute evaluation per tuple per leaf)
+// dominates the cost of a repeated preference query once the dominance
+// kernels are fast; the ROADMAP calls out a per-table key cache keyed by
+// (preference fingerprint, table version) as the serving-scale lever. An
+// entry maps
+//
+//   (CompiledPreference::Fingerprint, printed preference text,
+//    Table::id, Table::version)
+//     -> shared immutable KeyStore for rows 0..n-1 in storage order
+//
+// so a repeated `PREFERRING` query over an unchanged table reuses the keys
+// wholesale instead of rebuilding them. Every component is there for a
+// served-staleness argument: the table *version* (any DML bumps it) and the
+// process-unique table *id* (a dropped-and-recreated table never matches
+// its predecessor) pin the rows; the tree-hash fingerprint plus the printed
+// preference text pin the preference — the text guards against a 64-bit
+// hash collision between two different preferences, so a match provably
+// produces identical keys. Eviction (LRU capacity plus the engine's
+// post-write EvictStale sweep) is therefore purely about memory.
+//
+// Thread safety: all operations lock an internal mutex (util/lru_cache.h),
+// so concurrent reader sessions of a shared engine may probe and fill the
+// cache freely. The stored KeyStores are immutable after insertion.
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "preference/key_store.h"
+#include "util/lru_cache.h"
+
+namespace prefsql {
+
+/// Identity of one cached KeyStore; see file comment for the invalidation
+/// argument behind each component.
+struct KeyCacheKey {
+  uint64_t preference_fingerprint = 0;
+  /// PrefTermToSql of the compiled term — equality re-verifies the
+  /// fingerprint (identical text => identical key semantics).
+  std::string preference_text;
+  uint64_t table_id = 0;
+  uint64_t table_version = 0;
+
+  bool operator==(const KeyCacheKey& other) const = default;
+};
+
+class KeyCache {
+ public:
+  /// `capacity` = maximum number of cached KeyStores (LRU beyond that).
+  explicit KeyCache(size_t capacity = 64) : cache_(capacity) {}
+
+  /// The cached keys for `key`, or nullptr. Counts a hit or miss and
+  /// refreshes the entry's LRU position.
+  std::shared_ptr<const KeyStore> Lookup(const KeyCacheKey& key) {
+    return cache_.Lookup(key);
+  }
+
+  /// Publishes freshly built keys (replacing any entry under `key`). May
+  /// LRU-evict the least recently used entry.
+  void Insert(const KeyCacheKey& key, std::shared_ptr<const KeyStore> keys) {
+    if (keys != nullptr) cache_.Insert(key, std::move(keys));
+  }
+
+  /// Early reclamation: drops every entry for which `live(table_id,
+  /// table_version)` is false. Version-keyed entries can never be *served*
+  /// stale; this just frees their memory as soon as a write makes them
+  /// unreachable. Returns the number of dropped entries.
+  size_t EvictStale(
+      const std::function<bool(uint64_t table_id, uint64_t table_version)>&
+          live) {
+    return cache_.EvictWhere([&](const KeyCacheKey& key) {
+      return !live(key.table_id, key.table_version);
+    });
+  }
+
+  struct KeyHash {
+    size_t operator()(const KeyCacheKey& k) const {
+      uint64_t h = FingerprintMix(kFingerprintSeed, k.preference_fingerprint);
+      h = FingerprintMix(h, k.table_id);
+      h = FingerprintMix(h, k.table_version);
+      return static_cast<size_t>(h);
+    }
+  };
+
+  using Counters =
+      LruCache<KeyCacheKey, std::shared_ptr<const KeyStore>,
+               KeyHash>::Counters;
+  Counters counters() const { return cache_.counters(); }
+  size_t size() const { return cache_.size(); }
+
+ private:
+  LruCache<KeyCacheKey, std::shared_ptr<const KeyStore>, KeyHash> cache_;
+};
+
+}  // namespace prefsql

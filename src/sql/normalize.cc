@@ -1,0 +1,51 @@
+#include "sql/normalize.h"
+
+#include <cctype>
+
+namespace prefsql {
+
+std::string NormalizeSql(std::string_view sql) {
+  std::string out;
+  out.reserve(sql.size());
+  bool pending_space = false;
+  for (size_t i = 0; i < sql.size(); ++i) {
+    char c = sql[i];
+    // Quoted regions are preserved byte for byte — whitespace inside a
+    // string literal or a quoted identifier is significant. A doubled
+    // closing quote ('' / "") re-toggles immediately, which preserves it.
+    if (c == '\'' || c == '"') {
+      if (pending_space && !out.empty()) out += ' ';
+      pending_space = false;
+      const char quote = c;
+      out += c;
+      for (++i; i < sql.size(); ++i) {
+        out += sql[i];
+        if (sql[i] == quote) break;
+      }
+      continue;
+    }
+    // `--` line comments are stripped (the lexer does the same), so a
+    // comment can never glue the rest of its line into the statement when
+    // the newline collapses.
+    if (c == '-' && i + 1 < sql.size() && sql[i + 1] == '-') {
+      while (i < sql.size() && sql[i] != '\n') ++i;
+      pending_space = !out.empty();
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      pending_space = !out.empty();
+      continue;
+    }
+    if (pending_space) {
+      out += ' ';
+      pending_space = false;
+    }
+    out += c;
+  }
+  while (!out.empty() && (out.back() == ';' || out.back() == ' ')) {
+    out.pop_back();
+  }
+  return out;
+}
+
+}  // namespace prefsql

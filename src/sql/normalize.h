@@ -1,0 +1,26 @@
+// Statement-text normalization for plan-cache keying.
+//
+// The prepared-plan cache must map repetitions of a statement onto one key
+// without parsing them first (the whole point is to skip the parse).
+// NormalizeSql produces a canonical form that is stable under insignificant
+// whitespace while never conflating statements that could display
+// differently: identifier case affects result headers, so case is
+// preserved everywhere (two case-variant spellings simply occupy two cache
+// entries).
+
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace prefsql {
+
+/// Canonical form of one statement for cache keying: whitespace runs
+/// collapse to a single space, `--` line comments are stripped (exactly as
+/// the lexer does — otherwise collapsing the newline would glue the rest of
+/// the line into the comment), leading/trailing whitespace and a trailing
+/// semicolon are dropped. String literals and quoted identifiers are
+/// preserved byte for byte, and so is case everywhere.
+std::string NormalizeSql(std::string_view sql);
+
+}  // namespace prefsql

@@ -27,6 +27,7 @@ Status Catalog::CreateTable(const std::string& name,
     }
   }
   tables_[key] = std::make_unique<Table>(name, std::move(columns));
+  BumpVersion();
   return Status::OK();
 }
 
@@ -37,6 +38,7 @@ Status Catalog::CreateView(const std::string& name,
     return Status::AlreadyExists("table or view '" + name + "' already exists");
   }
   views_[key] = std::move(definition);
+  BumpVersion();
   return Status::OK();
 }
 
@@ -57,6 +59,7 @@ Status Catalog::CreateIndex(const std::string& name, const std::string& table,
   }
   indexes_[key] = std::make_unique<Index>(name, tbl, std::move(cols));
   index_table_[key] = Key(table);
+  BumpVersion();
   return Status::OK();
 }
 
@@ -67,6 +70,7 @@ Status Catalog::CreatePreference(const std::string& name,
     return Status::AlreadyExists("preference '" + name + "' already exists");
   }
   preferences_[key] = std::move(definition);
+  BumpVersion();
   return Status::OK();
 }
 
@@ -102,6 +106,7 @@ Status Catalog::Drop(Statement::DropKind kind, const std::string& name,
         }
       }
       tables_.erase(it);
+      BumpVersion();
       return Status::OK();
     }
     case Statement::DropKind::kView: {
@@ -111,6 +116,7 @@ Status Catalog::Drop(Statement::DropKind kind, const std::string& name,
         return Status::NotFound("no view '" + name + "'");
       }
       views_.erase(it);
+      BumpVersion();
       return Status::OK();
     }
     case Statement::DropKind::kIndex: {
@@ -121,6 +127,7 @@ Status Catalog::Drop(Statement::DropKind kind, const std::string& name,
       }
       index_table_.erase(key);
       indexes_.erase(it);
+      BumpVersion();
       return Status::OK();
     }
     case Statement::DropKind::kPreference: {
@@ -130,6 +137,7 @@ Status Catalog::Drop(Statement::DropKind kind, const std::string& name,
         return Status::NotFound("no preference '" + name + "'");
       }
       preferences_.erase(it);
+      BumpVersion();
       return Status::OK();
     }
   }

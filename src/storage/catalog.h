@@ -2,6 +2,8 @@
 
 #pragma once
 
+#include <atomic>
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <unordered_map>
@@ -50,8 +52,26 @@ class Catalog {
 
   std::vector<std::string> TableNames() const;
 
+  /// Monotone DDL counter: bumped whenever the set of tables, views,
+  /// indexes or stored preferences changes. Prepared-plan cache keys embed
+  /// it, so any DDL makes older preparations unreachable. Atomic: the
+  /// engine reads it for cache keying before taking the statement lock.
+  uint64_t version() const { return version_.load(std::memory_order_relaxed); }
+
+  /// Suppresses version bumps while set. The engine uses this around the
+  /// transient rewrite Aux views it creates and drops per query — they can
+  /// never affect a cached preparation, and bumping for them would flush
+  /// the plan cache on every rewrite-mode preference query.
+  void set_suppress_version_bumps(bool on) { suppress_version_bumps_ = on; }
+
  private:
   static std::string Key(const std::string& name);
+
+  void BumpVersion() {
+    if (!suppress_version_bumps_) {
+      version_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
 
   std::unordered_map<std::string, std::unique_ptr<Table>> tables_;
   std::unordered_map<std::string, std::shared_ptr<SelectStmt>> views_;
@@ -59,6 +79,8 @@ class Catalog {
   std::unordered_map<std::string, PrefTermPtr> preferences_;
   // index name -> table key, for IndexesOn.
   std::unordered_map<std::string, std::string> index_table_;
+  std::atomic<uint64_t> version_{0};
+  bool suppress_version_bumps_ = false;
 };
 
 }  // namespace prefsql

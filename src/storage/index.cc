@@ -24,6 +24,7 @@ void Index::RefreshIfStale() {
 }
 
 const std::vector<size_t>& Index::Lookup(const Row& key) {
+  std::lock_guard<std::mutex> lock(mutex_);
   RefreshIfStale();
   auto it = entries_.find(key);
   if (it == entries_.end()) return empty_;
@@ -36,6 +37,7 @@ std::vector<size_t> Index::RangeLookup(const Value& lo, const Value& hi) {
 
 std::vector<size_t> Index::RangeLookupBounds(const Value* lo,
                                              const Value* hi) {
+  std::lock_guard<std::mutex> lock(mutex_);
   RefreshIfStale();
   std::vector<size_t> out;
   auto begin = lo != nullptr ? entries_.lower_bound(Row{*lo})
@@ -48,6 +50,7 @@ std::vector<size_t> Index::RangeLookupBounds(const Value* lo,
 }
 
 size_t Index::NumDistinctKeys() {
+  std::lock_guard<std::mutex> lock(mutex_);
   RefreshIfStale();
   return entries_.size();
 }

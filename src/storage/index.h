@@ -7,6 +7,7 @@
 #pragma once
 
 #include <map>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -20,6 +21,12 @@ class Table;
 /// Ordered secondary index over one or more columns of a base table.
 /// Rebuilt lazily when the table version changes (simple and correct for an
 /// analytics-style workload; no incremental maintenance).
+///
+/// Lookups are safe from concurrent reader sessions: the lazy rebuild and
+/// the map accesses are serialized by an internal mutex. The engine's
+/// shared/exclusive statement lock guarantees the table version cannot move
+/// while readers are active, so a reference returned by Lookup stays valid
+/// for the duration of the reading statement.
 class Index {
  public:
   Index(std::string name, const Table* table, std::vector<size_t> key_columns);
@@ -54,6 +61,7 @@ class Index {
 
   void RefreshIfStale();
 
+  mutable std::mutex mutex_;
   std::string name_;
   const Table* table_;
   std::vector<size_t> key_columns_;

@@ -1,11 +1,17 @@
 #include "storage/table.h"
 
+#include <atomic>
 #include <cmath>
 
 #include "types/date.h"
 #include "util/string_util.h"
 
 namespace prefsql {
+
+uint64_t Table::NextId() {
+  static std::atomic<uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
 
 Table::Table(std::string name, std::vector<ColumnDef> columns)
     : name_(std::move(name)), columns_(std::move(columns)) {

@@ -51,15 +51,23 @@ class Table {
   Result<Value> CoerceToColumn(size_t col, Value value) const;
 
   /// Monotone counter bumped on every mutation; indexes use it to detect
-  /// staleness.
+  /// staleness and the engine's key cache embeds it in cache keys.
   uint64_t version() const { return version_; }
 
+  /// Process-unique identity of this table object. Unlike the name, the id
+  /// distinguishes a dropped-and-recreated table from its predecessor, so
+  /// version-keyed caches can never match entries of a dead incarnation.
+  uint64_t id() const { return id_; }
+
  private:
+  static uint64_t NextId();
+
   std::string name_;
   std::vector<ColumnDef> columns_;
   Schema schema_;
   std::vector<Row> rows_;
   uint64_t version_ = 0;
+  uint64_t id_ = NextId();
 };
 
 }  // namespace prefsql

@@ -120,7 +120,7 @@ TEST_P(BmoParityPropertyTest, AllPathsReturnTheSameMaximalSet) {
   std::set<size_t> reference_set(reference.begin(), reference.end());
   for (size_t k : {size_t{0}, size_t{1}, size_t{5}, size_t{1000}}) {
     BmoStats topk_stats;
-    auto topk = ComputeBmoTopK(*pref, keys, all, k, &topk_stats);
+    auto topk = ComputeBmoTopK(*pref, keys, all, k, {}, &topk_stats);
     EXPECT_EQ(topk.size(), std::min(k, reference.size())) << "k=" << k;
     for (size_t idx : topk) {
       EXPECT_TRUE(reference_set.count(idx)) << "k=" << k << " idx=" << idx;

@@ -210,7 +210,7 @@ TEST_P(BmoTopKTest, ReturnsKMaximalTuples) {
   BmoStats topk_stats, full_stats;
   ComputeBmo(f.pref, f.keys, f.all, {BmoAlgorithm::kSortFilterSkyline, 0},
              &full_stats);
-  auto topk = ComputeBmoTopK(f.pref, f.keys, f.all, k, &topk_stats);
+  auto topk = ComputeBmoTopK(f.pref, f.keys, f.all, k, {}, &topk_stats);
   EXPECT_EQ(topk.size(), std::min(k, full.size()));
   // Every returned tuple is in the full BMO set.
   for (size_t idx : topk) {

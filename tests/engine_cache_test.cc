@@ -1,0 +1,247 @@
+// The engine's two caches and their version-based invalidation:
+//   * plan cache — (normalized text, knob fingerprint, catalog version),
+//   * key cache  — (preference fingerprint, table id, table version),
+// plus the stats/EXPLAIN surface (`plan_cache_hit`, `key_cache_hit`,
+// eviction counters) and the preference tree hashes the key cache rests on.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "core/connection.h"
+#include "sql/normalize.h"
+#include "sql/parser.h"
+
+namespace prefsql {
+namespace {
+
+class EngineCacheTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(conn_.ExecuteScript(
+                         "CREATE TABLE gear (name TEXT, price INTEGER, "
+                         "weight INTEGER);"
+                         "INSERT INTO gear VALUES ('tent', 300, 4), "
+                         "('tarp', 120, 2), ('bivy', 180, 1), "
+                         "('hammock', 150, 2)")
+                    .ok());
+  }
+
+  Connection conn_;
+  const std::string kQuery =
+      "SELECT name FROM gear PREFERRING LOWEST(price) AND LOWEST(weight)";
+};
+
+TEST_F(EngineCacheTest, RepeatedStatementHitsThePlanCache) {
+  auto first = conn_.Execute(kQuery);
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  EXPECT_FALSE(conn_.last_stats().plan_cache_hit);
+
+  auto second = conn_.Execute(kQuery);
+  ASSERT_TRUE(second.ok());
+  EXPECT_TRUE(conn_.last_stats().plan_cache_hit);
+  EXPECT_EQ(first->ToString(), second->ToString());
+
+  // Whitespace-variant text maps onto the same entry.
+  auto respelled = conn_.Execute(
+      "SELECT name  FROM gear\n PREFERRING LOWEST(price) AND "
+      "LOWEST(weight);");
+  ASSERT_TRUE(respelled.ok());
+  EXPECT_TRUE(conn_.last_stats().plan_cache_hit);
+  EXPECT_EQ(first->ToString(), respelled->ToString());
+
+  // Case-variant text keys separately (identifier case affects result
+  // headers, so it must never be served another spelling's preparation) —
+  // but still computes the same rows.
+  auto lower = conn_.Execute(
+      "select name from gear preferring lowest(price) and lowest(weight)");
+  ASSERT_TRUE(lower.ok());
+  EXPECT_FALSE(conn_.last_stats().plan_cache_hit);
+  EXPECT_EQ(first->ToString(), lower->ToString());
+}
+
+TEST_F(EngineCacheTest, DdlInvalidatesThePlanCache) {
+  ASSERT_TRUE(conn_.Execute(kQuery).ok());
+  ASSERT_TRUE(conn_.Execute(kQuery).ok());
+  ASSERT_TRUE(conn_.last_stats().plan_cache_hit);
+
+  // Any DDL bumps the catalog version; the old preparation is unreachable
+  // and the sweep reclaims it (visible in the eviction counter).
+  ASSERT_TRUE(conn_.Execute("CREATE TABLE other (z INTEGER)").ok());
+  ASSERT_TRUE(conn_.Execute(kQuery).ok());
+  EXPECT_FALSE(conn_.last_stats().plan_cache_hit);
+  EXPECT_GT(conn_.last_stats().plan_cache_evictions, 0u);
+}
+
+TEST_F(EngineCacheTest, ChangedKnobsDoNotSharePreparations) {
+  ASSERT_TRUE(conn_.Execute(kQuery).ok());
+  ASSERT_TRUE(conn_.Execute("SET evaluation_mode = bnl").ok());
+  ASSERT_TRUE(conn_.Execute(kQuery).ok());
+  EXPECT_FALSE(conn_.last_stats().plan_cache_hit);  // different knob key
+}
+
+TEST_F(EngineCacheTest, RedefinedPreferenceIsNotServedStale) {
+  ASSERT_TRUE(
+      conn_.Execute("CREATE PREFERENCE cheap AS LOWEST(price)").ok());
+  const std::string q = "SELECT name FROM gear PREFERRING PREFERENCE cheap";
+  auto r1 = conn_.Execute(q);
+  ASSERT_TRUE(r1.ok()) << r1.status().ToString();
+  EXPECT_EQ(r1->num_rows(), 1u);  // tarp (120)
+
+  ASSERT_TRUE(conn_.Execute("DROP PREFERENCE cheap").ok());
+  ASSERT_TRUE(
+      conn_.Execute("CREATE PREFERENCE cheap AS HIGHEST(price)").ok());
+  auto r2 = conn_.Execute(q);
+  ASSERT_TRUE(r2.ok());
+  ASSERT_EQ(r2->num_rows(), 1u);
+  EXPECT_EQ(r2->at(0, 0).AsText(), "tent");  // 300: expansion re-prepared
+}
+
+TEST_F(EngineCacheTest, RepeatedPreferringQueryHitsTheKeyCache) {
+  ASSERT_TRUE(conn_.Execute("SET evaluation_mode = bnl").ok());
+  ASSERT_TRUE(conn_.Execute(kQuery).ok());
+  EXPECT_TRUE(conn_.last_stats().key_cache_eligible)
+      << conn_.last_stats().key_cache_detail;
+  EXPECT_FALSE(conn_.last_stats().key_cache_hit);
+
+  auto warm = conn_.Execute(kQuery);
+  ASSERT_TRUE(warm.ok());
+  EXPECT_TRUE(conn_.last_stats().key_cache_hit)
+      << conn_.last_stats().key_cache_detail;
+  // The keys were reused wholesale: no rebuild happened at all.
+  EXPECT_EQ(conn_.last_stats().bmo_key_build_ns, 0u);
+}
+
+TEST_F(EngineCacheTest, KeyCacheIsSharedAcrossSessionsAndAlgorithms) {
+  auto engine = conn_.engine();
+  Connection other;
+  other.Attach(engine);
+  ASSERT_TRUE(conn_.Execute("SET evaluation_mode = bnl").ok());
+  ASSERT_TRUE(other.Execute("SET evaluation_mode = sfs").ok());
+
+  ASSERT_TRUE(conn_.Execute(kQuery).ok());
+  ASSERT_FALSE(conn_.last_stats().key_cache_hit);
+  // Same preference + same table version: the other session (and the other
+  // skyline algorithm) reuses the keys — they are algorithm-independent.
+  ASSERT_TRUE(other.Execute(kQuery).ok());
+  EXPECT_TRUE(other.last_stats().key_cache_hit)
+      << other.last_stats().key_cache_detail;
+}
+
+TEST_F(EngineCacheTest, DmlInvalidatesTheKeyCache) {
+  ASSERT_TRUE(conn_.Execute("SET evaluation_mode = bnl").ok());
+  ASSERT_TRUE(conn_.Execute(kQuery).ok());
+  ASSERT_TRUE(conn_.Execute(kQuery).ok());
+  ASSERT_TRUE(conn_.last_stats().key_cache_hit);
+
+  // A new dominator must appear in the next result: the bumped table
+  // version misses the cache and the stale entry is swept.
+  ASSERT_TRUE(
+      conn_.Execute("INSERT INTO gear VALUES ('quilt', 100, 1)").ok());
+  auto fresh = conn_.Execute(kQuery);
+  ASSERT_TRUE(fresh.ok());
+  EXPECT_FALSE(conn_.last_stats().key_cache_hit);
+  EXPECT_GT(conn_.last_stats().key_cache_evictions, 0u);
+  ASSERT_EQ(fresh->num_rows(), 1u);
+  EXPECT_EQ(fresh->at(0, 0).AsText(), "quilt");
+}
+
+TEST_F(EngineCacheTest, DroppedAndRecreatedTableNeverMatchesOldKeys) {
+  ASSERT_TRUE(conn_.Execute("SET evaluation_mode = bnl").ok());
+  ASSERT_TRUE(conn_.Execute(kQuery).ok());
+  ASSERT_TRUE(conn_.Execute("DROP TABLE gear").ok());
+  ASSERT_TRUE(conn_.ExecuteScript(
+                       "CREATE TABLE gear (name TEXT, price INTEGER, "
+                       "weight INTEGER);"
+                       "INSERT INTO gear VALUES ('new', 1, 1)")
+                  .ok());
+  auto r = conn_.Execute(kQuery);
+  ASSERT_TRUE(r.ok());
+  EXPECT_FALSE(conn_.last_stats().key_cache_hit);  // new table id
+  ASSERT_EQ(r->num_rows(), 1u);
+  EXPECT_EQ(r->at(0, 0).AsText(), "new");
+}
+
+TEST_F(EngineCacheTest, IneligibleShapesSkipTheKeyCache) {
+  ASSERT_TRUE(conn_.Execute("SET evaluation_mode = bnl").ok());
+  // WHERE restricts the candidate set: keys no longer line up with the heap.
+  auto r = conn_.Execute(
+      "SELECT name FROM gear WHERE weight < 4 "
+      "PREFERRING LOWEST(price) AND LOWEST(weight)");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_FALSE(conn_.last_stats().key_cache_eligible);
+  EXPECT_FALSE(conn_.last_stats().key_cache_hit);
+}
+
+TEST_F(EngineCacheTest, CachesCanBeDisabledPerSession) {
+  ASSERT_TRUE(conn_.Execute("SET evaluation_mode = bnl").ok());
+  ASSERT_TRUE(conn_.Execute("SET plan_cache = off").ok());
+  ASSERT_TRUE(conn_.Execute("SET key_cache = off").ok());
+  ASSERT_TRUE(conn_.Execute(kQuery).ok());
+  ASSERT_TRUE(conn_.Execute(kQuery).ok());
+  EXPECT_FALSE(conn_.last_stats().plan_cache_hit);
+  EXPECT_FALSE(conn_.last_stats().key_cache_hit);
+  EXPECT_FALSE(conn_.last_stats().key_cache_eligible);
+}
+
+TEST_F(EngineCacheTest, ExplainReportsCacheState) {
+  ASSERT_TRUE(conn_.Execute("SET evaluation_mode = bnl").ok());
+  auto plan = conn_.Execute("EXPLAIN " + kQuery);
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  std::string text = plan->ToString();
+  EXPECT_NE(text.find("key cache: eligible"), std::string::npos) << text;
+  EXPECT_NE(text.find("plan cache: miss"), std::string::npos) << text;
+  plan = conn_.Execute("EXPLAIN " + kQuery);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_NE(plan->ToString().find("plan cache: hit"), std::string::npos)
+      << plan->ToString();
+}
+
+TEST(NormalizeSqlTest, CanonicalizesWhitespaceButNotCaseOrLiterals) {
+  EXPECT_EQ(NormalizeSql("SELECT  *\nFROM T;"), "SELECT * FROM T");
+  EXPECT_EQ(NormalizeSql("select 'A  B' from t"), "select 'A  B' from t");
+  EXPECT_EQ(NormalizeSql("  select 1  "), "select 1");
+  // Escaped quote inside a literal does not end the literal.
+  EXPECT_EQ(NormalizeSql("select 'it''S'  FROM t"), "select 'it''S' FROM t");
+}
+
+TEST(NormalizeSqlTest, StripsLineCommentsAndKeepsQuotedIdentifiers) {
+  // A comment must not glue the rest of its line into the statement when
+  // the newline collapses — it is stripped, as the lexer strips it.
+  EXPECT_EQ(NormalizeSql("SELECT a FROM t -- note\nWHERE b = 1"),
+            "SELECT a FROM t WHERE b = 1");
+  EXPECT_EQ(NormalizeSql("SELECT a FROM t -- note WHERE b = 1"),
+            "SELECT a FROM t");
+  // Whitespace inside quoted identifiers is significant.
+  EXPECT_EQ(NormalizeSql("SELECT \"a  b\"  FROM t"),
+            "SELECT \"a  b\" FROM t");
+}
+
+TEST(PreferenceFingerprintTest, DistinguishesParametersAndStructure) {
+  auto fp = [](const std::string& text) {
+    auto term = ParsePreference(text);
+    EXPECT_TRUE(term.ok()) << text;
+    auto compiled = CompiledPreference::Compile(**term);
+    EXPECT_TRUE(compiled.ok()) << text;
+    return compiled->Fingerprint();
+  };
+  EXPECT_EQ(fp("price AROUND 40000"), fp("price AROUND 40000"));
+  EXPECT_NE(fp("price AROUND 40000"), fp("price AROUND 39999"));
+  EXPECT_NE(fp("price AROUND 40000"), fp("mileage AROUND 40000"));
+  EXPECT_NE(fp("LOWEST(price)"), fp("HIGHEST(price)"));
+  EXPECT_NE(fp("LOWEST(price)"), fp("DUAL(HIGHEST(price))"));
+  EXPECT_NE(fp("LOWEST(a) AND LOWEST(b)"), fp("LOWEST(a) CASCADE LOWEST(b)"));
+  EXPECT_NE(fp("LOWEST(a) AND LOWEST(b)"), fp("LOWEST(b) AND LOWEST(a)"));
+  EXPECT_NE(fp("color IN ('red')"), fp("color IN ('red', 'blue')"));
+  EXPECT_NE(fp("color IN ('red')"), fp("color NOT IN ('red')"));
+  EXPECT_NE(
+      fp("color EXPLICIT ('a' BETTER THAN 'b')"),
+      fp("color EXPLICIT ('b' BETTER THAN 'a')"));
+  EXPECT_NE(fp("price BETWEEN 10, 20"), fp("price BETWEEN 10, 30"));
+  // Set values hash doubles bit-exactly, beyond %g's six digits.
+  EXPECT_NE(fp("x IN (0.12345678)"), fp("x IN (0.12345679)"));
+}
+
+}  // namespace
+}  // namespace prefsql
