@@ -63,5 +63,31 @@ int main() {
                 "wins:\n%s",
                 fallback->ToString().c_str());
   }
+
+  // 5. The driver surface: prepare once, bind per request, stream. The
+  //    plan is parsed and compiled a single time; each request binds a new
+  //    target and pulls rows from a Cursor without materializing a table.
+  auto stmt = conn.Prepare(
+      "SELECT ident, age FROM oldtimer PREFERRING age AROUND $target");
+  if (!stmt.ok()) {
+    std::printf("prepare failed: %s\n", stmt.status().ToString().c_str());
+    return 1;
+  }
+  for (int target : {20, 45}) {
+    if (!stmt->Bind("target", prefsql::Value::Int(target)).ok()) return 1;
+    auto cursor = stmt->Open();
+    if (!cursor.ok()) {
+      std::printf("open failed: %s\n", cursor.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("\nage AROUND %d (streamed, plan cache %s):\n", target,
+                conn.last_stats().plan_cache_hit ? "hit" : "miss");
+    for (;;) {
+      auto row = cursor->Next();
+      if (!row.ok() || !row->has_value()) break;
+      std::printf("  %s, age %s\n", (**row).row()[0].ToString().c_str(),
+                  (**row).row()[1].ToString().c_str());
+    }
+  }
   return 0;
 }

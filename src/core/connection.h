@@ -25,13 +25,24 @@
 // noticeable overhead"); queries with a PREFERRING clause are rewritten
 // into standard SQL (the product's strategy) or evaluated with an in-engine
 // skyline algorithm, selectable per session.
+//
+// The driver surface is three-tiered, like the ODBC/JDBC API it mirrors:
+//   Execute(text)   one-shot: parse (or plan-cache hit), run, materialize;
+//   Prepare(text)   parse once, Bind('?'/'$name') per request, re-execute —
+//                   statements differing only in literals share one cached
+//                   plan (auto-parameterization);
+//   OpenCursor(text) stream rows out of the pull pipeline without
+//                   materializing a ResultTable (core/cursor.h).
 
 #pragma once
 
 #include <memory>
 #include <string>
+#include <utility>
 
+#include "core/cursor.h"
 #include "core/engine.h"
+#include "core/prepared_statement.h"
 #include "core/session.h"
 #include "types/result_table.h"
 #include "util/status.h"
@@ -63,9 +74,33 @@ class Connection {
     return engine_->Execute(session_, sql);
   }
 
+  /// Prepares a statement for repeated execution: parse once, bind values
+  /// per request, execute or stream at will (core/prepared_statement.h).
+  /// The returned statement borrows this connection's session — it must
+  /// not outlive the Connection.
+  Result<PreparedStatement> Prepare(const std::string& sql) {
+    return engine_->Prepare(session_, sql, engine_);
+  }
+
+  /// Opens a streaming cursor over one statement: rows are pulled from the
+  /// operator pipeline on demand instead of materializing a ResultTable.
+  /// A streaming cursor holds the engine's shared statement lock — close
+  /// it before issuing DML/DDL from the same thread (core/cursor.h).
+  Result<Cursor> OpenCursor(const std::string& sql) {
+    return engine_->OpenCursor(session_, sql, engine_);
+  }
+
   /// Executes a semicolon-separated script; returns the last result.
   Result<ResultTable> ExecuteScript(const std::string& sql) {
     return engine_->ExecuteScript(session_, sql);
+  }
+
+  /// Executes a script, delivering every statement's result to `on_result`
+  /// (0-based statement index, parsed statement, result) instead of
+  /// dropping all but the last. A non-OK callback return aborts the script.
+  Status ExecuteScript(const std::string& sql,
+                       const Engine::ScriptResultCallback& on_result) {
+    return engine_->ExecuteScript(session_, sql, on_result);
   }
 
   /// Executes an already-parsed statement (see Engine::ExecuteStatement).

@@ -1,0 +1,122 @@
+#include "core/cursor.h"
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "core/engine.h"
+
+namespace prefsql {
+
+namespace {
+const Schema& EmptySchema() {
+  static const Schema kEmpty;
+  return kEmpty;
+}
+}  // namespace
+
+Cursor::~Cursor() { Close(); }
+
+const Schema& Cursor::columns() const {
+  return impl_ != nullptr ? impl_->schema : EmptySchema();
+}
+
+bool Cursor::is_open() const { return impl_ != nullptr && impl_->open; }
+
+size_t Cursor::rows_streamed() const {
+  return impl_ != nullptr ? impl_->streamed : 0;
+}
+
+Result<std::optional<RowRef>> Cursor::Next() {
+  if (!is_open()) {
+    return Status::ExecutionError("cursor is closed");
+  }
+  Impl& impl = *impl_;
+  if (impl.table.has_value()) {
+    if (impl.next_row >= impl.table->num_rows()) {
+      Close();
+      return std::optional<RowRef>();
+    }
+    RowRef row = RowRef::Borrowed(&impl.table->rows()[impl.next_row]);
+    ++impl.next_row;
+    ++impl.streamed;
+    return std::optional<RowRef>(std::move(row));
+  }
+  RowRef row;
+  auto more = impl.root->Next(&row);
+  if (!more.ok()) {
+    Close();
+    return more.status();
+  }
+  if (!*more) {
+    // End of stream: release the statement lock promptly instead of making
+    // the client call Close() before the engine accepts writers again.
+    Close();
+    return std::optional<RowRef>();
+  }
+  ++impl.streamed;
+  return std::optional<RowRef>(std::move(row));
+}
+
+void Cursor::Close() {
+  if (impl_ == nullptr || !impl_->open) return;
+  Impl& impl = *impl_;
+  impl.open = false;
+  if (impl.root != nullptr) {
+    // Closing the tree flushes the BMO operators' counters into the plan's
+    // stats sinks — correct even when the client stopped pulling early.
+    impl.root->Close();
+    if (impl.session != nullptr &&
+        impl.session->stats_epoch() == impl.stats_epoch) {
+      PreferenceQueryStats& stats = impl.stats;
+      if (stats.was_preference_query && impl.pref_plan.bmo_stats != nullptr) {
+        const BmoRunStats& bmo = *impl.pref_plan.bmo_stats;
+        const BmoRunStats& pre = *impl.pref_plan.prefilter_stats;
+        stats.candidate_count = bmo.candidate_count;
+        stats.bmo_comparisons = bmo.bmo.comparisons + pre.bmo.comparisons;
+        stats.bmo_partitions = bmo.partitions;
+        stats.bmo_threads_used = std::max(bmo.threads_used, pre.threads_used);
+        stats.bmo_key_build_ns = bmo.bmo.key_build_ns;
+        stats.bmo_kernel = DominanceKernelToString(bmo.bmo.kernel);
+        stats.key_cache_hit = bmo.key_cache_hit;
+        stats.prefilter_candidate_count = pre.candidate_count;
+        stats.prefilter_result_count = pre.result_count;
+      }
+      stats.result_count = impl.streamed;
+      impl.session->mutable_last_stats() = stats;
+      if (impl.engine != nullptr) {
+        impl.engine->SnapshotCacheCounters(*impl.session);
+      }
+    }
+    // Destroy the operator tree before releasing the lock: scans borrow
+    // from catalog storage that writers may mutate once the lock is free.
+    // The root must go before the rest of the plan — the BMO operators
+    // flush into the plan's stats sinks from their destructors too.
+    impl.root = nullptr;
+    impl.pref_plan.root.reset();
+    impl.pref_plan = PreferencePlan{};
+    impl.plain_root.reset();
+  }
+  impl.lock = std::shared_lock<std::shared_mutex>();
+  impl.table.reset();
+}
+
+Result<ResultTable> DrainCursor(Cursor& cursor) {
+  if (cursor.impl_ != nullptr && cursor.impl_->table.has_value() &&
+      cursor.impl_->next_row == 0) {
+    // Materialized result not yet consumed: hand the table over wholesale.
+    ResultTable table = std::move(*cursor.impl_->table);
+    cursor.Close();
+    return table;
+  }
+  Schema schema = cursor.columns();
+  std::vector<Row> rows;
+  for (;;) {
+    PSQL_ASSIGN_OR_RETURN(std::optional<RowRef> row, cursor.Next());
+    if (!row.has_value()) break;
+    rows.push_back(std::move(*row).IntoRow());
+  }
+  return ResultTable(std::move(schema), std::move(rows));
+}
+
+}  // namespace prefsql

@@ -1,0 +1,128 @@
+// Cursor: row-at-a-time access to a statement result — the client-facing
+// end of the pull-based operator pipeline (the paper's Preference ODBC/JDBC
+// driver surface, §3.1).
+//
+//   auto cursor = conn.OpenCursor(
+//       "SELECT * FROM car PREFERRING LOWEST(price)");
+//   while (auto row = cursor->Next()) {          // Result<optional<RowRef>>
+//     if (!(*row)) break;                        // end of stream
+//     use((**row).row());
+//   }
+//   cursor->Close();                             // optional; ~Cursor closes
+//
+// Two shapes share the interface:
+//   * streaming — direct-path preference queries and plain SELECTs hold the
+//     open operator tree and the engine's shared statement lock, and pull
+//     rows on demand: skyline/top-k results reach the client without a
+//     ResultTable materialization. Close() (or end-of-stream, or an error)
+//     closes the operator tree — flushing the BMO statistics into the
+//     session's last_stats even when the client stopped early — and
+//     releases the statement lock promptly.
+//   * materialized — rewrite-mode preference queries (their Aux views need
+//     an exclusive critical section), EXPLAIN, and DML results are computed
+//     eagerly and replayed row by row; no lock is held.
+//
+// A streaming cursor holds the engine's shared statement lock while open:
+// close it before issuing DML/DDL from the same thread (a writer statement
+// would otherwise self-deadlock waiting for the cursor), and never let a
+// cursor outlive its Connection/Engine. RowRefs returned by Next() are
+// valid until the next Next()/Close() call.
+
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <shared_mutex>
+
+#include "core/plan_cache.h"
+#include "core/preference_query.h"
+#include "core/session.h"
+#include "engine/operators/operator.h"
+#include "types/result_table.h"
+#include "types/row_view.h"
+#include "types/schema.h"
+#include "util/status.h"
+
+namespace prefsql {
+
+class Engine;
+
+/// Row-at-a-time result handle; movable, auto-closes on destruction.
+class Cursor {
+ public:
+  /// A closed cursor; Next() on it reports kExecutionError.
+  Cursor() = default;
+  ~Cursor();
+
+  Cursor(Cursor&&) noexcept = default;
+  Cursor& operator=(Cursor&&) noexcept = default;
+  Cursor(const Cursor&) = delete;
+  Cursor& operator=(const Cursor&) = delete;
+
+  /// Column metadata of the result; valid from construction, also after
+  /// Close.
+  const Schema& columns() const;
+
+  /// Produces the next row, or nullopt at end of stream (which auto-closes
+  /// the cursor, releasing the statement lock). The returned RowRef is
+  /// valid until the next Next()/Close() call. After Close, reports
+  /// kExecutionError.
+  Result<std::optional<RowRef>> Next();
+
+  /// Closes the cursor: shuts the operator tree down (flushing statistics
+  /// into the session's last_stats — the counters are correct even when the
+  /// client stopped pulling early) and releases the engine's statement
+  /// lock. Idempotent.
+  void Close();
+
+  /// True until Close / end of stream / a streaming error.
+  bool is_open() const;
+
+  /// Rows produced so far.
+  size_t rows_streamed() const;
+
+ private:
+  friend class Engine;
+  friend Result<ResultTable> DrainCursor(Cursor& cursor);
+
+  /// Everything one open statement needs to stay alive while the client
+  /// pulls: the operator tree, the statement lock, and the shared artifacts
+  /// the operators reference (ASTs, compiled preference, cached plan).
+  struct Impl {
+    // -- streaming (engaged when root != nullptr) --
+    PreferencePlan pref_plan;    ///< owns root for preference queries
+    OperatorPtr plain_root;      ///< owns root for plain SELECTs
+    PhysicalOperator* root = nullptr;
+    std::shared_lock<std::shared_mutex> lock;
+    std::shared_ptr<const SelectStmt> select_keepalive;
+    std::shared_ptr<const CachedPlan> plan_keepalive;
+    std::shared_ptr<const CompiledPreference> pref_keepalive;
+    std::shared_ptr<Engine> engine_keepalive;
+    Engine* engine = nullptr;
+    Session* session = nullptr;
+    /// Stats template filled at open (cache outcomes, plan decisions);
+    /// completed with the operator counters and flushed on Close — but only
+    /// while `stats_epoch` still matches the session (a statement executed
+    /// after this cursor opened owns last_stats now).
+    PreferenceQueryStats stats;
+    uint64_t stats_epoch = 0;
+
+    // -- materialized --
+    std::optional<ResultTable> table;
+    size_t next_row = 0;
+
+    Schema schema;
+    size_t streamed = 0;
+    bool open = true;
+  };
+
+  explicit Cursor(std::unique_ptr<Impl> impl) : impl_(std::move(impl)) {}
+
+  std::unique_ptr<Impl> impl_;
+};
+
+/// Fully drains (and closes) `cursor` into a ResultTable. Execute() is this
+/// over an OpenCursor.
+Result<ResultTable> DrainCursor(Cursor& cursor);
+
+}  // namespace prefsql

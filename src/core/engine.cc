@@ -4,10 +4,12 @@
 #include <mutex>
 #include <string_view>
 #include <unordered_map>
+#include <utility>
 
 #include "core/analyzer.h"
 #include "core/rewriter.h"
 #include "sql/normalize.h"
+#include "sql/parameters.h"
 #include "sql/parser.h"
 #include "sql/printer.h"
 #include "util/string_util.h"
@@ -60,6 +62,12 @@ bool StartsWithKeyword(const std::string& text, std::string_view keyword) {
   return true;
 }
 
+Status UnboundParametersError() {
+  return Status::BindError(
+      "statement has unbound parameter(s); prepare it and bind values "
+      "(Connection::Prepare)");
+}
+
 }  // namespace
 
 uint64_t Engine::KnobFingerprint(const ConnectionOptions& o) {
@@ -77,48 +85,184 @@ uint64_t Engine::KnobFingerprint(const ConnectionOptions& o) {
   return h;
 }
 
+PlanCacheKey Engine::CacheKey(const Session& session, std::string text) {
+  return PlanCacheKey{std::move(text), KnobFingerprint(session.options()),
+                      db_.catalog().version()};
+}
+
+// ===========================================================================
+// Text entry points: Execute / OpenCursor / Prepare / ExecuteScript
+// ===========================================================================
+
 Result<ResultTable> Engine::Execute(Session& session, const std::string& sql) {
+  PSQL_ASSIGN_OR_RETURN(Cursor cursor, OpenCursor(session, sql));
+  return DrainCursor(cursor);
+}
+
+Result<Cursor> Engine::OpenCursor(Session& session, const std::string& sql,
+                                  std::shared_ptr<Engine> keepalive) {
   if (session.options().plan_cache) {
-    // Probe the plan cache with the normalized text before paying for the
-    // parse; only SELECT/EXPLAIN are cached (cheap prefix test). The
-    // normalized form is a key, never an input: the original text is what
-    // gets parsed on a miss.
+    // Probe the plan cache before paying for the parse; only SELECT/EXPLAIN
+    // are cached (cheap prefix test). With auto-parameterization on, the
+    // key text is the canonical form with literals lifted into `?` holes —
+    // repetitions differing only in literal values hit the same entry, and
+    // the lifted values are re-injected below.
     std::string text = NormalizeSql(sql);
     if (StartsWithKeyword(text, "select") ||
         StartsWithKeyword(text, "explain")) {
-      PlanCacheKey key{std::move(text), KnobFingerprint(session.options()),
-                       db_.catalog().version()};
-      if (auto cached = plan_cache_.Lookup(key)) {
-        return ExecutePrepared(session, *cached, /*plan_cache_hit=*/true);
+      std::string key_text = std::move(text);
+      std::vector<Value> lifted;
+      const std::vector<Value>* params = nullptr;
+      bool auto_par = false;
+      const std::string* parse_text = &sql;
+      if (session.options().auto_parameterize) {
+        ParameterizedSql p = ParameterizeSql(sql);
+        if (p.parameterized) {
+          key_text = std::move(p.text);
+          lifted = std::move(p.values);
+          params = &lifted;
+          auto_par = true;
+          parse_text = &key_text;
+        }
       }
-      PSQL_ASSIGN_OR_RETURN(Statement stmt, ParseStatement(sql));
+      PlanCacheKey key = CacheKey(session, key_text);
+      if (auto cached = plan_cache_.Lookup(key)) {
+        return OpenPreparedCursor(session, std::move(cached),
+                                  /*plan_cache_hit=*/true, params, auto_par,
+                                  std::move(keepalive));
+      }
+      auto parsed = ParseStatement(*parse_text);
+      if (!parsed.ok() && auto_par) {
+        // Safety hatch: the canonical parameterized text should re-parse by
+        // construction; if it does not, run the original text uncached.
+        PSQL_ASSIGN_OR_RETURN(Statement stmt, ParseStatement(sql));
+        PSQL_ASSIGN_OR_RETURN(ResultTable result,
+                              ExecuteStatement(session, stmt));
+        return MaterializedCursor(std::move(result), &session,
+                                  std::move(keepalive));
+      }
+      PSQL_RETURN_IF_ERROR(parsed.status());
+      Statement stmt = std::move(*parsed);
       if (IsCacheableKind(stmt.kind) && stmt.select != nullptr) {
         PSQL_ASSIGN_OR_RETURN(auto prepared,
                               BuildPreparation(stmt.kind, stmt.select));
+        if (!auto_par && prepared->params.count() > 0) {
+          return UnboundParametersError();
+        }
         plan_cache_.Insert(key, prepared);
-        return ExecutePrepared(session, *prepared, /*plan_cache_hit=*/false);
+        return OpenPreparedCursor(session, std::move(prepared),
+                                  /*plan_cache_hit=*/false, params, auto_par,
+                                  std::move(keepalive));
       }
-      return ExecuteStatement(session, stmt);
+      PSQL_ASSIGN_OR_RETURN(ResultTable result,
+                            ExecuteStatement(session, stmt));
+      return MaterializedCursor(std::move(result), &session,
+                                std::move(keepalive));
     }
   }
   PSQL_ASSIGN_OR_RETURN(Statement stmt, ParseStatement(sql));
-  return ExecuteStatement(session, stmt);
+  PSQL_ASSIGN_OR_RETURN(ResultTable result, ExecuteStatement(session, stmt));
+  return MaterializedCursor(std::move(result), &session, std::move(keepalive));
+}
+
+Result<PreparedStatement> Engine::Prepare(Session& session,
+                                          const std::string& sql,
+                                          std::shared_ptr<Engine> keepalive) {
+  std::string normalized = NormalizeSql(sql);
+  std::shared_ptr<const Statement> stmt;
+  std::string key_text;
+  std::vector<Value> lifted;
+  bool auto_par = false;
+  if (StartsWithKeyword(normalized, "select") ||
+      StartsWithKeyword(normalized, "explain")) {
+    if (session.options().auto_parameterize) {
+      ParameterizedSql p = ParameterizeSql(sql);
+      if (p.parameterized) {
+        PSQL_ASSIGN_OR_RETURN(Statement parsed, ParseStatement(p.text));
+        stmt = std::make_shared<const Statement>(std::move(parsed));
+        key_text = std::move(p.text);
+        lifted = std::move(p.values);
+        auto_par = true;
+      }
+    }
+    if (stmt == nullptr) {
+      PSQL_ASSIGN_OR_RETURN(Statement parsed, ParseStatement(sql));
+      stmt = std::make_shared<const Statement>(std::move(parsed));
+      key_text = std::move(normalized);
+    }
+    if (IsCacheableKind(stmt->kind) && stmt->select != nullptr) {
+      // Publish the preparation now: the very first Execute is warm, and
+      // parse/analyze errors surface at Prepare time, as a driver expects.
+      bool hit = false;
+      auto prepared = LookupOrPrepare(session, key_text, stmt->kind,
+                                      stmt->select, &hit);
+      PSQL_RETURN_IF_ERROR(prepared.status());
+    } else {
+      key_text.clear();
+    }
+  } else {
+    PSQL_ASSIGN_OR_RETURN(Statement parsed, ParseStatement(sql));
+    stmt = std::make_shared<const Statement>(std::move(parsed));
+  }
+  ParameterSignature signature = CollectParameters(*stmt);
+  PreparedStatement prepared(this, std::move(keepalive), &session,
+                             std::move(stmt), std::move(key_text),
+                             std::move(signature));
+  if (auto_par) {
+    if (lifted.size() != prepared.signature_.count()) {
+      return Status::Internal("auto-parameterization arity mismatch");
+    }
+    // Pre-bind the lifted literals: executing without further Bind calls
+    // runs the statement exactly as written. Constraint violations report
+    // as parse errors — the value came from the statement text itself.
+    for (size_t i = 0; i < lifted.size(); ++i) {
+      PSQL_RETURN_IF_ERROR(CheckParamConstraint(
+          lifted[i], prepared.signature_.constraints[i], i,
+          /*parse_errors=*/true));
+      prepared.values_[i] = std::move(lifted[i]);
+      prepared.bound_[i] = true;
+    }
+    prepared.auto_parameterized_ = true;
+  }
+  return prepared;
 }
 
 Result<ResultTable> Engine::ExecuteScript(Session& session,
                                           const std::string& sql) {
-  PSQL_ASSIGN_OR_RETURN(auto stmts, ParseScript(sql));
-  if (stmts.empty()) return Status::InvalidArgument("empty script");
   ResultTable last;
-  for (const auto& stmt : stmts) {
-    PSQL_ASSIGN_OR_RETURN(last, ExecuteStatement(session, stmt));
-  }
+  PSQL_RETURN_IF_ERROR(ExecuteScript(
+      session, sql,
+      [&last](size_t, const Statement&, ResultTable result) {
+        last = std::move(result);
+        return Status::OK();
+      }));
   return last;
 }
 
+Status Engine::ExecuteScript(Session& session, const std::string& sql,
+                             const ScriptResultCallback& on_result) {
+  PSQL_ASSIGN_OR_RETURN(auto stmts, ParseScript(sql));
+  if (stmts.empty()) return Status::InvalidArgument("empty script");
+  for (size_t i = 0; i < stmts.size(); ++i) {
+    PSQL_ASSIGN_OR_RETURN(ResultTable result,
+                          ExecuteStatement(session, stmts[i]));
+    if (on_result) {
+      PSQL_RETURN_IF_ERROR(on_result(i, stmts[i], std::move(result)));
+    }
+  }
+  return Status::OK();
+}
+
+// ===========================================================================
+// Statement execution
+// ===========================================================================
+
 Result<ResultTable> Engine::ExecuteStatement(Session& session,
                                              const Statement& stmt) {
-  session.mutable_last_stats() = PreferenceQueryStats{};
+  session.ResetStatsForNewStatement();
+  // Pre-parsed statements bypass the binding layer; reject holes before
+  // one reaches an operator (drivers get a stable kBindError).
+  if (StatementHasParameters(stmt)) return UnboundParametersError();
   if (stmt.kind == StatementKind::kSet) {
     return ExecuteSet(session, stmt);
   }
@@ -128,22 +272,21 @@ Result<ResultTable> Engine::ExecuteStatement(Session& session,
     // off where preparation still does real work: PDL expansion and
     // preference compilation. Plain SELECT/EXPLAIN skip the print+lookup.
     if (session.options().plan_cache && stmt.select->IsPreferenceQuery()) {
-      // The printed text keys identically to the raw-text path.
-      PlanCacheKey key{NormalizeSql(StatementToSql(stmt)),
-                       KnobFingerprint(session.options()),
-                       db_.catalog().version()};
-      auto cached = plan_cache_.Lookup(key);
-      const bool hit = cached != nullptr;
-      if (!hit) {
-        PSQL_ASSIGN_OR_RETURN(cached,
-                              BuildPreparation(stmt.kind, stmt.select));
-        plan_cache_.Insert(key, cached);
-      }
-      return ExecutePrepared(session, *cached, hit);
+      // The printed text keys identically across repetitions of this AST.
+      bool hit = false;
+      PSQL_ASSIGN_OR_RETURN(
+          auto prepared,
+          LookupOrPrepare(session, NormalizeSql(StatementToSql(stmt)),
+                          stmt.kind, stmt.select, &hit));
+      return ExecutePrepared(session, std::move(prepared), hit,
+                             /*params=*/nullptr,
+                             /*auto_parameterized=*/false);
     }
     PSQL_ASSIGN_OR_RETURN(auto prepared,
                           BuildPreparation(stmt.kind, stmt.select));
-    return ExecutePrepared(session, *prepared, /*plan_cache_hit=*/false);
+    return ExecutePrepared(session, std::move(prepared),
+                           /*plan_cache_hit=*/false, /*params=*/nullptr,
+                           /*auto_parameterized=*/false);
   }
 
   // INSERT ... SELECT with a PREFERRING clause (§2.2.5): evaluate the
@@ -155,18 +298,18 @@ Result<ResultTable> Engine::ExecuteStatement(Session& session,
     std::unique_lock<std::shared_mutex> lock(mutex_);
     PSQL_ASSIGN_OR_RETURN(auto expanded, ExpandSelect(*stmt.select));
     PSQL_ASSIGN_OR_RETURN(auto analyzed, AnalyzePreferenceQuery(*expanded));
-    PreparedStatement prepared;
-    prepared.kind = StatementKind::kSelect;
-    prepared.select = stmt.select;
-    prepared.expanded = std::move(expanded);
-    prepared.preference = analyzed.pref;
-    prepared.catalog_version = db_.catalog().version();
-    PSQL_ASSIGN_OR_RETURN(
-        ResultTable rows,
-        ExecutePreferenceSelect(session, prepared,
-                                /*locked_exclusive=*/true));
+    Result<ResultTable> rows = [&]() -> Result<ResultTable> {
+      if (session.options().mode == EvaluationMode::kRewrite) {
+        auto result = ExecuteViaRewrite(session, *expanded, analyzed.pref);
+        if (result.ok() || !result.status().IsNotImplemented()) return result;
+        // Rewriter refused (e.g. non-weak-order EXPLICIT): fall back.
+        session.mutable_last_stats().rewrite_fallback = true;
+      }
+      return ExecuteDirect(session, *expanded, analyzed.pref);
+    }();
+    PSQL_RETURN_IF_ERROR(rows.status());
     auto result =
-        db_.executor().InsertTable(stmt.name, stmt.insert_columns, rows);
+        db_.executor().InsertTable(stmt.name, stmt.insert_columns, *rows);
     SweepCaches();
     SnapshotCacheCounters(session);
     return result;
@@ -182,60 +325,240 @@ Result<ResultTable> Engine::ExecuteStatement(Session& session,
   return result;
 }
 
-Result<std::shared_ptr<const PreparedStatement>> Engine::BuildPreparation(
+// ===========================================================================
+// Preparation
+// ===========================================================================
+
+Result<std::shared_ptr<const CachedPlan>> Engine::BuildPreparation(
     StatementKind kind, std::shared_ptr<const SelectStmt> select) {
-  auto prepared = std::make_shared<PreparedStatement>();
+  auto prepared = std::make_shared<CachedPlan>();
   prepared->kind = kind;
   prepared->select = select;
-  if (select != nullptr && select->IsPreferenceQuery()) {
-    // PDL expansion reads the catalog; everything else is pure.
-    std::shared_lock<std::shared_mutex> lock(mutex_);
-    PSQL_ASSIGN_OR_RETURN(auto expanded, ExpandSelect(*select));
-    PSQL_ASSIGN_OR_RETURN(auto analyzed, AnalyzePreferenceQuery(*expanded));
-    prepared->expanded = std::move(expanded);
-    prepared->preference = analyzed.pref;
-    prepared->catalog_version = db_.catalog().version();
+  if (select != nullptr) {
+    prepared->params = CollectParameters(*select);
+    if (select->IsPreferenceQuery()) {
+      prepared->pref_has_params = PrefTermHasParameters(*select->preferring);
+      // PDL expansion reads the catalog; everything else is pure.
+      std::shared_lock<std::shared_mutex> lock(mutex_);
+      PSQL_ASSIGN_OR_RETURN(auto expanded, ExpandSelect(*select));
+      if (!prepared->pref_has_params) {
+        PSQL_ASSIGN_OR_RETURN(auto analyzed,
+                              AnalyzePreferenceQuery(*expanded));
+        prepared->preference = analyzed.pref;
+      }
+      prepared->expanded = std::move(expanded);
+      prepared->catalog_version = db_.catalog().version();
+    }
   }
-  return std::shared_ptr<const PreparedStatement>(std::move(prepared));
+  return std::shared_ptr<const CachedPlan>(std::move(prepared));
 }
 
-Result<Engine::PreparationView> Engine::RefreshPreparationLocked(
-    const PreparedStatement& prepared) {
-  if (db_.catalog().version() == prepared.catalog_version) {
-    return PreparationView{prepared.expanded, prepared.preference};
+Result<std::shared_ptr<const CachedPlan>> Engine::LookupOrPrepare(
+    Session& session, const std::string& key_text, StatementKind kind,
+    std::shared_ptr<const SelectStmt> select, bool* hit) {
+  *hit = false;
+  if (!session.options().plan_cache || !IsCacheableKind(kind) ||
+      select == nullptr) {
+    return BuildPreparation(kind, std::move(select));
   }
-  // DDL committed between preparation/lookup and this lock acquisition — a
-  // stored PREFERENCE may mean something else now. Re-derive under the
-  // held lock so the execution is consistent with the catalog it reads.
-  PSQL_ASSIGN_OR_RETURN(auto expanded, ExpandSelect(*prepared.select));
-  PSQL_ASSIGN_OR_RETURN(auto analyzed, AnalyzePreferenceQuery(*expanded));
-  return PreparationView{std::move(expanded), analyzed.pref};
+  PlanCacheKey key = CacheKey(session, key_text);
+  if (auto cached = plan_cache_.Lookup(key)) {
+    *hit = true;
+    return cached;
+  }
+  PSQL_ASSIGN_OR_RETURN(auto prepared, BuildPreparation(kind, select));
+  plan_cache_.Insert(std::move(key), prepared);
+  return prepared;
 }
 
-Result<ResultTable> Engine::ExecutePrepared(Session& session,
-                                            const PreparedStatement& prepared,
-                                            bool plan_cache_hit) {
-  session.mutable_last_stats() = PreferenceQueryStats{};
-  session.mutable_last_stats().plan_cache_hit = plan_cache_hit;
-  if (prepared.kind == StatementKind::kExplain) {
-    auto result = ExecuteExplain(session, prepared);
-    SnapshotCacheCounters(session);
-    return result;
+Result<Engine::ExecutionView> Engine::BindForExecutionLocked(
+    const CachedPlan& plan, const std::vector<Value>* params) {
+  const bool is_pref =
+      plan.select != nullptr && plan.select->IsPreferenceQuery();
+  std::shared_ptr<const SelectStmt> select = plan.select;
+  std::shared_ptr<const CompiledPreference> pref;
+  if (is_pref) {
+    if (db_.catalog().version() == plan.catalog_version) {
+      select = plan.expanded;
+      pref = plan.preference;  // nullptr when PREFERRING has parameter holes
+    } else {
+      // DDL committed between preparation/lookup and this lock acquisition
+      // — a stored PREFERENCE may mean something else now. Re-derive under
+      // the held lock so the execution is consistent with the catalog it
+      // reads (the transparent re-prepare).
+      PSQL_ASSIGN_OR_RETURN(auto expanded, ExpandSelect(*plan.select));
+      select = std::move(expanded);
+      pref = nullptr;
+    }
   }
-  if (prepared.select->IsPreferenceQuery()) {
-    session.mutable_last_stats().was_preference_query = true;
-    auto result = ExecutePreferenceSelect(session, prepared,
-                                          /*locked_exclusive=*/false);
-    SnapshotCacheCounters(session);
-    return result;
+  if (params != nullptr && !params->empty()) {
+    auto bound = select->Clone();
+    PSQL_RETURN_IF_ERROR(
+        BindSelectParameters(*bound, *params, /*parse_errors=*/true));
+    select = std::move(bound);
+    if (plan.pref_has_params) pref = nullptr;
   }
-  Result<ResultTable> result = [&] {
-    std::shared_lock<std::shared_mutex> lock(mutex_);
-    return db_.ExecuteSelect(*prepared.select);
-  }();
-  SnapshotCacheCounters(session);
-  return result;
+  if (is_pref && pref == nullptr) {
+    PSQL_ASSIGN_OR_RETURN(auto analyzed, AnalyzePreferenceQuery(*select));
+    pref = analyzed.pref;
+  }
+  return ExecutionView{std::move(select), std::move(pref)};
 }
+
+// ===========================================================================
+// Prepared execution over cursors
+// ===========================================================================
+
+Cursor Engine::MaterializedCursor(ResultTable result, Session* session,
+                                  std::shared_ptr<Engine> keepalive) {
+  auto impl = std::make_unique<Cursor::Impl>();
+  impl->schema = result.schema();
+  impl->table = std::move(result);
+  impl->session = session;
+  impl->engine = this;
+  impl->engine_keepalive = std::move(keepalive);
+  return Cursor(std::move(impl));
+}
+
+Result<ResultTable> Engine::ExecutePrepared(
+    Session& session, std::shared_ptr<const CachedPlan> plan,
+    bool plan_cache_hit, const std::vector<Value>* params,
+    bool auto_parameterized) {
+  PSQL_ASSIGN_OR_RETURN(
+      Cursor cursor,
+      OpenPreparedCursor(session, std::move(plan), plan_cache_hit, params,
+                         auto_parameterized, nullptr));
+  return DrainCursor(cursor);
+}
+
+Result<Cursor> Engine::OpenPreparedCursor(
+    Session& session, std::shared_ptr<const CachedPlan> plan,
+    bool plan_cache_hit, const std::vector<Value>* params,
+    bool auto_parameterized, std::shared_ptr<Engine> keepalive) {
+  const size_t provided = params != nullptr ? params->size() : 0;
+  if (plan->params.count() != provided) {
+    if (provided == 0) return UnboundParametersError();
+    return Status::BindError("statement expects " +
+                             std::to_string(plan->params.count()) +
+                             " parameter(s), got " + std::to_string(provided));
+  }
+  PreferenceQueryStats& stats = session.ResetStatsForNewStatement();
+  stats.plan_cache_hit = plan_cache_hit;
+  stats.auto_parameterized = auto_parameterized;
+  stats.bound_parameters = provided;
+
+  if (plan->kind == StatementKind::kExplain) {
+    PSQL_ASSIGN_OR_RETURN(ResultTable result,
+                          ExecuteExplain(session, *plan, params));
+    SnapshotCacheCounters(session);
+    return MaterializedCursor(std::move(result), &session,
+                              std::move(keepalive));
+  }
+
+  if (plan->select->IsPreferenceQuery()) {
+    stats.was_preference_query = true;
+    if (session.options().mode == EvaluationMode::kRewrite) {
+      // The rewrite strategy creates and drops Aux views in the shared
+      // catalog, so it is a writer; it materializes inside one exclusive
+      // critical section and the cursor replays the rows.
+      Result<ResultTable> result = [&]() -> Result<ResultTable> {
+        std::unique_lock<std::shared_mutex> lock(mutex_);
+        PSQL_ASSIGN_OR_RETURN(ExecutionView view,
+                              BindForExecutionLocked(*plan, params));
+        return ExecuteViaRewrite(session, *view.select, view.preference);
+      }();
+      if (result.ok()) {
+        SnapshotCacheCounters(session);
+        return MaterializedCursor(std::move(*result), &session,
+                                  std::move(keepalive));
+      }
+      if (!result.status().IsNotImplemented()) return result.status();
+      // Rewriter refused (e.g. non-weak-order EXPLICIT): stream via BNL.
+      stats.rewrite_fallback = true;
+    }
+    std::shared_lock<std::shared_mutex> lock(mutex_);
+    PSQL_ASSIGN_OR_RETURN(ExecutionView view,
+                          BindForExecutionLocked(*plan, params));
+    return OpenDirectCursor(session, std::move(view), std::move(lock),
+                            std::move(plan), std::move(keepalive));
+  }
+
+  // Plain SELECT: stream straight out of the operator pipeline under the
+  // shared statement lock.
+  std::shared_lock<std::shared_mutex> lock(mutex_);
+  PSQL_ASSIGN_OR_RETURN(ExecutionView view,
+                        BindForExecutionLocked(*plan, params));
+  PSQL_ASSIGN_OR_RETURN(OperatorPtr root,
+                        db_.executor().PlanSelectOperator(*view.select));
+  auto impl = std::make_unique<Cursor::Impl>();
+  impl->plain_root = std::move(root);
+  impl->root = impl->plain_root.get();
+  impl->lock = std::move(lock);
+  impl->select_keepalive = view.select;
+  impl->plan_keepalive = std::move(plan);
+  impl->engine_keepalive = std::move(keepalive);
+  impl->engine = this;
+  impl->session = &session;
+  impl->stats = stats;
+  impl->stats_epoch = session.stats_epoch();
+  impl->schema = impl->root->schema();
+  Status open = impl->root->Open();
+  Cursor cursor(std::move(impl));
+  if (!open.ok()) {
+    cursor.Close();
+    return open;
+  }
+  return cursor;
+}
+
+Result<Cursor> Engine::OpenDirectCursor(Session& session, ExecutionView view,
+                                        std::shared_lock<std::shared_mutex>
+                                            lock,
+                                        std::shared_ptr<const CachedPlan>
+                                            plan,
+                                        std::shared_ptr<Engine> keepalive) {
+  PreferenceQueryStats& stats = session.mutable_last_stats();
+  AnalyzedPreferenceQuery analyzed(view.select.get(), view.preference);
+  const DirectEvalOptions options = DirectOptions(session);
+  PSQL_ASSIGN_OR_RETURN(PreferencePlan pplan,
+                        BuildPreferencePlan(db_, analyzed, options));
+  stats.bmo_algorithm = BmoAlgorithmToString(options.bmo.algorithm);
+  stats.bmo_kernel =
+      DominanceKernelToString(analyzed.preference().program().kernel());
+  stats.used_pushdown = pplan.used_pushdown;
+  stats.pushdown_detail = pplan.pushdown_detail;
+  stats.key_cache_eligible = pplan.key_cache_eligible;
+  stats.key_cache_detail = pplan.key_cache_detail;
+
+  auto impl = std::make_unique<Cursor::Impl>();
+  impl->pref_plan = std::move(pplan);
+  impl->root = impl->pref_plan.root.get();
+  impl->lock = std::move(lock);
+  impl->select_keepalive = std::move(view.select);
+  impl->pref_keepalive = std::move(view.preference);
+  impl->plan_keepalive = std::move(plan);
+  impl->engine_keepalive = std::move(keepalive);
+  impl->engine = this;
+  impl->session = &session;
+  impl->stats = stats;
+  impl->stats_epoch = session.stats_epoch();
+  impl->schema = impl->root->schema();
+  // Open consumes the candidate stream (the BMO block is a pipeline
+  // breaker); afterwards rows stream out on demand.
+  Status open = impl->root->Open();
+  Cursor cursor(std::move(impl));
+  if (!open.ok()) {
+    // Close flushes whatever the operators counted before the failure into
+    // last_stats and releases the lock.
+    cursor.Close();
+    return open;
+  }
+  return cursor;
+}
+
+// ===========================================================================
+// Preference strategies (materialized halves)
+// ===========================================================================
 
 Result<std::shared_ptr<SelectStmt>> Engine::ExpandSelect(
     const SelectStmt& select) {
@@ -286,38 +609,6 @@ DirectEvalOptions Engine::DirectOptions(const Session& session) {
   // only way to select LESS, which has no evaluation mode of its own).
   if (options.bmo_algorithm) direct.bmo.algorithm = *options.bmo_algorithm;
   return direct;
-}
-
-Result<ResultTable> Engine::ExecutePreferenceSelect(
-    Session& session, const PreparedStatement& prepared,
-    bool locked_exclusive) {
-  if (session.options().mode == EvaluationMode::kRewrite) {
-    Result<ResultTable> result = [&]() -> Result<ResultTable> {
-      if (locked_exclusive) {
-        PSQL_ASSIGN_OR_RETURN(PreparationView view,
-                              RefreshPreparationLocked(prepared));
-        return ExecuteViaRewrite(session, *view.expanded, view.preference);
-      }
-      // The rewrite strategy creates and drops Aux views in the shared
-      // catalog, so it is a writer.
-      std::unique_lock<std::shared_mutex> lock(mutex_);
-      PSQL_ASSIGN_OR_RETURN(PreparationView view,
-                            RefreshPreparationLocked(prepared));
-      return ExecuteViaRewrite(session, *view.expanded, view.preference);
-    }();
-    if (result.ok() || !result.status().IsNotImplemented()) return result;
-    // Rewriter refused (e.g. non-weak-order EXPLICIT): fall back to BNL.
-    session.mutable_last_stats().rewrite_fallback = true;
-  }
-  if (locked_exclusive) {
-    PSQL_ASSIGN_OR_RETURN(PreparationView view,
-                          RefreshPreparationLocked(prepared));
-    return ExecuteDirect(session, *view.expanded, view.preference);
-  }
-  std::shared_lock<std::shared_mutex> lock(mutex_);
-  PSQL_ASSIGN_OR_RETURN(PreparationView view,
-                        RefreshPreparationLocked(prepared));
-  return ExecuteDirect(session, *view.expanded, view.preference);
 }
 
 Result<ResultTable> Engine::ExecuteViaRewrite(
@@ -386,11 +677,15 @@ Result<ResultTable> Engine::ExecuteDirect(
 }
 
 Result<ResultTable> Engine::ExecuteExplain(Session& session,
-                                           const PreparedStatement& prepared) {
+                                           const CachedPlan& plan,
+                                           const std::vector<Value>* params) {
   Schema schema = Schema::FromNames({"plan"});
   std::vector<Row> lines;
   auto add = [&](const std::string& s) { lines.push_back({Value::Text(s)}); };
-  const SelectStmt& select = *prepared.select;
+  std::shared_lock<std::shared_mutex> lock(mutex_);
+  PSQL_ASSIGN_OR_RETURN(ExecutionView view,
+                        BindForExecutionLocked(plan, params));
+  const SelectStmt& select = *view.select;
   if (!select.IsPreferenceQuery()) {
     add("-- standard SQL: passed through to the host database unchanged");
     add(SelectToSql(select));
@@ -400,18 +695,14 @@ Result<ResultTable> Engine::ExecuteExplain(Session& session,
       std::string("-- plan cache: ") +
       (session.last_stats().plan_cache_hit ? "hit" : "miss") +
       " (catalog version " + std::to_string(db_.catalog().version()) + ")";
-  std::shared_lock<std::shared_mutex> lock(mutex_);
-  PSQL_ASSIGN_OR_RETURN(PreparationView view,
-                        RefreshPreparationLocked(prepared));
-  const SelectStmt& expanded = *view.expanded;
-  AnalyzedPreferenceQuery analyzed(&expanded, view.preference);
+  AnalyzedPreferenceQuery analyzed(&select, view.preference);
   if (session.options().mode != EvaluationMode::kRewrite) {
     // Direct path: describe the physical decisions (pushdown placement,
     // skyline algorithm, parallelism, cache keying) by compiling the plan
     // without draining it.
     DirectEvalOptions direct = DirectOptions(session);
     PSQL_ASSIGN_OR_RETURN(
-        PreferencePlan plan,
+        PreferencePlan pplan,
         BuildPreferencePlan(db_, analyzed, direct, /*count_stats=*/false));
     add("-- direct evaluation (mode=" +
         std::string(EvaluationModeToString(session.options().mode)) +
@@ -421,13 +712,13 @@ Result<ResultTable> Engine::ExecuteExplain(Session& session,
         std::string(DominanceKernelToString(
             analyzed.preference().program().kernel())) +
         ", bmo_threads=" + std::to_string(direct.threads) + ")");
-    add("-- " + plan.pushdown_detail);
-    add("-- " + plan.key_cache_detail);
+    add("-- " + pplan.pushdown_detail);
+    add("-- " + pplan.key_cache_detail);
     add(plan_cache_line);
-    add(SelectToSql(expanded));
+    add(SelectToSql(select));
     return ResultTable(std::move(schema), std::move(lines));
   }
-  PSQL_ASSIGN_OR_RETURN(auto base_columns, ProbeBaseColumns(expanded));
+  PSQL_ASSIGN_OR_RETURN(auto base_columns, ProbeBaseColumns(select));
   auto rewritten =
       RewritePreferenceQuery(analyzed, base_columns,
                              session.options().but_only_mode, "Aux");
@@ -436,7 +727,7 @@ Result<ResultTable> Engine::ExecuteExplain(Session& session,
       add("-- preference is not expressible as level columns; evaluated "
           "in-engine (BNL)");
       add(plan_cache_line);
-      add(SelectToSql(expanded));
+      add(SelectToSql(select));
       return ResultTable(std::move(schema), std::move(lines));
     }
     return rewritten.status();
@@ -457,6 +748,7 @@ Result<std::string> Engine::RewriteToSql(Session& session,
     return Status::InvalidArgument(
         "RewriteToSql expects a query with a PREFERRING clause");
   }
+  if (StatementHasParameters(stmt)) return UnboundParametersError();
   PSQL_ASSIGN_OR_RETURN(auto analyzed, AnalyzePreferenceQuery(*stmt.select));
   std::shared_lock<std::shared_mutex> lock(mutex_);
   PSQL_ASSIGN_OR_RETURN(auto base_columns, ProbeBaseColumns(*stmt.select));
@@ -560,6 +852,13 @@ Result<ResultTable> Engine::ExecuteSet(Session& session,
     } else {
       PSQL_ASSIGN_OR_RETURN(options.plan_cache, SetValueAsBool(v, knob));
     }
+  } else if (knob == "auto_parameterize") {
+    if (reset) {
+      options.auto_parameterize = defaults.auto_parameterize;
+    } else {
+      PSQL_ASSIGN_OR_RETURN(options.auto_parameterize,
+                            SetValueAsBool(v, knob));
+    }
   } else if (knob == "key_cache") {
     if (reset) {
       options.key_cache = defaults.key_cache;
@@ -616,7 +915,7 @@ Result<ResultTable> Engine::ExecuteSet(Session& session,
         "unknown setting '" + stmt.name +
         "' (known: evaluation_mode, bmo_algorithm, bmo_threads, "
         "parallel_min_rows, preference_pushdown, bnl_window, but_only_mode, "
-        "keep_aux_views, plan_cache, key_cache)");
+        "keep_aux_views, plan_cache, auto_parameterize, key_cache)");
   }
 
   // Echo the effective value so scripts/shell users see what stuck.
@@ -633,6 +932,8 @@ Result<ResultTable> Engine::ExecuteSet(Session& session,
     effective = options.keep_aux_views ? "on" : "off";
   } else if (knob == "plan_cache") {
     effective = options.plan_cache ? "on" : "off";
+  } else if (knob == "auto_parameterize") {
+    effective = options.auto_parameterize ? "on" : "off";
   } else if (knob == "key_cache") {
     effective = options.key_cache ? "on" : "off";
   } else if (knob == "evaluation_mode") {

@@ -16,8 +16,13 @@
 // exclusively. A statement therefore always sees a stable table version,
 // which is what makes the version-keyed caches sound:
 //
-//   * plan cache  — (normalized text, knob fingerprint, catalog version)
-//                   -> parsed + expanded + compiled preparation;
+//   * plan cache  — (parameterized normalized text, knob fingerprint,
+//                   catalog version) -> parsed + expanded + compiled
+//                   preparation. Constant literals of SELECT/EXPLAIN texts
+//                   are auto-parameterized into `?` holes for keying, so
+//                   statements differing only in literal values share one
+//                   preparation; the values are re-injected at execute
+//                   time (sql/normalize.h, sql/parameters.h);
 //   * key cache   — (preference fingerprint, table id, table version)
 //                   -> packed KeyStore (see preference/key_cache.h).
 //
@@ -26,6 +31,15 @@
 // engine additionally sweeps both caches to reclaim the dead entries early
 // (the sweep feeds the eviction counters surfaced in last_stats/EXPLAIN).
 //
+// The client surface is three-tiered:
+//   * Execute(text)      — one-shot; a thin wrapper that drains a Cursor;
+//   * Prepare(text)      — returns a PreparedStatement holding the shared
+//                          cached plan; Bind values, re-execute at will
+//                          (transparently re-prepared when DDL moves the
+//                          catalog version);
+//   * OpenCursor(text)   — streams rows through the pull pipeline without
+//                          materializing a ResultTable (core/cursor.h).
+//
 // Per-session state (knobs, last_stats) lives in Session objects
 // (core/session.h); the Connection facade (core/connection.h) bundles one
 // Session with an engine reference for the classic embedded API.
@@ -33,12 +47,16 @@
 #pragma once
 
 #include <atomic>
+#include <functional>
 #include <memory>
 #include <shared_mutex>
 #include <string>
+#include <vector>
 
+#include "core/cursor.h"
 #include "core/plan_cache.h"
 #include "core/preference_query.h"
+#include "core/prepared_statement.h"
 #include "core/session.h"
 #include "engine/database.h"
 #include "preference/key_cache.h"
@@ -55,17 +73,50 @@ class Engine {
   Engine& operator=(const Engine&) = delete;
 
   /// Parses and executes one statement on behalf of `session`. Repeated
-  /// SELECT/EXPLAIN texts skip the parse through the plan cache.
+  /// SELECT/EXPLAIN texts skip the parse through the plan cache —
+  /// including repetitions that differ only in literal values
+  /// (auto-parameterization).
   Result<ResultTable> Execute(Session& session, const std::string& sql);
+
+  /// Opens a streaming cursor over one statement (see core/cursor.h).
+  /// Direct-path preference queries and plain SELECTs stream; rewrite-mode
+  /// preference queries, EXPLAIN, and write statements replay a
+  /// materialized result. `keepalive`, when supplied, is retained by the
+  /// cursor so it cannot outlive the engine.
+  Result<Cursor> OpenCursor(Session& session, const std::string& sql,
+                            std::shared_ptr<Engine> keepalive = nullptr);
+
+  /// Prepares one statement for repeated execution: parse once, bind
+  /// per request (PreparedStatement::Bind), execute/stream at will. For
+  /// SELECT/EXPLAIN the preparation is published into the plan cache and
+  /// re-validated per execution, so DDL between executions triggers a
+  /// transparent re-prepare (no re-parse). Statements without placeholders
+  /// are auto-parameterized: their literals become pre-bound parameters.
+  Result<PreparedStatement> Prepare(Session& session, const std::string& sql,
+                                    std::shared_ptr<Engine> keepalive =
+                                        nullptr);
 
   /// Executes a semicolon-separated script; returns the last result.
   Result<ResultTable> ExecuteScript(Session& session, const std::string& sql);
+
+  /// Per-statement result sink of the script overload below; `index` is the
+  /// 0-based statement position. A non-OK return aborts the script.
+  using ScriptResultCallback =
+      std::function<Status(size_t index, const Statement& stmt,
+                           ResultTable result)>;
+
+  /// Executes a script, delivering every statement's result to `on_result`
+  /// instead of dropping all but the last.
+  Status ExecuteScript(Session& session, const std::string& sql,
+                       const ScriptResultCallback& on_result);
 
   /// Executes an already-parsed statement. Beyond plain SELECTs this layer
   /// handles: preference SELECTs (rewrite or in-engine BMO), EXPLAIN
   /// (returns the optimizer's standard-SQL translation as a one-column
   /// table), INSERT whose SELECT has a PREFERRING clause (§2.2.5), SET
   /// (session knobs), and expansion of stored PREFERENCE references (PDL).
+  /// Statements containing unbound parameters are rejected with a
+  /// kBindError (use Prepare).
   Result<ResultTable> ExecuteStatement(Session& session,
                                        const Statement& stmt);
 
@@ -82,51 +133,89 @@ class Engine {
   KeyCache& key_cache() { return key_cache_; }
 
  private:
-  /// Builds the preparation of one SELECT/EXPLAIN statement: for preference
-  /// queries, expands stored PREFERENCE references and compiles the
-  /// PREFERRING clause (under a shared lock — the expansion reads the
-  /// catalog).
-  Result<std::shared_ptr<const PreparedStatement>> BuildPreparation(
+  friend class Cursor;
+  friend class PreparedStatement;
+
+  /// Builds the preparation of one SELECT/EXPLAIN statement: collects the
+  /// parameter signature and, for preference queries, expands stored
+  /// PREFERENCE references and compiles the PREFERRING clause (under a
+  /// shared lock — the expansion reads the catalog). A PREFERRING clause
+  /// containing parameter holes is left uncompiled (compiled per execution
+  /// after binding).
+  Result<std::shared_ptr<const CachedPlan>> BuildPreparation(
       StatementKind kind, std::shared_ptr<const SelectStmt> select);
 
-  /// Executes a prepared SELECT/EXPLAIN.
-  Result<ResultTable> ExecutePrepared(Session& session,
-                                      const PreparedStatement& prepared,
-                                      bool plan_cache_hit);
+  /// Key under which `session` would cache a preparation of `text`.
+  PlanCacheKey CacheKey(const Session& session, std::string text);
 
-  /// The expanded/compiled artifacts a statement should execute with.
-  struct PreparationView {
-    std::shared_ptr<const SelectStmt> expanded;
+  /// Wraps an eagerly computed result into a (replay) cursor.
+  Cursor MaterializedCursor(ResultTable result, Session* session,
+                            std::shared_ptr<Engine> keepalive);
+
+  /// Looks up / builds-and-publishes the preparation for (`key_text`,
+  /// session knobs, current catalog version); `select` is the parsed form
+  /// used on a miss (no re-parse). Honors the session's plan_cache knob.
+  Result<std::shared_ptr<const CachedPlan>> LookupOrPrepare(
+      Session& session, const std::string& key_text, StatementKind kind,
+      std::shared_ptr<const SelectStmt> select, bool* hit);
+
+  /// Executes a prepared SELECT/EXPLAIN by draining a cursor over it.
+  /// `params` are the values for the plan's parameter holes (nullptr when
+  /// the statement has none); `auto_parameterized` tags the stats.
+  Result<ResultTable> ExecutePrepared(Session& session,
+                                      std::shared_ptr<const CachedPlan> plan,
+                                      bool plan_cache_hit,
+                                      const std::vector<Value>* params,
+                                      bool auto_parameterized);
+
+  /// Opens a cursor over a prepared SELECT/EXPLAIN: streaming for the
+  /// direct path and plain SELECTs, materialized for EXPLAIN and the
+  /// rewrite strategy.
+  Result<Cursor> OpenPreparedCursor(Session& session,
+                                    std::shared_ptr<const CachedPlan> plan,
+                                    bool plan_cache_hit,
+                                    const std::vector<Value>* params,
+                                    bool auto_parameterized,
+                                    std::shared_ptr<Engine> keepalive);
+
+  /// The artifacts one execution of a prepared statement runs against:
+  /// the (re-)expanded query block with bound values injected, and the
+  /// compiled preference (nullptr for plain SELECTs).
+  struct ExecutionView {
+    std::shared_ptr<const SelectStmt> select;
     std::shared_ptr<const CompiledPreference> preference;
   };
 
-  /// Returns `prepared`'s artifacts — re-expanded and re-compiled when DDL
-  /// moved the catalog version since preparation (a stored PREFERENCE may
-  /// have been redefined in the gap between cache lookup and lock
-  /// acquisition). Caller must hold the statement lock.
-  Result<PreparationView> RefreshPreparationLocked(
-      const PreparedStatement& prepared);
+  /// Produces the execution artifacts for `plan` under the statement lock:
+  /// re-expands when DDL moved the catalog version since preparation
+  /// (transparent re-prepare), injects `params`, and (re-)compiles the
+  /// PREFERRING clause when it could not be compiled at prepare time.
+  /// Caller must hold the statement lock.
+  Result<ExecutionView> BindForExecutionLocked(
+      const CachedPlan& plan, const std::vector<Value>* params);
 
-  /// Preference SELECT with the PREFERRING clause already expanded and
-  /// compiled. Takes the statement lock itself (exclusive for the rewrite
-  /// strategy, shared for direct evaluation) unless `locked_exclusive`.
-  Result<ResultTable> ExecutePreferenceSelect(
-      Session& session, const PreparedStatement& prepared,
-      bool locked_exclusive);
-
-  /// §3.2 rewrite strategy; caller must hold the lock exclusively (the Aux
-  /// views are created in the shared catalog).
+  /// Preference SELECT via the §3.2 rewrite strategy; caller must hold the
+  /// lock exclusively (the Aux views are created in the shared catalog).
   Result<ResultTable> ExecuteViaRewrite(
       Session& session, const SelectStmt& select,
       const std::shared_ptr<const CompiledPreference>& pref);
 
-  /// Direct (in-engine BMO) strategy; caller must hold the lock.
+  /// Materialized direct evaluation for exclusive-lock contexts
+  /// (INSERT ... SELECT PREFERRING); the shared-lock path streams through
+  /// OpenDirectCursor instead.
   Result<ResultTable> ExecuteDirect(
       Session& session, const SelectStmt& select,
       const std::shared_ptr<const CompiledPreference>& pref);
 
-  Result<ResultTable> ExecuteExplain(Session& session,
-                                     const PreparedStatement& prepared);
+  /// Builds and opens the streaming operator pipeline of a direct-path
+  /// preference query; the returned cursor owns `lock`.
+  Result<Cursor> OpenDirectCursor(Session& session, ExecutionView view,
+                                  std::shared_lock<std::shared_mutex> lock,
+                                  std::shared_ptr<const CachedPlan> plan,
+                                  std::shared_ptr<Engine> keepalive);
+
+  Result<ResultTable> ExecuteExplain(Session& session, const CachedPlan& plan,
+                                     const std::vector<Value>* params);
 
   /// SET <knob> = <value>: run-time access to the session's options.
   Result<ResultTable> ExecuteSet(Session& session, const Statement& stmt);

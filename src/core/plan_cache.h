@@ -7,10 +7,14 @@
 // (semantic analysis, EXPLICIT closure, dominance-program compilation). A
 // cache entry is keyed by
 //
-//   (normalized statement text, session knob fingerprint, catalog version)
+//   (parameterized normalized text, session knob fingerprint, catalog
+//    version)
 //
-// so a repeated statement skips all of it. Normalization (sql/normalize.h)
-// collapses whitespace but preserves case, so the key never conflates two
+// so a repeated statement skips all of it. The text component is the
+// auto-parameterized canonical form when literals could be lifted
+// (sql/normalize.h ParameterizeSql — statements differing only in literal
+// values share one entry) and the plain normalized text otherwise; both
+// collapse whitespace but preserve case, so the key never conflates two
 // spellings that would display differently. The catalog version component
 // makes any DDL (including CREATE/DROP PREFERENCE, which changes what an
 // expansion means) leave older preparations unreachable; the knob
@@ -29,26 +33,35 @@
 #include <string>
 
 #include "preference/composite.h"
+#include "sql/parameters.h"
 #include "sql/ast.h"
 #include "util/lru_cache.h"
 
 namespace prefsql {
 
 /// One cached preparation. `select` is the parsed query block (kSelect and
-/// kExplain are the only cached kinds); the last two fields are engaged for
-/// preference queries only.
-struct PreparedStatement {
+/// kExplain are the only cached kinds) and may contain `?` / `$name`
+/// parameter holes — both user-written placeholders and literals lifted by
+/// auto-parameterization; bound values are injected at execute time. The
+/// expanded/preference fields are engaged for preference queries only.
+struct CachedPlan {
   StatementKind kind = StatementKind::kSelect;
   std::shared_ptr<const SelectStmt> select;
   /// PREFERRING with stored PREFERENCE references expanded (PDL).
   std::shared_ptr<const SelectStmt> expanded;
-  /// The compiled PREFERRING clause of `expanded`.
+  /// The compiled PREFERRING clause of `expanded`; nullptr when the clause
+  /// contains parameter holes (it is then compiled per execution, after the
+  /// bound values are injected).
   std::shared_ptr<const CompiledPreference> preference;
   /// Catalog version the expansion was prepared against. The engine
   /// re-validates it under the statement lock and re-expands when DDL
   /// committed in between (the cache key alone cannot close that window —
   /// it is computed before the lock is taken).
   uint64_t catalog_version = 0;
+  /// Parameter signature of `select` (arity, names, type constraints).
+  ParameterSignature params;
+  /// The PREFERRING clause contains parameter holes (see `preference`).
+  bool pref_has_params = false;
 };
 
 struct PlanCacheKey {
@@ -65,14 +78,14 @@ class PlanCache {
 
   /// The cached preparation for `key`, or nullptr. Counts a hit or miss
   /// and refreshes the entry's LRU position.
-  std::shared_ptr<const PreparedStatement> Lookup(const PlanCacheKey& key) {
+  std::shared_ptr<const CachedPlan> Lookup(const PlanCacheKey& key) {
     return cache_.Lookup(key);
   }
 
   /// Publishes a preparation (replacing any entry under `key`). May
   /// LRU-evict the least recently used entry.
   void Insert(const PlanCacheKey& key,
-              std::shared_ptr<const PreparedStatement> prepared) {
+              std::shared_ptr<const CachedPlan> prepared) {
     if (prepared != nullptr) cache_.Insert(key, std::move(prepared));
   }
 
@@ -95,13 +108,13 @@ class PlanCache {
   };
 
   using Counters =
-      LruCache<PlanCacheKey, std::shared_ptr<const PreparedStatement>,
+      LruCache<PlanCacheKey, std::shared_ptr<const CachedPlan>,
                KeyHash>::Counters;
   Counters counters() const { return cache_.counters(); }
   size_t size() const { return cache_.size(); }
 
  private:
-  LruCache<PlanCacheKey, std::shared_ptr<const PreparedStatement>, KeyHash>
+  LruCache<PlanCacheKey, std::shared_ptr<const CachedPlan>, KeyHash>
       cache_;
 };
 

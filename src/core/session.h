@@ -58,6 +58,10 @@ struct ConnectionOptions {
   /// Consult the engine's prepared-plan cache (skips lex/parse/analyze on
   /// repeated SELECT/EXPLAIN statements).
   bool plan_cache = true;
+  /// Auto-parameterize constant literals of SELECT/EXPLAIN texts for
+  /// plan-cache keying, so statements differing only in literal values
+  /// share one prepared plan (values are re-injected at execute time).
+  bool auto_parameterize = true;
   /// Consult the engine's preference-key cache (reuses packed KeyStores for
   /// repeated PREFERRING queries over unchanged tables; direct path).
   bool key_cache = true;
@@ -87,6 +91,8 @@ struct PreferenceQueryStats {
   // statement; the eviction counters are cumulative engine-wide totals
   // snapshotted after it.
   bool plan_cache_hit = false;     // preparation reused (parse/analyze skipped)
+  bool auto_parameterized = false; // literals lifted into plan-cache key holes
+  size_t bound_parameters = 0;     // values injected into this execution
   bool key_cache_eligible = false; // run was keyed against the key cache
   bool key_cache_hit = false;      // packed keys reused (key build skipped)
   std::string key_cache_detail;    // eligibility / rejection reason
@@ -107,9 +113,22 @@ class Session {
   /// Engine-internal: the stats sink of the statement being executed.
   PreferenceQueryStats& mutable_last_stats() { return last_stats_; }
 
+  /// Engine-internal: starts a new statement — resets last_stats and
+  /// advances the epoch. A streaming Cursor records the epoch at open and
+  /// flushes its final stats on Close only when no later statement has
+  /// begun, so closing an old cursor never clobbers a newer statement's
+  /// stats.
+  PreferenceQueryStats& ResetStatsForNewStatement() {
+    ++stats_epoch_;
+    last_stats_ = PreferenceQueryStats{};
+    return last_stats_;
+  }
+  uint64_t stats_epoch() const { return stats_epoch_; }
+
  private:
   ConnectionOptions options_;
   PreferenceQueryStats last_stats_;
+  uint64_t stats_epoch_ = 0;
 };
 
 }  // namespace prefsql

@@ -252,6 +252,12 @@ bool SqlLike(const std::string& text, const std::string& pattern) {
 Result<Value> Evaluate(const Expr& e, const EvalContext& ctx) {
   switch (e.kind) {
     case ExprKind::kLiteral:
+      if (e.literal.is_param()) {
+        // Parameter holes must be bound before execution; reaching one here
+        // means a statement bypassed the binding layer.
+        return Status::BindError("unbound statement parameter " +
+                                 e.literal.ToString());
+      }
       return e.literal;
     case ExprKind::kColumnRef:
       return ResolveColumn(e, ctx);

@@ -68,9 +68,14 @@ Result<ResultTable> Executor::ExecuteStatement(const Statement& stmt) {
 
 Result<ResultTable> Executor::ExecuteSelect(const SelectStmt& select,
                                             const EvalContext* outer) {
-  Planner planner(this);
-  PSQL_ASSIGN_OR_RETURN(OperatorPtr plan, planner.PlanSelect(select, outer));
+  PSQL_ASSIGN_OR_RETURN(OperatorPtr plan, PlanSelectOperator(select, outer));
   return DrainToTable(*plan);
+}
+
+Result<OperatorPtr> Executor::PlanSelectOperator(const SelectStmt& select,
+                                                 const EvalContext* outer) {
+  Planner planner(this);
+  return planner.PlanSelect(select, outer);
 }
 
 Result<ResultTable> Executor::MaterializeCandidates(const SelectStmt& select) {

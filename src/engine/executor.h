@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "engine/evaluator.h"
+#include "engine/operators/operator.h"
 #include "sql/ast.h"
 #include "storage/catalog.h"
 #include "types/result_table.h"
@@ -36,6 +37,12 @@ class Executor : public SubqueryRunner {
   /// preference layer which builds ASTs directly).
   Result<ResultTable> ExecuteSelect(const SelectStmt& select,
                                     const EvalContext* outer = nullptr);
+
+  /// Compiles a SELECT into an unopened operator tree without draining it —
+  /// the streaming-cursor entry point (core/cursor.h). The tree borrows
+  /// from `select` and the catalog; both must outlive it.
+  Result<OperatorPtr> PlanSelectOperator(const SelectStmt& select,
+                                         const EvalContext* outer = nullptr);
 
   /// SubqueryRunner: correlated subqueries re-enter the executor with the
   /// outer scope chained.

@@ -207,4 +207,31 @@ std::shared_ptr<SelectStmt> SelectStmt::Clone() const {
   return out;
 }
 
+Statement Statement::Clone() const {
+  Statement out;
+  out.kind = kind;
+  out.select = select;  // shared, like subqueries
+  out.name = name;
+  out.columns = columns;
+  out.if_not_exists = if_not_exists;
+  out.if_exists = if_exists;
+  out.on_table = on_table;
+  out.index_columns = index_columns;
+  out.insert_columns = insert_columns;
+  for (const auto& row : insert_rows) {
+    std::vector<ExprPtr> cloned;
+    cloned.reserve(row.size());
+    for (const auto& e : row) cloned.push_back(e->Clone());
+    out.insert_rows.push_back(std::move(cloned));
+  }
+  for (const auto& [col, e] : assignments) {
+    out.assignments.emplace_back(col, e->Clone());
+  }
+  out.where = where ? where->Clone() : nullptr;
+  out.preference = preference ? preference->Clone() : nullptr;
+  out.set_value = set_value;
+  out.drop_kind = drop_kind;
+  return out;
+}
+
 }  // namespace prefsql

@@ -293,6 +293,11 @@ struct Statement {
   // kDrop
   enum class DropKind { kTable, kView, kIndex, kPreference } drop_kind =
       DropKind::kTable;
+
+  /// Deep copy (the SELECT block and subqueries are shared, like
+  /// Expr::Clone). Used to re-instantiate prepared statements with bound
+  /// parameter values without re-parsing.
+  Statement Clone() const;
 };
 
 }  // namespace prefsql

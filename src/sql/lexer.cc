@@ -21,11 +21,12 @@ Result<std::vector<Token>> Tokenize(const std::string& input) {
   std::vector<Token> out;
   size_t i = 0;
   const size_t n = input.size();
-  auto push = [&](TokenType t, std::string text, size_t off) {
+  auto push = [&](TokenType t, std::string text, size_t off, size_t len) {
     Token tok;
     tok.type = t;
     tok.text = std::move(text);
     tok.offset = off;
+    tok.length = len;
     out.push_back(std::move(tok));
   };
   while (i < n) {
@@ -45,9 +46,9 @@ Result<std::vector<Token>> Tokenize(const std::string& input) {
       std::string word = input.substr(start, i - start);
       std::string upper = ToUpper(word);
       if (IsReservedWord(upper)) {
-        push(TokenType::kKeyword, upper, start);
+        push(TokenType::kKeyword, upper, start, i - start);
       } else {
-        push(TokenType::kIdentifier, word, start);
+        push(TokenType::kIdentifier, word, start, i - start);
       }
       continue;
     }
@@ -76,6 +77,7 @@ Result<std::vector<Token>> Tokenize(const std::string& input) {
       std::string num = input.substr(start, i - start);
       Token tok;
       tok.offset = start;
+      tok.length = i - start;
       tok.text = num;
       if (is_float) {
         tok.type = TokenType::kFloat;
@@ -113,6 +115,7 @@ Result<std::vector<Token>> Tokenize(const std::string& input) {
       tok.type = TokenType::kString;
       tok.text = std::move(content);
       tok.offset = start;
+      tok.length = i - start;
       out.push_back(std::move(tok));
       continue;
     }
@@ -133,29 +136,42 @@ Result<std::vector<Token>> Tokenize(const std::string& input) {
         return Status::ParseError("unterminated quoted identifier at offset " +
                                   std::to_string(start));
       }
-      push(TokenType::kIdentifier, std::move(content), start);
+      push(TokenType::kIdentifier, std::move(content), start, i - start);
       continue;
     }
     auto two = [&](char a, char b) {
       return c == a && i + 1 < n && input[i + 1] == b;
     };
+    if (c == '?') {
+      push(TokenType::kQuestion, "?", start, 1);
+      ++i;
+      continue;
+    }
+    if (c == '$' && i + 1 < n && IsIdentStart(input[i + 1])) {
+      ++i;
+      size_t name_start = i;
+      while (i < n && IsIdentChar(input[i])) ++i;
+      push(TokenType::kNamedParam, input.substr(name_start, i - name_start),
+           start, i - start);
+      continue;
+    }
     if (two('<', '>') || two('!', '=')) {
-      push(TokenType::kNe, input.substr(i, 2), start);
+      push(TokenType::kNe, input.substr(i, 2), start, 2);
       i += 2;
       continue;
     }
     if (two('<', '=')) {
-      push(TokenType::kLe, "<=", start);
+      push(TokenType::kLe, "<=", start, 2);
       i += 2;
       continue;
     }
     if (two('>', '=')) {
-      push(TokenType::kGe, ">=", start);
+      push(TokenType::kGe, ">=", start, 2);
       i += 2;
       continue;
     }
     if (two('|', '|')) {
-      push(TokenType::kConcat, "||", start);
+      push(TokenType::kConcat, "||", start, 2);
       i += 2;
       continue;
     }
@@ -178,10 +194,10 @@ Result<std::vector<Token>> Tokenize(const std::string& input) {
         return Status::ParseError(std::string("unexpected character '") + c +
                                   "' at offset " + std::to_string(start));
     }
-    push(t, std::string(1, c), start);
+    push(t, std::string(1, c), start, 1);
     ++i;
   }
-  push(TokenType::kEnd, "", n);
+  push(TokenType::kEnd, "", n, 0);
   return out;
 }
 

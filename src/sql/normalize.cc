@@ -2,6 +2,9 @@
 
 #include <cctype>
 
+#include "sql/lexer.h"
+#include "util/string_util.h"
+
 namespace prefsql {
 
 std::string NormalizeSql(std::string_view sql) {
@@ -45,6 +48,137 @@ std::string NormalizeSql(std::string_view sql) {
   while (!out.empty() && (out.back() == ';' || out.back() == ' ')) {
     out.pop_back();
   }
+  return out;
+}
+
+namespace {
+
+/// Whether literals at the current position are value positions (liftable)
+/// or structural/display positions (kept verbatim).
+enum class Clause { kKeep, kLift };
+
+bool IsValueToken(TokenType t) {
+  return t == TokenType::kIdentifier || t == TokenType::kInteger ||
+         t == TokenType::kFloat || t == TokenType::kString ||
+         t == TokenType::kRParen || t == TokenType::kQuestion ||
+         t == TokenType::kNamedParam;
+}
+
+/// Keywords that switch into a value clause.
+bool OpensLiftClause(const Token& t) {
+  return t.IsKeyword("WHERE") || t.IsKeyword("HAVING") || t.IsKeyword("ON") ||
+         t.IsKeyword("PREFERRING") || t.IsKeyword("ONLY");  // BUT ONLY
+}
+
+/// Keywords that switch back to a keep clause (select list, FROM,
+/// GROUP/ORDER BY, LIMIT/OFFSET, GROUPING attribute lists).
+bool OpensKeepClause(const Token& t) {
+  return t.IsKeyword("SELECT") || t.IsKeyword("FROM") ||
+         t.IsKeyword("GROUP") || t.IsKeyword("ORDER") ||
+         t.IsKeyword("LIMIT") || t.IsKeyword("OFFSET") ||
+         t.IsKeyword("GROUPING");
+}
+
+}  // namespace
+
+ParameterizedSql ParameterizeSql(const std::string& sql) {
+  ParameterizedSql out;
+  auto tokens = Tokenize(sql);
+  if (!tokens.ok()) return out;  // let the parser report the error
+
+  // One output piece per kept token (its source slice) or "?" placeholder.
+  struct Piece {
+    TokenType type;
+    std::string text;
+  };
+  std::vector<Piece> pieces;
+  std::vector<Value> values;
+  Clause clause = Clause::kKeep;
+  std::vector<Clause> paren_stack;
+
+  for (const Token& tok : *tokens) {
+    if (tok.type == TokenType::kEnd) break;
+    // Explicitly parameterized statements are already canonical holes; the
+    // two placeholder spaces must not mix.
+    if (tok.type == TokenType::kQuestion ||
+        tok.type == TokenType::kNamedParam) {
+      return ParameterizedSql{};
+    }
+    if (tok.type == TokenType::kKeyword) {
+      if (OpensLiftClause(tok)) {
+        clause = Clause::kLift;
+      } else if (OpensKeepClause(tok)) {
+        clause = Clause::kKeep;
+      }
+    } else if (tok.type == TokenType::kLParen) {
+      paren_stack.push_back(clause);
+    } else if (tok.type == TokenType::kRParen) {
+      if (!paren_stack.empty()) {
+        clause = paren_stack.back();
+        paren_stack.pop_back();
+      }
+    }
+
+    const bool literal = tok.type == TokenType::kInteger ||
+                         tok.type == TokenType::kFloat ||
+                         tok.type == TokenType::kString;
+    const bool after_date_keyword =
+        !pieces.empty() && pieces.back().type == TokenType::kKeyword &&
+        EqualsIgnoreCase(pieces.back().text, "DATE");
+    if (clause == Clause::kLift && literal &&
+        !(tok.type == TokenType::kString && after_date_keyword)) {
+      Value v;
+      switch (tok.type) {
+        case TokenType::kInteger:
+          v = Value::Int(tok.int_value);
+          break;
+        case TokenType::kFloat:
+          v = Value::Double(tok.double_value);
+          break;
+        default:
+          v = Value::Text(tok.text);
+          break;
+      }
+      // Fold a leading unary minus into the lifted value (`AROUND -5`,
+      // `x = -5`): the minus is unary when what precedes it is not a value.
+      if (tok.type != TokenType::kString && pieces.size() >= 1 &&
+          pieces.back().type == TokenType::kMinus) {
+        const bool unary =
+            pieces.size() < 2 || !IsValueToken(pieces[pieces.size() - 2].type);
+        if (unary) {
+          pieces.pop_back();
+          v = tok.type == TokenType::kInteger ? Value::Int(-tok.int_value)
+                                              : Value::Double(-tok.double_value);
+        }
+      }
+      values.push_back(std::move(v));
+      pieces.push_back({TokenType::kQuestion, "?"});
+      continue;
+    }
+    pieces.push_back({tok.type, sql.substr(tok.offset, tok.length)});
+  }
+  if (values.empty()) return ParameterizedSql{};
+
+  // Drop trailing semicolons, then render with canonical spacing.
+  while (!pieces.empty() && pieces.back().type == TokenType::kSemicolon) {
+    pieces.pop_back();
+  }
+  std::string text;
+  TokenType prev = TokenType::kEnd;
+  for (const Piece& piece : pieces) {
+    const bool no_space_before = piece.type == TokenType::kComma ||
+                                 piece.type == TokenType::kRParen ||
+                                 piece.type == TokenType::kDot ||
+                                 piece.type == TokenType::kSemicolon;
+    const bool no_space_after =
+        prev == TokenType::kLParen || prev == TokenType::kDot;
+    if (!text.empty() && !no_space_before && !no_space_after) text += ' ';
+    text += piece.text;
+    prev = piece.type;
+  }
+  out.parameterized = true;
+  out.text = std::move(text);
+  out.values = std::move(values);
   return out;
 }
 

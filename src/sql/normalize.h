@@ -12,6 +12,9 @@
 
 #include <string>
 #include <string_view>
+#include <vector>
+
+#include "types/value.h"
 
 namespace prefsql {
 
@@ -22,5 +25,34 @@ namespace prefsql {
 /// semicolon are dropped. String literals and quoted identifiers are
 /// preserved byte for byte, and so is case everywhere.
 std::string NormalizeSql(std::string_view sql);
+
+/// Outcome of auto-parameterization (see ParameterizeSql).
+struct ParameterizedSql {
+  /// True iff at least one literal was lifted; `text` and `values` are only
+  /// meaningful then.
+  bool parameterized = false;
+  /// Canonical statement text with each lifted literal replaced by `?`.
+  std::string text;
+  /// The lifted literal values, in placeholder order.
+  std::vector<Value> values;
+};
+
+/// Auto-parameterization for plan-cache keying: lifts the constant literals
+/// of one SELECT/EXPLAIN statement into positional `?` placeholders so that
+/// statements differing only in literal values share one prepared plan
+/// (`... PREFERRING price AROUND 40` and `... AROUND 55` key identically;
+/// the values are re-injected at execute time).
+///
+/// Literals are lifted only from value positions — WHERE / HAVING / join ON
+/// / PREFERRING / BUT ONLY — never from the select list (literal select
+/// items derive result headers), GROUP BY / ORDER BY, or LIMIT/OFFSET
+/// (structural counts). A unary minus folds into the lifted value
+/// (`AROUND -5` lifts -5), and `DATE '...'` literals are kept verbatim.
+/// Statements that already contain explicit placeholders, contain no
+/// liftable literal, or fail to lex return `parameterized == false`; use
+/// NormalizeSql for those. Kept tokens are re-emitted byte-for-byte from
+/// the source (case and quoting preserved, like NormalizeSql), so the
+/// canonical text re-parses to the same AST with `?` holes.
+ParameterizedSql ParameterizeSql(const std::string& sql);
 
 }  // namespace prefsql

@@ -99,8 +99,27 @@ class Parser {
   Result<Value> ParsePrefLiteral();
   Result<std::vector<Value>> ParsePrefLiteralList();
 
+  // -- Parameters ----------------------------------------------------------
+  /// Registers a placeholder and returns its parameter value. Positional
+  /// `?` placeholders get the next ordinal; `$name` placeholders share one
+  /// ordinal per distinct name (first occurrence assigns it).
+  Value MakeParam(std::string name) {
+    if (!name.empty()) {
+      for (size_t i = 0; i < param_names_.size(); ++i) {
+        if (param_names_[i] == name) {
+          return Value::Param(static_cast<int32_t>(i), std::move(name));
+        }
+      }
+    }
+    param_names_.push_back(name);
+    return Value::Param(static_cast<int32_t>(param_names_.size() - 1),
+                        std::move(name));
+  }
+
   std::vector<Token> tokens_;
   size_t pos_ = 0;
+  /// Ordinal -> name ("" = positional) of the statement being parsed.
+  std::vector<std::string> param_names_;
 };
 
 // ===========================================================================
@@ -109,6 +128,7 @@ class Parser {
 
 Result<Statement> Parser::ParseStatementTop() {
   SkipSemicolons();
+  param_names_.clear();  // parameter ordinals are per statement
   if (CheckKeyword("SELECT")) {
     PSQL_ASSIGN_OR_RETURN(auto sel, ParseSelect());
     Statement st;
@@ -700,6 +720,14 @@ Result<ExprPtr> Parser::ParsePrimary() {
       }
       return Error("unexpected keyword in expression");
     }
+    case TokenType::kQuestion: {
+      Advance();
+      return Expr::MakeLiteral(MakeParam(""));
+    }
+    case TokenType::kNamedParam: {
+      Advance();
+      return Expr::MakeLiteral(MakeParam(tok.text));
+    }
     case TokenType::kLParen: {
       Advance();
       if (CheckKeyword("SELECT")) {
@@ -903,6 +931,15 @@ Result<Value> Parser::ParsePrefLiteral() {
   bool negate = Match(TokenType::kMinus);
   const Token& tok = Peek();
   switch (tok.type) {
+    case TokenType::kQuestion:
+      if (negate) return Error("cannot negate a parameter");
+      Advance();
+      return MakeParam("");
+    case TokenType::kNamedParam: {
+      if (negate) return Error("cannot negate a parameter");
+      std::string name = Advance().text;
+      return MakeParam(std::move(name));
+    }
     case TokenType::kInteger:
       Advance();
       return Value::Int(negate ? -tok.int_value : tok.int_value);
@@ -947,7 +984,8 @@ Result<PrefTermPtr> Parser::ParsePrefAtom() {
   if (MatchKeyword("AROUND")) {
     p->kind = PrefKind::kAround;
     PSQL_ASSIGN_OR_RETURN(p->target, ParsePrefLiteral());
-    if (!p->target.is_numeric() && !p->target.ToNumeric()) {
+    if (!p->target.is_param() && !p->target.is_numeric() &&
+        !p->target.ToNumeric()) {
       return Status::ParseError(
           "AROUND requires a numeric or date target, got " +
           p->target.ToString());
@@ -964,7 +1002,7 @@ Result<PrefTermPtr> Parser::ParsePrefAtom() {
   if (MatchKeyword("CONTAINS")) {
     p->kind = PrefKind::kContains;
     PSQL_ASSIGN_OR_RETURN(p->target, ParsePrefLiteral());
-    if (p->target.type() != ValueType::kText) {
+    if (!p->target.is_param() && p->target.type() != ValueType::kText) {
       return Status::ParseError("CONTAINS requires a string literal");
     }
     return p;

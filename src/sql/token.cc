@@ -24,6 +24,10 @@ std::string Token::Describe() const {
       return "integer " + std::to_string(int_value);
     case TokenType::kFloat:
       return "number";
+    case TokenType::kQuestion:
+      return "parameter '?'";
+    case TokenType::kNamedParam:
+      return "parameter '$" + text + "'";
     default:
       return "'" + text + "'";
   }

@@ -34,15 +34,19 @@ enum class TokenType {
   kGt,
   kGe,
   kConcat,       ///< '||'
+  kQuestion,     ///< '?' positional statement parameter
+  kNamedParam,   ///< '$name' named statement parameter (name in text)
 };
 
-/// One lexed token with its source offset (for error messages).
+/// One lexed token with its source offset (for error messages) and length
+/// (so normalization can re-emit a token byte-for-byte from the input).
 struct Token {
   TokenType type = TokenType::kEnd;
   std::string text;       // identifier/keyword/string content
   int64_t int_value = 0;
   double double_value = 0.0;
   size_t offset = 0;      // byte offset in the input
+  size_t length = 0;      // byte length of the source spelling
 
   bool IsKeyword(const char* kw) const;
   std::string Describe() const;

@@ -23,6 +23,8 @@ const char* ValueTypeToString(ValueType t) {
       return "TEXT";
     case ValueType::kDate:
       return "DATE";
+    case ValueType::kParam:
+      return "PARAMETER";
   }
   return "?";
 }
@@ -48,6 +50,18 @@ Value Value::Date(int64_t day_number) {
   return Value(Payload(DatePayload{day_number}));
 }
 
+Value Value::Param(int32_t index, std::string name) {
+  return Value(Payload(ParamPayload{index, std::move(name)}));
+}
+
+int32_t Value::ParamIndex() const {
+  return std::get<ParamPayload>(data_).index;
+}
+
+const std::string& Value::ParamName() const {
+  return std::get<ParamPayload>(data_).name;
+}
+
 ValueType Value::type() const {
   switch (data_.index()) {
     case 0:
@@ -62,6 +76,8 @@ ValueType Value::type() const {
       return ValueType::kText;
     case 5:
       return ValueType::kDate;
+    case 6:
+      return ValueType::kParam;
   }
   return ValueType::kNull;
 }
@@ -102,7 +118,9 @@ std::optional<double> Value::ToNumeric() const {
 namespace {
 
 // Comparison kind buckets: values of the same bucket are comparable.
-enum class Kind { kNull, kBool, kNumeric, kText };
+// Parameter placeholders never execute; they get a bucket of their own so
+// the total ordering stays total if one slips into a sort.
+enum class Kind { kNull, kBool, kNumeric, kText, kParam };
 
 Kind KindOf(const Value& v) {
   switch (v.type()) {
@@ -112,6 +130,8 @@ Kind KindOf(const Value& v) {
       return Kind::kBool;
     case ValueType::kText:
       return Kind::kText;
+    case ValueType::kParam:
+      return Kind::kParam;
     default:
       return Kind::kNumeric;
   }
@@ -184,6 +204,10 @@ int Value::Compare(const Value& a, const Value& b) {
       return a.AsText().compare(b.AsText()) < 0
                  ? -1
                  : (a.AsText() == b.AsText() ? 0 : 1);
+    case Kind::kParam: {
+      int32_t x = a.ParamIndex(), y = b.ParamIndex();
+      return x == y ? 0 : (x < y ? -1 : 1);
+    }
   }
   return 0;
 }
@@ -210,6 +234,10 @@ std::string Value::ToString() const {
       return AsText();
     case ValueType::kDate:
       return FormatDate(AsDateDays());
+    case ValueType::kParam:
+      // Prints exactly as the placeholder was written, so ASTs containing
+      // parameters round-trip through the printer and the parser.
+      return ParamName().empty() ? "?" : "$" + ParamName();
   }
   return "?";
 }
@@ -233,6 +261,8 @@ size_t Value::Hash() const {
       return AsBool() ? 2 : 1;
     case ValueType::kText:
       return std::hash<std::string>{}(AsText());
+    case ValueType::kParam:
+      return 0x517cc1b727220a95ULL ^ static_cast<size_t>(ParamIndex());
     default:
       // All numeric kinds hash through double so INT 3, DOUBLE 3.0 and a date
       // with day number 3 collide consistently with IdentityEquals.

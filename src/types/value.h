@@ -24,7 +24,8 @@ enum class ValueType {
   kInt,
   kDouble,
   kText,
-  kDate,  ///< day number (days since 1970-01-01), prints as YYYY-MM-DD
+  kDate,   ///< day number (days since 1970-01-01), prints as YYYY-MM-DD
+  kParam,  ///< unbound statement parameter ('?' / '$name'); never executed
 };
 
 /// Declared column types accepted by CREATE TABLE.
@@ -49,9 +50,16 @@ class Value {
   static Value Text(std::string s) { return Value(Payload(std::move(s))); }
   /// A date from its day number (see types/date.h).
   static Value Date(int64_t day_number);
+  /// An unbound statement parameter: the hole left by a `?` or `$name`
+  /// placeholder (0-based ordinal; name empty for positional parameters).
+  /// Parameter values only live inside ASTs — binding replaces them before
+  /// execution, and every execution path rejects leftovers with a
+  /// kBindError.
+  static Value Param(int32_t index, std::string name = std::string());
 
   ValueType type() const;
   bool is_null() const { return type() == ValueType::kNull; }
+  bool is_param() const { return type() == ValueType::kParam; }
   bool is_numeric() const {
     ValueType t = type();
     return t == ValueType::kInt || t == ValueType::kDouble ||
@@ -64,6 +72,10 @@ class Value {
   double AsDouble() const;
   const std::string& AsText() const { return std::get<std::string>(data_); }
   int64_t AsDateDays() const;
+  /// 0-based ordinal of a parameter value; requires is_param().
+  int32_t ParamIndex() const;
+  /// Name of a named parameter ("" for positional); requires is_param().
+  const std::string& ParamName() const;
 
   /// Numeric view used by arithmetic and distance computations: INT, DOUBLE
   /// and DATE produce their numeric magnitude; TEXT that parses as a date
@@ -105,8 +117,13 @@ class Value {
     int64_t days;
     bool operator==(const DatePayload&) const = default;
   };
+  struct ParamPayload {
+    int32_t index;
+    std::string name;
+    bool operator==(const ParamPayload&) const = default;
+  };
   using Payload = std::variant<std::monostate, bool, int64_t, double,
-                               std::string, DatePayload>;
+                               std::string, DatePayload, ParamPayload>;
   explicit Value(Payload p) : data_(std::move(p)) {}
 
   Payload data_;

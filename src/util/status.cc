@@ -21,6 +21,10 @@ const char* StatusCodeToString(StatusCode code) {
       return "Not implemented";
     case StatusCode::kInternal:
       return "Internal error";
+    case StatusCode::kBindError:
+      return "Bind error";
+    case StatusCode::kExecutionError:
+      return "Execution error";
   }
   return "Unknown";
 }

@@ -13,22 +13,38 @@
 namespace prefsql {
 
 /// Error category of a failed operation.
+///
+/// The numeric values are stable API: drivers sitting on top of the client
+/// surface (Connection / PreparedStatement / Cursor) branch on the code, not
+/// on the message text. The categories map as
+///   parse      -> kParseError
+///   bind       -> kBindError            (parameter arity/type/unbound)
+///   catalog    -> kNotFound / kAlreadyExists
+///   execution  -> kExecutionError / kInvalidArgument / kNotImplemented
+/// and kInternal is always a library bug.
 enum class StatusCode {
   kOk = 0,
   /// Malformed SQL / Preference SQL input.
-  kParseError,
+  kParseError = 1,
   /// Well-formed input that violates semantic rules (unknown column, type
   /// mismatch, ambiguous quality function, ...).
-  kInvalidArgument,
+  kInvalidArgument = 2,
   /// Referenced catalog object does not exist.
-  kNotFound,
+  kNotFound = 3,
   /// Catalog object already exists.
-  kAlreadyExists,
+  kAlreadyExists = 4,
   /// The operation is valid but not supported by this component (e.g. a
   /// non-weak-order EXPLICIT preference in the SQL rewriter).
-  kNotImplemented,
+  kNotImplemented = 5,
   /// Internal invariant violation; indicates a bug in the library.
-  kInternal,
+  kInternal = 6,
+  /// Parameter-binding failure on a prepared statement: index/name out of
+  /// range, value violates the slot's type constraint, or execution was
+  /// attempted with unbound parameters.
+  kBindError = 7,
+  /// Runtime failure of an otherwise valid statement (cursor used after
+  /// Close, statement aborted mid-stream, ...).
+  kExecutionError = 8,
 };
 
 /// Human-readable name of a StatusCode ("Parse error", ...).
@@ -65,6 +81,12 @@ class Status {
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
   }
+  static Status BindError(std::string msg) {
+    return Status(StatusCode::kBindError, std::move(msg));
+  }
+  static Status ExecutionError(std::string msg) {
+    return Status(StatusCode::kExecutionError, std::move(msg));
+  }
 
   /// True iff the operation succeeded.
   bool ok() const { return code_ == StatusCode::kOk; }
@@ -82,6 +104,10 @@ class Status {
     return code_ == StatusCode::kNotImplemented;
   }
   bool IsInternal() const { return code_ == StatusCode::kInternal; }
+  bool IsBindError() const { return code_ == StatusCode::kBindError; }
+  bool IsExecutionError() const {
+    return code_ == StatusCode::kExecutionError;
+  }
 
   /// "<code name>: <message>" for failures, "OK" otherwise.
   std::string ToString() const;

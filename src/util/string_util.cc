@@ -81,4 +81,24 @@ std::string StringPrintf(const char* fmt, ...) {
   return out;
 }
 
+std::string FirstSqlWord(std::string_view sql) {
+  size_t i = 0;
+  while (i < sql.size()) {
+    if (std::isspace(static_cast<unsigned char>(sql[i]))) {
+      ++i;
+    } else if (sql[i] == '-' && i + 1 < sql.size() && sql[i + 1] == '-') {
+      while (i < sql.size() && sql[i] != '\n') ++i;
+    } else {
+      break;
+    }
+  }
+  std::string word;
+  while (i < sql.size() &&
+         std::isalpha(static_cast<unsigned char>(sql[i]))) {
+    word += static_cast<char>(
+        std::toupper(static_cast<unsigned char>(sql[i++])));
+  }
+  return word;
+}
+
 }  // namespace prefsql

@@ -49,6 +49,11 @@ std::optional<size_t> FindNameIgnoreCase(const std::vector<std::string>& names,
 /// SQL single-quoted string literal: quotes and doubles embedded quotes.
 std::string QuoteSqlString(std::string_view s);
 
+/// Upper-cased first keyword of a SQL text, skipping leading whitespace and
+/// `--` line comments ("" when none). Used to route statements by kind
+/// without lexing (shell streaming, golden harness).
+std::string FirstSqlWord(std::string_view sql);
+
 /// printf-style formatting into a std::string.
 std::string StringPrintf(const char* fmt, ...)
     __attribute__((format(printf, 1, 2)));

@@ -218,6 +218,75 @@ TEST(NormalizeSqlTest, StripsLineCommentsAndKeepsQuotedIdentifiers) {
             "SELECT \"a  b\" FROM t");
 }
 
+TEST(ParameterizeSqlTest, LiftsValuePositionLiteralsInOrder) {
+  auto p = ParameterizeSql(
+      "SELECT a FROM t WHERE b = 3 PREFERRING c AROUND 7.5 AND d IN "
+      "('x', 'y')");
+  ASSERT_TRUE(p.parameterized);
+  EXPECT_EQ(p.text,
+            "SELECT a FROM t WHERE b = ? PREFERRING c AROUND ? AND d IN "
+            "(?, ?)");
+  ASSERT_EQ(p.values.size(), 4u);
+  EXPECT_EQ(p.values[0].AsInt(), 3);
+  EXPECT_EQ(p.values[1].AsDouble(), 7.5);
+  EXPECT_EQ(p.values[2].AsText(), "x");
+  EXPECT_EQ(p.values[3].AsText(), "y");
+}
+
+TEST(ParameterizeSqlTest, KeepsStructuralAndDisplayLiterals) {
+  // Select-list literals derive headers; LIMIT/OFFSET counts and ORDER BY
+  // expressions are structural. None may be lifted.
+  auto p = ParameterizeSql(
+      "SELECT 1, a FROM t WHERE b = 2 ORDER BY a LIMIT 5 OFFSET 2");
+  ASSERT_TRUE(p.parameterized);
+  EXPECT_EQ(p.text,
+            "SELECT 1, a FROM t WHERE b = ? ORDER BY a LIMIT 5 OFFSET 2");
+  ASSERT_EQ(p.values.size(), 1u);
+  EXPECT_EQ(p.values[0].AsInt(), 2);
+  // Nothing liftable at all -> fall back to plain normalization.
+  EXPECT_FALSE(ParameterizeSql("SELECT 1, a FROM t LIMIT 5").parameterized);
+}
+
+TEST(ParameterizeSqlTest, FoldsUnaryMinusAndKeepsDates) {
+  auto p = ParameterizeSql("SELECT a FROM t PREFERRING a AROUND -5");
+  ASSERT_TRUE(p.parameterized);
+  EXPECT_EQ(p.text, "SELECT a FROM t PREFERRING a AROUND ?");
+  ASSERT_EQ(p.values.size(), 1u);
+  EXPECT_EQ(p.values[0].AsInt(), -5);
+
+  // Binary minus is arithmetic, not a sign.
+  auto q = ParameterizeSql("SELECT a FROM t WHERE a - 5 > 2");
+  ASSERT_TRUE(q.parameterized);
+  EXPECT_EQ(q.text, "SELECT a FROM t WHERE a - ? > ?");
+
+  auto d = ParameterizeSql(
+      "SELECT a FROM t WHERE b = DATE '1999-07-03' AND c = 4");
+  ASSERT_TRUE(d.parameterized);
+  EXPECT_EQ(d.text,
+            "SELECT a FROM t WHERE b = DATE '1999-07-03' AND c = ?");
+}
+
+TEST(ParameterizeSqlTest, ExplicitPlaceholdersDisable) {
+  // Statements already carrying placeholders are their own canonical form;
+  // the two placeholder spaces must not mix.
+  EXPECT_FALSE(
+      ParameterizeSql("SELECT a FROM t WHERE b = ? AND c = 3")
+          .parameterized);
+  EXPECT_FALSE(
+      ParameterizeSql("SELECT a FROM t WHERE b = $x AND c = 3")
+          .parameterized);
+}
+
+TEST(ParameterizeSqlTest, SubqueriesRestoreTheOuterClause) {
+  auto p = ParameterizeSql(
+      "SELECT a FROM t WHERE b IN (SELECT c FROM u WHERE d = 4) AND e = 5");
+  ASSERT_TRUE(p.parameterized);
+  EXPECT_EQ(
+      p.text,
+      "SELECT a FROM t WHERE b IN (SELECT c FROM u WHERE d = ?) AND e = ?");
+  ASSERT_EQ(p.values.size(), 2u);
+}
+
 TEST(PreferenceFingerprintTest, DistinguishesParametersAndStructure) {
   auto fp = [](const std::string& text) {
     auto term = ParsePreference(text);

@@ -1,6 +1,11 @@
 // Golden-file SQL end-to-end harness: every tests/golden/*.sql script runs
-// against a fresh Connection; the formatted results of its SELECT/EXPLAIN
-// statements are diffed against the sibling .expected file.
+// against a fresh Connection through the text API (Connection::Execute per
+// statement — exercising the plan cache and literal auto-parameterization
+// exactly as a driver would); the formatted results of its SELECT/EXPLAIN
+// statements are diffed against the sibling .expected file. Every SELECT is
+// additionally re-run through a streaming Cursor and must produce
+// row-identical output — pinning the streamed-vs-materialized equivalence
+// of the client surface.
 //
 // Each script is additionally re-run under direct evaluation (serial),
 // direct evaluation with the parallel partitioned BMO forced on,
@@ -24,6 +29,7 @@
 #include "core/connection.h"
 #include "sql/parser.h"
 #include "sql/printer.h"
+#include "util/string_util.h"
 
 namespace prefsql {
 namespace {
@@ -76,6 +82,39 @@ constexpr Variant kVariants[] = {
      "SET evaluation_mode = bnl; SET bmo_algorithm = less;"},
 };
 
+/// Splits a script into statement texts on top-level semicolons (string
+/// literals, quoted identifiers and `--` comments respected), so each
+/// statement replays through the text API like a driver would send it.
+std::vector<std::string> SplitStatements(const std::string& script) {
+  std::vector<std::string> out;
+  std::string current;
+  for (size_t i = 0; i < script.size(); ++i) {
+    char c = script[i];
+    if (c == '-' && i + 1 < script.size() && script[i + 1] == '-') {
+      while (i < script.size() && script[i] != '\n') current += script[i++];
+      if (i < script.size()) current += '\n';
+      continue;
+    }
+    if (c == '\'' || c == '"') {
+      const char quote = c;
+      current += c;
+      for (++i; i < script.size(); ++i) {
+        current += script[i];
+        if (script[i] == quote) break;
+      }
+      continue;
+    }
+    if (c == ';') {
+      out.push_back(current);
+      current.clear();
+      continue;
+    }
+    current += c;
+  }
+  out.push_back(current);
+  return out;
+}
+
 /// Executes `script` under `variant` and renders the SELECT/EXPLAIN outputs.
 std::string RunScript(const std::string& script, const Variant& variant,
                       bool* ok, std::string* error) {
@@ -88,24 +127,47 @@ std::string RunScript(const std::string& script, const Variant& variant,
       return "";
     }
   }
-  auto stmts = ParseScript(script);
-  if (!stmts.ok()) {
-    *error = "parse failed: " + stmts.status().ToString();
-    return "";
-  }
   std::string out;
   size_t query_no = 0;
-  for (const Statement& stmt : *stmts) {
-    auto result = conn.ExecuteStatement(stmt);
+  for (const std::string& text : SplitStatements(script)) {
+    const std::string word = FirstSqlWord(text);
+    if (word.empty()) continue;
+    auto result = conn.Execute(text);
     if (!result.ok()) {
       *error = "statement failed: " + result.status().ToString() + "\n  " +
-               StatementToSql(stmt);
+               text;
       return "";
     }
-    if (stmt.kind != StatementKind::kSelect &&
-        stmt.kind != StatementKind::kExplain) {
-      continue;
+    if (word == "SELECT") {
+      // The streamed rows must match the materialized result exactly
+      // (modulo the ordering both paths share).
+      auto cursor = conn.OpenCursor(text);
+      if (!cursor.ok()) {
+        *error = "cursor open failed: " + cursor.status().ToString() +
+                 "\n  " + text;
+        return "";
+      }
+      std::vector<Row> rows;
+      for (;;) {
+        auto row = cursor->Next();
+        if (!row.ok()) {
+          *error = "cursor next failed: " + row.status().ToString() + "\n  " +
+                   text;
+          return "";
+        }
+        if (!row->has_value()) break;
+        rows.push_back(std::move(**row).IntoRow());
+      }
+      ResultTable streamed(cursor->columns(), std::move(rows));
+      if (streamed.ToString(/*max_rows=*/1000) !=
+          result->ToString(/*max_rows=*/1000)) {
+        *error = "cursor-streamed rows diverge from Execute for\n  " + text +
+                 "\nmaterialized:\n" + result->ToString(1000) +
+                 "\nstreamed:\n" + streamed.ToString(1000);
+        return "";
+      }
     }
+    if (word != "SELECT" && word != "EXPLAIN") continue;
     ++query_no;
     out += "-- query " + std::to_string(query_no) + "\n";
     out += result->ToString(/*max_rows=*/1000);

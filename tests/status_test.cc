@@ -19,6 +19,8 @@ TEST(StatusTest, FactoriesCarryCodeAndMessage) {
   EXPECT_TRUE(Status::AlreadyExists("x").IsAlreadyExists());
   EXPECT_TRUE(Status::NotImplemented("x").IsNotImplemented());
   EXPECT_TRUE(Status::Internal("x").IsInternal());
+  EXPECT_TRUE(Status::BindError("x").IsBindError());
+  EXPECT_TRUE(Status::ExecutionError("x").IsExecutionError());
   Status s = Status::ParseError("bad token");
   EXPECT_FALSE(s.ok());
   EXPECT_EQ(s.message(), "bad token");
@@ -29,6 +31,22 @@ TEST(StatusTest, CodeNames) {
   EXPECT_STREQ(StatusCodeToString(StatusCode::kOk), "OK");
   EXPECT_STREQ(StatusCodeToString(StatusCode::kNotFound), "Not found");
   EXPECT_STREQ(StatusCodeToString(StatusCode::kInternal), "Internal error");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kBindError), "Bind error");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kExecutionError),
+               "Execution error");
+}
+
+TEST(StatusTest, NumericCodesAreStableApi) {
+  // Drivers branch on these; renumbering is a breaking change.
+  EXPECT_EQ(static_cast<int>(StatusCode::kOk), 0);
+  EXPECT_EQ(static_cast<int>(StatusCode::kParseError), 1);
+  EXPECT_EQ(static_cast<int>(StatusCode::kInvalidArgument), 2);
+  EXPECT_EQ(static_cast<int>(StatusCode::kNotFound), 3);
+  EXPECT_EQ(static_cast<int>(StatusCode::kAlreadyExists), 4);
+  EXPECT_EQ(static_cast<int>(StatusCode::kNotImplemented), 5);
+  EXPECT_EQ(static_cast<int>(StatusCode::kInternal), 6);
+  EXPECT_EQ(static_cast<int>(StatusCode::kBindError), 7);
+  EXPECT_EQ(static_cast<int>(StatusCode::kExecutionError), 8);
 }
 
 TEST(ResultTest, HoldsValue) {

@@ -10,7 +10,13 @@
 //
 // Dot commands: .help, .tables, .mode rewrite|bnl|naive|sfs, .demo <name>,
 // .quit. Everything else is (Preference) SQL, terminated by ';'.
+//
+// The shell drives the driver-style client surface: single SELECT
+// statements stream through a Cursor (rows appear as they are produced,
+// capped at kMaxRows), and multi-statement scripts run through the
+// per-statement ExecuteScript callback so no result is silently dropped.
 
+#include <cctype>
 #include <cstdio>
 #include <iostream>
 #include <string>
@@ -24,6 +30,65 @@ namespace {
 
 using prefsql::Connection;
 using prefsql::EvaluationMode;
+
+constexpr size_t kMaxRows = 50;
+
+/// True iff `sql` holds a single statement (no interior ';').
+bool IsSingleStatement(const std::string& sql) {
+  bool in_string = false;
+  for (size_t i = 0; i + 1 < sql.size(); ++i) {
+    char c = sql[i];
+    if (c == '\'') in_string = !in_string;
+    if (c == ';' && !in_string) {
+      for (size_t j = i + 1; j + 1 < sql.size(); ++j) {
+        if (!std::isspace(static_cast<unsigned char>(sql[j]))) return false;
+      }
+    }
+  }
+  return true;
+}
+
+void PrintResult(const prefsql::ResultTable& result) {
+  if (result.num_columns() > 0) {
+    std::printf("%s(%zu rows)\n", result.ToString(kMaxRows).c_str(),
+                result.num_rows());
+  } else {
+    std::printf("ok\n");
+  }
+}
+
+/// Streams a single SELECT through the Cursor API, printing rows as they
+/// arrive (the driver surface the paper's ODBC client would use).
+void RunStreaming(Connection& conn, const std::string& sql) {
+  auto cursor = conn.OpenCursor(sql);
+  if (!cursor.ok()) {
+    std::printf("error: %s\n", cursor.status().ToString().c_str());
+    return;
+  }
+  std::vector<prefsql::Row> rows;
+  size_t total = 0;
+  for (;;) {
+    auto row = cursor->Next();
+    if (!row.ok()) {
+      std::printf("error: %s\n", row.status().ToString().c_str());
+      return;
+    }
+    if (!row->has_value()) break;
+    ++total;
+    if (rows.size() < kMaxRows) {
+      rows.push_back(std::move(**row).IntoRow());
+    } else {
+      // The skyline is larger than the display cap: stop pulling — the
+      // early Close releases the engine's statement lock promptly.
+      cursor->Close();
+      std::printf("... display cap reached after %zu rows\n", kMaxRows);
+      break;
+    }
+  }
+  prefsql::ResultTable table(cursor->columns(), std::move(rows));
+  std::printf("%s(%zu rows streamed)\n", table.ToString(kMaxRows).c_str(),
+              total);
+}
 
 void PrintHelp() {
   std::printf(
@@ -137,17 +202,22 @@ int main() {
     }
     buffer += line + "\n";
     if (line.empty() || line.back() != ';') continue;
-    auto result = conn.ExecuteScript(buffer);
-    buffer.clear();
-    if (!result.ok()) {
-      std::printf("error: %s\n", result.status().ToString().c_str());
+    std::string sql;
+    sql.swap(buffer);
+    if (IsSingleStatement(sql) && prefsql::FirstSqlWord(sql) == "SELECT") {
+      RunStreaming(conn, sql);
       continue;
     }
-    if (result->num_columns() > 0) {
-      std::printf("%s(%zu rows)\n", result->ToString(50).c_str(),
-                  result->num_rows());
-    } else {
-      std::printf("ok\n");
+    // Scripts run statement by statement; every result is printed (the old
+    // ExecuteScript interface silently dropped all but the last).
+    auto status = conn.ExecuteScript(
+        sql, [](size_t, const prefsql::Statement&,
+                prefsql::ResultTable result) {
+          PrintResult(result);
+          return prefsql::Status::OK();
+        });
+    if (!status.ok()) {
+      std::printf("error: %s\n", status.ToString().c_str());
     }
   }
   return 0;
