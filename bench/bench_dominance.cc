@@ -14,6 +14,7 @@
 // Records into BENCH_dominance.json. Args: --rows N --pairs N (defaults
 // 100000 / 2^20) shrink the run for CI smoke jobs.
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -23,6 +24,7 @@
 
 #include "bench_json.h"
 #include "preference/composite.h"
+#include "preference/dominance_program.h"
 #include "sql/parser.h"
 #include "util/random.h"
 
@@ -170,6 +172,59 @@ int main(int argc, char** argv) {
 
     const double packed_rate = static_cast<double>(n_pairs) / packed_s;
     const double generic_rate = static_cast<double>(n_pairs) / generic_s;
+
+    // Block-kernel section: DominatesBlock over the full store from a set
+    // of random candidates, once per SIMD variant (DominatesBlock never
+    // early-exits, so the rate is data-independent). The packed kernels are
+    // the only ones with vectorized forms; the generic kernel ignores the
+    // variant, so its section would measure the same loop thrice.
+    const prefsql::SimdVariant dispatched =
+        prefsql::DispatchedSimdVariant();
+    double block_rate[3] = {0.0, 0.0, 0.0};
+    if (prog.kernel() != prefsql::DominanceKernel::kGeneric) {
+      std::vector<size_t> all_rows(rows);
+      for (size_t i = 0; i < rows; ++i) all_rows[i] = i;
+      std::vector<size_t> candidates;
+      const size_t n_candidates =
+          std::max<size_t>(1, n_pairs / std::max<size_t>(rows, 1));
+      for (size_t i = 0; i < n_candidates; ++i) {
+        candidates.push_back(static_cast<size_t>(
+            rng.Uniform(0, static_cast<int64_t>(rows) - 1)));
+      }
+      std::vector<uint8_t> out(rows);
+      size_t dominated_scalar = 0;
+      for (prefsql::SimdVariant v :
+           {prefsql::SimdVariant::kScalar, prefsql::SimdVariant::kUnrolled4,
+            prefsql::SimdVariant::kAvx2}) {
+        if (v > dispatched) continue;  // host/build cannot run it
+        t0 = Clock::now();
+        size_t dominated = 0;
+        for (size_t cand : candidates) {
+          prog.DominatesBlock(store, cand, all_rows.data(), all_rows.size(),
+                              out.data(), v, /*comparisons=*/nullptr);
+          for (uint8_t bit : out) dominated += bit;
+        }
+        const double s = SecondsSince(t0);
+        if (v == prefsql::SimdVariant::kScalar) {
+          dominated_scalar = dominated;
+        } else if (dominated != dominated_scalar) {
+          std::fprintf(stderr, "%s: %s block kernel diverges from scalar\n",
+                       w.name, prefsql::SimdVariantToString(v));
+          return 1;
+        }
+        block_rate[static_cast<size_t>(v)] =
+            static_cast<double>(candidates.size()) *
+            static_cast<double>(rows) / s;
+        std::printf("%-16s block %-9s %10.3g tests/s (%zu dominated)\n",
+                    w.name, prefsql::SimdVariantToString(v),
+                    block_rate[static_cast<size_t>(v)], dominated);
+      }
+    }
+    const double scalar_block = block_rate[0];
+    const double dispatched_block =
+        block_rate[static_cast<size_t>(dispatched)];
+    const double simd_speedup =
+        scalar_block > 0.0 ? dispatched_block / scalar_block : 1.0;
     std::printf(
         "%-16s kernel=%-13s packed %10.3g tests/s  generic %10.3g tests/s  "
         "speedup %.2fx | key build %7.2f ms vs %7.2f ms\n",
@@ -185,7 +240,12 @@ int main(int argc, char** argv) {
         .Field("generic_tests_per_sec", generic_rate)
         .Field("speedup", packed_rate / generic_rate)
         .Field("key_build_packed_ms", build_packed_s * 1e3)
-        .Field("key_build_generic_ms", build_generic_s * 1e3);
+        .Field("key_build_generic_ms", build_generic_s * 1e3)
+        .Field("simd_variant", prefsql::SimdVariantToString(dispatched))
+        .Field("block_scalar_tests_per_sec", scalar_block)
+        .Field("block_unrolled4_tests_per_sec", block_rate[1])
+        .Field("block_avx2_tests_per_sec", block_rate[2])
+        .Field("simd_speedup", simd_speedup);
   }
 
   if (!writer.Write()) {

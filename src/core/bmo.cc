@@ -13,22 +13,19 @@ size_t ResultReserve(size_t n) { return std::min<size_t>(n, 256); }
 std::vector<size_t> NaiveNestedLoop(const DominanceProgram& prog,
                                     const KeyStore& keys,
                                     std::span<const size_t> candidates,
-                                    BmoStats* stats) {
+                                    SimdVariant simd, BmoStats* stats) {
   // Paper §3.2: "Insert t1 into Max if there is no tuple t2 in R that is
-  // better than t1" — repeated for every t1.
+  // better than t1" — repeated for every t1. The whole candidate array is
+  // the block (a tuple never strictly dominates itself, so t1's own entry
+  // is harmless).
   std::vector<size_t> out;
   out.reserve(ResultReserve(candidates.size()));
+  size_t* cmp = stats != nullptr ? &stats->comparisons : nullptr;
   for (size_t i : candidates) {
-    bool dominated = false;
-    for (size_t j : candidates) {
-      if (i == j) continue;
-      if (stats != nullptr) ++stats->comparisons;
-      if (prog.Dominates(keys, j, i)) {
-        dominated = true;
-        break;
-      }
+    if (!prog.AnyDominates(keys, candidates.data(), candidates.size(), i,
+                           simd, cmp)) {
+      out.push_back(i);
     }
-    if (!dominated) out.push_back(i);
   }
   return out;
 }
@@ -36,7 +33,8 @@ std::vector<size_t> NaiveNestedLoop(const DominanceProgram& prog,
 std::vector<size_t> BlockNestedLoop(const DominanceProgram& prog,
                                     const KeyStore& keys,
                                     std::span<const size_t> candidates,
-                                    size_t window_capacity, BmoStats* stats) {
+                                    size_t window_capacity, SimdVariant simd,
+                                    BmoStats* stats) {
   struct Entry {
     size_t index;
     size_t insert_pass;
@@ -44,39 +42,46 @@ std::vector<size_t> BlockNestedLoop(const DominanceProgram& prog,
   std::vector<size_t> result;          // confirmed skyline members
   result.reserve(ResultReserve(candidates.size()));
   std::vector<Entry> window;
+  // window_idx mirrors window's indices contiguously for the block calls.
+  std::vector<size_t> window_idx;
+  std::vector<uint8_t> evict;
   window.reserve(window_capacity != 0
                      ? std::min(window_capacity, candidates.size())
                      : ResultReserve(candidates.size()));
+  window_idx.reserve(window.capacity());
   std::vector<size_t> input(candidates.begin(), candidates.end());
   std::vector<size_t> overflow;
   size_t pass = 0;
+  size_t* cmp = stats != nullptr ? &stats->comparisons : nullptr;
 
   while (!input.empty()) {
     overflow.clear();
     for (size_t t : input) {
-      bool dominated = false;
-      // Compare against the window; evict dominated window entries.
+      // Two phases over the window. They match the classic interleaved
+      // compare/evict loop exactly because window entries are mutually
+      // non-dominated: if some entry dominates t, then t dominates no
+      // entry (transitivity would make that entry dominated inside the
+      // window), so the dominated case evicts nothing — and otherwise
+      // only the eviction phase runs.
+      if (prog.AnyDominates(keys, window_idx.data(), window_idx.size(), t,
+                            simd, cmp)) {
+        continue;
+      }
+      evict.resize(window.size());
+      prog.DominatesBlock(keys, t, window_idx.data(), window.size(),
+                          evict.data(), simd, cmp);
       size_t kept = 0;
       for (size_t w = 0; w < window.size(); ++w) {
-        if (stats != nullptr) ++stats->comparisons;
-        Rel rel = prog.Compare(keys, t, window[w].index);
-        if (rel == Rel::kWorse) {
-          dominated = true;
-          // Tuples after w are untouched; keep the remainder as is.
-          for (size_t r = w; r < window.size(); ++r) {
-            window[kept++] = window[r];
-          }
-          break;
-        }
-        if (rel == Rel::kBetter) {
-          continue;  // evict window entry (do not keep)
-        }
-        window[kept++] = window[w];
+        if (evict[w]) continue;
+        window[kept] = window[w];
+        window_idx[kept] = window_idx[w];
+        ++kept;
       }
       window.resize(kept);
-      if (dominated) continue;
+      window_idx.resize(kept);
       if (window_capacity == 0 || window.size() < window_capacity) {
         window.push_back({t, pass});
+        window_idx.push_back(t);
       } else {
         overflow.push_back(t);
       }
@@ -95,6 +100,8 @@ std::vector<size_t> BlockNestedLoop(const DominanceProgram& prog,
       }
     }
     window = std::move(remaining);
+    window_idx.clear();
+    for (const Entry& e : window) window_idx.push_back(e.index);
     input = overflow;
     ++pass;
     if (stats != nullptr) stats->passes = pass;
@@ -107,7 +114,7 @@ std::vector<size_t> BlockNestedLoop(const DominanceProgram& prog,
 std::vector<size_t> SortFilterSkyline(const DominanceProgram& prog,
                                       const KeyStore& keys,
                                       std::span<const size_t> candidates,
-                                      BmoStats* stats) {
+                                      SimdVariant simd, BmoStats* stats) {
   // Presort by a linear extension of the order: afterwards no tuple can be
   // dominated by a later one, so a single forward pass with an append-only
   // result window is exact.
@@ -117,16 +124,12 @@ std::vector<size_t> SortFilterSkyline(const DominanceProgram& prog,
   });
   std::vector<size_t> result;
   result.reserve(ResultReserve(candidates.size()));
+  size_t* cmp = stats != nullptr ? &stats->comparisons : nullptr;
   for (size_t t : sorted) {
-    bool dominated = false;
-    for (size_t r : result) {
-      if (stats != nullptr) ++stats->comparisons;
-      if (prog.Dominates(keys, r, t)) {
-        dominated = true;
-        break;
-      }
+    if (!prog.AnyDominates(keys, result.data(), result.size(), t, simd,
+                           cmp)) {
+      result.push_back(t);
     }
-    if (!dominated) result.push_back(t);
   }
   std::sort(result.begin(), result.end());
   return result;
@@ -142,7 +145,7 @@ std::vector<size_t> SortFilterSkyline(const DominanceProgram& prog,
 std::vector<size_t> EliminationFilterScan(const DominanceProgram& prog,
                                           const KeyStore& keys,
                                           std::span<const size_t> candidates,
-                                          size_t ef_capacity,
+                                          size_t ef_capacity, SimdVariant simd,
                                           BmoStats* stats) {
   const size_t L = keys.num_leaves();
   auto volume = [&](size_t t) {
@@ -157,32 +160,33 @@ std::vector<size_t> EliminationFilterScan(const DominanceProgram& prog,
     double volume;
   };
   std::vector<EfEntry> ef;
+  std::vector<size_t> ef_idx;  // mirrors ef's indices for the block calls
   ef.reserve(std::max<size_t>(1, ef_capacity));
+  ef_idx.reserve(ef.capacity());
+  size_t* cmp = stats != nullptr ? &stats->comparisons : nullptr;
 
   std::vector<size_t> survivors;
   survivors.reserve(candidates.size());
   for (size_t t : candidates) {
-    bool dominated = false;
-    for (const EfEntry& e : ef) {
-      if (stats != nullptr) ++stats->comparisons;
-      if (prog.Dominates(keys, e.index, t)) {
-        dominated = true;
-        break;
-      }
+    if (prog.AnyDominates(keys, ef_idx.data(), ef_idx.size(), t, simd, cmp)) {
+      continue;
     }
-    if (dominated) continue;
     survivors.push_back(t);
     // Admit t when it beats the weakest EF entry by volume (or there is
     // room); the window self-organizes toward the most dominant tuples.
     double v = volume(t);
     if (ef.size() < ef_capacity) {
       ef.push_back({t, v});
+      ef_idx.push_back(t);
     } else if (!ef.empty()) {
       size_t weakest = 0;
       for (size_t e = 1; e < ef.size(); ++e) {
         if (ef[e].volume > ef[weakest].volume) weakest = e;
       }
-      if (v < ef[weakest].volume) ef[weakest] = {t, v};
+      if (v < ef[weakest].volume) {
+        ef[weakest] = {t, v};
+        ef_idx[weakest] = t;
+      }
     }
   }
   return survivors;
@@ -194,10 +198,21 @@ std::vector<size_t> EliminationFilterScan(const DominanceProgram& prog,
 std::vector<size_t> LessSkyline(const DominanceProgram& prog,
                                 const KeyStore& keys,
                                 std::span<const size_t> candidates,
-                                size_t ef_capacity, BmoStats* stats) {
-  std::vector<size_t> survivors =
-      EliminationFilterScan(prog, keys, candidates, ef_capacity, stats);
-  return SortFilterSkyline(prog, keys, survivors, stats);
+                                size_t ef_capacity, SimdVariant simd,
+                                BmoStats* stats) {
+  std::vector<size_t> survivors = EliminationFilterScan(
+      prog, keys, candidates, ef_capacity, simd, stats);
+  return SortFilterSkyline(prog, keys, survivors, simd, stats);
+}
+
+// The variant the inner loops run with: the block path only exists for the
+// packed kernels, and the session knob can force row-at-a-time.
+SimdVariant EffectiveSimd(const DominanceProgram& prog,
+                          const BmoOptions& options) {
+  if (!options.simd || prog.kernel() == DominanceKernel::kGeneric) {
+    return SimdVariant::kScalar;
+  }
+  return DispatchedSimdVariant();
 }
 
 }  // namespace
@@ -208,7 +223,11 @@ std::vector<size_t> ComputeBmoTopK(const CompiledPreference& pref,
                                    size_t k, const BmoOptions& options,
                                    BmoStats* stats) {
   const DominanceProgram& prog = pref.program();
-  if (stats != nullptr) stats->kernel = prog.kernel();
+  SimdVariant simd = EffectiveSimd(prog, options);
+  if (stats != nullptr) {
+    stats->kernel = prog.kernel();
+    stats->simd = simd;
+  }
   if (k == 0) return {};
   // LESS EF prepass: the presort then runs over the (usually much smaller)
   // survivor set instead of the full input. Dropped tuples are dominated,
@@ -221,9 +240,9 @@ std::vector<size_t> ComputeBmoTopK(const CompiledPreference& pref,
   constexpr size_t kEfMinRows = 4096;
   std::vector<size_t> sorted;
   if (candidates.size() >= kEfMinRows) {
-    sorted = EliminationFilterScan(
-        prog, keys, candidates, std::max<size_t>(1, options.less_window),
-        stats);
+    sorted = EliminationFilterScan(prog, keys, candidates,
+                                   std::max<size_t>(1, options.less_window),
+                                   simd, stats);
   } else {
     sorted.assign(candidates.begin(), candidates.end());
   }
@@ -232,16 +251,10 @@ std::vector<size_t> ComputeBmoTopK(const CompiledPreference& pref,
   });
   std::vector<size_t> result;
   result.reserve(std::min(k, candidates.size()));
+  size_t* cmp = stats != nullptr ? &stats->comparisons : nullptr;
   for (size_t t : sorted) {
-    bool dominated = false;
-    for (size_t r : result) {
-      if (stats != nullptr) ++stats->comparisons;
-      if (prog.Dominates(keys, r, t)) {
-        dominated = true;
-        break;
-      }
-    }
-    if (!dominated) {
+    if (!prog.AnyDominates(keys, result.data(), result.size(), t, simd,
+                           cmp)) {
       result.push_back(t);
       if (result.size() >= k) break;  // progressive early exit
     }
@@ -278,18 +291,23 @@ std::vector<size_t> ComputeBmo(const CompiledPreference& pref,
                                std::span<const size_t> candidates,
                                const BmoOptions& options, BmoStats* stats) {
   const DominanceProgram& prog = pref.program();
-  if (stats != nullptr) stats->kernel = prog.kernel();
+  SimdVariant simd = EffectiveSimd(prog, options);
+  if (stats != nullptr) {
+    stats->kernel = prog.kernel();
+    stats->simd = simd;
+  }
   switch (options.algorithm) {
     case BmoAlgorithm::kNaiveNestedLoop:
-      return NaiveNestedLoop(prog, keys, candidates, stats);
+      return NaiveNestedLoop(prog, keys, candidates, simd, stats);
     case BmoAlgorithm::kBlockNestedLoop:
       return BlockNestedLoop(prog, keys, candidates, options.bnl_window,
-                             stats);
+                             simd, stats);
     case BmoAlgorithm::kSortFilterSkyline:
-      return SortFilterSkyline(prog, keys, candidates, stats);
+      return SortFilterSkyline(prog, keys, candidates, simd, stats);
     case BmoAlgorithm::kLess:
       return LessSkyline(prog, keys, candidates,
-                         std::max<size_t>(1, options.less_window), stats);
+                         std::max<size_t>(1, options.less_window), simd,
+                         stats);
   }
   return {};
 }

@@ -55,6 +55,9 @@ struct BmoOptions {
   size_t bnl_window = 0;
   /// LESS elimination-filter window capacity in tuples.
   size_t less_window = 32;
+  /// Run the packed kernels through the block SIMD/unrolled path
+  /// (DispatchedSimdVariant decides which); off forces row-at-a-time.
+  bool simd = true;
 };
 
 /// Statistics of one BMO computation (benchmarks, tests).
@@ -66,6 +69,9 @@ struct BmoStats {
   uint64_t key_build_ns = 0;
   /// Dominance kernel the preference's compiled program dispatched to.
   DominanceKernel kernel = DominanceKernel::kGeneric;
+  /// Block-walk variant the inner loops ran with (scalar for the generic
+  /// kernel or when BmoOptions::simd is off).
+  SimdVariant simd = SimdVariant::kScalar;
 };
 
 /// Returns the indices (into `keys`, ascending) of all maximal tuples.

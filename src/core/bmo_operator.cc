@@ -39,6 +39,9 @@ Status BmoOperator::Open() {
   rows_.clear();
   keys_.reset();
   survivors_.clear();
+  use_positions_ = false;
+  positions_.clear();
+  local_of_.clear();
   pos_ = 0;
   run_stats_ = BmoRunStats{};
 
@@ -53,45 +56,108 @@ Status BmoOperator::Open() {
   }
   const size_t n = rows_.size();
 
-  // 2. Packed keys: an engine key-cache hit reuses the whole store (the
-  //    cached row count matching the pulled count re-checks the planner's
-  //    1:1 row correspondence); otherwise build into a fresh store —
-  //    appended straight into the packed KeyStore, no per-tuple key
-  //    allocation — and publish it when this run is cache-keyed.
-  if (config_.key_cache != nullptr) {
+  // 1b. Position mode: recover each pulled row's storage position by
+  //     pointer identity against the table's row heap, so the dominance
+  //     pass can run over the shared whole-table KeyStore. Any row that is
+  //     not a borrowed slice of the heap (or a duplicate) falls the whole
+  //     run back to the local un-cached path.
+  if (config_.base_rows != nullptr) {
+    const Row* base = config_.base_rows->data();
+    const size_t base_n = config_.base_rows->size();
+    bool ok = true;
+    positions_.reserve(n);
+    for (const RowRef& r : rows_) {
+      if (!r.is_borrowed()) {
+        ok = false;
+        break;
+      }
+      const Row* p = &r.row();
+      if (p < base || p >= base + base_n) {
+        ok = false;
+        break;
+      }
+      positions_.push_back(static_cast<size_t>(p - base));
+    }
+    if (ok) {
+      local_of_.reserve(n);
+      for (size_t i = 0; i < n && ok; ++i) {
+        ok = local_of_.emplace(positions_[i], i).second;
+      }
+    }
+    if (!ok) {
+      positions_.clear();
+      local_of_.clear();
+    }
+    use_positions_ = ok;
+    if (use_positions_ && config_.filter_cache != nullptr) {
+      config_.filter_cache->Insert(
+          config_.filter_cache_key,
+          std::make_shared<const std::vector<size_t>>(positions_));
+    }
+  }
+  // Candidate id of pulled row i: its storage position in position mode
+  // (an index into the whole-table KeyStore), the pulled index otherwise.
+  auto id_of = [&](size_t i) { return use_positions_ ? positions_[i] : i; };
+  const size_t key_rows =
+      use_positions_ ? config_.base_rows->size() : n;
+
+  // 2. Packed keys: an engine cache hit reuses the whole store (the cached
+  //    row count matching the expected count re-checks the planner's row
+  //    correspondence); otherwise build into a fresh store — appended
+  //    straight into the packed KeyStore, no per-tuple key allocation —
+  //    and publish it when this run is cache-keyed. In position mode the
+  //    store covers the whole table (one build amortizes across every
+  //    filtered query over this snapshot).
+  const bool cache_keyed = config_.key_cache != nullptr &&
+                           (config_.base_rows == nullptr || use_positions_);
+  if (cache_keyed) {
     auto cached = config_.key_cache->Lookup(config_.key_cache_key);
-    if (cached != nullptr && cached->size() == n &&
-        cached->num_leaves() == pref_->num_leaves()) {
-      keys_ = std::move(cached);
+    if (cached != nullptr && cached->keys != nullptr &&
+        cached->keys->size() == key_rows &&
+        cached->keys->num_leaves() == pref_->num_leaves()) {
+      keys_ = cached->keys;
       run_stats_.key_cache_hit = true;  // key_build_ns stays 0
     }
   }
   if (keys_ == nullptr) {
     using Clock = std::chrono::steady_clock;
     auto built = std::make_shared<KeyStore>(pref_->num_leaves());
-    built->Reserve(n);
+    built->Reserve(key_rows);
     const auto t0 = Clock::now();
-    for (const RowRef& r : rows_) {
-      PSQL_RETURN_IF_ERROR(
-          pref_->AppendKey(child_->schema(), r.row(), built.get(), runner_));
+    if (use_positions_) {
+      for (const Row& row : *config_.base_rows) {
+        PSQL_RETURN_IF_ERROR(
+            pref_->AppendKey(child_->schema(), row, built.get(), runner_));
+      }
+    } else {
+      for (const RowRef& r : rows_) {
+        PSQL_RETURN_IF_ERROR(
+            pref_->AppendKey(child_->schema(), r.row(), built.get(),
+                             runner_));
+      }
     }
     run_stats_.bmo.key_build_ns = static_cast<uint64_t>(
         std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
                                                              t0)
             .count());
     keys_ = std::move(built);
-    if (config_.key_cache != nullptr) {
-      config_.key_cache->Insert(config_.key_cache_key, keys_);
+    if (cache_keyed) {
+      auto entry = std::make_shared<SkylineEntry>();
+      entry->keys = keys_;
+      entry->pref = config_.cache_pref;
+      config_.key_cache->Insert(config_.key_cache_key, std::move(entry));
     }
   }
   const KeyStore& keys = *keys_;
 
-  // 3. GROUPING partitions (§2.2.5): BMO within each partition.
+  // 3. GROUPING partitions (§2.2.5): BMO within each partition. Partitions
+  //    hold candidate ids; partition_of_ stays pulled-indexed.
   std::vector<std::vector<size_t>> partitions;
+  partition_of_.assign(n, 0);
   if (config_.grouping_cols.empty()) {
     partitions.emplace_back();
     partitions[0].reserve(n);
-    for (size_t i = 0; i < n; ++i) partitions[0].push_back(i);
+    for (size_t i = 0; i < n; ++i) partitions[0].push_back(id_of(i));
   } else {
     std::unordered_map<size_t, std::vector<size_t>> by_hash;  // hash->part ids
     std::vector<Row> part_keys;
@@ -113,20 +179,19 @@ Status BmoOperator::Open() {
         part_keys.push_back(std::move(gkey));
         by_hash[h].push_back(part);
       }
-      partitions[part].push_back(i);
+      partition_of_[i] = part;
+      partitions[part].push_back(id_of(i));
     }
   }
 
   // 4. Observed minimum score per leaf per partition (quality offsets for
   //    HIGHEST/LOWEST distances, computed over the unfiltered candidates).
   min_scores_.assign(partitions.size(), {});
-  partition_of_.assign(n, 0);
   for (size_t p = 0; p < partitions.size(); ++p) {
     min_scores_[p].assign(pref_->num_leaves(), kWorstScore);
-    for (size_t i : partitions[p]) {
-      partition_of_[i] = p;
+    for (size_t id : partitions[p]) {
       for (size_t l = 0; l < pref_->num_leaves(); ++l) {
-        min_scores_[p][l] = std::min(min_scores_[p][l], keys.score(i, l));
+        min_scores_[p][l] = std::min(min_scores_[p][l], keys.score(id, l));
       }
     }
   }
@@ -180,6 +245,7 @@ Status BmoOperator::Open() {
       run_stats_.bmo.passes =
           std::max(run_stats_.bmo.passes, part_stats.passes);
       run_stats_.bmo.kernel = part_stats.kernel;
+      run_stats_.bmo.simd = part_stats.simd;
       maximal.insert(maximal.end(), bmo.begin(), bmo.end());
     }
     std::sort(maximal.begin(), maximal.end());
@@ -188,25 +254,44 @@ Status BmoOperator::Open() {
   // 7. BUT ONLY post-filtering (serial, evaluator-bound like the pre pass).
   if (config_.but_only != nullptr &&
       config_.but_only_mode == ButOnlyMode::kPostFilter) {
-    for (size_t i : maximal) {
-      PSQL_ASSIGN_OR_RETURN(bool pass, PassesButOnly(i));
-      if (pass) survivors_.push_back(i);
+    for (size_t id : maximal) {
+      PSQL_ASSIGN_OR_RETURN(bool pass, PassesButOnly(id));
+      if (pass) survivors_.push_back(id);
     }
   } else {
     survivors_ = std::move(maximal);
   }
+  // 8. Publish the skyline position list when this run computed the bare
+  //    whole-table skyline (survivors_ is then ascending storage positions),
+  //    upgrading the keys-only entry published above.
+  if (cache_keyed && !use_positions_ && config_.publish_skyline &&
+      keys_->size() == n) {
+    auto entry = std::make_shared<SkylineEntry>();
+    entry->keys = keys_;
+    entry->pref = config_.cache_pref;
+    entry->skyline = survivors_;
+    config_.key_cache->Insert(config_.key_cache_key, std::move(entry));
+  }
   // Emitted in candidate order (like LIMIT without ORDER BY, the particular
   // maximal tuples of a top-k run are unspecified, but the order is stable).
+  // In position mode ids are storage positions — map back to pulled order.
+  if (use_positions_) {
+    std::sort(survivors_.begin(), survivors_.end(),
+              [this](size_t a, size_t b) {
+                return local_of_.at(a) < local_of_.at(b);
+              });
+  }
   run_stats_.result_count = survivors_.size();
   return Status::OK();
 }
 
-Row BmoOperator::BuildAugmentedRow(size_t i) const {
-  Row row = rows_[i].row();
-  const auto& mins = min_scores_[partition_of_[i]];
+Row BmoOperator::BuildAugmentedRow(size_t id) const {
+  const size_t local = LocalOf(id);
+  Row row = rows_[local].row();
+  const auto& mins = min_scores_[partition_of_[local]];
   for (auto [fn, leaf] : quality_slots_) {
     const BasePreference& base = *pref_->leaf(leaf).pref;
-    const LeafKey key = keys_->key(i, leaf);
+    const LeafKey key = keys_->key(id, leaf);
     switch (fn) {
       case QualityFn::kTop:
         row.push_back(Value::Bool(ComputeTop(base, key, mins[leaf])));
@@ -222,19 +307,20 @@ Row BmoOperator::BuildAugmentedRow(size_t i) const {
   return row;
 }
 
-Result<bool> BmoOperator::PassesButOnly(size_t i) {
-  Row aug = BuildAugmentedRow(i);
+Result<bool> BmoOperator::PassesButOnly(size_t id) {
+  Row aug = BuildAugmentedRow(id);
   EvalContext ctx{&aug_schema_, &aug, nullptr, runner_};
   return EvaluatePredicate(*config_.but_only, ctx);
 }
 
 Result<bool> BmoOperator::Next(RowRef* out) {
   if (pos_ >= survivors_.size()) return false;
-  size_t i = survivors_[pos_++];
+  size_t id = survivors_[pos_++];
   if (config_.emit_quality_columns) {
-    *out = RowRef::Owned(BuildAugmentedRow(i));
+    *out = RowRef::Owned(BuildAugmentedRow(id));
   } else {
-    *out = std::move(rows_[i]);  // each survivor is emitted exactly once
+    // Each survivor is emitted exactly once.
+    *out = std::move(rows_[LocalOf(id)]);
   }
   return true;
 }
@@ -243,6 +329,8 @@ void BmoOperator::Close() {
   child_->Close();
   rows_.clear();
   keys_.reset();
+  positions_.clear();
+  local_of_.clear();
   partition_of_.clear();
   min_scores_.clear();
   survivors_.clear();

@@ -17,8 +17,10 @@
 
 #pragma once
 
+#include <memory>
 #include <optional>
 #include <string>
+#include <unordered_map>
 #include <utility>
 #include <vector>
 
@@ -71,13 +73,31 @@ struct BmoOperatorConfig {
   size_t parallel_min_rows = 4096;
   /// Stats flushed on Close()/destruction (not owned; may be nullptr).
   BmoRunStats* stats_sink = nullptr;
-  /// Engine key cache to consult/fill for this run (not owned; nullptr =
-  /// off). The planner sets it only when the candidate child is a bare
-  /// full scan of one base table in storage order, so the cached keys line
-  /// up 1:1 with the pulled rows; `key_cache_key` carries the
-  /// (preference fingerprint, table id, table version) identity.
-  KeyCache* key_cache = nullptr;
+  /// Engine skyline/key cache to consult/fill for this run (not owned;
+  /// nullptr = off). The planner sets it only when the candidate child is a
+  /// bare (optionally WHERE-filtered, see `base_rows`) scan of one base
+  /// table; `key_cache_key` carries the (preference fingerprint, table id,
+  /// table version) identity of the whole-table key store.
+  SkylineCache* key_cache = nullptr;
   KeyCacheKey key_cache_key;
+  /// Shared ownership of the compiled preference, stored into published
+  /// cache entries so incremental maintenance can re-key rows after the
+  /// plan is gone. Set iff `key_cache` is.
+  std::shared_ptr<const CompiledPreference> cache_pref;
+  /// Publish the computed maximal set as the table's skyline position list
+  /// (planner sets this only when the result equals the bare skyline: full
+  /// scan, no GROUPING / BUT ONLY / top-k truncation).
+  bool publish_skyline = false;
+  /// Position mode (WHERE-filtered candidates over one base table): the
+  /// table's row heap, used to recover each pulled row's storage position
+  /// via pointer identity and to build whole-table keys on a cache miss.
+  /// The dominance pass then runs over storage positions into the shared
+  /// whole-table KeyStore. nullptr = candidates are the whole table.
+  const std::vector<Row>* base_rows = nullptr;
+  /// Filter-position cache to fill with the pulled positions (position
+  /// mode only; not owned; may be nullptr).
+  FilterCache* filter_cache = nullptr;
+  FilterCacheKey filter_cache_key;
 };
 
 class BmoOperator : public PhysicalOperator {
@@ -102,8 +122,13 @@ class BmoOperator : public PhysicalOperator {
   const BmoRunStats& run_stats() const { return run_stats_; }
 
  private:
-  Row BuildAugmentedRow(size_t i) const;
-  Result<bool> PassesButOnly(size_t i);
+  /// Local (pulled) index of candidate id `id`. Ids are storage positions
+  /// in position mode and pulled indices otherwise.
+  size_t LocalOf(size_t id) const {
+    return use_positions_ ? local_of_.at(id) : id;
+  }
+  Row BuildAugmentedRow(size_t id) const;
+  Result<bool> PassesButOnly(size_t id);
   /// Copies the run counters into the configured sink (if any).
   void FlushStats();
 
@@ -117,10 +142,16 @@ class BmoOperator : public PhysicalOperator {
   std::vector<RowRef> rows_;
   /// Packed SoA keys shared by every partition / chunk: freshly built, or
   /// borrowed wholesale from the engine key cache (immutable either way).
+  /// Indexed by candidate id (storage positions in position mode).
   std::shared_ptr<const KeyStore> keys_;
-  std::vector<size_t> partition_of_;
+  /// Position mode engaged at runtime: config_.base_rows is set and every
+  /// pulled row's storage position was recovered.
+  bool use_positions_ = false;
+  std::vector<size_t> positions_;  // pulled index -> storage position
+  std::unordered_map<size_t, size_t> local_of_;  // storage pos -> pulled
+  std::vector<size_t> partition_of_;  // by pulled index
   std::vector<std::vector<double>> min_scores_;  // per partition per leaf
-  std::vector<size_t> survivors_;
+  std::vector<size_t> survivors_;  // candidate ids, in emission order
   size_t pos_ = 0;
   BmoRunStats run_stats_;
 };

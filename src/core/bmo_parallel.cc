@@ -21,6 +21,7 @@ void MergeStats(ParallelBmoStats* stats, const BmoStats& task_stats) {
   stats->bmo.comparisons += task_stats.comparisons;
   stats->bmo.passes = std::max(stats->bmo.passes, task_stats.passes);
   stats->bmo.kernel = task_stats.kernel;
+  stats->bmo.simd = task_stats.simd;
 }
 
 std::vector<size_t> SerialPerPartition(

@@ -78,6 +78,7 @@ void Cursor::Close() {
         stats.bmo_threads_used = std::max(bmo.threads_used, pre.threads_used);
         stats.bmo_key_build_ns = bmo.bmo.key_build_ns;
         stats.bmo_kernel = DominanceKernelToString(bmo.bmo.kernel);
+        stats.bmo_simd = SimdVariantToString(bmo.bmo.simd);
         stats.key_cache_hit = bmo.key_cache_hit;
         stats.prefilter_candidate_count = pre.candidate_count;
         stats.prefilter_result_count = pre.result_count;

@@ -1,5 +1,6 @@
 #include "core/engine.h"
 
+#include <algorithm>
 #include <cctype>
 #include <mutex>
 #include <string_view>
@@ -82,6 +83,8 @@ uint64_t Engine::KnobFingerprint(const ConnectionOptions& o) {
   h = FingerprintMix(h, o.parallel_min_rows);
   h = FingerprintMix(h, o.preference_pushdown ? 1 : 0);
   h = FingerprintMix(h, o.key_cache ? 1 : 0);
+  h = FingerprintMix(h, o.simd ? 1 : 0);
+  h = FingerprintMix(h, o.skyline_cache ? 1 : 0);
   return h;
 }
 
@@ -310,6 +313,7 @@ Result<ResultTable> Engine::ExecuteStatement(Session& session,
     PSQL_RETURN_IF_ERROR(rows.status());
     auto result =
         db_.executor().InsertTable(stmt.name, stmt.insert_columns, *rows);
+    MaintainSkylineCaches();
     SweepCaches();
     SnapshotCacheCounters(session);
     return result;
@@ -320,6 +324,7 @@ Result<ResultTable> Engine::ExecuteStatement(Session& session,
   // cache sweep afterwards to reclaim entries the write made unreachable.
   std::unique_lock<std::shared_mutex> lock(mutex_);
   auto result = db_.ExecuteStatement(stmt);
+  MaintainSkylineCaches();
   SweepCaches();
   SnapshotCacheCounters(session);
   return result;
@@ -399,8 +404,31 @@ Result<Engine::ExecutionView> Engine::BindForExecutionLocked(
     if (plan.pref_has_params) pref = nullptr;
   }
   if (is_pref && pref == nullptr) {
-    PSQL_ASSIGN_OR_RETURN(auto analyzed, AnalyzePreferenceQuery(*select));
-    pref = analyzed.pref;
+    // A parameterized PREFERRING clause compiles per execution — but the
+    // compilation is a pure function of (expanded clause, bound values), so
+    // the plan memoizes it per bound-value fingerprint. Only sound while
+    // the expansion is current (no DDL since preparation).
+    const bool memoizable = plan.pref_has_params && params != nullptr &&
+                            !params->empty() &&
+                            db_.catalog().version() == plan.catalog_version;
+    uint64_t fp = kFingerprintSeed;
+    if (memoizable) {
+      for (const Value& p : *params) fp = FingerprintValue(fp, p);
+      std::lock_guard<std::mutex> guard(plan.bound_mutex);
+      auto it = plan.bound_prefs.find(fp);
+      if (it != plan.bound_prefs.end()) pref = it->second;
+    }
+    if (pref == nullptr) {
+      PSQL_ASSIGN_OR_RETURN(auto analyzed, AnalyzePreferenceQuery(*select));
+      pref = analyzed.pref;
+      if (memoizable) {
+        std::lock_guard<std::mutex> guard(plan.bound_mutex);
+        if (plan.bound_prefs.size() >= CachedPlan::kBoundPrefCapacity) {
+          plan.bound_prefs.clear();
+        }
+        plan.bound_prefs.emplace(fp, pref);
+      }
+    }
   }
   return ExecutionView{std::move(select), std::move(pref)};
 }
@@ -529,6 +557,8 @@ Result<Cursor> Engine::OpenDirectCursor(Session& session, ExecutionView view,
   stats.pushdown_detail = pplan.pushdown_detail;
   stats.key_cache_eligible = pplan.key_cache_eligible;
   stats.key_cache_detail = pplan.key_cache_detail;
+  stats.skyline_cache_hit = pplan.skyline_cache_hit;
+  stats.skyline_cache_detail = pplan.skyline_cache_detail;
 
   auto impl = std::make_unique<Cursor::Impl>();
   impl->pref_plan = std::move(pplan);
@@ -592,7 +622,10 @@ DirectEvalOptions Engine::DirectOptions(const Session& session) {
   direct.threads = options.bmo_threads;
   direct.parallel_min_rows = options.parallel_min_rows;
   direct.pushdown = options.preference_pushdown;
+  direct.bmo.simd = options.simd;
   direct.key_cache = options.key_cache ? &key_cache_ : nullptr;
+  direct.filter_cache = options.key_cache ? &filter_cache_ : nullptr;
+  direct.skyline_cache = options.skyline_cache;
   switch (options.mode) {
     case EvaluationMode::kNaiveNestedLoop:
       direct.bmo.algorithm = BmoAlgorithm::kNaiveNestedLoop;
@@ -662,6 +695,7 @@ Result<ResultTable> Engine::ExecuteDirect(
   stats.bmo_threads_used = direct_stats.threads_used;
   stats.bmo_algorithm = BmoAlgorithmToString(direct_options.bmo.algorithm);
   stats.bmo_kernel = DominanceKernelToString(direct_stats.bmo.kernel);
+  stats.bmo_simd = SimdVariantToString(direct_stats.bmo.simd);
   stats.bmo_key_build_ns = direct_stats.bmo.key_build_ns;
   stats.used_pushdown = direct_stats.used_pushdown;
   stats.pushdown_detail = direct_stats.pushdown_detail;
@@ -670,6 +704,8 @@ Result<ResultTable> Engine::ExecuteDirect(
   stats.key_cache_eligible = direct_stats.key_cache_eligible;
   stats.key_cache_hit = direct_stats.key_cache_hit;
   stats.key_cache_detail = direct_stats.key_cache_detail;
+  stats.skyline_cache_hit = direct_stats.skyline_cache_hit;
+  stats.skyline_cache_detail = direct_stats.skyline_cache_detail;
   if (result.ok()) {
     stats.result_count = result->num_rows();
   }
@@ -711,9 +747,17 @@ Result<ResultTable> Engine::ExecuteExplain(Session& session,
         ", kernel=" +
         std::string(DominanceKernelToString(
             analyzed.preference().program().kernel())) +
-        ", bmo_threads=" + std::to_string(direct.threads) + ")");
+        ", bmo_threads=" + std::to_string(direct.threads) + ", simd=" +
+        std::string(SimdVariantToString(
+            direct.bmo.simd &&
+                    analyzed.preference().program().kernel() !=
+                        DominanceKernel::kGeneric
+                ? DispatchedSimdVariant()
+                : SimdVariant::kScalar)) +
+        ")");
     add("-- " + pplan.pushdown_detail);
     add("-- " + pplan.key_cache_detail);
+    add("-- " + pplan.skyline_cache_detail);
     add(plan_cache_line);
     add(SelectToSql(select));
     return ResultTable(std::move(schema), std::move(lines));
@@ -764,6 +808,212 @@ void Engine::SnapshotCacheCounters(Session& session) {
   PreferenceQueryStats& stats = session.mutable_last_stats();
   stats.plan_cache_evictions = plan_cache_.counters().evictions;
   stats.key_cache_evictions = key_cache_.counters().evictions;
+  stats.skyline_maintenance_events = key_cache_.maintenance_events();
+  stats.skyline_invalidations = key_cache_.invalidations();
+}
+
+// ===========================================================================
+// Incremental skyline-cache maintenance
+// ===========================================================================
+
+namespace {
+
+// Maintenance reuses the block dominance kernels at full dispatch width
+// (it runs under the exclusive statement lock, so there is no per-session
+// simd knob to honor).
+SimdVariant MaintenanceSimd(const DominanceProgram& prog) {
+  return prog.kernel() == DominanceKernel::kGeneric ? SimdVariant::kScalar
+                                                    : DispatchedSimdVariant();
+}
+
+// True iff the ascending position lists `touched` and `skyline` intersect.
+bool TouchesSkyline(const std::vector<uint32_t>& touched,
+                    const std::vector<size_t>& skyline) {
+  size_t i = 0;
+  size_t j = 0;
+  while (i < touched.size() && j < skyline.size()) {
+    if (touched[i] < skyline[j]) {
+      ++i;
+    } else if (touched[i] > skyline[j]) {
+      ++j;
+    } else {
+      return true;
+    }
+  }
+  return false;
+}
+
+// Dominance-tests row `pos` (already keyed in `keys`) against the evolving
+// skyline: a dominated tuple is discarded, a surviving one evicts the
+// members it dominates and joins. Exact because a non-maximal tuple is
+// always dominated by some *maximal* tuple (follow its dominator chain —
+// finite and acyclic by transitivity/irreflexivity), so testing against the
+// skyline alone decides maximality.
+void AdmitIntoSkyline(const DominanceProgram& prog, const KeyStore& keys,
+                      SimdVariant simd, size_t pos,
+                      std::vector<size_t>* sky) {
+  if (prog.AnyDominates(keys, sky->data(), sky->size(), pos, simd,
+                        nullptr)) {
+    return;
+  }
+  std::vector<uint8_t> evict(sky->size());
+  prog.DominatesBlock(keys, pos, sky->data(), sky->size(), evict.data(),
+                      simd, nullptr);
+  size_t kept = 0;
+  for (size_t w = 0; w < sky->size(); ++w) {
+    if (!evict[w]) (*sky)[kept++] = (*sky)[w];
+  }
+  sky->resize(kept);
+  sky->push_back(pos);
+}
+
+// Re-derives one cache entry under the post-DML state of `table`; nullptr
+// means the entry cannot be carried over (skyline member touched, re-key
+// failure, or recorded effect inconsistent with the observed table) and
+// must be invalidated. Every arithmetic here is guarded against the actual
+// table so a maintained entry is exactly what a fresh build at the new
+// version would produce.
+std::shared_ptr<const SkylineEntry> MaintainEntry(
+    const SkylineEntry& entry, const Executor::DmlEffect& dml,
+    const Table& table) {
+  using Kind = Executor::DmlEffect::Kind;
+  if (entry.pref == nullptr || entry.keys == nullptr) return nullptr;
+  if (entry.keys->size() != dml.rows_before) return nullptr;
+  const CompiledPreference& pref = *entry.pref;
+  const DominanceProgram& prog = pref.program();
+  const SimdVariant simd = MaintenanceSimd(prog);
+  auto out = std::make_shared<SkylineEntry>();
+  out->pref = entry.pref;
+
+  switch (dml.kind) {
+    case Kind::kInsert: {
+      // Rows 0..rows_before-1 are untouched appends-only; key the new tail
+      // and dominance-test each new tuple against the cached skyline. New
+      // positions exceed every old one, so ascending order is preserved.
+      if (table.num_rows() < dml.rows_before) return nullptr;
+      auto keys = std::make_shared<KeyStore>(*entry.keys);
+      keys->Reserve(table.num_rows());
+      for (size_t r = dml.rows_before; r < table.num_rows(); ++r) {
+        if (!pref.AppendKey(table.schema(), table.rows()[r], keys.get(),
+                            nullptr)
+                 .ok()) {
+          return nullptr;
+        }
+      }
+      if (keys->size() != table.num_rows()) return nullptr;
+      if (entry.skyline.has_value()) {
+        std::vector<size_t> sky = *entry.skyline;
+        for (size_t r = dml.rows_before; r < table.num_rows(); ++r) {
+          AdmitIntoSkyline(prog, *keys, simd, r, &sky);
+        }
+        out->skyline = std::move(sky);
+      }
+      out->keys = std::move(keys);
+      return out;
+    }
+    case Kind::kDelete: {
+      // Deleting non-skyline rows keeps the skyline: every remaining
+      // non-maximal row is still dominated by its (surviving) maximal
+      // dominator. Deleting a member masks an unknown set — invalidate.
+      if (entry.skyline.has_value() &&
+          TouchesSkyline(dml.deleted, *entry.skyline)) {
+        return nullptr;
+      }
+      if (table.num_rows() + dml.deleted.size() != dml.rows_before) {
+        return nullptr;
+      }
+      auto keys = std::make_shared<KeyStore>(pref.num_leaves());
+      keys->Reserve(table.num_rows());
+      size_t d = 0;
+      for (size_t r = 0; r < dml.rows_before; ++r) {
+        if (d < dml.deleted.size() && dml.deleted[d] == r) {
+          ++d;
+          continue;
+        }
+        keys->AppendRowFrom(*entry.keys, r);
+      }
+      if (entry.skyline.has_value()) {
+        // Deletion compacts the heap: position p shifts down by the number
+        // of deleted rows before it.
+        std::vector<size_t> sky;
+        sky.reserve(entry.skyline->size());
+        d = 0;
+        for (size_t pos : *entry.skyline) {
+          while (d < dml.deleted.size() && dml.deleted[d] < pos) ++d;
+          sky.push_back(pos - d);
+        }
+        out->skyline = std::move(sky);
+      }
+      out->keys = std::move(keys);
+      return out;
+    }
+    case Kind::kUpdate: {
+      // Updating non-skyline rows: re-key them in place, then treat each as
+      // a fresh insert against the cached skyline. Unchanged non-members
+      // stay dominated by their unchanged maximal dominator (an updated row
+      // that evicts that dominator dominates them transitively). Updating a
+      // member — invalidate.
+      if (table.num_rows() != dml.rows_before) return nullptr;
+      if (entry.skyline.has_value() &&
+          TouchesSkyline(dml.updated, *entry.skyline)) {
+        return nullptr;
+      }
+      auto keys = std::make_shared<KeyStore>(*entry.keys);
+      KeyStore scratch(pref.num_leaves());
+      for (uint32_t r : dml.updated) {
+        if (r >= keys->size()) return nullptr;
+        scratch.Reset(pref.num_leaves());
+        if (!pref.AppendKey(table.schema(), table.rows()[r], &scratch,
+                            nullptr)
+                 .ok()) {
+          return nullptr;
+        }
+        keys->SetRowFrom(scratch, 0, r);
+      }
+      if (entry.skyline.has_value()) {
+        std::vector<size_t> sky = *entry.skyline;
+        for (uint32_t r : dml.updated) {
+          AdmitIntoSkyline(prog, *keys, simd, r, &sky);
+        }
+        std::sort(sky.begin(), sky.end());
+        out->skyline = std::move(sky);
+      }
+      out->keys = std::move(keys);
+      return out;
+    }
+    case Kind::kNone:
+      break;
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+void Engine::MaintainSkylineCaches() {
+  using Kind = Executor::DmlEffect::Kind;
+  const Executor::DmlEffect& dml = db_.executor().last_dml();
+  if (dml.kind == Kind::kNone) return;
+  auto table_r = db_.catalog().GetTable(dml.table);
+  if (!table_r.ok()) return;
+  const Table& table = **table_r;
+  if (table.id() != dml.table_id) return;
+  // A DML statement that touched no rows leaves the version (and therefore
+  // every entry) untouched.
+  if (table.version() == dml.version_before) return;
+  for (auto& [key, entry] : key_cache_.SnapshotForTable(dml.table_id)) {
+    if (key.table_version != dml.version_before || entry == nullptr) {
+      continue;  // already stale before this statement; the sweep takes it
+    }
+    auto maintained = MaintainEntry(*entry, dml, table);
+    if (maintained != nullptr) {
+      KeyCacheKey new_key = key;
+      new_key.table_version = table.version();
+      key_cache_.Insert(new_key, std::move(maintained));
+      key_cache_.CountMaintenance();
+    } else {
+      key_cache_.CountInvalidation();
+    }
+  }
 }
 
 void Engine::SweepCaches() {
@@ -774,10 +1024,12 @@ void Engine::SweepCaches() {
     auto table = db_.catalog().GetTable(name);
     if (table.ok()) live[(*table)->id()] = (*table)->version();
   }
-  key_cache_.EvictStale([&](uint64_t table_id, uint64_t version) {
+  auto is_live = [&](uint64_t table_id, uint64_t version) {
     auto it = live.find(table_id);
     return it != live.end() && it->second == version;
-  });
+  };
+  key_cache_.EvictStale(is_live);
+  filter_cache_.EvictStale(is_live);
 }
 
 namespace {
@@ -865,6 +1117,18 @@ Result<ResultTable> Engine::ExecuteSet(Session& session,
     } else {
       PSQL_ASSIGN_OR_RETURN(options.key_cache, SetValueAsBool(v, knob));
     }
+  } else if (knob == "skyline_cache") {
+    if (reset) {
+      options.skyline_cache = defaults.skyline_cache;
+    } else {
+      PSQL_ASSIGN_OR_RETURN(options.skyline_cache, SetValueAsBool(v, knob));
+    }
+  } else if (knob == "simd") {
+    if (reset) {
+      options.simd = defaults.simd;
+    } else {
+      PSQL_ASSIGN_OR_RETURN(options.simd, SetValueAsBool(v, knob));
+    }
   } else if (knob == "evaluation_mode") {
     if (reset) {
       options.mode = defaults.mode;
@@ -915,7 +1179,8 @@ Result<ResultTable> Engine::ExecuteSet(Session& session,
         "unknown setting '" + stmt.name +
         "' (known: evaluation_mode, bmo_algorithm, bmo_threads, "
         "parallel_min_rows, preference_pushdown, bnl_window, but_only_mode, "
-        "keep_aux_views, plan_cache, auto_parameterize, key_cache)");
+        "keep_aux_views, plan_cache, auto_parameterize, key_cache, "
+        "skyline_cache, simd)");
   }
 
   // Echo the effective value so scripts/shell users see what stuck.
@@ -936,6 +1201,10 @@ Result<ResultTable> Engine::ExecuteSet(Session& session,
     effective = options.auto_parameterize ? "on" : "off";
   } else if (knob == "key_cache") {
     effective = options.key_cache ? "on" : "off";
+  } else if (knob == "skyline_cache") {
+    effective = options.skyline_cache ? "on" : "off";
+  } else if (knob == "simd") {
+    effective = options.simd ? "on" : "off";
   } else if (knob == "evaluation_mode") {
     effective = EvaluationModeToString(options.mode);
   } else if (knob == "bmo_algorithm") {

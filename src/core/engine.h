@@ -23,13 +23,21 @@
 //                   statements differing only in literal values share one
 //                   preparation; the values are re-injected at execute
 //                   time (sql/normalize.h, sql/parameters.h);
-//   * key cache   — (preference fingerprint, table id, table version)
-//                   -> packed KeyStore (see preference/key_cache.h).
+//   * skyline cache — (preference fingerprint, table id, table version)
+//                   -> packed KeyStore + optionally the skyline positions
+//                   (see preference/key_cache.h);
+//   * filter cache — (WHERE text, table id, table version) -> candidate
+//                   row positions of one filtered scan.
 //
 // Any DDL bumps the catalog version and any DML bumps the table version, so
-// stale entries become unreachable by key; after each write statement the
-// engine additionally sweeps both caches to reclaim the dead entries early
-// (the sweep feeds the eviction counters surfaced in last_stats/EXPLAIN).
+// stale entries become unreachable by key. After each write statement the
+// engine first *maintains* the skyline cache incrementally — carrying each
+// affected entry to the new table version by appending/re-keying the
+// touched rows and dominance-testing them against the cached skyline
+// (MaintainSkylineCaches; exact because a non-maximal tuple is always
+// dominated by some maximal one) — and then sweeps all caches to reclaim
+// the dead entries early (the sweep feeds the eviction counters surfaced in
+// last_stats/EXPLAIN).
 //
 // The client surface is three-tiered:
 //   * Execute(text)      — one-shot; a thin wrapper that drains a Cursor;
@@ -130,7 +138,8 @@ class Engine {
   Database& database() { return db_; }
 
   PlanCache& plan_cache() { return plan_cache_; }
-  KeyCache& key_cache() { return key_cache_; }
+  SkylineCache& key_cache() { return key_cache_; }
+  FilterCache& filter_cache() { return filter_cache_; }
 
  private:
   friend class Cursor;
@@ -235,6 +244,13 @@ class Engine {
   /// last_stats.
   void SnapshotCacheCounters(Session& session);
 
+  /// Carries skyline-cache entries of the table the last DML statement
+  /// touched to its new version (incremental maintenance; see the file
+  /// comment). Runs before SweepCaches so the maintained entries are keyed
+  /// live when the sweep reclaims their predecessors. Caller must hold the
+  /// lock exclusively.
+  void MaintainSkylineCaches();
+
   /// Reclaims cache entries made unreachable by a write statement; caller
   /// must hold the lock exclusively.
   void SweepCaches();
@@ -248,7 +264,8 @@ class Engine {
   /// Statement-level reader/writer lock; see file comment.
   std::shared_mutex mutex_;
   PlanCache plan_cache_;
-  KeyCache key_cache_;
+  SkylineCache key_cache_;
+  FilterCache filter_cache_;
   std::atomic<uint64_t> aux_counter_{0};
 };
 

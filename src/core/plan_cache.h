@@ -30,7 +30,9 @@
 
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <string>
+#include <unordered_map>
 
 #include "preference/composite.h"
 #include "sql/parameters.h"
@@ -62,6 +64,19 @@ struct CachedPlan {
   ParameterSignature params;
   /// The PREFERRING clause contains parameter holes (see `preference`).
   bool pref_has_params = false;
+
+  /// Per-bound-value memo of compiled PREFERRING clauses, engaged when
+  /// `pref_has_params`: fingerprint of the bound values -> compilation.
+  /// Re-executing a prepared statement with values seen before then skips
+  /// the semantic analysis + dominance-program compilation entirely.
+  /// Entries are immutable and shared like `preference`; the map itself is
+  /// the only mutable state of a published plan, guarded by `bound_mutex`
+  /// and bounded (cleared wholesale at kBoundPrefCapacity).
+  static constexpr size_t kBoundPrefCapacity = 64;
+  mutable std::mutex bound_mutex;
+  mutable std::unordered_map<uint64_t,
+                             std::shared_ptr<const CompiledPreference>>
+      bound_prefs;
 };
 
 struct PlanCacheKey {

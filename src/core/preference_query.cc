@@ -5,11 +5,37 @@
 #include <utility>
 #include <vector>
 
+#include "engine/operators/scan.h"
 #include "engine/planner.h"
 #include "sql/printer.h"
 #include "util/string_util.h"
 
 namespace prefsql {
+
+namespace {
+
+/// True iff the expression tree contains a subquery (scalar, EXISTS, or
+/// IN (SELECT ...)): its value can then depend on other tables, which breaks
+/// (table id, table version)-keyed caching of the filtered positions.
+bool ContainsSubquery(const Expr& e) {
+  if (e.subquery != nullptr) return true;
+  for (const ExprPtr* c : {&e.left, &e.right, &e.lo, &e.hi, &e.case_else}) {
+    if (*c != nullptr && ContainsSubquery(**c)) return true;
+  }
+  for (const auto& a : e.in_list) {
+    if (a != nullptr && ContainsSubquery(*a)) return true;
+  }
+  for (const auto& w : e.case_whens) {
+    if (w.when != nullptr && ContainsSubquery(*w.when)) return true;
+    if (w.then != nullptr && ContainsSubquery(*w.then)) return true;
+  }
+  for (const auto& a : e.args) {
+    if (a != nullptr && ContainsSubquery(*a)) return true;
+  }
+  return false;
+}
+
+}  // namespace
 
 Result<PreferencePlan> BuildPreferencePlan(
     Database& db, const AnalyzedPreferenceQuery& analyzed,
@@ -146,43 +172,117 @@ Result<PreferencePlan> BuildPreferencePlan(
   config.parallel_min_rows = options.parallel_min_rows;
   config.stats_sink = plan.bmo_stats.get();
 
-  // Key-cache eligibility: the packed keys are reusable across queries only
-  // when the candidate stream is exactly the table heap in storage order —
-  // one base table (not a view or join), no WHERE, no pushed-down
-  // pre-filter — and every leaf key is a pure function of the row alone (no
-  // subqueries in preference attributes, whose value could depend on other
-  // tables). The cache key embeds the preference tree hash, the table's
-  // process-unique id and its mutation version, so a match is provably the
-  // same keys.
+  // Key-cache eligibility: the packed keys are a pure function of
+  // (preference, table contents) only when the candidate stream comes from
+  // one base table (not a view or join), with no pushed-down pre-filter,
+  // and no subquery anywhere a key could depend on other tables. The cache
+  // key embeds the preference tree hash, the table's process-unique id and
+  // its mutation version, so a match is provably the same keys. A
+  // subquery-free WHERE is eligible too (position mode): the whole-table
+  // key store is shared and the WHERE only narrows the candidate ids.
+  const Table* cache_table = nullptr;
   if (options.key_cache == nullptr) {
     plan.key_cache_detail = "key cache: disabled";
   } else if (plan.used_pushdown || q.from.size() != 1 ||
-             q.from[0]->kind != TableRef::Kind::kTable ||
-             q.where != nullptr) {
+             q.from[0]->kind != TableRef::Kind::kTable) {
     plan.key_cache_detail =
-        "key cache: not eligible (candidates are not a bare base-table scan)";
+        "key cache: not eligible (candidates are not a base-table scan)";
   } else if (!db.catalog().HasTable(q.from[0]->table_name)) {
     plan.key_cache_detail = "key cache: not eligible (view or missing table)";
   } else if (!PreferenceColumnRefs(pref).has_value()) {
     plan.key_cache_detail =
         "key cache: not eligible (preference attribute uses a subquery)";
+  } else if (q.where != nullptr && ContainsSubquery(*q.where)) {
+    plan.key_cache_detail =
+        "key cache: not eligible (WHERE contains a subquery)";
   } else {
     PSQL_ASSIGN_OR_RETURN(Table * table,
                           db.catalog().GetTable(q.from[0]->table_name));
+    cache_table = table;
     config.key_cache = options.key_cache;
     config.key_cache_key =
         KeyCacheKey{pref.Fingerprint(), PrefTermToSql(pref.term()),
                     table->id(), table->version()};
+    config.cache_pref = analyzed.pref;
     plan.key_cache_eligible = true;
-    plan.key_cache_detail = "key cache: eligible (table " +
-                            q.from[0]->table_name + ", version " +
-                            std::to_string(table->version()) + ")";
+    if (q.where == nullptr) {
+      plan.key_cache_detail = "key cache: eligible (table " +
+                              q.from[0]->table_name + ", version " +
+                              std::to_string(table->version()) + ")";
+    } else {
+      config.base_rows = &table->rows();
+      plan.key_cache_detail = "key cache: eligible, filtered (table " +
+                              q.from[0]->table_name + ", version " +
+                              std::to_string(table->version()) + ")";
+    }
   }
+
+  // Filter-position cache (position mode only): replay the candidate
+  // positions of a repeated identical WHERE over the unchanged table, or
+  // arrange for the BMO run to publish them.
+  if (config.base_rows != nullptr && options.filter_cache != nullptr) {
+    FilterCacheKey fkey{ExprToSql(*q.where), cache_table->id(),
+                        cache_table->version()};
+    auto positions = options.filter_cache->Lookup(fkey);
+    if (positions != nullptr) {
+      candidates = std::make_unique<PositionScanOperator>(
+          cand_schema, &cache_table->rows(), *positions);
+    } else {
+      config.filter_cache = options.filter_cache;
+      config.filter_cache_key = std::move(fkey);
+    }
+  }
+
   bool progressive_topk =
       q.limit.has_value() && *q.limit >= 0 && !q.offset && q.order_by.empty() &&
       q.grouping.empty() && q.but_only == nullptr && !q.distinct &&
       options.bmo.algorithm == BmoAlgorithm::kSortFilterSkyline;
   if (progressive_topk) config.top_k = static_cast<size_t>(*q.limit);
+
+  // Skyline-cache serving and publication: a cached position list IS the
+  // result of a bare whole-table skyline (no WHERE / GROUPING / BUT ONLY,
+  // no progressive top-k truncation — the full maximal set, emitted in
+  // storage order exactly like the BMO path), so an eligible repeat query
+  // skips the dominance pass entirely. Quality-projected queries still
+  // publish (the survivor set is the skyline) but cannot be served — their
+  // output rows carry per-run quality columns.
+  const bool bare_skyline = plan.key_cache_eligible && q.where == nullptr &&
+                            config.grouping_cols.empty() &&
+                            config.but_only == nullptr &&
+                            !config.top_k.has_value();
+  config.publish_skyline = bare_skyline && options.skyline_cache;
+  if (!options.skyline_cache) {
+    plan.skyline_cache_detail = "skyline cache: disabled";
+  } else if (!bare_skyline) {
+    plan.skyline_cache_detail =
+        "skyline cache: not eligible (not a bare whole-table skyline)";
+  } else if (quality_projected) {
+    plan.skyline_cache_detail =
+        "skyline cache: publish only (quality columns are computed per run)";
+  } else {
+    auto cached = options.key_cache->Lookup(config.key_cache_key);
+    if (cached != nullptr && cached->skyline.has_value() &&
+        cached->keys != nullptr &&
+        cached->keys->size() == cache_table->num_rows()) {
+      plan.skyline_cache_hit = true;
+      plan.skyline_cache_detail =
+          "skyline cache: hit (" + std::to_string(cached->skyline->size()) +
+          " positions)";
+      // The cached keys are reused by proxy — no key build, no BMO pass
+      // (bmo.simd stays kScalar: no dominance code executed).
+      plan.bmo_stats->key_cache_hit = true;
+      plan.bmo_stats->result_count = cached->skyline->size();
+      plan.bmo_stats->bmo.kernel = pref.program().kernel();
+      auto scan = std::make_unique<PositionScanOperator>(
+          cand_schema, &cache_table->rows(), *cached->skyline);
+      PSQL_ASSIGN_OR_RETURN(
+          plan.root,
+          planner.PlanTail(std::move(items), q.distinct, std::move(order_by),
+                           q.limit, q.offset, std::move(scan), nullptr));
+      return plan;
+    }
+    plan.skyline_cache_detail = "skyline cache: miss";
+  }
 
   auto bmo = std::make_unique<BmoOperator>(std::move(candidates), &pref,
                                            std::move(config), &executor);
@@ -216,6 +316,8 @@ Result<ResultTable> ExecutePreferenceQueryDirect(
     stats->key_cache_eligible = plan.key_cache_eligible;
     stats->key_cache_hit = plan.bmo_stats->key_cache_hit;
     stats->key_cache_detail = plan.key_cache_detail;
+    stats->skyline_cache_hit = plan.skyline_cache_hit;
+    stats->skyline_cache_detail = plan.skyline_cache_detail;
   }
   return result;
 }

@@ -42,11 +42,18 @@ struct DirectEvalOptions {
   size_t parallel_min_rows = 4096;
   /// Attempt the algebraic preference pushdown below joins.
   bool pushdown = true;
-  /// Engine key cache (not owned; nullptr = off). Consulted when the
-  /// candidate stream is a bare full scan of one base table — the packed
-  /// keys are then a pure function of (preference, table contents) and are
-  /// reused across queries and sessions.
-  KeyCache* key_cache = nullptr;
+  /// Engine skyline/key cache (not owned; nullptr = off). Consulted when
+  /// the candidate stream is a bare (optionally WHERE-filtered) scan of one
+  /// base table — the packed keys are then a pure function of (preference,
+  /// table contents) and are reused across queries and sessions.
+  SkylineCache* key_cache = nullptr;
+  /// Engine filter-position cache (not owned; nullptr = off): replays the
+  /// candidate positions of a repeated subquery-free WHERE over an
+  /// unchanged table instead of re-evaluating the predicate.
+  FilterCache* filter_cache = nullptr;
+  /// Serve eligible bare-table queries straight from a cached skyline
+  /// position list, and publish computed skylines into the cache.
+  bool skyline_cache = true;
 };
 
 /// Observability of one direct evaluation (benches, Connection stats).
@@ -61,6 +68,8 @@ struct DirectEvalStats {
   bool key_cache_eligible = false;  ///< run was keyed against the key cache
   bool key_cache_hit = false;  ///< packed keys reused from the key cache
   std::string key_cache_detail;  ///< eligibility / rejection reason
+  bool skyline_cache_hit = false;  ///< served from cached skyline positions
+  std::string skyline_cache_detail;  ///< serve eligibility / rejection
 };
 
 /// A compiled direct-evaluation plan: the operator tree plus the stats
@@ -73,6 +82,10 @@ struct PreferencePlan {
   std::string pushdown_detail;
   bool key_cache_eligible = false;
   std::string key_cache_detail;
+  /// The plan replays a cached skyline position list instead of running
+  /// the BMO (bmo_stats then stays zeroed).
+  bool skyline_cache_hit = false;
+  std::string skyline_cache_detail;
   /// BUT ONLY rewritten against the augmented schema (referenced by the
   /// operators in `root`).
   ExprPtr owned_but_only;

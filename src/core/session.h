@@ -65,6 +65,14 @@ struct ConnectionOptions {
   /// Consult the engine's preference-key cache (reuses packed KeyStores for
   /// repeated PREFERRING queries over unchanged tables; direct path).
   bool key_cache = true;
+  /// Run the packed dominance kernels through the block SIMD/unrolled path
+  /// (AVX2 where the build and CPU support it); off forces the scalar
+  /// row-at-a-time loops.
+  bool simd = true;
+  /// Serve eligible repeated PREFERRING queries straight from the cached
+  /// skyline position list, and publish skylines into the cache (direct
+  /// path; requires key_cache on).
+  bool skyline_cache = true;
 };
 
 /// Statistics of the last executed preference query (plus, for any cached
@@ -82,6 +90,7 @@ struct PreferenceQueryStats {
   size_t bmo_threads_used = 1;    // parallel pool width (1 = serial)
   std::string bmo_algorithm;      // skyline algorithm run (direct path)
   std::string bmo_kernel;         // dominance kernel (packed vs generic)
+  std::string bmo_simd;           // block-walk variant (scalar/unrolled4/avx2)
   uint64_t bmo_key_build_ns = 0;  // packed key construction time
   bool used_pushdown = false;     // BMO prefilter pushed below the join
   std::string pushdown_detail;    // placement / rejection reason
@@ -96,8 +105,14 @@ struct PreferenceQueryStats {
   bool key_cache_eligible = false; // run was keyed against the key cache
   bool key_cache_hit = false;      // packed keys reused (key build skipped)
   std::string key_cache_detail;    // eligibility / rejection reason
+  bool skyline_cache_hit = false;  // served from the cached skyline positions
+  std::string skyline_cache_detail;  // serve eligibility / rejection reason
   uint64_t plan_cache_evictions = 0;
   uint64_t key_cache_evictions = 0;
+  // Cumulative engine-wide incremental-maintenance totals (snapshotted like
+  // the eviction counters above).
+  uint64_t skyline_maintenance_events = 0;
+  uint64_t skyline_invalidations = 0;
 };
 
 /// Per-client state over a (possibly shared) Engine.

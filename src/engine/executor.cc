@@ -11,7 +11,20 @@ namespace prefsql {
 // Statement dispatch
 // ===========================================================================
 
+Executor::DmlEffect& Executor::BeginDml(DmlEffect::Kind kind,
+                                        const std::string& name,
+                                        const Table& table) {
+  last_dml_ = DmlEffect{};
+  last_dml_.kind = kind;
+  last_dml_.table = name;
+  last_dml_.table_id = table.id();
+  last_dml_.version_before = table.version();
+  last_dml_.rows_before = table.num_rows();
+  return last_dml_;
+}
+
 Result<ResultTable> Executor::ExecuteStatement(const Statement& stmt) {
+  last_dml_ = DmlEffect{};
   switch (stmt.kind) {
     case StatementKind::kSelect:
       return ExecuteSelect(*stmt.select);
@@ -107,6 +120,7 @@ Result<ResultTable> Executor::InsertTable(const std::string& table,
                                           const std::vector<std::string>& columns,
                                           const ResultTable& data) {
   PSQL_ASSIGN_OR_RETURN(Table * target, catalog_->GetTable(table));
+  BeginDml(DmlEffect::Kind::kInsert, table, *target);
   std::vector<size_t> positions;
   if (columns.empty()) {
     for (size_t i = 0; i < target->columns().size(); ++i) {
@@ -189,6 +203,7 @@ Result<bool> Executor::SubqueryExists(const SelectStmt& select,
 
 Result<ResultTable> Executor::ExecuteInsert(const Statement& stmt) {
   PSQL_ASSIGN_OR_RETURN(Table * table, catalog_->GetTable(stmt.name));
+  BeginDml(DmlEffect::Kind::kInsert, stmt.name, *table);
   // Column position mapping.
   std::vector<size_t> positions;
   if (stmt.insert_columns.empty()) {
@@ -239,6 +254,7 @@ Result<ResultTable> Executor::ExecuteInsert(const Statement& stmt) {
 
 Result<ResultTable> Executor::ExecuteUpdate(const Statement& stmt) {
   PSQL_ASSIGN_OR_RETURN(Table * table, catalog_->GetTable(stmt.name));
+  DmlEffect& dml = BeginDml(DmlEffect::Kind::kUpdate, stmt.name, *table);
   std::vector<size_t> target_cols;
   for (const auto& [col, e] : stmt.assignments) {
     PSQL_ASSIGN_OR_RETURN(size_t idx, table->ColumnIndex(col));
@@ -264,6 +280,7 @@ Result<ResultTable> Executor::ExecuteUpdate(const Statement& stmt) {
       PSQL_RETURN_IF_ERROR(
           table->UpdateCell(r, target_cols[i], std::move(new_values[i])));
     }
+    dml.updated.push_back(static_cast<uint32_t>(r));
     ++affected;
   }
   return ResultTable(Schema::FromNames({"rows_affected"}),
@@ -272,6 +289,7 @@ Result<ResultTable> Executor::ExecuteUpdate(const Statement& stmt) {
 
 Result<ResultTable> Executor::ExecuteDelete(const Statement& stmt) {
   PSQL_ASSIGN_OR_RETURN(Table * table, catalog_->GetTable(stmt.name));
+  DmlEffect& dml = BeginDml(DmlEffect::Kind::kDelete, stmt.name, *table);
   const Schema& schema = table->schema();
   std::vector<bool> matches(table->rows().size(), stmt.where == nullptr);
   if (stmt.where != nullptr) {
@@ -280,6 +298,9 @@ Result<ResultTable> Executor::ExecuteDelete(const Statement& stmt) {
       PSQL_ASSIGN_OR_RETURN(bool pass, EvaluatePredicate(*stmt.where, ctx));
       matches[r] = pass;
     }
+  }
+  for (size_t r = 0; r < matches.size(); ++r) {
+    if (matches[r]) dml.deleted.push_back(static_cast<uint32_t>(r));
   }
   size_t deleted = table->DeleteWhere(matches);
   return ResultTable(Schema::FromNames({"rows_affected"}),

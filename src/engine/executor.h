@@ -80,6 +80,26 @@ class Executor : public SubqueryRunner {
 
   Catalog* catalog() { return catalog_; }
 
+  /// What the last DML statement did to its target table, at row-position
+  /// granularity — the input of the engine's incremental skyline-cache
+  /// maintenance (core/engine.cc). Reset at every statement dispatch and by
+  /// InsertTable; filled as the mutation proceeds, so after a mid-statement
+  /// error it reflects exactly the rows that were actually touched (this
+  /// storage layer has no rollback).
+  struct DmlEffect {
+    enum class Kind { kNone, kInsert, kDelete, kUpdate };
+    Kind kind = Kind::kNone;
+    uint64_t table_id = 0;
+    uint64_t version_before = 0;  ///< Table::version at statement start
+    size_t rows_before = 0;       ///< Table::num_rows at statement start
+    std::string table;            ///< target table name
+    /// kDelete: pre-delete row positions removed, ascending.
+    std::vector<uint32_t> deleted;
+    /// kUpdate: row positions whose cells changed, ascending.
+    std::vector<uint32_t> updated;
+  };
+  const DmlEffect& last_dml() const { return last_dml_; }
+
   /// Execution counters (monotone per executor; used by tests and benches).
   /// Atomic so concurrent reader sessions of a shared engine can count scans
   /// without synchronization.
@@ -103,7 +123,12 @@ class Executor : public SubqueryRunner {
   Result<ResultTable> ExecuteUpdate(const Statement& stmt);
   Result<ResultTable> ExecuteDelete(const Statement& stmt);
 
+  /// Stamps `last_dml_` with the pre-statement identity of `table`.
+  DmlEffect& BeginDml(DmlEffect::Kind kind, const std::string& name,
+                      const Table& table);
+
   Catalog* catalog_;
+  DmlEffect last_dml_;
   /// Guards view_cache_ against concurrent reader sessions; entries are
   /// shared_ptr so a concurrent clear never invalidates an in-flight read.
   std::mutex view_cache_mutex_;

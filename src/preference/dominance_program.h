@@ -24,6 +24,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "preference/key_store.h"
@@ -42,6 +43,28 @@ enum class DominanceKernel : uint8_t {
 };
 
 const char* DominanceKernelToString(DominanceKernel k);
+
+/// How the block-oriented dominance API (AnyDominates / DominatesBlock)
+/// walks a group of KeyStore rows. The generic opcode kernel always runs
+/// row-at-a-time; the packed kernels additionally support a portable 4-wide
+/// unrolled form and, on x86-64 hosts with AVX2, a vectorized form
+/// comparing four rows per instruction with movemask accumulators.
+enum class SimdVariant : uint8_t {
+  kScalar,     ///< one row at a time (also the generic kernel's only form)
+  kUnrolled4,  ///< portable 4-wide unrolled blocks (any host)
+  kAvx2,       ///< AVX2 256-bit blocks (x86-64 only, runtime-detected)
+};
+
+const char* SimdVariantToString(SimdVariant v);
+
+/// The widest variant this build/host supports, honoring the
+/// `PREFSQL_SIMD` environment override (`scalar`/`off`, `unrolled4`,
+/// `avx2`; an unsupported request clamps down). Detected once per process.
+SimdVariant DispatchedSimdVariant();
+
+/// EXPLAIN/bench name of a (kernel, variant) pair: the packed kernels get
+/// a variant suffix ("packed-pareto-avx2"), the generic kernel does not.
+std::string DominanceKernelVariantName(DominanceKernel k, SimdVariant v);
 
 /// One opcode of a compiled dominance program.
 struct DomOp {
@@ -94,6 +117,29 @@ class DominanceProgram {
   /// Raw-slice comparison (slices must hold one score/id per leaf).
   Rel Compare(const double* sa, const int32_t* ia, const double* sb,
               const int32_t* ib) const;
+
+  // -- Block-oriented dominance API ---------------------------------------
+  // The BMO inner loops test one tuple against a set of rows (a window, a
+  // growing result, an elimination filter). These entry points take the
+  // whole row set at once so the packed kernels can stream 4 rows per
+  // iteration (unrolled or AVX2); the generic kernel falls back to the
+  // scalar loop regardless of `variant`. `comparisons`, when non-null, is
+  // incremented by the number of row tests actually performed (blocks
+  // count every lane of a visited group).
+
+  /// True iff any rows[i] (i < count) strictly dominates `target`. A row
+  /// equal to `target` (including target itself) never counts — equal keys
+  /// are not strict dominance — so callers may pass unfiltered row sets.
+  bool AnyDominates(const KeyStore& keys, const size_t* rows, size_t count,
+                    size_t target, SimdVariant variant,
+                    size_t* comparisons) const;
+
+  /// Sets out_dominated[i] = 1 iff `candidate` strictly dominates rows[i],
+  /// 0 otherwise (i < count).
+  void DominatesBlock(const KeyStore& keys, size_t candidate,
+                      const size_t* rows, size_t count,
+                      uint8_t* out_dominated, SimdVariant variant,
+                      size_t* comparisons) const;
 
  private:
   Rel GenericCompare(const double* sa, const int32_t* ia, const double* sb,

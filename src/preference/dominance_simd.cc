@@ -1,0 +1,176 @@
+#include "preference/dominance_simd.h"
+
+#if PREFSQL_HAVE_AVX2_BUILD
+
+#include <immintrin.h>
+
+namespace prefsql {
+namespace simd_detail {
+namespace {
+
+#define PREFSQL_AVX2 __attribute__((target("avx2")))
+
+// The KeyStore's score vectors carry no alignment guarantee, and the four
+// rows of a group are strided by num_leaves doubles — each group is
+// gathered with _mm256_set_pd (scalar loads + inserts), which still wins
+// because all 2L compares and the per-leaf mask arithmetic of four rows
+// run in two vector ops per leaf.
+PREFSQL_AVX2 inline __m256d GatherLeaf(const double* r0, const double* r1,
+                                       const double* r2, const double* r3,
+                                       size_t l) {
+  return _mm256_set_pd(r3[l], r2[l], r1[l], r0[l]);
+}
+
+// Scalar tails (rows beyond the last full group of four).
+inline bool ParetoRowDominates(const double* r, const double* t, size_t L) {
+  bool strict = false;
+  for (size_t l = 0; l < L; ++l) {
+    if (r[l] > t[l]) return false;
+    strict |= r[l] < t[l];
+  }
+  return strict;
+}
+
+inline bool LexRowDominates(const double* r, const double* t, size_t L) {
+  for (size_t l = 0; l < L; ++l) {
+    if (r[l] < t[l]) return true;
+    if (r[l] > t[l]) return false;
+  }
+  return false;
+}
+
+}  // namespace
+
+PREFSQL_AVX2
+bool ParetoAnyDominatesAvx2(const double* base, size_t L, const size_t* rows,
+                            size_t count, const double* t, size_t* tested) {
+  size_t i = 0;
+  for (; i + 4 <= count; i += 4) {
+    const double* r0 = base + rows[i] * L;
+    const double* r1 = base + rows[i + 1] * L;
+    const double* r2 = base + rows[i + 2] * L;
+    const double* r3 = base + rows[i + 3] * L;
+    __m256d worse = _mm256_setzero_pd();
+    __m256d strict = _mm256_setzero_pd();
+    for (size_t l = 0; l < L; ++l) {
+      const __m256d tl = _mm256_set1_pd(t[l]);
+      const __m256d r = GatherLeaf(r0, r1, r2, r3, l);
+      worse = _mm256_or_pd(worse, _mm256_cmp_pd(r, tl, _CMP_GT_OQ));
+      strict = _mm256_or_pd(strict, _mm256_cmp_pd(r, tl, _CMP_LT_OQ));
+      if (_mm256_movemask_pd(worse) == 0xF) break;  // every lane worse
+    }
+    if (tested != nullptr) *tested += 4;
+    if ((_mm256_movemask_pd(strict) & ~_mm256_movemask_pd(worse)) != 0) {
+      return true;
+    }
+  }
+  for (; i < count; ++i) {
+    if (tested != nullptr) ++*tested;
+    if (ParetoRowDominates(base + rows[i] * L, t, L)) return true;
+  }
+  return false;
+}
+
+PREFSQL_AVX2
+void ParetoDominatesBlockAvx2(const double* base, size_t L, const double* c,
+                              const size_t* rows, size_t count, uint8_t* out,
+                              size_t* tested) {
+  size_t i = 0;
+  for (; i + 4 <= count; i += 4) {
+    const double* r0 = base + rows[i] * L;
+    const double* r1 = base + rows[i + 1] * L;
+    const double* r2 = base + rows[i + 2] * L;
+    const double* r3 = base + rows[i + 3] * L;
+    __m256d worse = _mm256_setzero_pd();
+    __m256d strict = _mm256_setzero_pd();
+    for (size_t l = 0; l < L; ++l) {
+      const __m256d cl = _mm256_set1_pd(c[l]);
+      const __m256d r = GatherLeaf(r0, r1, r2, r3, l);
+      worse = _mm256_or_pd(worse, _mm256_cmp_pd(cl, r, _CMP_GT_OQ));
+      strict = _mm256_or_pd(strict, _mm256_cmp_pd(cl, r, _CMP_LT_OQ));
+      if (_mm256_movemask_pd(worse) == 0xF) break;  // candidate worse all
+    }
+    if (tested != nullptr) *tested += 4;
+    const int dom = _mm256_movemask_pd(strict) & ~_mm256_movemask_pd(worse);
+    out[i] = static_cast<uint8_t>(dom & 1);
+    out[i + 1] = static_cast<uint8_t>((dom >> 1) & 1);
+    out[i + 2] = static_cast<uint8_t>((dom >> 2) & 1);
+    out[i + 3] = static_cast<uint8_t>((dom >> 3) & 1);
+  }
+  for (; i < count; ++i) {
+    if (tested != nullptr) ++*tested;
+    out[i] =
+        static_cast<uint8_t>(ParetoRowDominates(c, base + rows[i] * L, L));
+  }
+}
+
+PREFSQL_AVX2
+bool LexAnyDominatesAvx2(const double* base, size_t L, const size_t* rows,
+                         size_t count, const double* t, size_t* tested) {
+  size_t i = 0;
+  for (; i + 4 <= count; i += 4) {
+    const double* r0 = base + rows[i] * L;
+    const double* r1 = base + rows[i + 1] * L;
+    const double* r2 = base + rows[i + 2] * L;
+    const double* r3 = base + rows[i + 3] * L;
+    __m256d decided = _mm256_setzero_pd();
+    __m256d better = _mm256_setzero_pd();
+    for (size_t l = 0; l < L; ++l) {
+      const __m256d tl = _mm256_set1_pd(t[l]);
+      const __m256d r = GatherLeaf(r0, r1, r2, r3, l);
+      const __m256d lt = _mm256_cmp_pd(r, tl, _CMP_LT_OQ);
+      const __m256d gt = _mm256_cmp_pd(r, tl, _CMP_GT_OQ);
+      better = _mm256_or_pd(better, _mm256_andnot_pd(decided, lt));
+      decided = _mm256_or_pd(decided, _mm256_or_pd(lt, gt));
+      if (_mm256_movemask_pd(decided) == 0xF) break;
+    }
+    if (tested != nullptr) *tested += 4;
+    if (_mm256_movemask_pd(better) != 0) return true;
+  }
+  for (; i < count; ++i) {
+    if (tested != nullptr) ++*tested;
+    if (LexRowDominates(base + rows[i] * L, t, L)) return true;
+  }
+  return false;
+}
+
+PREFSQL_AVX2
+void LexDominatesBlockAvx2(const double* base, size_t L, const double* c,
+                           const size_t* rows, size_t count, uint8_t* out,
+                           size_t* tested) {
+  size_t i = 0;
+  for (; i + 4 <= count; i += 4) {
+    const double* r0 = base + rows[i] * L;
+    const double* r1 = base + rows[i + 1] * L;
+    const double* r2 = base + rows[i + 2] * L;
+    const double* r3 = base + rows[i + 3] * L;
+    __m256d decided = _mm256_setzero_pd();
+    __m256d better = _mm256_setzero_pd();
+    for (size_t l = 0; l < L; ++l) {
+      const __m256d cl = _mm256_set1_pd(c[l]);
+      const __m256d r = GatherLeaf(r0, r1, r2, r3, l);
+      const __m256d lt = _mm256_cmp_pd(cl, r, _CMP_LT_OQ);
+      const __m256d gt = _mm256_cmp_pd(cl, r, _CMP_GT_OQ);
+      better = _mm256_or_pd(better, _mm256_andnot_pd(decided, lt));
+      decided = _mm256_or_pd(decided, _mm256_or_pd(lt, gt));
+      if (_mm256_movemask_pd(decided) == 0xF) break;
+    }
+    if (tested != nullptr) *tested += 4;
+    const int dom = _mm256_movemask_pd(better);
+    out[i] = static_cast<uint8_t>(dom & 1);
+    out[i + 1] = static_cast<uint8_t>((dom >> 1) & 1);
+    out[i + 2] = static_cast<uint8_t>((dom >> 2) & 1);
+    out[i + 3] = static_cast<uint8_t>((dom >> 3) & 1);
+  }
+  for (; i < count; ++i) {
+    if (tested != nullptr) ++*tested;
+    out[i] = static_cast<uint8_t>(LexRowDominates(c, base + rows[i] * L, L));
+  }
+}
+
+#undef PREFSQL_AVX2
+
+}  // namespace simd_detail
+}  // namespace prefsql
+
+#endif  // PREFSQL_HAVE_AVX2_BUILD

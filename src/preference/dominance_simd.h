@@ -1,0 +1,54 @@
+// AVX2 forms of the packed block dominance kernels (internal to
+// preference/). Compiled with a per-function target("avx2") attribute so
+// the rest of the library keeps the baseline ISA; DominanceProgram only
+// calls these after DispatchedSimdVariant() confirmed runtime support.
+//
+// Each function walks `rows[0..count)` as slices of `base` (stride =
+// num_leaves doubles) against one broadcast candidate/target slice, four
+// rows per 256-bit group, accumulating better/worse lane masks and
+// deciding groups via movemask. The comparison predicates are ordered-
+// quiet (_CMP_LT_OQ/_CMP_GT_OQ): NaN compares false both ways and
+// -0.0 == 0.0, exactly like the scalar `<`/`>` the portable kernels use,
+// so all variants agree bit-for-bit.
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#if (defined(__x86_64__) || defined(_M_X64)) && \
+    (defined(__GNUC__) || defined(__clang__))
+#define PREFSQL_HAVE_AVX2_BUILD 1
+#else
+#define PREFSQL_HAVE_AVX2_BUILD 0
+#endif
+
+#if PREFSQL_HAVE_AVX2_BUILD
+
+namespace prefsql {
+namespace simd_detail {
+
+/// True iff any rows[i] Pareto-dominates the target slice `t`.
+bool ParetoAnyDominatesAvx2(const double* base, size_t num_leaves,
+                            const size_t* rows, size_t count, const double* t,
+                            size_t* tested);
+
+/// out[i] = 1 iff candidate slice `c` Pareto-dominates rows[i].
+void ParetoDominatesBlockAvx2(const double* base, size_t num_leaves,
+                              const double* c, const size_t* rows,
+                              size_t count, uint8_t* out, size_t* tested);
+
+/// True iff any rows[i] lexicographically dominates the target slice `t`.
+bool LexAnyDominatesAvx2(const double* base, size_t num_leaves,
+                         const size_t* rows, size_t count, const double* t,
+                         size_t* tested);
+
+/// out[i] = 1 iff candidate slice `c` lexicographically dominates rows[i].
+void LexDominatesBlockAvx2(const double* base, size_t num_leaves,
+                           const double* c, const size_t* rows, size_t count,
+                           uint8_t* out, size_t* tested);
+
+}  // namespace simd_detail
+}  // namespace prefsql
+
+#endif  // PREFSQL_HAVE_AVX2_BUILD

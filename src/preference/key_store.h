@@ -77,6 +77,32 @@ class KeyStore {
     explicit_ids_.resize(size_ * num_leaves_);
   }
 
+  // Row-level mutators used by incremental skyline-cache maintenance
+  // (the engine re-derives a cached store under a new table version from a
+  // *copy* of the published immutable store — published stores themselves
+  // are never mutated).
+
+  /// Appends row `src_row` of `src` (which must have the same leaf count).
+  void AppendRowFrom(const KeyStore& src, size_t src_row) {
+    const double* s = src.scores(src_row);
+    const int32_t* id = src.ids(src_row);
+    for (size_t l = 0; l < num_leaves_; ++l) PushLeaf(s[l], id[l]);
+    CommitRow();
+  }
+
+  /// Overwrites row `dst_row` with row `src_row` of `src` (same leaf
+  /// count); used to re-key rows touched by UPDATE.
+  void SetRowFrom(const KeyStore& src, size_t src_row, size_t dst_row) {
+    const double* s = src.scores(src_row);
+    const int32_t* id = src.ids(src_row);
+    double* d = scores_.data() + dst_row * num_leaves_;
+    int32_t* did = explicit_ids_.data() + dst_row * num_leaves_;
+    for (size_t l = 0; l < num_leaves_; ++l) {
+      d[l] = s[l];
+      did[l] = id[l];
+    }
+  }
+
   /// Pre-order lexicographic comparison by leaf scores — the same linear
   /// extension as CompiledPreference::LexLess, over the packed layout.
   bool LexLess(size_t a, size_t b) const {

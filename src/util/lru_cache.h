@@ -20,6 +20,7 @@
 #include <mutex>
 #include <unordered_map>
 #include <utility>
+#include <vector>
 
 namespace prefsql {
 
@@ -73,6 +74,21 @@ class LruCache {
       lru_.pop_back();
       ++counters_.evictions;
     }
+  }
+
+  /// Copies of every (key, value) pair whose key matches `pred`, in LRU
+  /// order (most recent first). Does not count hits or touch LRU positions
+  /// — this is the bulk-read primitive behind incremental cache
+  /// maintenance, where the engine re-derives entries under a new version
+  /// key rather than serving them.
+  std::vector<std::pair<Key, Value>> SnapshotWhere(
+      const std::function<bool(const Key&)>& pred) const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<std::pair<Key, Value>> out;
+    for (const Entry& e : lru_) {
+      if (pred(e.first)) out.push_back(e);
+    }
+    return out;
   }
 
   /// Drops every entry whose key matches `pred`; returns how many.

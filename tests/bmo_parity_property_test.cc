@@ -14,6 +14,8 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstdint>
+#include <limits>
 #include <set>
 #include <string>
 #include <vector>
@@ -327,6 +329,123 @@ TEST(DominanceProgramParityTest, ProgramMatchesRecursiveCompareOracle) {
   EXPECT_GE(samples, 10000u);
   EXPECT_GT(general_kernel_trees, 10u);
   EXPECT_LT(general_kernel_trees, kTrees);
+}
+
+// The block-variant set this host must agree on: scalar and the portable
+// unrolled form always, AVX2 when the runtime dispatch selects it.
+std::vector<SimdVariant> BlockVariants() {
+  std::vector<SimdVariant> v = {SimdVariant::kScalar,
+                                SimdVariant::kUnrolled4};
+  if (DispatchedSimdVariant() == SimdVariant::kAvx2) {
+    v.push_back(SimdVariant::kAvx2);
+  }
+  return v;
+}
+
+// Checks AnyDominates / DominatesBlock against the row-at-a-time Dominates
+// oracle for every target row of `store`, under every supported variant.
+void CheckBlockParity(const DominanceProgram& prog, const KeyStore& store,
+                      const std::vector<size_t>& rows) {
+  for (size_t target = 0; target < store.size(); ++target) {
+    bool want_any = false;
+    for (size_t r : rows) want_any |= prog.Dominates(store, r, target);
+    std::vector<uint8_t> want_block(rows.size());
+    for (size_t i = 0; i < rows.size(); ++i) {
+      want_block[i] = prog.Dominates(store, target, rows[i]) ? 1 : 0;
+    }
+    for (SimdVariant v : BlockVariants()) {
+      size_t comparisons = 0;
+      EXPECT_EQ(prog.AnyDominates(store, rows.data(), rows.size(), target, v,
+                                  &comparisons),
+                want_any)
+          << "AnyDominates, variant " << SimdVariantToString(v)
+          << ", target " << target;
+      if (want_any) {
+        EXPECT_GT(comparisons, 0u);
+      }
+      std::vector<uint8_t> got(rows.size(), 0xee);
+      prog.DominatesBlock(store, target, rows.data(), rows.size(),
+                          got.data(), v, /*comparisons=*/nullptr);
+      EXPECT_EQ(got, want_block)
+          << "DominatesBlock, variant " << SimdVariantToString(v)
+          << ", candidate " << target;
+    }
+  }
+}
+
+// Block-kernel parity on randomized trees: the group-of-4 unrolled and
+// AVX2 forms must agree bit-for-bit with the scalar loop, including on row
+// sets shorter than the vector width (tail handling) and shuffled subsets.
+TEST(DominanceProgramParityTest, BlockKernelsMatchTheScalarOracle) {
+  Random rng(20260808);
+  Schema schema = Schema::FromNames({"c0", "c1", "c2", "c3", "c4", "c5"});
+  size_t packed_trees = 0;
+  for (size_t t = 0; t < 80; ++t) {
+    size_t next_col = static_cast<size_t>(rng.Uniform(0, 5));
+    std::string text = RandomTreeText(rng, 2, &next_col);
+    SCOPED_TRACE("PREFERRING " + text);
+    auto term = ParsePreference(text);
+    ASSERT_TRUE(term.ok()) << term.status().ToString();
+    auto pref = CompiledPreference::Compile(**term);
+    ASSERT_TRUE(pref.ok()) << pref.status().ToString();
+    if (pref->program().kernel() != DominanceKernel::kGeneric) {
+      ++packed_trees;
+    }
+
+    // Row counts straddle the 4-wide group size: every tail length 1..9
+    // shows up across iterations, as do multi-group sets.
+    size_t n = static_cast<size_t>(t % 2 == 0 ? rng.Uniform(1, 9)
+                                              : rng.Uniform(10, 30));
+    KeyStore store(pref->num_leaves());
+    store.Reserve(n);
+    for (size_t r = 0; r < n; ++r) {
+      ASSERT_TRUE(pref->AppendKey(schema, RandomTreeRow(rng), &store).ok());
+    }
+    std::vector<size_t> rows;  // random subset, shuffled (non-contiguous)
+    for (size_t r = 0; r < n; ++r) {
+      if (rng.Bernoulli(0.8)) rows.push_back(r);
+    }
+    for (size_t i = rows.size(); i > 1; --i) {
+      size_t j = static_cast<size_t>(
+          rng.Uniform(0, static_cast<int64_t>(i) - 1));
+      std::swap(rows[i - 1], rows[j]);
+    }
+    CheckBlockParity(pref->program(), store, rows);
+  }
+  EXPECT_GT(packed_trees, 20u);
+}
+
+// NaN (incomparable both ways), -0.0 == 0.0, and ±inf must behave
+// identically across scalar, unrolled and AVX2 forms — the vector
+// comparisons are ordered-quiet (_CMP_LT_OQ/_CMP_GT_OQ) exactly so this
+// holds. Every (special, special) pair appears as a row of both a packed
+// Pareto and a packed lex store; 49 rows also exercises the 4-wide tail.
+TEST(DominanceProgramParityTest, BlockKernelsAgreeOnAdversarialDoubles) {
+  const double kNaN = std::numeric_limits<double>::quiet_NaN();
+  const double kInf = std::numeric_limits<double>::infinity();
+  const std::vector<double> specials = {kNaN, -kInf, -1.0, -0.0,
+                                        0.0,  1.0,   kInf};
+  for (const char* text :
+       {"LOWEST(a) AND LOWEST(b)", "LOWEST(a) CASCADE LOWEST(b)"}) {
+    SCOPED_TRACE(text);
+    auto term = ParsePreference(text);
+    ASSERT_TRUE(term.ok());
+    auto pref = CompiledPreference::Compile(**term);
+    ASSERT_TRUE(pref.ok());
+    ASSERT_NE(pref->program().kernel(), DominanceKernel::kGeneric);
+
+    KeyStore store(2);
+    for (double a : specials) {
+      for (double b : specials) {
+        store.PushLeaf(a, -1);
+        store.PushLeaf(b, -1);
+        store.CommitRow();
+      }
+    }
+    std::vector<size_t> rows(store.size());
+    for (size_t i = 0; i < rows.size(); ++i) rows[i] = i;
+    CheckBlockParity(pref->program(), store, rows);
+  }
 }
 
 // The packed kernels engage exactly for the advertised shapes.

@@ -129,19 +129,27 @@ TEST_F(EngineCacheTest, KeyCacheIsSharedAcrossSessionsAndAlgorithms) {
       << other.last_stats().key_cache_detail;
 }
 
-TEST_F(EngineCacheTest, DmlInvalidatesTheKeyCache) {
+TEST_F(EngineCacheTest, DmlMaintainsTheSkylineCacheIncrementally) {
   ASSERT_TRUE(conn_.Execute("SET evaluation_mode = bnl").ok());
   ASSERT_TRUE(conn_.Execute(kQuery).ok());
   ASSERT_TRUE(conn_.Execute(kQuery).ok());
   ASSERT_TRUE(conn_.last_stats().key_cache_hit);
 
-  // A new dominator must appear in the next result: the bumped table
-  // version misses the cache and the stale entry is swept.
+  // A new dominator must appear in the next result. The INSERT does not
+  // discard the cached entry — it is carried to the new table version by
+  // keying the new row and dominance-testing it against the cached skyline
+  // — so the repeat query still hits, and is served from the maintained
+  // skyline position list without a dominance pass.
   ASSERT_TRUE(
       conn_.Execute("INSERT INTO gear VALUES ('quilt', 100, 1)").ok());
+  EXPECT_GT(conn_.last_stats().skyline_maintenance_events, 0u);
   auto fresh = conn_.Execute(kQuery);
   ASSERT_TRUE(fresh.ok());
-  EXPECT_FALSE(conn_.last_stats().key_cache_hit);
+  EXPECT_TRUE(conn_.last_stats().key_cache_hit)
+      << conn_.last_stats().key_cache_detail;
+  EXPECT_TRUE(conn_.last_stats().skyline_cache_hit)
+      << conn_.last_stats().skyline_cache_detail;
+  // The predecessor-version entry is still swept (visible in evictions).
   EXPECT_GT(conn_.last_stats().key_cache_evictions, 0u);
   ASSERT_EQ(fresh->num_rows(), 1u);
   EXPECT_EQ(fresh->at(0, 0).AsText(), "quilt");
@@ -163,11 +171,37 @@ TEST_F(EngineCacheTest, DroppedAndRecreatedTableNeverMatchesOldKeys) {
   EXPECT_EQ(r->at(0, 0).AsText(), "new");
 }
 
-TEST_F(EngineCacheTest, IneligibleShapesSkipTheKeyCache) {
+TEST_F(EngineCacheTest, FilteredQueriesShareTheWholeTableKeys) {
   ASSERT_TRUE(conn_.Execute("SET evaluation_mode = bnl").ok());
-  // WHERE restricts the candidate set: keys no longer line up with the heap.
+  // A subquery-free WHERE is eligible in position mode: the whole-table
+  // store is built once and the filter only narrows the candidate ids.
   auto r = conn_.Execute(
       "SELECT name FROM gear WHERE weight < 4 "
+      "PREFERRING LOWEST(price) AND LOWEST(weight)");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_TRUE(conn_.last_stats().key_cache_eligible)
+      << conn_.last_stats().key_cache_detail;
+  EXPECT_FALSE(conn_.last_stats().key_cache_hit);
+
+  // Shared with the unfiltered spelling of the same preference...
+  ASSERT_TRUE(conn_.Execute(kQuery).ok());
+  EXPECT_TRUE(conn_.last_stats().key_cache_hit)
+      << conn_.last_stats().key_cache_detail;
+  // ...and with a differently-filtered one.
+  auto r2 = conn_.Execute(
+      "SELECT name FROM gear WHERE weight < 3 "
+      "PREFERRING LOWEST(price) AND LOWEST(weight)");
+  ASSERT_TRUE(r2.ok());
+  EXPECT_TRUE(conn_.last_stats().key_cache_hit)
+      << conn_.last_stats().key_cache_detail;
+}
+
+TEST_F(EngineCacheTest, IneligibleShapesSkipTheKeyCache) {
+  ASSERT_TRUE(conn_.Execute("SET evaluation_mode = bnl").ok());
+  // A subquery in the WHERE can read other tables: the candidate set is
+  // not a pure function of (table id, table version) and must not be keyed.
+  auto r = conn_.Execute(
+      "SELECT name FROM gear WHERE weight < (SELECT 4) "
       "PREFERRING LOWEST(price) AND LOWEST(weight)");
   ASSERT_TRUE(r.ok()) << r.status().ToString();
   EXPECT_FALSE(conn_.last_stats().key_cache_eligible);

@@ -1,0 +1,71 @@
+-- Skyline result cache under DML: a bare-table PREFERRING query is served
+-- from the cached maximal-position list, and every INSERT / DELETE / UPDATE
+-- either maintains that list incrementally (dominated insert, dominator
+-- insert, non-member delete/update) or invalidates it (member touched).
+-- The served result must always equal a fresh recompute — replayed under
+-- all harness configurations, including rewrite mode where the cache never
+-- engages at all.
+CREATE TABLE camp (name TEXT, price INTEGER, weight INTEGER);
+INSERT INTO camp VALUES
+  ('tent', 300, 4),
+  ('tarp', 120, 2),
+  ('bivy', 180, 1),
+  ('hammock', 150, 2);
+
+-- Cold run publishes the skyline; the warm repeat is served from it.
+SELECT name FROM camp PREFERRING LOWEST(price) AND LOWEST(weight)
+  ORDER BY name;
+SELECT name FROM camp PREFERRING LOWEST(price) AND LOWEST(weight)
+  ORDER BY name;
+
+-- A dominated insert keeps the cached skyline valid as-is.
+INSERT INTO camp VALUES ('brick', 500, 9);
+SELECT name FROM camp PREFERRING LOWEST(price) AND LOWEST(weight)
+  ORDER BY name;
+
+-- A dominating insert evicts the beaten members incrementally.
+INSERT INTO camp VALUES ('quilt', 100, 1);
+SELECT name FROM camp PREFERRING LOWEST(price) AND LOWEST(weight)
+  ORDER BY name;
+
+-- A batch insert mixing dominated and incomparable rows.
+INSERT INTO camp VALUES ('anvil', 900, 20), ('foam', 60, 30);
+SELECT name FROM camp PREFERRING LOWEST(price) AND LOWEST(weight)
+  ORDER BY name;
+
+-- Deleting non-members only remaps the cached positions.
+DELETE FROM camp WHERE name = 'brick' OR name = 'anvil';
+SELECT name FROM camp PREFERRING LOWEST(price) AND LOWEST(weight)
+  ORDER BY name;
+
+-- Deleting a member invalidates: dominated rows must resurface.
+DELETE FROM camp WHERE name = 'quilt';
+SELECT name FROM camp PREFERRING LOWEST(price) AND LOWEST(weight)
+  ORDER BY name;
+
+-- Updating a non-member can promote it into the skyline.
+UPDATE camp SET price = 90 WHERE name = 'hammock';
+SELECT name FROM camp PREFERRING LOWEST(price) AND LOWEST(weight)
+  ORDER BY name;
+
+-- Updating a member invalidates; the next run recomputes and republishes.
+UPDATE camp SET weight = 50 WHERE name = 'foam';
+SELECT name FROM camp PREFERRING LOWEST(price) AND LOWEST(weight)
+  ORDER BY name;
+SELECT name FROM camp PREFERRING LOWEST(price) AND LOWEST(weight)
+  ORDER BY name;
+
+-- A different preference over the same table keeps its own cache entry.
+SELECT name FROM camp PREFERRING HIGHEST(price) ORDER BY name;
+UPDATE camp SET price = 10 WHERE name = 'bivy';
+SELECT name FROM camp PREFERRING HIGHEST(price) ORDER BY name;
+SELECT name FROM camp PREFERRING LOWEST(price) AND LOWEST(weight)
+  ORDER BY name;
+
+-- Serving can be switched off per session; results are identical.
+SET skyline_cache = off;
+SELECT name FROM camp PREFERRING LOWEST(price) AND LOWEST(weight)
+  ORDER BY name;
+SET skyline_cache = on;
+SELECT name FROM camp PREFERRING LOWEST(price) AND LOWEST(weight)
+  ORDER BY name;

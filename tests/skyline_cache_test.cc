@@ -1,0 +1,223 @@
+// The incrementally-maintained skyline result cache:
+//   * a bare-table PREFERRING query publishes its maximal-position list into
+//     the engine cache and a repeat query is served from it (no key build,
+//     no dominance pass);
+//   * DML carries the entry to the new table version instead of discarding
+//     it — INSERT dominance-tests the new rows against the cached skyline,
+//     DELETE/UPDATE of non-members remaps/re-admits, touching a member
+//     invalidates — and the served results stay exactly equal to a
+//     from-scratch recompute under random DML interleavings.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "core/connection.h"
+#include "util/random.h"
+
+namespace prefsql {
+namespace {
+
+std::vector<std::string> Column0(const ResultTable& t) {
+  std::vector<std::string> out;
+  for (size_t i = 0; i < t.num_rows(); ++i) {
+    out.push_back(t.at(i, 0).ToString());
+  }
+  return out;
+}
+
+class SkylineCacheTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // The caches live on the direct evaluation path; rewrite mode (the
+    // default) recomputes via plain SQL and never consults them.
+    ASSERT_TRUE(conn_.Execute("SET evaluation_mode = bnl").ok());
+    ASSERT_TRUE(conn_.ExecuteScript(
+                         "CREATE TABLE gear (name TEXT, price INTEGER, "
+                         "weight INTEGER);"
+                         "INSERT INTO gear VALUES ('tent', 300, 4), "
+                         "('tarp', 120, 2), ('bivy', 180, 1), "
+                         "('hammock', 150, 2)")
+                    .ok());
+  }
+
+  // One bare skyline run publishes keys + positions into the engine cache.
+  // Seed skyline: tarp (120, 2) and bivy (180, 1); hammock is dominated by
+  // tarp and tent by everything.
+  void Warm() {
+    auto r = conn_.Execute(kQuery);
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+  }
+
+  std::vector<std::string> Query(bool expect_served) {
+    auto r = conn_.Execute(kQuery);
+    EXPECT_TRUE(r.ok()) << r.status().ToString();
+    EXPECT_EQ(conn_.last_stats().skyline_cache_hit, expect_served)
+        << conn_.last_stats().skyline_cache_detail;
+    return r.ok() ? Column0(*r) : std::vector<std::string>{};
+  }
+
+  Connection conn_;
+  const std::string kQuery =
+      "SELECT name FROM gear PREFERRING LOWEST(price) AND LOWEST(weight)";
+};
+
+TEST_F(SkylineCacheTest, RepeatQueryIsServedFromTheCachedPositions) {
+  Warm();
+  EXPECT_FALSE(conn_.last_stats().skyline_cache_hit)
+      << conn_.last_stats().skyline_cache_detail;
+  std::vector<std::string> served = Query(/*expect_served=*/true);
+  EXPECT_EQ(served, (std::vector<std::string>{"tarp", "bivy"}));
+  // Served without a key build or a single dominance comparison.
+  EXPECT_EQ(conn_.last_stats().bmo_key_build_ns, 0u);
+  EXPECT_EQ(conn_.last_stats().bmo_comparisons, 0u);
+  EXPECT_TRUE(conn_.last_stats().key_cache_hit);
+}
+
+TEST_F(SkylineCacheTest, InsertOfDominatedRowMaintainsTheEntry) {
+  Warm();
+  ASSERT_TRUE(
+      conn_.Execute("INSERT INTO gear VALUES ('brick', 500, 9)").ok());
+  EXPECT_GT(conn_.last_stats().skyline_maintenance_events, 0u);
+  EXPECT_EQ(Query(/*expect_served=*/true),
+            (std::vector<std::string>{"tarp", "bivy"}));
+}
+
+TEST_F(SkylineCacheTest, InsertOfDominatorEvictsTheBeatenMembers) {
+  Warm();
+  ASSERT_TRUE(
+      conn_.Execute("INSERT INTO gear VALUES ('quilt', 100, 1)").ok());
+  EXPECT_GT(conn_.last_stats().skyline_maintenance_events, 0u);
+  EXPECT_EQ(Query(/*expect_served=*/true),
+            (std::vector<std::string>{"quilt"}));
+}
+
+TEST_F(SkylineCacheTest, DeleteOfNonMemberRemapsThePositions) {
+  Warm();
+  // tent is storage position 0: every cached member position shifts down.
+  ASSERT_TRUE(conn_.Execute("DELETE FROM gear WHERE name = 'tent'").ok());
+  EXPECT_GT(conn_.last_stats().skyline_maintenance_events, 0u);
+  EXPECT_EQ(Query(/*expect_served=*/true),
+            (std::vector<std::string>{"tarp", "bivy"}));
+}
+
+TEST_F(SkylineCacheTest, DeleteOfMemberInvalidatesTheEntry) {
+  Warm();
+  ASSERT_TRUE(conn_.Execute("DELETE FROM gear WHERE name = 'tarp'").ok());
+  EXPECT_GT(conn_.last_stats().skyline_invalidations, 0u);
+  // Correct recompute: hammock resurfaces once its dominator is gone.
+  EXPECT_EQ(Query(/*expect_served=*/false),
+            (std::vector<std::string>{"bivy", "hammock"}));
+  // The recompute republished: the next repeat is served again.
+  EXPECT_EQ(Query(/*expect_served=*/true),
+            (std::vector<std::string>{"bivy", "hammock"}));
+}
+
+TEST_F(SkylineCacheTest, UpdateOfNonMemberReAdmitsIt) {
+  Warm();
+  // hammock (150, 2) was dominated by tarp; at (90, 2) it dominates tarp.
+  ASSERT_TRUE(
+      conn_.Execute("UPDATE gear SET price = 90 WHERE name = 'hammock'")
+          .ok());
+  EXPECT_GT(conn_.last_stats().skyline_maintenance_events, 0u);
+  EXPECT_EQ(Query(/*expect_served=*/true),
+            (std::vector<std::string>{"bivy", "hammock"}));
+}
+
+TEST_F(SkylineCacheTest, UpdateOfMemberInvalidatesTheEntry) {
+  Warm();
+  ASSERT_TRUE(
+      conn_.Execute("UPDATE gear SET price = 500 WHERE name = 'tarp'").ok());
+  EXPECT_GT(conn_.last_stats().skyline_invalidations, 0u);
+  EXPECT_EQ(Query(/*expect_served=*/false),
+            (std::vector<std::string>{"bivy", "hammock"}));
+}
+
+TEST_F(SkylineCacheTest, ServingCanBeDisabledPerSession) {
+  ASSERT_TRUE(conn_.Execute("SET skyline_cache = off").ok());
+  Warm();
+  auto r = conn_.Execute(kQuery);
+  ASSERT_TRUE(r.ok());
+  EXPECT_FALSE(conn_.last_stats().skyline_cache_hit)
+      << conn_.last_stats().skyline_cache_detail;
+  // The packed keys are still shared — only position serving is off.
+  EXPECT_TRUE(conn_.last_stats().key_cache_hit);
+}
+
+// Property: under random INSERT / DELETE / UPDATE interleavings, the
+// (possibly maintained-and-served) skyline equals a from-scratch recompute
+// by an uncached session on the same engine, at every step.
+TEST(SkylineCachePropertyTest, RandomDmlInterleavingsMatchRecompute) {
+  for (uint64_t seed : {3u, 17u, 91u}) {
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    Random rng(seed);
+    Connection cached;
+    Connection oracle;
+    oracle.Attach(cached.engine());
+    ASSERT_TRUE(cached.Execute("SET evaluation_mode = bnl").ok());
+    // The oracle session recomputes everything from the table rows.
+    ASSERT_TRUE(oracle.Execute("SET evaluation_mode = bnl").ok());
+    ASSERT_TRUE(oracle.Execute("SET skyline_cache = off").ok());
+    ASSERT_TRUE(oracle.Execute("SET key_cache = off").ok());
+
+    ASSERT_TRUE(cached
+                    .Execute("CREATE TABLE pts (id INTEGER, x INTEGER, "
+                             "y INTEGER)")
+                    .ok());
+    int64_t next_id = 0;
+    auto insert = [&]() {
+      auto r = cached.Execute(
+          "INSERT INTO pts VALUES (" + std::to_string(next_id++) + ", " +
+          std::to_string(rng.Uniform(0, 20)) + ", " +
+          std::to_string(rng.Uniform(0, 20)) + ")");
+      ASSERT_TRUE(r.ok()) << r.status().ToString();
+    };
+    for (int i = 0; i < 30; ++i) insert();
+
+    const std::string q =
+        "SELECT id FROM pts PREFERRING LOWEST(x) AND LOWEST(y)";
+    bool saw_served = false;
+    for (int step = 0; step < 60; ++step) {
+      // Query first so the cache is warm when the mutation lands.
+      ASSERT_TRUE(cached.Execute(q).ok());
+      std::string target = std::to_string(rng.Uniform(0, next_id));
+      switch (rng.Uniform(0, 2)) {
+        case 0:
+          insert();
+          break;
+        case 1:
+          ASSERT_TRUE(
+              cached.Execute("DELETE FROM pts WHERE id = " + target).ok());
+          break;
+        default:
+          ASSERT_TRUE(cached
+                          .Execute("UPDATE pts SET x = " +
+                                   std::to_string(rng.Uniform(0, 20)) +
+                                   ", y = " +
+                                   std::to_string(rng.Uniform(0, 20)) +
+                                   " WHERE id = " + target)
+                          .ok());
+          break;
+      }
+      auto maintained = cached.Execute(q);
+      ASSERT_TRUE(maintained.ok()) << maintained.status().ToString();
+      saw_served |= cached.last_stats().skyline_cache_hit;
+      auto recomputed = oracle.Execute(q);
+      ASSERT_TRUE(recomputed.ok()) << recomputed.status().ToString();
+
+      std::vector<std::string> got = Column0(*maintained);
+      std::vector<std::string> want = Column0(*recomputed);
+      std::sort(got.begin(), got.end());
+      std::sort(want.begin(), want.end());
+      ASSERT_EQ(got, want) << "step " << step;
+    }
+    EXPECT_TRUE(saw_served);
+    EXPECT_GT(cached.last_stats().skyline_maintenance_events, 0u);
+    EXPECT_GT(cached.last_stats().skyline_invalidations, 0u);
+  }
+}
+
+}  // namespace
+}  // namespace prefsql
