@@ -7,8 +7,11 @@
 // shared CI runners are noisy; the signal is the cold/warm ratio and the
 // hit flags, which are deterministic.
 
+#include <atomic>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <memory>
 #include <string>
 #include <thread>
@@ -46,7 +49,19 @@ double MeanMs(prefsql::Connection& conn, int iters) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  // Mixed-traffic shape (section 10); CI's high-churn stress passes
+  // --mixed-writers 8 --mixed-readers 8.
+  int mixed_writers = 1;
+  int mixed_readers = 2;
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--mixed-writers") == 0) {
+      mixed_writers = std::atoi(argv[i + 1]);
+    } else if (std::strcmp(argv[i], "--mixed-readers") == 0) {
+      mixed_readers = std::atoi(argv[i + 1]);
+    }
+  }
+
   prefsql::benchjson::Writer json("serving");
   std::printf("=== Serving: engine caches and multi-session scaling ===\n");
 
@@ -457,6 +472,107 @@ int main() {
         .Field("final_skyline_hit", static_cast<uint64_t>(final_hit))
         .Field("maintenance_events", maintenance_events)
         .Field("speedup", recompute_ms / incremental_ms);
+  }
+
+  // --- 10. Readers vs writers: mixed traffic under MVCC. Writers churn
+  //         the table (insert / update / delete cycle, each statement one
+  //         commit epoch) while readers stream the skyline query at their
+  //         own pinned snapshots. Pre-MVCC every DML statement stalled the
+  //         whole reader pool on the engine lock; now the signal is reader
+  //         latency under churn vs. a quiet engine, plus sustained writer
+  //         throughput while every reader keeps pulling.
+  {
+    const int n_writers = mixed_writers > 0 ? mixed_writers : 1;
+    const int n_readers = mixed_readers > 0 ? mixed_readers : 1;
+    constexpr int kReaderIters = 300;
+
+    auto engine = std::make_shared<prefsql::Engine>();
+    prefsql::Connection setup;
+    setup.Attach(engine);
+    if (!prefsql::GenerateUsedCars(setup.database(), kRows, 7).ok()) return 1;
+    (void)setup.Execute("SET evaluation_mode = bnl");
+    (void)setup.Execute(kQuery);  // warm the caches once
+
+    auto reader_pool_mean_ms = [&](bool with_writers, uint64_t* writer_stmts,
+                                   uint64_t* gc_cleared) {
+      std::atomic<bool> done{false};
+      std::atomic<uint64_t> stmts{0};
+      std::vector<std::thread> writers;
+      for (int w = 0; w < (with_writers ? n_writers : 0); ++w) {
+        writers.emplace_back([&, w]() {
+          prefsql::Connection conn;
+          conn.Attach(engine);
+          const int id_base = 800000 + w * 10000;
+          for (int i = 0; !done.load(std::memory_order_acquire); ++i) {
+            const std::string id = std::to_string(id_base + i % 1000);
+            (void)conn.Execute("INSERT INTO car VALUES (" + id +
+                               ", 'zz', 'zz', 'zz', 'zz', 999999, 999999, "
+                               "1, 1, 0, 0)");
+            (void)conn.Execute("UPDATE car SET price = 888888 WHERE id = " +
+                               id);
+            (void)conn.Execute("DELETE FROM car WHERE id = " + id);
+            stmts.fetch_add(3, std::memory_order_relaxed);
+          }
+          if (gc_cleared != nullptr) {
+            *gc_cleared = conn.last_stats().mvcc_gc_cleared;
+          }
+        });
+      }
+      std::vector<std::thread> readers;
+      std::vector<double> total_ms(n_readers, 0.0);
+      for (int r = 0; r < n_readers; ++r) {
+        readers.emplace_back([&, r]() {
+          prefsql::Connection conn;
+          conn.Attach(engine);
+          (void)conn.Execute("SET evaluation_mode = bnl");
+          const auto t0 = Clock::now();
+          for (int i = 0; i < kReaderIters; ++i) {
+            auto res = conn.Execute(kQuery);
+            if (!res.ok()) {
+              std::fprintf(stderr, "mixed read failed: %s\n",
+                           res.status().ToString().c_str());
+              std::exit(1);
+            }
+          }
+          total_ms[r] = MsSince(t0);
+        });
+      }
+      for (auto& t : readers) t.join();
+      done.store(true, std::memory_order_release);
+      for (auto& t : writers) t.join();
+      if (writer_stmts != nullptr) *writer_stmts = stmts.load();
+      double sum = 0.0;
+      for (double ms : total_ms) sum += ms;
+      return sum / (static_cast<double>(n_readers) * kReaderIters);
+    };
+
+    const double quiet_ms = reader_pool_mean_ms(false, nullptr, nullptr);
+    uint64_t writer_stmts = 0;
+    uint64_t gc_cleared = 0;
+    const auto t0 = Clock::now();
+    const double churn_ms =
+        reader_pool_mean_ms(true, &writer_stmts, &gc_cleared);
+    const double wall_ms = MsSince(t0);
+    const double writer_qps = writer_stmts / (wall_ms / 1000.0);
+    std::printf(
+        "mixed traffic, %zu rows, %d writers x %d readers: reader %.3f ms "
+        "quiet -> %.3f ms under churn (%.2fx), writers sustained %.0f "
+        "stmts/s (%llu total, gc cleared %llu)\n",
+        kRows, n_writers, n_readers, quiet_ms, churn_ms, churn_ms / quiet_ms,
+        writer_qps, static_cast<unsigned long long>(writer_stmts),
+        static_cast<unsigned long long>(gc_cleared));
+    json.BeginRecord()
+        .Field("section", "mixed_traffic")
+        .Field("rows", static_cast<uint64_t>(kRows))
+        .Field("writers", static_cast<uint64_t>(n_writers))
+        .Field("readers", static_cast<uint64_t>(n_readers))
+        .Field("reader_iters", static_cast<uint64_t>(kReaderIters))
+        .Field("reader_quiet_ms", quiet_ms)
+        .Field("reader_churn_ms", churn_ms)
+        .Field("reader_slowdown", churn_ms / quiet_ms)
+        .Field("writer_stmts_per_sec", writer_qps)
+        .Field("writer_stmts_total", writer_stmts)
+        .Field("gc_cleared", gc_cleared);
   }
 
   if (!json.Write()) {

@@ -56,14 +56,12 @@ Status BmoOperator::Open() {
   }
   const size_t n = rows_.size();
 
-  // 1b. Position mode: recover each pulled row's storage position by
-  //     pointer identity against the table's row heap, so the dominance
-  //     pass can run over the shared whole-table KeyStore. Any row that is
-  //     not a borrowed slice of the heap (or a duplicate) falls the whole
-  //     run back to the local un-cached path.
-  if (config_.base_rows != nullptr) {
-    const Row* base = config_.base_rows->data();
-    const size_t base_n = config_.base_rows->size();
+  // 1b. Position mode: recover each pulled row's heap slot by pointer
+  //     identity against the table's version heap, so the dominance pass
+  //     can run over the shared whole-table KeyStore. Any row that is not
+  //     a borrowed slot of the heap (or a duplicate) falls the whole run
+  //     back to the local un-cached path.
+  if (config_.base_heap != nullptr) {
     bool ok = true;
     positions_.reserve(n);
     for (const RowRef& r : rows_) {
@@ -71,12 +69,12 @@ Status BmoOperator::Open() {
         ok = false;
         break;
       }
-      const Row* p = &r.row();
-      if (p < base || p >= base + base_n) {
+      auto slot = config_.base_heap->PositionOf(&r.row());
+      if (!slot.has_value() || *slot >= config_.key_rows) {
         ok = false;
         break;
       }
-      positions_.push_back(static_cast<size_t>(p - base));
+      positions_.push_back(*slot);
     }
     if (ok) {
       local_of_.reserve(n);
@@ -95,11 +93,10 @@ Status BmoOperator::Open() {
           std::make_shared<const std::vector<size_t>>(positions_));
     }
   }
-  // Candidate id of pulled row i: its storage position in position mode
-  // (an index into the whole-table KeyStore), the pulled index otherwise.
+  // Candidate id of pulled row i: its heap slot in position mode (an index
+  // into the whole-table KeyStore), the pulled index otherwise.
   auto id_of = [&](size_t i) { return use_positions_ ? positions_[i] : i; };
-  const size_t key_rows =
-      use_positions_ ? config_.base_rows->size() : n;
+  const size_t key_rows = use_positions_ ? config_.key_rows : n;
 
   // 2. Packed keys: an engine cache hit reuses the whole store (the cached
   //    row count matching the expected count re-checks the planner's row
@@ -109,7 +106,7 @@ Status BmoOperator::Open() {
   //    store covers the whole table (one build amortizes across every
   //    filtered query over this snapshot).
   const bool cache_keyed = config_.key_cache != nullptr &&
-                           (config_.base_rows == nullptr || use_positions_);
+                           (config_.base_heap == nullptr || use_positions_);
   if (cache_keyed) {
     auto cached = config_.key_cache->Lookup(config_.key_cache_key);
     if (cached != nullptr && cached->keys != nullptr &&
@@ -125,9 +122,22 @@ Status BmoOperator::Open() {
     built->Reserve(key_rows);
     const auto t0 = Clock::now();
     if (use_positions_) {
-      for (const Row& row : *config_.base_rows) {
-        PSQL_RETURN_IF_ERROR(
-            pref_->AppendKey(child_->schema(), row, built.get(), runner_));
+      // Key every slot of the snapshot's key space, dead versions included
+      // (slot = key row). GC-cleared payloads can no longer be evaluated;
+      // they get neutral worst-score keys, which is sound because cleared
+      // slots are invisible at every servable snapshot and dominance only
+      // ever runs over candidate (visible) ids.
+      for (size_t slot = 0; slot < config_.key_rows; ++slot) {
+        if (config_.base_heap->payload_cleared(slot)) {
+          for (size_t l = 0; l < pref_->num_leaves(); ++l) {
+            built->PushLeaf(kWorstScore, -1);
+          }
+          built->CommitRow();
+          continue;
+        }
+        PSQL_RETURN_IF_ERROR(pref_->AppendKey(child_->schema(),
+                                              config_.base_heap->row(slot),
+                                              built.get(), runner_));
       }
     } else {
       for (const RowRef& r : rows_) {
@@ -262,19 +272,21 @@ Status BmoOperator::Open() {
     survivors_ = std::move(maximal);
   }
   // 8. Publish the skyline position list when this run computed the bare
-  //    whole-table skyline (survivors_ is then ascending storage positions),
-  //    upgrading the keys-only entry published above.
-  if (cache_keyed && !use_positions_ && config_.publish_skyline &&
-      keys_->size() == n) {
+  //    whole-table skyline (survivors_ is then heap slots of the maximal
+  //    visible versions), upgrading the keys-only entry published above.
+  if (cache_keyed && use_positions_ && config_.publish_skyline &&
+      keys_->size() == key_rows) {
     auto entry = std::make_shared<SkylineEntry>();
     entry->keys = keys_;
     entry->pref = config_.cache_pref;
-    entry->skyline = survivors_;
+    std::vector<size_t> ascending = survivors_;
+    std::sort(ascending.begin(), ascending.end());
+    entry->skyline = std::move(ascending);
     config_.key_cache->Insert(config_.key_cache_key, std::move(entry));
   }
   // Emitted in candidate order (like LIMIT without ORDER BY, the particular
   // maximal tuples of a top-k run are unspecified, but the order is stable).
-  // In position mode ids are storage positions — map back to pulled order.
+  // In position mode ids are heap slots — map back to pulled order.
   if (use_positions_) {
     std::sort(survivors_.begin(), survivors_.end(),
               [this](size_t a, size_t b) {

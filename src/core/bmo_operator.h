@@ -30,6 +30,7 @@
 #include "engine/operators/operator.h"
 #include "preference/composite.h"
 #include "preference/key_cache.h"
+#include "storage/row_heap.h"
 
 namespace prefsql {
 
@@ -88,12 +89,22 @@ struct BmoOperatorConfig {
   /// (planner sets this only when the result equals the bare skyline: full
   /// scan, no GROUPING / BUT ONLY / top-k truncation).
   bool publish_skyline = false;
-  /// Position mode (WHERE-filtered candidates over one base table): the
-  /// table's row heap, used to recover each pulled row's storage position
-  /// via pointer identity and to build whole-table keys on a cache miss.
-  /// The dominance pass then runs over storage positions into the shared
-  /// whole-table KeyStore. nullptr = candidates are the whole table.
-  const std::vector<Row>* base_rows = nullptr;
+  /// Position mode (cache-eligible candidates over one base table): the
+  /// table's version heap, used to recover each pulled row's heap slot via
+  /// pointer identity and to build whole-table keys on a cache miss. The
+  /// dominance pass then runs over slot positions into the shared
+  /// whole-table KeyStore. Under MVCC every cache-eligible run is position
+  /// mode — slot positions, not pulled indices, are the stable id space a
+  /// published entry shares with later readers. nullptr = candidates are
+  /// not a base-table scan (keys are pulled-index local).
+  const RowHeap* base_heap = nullptr;
+  /// Snapshot epoch of this run (position mode).
+  uint64_t snapshot = 0;
+  /// Slot count sealed by the snapshot's table version: the key space of
+  /// the shared KeyStore (position mode). Slots holding versions invisible
+  /// at the snapshot still occupy a key row — GC-cleared payloads get
+  /// neutral keys, sound because dominance only runs over candidate ids.
+  size_t key_rows = 0;
   /// Filter-position cache to fill with the pulled positions (position
   /// mode only; not owned; may be nullptr).
   FilterCache* filter_cache = nullptr;

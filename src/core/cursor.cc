@@ -43,6 +43,9 @@ Result<std::optional<RowRef>> Cursor::Next() {
     return std::optional<RowRef>(std::move(row));
   }
   RowRef row;
+  // Pull under the cursor's pinned snapshot so any subplan materialized
+  // mid-stream reads the same point-in-time view the cursor opened with.
+  ScopedSnapshot ambient(impl.snapshot);
   auto more = impl.root->Next(&row);
   if (!more.ok()) {
     Close();
@@ -98,6 +101,10 @@ void Cursor::Close() {
     impl.pref_plan = PreferencePlan{};
     impl.plain_root.reset();
   }
+  // Release the snapshot pin after the operator tree is gone (nothing can
+  // read at the snapshot anymore) and before the DDL lock, so GC triggered
+  // by the lock release never races an active pin.
+  impl.pin.Release();
   impl.lock = std::shared_lock<std::shared_mutex>();
   impl.table.reset();
 }

@@ -12,19 +12,22 @@
 //
 // Two shapes share the interface:
 //   * streaming — direct-path preference queries and plain SELECTs hold the
-//     open operator tree and the engine's shared statement lock, and pull
-//     rows on demand: skyline/top-k results reach the client without a
-//     ResultTable materialization. Close() (or end-of-stream, or an error)
-//     closes the operator tree — flushing the BMO statistics into the
-//     session's last_stats even when the client stopped early — and
-//     releases the statement lock promptly.
+//     open operator tree, the engine's shared DDL lock, and a pinned MVCC
+//     snapshot, and pull rows on demand: skyline/top-k results reach the
+//     client without a ResultTable materialization. Close() (or
+//     end-of-stream, or an error) closes the operator tree — flushing the
+//     BMO statistics into the session's last_stats even when the client
+//     stopped early — and releases the snapshot pin and the lock promptly.
 //   * materialized — rewrite-mode preference queries (their Aux views need
 //     an exclusive critical section), EXPLAIN, and DML results are computed
-//     eagerly and replayed row by row; no lock is held.
+//     eagerly and replayed row by row; no lock or pin is held.
 //
-// A streaming cursor holds the engine's shared statement lock while open:
-// close it before issuing DML/DDL from the same thread (a writer statement
-// would otherwise self-deadlock waiting for the cursor), and never let a
+// Snapshot stability: a streaming cursor's rows are exactly the versions
+// visible at its open-time epoch. Concurrent DML appends new row versions
+// without blocking on the cursor — and without changing what it streams;
+// the pin keeps the version GC behind the snapshot. Only DDL still excludes
+// open cursors: close a cursor before issuing CREATE/DROP from the same
+// thread (the exclusive DDL lock would self-deadlock), and never let a
 // cursor outlive its Connection/Engine. RowRefs returned by Next() are
 // valid until the next Next()/Close() call.
 
@@ -38,6 +41,7 @@
 #include "core/preference_query.h"
 #include "core/session.h"
 #include "engine/operators/operator.h"
+#include "storage/epoch.h"
 #include "types/result_table.h"
 #include "types/row_view.h"
 #include "types/schema.h"
@@ -94,6 +98,11 @@ class Cursor {
     OperatorPtr plain_root;      ///< owns root for plain SELECTs
     PhysicalOperator* root = nullptr;
     std::shared_lock<std::shared_mutex> lock;
+    /// Snapshot pinned for the cursor's lifetime: Next() re-establishes it
+    /// as the ambient read epoch per pull, so lazily materialized subplans
+    /// see the open-time view too, and GC stays behind the pin.
+    SnapshotPin pin;
+    uint64_t snapshot = 0;
     std::shared_ptr<const SelectStmt> select_keepalive;
     std::shared_ptr<const CachedPlan> plan_keepalive;
     std::shared_ptr<const CompiledPreference> pref_keepalive;

@@ -85,6 +85,7 @@ uint64_t Engine::KnobFingerprint(const ConnectionOptions& o) {
   h = FingerprintMix(h, o.key_cache ? 1 : 0);
   h = FingerprintMix(h, o.simd ? 1 : 0);
   h = FingerprintMix(h, o.skyline_cache ? 1 : 0);
+  h = FingerprintMix(h, o.mvcc_gc ? 1 : 0);
   return h;
 }
 
@@ -316,12 +317,35 @@ Result<ResultTable> Engine::ExecuteStatement(Session& session,
     MaintainSkylineCaches();
     SweepCaches();
     SnapshotCacheCounters(session);
+    lock.unlock();
+    TryCollectGarbage(session);
+    return result;
+  }
+
+  // DML appends row versions: it runs under the *shared* DDL lock (readers
+  // streaming at pinned snapshots are never blocked) with DML statements
+  // serialized against each other — and with the cache maintenance/sweep
+  // they trigger — by the writer mutex.
+  if (stmt.kind == StatementKind::kInsert ||
+      stmt.kind == StatementKind::kUpdate ||
+      stmt.kind == StatementKind::kDelete) {
+    std::shared_lock<std::shared_mutex> ddl(mutex_);
+    Result<ResultTable> result = [&]() -> Result<ResultTable> {
+      std::lock_guard<std::mutex> writer(writer_mutex_);
+      auto r = db_.ExecuteStatement(stmt);
+      MaintainSkylineCaches();
+      SweepCaches();
+      return r;
+    }();
+    SnapshotCacheCounters(session);
+    ddl.unlock();
+    TryCollectGarbage(session);
     return result;
   }
 
   // Everything else passes through to the database system (§3.1: "without
-  // causing any noticeable overhead") — DML/DDL, so exclusively, with a
-  // cache sweep afterwards to reclaim entries the write made unreachable.
+  // causing any noticeable overhead") — DDL, so exclusively, with a cache
+  // sweep afterwards to reclaim entries the write made unreachable.
   std::unique_lock<std::shared_mutex> lock(mutex_);
   auto result = db_.ExecuteStatement(stmt);
   MaintainSkylineCaches();
@@ -505,15 +529,26 @@ Result<Cursor> Engine::OpenPreparedCursor(
       stats.rewrite_fallback = true;
     }
     std::shared_lock<std::shared_mutex> lock(mutex_);
+    // Pin the snapshot under the shared DDL lock (pins are only ever taken
+    // while it is held, which is what lets the GC's exclusive acquisition
+    // conclude "no pins, no readers"). The ambient scope makes binding,
+    // planning, and Open all read at the pinned epoch.
+    SnapshotPin pin(&db_.catalog().epochs());
+    stats.pinned_epoch = pin.snapshot();
+    ScopedSnapshot ambient(pin.snapshot());
     PSQL_ASSIGN_OR_RETURN(ExecutionView view,
                           BindForExecutionLocked(*plan, params));
     return OpenDirectCursor(session, std::move(view), std::move(lock),
-                            std::move(plan), std::move(keepalive));
+                            std::move(pin), std::move(plan),
+                            std::move(keepalive));
   }
 
   // Plain SELECT: stream straight out of the operator pipeline under the
-  // shared statement lock.
+  // shared DDL lock at a pinned snapshot.
   std::shared_lock<std::shared_mutex> lock(mutex_);
+  SnapshotPin pin(&db_.catalog().epochs());
+  stats.pinned_epoch = pin.snapshot();
+  ScopedSnapshot ambient(pin.snapshot());
   PSQL_ASSIGN_OR_RETURN(ExecutionView view,
                         BindForExecutionLocked(*plan, params));
   PSQL_ASSIGN_OR_RETURN(OperatorPtr root,
@@ -522,6 +557,8 @@ Result<Cursor> Engine::OpenPreparedCursor(
   impl->plain_root = std::move(root);
   impl->root = impl->plain_root.get();
   impl->lock = std::move(lock);
+  impl->snapshot = pin.snapshot();
+  impl->pin = std::move(pin);
   impl->select_keepalive = view.select;
   impl->plan_keepalive = std::move(plan);
   impl->engine_keepalive = std::move(keepalive);
@@ -542,6 +579,7 @@ Result<Cursor> Engine::OpenPreparedCursor(
 Result<Cursor> Engine::OpenDirectCursor(Session& session, ExecutionView view,
                                         std::shared_lock<std::shared_mutex>
                                             lock,
+                                        SnapshotPin pin,
                                         std::shared_ptr<const CachedPlan>
                                             plan,
                                         std::shared_ptr<Engine> keepalive) {
@@ -564,6 +602,8 @@ Result<Cursor> Engine::OpenDirectCursor(Session& session, ExecutionView view,
   impl->pref_plan = std::move(pplan);
   impl->root = impl->pref_plan.root.get();
   impl->lock = std::move(lock);
+  impl->snapshot = pin.snapshot();
+  impl->pin = std::move(pin);
   impl->select_keepalive = std::move(view.select);
   impl->pref_keepalive = std::move(view.preference);
   impl->plan_keepalive = std::move(plan);
@@ -719,6 +759,9 @@ Result<ResultTable> Engine::ExecuteExplain(Session& session,
   std::vector<Row> lines;
   auto add = [&](const std::string& s) { lines.push_back({Value::Text(s)}); };
   std::shared_lock<std::shared_mutex> lock(mutex_);
+  SnapshotPin pin(&db_.catalog().epochs());
+  session.mutable_last_stats().pinned_epoch = pin.snapshot();
+  ScopedSnapshot ambient(pin.snapshot());
   PSQL_ASSIGN_OR_RETURN(ExecutionView view,
                         BindForExecutionLocked(plan, params));
   const SelectStmt& select = *view.select;
@@ -758,6 +801,12 @@ Result<ResultTable> Engine::ExecuteExplain(Session& session,
     add("-- " + pplan.pushdown_detail);
     add("-- " + pplan.key_cache_detail);
     add("-- " + pplan.skyline_cache_detail);
+    add("-- mvcc: snapshot epoch " + std::to_string(pin.snapshot()) +
+        ", pinned readers " +
+        std::to_string(db_.catalog().epochs().pinned_count()) +
+        ", gc cleared " +
+        std::to_string(db_.executor().stats().gc_cleared.load(
+            std::memory_order_relaxed)));
     add(plan_cache_line);
     add(SelectToSql(select));
     return ResultTable(std::move(schema), std::move(lines));
@@ -810,6 +859,12 @@ void Engine::SnapshotCacheCounters(Session& session) {
   stats.key_cache_evictions = key_cache_.counters().evictions;
   stats.skyline_maintenance_events = key_cache_.maintenance_events();
   stats.skyline_invalidations = key_cache_.invalidations();
+  const Executor::Stats& xstats = db_.executor().stats();
+  stats.mvcc_versions_scanned =
+      xstats.mvcc.versions_scanned.load(std::memory_order_relaxed);
+  stats.mvcc_versions_skipped =
+      xstats.mvcc.versions_skipped.load(std::memory_order_relaxed);
+  stats.mvcc_gc_cleared = xstats.gc_cleared.load(std::memory_order_relaxed);
 }
 
 // ===========================================================================
@@ -868,123 +923,65 @@ void AdmitIntoSkyline(const DominanceProgram& prog, const KeyStore& keys,
 }
 
 // Re-derives one cache entry under the post-DML state of `table`; nullptr
-// means the entry cannot be carried over (skyline member touched, re-key
-// failure, or recorded effect inconsistent with the observed table) and
-// must be invalidated. Every arithmetic here is guarded against the actual
-// table so a maintained entry is exactly what a fresh build at the new
-// version would produce.
+// means the entry cannot be carried over (skyline member end-stamped,
+// re-key failure, or recorded effect inconsistent with the observed table)
+// and must be invalidated. Under MVCC every DML is appends + end-stamps in
+// a position-stable heap, so all three statement kinds share one shape:
+// the entry's keys for the surviving slots are still correct verbatim, the
+// appended slots [heap_before, heap_size) get fresh keys, and each
+// appended tuple is dominance-tested against the cached skyline. Returns
+// `entry` itself (no copy) when nothing was appended — a pure DELETE of
+// non-members keeps both keys and skyline bit-identical; only the version
+// key moves.
 std::shared_ptr<const SkylineEntry> MaintainEntry(
-    const SkylineEntry& entry, const Executor::DmlEffect& dml,
-    const Table& table) {
-  using Kind = Executor::DmlEffect::Kind;
-  if (entry.pref == nullptr || entry.keys == nullptr) return nullptr;
-  if (entry.keys->size() != dml.rows_before) return nullptr;
-  const CompiledPreference& pref = *entry.pref;
+    const std::shared_ptr<const SkylineEntry>& entry,
+    const Executor::DmlEffect& dml, const Table& table) {
+  if (entry->pref == nullptr || entry->keys == nullptr) return nullptr;
+  // The entry's keys cover exactly the slot space sealed by the
+  // pre-statement version.
+  if (entry->keys->size() != dml.heap_before) return nullptr;
+  const size_t heap_now = table.heap_size();
+  if (heap_now < dml.heap_before) return nullptr;
+  // End-stamping a skyline member masks an unknown dominated set — the
+  // carried skyline would be missing resurfacing tuples. Invalidate.
+  // (End-stamping non-members is free: removing dominated tuples never
+  // changes the skyline, and dead slots are never candidates, so their
+  // stale keys are never consulted.)
+  if (entry->skyline.has_value() &&
+      TouchesSkyline(dml.dead, *entry->skyline)) {
+    return nullptr;
+  }
+  if (heap_now == dml.heap_before) return entry;
+
+  const CompiledPreference& pref = *entry->pref;
   const DominanceProgram& prog = pref.program();
   const SimdVariant simd = MaintenanceSimd(prog);
-  auto out = std::make_shared<SkylineEntry>();
-  out->pref = entry.pref;
-
-  switch (dml.kind) {
-    case Kind::kInsert: {
-      // Rows 0..rows_before-1 are untouched appends-only; key the new tail
-      // and dominance-test each new tuple against the cached skyline. New
-      // positions exceed every old one, so ascending order is preserved.
-      if (table.num_rows() < dml.rows_before) return nullptr;
-      auto keys = std::make_shared<KeyStore>(*entry.keys);
-      keys->Reserve(table.num_rows());
-      for (size_t r = dml.rows_before; r < table.num_rows(); ++r) {
-        if (!pref.AppendKey(table.schema(), table.rows()[r], keys.get(),
-                            nullptr)
-                 .ok()) {
-          return nullptr;
-        }
-      }
-      if (keys->size() != table.num_rows()) return nullptr;
-      if (entry.skyline.has_value()) {
-        std::vector<size_t> sky = *entry.skyline;
-        for (size_t r = dml.rows_before; r < table.num_rows(); ++r) {
-          AdmitIntoSkyline(prog, *keys, simd, r, &sky);
-        }
-        out->skyline = std::move(sky);
-      }
-      out->keys = std::move(keys);
-      return out;
+  auto keys = std::make_shared<KeyStore>(*entry->keys);
+  keys->Reserve(heap_now);
+  for (size_t slot = dml.heap_before; slot < heap_now; ++slot) {
+    if (!pref.AppendKey(table.schema(), table.heap().row(slot), keys.get(),
+                        nullptr)
+             .ok()) {
+      return nullptr;
     }
-    case Kind::kDelete: {
-      // Deleting non-skyline rows keeps the skyline: every remaining
-      // non-maximal row is still dominated by its (surviving) maximal
-      // dominator. Deleting a member masks an unknown set — invalidate.
-      if (entry.skyline.has_value() &&
-          TouchesSkyline(dml.deleted, *entry.skyline)) {
-        return nullptr;
-      }
-      if (table.num_rows() + dml.deleted.size() != dml.rows_before) {
-        return nullptr;
-      }
-      auto keys = std::make_shared<KeyStore>(pref.num_leaves());
-      keys->Reserve(table.num_rows());
-      size_t d = 0;
-      for (size_t r = 0; r < dml.rows_before; ++r) {
-        if (d < dml.deleted.size() && dml.deleted[d] == r) {
-          ++d;
-          continue;
-        }
-        keys->AppendRowFrom(*entry.keys, r);
-      }
-      if (entry.skyline.has_value()) {
-        // Deletion compacts the heap: position p shifts down by the number
-        // of deleted rows before it.
-        std::vector<size_t> sky;
-        sky.reserve(entry.skyline->size());
-        d = 0;
-        for (size_t pos : *entry.skyline) {
-          while (d < dml.deleted.size() && dml.deleted[d] < pos) ++d;
-          sky.push_back(pos - d);
-        }
-        out->skyline = std::move(sky);
-      }
-      out->keys = std::move(keys);
-      return out;
-    }
-    case Kind::kUpdate: {
-      // Updating non-skyline rows: re-key them in place, then treat each as
-      // a fresh insert against the cached skyline. Unchanged non-members
-      // stay dominated by their unchanged maximal dominator (an updated row
-      // that evicts that dominator dominates them transitively). Updating a
-      // member — invalidate.
-      if (table.num_rows() != dml.rows_before) return nullptr;
-      if (entry.skyline.has_value() &&
-          TouchesSkyline(dml.updated, *entry.skyline)) {
-        return nullptr;
-      }
-      auto keys = std::make_shared<KeyStore>(*entry.keys);
-      KeyStore scratch(pref.num_leaves());
-      for (uint32_t r : dml.updated) {
-        if (r >= keys->size()) return nullptr;
-        scratch.Reset(pref.num_leaves());
-        if (!pref.AppendKey(table.schema(), table.rows()[r], &scratch,
-                            nullptr)
-                 .ok()) {
-          return nullptr;
-        }
-        keys->SetRowFrom(scratch, 0, r);
-      }
-      if (entry.skyline.has_value()) {
-        std::vector<size_t> sky = *entry.skyline;
-        for (uint32_t r : dml.updated) {
-          AdmitIntoSkyline(prog, *keys, simd, r, &sky);
-        }
-        std::sort(sky.begin(), sky.end());
-        out->skyline = std::move(sky);
-      }
-      out->keys = std::move(keys);
-      return out;
-    }
-    case Kind::kNone:
-      break;
   }
-  return nullptr;
+  if (keys->size() != heap_now) return nullptr;
+  auto out = std::make_shared<SkylineEntry>();
+  out->pref = entry->pref;
+  if (entry->skyline.has_value()) {
+    // The surviving members still dominate every surviving old non-member,
+    // so admitting the appended tuples one by one against the evolving
+    // skyline is exact (an appended tuple that evicts a member dominates
+    // that member's subjects transitively).
+    std::vector<size_t> sky = *entry->skyline;
+    for (size_t slot = dml.heap_before; slot < heap_now; ++slot) {
+      AdmitIntoSkyline(prog, *keys, simd, slot, &sky);
+    }
+    std::sort(sky.begin(), sky.end());
+    out->skyline = std::move(sky);
+  }
+  out->keys = std::move(keys);
+  return out;
 }
 
 }  // namespace
@@ -997,18 +994,30 @@ void Engine::MaintainSkylineCaches() {
   if (!table_r.ok()) return;
   const Table& table = **table_r;
   if (table.id() != dml.table_id) return;
-  // A DML statement that touched no rows leaves the version (and therefore
-  // every entry) untouched.
+  // A DML statement that touched no rows seals no version and leaves every
+  // entry reachable.
   if (table.version() == dml.version_before) return;
+  EpochManager& epochs = db_.catalog().epochs();
+  // A reader pinned at a pre-statement snapshot can still serve the
+  // superseded entry — keep it resident next to the carried one. With no
+  // such pin the carry is an atomic Rekey, so maintenance never doubles
+  // the entry's residency (peak footprint stays flat across DML).
+  const bool old_version_pinned =
+      table.VersionAt(epochs.MinPinnedOr(epochs.current())) <=
+      dml.version_before;
   for (auto& [key, entry] : key_cache_.SnapshotForTable(dml.table_id)) {
     if (key.table_version != dml.version_before || entry == nullptr) {
-      continue;  // already stale before this statement; the sweep takes it
+      continue;  // older version; kept or swept by the pin-aware sweep
     }
-    auto maintained = MaintainEntry(*entry, dml, table);
+    auto maintained = MaintainEntry(entry, dml, table);
     if (maintained != nullptr) {
       KeyCacheKey new_key = key;
       new_key.table_version = table.version();
-      key_cache_.Insert(new_key, std::move(maintained));
+      if (old_version_pinned) {
+        key_cache_.Insert(new_key, std::move(maintained));
+      } else {
+        key_cache_.Rekey(key, new_key, std::move(maintained));
+      }
       key_cache_.CountMaintenance();
     } else {
       key_cache_.CountInvalidation();
@@ -1018,18 +1027,49 @@ void Engine::MaintainSkylineCaches() {
 
 void Engine::SweepCaches() {
   plan_cache_.EvictOtherVersions(db_.catalog().version());
-  // Live incarnations: table id -> current version.
-  std::unordered_map<uint64_t, uint64_t> live;
+  EpochManager& epochs = db_.catalog().epochs();
+  // Liveness is a version *range* per table incarnation: a reader pinned at
+  // the oldest snapshot may still serve entries keyed at the version its
+  // snapshot sees, so everything from that version up to the current one
+  // stays resident; with no pins the range collapses to the current
+  // version.
+  const uint64_t min_snapshot = epochs.MinPinnedOr(epochs.current());
+  std::unordered_map<uint64_t, std::pair<uint64_t, uint64_t>> live;
   for (const auto& name : db_.catalog().TableNames()) {
     auto table = db_.catalog().GetTable(name);
-    if (table.ok()) live[(*table)->id()] = (*table)->version();
+    if (table.ok()) {
+      live[(*table)->id()] = {(*table)->VersionAt(min_snapshot),
+                              (*table)->version()};
+    }
   }
   auto is_live = [&](uint64_t table_id, uint64_t version) {
     auto it = live.find(table_id);
-    return it != live.end() && it->second == version;
+    return it != live.end() && version >= it->second.first &&
+           version <= it->second.second;
   };
   key_cache_.EvictStale(is_live);
   filter_cache_.EvictStale(is_live);
+}
+
+void Engine::TryCollectGarbage(Session& session) {
+  if (!session.options().mvcc_gc) return;
+  // Exclusive DDL-lock acquisition proves no statement is in flight and no
+  // snapshot is pinned (pins are only taken under the shared lock), so
+  // last_dml is stable to read and every version dead at or before the
+  // horizon is unreachable forever. Readers present? Skip — the next
+  // write retries.
+  std::unique_lock<std::shared_mutex> lock(mutex_, std::try_to_lock);
+  if (!lock.owns_lock()) return;
+  const Executor::DmlEffect& dml = db_.executor().last_dml();
+  if (dml.kind == Executor::DmlEffect::Kind::kNone) return;
+  auto table = db_.catalog().GetTable(dml.table);
+  if (!table.ok() || (*table)->id() != dml.table_id) return;
+  EpochManager& epochs = db_.catalog().epochs();
+  const uint64_t horizon = epochs.MinPinnedOr(epochs.current());
+  const size_t freed = (*table)->CollectGarbage(horizon);
+  if (freed > 0) {
+    db_.executor().CountGarbageCollected(freed);
+  }
 }
 
 namespace {
@@ -1129,6 +1169,12 @@ Result<ResultTable> Engine::ExecuteSet(Session& session,
     } else {
       PSQL_ASSIGN_OR_RETURN(options.simd, SetValueAsBool(v, knob));
     }
+  } else if (knob == "mvcc_gc") {
+    if (reset) {
+      options.mvcc_gc = defaults.mvcc_gc;
+    } else {
+      PSQL_ASSIGN_OR_RETURN(options.mvcc_gc, SetValueAsBool(v, knob));
+    }
   } else if (knob == "evaluation_mode") {
     if (reset) {
       options.mode = defaults.mode;
@@ -1180,7 +1226,7 @@ Result<ResultTable> Engine::ExecuteSet(Session& session,
         "' (known: evaluation_mode, bmo_algorithm, bmo_threads, "
         "parallel_min_rows, preference_pushdown, bnl_window, but_only_mode, "
         "keep_aux_views, plan_cache, auto_parameterize, key_cache, "
-        "skyline_cache, simd)");
+        "skyline_cache, simd, mvcc_gc)");
   }
 
   // Echo the effective value so scripts/shell users see what stuck.
@@ -1205,6 +1251,8 @@ Result<ResultTable> Engine::ExecuteSet(Session& session,
     effective = options.skyline_cache ? "on" : "off";
   } else if (knob == "simd") {
     effective = options.simd ? "on" : "off";
+  } else if (knob == "mvcc_gc") {
+    effective = options.mvcc_gc ? "on" : "off";
   } else if (knob == "evaluation_mode") {
     effective = EvaluationModeToString(options.mode);
   } else if (knob == "bmo_algorithm") {

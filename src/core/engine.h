@@ -8,13 +8,26 @@
 //   b.Attach(engine);         // b sees every table a creates
 //
 // The engine owns the catalog/executor (Database), the prepared-plan cache
-// and the preference-key cache, and a statement-level shared_mutex that
-// gives snapshot-consistent reads: read-only statements (SELECT, EXPLAIN,
-// direct-path preference queries) run concurrently under a shared lock,
-// while writes (DML, DDL, rewrite-mode preference queries — they create
-// transient Aux views — and INSERT ... SELECT PREFERRING) take the lock
-// exclusively. A statement therefore always sees a stable table version,
-// which is what makes the version-keyed caches sound:
+// and the preference-key cache. Concurrency is MVCC: rows carry
+// [begin, end) commit-epoch stamps (storage/row_heap.h), every committed
+// DML statement gets one epoch (storage/epoch.h), and a reader pins the
+// current epoch when its statement or streaming Cursor opens and filters
+// scans by visibility at that snapshot. Two locks coordinate the rest:
+//
+//   * `mutex_` (shared_mutex) — the DDL lock. Readers AND DML writers hold
+//     it shared; only structural statements take it exclusively: DDL
+//     (CREATE/DROP move the catalog), rewrite-mode preference queries
+//     (transient Aux views), INSERT ... SELECT PREFERRING, and the
+//     opportunistic version GC (which must observe no active pins).
+//   * `writer_mutex_` (mutex) — serializes DML statements and the
+//     post-statement cache maintenance/sweep that runs with them.
+//
+// Readers therefore never block writers and vice versa: a streaming Cursor
+// holds only the shared DDL lock plus its snapshot pin while concurrent
+// INSERT/UPDATE/DELETE append new row versions. A reader's pinned epoch
+// gives it a stable view of every table version, which is what makes the
+// version-keyed caches sound (entries are keyed by the version the
+// reader's snapshot sees — Table::VersionAt — not by the latest version):
 //
 //   * plan cache  — (parameterized normalized text, knob fingerprint,
 //                   catalog version) -> parsed + expanded + compiled
@@ -29,15 +42,20 @@
 //   * filter cache — (WHERE text, table id, table version) -> candidate
 //                   row positions of one filtered scan.
 //
-// Any DDL bumps the catalog version and any DML bumps the table version, so
-// stale entries become unreachable by key. After each write statement the
-// engine first *maintains* the skyline cache incrementally — carrying each
-// affected entry to the new table version by appending/re-keying the
-// touched rows and dominance-testing them against the cached skyline
-// (MaintainSkylineCaches; exact because a non-maximal tuple is always
-// dominated by some maximal one) — and then sweeps all caches to reclaim
-// the dead entries early (the sweep feeds the eviction counters surfaced in
-// last_stats/EXPLAIN).
+// Any DDL bumps the catalog version and any DML seals a new table version,
+// so stale entries become unreachable by key — except to a reader still
+// pinned at an older snapshot, for which the sweep keeps the superseded
+// versions alive (liveness is the range [VersionAt(oldest pin), current]).
+// After each write statement the engine first *maintains* the skyline
+// cache incrementally — carrying each affected entry to the new table
+// version by keying the appended version slots and dominance-testing them
+// against the cached skyline (MaintainSkylineCaches; exact because a
+// non-maximal tuple is always dominated by some maximal one). With no
+// older pin the carry is an in-place Rekey (never two residencies of one
+// entry); afterwards the sweep reclaims unreachable entries early (feeding
+// the eviction counters surfaced in last_stats/EXPLAIN). Finally, when the
+// DDL lock is momentarily free of readers, superseded row-version payloads
+// older than every pin are garbage-collected (TryCollectGarbage).
 //
 // The client surface is three-tiered:
 //   * Execute(text)      — one-shot; a thin wrapper that drains a Cursor;
@@ -57,6 +75,7 @@
 #include <atomic>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <shared_mutex>
 #include <string>
 #include <vector>
@@ -68,6 +87,7 @@
 #include "core/session.h"
 #include "engine/database.h"
 #include "preference/key_cache.h"
+#include "storage/epoch.h"
 #include "types/result_table.h"
 #include "util/status.h"
 
@@ -217,9 +237,11 @@ class Engine {
       const std::shared_ptr<const CompiledPreference>& pref);
 
   /// Builds and opens the streaming operator pipeline of a direct-path
-  /// preference query; the returned cursor owns `lock`.
+  /// preference query; the returned cursor owns `lock` and `pin` (its
+  /// snapshot for the cursor's lifetime).
   Result<Cursor> OpenDirectCursor(Session& session, ExecutionView view,
                                   std::shared_lock<std::shared_mutex> lock,
+                                  SnapshotPin pin,
                                   std::shared_ptr<const CachedPlan> plan,
                                   std::shared_ptr<Engine> keepalive);
 
@@ -251,9 +273,17 @@ class Engine {
   /// lock exclusively.
   void MaintainSkylineCaches();
 
-  /// Reclaims cache entries made unreachable by a write statement; caller
-  /// must hold the lock exclusively.
+  /// Reclaims cache entries no active or future snapshot can reach: an
+  /// entry stays live while its version is within [VersionAt(oldest pinned
+  /// snapshot), current version] of a live table incarnation. Caller must
+  /// hold writer_mutex_.
   void SweepCaches();
+
+  /// Opportunistic version GC: if the DDL lock is free of readers (no pins
+  /// can exist without it), frees row-version payloads of the last DML's
+  /// table that are invisible at every snapshot >= the GC horizon. No-op
+  /// when `session` has mvcc_gc off or readers are active.
+  void TryCollectGarbage(Session& session);
 
   /// Hash of every knob that affects how a statement prepares or executes;
   /// part of the plan-cache key so differently-tuned sessions never share a
@@ -261,8 +291,11 @@ class Engine {
   static uint64_t KnobFingerprint(const ConnectionOptions& options);
 
   Database db_;
-  /// Statement-level reader/writer lock; see file comment.
+  /// The DDL lock: readers and DML writers share it, structural statements
+  /// and GC take it exclusively; see file comment.
   std::shared_mutex mutex_;
+  /// Serializes DML statements and their cache maintenance/sweep.
+  std::mutex writer_mutex_;
   PlanCache plan_cache_;
   SkylineCache key_cache_;
   FilterCache filter_cache_;

@@ -7,6 +7,7 @@
 
 #include "engine/operators/scan.h"
 #include "engine/planner.h"
+#include "storage/epoch.h"
 #include "sql/printer.h"
 #include "util/string_util.h"
 
@@ -199,34 +200,47 @@ Result<PreferencePlan> BuildPreferencePlan(
     PSQL_ASSIGN_OR_RETURN(Table * table,
                           db.catalog().GetTable(q.from[0]->table_name));
     cache_table = table;
+    // Cache identity is the table version *this reader's snapshot* sees —
+    // not the latest — so a pinned reader still keys (and can serve) the
+    // superseded entry its epoch corresponds to while writers race ahead.
+    const uint64_t snap =
+        AmbientSnapshotOr(db.catalog().epochs().current());
+    const uint64_t snap_version = table->VersionAt(snap);
     config.key_cache = options.key_cache;
     config.key_cache_key =
         KeyCacheKey{pref.Fingerprint(), PrefTermToSql(pref.term()),
-                    table->id(), table->version()};
+                    table->id(), snap_version};
     config.cache_pref = analyzed.pref;
+    // Position mode for every cache-eligible run: heap slots are the
+    // stable id space shared between the published KeyStore and later
+    // snapshot readers.
+    config.base_heap = &table->heap();
+    config.snapshot = snap;
+    config.key_rows = table->HeapSizeAt(snap);
     plan.key_cache_eligible = true;
-    if (q.where == nullptr) {
-      plan.key_cache_detail = "key cache: eligible (table " +
-                              q.from[0]->table_name + ", version " +
-                              std::to_string(table->version()) + ")";
-    } else {
-      config.base_rows = &table->rows();
-      plan.key_cache_detail = "key cache: eligible, filtered (table " +
-                              q.from[0]->table_name + ", version " +
-                              std::to_string(table->version()) + ")";
-    }
+    plan.key_cache_detail = q.where == nullptr
+                                ? "key cache: eligible (table " +
+                                      q.from[0]->table_name + ", version " +
+                                      std::to_string(snap_version) + ")"
+                                : "key cache: eligible, filtered (table " +
+                                      q.from[0]->table_name + ", version " +
+                                      std::to_string(snap_version) + ")";
   }
 
-  // Filter-position cache (position mode only): replay the candidate
-  // positions of a repeated identical WHERE over the unchanged table, or
-  // arrange for the BMO run to publish them.
-  if (config.base_rows != nullptr && options.filter_cache != nullptr) {
+  // Filter-position cache (filtered position mode only): replay the
+  // candidate slots of a repeated identical WHERE over the same table
+  // version, or arrange for the BMO run to publish them.
+  if (plan.key_cache_eligible && q.where != nullptr &&
+      options.filter_cache != nullptr) {
     FilterCacheKey fkey{ExprToSql(*q.where), cache_table->id(),
-                        cache_table->version()};
+                        cache_table->VersionAt(config.snapshot)};
     auto positions = options.filter_cache->Lookup(fkey);
     if (positions != nullptr) {
-      candidates = std::make_unique<PositionScanOperator>(
-          cand_schema, &cache_table->rows(), *positions);
+      // Cached slots were computed at this same table version, so they are
+      // visible at this snapshot by construction — no re-check.
+      candidates = std::make_unique<HeapPositionScanOperator>(
+          cand_schema, config.base_heap, *positions, config.snapshot,
+          /*check_visibility=*/false);
     } else {
       config.filter_cache = options.filter_cache;
       config.filter_cache_key = std::move(fkey);
@@ -262,8 +276,7 @@ Result<PreferencePlan> BuildPreferencePlan(
   } else {
     auto cached = options.key_cache->Lookup(config.key_cache_key);
     if (cached != nullptr && cached->skyline.has_value() &&
-        cached->keys != nullptr &&
-        cached->keys->size() == cache_table->num_rows()) {
+        cached->keys != nullptr && cached->keys->size() == config.key_rows) {
       plan.skyline_cache_hit = true;
       plan.skyline_cache_detail =
           "skyline cache: hit (" + std::to_string(cached->skyline->size()) +
@@ -273,8 +286,9 @@ Result<PreferencePlan> BuildPreferencePlan(
       plan.bmo_stats->key_cache_hit = true;
       plan.bmo_stats->result_count = cached->skyline->size();
       plan.bmo_stats->bmo.kernel = pref.program().kernel();
-      auto scan = std::make_unique<PositionScanOperator>(
-          cand_schema, &cache_table->rows(), *cached->skyline);
+      auto scan = std::make_unique<HeapPositionScanOperator>(
+          cand_schema, config.base_heap, *cached->skyline, config.snapshot,
+          /*check_visibility=*/false);
       PSQL_ASSIGN_OR_RETURN(
           plan.root,
           planner.PlanTail(std::move(items), q.distinct, std::move(order_by),

@@ -73,6 +73,10 @@ struct ConnectionOptions {
   /// skyline position list, and publish skylines into the cache (direct
   /// path; requires key_cache on).
   bool skyline_cache = true;
+  /// Opportunistically reclaim superseded row-version payloads after DML
+  /// (runs only when no reader holds the statement lock or a pinned
+  /// snapshot; off keeps every version around, e.g. for debugging).
+  bool mvcc_gc = true;
 };
 
 /// Statistics of the last executed preference query (plus, for any cached
@@ -113,6 +117,14 @@ struct PreferenceQueryStats {
   // the eviction counters above).
   uint64_t skyline_maintenance_events = 0;
   uint64_t skyline_invalidations = 0;
+  // MVCC observability. `pinned_epoch` is the snapshot this statement
+  // pinned (0 = the statement did not pin — DML, DDL, rewrite mode); the
+  // version/GC counters are cumulative engine-wide totals snapshotted
+  // after the statement, like the eviction counters above.
+  uint64_t pinned_epoch = 0;
+  uint64_t mvcc_versions_scanned = 0;  // row versions visibility-tested
+  uint64_t mvcc_versions_skipped = 0;  // versions invisible at the snapshot
+  uint64_t mvcc_gc_cleared = 0;        // version payloads reclaimed by GC
 };
 
 /// Per-client state over a (possibly shared) Engine.

@@ -19,7 +19,7 @@ Executor::DmlEffect& Executor::BeginDml(DmlEffect::Kind kind,
   last_dml_.table = name;
   last_dml_.table_id = table.id();
   last_dml_.version_before = table.version();
-  last_dml_.rows_before = table.num_rows();
+  last_dml_.heap_before = table.heap_size();
   return last_dml_;
 }
 
@@ -116,11 +116,41 @@ Result<std::shared_ptr<ResultTable>> Executor::MaterializeViewCached(
   return materialized;
 }
 
+namespace {
+
+// One DML statement = one commit epoch. The writer allocates the epoch up
+// front, stamps every change with it, and this guard seals + publishes on
+// scope exit if anything was stamped — also on mid-statement error, because
+// this storage layer has no rollback and already-stamped versions must
+// become durable rather than ghosts under an unpublished epoch.
+class DmlCommit {
+ public:
+  DmlCommit(Table* table, Executor::DmlEffect* dml)
+      : table_(table), dml_(dml), epoch_(table->epochs().BeginWrite()) {}
+  ~DmlCommit() {
+    if (mutated_) {
+      table_->SealVersion(epoch_);
+      table_->epochs().Publish(epoch_);
+      dml_->commit_epoch = epoch_;
+    }
+  }
+  uint64_t epoch() const { return epoch_; }
+  void MarkMutated() { mutated_ = true; }
+
+ private:
+  Table* table_;
+  Executor::DmlEffect* dml_;
+  uint64_t epoch_;
+  bool mutated_ = false;
+};
+
+}  // namespace
+
 Result<ResultTable> Executor::InsertTable(const std::string& table,
                                           const std::vector<std::string>& columns,
                                           const ResultTable& data) {
   PSQL_ASSIGN_OR_RETURN(Table * target, catalog_->GetTable(table));
-  BeginDml(DmlEffect::Kind::kInsert, table, *target);
+  DmlEffect& dml = BeginDml(DmlEffect::Kind::kInsert, table, *target);
   std::vector<size_t> positions;
   if (columns.empty()) {
     for (size_t i = 0; i < target->columns().size(); ++i) {
@@ -137,13 +167,16 @@ Result<ResultTable> Executor::InsertTable(const std::string& table,
         "INSERT expects " + std::to_string(positions.size()) +
         " values, got " + std::to_string(data.num_columns()));
   }
+  DmlCommit commit(target, &dml);
   int64_t affected = 0;
   for (const Row& src : data.rows()) {
     Row row(target->columns().size());
     for (size_t i = 0; i < positions.size(); ++i) {
       row[positions[i]] = src[i];
     }
-    PSQL_RETURN_IF_ERROR(target->Insert(std::move(row)));
+    PSQL_ASSIGN_OR_RETURN(row, target->CoerceRow(std::move(row)));
+    target->AppendVersion(std::move(row), commit.epoch());
+    commit.MarkMutated();
     ++affected;
   }
   return ResultTable(Schema::FromNames({"rows_affected"}),
@@ -203,7 +236,11 @@ Result<bool> Executor::SubqueryExists(const SelectStmt& select,
 
 Result<ResultTable> Executor::ExecuteInsert(const Statement& stmt) {
   PSQL_ASSIGN_OR_RETURN(Table * table, catalog_->GetTable(stmt.name));
-  BeginDml(DmlEffect::Kind::kInsert, stmt.name, *table);
+  DmlEffect& dml = BeginDml(DmlEffect::Kind::kInsert, stmt.name, *table);
+  // Reads inside the statement (INSERT ... SELECT, subqueries) see the
+  // pre-statement snapshot; appended versions carry the commit epoch, so a
+  // self-referencing source can never re-read its own inserts (Halloween).
+  ScopedSnapshot scope(AmbientSnapshotOr(table->epochs().current()));
   // Column position mapping.
   std::vector<size_t> positions;
   if (stmt.insert_columns.empty()) {
@@ -215,6 +252,7 @@ Result<ResultTable> Executor::ExecuteInsert(const Statement& stmt) {
     }
   }
 
+  DmlCommit commit(table, &dml);
   auto insert_values = [&](std::vector<Value> values) -> Status {
     if (values.size() != positions.size()) {
       return Status::InvalidArgument(
@@ -225,7 +263,10 @@ Result<ResultTable> Executor::ExecuteInsert(const Statement& stmt) {
     for (size_t i = 0; i < positions.size(); ++i) {
       row[positions[i]] = std::move(values[i]);
     }
-    return table->Insert(std::move(row));
+    PSQL_ASSIGN_OR_RETURN(row, table->CoerceRow(std::move(row)));
+    table->AppendVersion(std::move(row), commit.epoch());
+    commit.MarkMutated();
+    return Status::OK();
   };
 
   int64_t affected = 0;
@@ -255,32 +296,45 @@ Result<ResultTable> Executor::ExecuteInsert(const Statement& stmt) {
 Result<ResultTable> Executor::ExecuteUpdate(const Statement& stmt) {
   PSQL_ASSIGN_OR_RETURN(Table * table, catalog_->GetTable(stmt.name));
   DmlEffect& dml = BeginDml(DmlEffect::Kind::kUpdate, stmt.name, *table);
+  uint64_t read_epoch = AmbientSnapshotOr(table->epochs().current());
+  ScopedSnapshot scope(read_epoch);
   std::vector<size_t> target_cols;
   for (const auto& [col, e] : stmt.assignments) {
     PSQL_ASSIGN_OR_RETURN(size_t idx, table->ColumnIndex(col));
     target_cols.push_back(idx);
   }
   const Schema& schema = table->schema();
+  const RowHeap& heap = table->heap();
+  DmlCommit commit(table, &dml);
   int64_t affected = 0;
-  for (size_t r = 0; r < table->rows().size(); ++r) {
-    const Row& row = table->rows()[r];
+  // Only slots that existed at statement start: our own appended versions
+  // land above heap_before and must not be revisited.
+  for (size_t slot = 0; slot < dml.heap_before; ++slot) {
+    if (!heap.VisibleAt(slot, read_epoch)) continue;
+    const Row& row = heap.row(slot);
     if (stmt.where != nullptr) {
       EvalContext ctx{&schema, &row, nullptr, this};
       PSQL_ASSIGN_OR_RETURN(bool pass, EvaluatePredicate(*stmt.where, ctx));
       if (!pass) continue;
     }
-    // Evaluate all assignments against the OLD row, then apply.
+    // Evaluate all assignments against the OLD row, then build the new
+    // version: end-stamp the old slot, append the replacement.
     std::vector<Value> new_values;
     for (const auto& [col, e] : stmt.assignments) {
       EvalContext ctx{&schema, &row, nullptr, this};
       PSQL_ASSIGN_OR_RETURN(Value v, Evaluate(*e, ctx));
       new_values.push_back(std::move(v));
     }
+    Row updated = row;
     for (size_t i = 0; i < target_cols.size(); ++i) {
-      PSQL_RETURN_IF_ERROR(
-          table->UpdateCell(r, target_cols[i], std::move(new_values[i])));
+      PSQL_ASSIGN_OR_RETURN(
+          updated[target_cols[i]],
+          table->CoerceToColumn(target_cols[i], std::move(new_values[i])));
     }
-    dml.updated.push_back(static_cast<uint32_t>(r));
+    table->MarkDeleted(slot, commit.epoch());
+    table->AppendVersion(std::move(updated), commit.epoch());
+    commit.MarkMutated();
+    dml.dead.push_back(static_cast<uint32_t>(slot));
     ++affected;
   }
   return ResultTable(Schema::FromNames({"rows_affected"}),
@@ -290,21 +344,26 @@ Result<ResultTable> Executor::ExecuteUpdate(const Statement& stmt) {
 Result<ResultTable> Executor::ExecuteDelete(const Statement& stmt) {
   PSQL_ASSIGN_OR_RETURN(Table * table, catalog_->GetTable(stmt.name));
   DmlEffect& dml = BeginDml(DmlEffect::Kind::kDelete, stmt.name, *table);
+  uint64_t read_epoch = AmbientSnapshotOr(table->epochs().current());
+  ScopedSnapshot scope(read_epoch);
   const Schema& schema = table->schema();
-  std::vector<bool> matches(table->rows().size(), stmt.where == nullptr);
-  if (stmt.where != nullptr) {
-    for (size_t r = 0; r < table->rows().size(); ++r) {
-      EvalContext ctx{&schema, &table->rows()[r], nullptr, this};
+  const RowHeap& heap = table->heap();
+  DmlCommit commit(table, &dml);
+  int64_t deleted = 0;
+  for (size_t slot = 0; slot < dml.heap_before; ++slot) {
+    if (!heap.VisibleAt(slot, read_epoch)) continue;
+    if (stmt.where != nullptr) {
+      EvalContext ctx{&schema, &heap.row(slot), nullptr, this};
       PSQL_ASSIGN_OR_RETURN(bool pass, EvaluatePredicate(*stmt.where, ctx));
-      matches[r] = pass;
+      if (!pass) continue;
     }
+    table->MarkDeleted(slot, commit.epoch());
+    commit.MarkMutated();
+    dml.dead.push_back(static_cast<uint32_t>(slot));
+    ++deleted;
   }
-  for (size_t r = 0; r < matches.size(); ++r) {
-    if (matches[r]) dml.deleted.push_back(static_cast<uint32_t>(r));
-  }
-  size_t deleted = table->DeleteWhere(matches);
   return ResultTable(Schema::FromNames({"rows_affected"}),
-                     {Row{Value::Int(static_cast<int64_t>(deleted))}});
+                     {Row{Value::Int(deleted)}});
 }
 
 }  // namespace prefsql

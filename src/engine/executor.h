@@ -17,6 +17,7 @@
 
 #include "engine/evaluator.h"
 #include "engine/operators/operator.h"
+#include "engine/operators/scan.h"
 #include "sql/ast.h"
 #include "storage/catalog.h"
 #include "types/result_table.h"
@@ -80,23 +81,27 @@ class Executor : public SubqueryRunner {
 
   Catalog* catalog() { return catalog_; }
 
-  /// What the last DML statement did to its target table, at row-position
+  /// What the last DML statement did to its target table, at heap-slot
   /// granularity — the input of the engine's incremental skyline-cache
   /// maintenance (core/engine.cc). Reset at every statement dispatch and by
   /// InsertTable; filled as the mutation proceeds, so after a mid-statement
-  /// error it reflects exactly the rows that were actually touched (this
-  /// storage layer has no rollback).
+  /// error it reflects exactly the versions actually stamped (this storage
+  /// layer has no rollback — partial effects are sealed and published).
+  ///
+  /// MVCC shape: slots never move, so the appended versions of an
+  /// INSERT/UPDATE are implicit as [heap_before, table->heap_size()), and
+  /// `dead` lists the slots end-stamped at `commit_epoch` (DELETE victims
+  /// and the superseded old versions of an UPDATE), ascending.
   struct DmlEffect {
     enum class Kind { kNone, kInsert, kDelete, kUpdate };
     Kind kind = Kind::kNone;
     uint64_t table_id = 0;
     uint64_t version_before = 0;  ///< Table::version at statement start
-    size_t rows_before = 0;       ///< Table::num_rows at statement start
+    uint64_t commit_epoch = 0;    ///< epoch this statement committed (0 = none)
+    size_t heap_before = 0;       ///< heap slot count at statement start
     std::string table;            ///< target table name
-    /// kDelete: pre-delete row positions removed, ascending.
-    std::vector<uint32_t> deleted;
-    /// kUpdate: row positions whose cells changed, ascending.
-    std::vector<uint32_t> updated;
+    /// Slots end-stamped by this statement, ascending.
+    std::vector<uint32_t> dead;
   };
   const DmlEffect& last_dml() const { return last_dml_; }
 
@@ -106,8 +111,14 @@ class Executor : public SubqueryRunner {
   struct Stats {
     std::atomic<uint64_t> index_scans{0};  ///< WHEREs served via an index
     std::atomic<uint64_t> full_scans{0};   ///< WHEREs evaluated by full scan
+    MvccScanCounters mvcc;                 ///< visibility filter traffic
+    std::atomic<uint64_t> gc_cleared{0};   ///< version payloads reclaimed
   };
   const Stats& stats() const { return stats_; }
+  MvccScanCounters* mvcc_counters() { return &stats_.mvcc; }
+  void CountGarbageCollected(uint64_t n) {
+    stats_.gc_cleared.fetch_add(n, std::memory_order_relaxed);
+  }
 
   /// Records the access-path choice of one planned WHERE (planner only).
   void CountScan(bool used_index) {

@@ -46,6 +46,85 @@ Result<bool> PositionScanOperator::Next(RowRef* out) {
 
 void PositionScanOperator::Close() {}
 
+HeapScanOperator::HeapScanOperator(Schema schema, const RowHeap* heap,
+                                   size_t limit, uint64_t snapshot,
+                                   MvccScanCounters* counters)
+    : schema_(std::move(schema)),
+      heap_(heap),
+      limit_(limit),
+      snapshot_(snapshot),
+      counters_(counters) {}
+
+Status HeapScanOperator::Open() {
+  pos_ = 0;
+  scanned_ = 0;
+  skipped_ = 0;
+  return Status::OK();
+}
+
+Result<bool> HeapScanOperator::Next(RowRef* out) {
+  while (pos_ < limit_) {
+    size_t slot = pos_++;
+    ++scanned_;
+    if (!heap_->VisibleAt(slot, snapshot_)) {
+      ++skipped_;
+      continue;
+    }
+    *out = RowRef::Borrowed(&heap_->row(slot));
+    return true;
+  }
+  return false;
+}
+
+void HeapScanOperator::Close() {
+  if (counters_ != nullptr && scanned_ > 0) {
+    counters_->versions_scanned.fetch_add(scanned_, std::memory_order_relaxed);
+    counters_->versions_skipped.fetch_add(skipped_, std::memory_order_relaxed);
+    scanned_ = 0;
+    skipped_ = 0;
+  }
+}
+
+HeapPositionScanOperator::HeapPositionScanOperator(
+    Schema schema, const RowHeap* heap, std::vector<size_t> positions,
+    uint64_t snapshot, bool check_visibility, MvccScanCounters* counters)
+    : schema_(std::move(schema)),
+      heap_(heap),
+      positions_(std::move(positions)),
+      snapshot_(snapshot),
+      check_visibility_(check_visibility),
+      counters_(counters) {}
+
+Status HeapPositionScanOperator::Open() {
+  pos_ = 0;
+  scanned_ = 0;
+  skipped_ = 0;
+  return Status::OK();
+}
+
+Result<bool> HeapPositionScanOperator::Next(RowRef* out) {
+  while (pos_ < positions_.size()) {
+    size_t slot = positions_[pos_++];
+    ++scanned_;
+    if (check_visibility_ && !heap_->VisibleAt(slot, snapshot_)) {
+      ++skipped_;
+      continue;
+    }
+    *out = RowRef::Borrowed(&heap_->row(slot));
+    return true;
+  }
+  return false;
+}
+
+void HeapPositionScanOperator::Close() {
+  if (counters_ != nullptr && scanned_ > 0) {
+    counters_->versions_scanned.fetch_add(scanned_, std::memory_order_relaxed);
+    counters_->versions_skipped.fetch_add(skipped_, std::memory_order_relaxed);
+    scanned_ = 0;
+    skipped_ = 0;
+  }
+}
+
 Status OneRowOperator::Open() {
   done_ = false;
   return Status::OK();

@@ -373,8 +373,13 @@ Result<OperatorPtr> Planner::PlanTableRef(const TableRef& tr,
       Catalog* catalog = executor_->catalog();
       if (catalog->HasTable(tr.table_name)) {
         PSQL_ASSIGN_OR_RETURN(Table * table, catalog->GetTable(tr.table_name));
-        return OperatorPtr(std::make_unique<SeqScanOperator>(
-            table->schema().WithQualifier(visible), &table->rows()));
+        // Scan the version heap at the statement's snapshot; the slot bound
+        // is the heap size that snapshot's table version sealed, so rows a
+        // concurrent writer appends later are out of range by construction.
+        uint64_t snap = AmbientSnapshotOr(table->epochs().current());
+        return OperatorPtr(std::make_unique<HeapScanOperator>(
+            table->schema().WithQualifier(visible), &table->heap(),
+            table->HeapSizeAt(snap), snap, executor_->mvcc_counters()));
       }
       if (catalog->HasView(tr.table_name)) {
         PSQL_ASSIGN_OR_RETURN(auto materialized,
@@ -444,9 +449,15 @@ Result<OperatorPtr> Planner::PlanFromWhere(const SelectStmt& select,
       PSQL_ASSIGN_OR_RETURN(Table * table,
                             catalog->GetTable(select.from[0]->table_name));
       std::sort(positions->begin(), positions->end());
-      OperatorPtr scan = std::make_unique<PositionScanOperator>(
-          table->schema().WithQualifier(visible), &table->rows(),
-          std::move(*positions));
+      // Index hits are candidates over all heap slots (dead versions
+      // included), so the scan re-checks visibility at the snapshot; slots
+      // beyond the snapshot's sealed heap size carry begin > snap and are
+      // dropped by the same check.
+      uint64_t snap = AmbientSnapshotOr(table->epochs().current());
+      OperatorPtr scan = std::make_unique<HeapPositionScanOperator>(
+          table->schema().WithQualifier(visible), &table->heap(),
+          std::move(*positions), snap, /*check_visibility=*/true,
+          executor_->mvcc_counters());
       // Re-apply the full WHERE (residual predicates, over-approximation).
       return OperatorPtr(std::make_unique<FilterOperator>(
           std::move(scan), select.where.get(), outer, executor_));

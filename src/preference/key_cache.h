@@ -114,6 +114,17 @@ class SkylineCache {
     cache_.Insert(key, std::move(entry));
   }
 
+  /// Carries a maintained entry from its pre-DML version key to the new
+  /// one in a single critical section: at no instant are both versions
+  /// resident, so incremental maintenance never transiently doubles the
+  /// cache's footprint. Use Insert instead when a pinned older snapshot
+  /// must keep the superseded entry servable alongside the carried one.
+  void Rekey(const KeyCacheKey& old_key, const KeyCacheKey& new_key,
+             std::shared_ptr<const SkylineEntry> entry) {
+    if (entry == nullptr || entry->keys == nullptr) return;
+    cache_.Rekey(old_key, new_key, std::move(entry));
+  }
+
   /// All live entries of one table, for the post-DML maintenance loop.
   std::vector<std::pair<KeyCacheKey, std::shared_ptr<const SkylineEntry>>>
   SnapshotForTable(uint64_t table_id) const {

@@ -26,7 +26,7 @@ Status Catalog::CreateTable(const std::string& name,
                                      "' in table " + name);
     }
   }
-  tables_[key] = std::make_unique<Table>(name, std::move(columns));
+  tables_[key] = std::make_unique<Table>(name, std::move(columns), &epochs_);
   BumpVersion();
   return Status::OK();
 }

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "sql/ast.h"
+#include "storage/epoch.h"
 #include "storage/index.h"
 #include "storage/table.h"
 #include "util/status.h"
@@ -19,6 +20,12 @@ namespace prefsql {
 /// Owns all persistent objects of a database instance.
 class Catalog {
  public:
+  /// Database-wide MVCC epoch manager: every table created through this
+  /// catalog stamps row versions against it, so one snapshot epoch gives a
+  /// consistent point-in-time view across all tables.
+  EpochManager& epochs() { return epochs_; }
+  const EpochManager& epochs() const { return epochs_; }
+
   Status CreateTable(const std::string& name, std::vector<ColumnDef> columns,
                      bool if_not_exists);
   Status CreateView(const std::string& name,
@@ -73,6 +80,7 @@ class Catalog {
     }
   }
 
+  EpochManager epochs_;
   std::unordered_map<std::string, std::unique_ptr<Table>> tables_;
   std::unordered_map<std::string, std::shared_ptr<SelectStmt>> views_;
   std::unordered_map<std::string, std::unique_ptr<Index>> indexes_;

@@ -1,5 +1,6 @@
 #include "storage/index.h"
 
+#include "storage/row_heap.h"
 #include "storage/table.h"
 
 namespace prefsql {
@@ -11,23 +12,26 @@ Index::Index(std::string name, const Table* table,
       key_columns_(std::move(key_columns)) {}
 
 void Index::RefreshIfStale() {
-  if (built_version_ == table_->version()) return;
+  const RowHeap& heap = table_->heap();
+  size_t n = heap.size();
+  if (built_size_ == n) return;
   entries_.clear();
-  const auto& rows = table_->rows();
-  for (size_t i = 0; i < rows.size(); ++i) {
+  for (size_t pos = 0; pos < n; ++pos) {
+    if (heap.payload_cleared(pos)) continue;  // GC'd version: key is gone
+    const Row& row = heap.row(pos);
     Row key;
     key.reserve(key_columns_.size());
-    for (size_t c : key_columns_) key.push_back(rows[i][c]);
-    entries_[std::move(key)].push_back(i);
+    for (size_t c : key_columns_) key.push_back(row[c]);
+    entries_[std::move(key)].push_back(pos);
   }
-  built_version_ = table_->version();
+  built_size_ = n;
 }
 
-const std::vector<size_t>& Index::Lookup(const Row& key) {
+std::vector<size_t> Index::Lookup(const Row& key) {
   std::lock_guard<std::mutex> lock(mutex_);
   RefreshIfStale();
   auto it = entries_.find(key);
-  if (it == entries_.end()) return empty_;
+  if (it == entries_.end()) return {};
   return it->second;
 }
 

@@ -19,14 +19,14 @@ namespace prefsql {
 class Table;
 
 /// Ordered secondary index over one or more columns of a base table.
-/// Rebuilt lazily when the table version changes (simple and correct for an
-/// analytics-style workload; no incremental maintenance).
 ///
-/// Lookups are safe from concurrent reader sessions: the lazy rebuild and
-/// the map accesses are serialized by an internal mutex. The engine's
-/// shared/exclusive statement lock guarantees the table version cannot move
-/// while readers are active, so a reference returned by Lookup stays valid
-/// for the duration of the reading statement.
+/// MVCC notes: the index covers every heap slot (live and dead versions
+/// alike, skipping GC-cleared payloads) and is rebuilt lazily when the heap
+/// has grown — deletes only end-stamp slots, so they never stale the index.
+/// Lookups therefore return *candidate* positions; the planner filters them
+/// by snapshot visibility before use. Results are returned by value because
+/// writers commit concurrently with readers now, so another statement may
+/// trigger a rebuild while a previously returned result is still in use.
 class Index {
  public:
   Index(std::string name, const Table* table, std::vector<size_t> key_columns);
@@ -34,11 +34,12 @@ class Index {
   const std::string& name() const { return name_; }
   const std::vector<size_t>& key_columns() const { return key_columns_; }
 
-  /// Row positions whose key equals `key` (same arity as key_columns).
-  /// Refreshes the index if the table changed.
-  const std::vector<size_t>& Lookup(const Row& key);
+  /// Slot positions whose key equals `key` (same arity as key_columns).
+  /// Refreshes the index if the heap grew. Candidates only — callers must
+  /// filter by snapshot visibility.
+  std::vector<size_t> Lookup(const Row& key);
 
-  /// Row positions with key in [lo, hi] on a single-column index.
+  /// Slot positions with key in [lo, hi] on a single-column index.
   std::vector<size_t> RangeLookup(const Value& lo, const Value& hi);
 
   /// Like RangeLookup with optionally open bounds (nullptr = unbounded);
@@ -65,9 +66,8 @@ class Index {
   std::string name_;
   const Table* table_;
   std::vector<size_t> key_columns_;
-  uint64_t built_version_ = ~0ULL;
+  size_t built_size_ = ~size_t{0};
   std::map<Row, std::vector<size_t>, RowLess> entries_;
-  std::vector<size_t> empty_;
 };
 
 }  // namespace prefsql

@@ -1,5 +1,6 @@
 #include "storage/table.h"
 
+#include <algorithm>
 #include <atomic>
 #include <cmath>
 
@@ -13,12 +14,20 @@ uint64_t Table::NextId() {
   return next.fetch_add(1, std::memory_order_relaxed);
 }
 
-Table::Table(std::string name, std::vector<ColumnDef> columns)
+Table::Table(std::string name, std::vector<ColumnDef> columns,
+             EpochManager* epochs)
     : name_(std::move(name)), columns_(std::move(columns)) {
+  if (epochs == nullptr) {
+    owned_epochs_ = std::make_unique<EpochManager>();
+    epochs_ = owned_epochs_.get();
+  } else {
+    epochs_ = epochs;
+  }
   std::vector<ColumnInfo> infos;
   infos.reserve(columns_.size());
   for (const auto& c : columns_) infos.push_back({"", c.name});
   schema_ = Schema(std::move(infos));
+  seals_.push_back({0, 0, 0});
 }
 
 Result<size_t> Table::ColumnIndex(const std::string& column) const {
@@ -69,7 +78,7 @@ Result<Value> Table::CoerceToColumn(size_t col, Value value) const {
       columns_[col].name);
 }
 
-Status Table::Insert(Row row) {
+Result<Row> Table::CoerceRow(Row row) const {
   if (row.size() != columns_.size()) {
     return Status::InvalidArgument(
         "INSERT into " + name_ + " expects " +
@@ -79,42 +88,69 @@ Status Table::Insert(Row row) {
   for (size_t i = 0; i < row.size(); ++i) {
     PSQL_ASSIGN_OR_RETURN(row[i], CoerceToColumn(i, std::move(row[i])));
   }
-  rows_.push_back(std::move(row));
-  ++version_;
+  return row;
+}
+
+Status Table::Insert(Row row) {
+  PSQL_ASSIGN_OR_RETURN(row, CoerceRow(std::move(row)));
+  uint64_t commit = epochs_->BeginWrite();
+  heap_.Append(std::move(row), commit);
+  SealVersion(commit);
+  epochs_->Publish(commit);
   return Status::OK();
 }
 
 void Table::BulkLoadUnchecked(std::vector<Row> rows) {
-  if (rows_.empty()) {
-    rows_ = std::move(rows);
-  } else {
-    rows_.reserve(rows_.size() + rows.size());
-    for (auto& r : rows) rows_.push_back(std::move(r));
-  }
-  ++version_;
+  uint64_t commit = epochs_->BeginWrite();
+  for (auto& r : rows) heap_.Append(std::move(r), commit);
+  SealVersion(commit);
+  epochs_->Publish(commit);
 }
 
-size_t Table::DeleteWhere(const std::vector<bool>& matches) {
-  size_t kept = 0;
-  size_t deleted = 0;
-  for (size_t i = 0; i < rows_.size(); ++i) {
-    if (i < matches.size() && matches[i]) {
-      ++deleted;
-    } else {
-      if (kept != i) rows_[kept] = std::move(rows_[i]);
-      ++kept;
-    }
-  }
-  rows_.resize(kept);
-  if (deleted > 0) ++version_;
-  return deleted;
+void Table::SealVersion(uint64_t commit_epoch) {
+  uint64_t v = version_.load(std::memory_order_relaxed) + 1;
+  version_.store(v, std::memory_order_release);
+  std::lock_guard<std::mutex> g(seal_mu_);
+  seals_.push_back({commit_epoch, v, heap_.size()});
 }
 
-Status Table::UpdateCell(size_t row, size_t col, Value value) {
-  PSQL_ASSIGN_OR_RETURN(auto coerced, CoerceToColumn(col, std::move(value)));
-  rows_[row][col] = std::move(coerced);
-  ++version_;
-  return Status::OK();
+uint64_t Table::VersionAt(uint64_t snapshot) const {
+  std::lock_guard<std::mutex> g(seal_mu_);
+  // Last seal with epoch <= snapshot (seals_ ascends; seeded with epoch 0).
+  auto it = std::upper_bound(
+      seals_.begin(), seals_.end(), snapshot,
+      [](uint64_t snap, const Seal& s) { return snap < s.epoch; });
+  return it == seals_.begin() ? 0 : std::prev(it)->version;
+}
+
+size_t Table::HeapSizeAt(uint64_t snapshot) const {
+  std::lock_guard<std::mutex> g(seal_mu_);
+  auto it = std::upper_bound(
+      seals_.begin(), seals_.end(), snapshot,
+      [](uint64_t snap, const Seal& s) { return snap < s.epoch; });
+  return it == seals_.begin() ? 0 : std::prev(it)->heap_size;
+}
+
+size_t Table::NumVisibleAt(uint64_t snapshot) const {
+  size_t n = HeapSizeAt(snapshot);
+  size_t visible = 0;
+  for (size_t pos = 0; pos < n; ++pos) {
+    if (heap_.VisibleAt(pos, snapshot)) ++visible;
+  }
+  return visible;
+}
+
+size_t Table::CollectGarbage(uint64_t horizon) {
+  size_t freed = heap_.CollectGarbage(horizon);
+  std::lock_guard<std::mutex> g(seal_mu_);
+  // Keep the last seal at or below the horizon (it resolves VersionAt for
+  // the horizon snapshot itself) and everything after it.
+  auto it = std::upper_bound(
+      seals_.begin(), seals_.end(), horizon,
+      [](uint64_t snap, const Seal& s) { return snap < s.epoch; });
+  if (it != seals_.begin()) --it;
+  seals_.erase(seals_.begin(), it);
+  return freed;
 }
 
 }  // namespace prefsql

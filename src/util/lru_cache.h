@@ -76,6 +76,36 @@ class LruCache {
     }
   }
 
+  /// Atomically moves the entry under `old_key` to `new_key`, storing
+  /// `value` there — erase and insert happen inside one critical section,
+  /// so at no instant are both keys resident (the skyline cache's
+  /// incremental maintenance relies on this to keep its peak footprint
+  /// flat across DML instead of transiently doubling). Works like Insert
+  /// when `old_key` is absent; counts neither an eviction nor an insertion
+  /// for the move itself (capacity evictions still count).
+  void Rekey(const Key& old_key, const Key& new_key, Value value) {
+    if (capacity_ == 0) return;
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto old_it = map_.find(old_key);
+    if (old_it != map_.end()) {
+      lru_.erase(old_it->second);
+      map_.erase(old_it);
+    }
+    auto it = map_.find(new_key);
+    if (it != map_.end()) {
+      it->second->second = std::move(value);
+      lru_.splice(lru_.begin(), lru_, it->second);
+      return;
+    }
+    lru_.emplace_front(new_key, std::move(value));
+    map_[new_key] = lru_.begin();
+    while (lru_.size() > capacity_) {
+      map_.erase(lru_.back().first);
+      lru_.pop_back();
+      ++counters_.evictions;
+    }
+  }
+
   /// Copies of every (key, value) pair whose key matches `pred`, in LRU
   /// order (most recent first). Does not count hits or touch LRU positions
   /// — this is the bulk-read primitive behind incremental cache

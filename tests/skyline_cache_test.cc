@@ -146,6 +146,33 @@ TEST_F(SkylineCacheTest, ServingCanBeDisabledPerSession) {
   EXPECT_TRUE(conn_.last_stats().key_cache_hit);
 }
 
+// Regression for transient double-residency: maintenance used to insert the
+// carried entry under the new version key and leave the superseded entry to
+// the sweep, so every DML statement briefly held two residents per query.
+// With no reader pinned to the old version, the entry must be re-keyed in
+// place — peak residency stays at exactly one entry and the move counts no
+// eviction, across a whole chain of maintained DML.
+TEST_F(SkylineCacheTest, MaintenanceMovesTheEntryWithoutDoubleResidency) {
+  Warm();
+  ASSERT_EQ(conn_.engine()->key_cache().size(), 1u);
+  const char* dml[] = {
+      "INSERT INTO gear VALUES ('brick', 500, 9)",
+      "DELETE FROM gear WHERE name = 'tent'",
+      "INSERT INTO gear VALUES ('anvil', 600, 30)",
+      "UPDATE gear SET weight = 12 WHERE name = 'brick'",
+      "INSERT INTO gear VALUES ('stone', 400, 8)",
+  };
+  for (const char* stmt : dml) {
+    ASSERT_TRUE(conn_.Execute(stmt).ok()) << stmt;
+    EXPECT_GT(conn_.last_stats().skyline_maintenance_events, 0u) << stmt;
+    EXPECT_EQ(conn_.engine()->key_cache().size(), 1u) << stmt;
+    EXPECT_EQ(conn_.last_stats().key_cache_evictions, 0u) << stmt;
+    EXPECT_EQ(Query(/*expect_served=*/true),
+              (std::vector<std::string>{"tarp", "bivy"}))
+        << stmt;
+  }
+}
+
 // Property: under random INSERT / DELETE / UPDATE interleavings, the
 // (possibly maintained-and-served) skyline equals a from-scratch recompute
 // by an uncached session on the same engine, at every step.

@@ -1,7 +1,9 @@
 #include <gtest/gtest.h>
 
 #include "storage/catalog.h"
+#include "storage/epoch.h"
 #include "storage/index.h"
+#include "storage/row_heap.h"
 #include "storage/table.h"
 
 namespace prefsql {
@@ -20,13 +22,13 @@ TEST(TableTest, InsertCoercesTypes) {
                         Value::Text("1999/7/3")})
                   .ok());
   EXPECT_EQ(t.num_rows(), 1u);
-  EXPECT_EQ(t.rows()[0][2].type(), ValueType::kDouble);  // int -> double
-  EXPECT_EQ(t.rows()[0][3].type(), ValueType::kDate);    // text -> date
+  EXPECT_EQ(t.heap().row(0)[2].type(), ValueType::kDouble);  // int -> double
+  EXPECT_EQ(t.heap().row(0)[3].type(), ValueType::kDate);    // text -> date
   // Integral double into INTEGER column.
   ASSERT_TRUE(t.Insert({Value::Double(2.0), Value::Null(), Value::Null(),
                         Value::Null()})
                   .ok());
-  EXPECT_EQ(t.rows()[1][0].AsInt(), 2);
+  EXPECT_EQ(t.heap().row(1)[0].AsInt(), 2);
 }
 
 TEST(TableTest, InsertRejectsBadValues) {
@@ -54,17 +56,29 @@ TEST(TableTest, NullAllowedEverywhere) {
 TEST(TableTest, TextColumnRendersScalars) {
   Table t("t", {{"s", ColumnType::kText}});
   ASSERT_TRUE(t.Insert({Value::Int(42)}).ok());
-  EXPECT_EQ(t.rows()[0][0].AsText(), "42");
+  EXPECT_EQ(t.heap().row(0)[0].AsText(), "42");
 }
 
-TEST(TableTest, DeleteWhereCompacts) {
+TEST(TableTest, DeleteEndStampsInsteadOfCompacting) {
   Table t("t", {{"id", ColumnType::kInt}});
   for (int i = 0; i < 5; ++i) ASSERT_TRUE(t.Insert({Value::Int(i)}).ok());
-  EXPECT_EQ(t.DeleteWhere({false, true, false, true, false}), 2u);
-  ASSERT_EQ(t.num_rows(), 3u);
-  EXPECT_EQ(t.rows()[0][0].AsInt(), 0);
-  EXPECT_EQ(t.rows()[1][0].AsInt(), 2);
-  EXPECT_EQ(t.rows()[2][0].AsInt(), 4);
+  const uint64_t before = t.epochs().current();
+  // One DELETE statement end-stamping slots 1 and 3 at one commit epoch.
+  const uint64_t commit = t.epochs().BeginWrite();
+  t.MarkDeleted(1, commit);
+  t.MarkDeleted(3, commit);
+  t.SealVersion(commit);
+  t.epochs().Publish(commit);
+  // Slots never move: the heap still holds all five versions.
+  EXPECT_EQ(t.heap_size(), 5u);
+  EXPECT_EQ(t.num_rows(), 3u);
+  // Old snapshot sees all five; new snapshot sees the survivors in place.
+  EXPECT_EQ(t.NumVisibleAt(before), 5u);
+  EXPECT_TRUE(t.heap().VisibleAt(1, before));
+  EXPECT_FALSE(t.heap().VisibleAt(1, commit));
+  EXPECT_TRUE(t.heap().VisibleAt(2, commit));
+  EXPECT_EQ(t.heap().row(2)[0].AsInt(), 2);
+  EXPECT_EQ(t.heap().row(4)[0].AsInt(), 4);
 }
 
 TEST(TableTest, VersionBumpsOnMutation) {
@@ -73,8 +87,121 @@ TEST(TableTest, VersionBumpsOnMutation) {
   ASSERT_TRUE(t.Insert({Value::Int(1)}).ok());
   EXPECT_GT(t.version(), v0);
   uint64_t v1 = t.version();
-  ASSERT_TRUE(t.UpdateCell(0, 0, Value::Int(2)).ok());
+  // UPDATE under MVCC: end-stamp the old version, append the new one.
+  const uint64_t commit = t.epochs().BeginWrite();
+  t.MarkDeleted(0, commit);
+  t.AppendVersion({Value::Int(2)}, commit);
+  t.SealVersion(commit);
+  t.epochs().Publish(commit);
   EXPECT_GT(t.version(), v1);
+  EXPECT_EQ(t.num_rows(), 1u);
+  EXPECT_EQ(t.heap_size(), 2u);
+}
+
+TEST(TableTest, SealHistoryAnswersVersionAtAndHeapSizeAt) {
+  Table t("t", {{"id", ColumnType::kInt}});
+  const uint64_t e0 = t.epochs().current();
+  ASSERT_TRUE(t.Insert({Value::Int(1)}).ok());
+  const uint64_t e1 = t.epochs().current();
+  const uint64_t v1 = t.version();
+  ASSERT_TRUE(t.Insert({Value::Int(2)}).ok());
+  const uint64_t e2 = t.epochs().current();
+  // Epoch-bounded views: each snapshot maps to the version/prefix sealed
+  // at or before it.
+  EXPECT_EQ(t.HeapSizeAt(e0), 0u);
+  EXPECT_EQ(t.HeapSizeAt(e1), 1u);
+  EXPECT_EQ(t.HeapSizeAt(e2), 2u);
+  EXPECT_EQ(t.VersionAt(e1), v1);
+  EXPECT_EQ(t.VersionAt(e2), t.version());
+  EXPECT_LT(t.VersionAt(e0), v1);
+}
+
+TEST(TableTest, CollectGarbageClearsOnlyDeadPayloads) {
+  Table t("t", {{"id", ColumnType::kInt}});
+  for (int i = 0; i < 3; ++i) ASSERT_TRUE(t.Insert({Value::Int(i)}).ok());
+  const uint64_t commit = t.epochs().BeginWrite();
+  t.MarkDeleted(1, commit);
+  t.SealVersion(commit);
+  t.epochs().Publish(commit);
+  EXPECT_EQ(t.CollectGarbage(t.epochs().current()), 1u);
+  EXPECT_TRUE(t.heap().payload_cleared(1));
+  EXPECT_FALSE(t.heap().payload_cleared(0));
+  EXPECT_EQ(t.heap().row(0)[0].AsInt(), 0);
+  EXPECT_EQ(t.heap().row(2)[0].AsInt(), 2);
+  // Idempotent: nothing newly dead.
+  EXPECT_EQ(t.CollectGarbage(t.epochs().current()), 0u);
+}
+
+TEST(RowHeapTest, AppendAcrossBucketsKeepsPositionsStable) {
+  RowHeap heap;
+  constexpr size_t kRows = RowHeap::kFirstBucketSize * 3 + 17;
+  std::vector<const Row*> borrowed;
+  for (size_t i = 0; i < kRows; ++i) {
+    size_t pos = heap.Append({Value::Int(static_cast<int64_t>(i))}, 1);
+    EXPECT_EQ(pos, i);
+    borrowed.push_back(&heap.row(i));
+  }
+  EXPECT_EQ(heap.size(), kRows);
+  // Rows never move: pointers taken at append time stay valid and
+  // PositionOf recovers each slot from its pointer.
+  for (size_t i = 0; i < kRows; i += 97) {
+    EXPECT_EQ(&heap.row(i), borrowed[i]);
+    EXPECT_EQ(heap.row(i)[0].AsInt(), static_cast<int64_t>(i));
+    auto pos = heap.PositionOf(borrowed[i]);
+    ASSERT_TRUE(pos.has_value());
+    EXPECT_EQ(*pos, i);
+  }
+  Row foreign{Value::Int(-1)};
+  EXPECT_FALSE(heap.PositionOf(&foreign).has_value());
+}
+
+TEST(RowHeapTest, VisibilityWindow) {
+  RowHeap heap;
+  heap.Append({Value::Int(1)}, /*begin=*/5);
+  EXPECT_FALSE(heap.VisibleAt(0, 4));
+  EXPECT_TRUE(heap.VisibleAt(0, 5));
+  heap.MarkDead(0, /*end=*/9);
+  EXPECT_TRUE(heap.VisibleAt(0, 8));
+  EXPECT_FALSE(heap.VisibleAt(0, 9));
+  EXPECT_EQ(heap.begin_epoch(0), 5u);
+  EXPECT_EQ(heap.end_epoch(0), 9u);
+}
+
+TEST(EpochManagerTest, PinTracksOldestSnapshot) {
+  EpochManager epochs;
+  EXPECT_EQ(epochs.MinPinnedOr(42), 42u);
+  const uint64_t e1 = epochs.BeginWrite();
+  epochs.Publish(e1);
+  SnapshotPin a(&epochs);
+  EXPECT_EQ(a.snapshot(), e1);
+  const uint64_t e2 = epochs.BeginWrite();
+  epochs.Publish(e2);
+  SnapshotPin b(&epochs);
+  EXPECT_EQ(b.snapshot(), e2);
+  EXPECT_EQ(epochs.pinned_count(), 2u);
+  EXPECT_EQ(epochs.MinPinnedOr(e2), e1);
+  a.Release();
+  EXPECT_EQ(epochs.MinPinnedOr(0), e2);
+  // Moved-from pins do not double-unpin.
+  SnapshotPin c = std::move(b);
+  EXPECT_FALSE(b.pinned());  // NOLINT(bugprone-use-after-move)
+  c.Release();
+  EXPECT_EQ(epochs.pinned_count(), 0u);
+}
+
+TEST(EpochManagerTest, AmbientSnapshotScopeNests) {
+  EXPECT_FALSE(HasAmbientSnapshot());
+  EXPECT_EQ(AmbientSnapshotOr(7), 7u);
+  {
+    ScopedSnapshot outer(10);
+    EXPECT_EQ(AmbientSnapshotOr(7), 10u);
+    {
+      ScopedSnapshot inner(11);
+      EXPECT_EQ(AmbientSnapshotOr(7), 11u);
+    }
+    EXPECT_EQ(AmbientSnapshotOr(7), 10u);
+  }
+  EXPECT_FALSE(HasAmbientSnapshot());
 }
 
 TEST(IndexTest, LookupAndStaleness) {
