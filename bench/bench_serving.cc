@@ -575,6 +575,102 @@ int main(int argc, char** argv) {
         .Field("gc_cleared", gc_cleared);
   }
 
+  // --- 11. Cancellation: time-to-cancel under mixed traffic. A victim
+  //         session runs a heavy 4-d skyline with the result caches off
+  //         (every run recomputes); once its statement context is armed,
+  //         Session::CancelCurrent() fires from the bench thread and we
+  //         measure cancel-issue -> statement-return while writers churn
+  //         the table. The signal is the p99: the longest stretch any
+  //         operator runs between interrupt polls.
+  {
+    const int n_writers = mixed_writers > 0 ? mixed_writers : 1;
+    constexpr int kSamples = 40;
+    const char* heavy_query =
+        "SELECT id FROM car PREFERRING LOWEST(price) AND LOWEST(mileage) "
+        "AND HIGHEST(power) AND LOWEST(age)";
+
+    auto engine = std::make_shared<prefsql::Engine>();
+    prefsql::Connection setup;
+    setup.Attach(engine);
+    if (!prefsql::GenerateUsedCars(setup.database(), kRows, 7).ok()) return 1;
+
+    std::atomic<bool> done{false};
+    std::vector<std::thread> writers;
+    for (int w = 0; w < n_writers; ++w) {
+      writers.emplace_back([&, w]() {
+        prefsql::Connection conn;
+        conn.Attach(engine);
+        const int id_base = 700000 + w * 10000;
+        for (int i = 0; !done.load(std::memory_order_acquire); ++i) {
+          const std::string id = std::to_string(id_base + i % 1000);
+          (void)conn.Execute("INSERT INTO car VALUES (" + id +
+                             ", 'zz', 'zz', 'zz', 'zz', 999999, 999999, "
+                             "1, 1, 0, 0)");
+          (void)conn.Execute("DELETE FROM car WHERE id = " + id);
+        }
+      });
+    }
+
+    prefsql::Connection victim;
+    victim.Attach(engine);
+    (void)victim.Execute("SET evaluation_mode = bnl");
+    (void)victim.Execute("SET key_cache = off");
+    (void)victim.Execute("SET skyline_cache = off");
+
+    std::vector<double> cancel_ms;
+    int completed_early = 0;
+    for (int s = 0; s < kSamples; ++s) {
+      std::atomic<bool> finished{false};
+      Clock::time_point returned;
+      prefsql::Status outcome = prefsql::Status::OK();
+      std::thread runner([&]() {
+        auto r = victim.Execute(heavy_query);
+        returned = Clock::now();
+        outcome = r.status();
+        finished.store(true, std::memory_order_release);
+      });
+      // Arm-spin: CancelCurrent() succeeds the moment the statement's
+      // context is published.
+      while (!victim.session().CancelCurrent() &&
+             !finished.load(std::memory_order_acquire)) {
+        std::this_thread::yield();
+      }
+      const auto issued = Clock::now();
+      runner.join();
+      if (outcome.IsCancelled()) {
+        cancel_ms.push_back(
+            std::chrono::duration<double, std::milli>(returned - issued)
+                .count());
+      } else {
+        ++completed_early;  // statement beat the kill switch; not a sample
+      }
+    }
+    done.store(true, std::memory_order_release);
+    for (auto& t : writers) t.join();
+
+    std::sort(cancel_ms.begin(), cancel_ms.end());
+    auto pct = [&](double p) {
+      if (cancel_ms.empty()) return 0.0;
+      size_t idx = static_cast<size_t>(p * (cancel_ms.size() - 1));
+      return cancel_ms[idx];
+    };
+    std::printf(
+        "cancellation, %zu rows, %d writers churning: %zu cancelled "
+        "(%d completed early), time-to-cancel p50 %.3f ms, p99 %.3f ms, "
+        "max %.3f ms\n",
+        kRows, n_writers, cancel_ms.size(), completed_early, pct(0.5),
+        pct(0.99), cancel_ms.empty() ? 0.0 : cancel_ms.back());
+    json.BeginRecord()
+        .Field("section", "cancellation")
+        .Field("rows", static_cast<uint64_t>(kRows))
+        .Field("writers", static_cast<uint64_t>(n_writers))
+        .Field("samples", static_cast<uint64_t>(cancel_ms.size()))
+        .Field("completed_early", static_cast<uint64_t>(completed_early))
+        .Field("cancel_p50_ms", pct(0.5))
+        .Field("cancel_p99_ms", pct(0.99))
+        .Field("cancel_max_ms", cancel_ms.empty() ? 0.0 : cancel_ms.back());
+  }
+
   if (!json.Write()) {
     std::fprintf(stderr, "failed to write BENCH_serving.json\n");
     return 1;

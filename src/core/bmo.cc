@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "core/query_context.h"
+
 namespace prefsql {
 namespace {
 
@@ -10,10 +12,50 @@ namespace {
 // over-committing memory for small partitions.
 size_t ResultReserve(size_t n) { return std::min<size_t>(n, 256); }
 
+// Stride-counted interrupt poll for the per-tuple loops. True means the
+// statement was cancelled or timed out; the algorithm must bail out (its
+// partial result is discarded by the caller, which re-checks the context).
+bool InterruptedTick(QueryContext* ctx, size_t* tick) {
+  if (ctx == nullptr) return false;
+  if (++*tick % kInterruptStride != 0) return false;
+  return !ctx->CheckInterrupt().ok();
+}
+
+// stable_sort by the lex-extension key order, interruptible: the input is
+// sorted in fixed-size chunks with a deadline check between each, then
+// merged pairwise with checks between merges. A monolithic stable_sort over
+// 500k+ rows can run for tens of milliseconds with an expensive comparator,
+// which would blow the promptness bound on its own; chunking keeps the gap
+// between polls proportional to one chunk. On interrupt the vector is left
+// partially sorted — callers must discard it.
+void LexSortInterruptible(std::vector<size_t>& v, const KeyStore& keys,
+                          QueryContext* ctx) {
+  auto less = [&](size_t a, size_t b) { return keys.LexLess(a, b); };
+  constexpr size_t kChunk = size_t{1} << 15;
+  if (ctx == nullptr || v.size() <= kChunk) {
+    std::stable_sort(v.begin(), v.end(), less);
+    return;
+  }
+  for (size_t begin = 0; begin < v.size(); begin += kChunk) {
+    if (!ctx->CheckInterrupt().ok()) return;
+    std::stable_sort(v.begin() + begin,
+                     v.begin() + std::min(begin + kChunk, v.size()), less);
+  }
+  for (size_t width = kChunk; width < v.size(); width *= 2) {
+    for (size_t begin = 0; begin + width < v.size(); begin += 2 * width) {
+      if (!ctx->CheckInterrupt().ok()) return;
+      std::inplace_merge(
+          v.begin() + begin, v.begin() + begin + width,
+          v.begin() + std::min(begin + 2 * width, v.size()), less);
+    }
+  }
+}
+
 std::vector<size_t> NaiveNestedLoop(const DominanceProgram& prog,
                                     const KeyStore& keys,
                                     std::span<const size_t> candidates,
-                                    SimdVariant simd, BmoStats* stats) {
+                                    SimdVariant simd, QueryContext* ctx,
+                                    BmoStats* stats) {
   // Paper §3.2: "Insert t1 into Max if there is no tuple t2 in R that is
   // better than t1" — repeated for every t1. The whole candidate array is
   // the block (a tuple never strictly dominates itself, so t1's own entry
@@ -21,7 +63,9 @@ std::vector<size_t> NaiveNestedLoop(const DominanceProgram& prog,
   std::vector<size_t> out;
   out.reserve(ResultReserve(candidates.size()));
   size_t* cmp = stats != nullptr ? &stats->comparisons : nullptr;
+  size_t tick = 0;
   for (size_t i : candidates) {
+    if (InterruptedTick(ctx, &tick)) return out;
     if (!prog.AnyDominates(keys, candidates.data(), candidates.size(), i,
                            simd, cmp)) {
       out.push_back(i);
@@ -34,7 +78,7 @@ std::vector<size_t> BlockNestedLoop(const DominanceProgram& prog,
                                     const KeyStore& keys,
                                     std::span<const size_t> candidates,
                                     size_t window_capacity, SimdVariant simd,
-                                    BmoStats* stats) {
+                                    QueryContext* ctx, BmoStats* stats) {
   struct Entry {
     size_t index;
     size_t insert_pass;
@@ -53,10 +97,12 @@ std::vector<size_t> BlockNestedLoop(const DominanceProgram& prog,
   std::vector<size_t> overflow;
   size_t pass = 0;
   size_t* cmp = stats != nullptr ? &stats->comparisons : nullptr;
+  size_t tick = 0;
 
   while (!input.empty()) {
     overflow.clear();
     for (size_t t : input) {
+      if (InterruptedTick(ctx, &tick)) return result;
       // Two phases over the window. They match the classic interleaved
       // compare/evict loop exactly because window entries are mutually
       // non-dominated: if some entry dominates t, then t dominates no
@@ -114,18 +160,19 @@ std::vector<size_t> BlockNestedLoop(const DominanceProgram& prog,
 std::vector<size_t> SortFilterSkyline(const DominanceProgram& prog,
                                       const KeyStore& keys,
                                       std::span<const size_t> candidates,
-                                      SimdVariant simd, BmoStats* stats) {
+                                      SimdVariant simd, QueryContext* ctx,
+                                      BmoStats* stats) {
   // Presort by a linear extension of the order: afterwards no tuple can be
   // dominated by a later one, so a single forward pass with an append-only
   // result window is exact.
   std::vector<size_t> sorted(candidates.begin(), candidates.end());
-  std::stable_sort(sorted.begin(), sorted.end(), [&](size_t a, size_t b) {
-    return keys.LexLess(a, b);
-  });
+  LexSortInterruptible(sorted, keys, ctx);
   std::vector<size_t> result;
   result.reserve(ResultReserve(candidates.size()));
   size_t* cmp = stats != nullptr ? &stats->comparisons : nullptr;
+  size_t tick = 0;
   for (size_t t : sorted) {
+    if (InterruptedTick(ctx, &tick)) return result;
     if (!prog.AnyDominates(keys, result.data(), result.size(), t, simd,
                            cmp)) {
       result.push_back(t);
@@ -146,7 +193,7 @@ std::vector<size_t> EliminationFilterScan(const DominanceProgram& prog,
                                           const KeyStore& keys,
                                           std::span<const size_t> candidates,
                                           size_t ef_capacity, SimdVariant simd,
-                                          BmoStats* stats) {
+                                          QueryContext* ctx, BmoStats* stats) {
   const size_t L = keys.num_leaves();
   auto volume = [&](size_t t) {
     const double* s = keys.scores(t);
@@ -167,7 +214,9 @@ std::vector<size_t> EliminationFilterScan(const DominanceProgram& prog,
 
   std::vector<size_t> survivors;
   survivors.reserve(candidates.size());
+  size_t tick = 0;
   for (size_t t : candidates) {
+    if (InterruptedTick(ctx, &tick)) return survivors;
     if (prog.AnyDominates(keys, ef_idx.data(), ef_idx.size(), t, simd, cmp)) {
       continue;
     }
@@ -199,10 +248,11 @@ std::vector<size_t> LessSkyline(const DominanceProgram& prog,
                                 const KeyStore& keys,
                                 std::span<const size_t> candidates,
                                 size_t ef_capacity, SimdVariant simd,
-                                BmoStats* stats) {
+                                QueryContext* ctx, BmoStats* stats) {
   std::vector<size_t> survivors = EliminationFilterScan(
-      prog, keys, candidates, ef_capacity, simd, stats);
-  return SortFilterSkyline(prog, keys, survivors, simd, stats);
+      prog, keys, candidates, ef_capacity, simd, ctx, stats);
+  if (ctx != nullptr && ctx->interrupted()) return survivors;
+  return SortFilterSkyline(prog, keys, survivors, simd, ctx, stats);
 }
 
 // The variant the inner loops run with: the block path only exists for the
@@ -242,17 +292,18 @@ std::vector<size_t> ComputeBmoTopK(const CompiledPreference& pref,
   if (candidates.size() >= kEfMinRows) {
     sorted = EliminationFilterScan(prog, keys, candidates,
                                    std::max<size_t>(1, options.less_window),
-                                   simd, stats);
+                                   simd, options.ctx, stats);
+    if (options.ctx != nullptr && options.ctx->interrupted()) return sorted;
   } else {
     sorted.assign(candidates.begin(), candidates.end());
   }
-  std::stable_sort(sorted.begin(), sorted.end(), [&](size_t a, size_t b) {
-    return keys.LexLess(a, b);
-  });
+  LexSortInterruptible(sorted, keys, options.ctx);
   std::vector<size_t> result;
   result.reserve(std::min(k, candidates.size()));
   size_t* cmp = stats != nullptr ? &stats->comparisons : nullptr;
+  size_t tick = 0;
   for (size_t t : sorted) {
+    if (InterruptedTick(options.ctx, &tick)) return result;
     if (!prog.AnyDominates(keys, result.data(), result.size(), t, simd,
                            cmp)) {
       result.push_back(t);
@@ -298,16 +349,18 @@ std::vector<size_t> ComputeBmo(const CompiledPreference& pref,
   }
   switch (options.algorithm) {
     case BmoAlgorithm::kNaiveNestedLoop:
-      return NaiveNestedLoop(prog, keys, candidates, simd, stats);
+      return NaiveNestedLoop(prog, keys, candidates, simd, options.ctx,
+                             stats);
     case BmoAlgorithm::kBlockNestedLoop:
       return BlockNestedLoop(prog, keys, candidates, options.bnl_window,
-                             simd, stats);
+                             simd, options.ctx, stats);
     case BmoAlgorithm::kSortFilterSkyline:
-      return SortFilterSkyline(prog, keys, candidates, simd, stats);
+      return SortFilterSkyline(prog, keys, candidates, simd, options.ctx,
+                               stats);
     case BmoAlgorithm::kLess:
       return LessSkyline(prog, keys, candidates,
                          std::max<size_t>(1, options.less_window), simd,
-                         stats);
+                         options.ctx, stats);
   }
   return {};
 }

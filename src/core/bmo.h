@@ -35,6 +35,8 @@
 
 namespace prefsql {
 
+class QueryContext;
+
 /// In-engine BMO algorithm selector.
 enum class BmoAlgorithm {
   kNaiveNestedLoop,
@@ -58,6 +60,12 @@ struct BmoOptions {
   /// Run the packed kernels through the block SIMD/unrolled path
   /// (DispatchedSimdVariant decides which); off forces row-at-a-time.
   bool simd = true;
+  /// Cooperative-interrupt context, polled every kInterruptStride tuples.
+  /// On an interrupt the algorithms bail out returning a partial (garbage)
+  /// result; the caller must check ctx->interrupted() and discard it. Passed
+  /// explicitly (not through the thread-local) so bmo_parallel workers see
+  /// the statement's context across pool threads.
+  QueryContext* ctx = nullptr;
 };
 
 /// Statistics of one BMO computation (benchmarks, tests).

@@ -5,6 +5,7 @@
 #include <unordered_map>
 
 #include "core/bmo_parallel.h"
+#include "core/query_context.h"
 
 namespace prefsql {
 
@@ -44,11 +45,22 @@ Status BmoOperator::Open() {
   local_of_.clear();
   pos_ = 0;
   run_stats_ = BmoRunStats{};
+  stmt_charge_.Reset();
+  engine_charge_.Reset();
+  // The ambient statement context: polled in the pull and key-build loops,
+  // handed to the BMO algorithms through BmoOptions (explicitly, so
+  // bmo_parallel workers see it across pool threads), and consulted before
+  // every cache publication — an interrupted run must not publish partial
+  // entries.
+  QueryContext* qctx = CurrentQueryContext();
+  config_.bmo.ctx = qctx;
 
   // 1. Pull the candidate stream. Base-table rows stay borrowed (no tuple
   //    copies between scan and BMO).
   RowRef ref;
+  size_t tick = 0;
   while (true) {
+    PSQL_RETURN_IF_ERROR(PollInterrupt(&tick));
     PSQL_ASSIGN_OR_RETURN(bool more, child_->Next(&ref));
     if (!more) break;
     ++run_stats_.candidate_count;
@@ -88,6 +100,7 @@ Status BmoOperator::Open() {
     }
     use_positions_ = ok;
     if (use_positions_ && config_.filter_cache != nullptr) {
+      if (qctx != nullptr) PSQL_RETURN_IF_ERROR(qctx->CheckInterrupt());
       config_.filter_cache->Insert(
           config_.filter_cache_key,
           std::make_shared<const std::vector<size_t>>(positions_));
@@ -118,6 +131,14 @@ Status BmoOperator::Open() {
   }
   if (keys_ == nullptr) {
     using Clock = std::chrono::steady_clock;
+    // Charge the key store up front (scores: 8 bytes, explicit ids: 4 bytes
+    // per leaf per row) — the single largest allocation of the run. A
+    // refused charge surfaces kResourceExhausted before the memory exists.
+    if (qctx != nullptr) {
+      PSQL_RETURN_IF_ERROR(qctx->ChargeMemory(
+          key_rows * pref_->num_leaves() * (sizeof(double) + sizeof(int32_t)),
+          &stmt_charge_, &engine_charge_));
+    }
     auto built = std::make_shared<KeyStore>(pref_->num_leaves());
     built->Reserve(key_rows);
     const auto t0 = Clock::now();
@@ -128,6 +149,7 @@ Status BmoOperator::Open() {
       // slots are invisible at every servable snapshot and dominance only
       // ever runs over candidate (visible) ids.
       for (size_t slot = 0; slot < config_.key_rows; ++slot) {
+        PSQL_RETURN_IF_ERROR(PollInterrupt(&tick));
         if (config_.base_heap->payload_cleared(slot)) {
           for (size_t l = 0; l < pref_->num_leaves(); ++l) {
             built->PushLeaf(kWorstScore, -1);
@@ -141,6 +163,7 @@ Status BmoOperator::Open() {
       }
     } else {
       for (const RowRef& r : rows_) {
+        PSQL_RETURN_IF_ERROR(PollInterrupt(&tick));
         PSQL_RETURN_IF_ERROR(
             pref_->AppendKey(child_->schema(), r.row(), built.get(),
                              runner_));
@@ -152,6 +175,7 @@ Status BmoOperator::Open() {
             .count());
     keys_ = std::move(built);
     if (cache_keyed) {
+      if (qctx != nullptr) PSQL_RETURN_IF_ERROR(qctx->CheckInterrupt());
       auto entry = std::make_shared<SkylineEntry>();
       entry->keys = keys_;
       entry->pref = config_.cache_pref;
@@ -243,6 +267,8 @@ Status BmoOperator::Open() {
     run_stats_.bmo = par_stats.bmo;
     run_stats_.bmo.key_build_ns = built_ns;
     run_stats_.threads_used = par_stats.threads_used;
+    // Workers bail with partial survivor sets on an interrupt; discard.
+    if (qctx != nullptr && qctx->interrupted()) return qctx->LatchedStatus();
   } else {
     for (const auto& part : partitions) {
       BmoStats part_stats;
@@ -257,6 +283,9 @@ Status BmoOperator::Open() {
       run_stats_.bmo.kernel = part_stats.kernel;
       run_stats_.bmo.simd = part_stats.simd;
       maximal.insert(maximal.end(), bmo.begin(), bmo.end());
+      if (qctx != nullptr && qctx->interrupted()) {
+        return qctx->LatchedStatus();
+      }
     }
     std::sort(maximal.begin(), maximal.end());
   }
@@ -276,6 +305,7 @@ Status BmoOperator::Open() {
   //    visible versions), upgrading the keys-only entry published above.
   if (cache_keyed && use_positions_ && config_.publish_skyline &&
       keys_->size() == key_rows) {
+    if (qctx != nullptr) PSQL_RETURN_IF_ERROR(qctx->CheckInterrupt());
     auto entry = std::make_shared<SkylineEntry>();
     entry->keys = keys_;
     entry->pref = config_.cache_pref;
@@ -341,6 +371,8 @@ void BmoOperator::Close() {
   child_->Close();
   rows_.clear();
   keys_.reset();
+  stmt_charge_.Reset();
+  engine_charge_.Reset();
   positions_.clear();
   local_of_.clear();
   partition_of_.clear();

@@ -26,6 +26,7 @@
 
 #include "core/bmo.h"
 #include "core/quality.h"
+#include "util/memory_budget.h"
 #include "engine/evaluator.h"
 #include "engine/operators/operator.h"
 #include "preference/composite.h"
@@ -165,6 +166,11 @@ class BmoOperator : public PhysicalOperator {
   std::vector<size_t> survivors_;  // candidate ids, in emission order
   size_t pos_ = 0;
   BmoRunStats run_stats_;
+  /// Budget reservations for this run's buffers (pulled rows + key store),
+  /// held until Close so streamed results stay accounted. One holder per
+  /// budget level.
+  ScopedMemoryCharge stmt_charge_;
+  ScopedMemoryCharge engine_charge_;
 };
 
 }  // namespace prefsql

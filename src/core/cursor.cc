@@ -43,9 +43,20 @@ Result<std::optional<RowRef>> Cursor::Next() {
     return std::optional<RowRef>(std::move(row));
   }
   RowRef row;
+  // A cancel or an expired deadline surfaces at the next pull even when the
+  // operator tree would not poll soon (e.g. a client paused mid-stream).
+  if (impl.ctx != nullptr) {
+    Status interrupt = impl.ctx->CheckInterrupt();
+    if (!interrupt.ok()) {
+      Close();
+      return interrupt;
+    }
+  }
   // Pull under the cursor's pinned snapshot so any subplan materialized
-  // mid-stream reads the same point-in-time view the cursor opened with.
+  // mid-stream reads the same point-in-time view the cursor opened with;
+  // the query context rides along so the operators keep polling it.
   ScopedSnapshot ambient(impl.snapshot);
+  ScopedQueryContext qscope(impl.ctx.get());
   auto more = impl.root->Next(&row);
   if (!more.ok()) {
     Close();
@@ -107,6 +118,12 @@ void Cursor::Close() {
   impl.pin.Release();
   impl.lock = std::shared_lock<std::shared_mutex>();
   impl.table.reset();
+  // Retire the statement's context from the session last: a cancel arriving
+  // after this point targets a newer statement, never this closed cursor.
+  if (impl.session != nullptr && impl.ctx != nullptr) {
+    impl.session->ClearCurrentContext(impl.ctx.get());
+  }
+  impl.ctx.reset();
 }
 
 Result<ResultTable> DrainCursor(Cursor& cursor) {

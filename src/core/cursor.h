@@ -103,6 +103,12 @@ class Cursor {
     /// see the open-time view too, and GC stays behind the pin.
     SnapshotPin pin;
     uint64_t snapshot = 0;
+    /// The statement's resource-governance context (deadline, cancel flag,
+    /// memory budgets), kept alive for the cursor's lifetime so
+    /// Session::CancelCurrent reaches in-flight pulls. Next() re-establishes
+    /// it as the ambient context per pull; Close() retires it from the
+    /// session.
+    std::shared_ptr<QueryContext> ctx;
     std::shared_ptr<const SelectStmt> select_keepalive;
     std::shared_ptr<const CachedPlan> plan_keepalive;
     std::shared_ptr<const CompiledPreference> pref_keepalive;

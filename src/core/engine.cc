@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cctype>
+#include <chrono>
 #include <mutex>
 #include <string_view>
 #include <unordered_map>
@@ -13,6 +14,7 @@
 #include "sql/parameters.h"
 #include "sql/parser.h"
 #include "sql/printer.h"
+#include "util/failpoint.h"
 #include "util/string_util.h"
 
 namespace prefsql {
@@ -69,7 +71,130 @@ Status UnboundParametersError() {
       "(Connection::Prepare)");
 }
 
+// Retires the statement's QueryContext from its session on scope exit —
+// the default for materialized results and every error path. A streaming
+// cursor calls Release() instead and retires the context itself on Close
+// (the context must stay reachable by Session::CancelCurrent while the
+// client is still pulling). ClearCurrentContext is conditional on identity,
+// so a double clear (cursor Close then guard) is a harmless no-op.
+class SessionContextClearGuard {
+ public:
+  SessionContextClearGuard(Session* session,
+                           std::shared_ptr<const QueryContext> ctx)
+      : session_(session), ctx_(std::move(ctx)) {}
+  ~SessionContextClearGuard() {
+    if (session_ != nullptr) session_->ClearCurrentContext(ctx_.get());
+  }
+  SessionContextClearGuard(const SessionContextClearGuard&) = delete;
+  SessionContextClearGuard& operator=(const SessionContextClearGuard&) =
+      delete;
+
+  void Release() { session_ = nullptr; }
+
+ private:
+  Session* session_;
+  std::shared_ptr<const QueryContext> ctx_;
+};
+
 }  // namespace
+
+// ===========================================================================
+// Engine lifetime: background MVCC reclaimer
+// ===========================================================================
+
+Engine::Engine() {
+  gc_thread_ = std::thread([this] { BackgroundGcLoop(); });
+}
+
+Engine::~Engine() {
+  {
+    std::lock_guard<std::mutex> g(gc_mu_);
+    gc_stop_ = true;
+  }
+  gc_cv_.notify_one();
+  if (gc_thread_.joinable()) gc_thread_.join();
+}
+
+void Engine::BackgroundGcLoop() {
+  // The period bounds dead-version residency under reader-heavy load where
+  // the opportunistic post-DML sweep rarely wins its try-lock; short enough
+  // that a momentary gap between readers is usually caught, long enough to
+  // be invisible in profiles when the engine is idle.
+  constexpr auto kPeriod = std::chrono::milliseconds(20);
+  std::unique_lock<std::mutex> sleep_lock(gc_mu_);
+  while (!gc_stop_) {
+    gc_cv_.wait_for(sleep_lock, kPeriod,
+                    [this] { return gc_stop_ || gc_kick_; });
+    if (gc_stop_) break;
+    const bool kicked = gc_kick_;
+    gc_kick_ = false;
+    // A memory-pressure kick sweeps even while the knob is off — relief
+    // explicitly asked for reclaimable bytes; the timer respects the knob.
+    if (!kicked && !gc_background_enabled_.load(std::memory_order_relaxed)) {
+      continue;
+    }
+    sleep_lock.unlock();
+    {
+      // Same safety argument as TryCollectGarbage: pins are only ever taken
+      // under the shared DDL lock, so winning it exclusively proves no
+      // reader and no pin exists — every version dead at or before the
+      // horizon is unreachable forever. Losing the race costs nothing; the
+      // timer retries.
+      std::unique_lock<std::shared_mutex> lock(mutex_, std::try_to_lock);
+      if (lock.owns_lock()) {
+        CollectGarbageAllTablesLocked();
+        background_gc_passes_.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+    sleep_lock.lock();
+  }
+}
+
+uint64_t Engine::CollectGarbageAllTablesLocked() {
+#if defined(PREFSQL_FAILPOINTS_ENABLED)
+  // Injected fault: the horizon computation "fails" — skip this sweep.
+  if (!failpoint::Evaluate("gc_horizon").ok()) return 0;
+#endif
+  EpochManager& epochs = db_.catalog().epochs();
+  const uint64_t horizon = epochs.MinPinnedOr(epochs.current());
+  uint64_t freed = 0;
+  for (const auto& name : db_.catalog().TableNames()) {
+    auto table = db_.catalog().GetTable(name);
+    if (table.ok()) freed += (*table)->CollectGarbage(horizon);
+  }
+  if (freed > 0) db_.executor().CountGarbageCollected(freed);
+  return freed;
+}
+
+void Engine::RelieveMemoryPressure(uint64_t /*requested_bytes*/) {
+  // Shed roughly a quarter of each cache's resident entries, cold end
+  // first. This frees their heap memory immediately — though not
+  // budget-charged bytes, which only return to the budget when their
+  // statements finish — and the kicked reclaimer frees superseded version
+  // payloads as soon as it wins the DDL lock. Only after both does a
+  // retried charge fail the query with kResourceExhausted.
+  auto quarter = [](size_t n) { return std::max<size_t>(4, n / 4); };
+  plan_cache_.Shed(quarter(plan_cache_.size()));
+  key_cache_.Shed(quarter(key_cache_.size()));
+  filter_cache_.Shed(quarter(filter_cache_.size()));
+  {
+    std::lock_guard<std::mutex> g(gc_mu_);
+    gc_kick_ = true;
+  }
+  gc_cv_.notify_one();
+}
+
+std::shared_ptr<QueryContext> Engine::ArmStatementContext(Session& session) {
+  auto ctx = std::make_shared<QueryContext>();
+  const ConnectionOptions& o = session.options();
+  ctx->set_deadline_ms(o.statement_timeout_ms);
+  ctx->ArmStatementBudget(o.statement_memory_bytes);
+  ctx->set_engine_budget(&engine_budget_);
+  ctx->set_pressure_relief(
+      [this](uint64_t bytes) { RelieveMemoryPressure(bytes); });
+  session.SetCurrentContext(ctx);
+  return ctx;
+}
 
 uint64_t Engine::KnobFingerprint(const ConnectionOptions& o) {
   uint64_t h = kFingerprintSeed;
@@ -271,6 +396,16 @@ Result<ResultTable> Engine::ExecuteStatement(Session& session,
     return ExecuteSet(session, stmt);
   }
 
+  // Arm the statement's deadline/cancel/budget context. Cacheable
+  // SELECT/EXPLAIN statements re-arm a fresh context in OpenPreparedCursor
+  // (which replaces this one in the session — the scopes nest and the
+  // identity-checked clears compose); the DML, DDL and
+  // INSERT..SELECT PREFERRING paths below run under this one, so writes
+  // honor the deadline and CancelCurrent too.
+  std::shared_ptr<QueryContext> qctx = ArmStatementContext(session);
+  ScopedQueryContext qscope(qctx.get());
+  SessionContextClearGuard clear_guard(&session, qctx);
+
   if (IsCacheableKind(stmt.kind) && stmt.select != nullptr) {
     // Pre-parsed statements skip the parse already, so the cache only pays
     // off where preparation still does real work: PDL expansion and
@@ -331,6 +466,10 @@ Result<ResultTable> Engine::ExecuteStatement(Session& session,
       stmt.kind == StatementKind::kDelete) {
     std::shared_lock<std::shared_mutex> ddl(mutex_);
     Result<ResultTable> result = [&]() -> Result<ResultTable> {
+      // Fault-injection site: the handoff to the writer mutex — a delay
+      // here widens the window in which readers stream against the
+      // pre-statement snapshot while this writer is queued.
+      PSQL_FAILPOINT_STATUS("writer_handoff");
       std::lock_guard<std::mutex> writer(writer_mutex_);
       auto r = db_.ExecuteStatement(stmt);
       MaintainSkylineCaches();
@@ -499,6 +638,14 @@ Result<Cursor> Engine::OpenPreparedCursor(
   stats.auto_parameterized = auto_parameterized;
   stats.bound_parameters = provided;
 
+  // Deadline/cancel/budget governance for this statement. Materialized
+  // results and error exits retire the context through the guard; a
+  // streaming cursor takes it over (guard released) and retires it on
+  // Close, so CancelCurrent keeps reaching in-flight pulls.
+  std::shared_ptr<QueryContext> qctx = ArmStatementContext(session);
+  ScopedQueryContext qscope(qctx.get());
+  SessionContextClearGuard clear_guard(&session, qctx);
+
   if (plan->kind == StatementKind::kExplain) {
     PSQL_ASSIGN_OR_RETURN(ResultTable result,
                           ExecuteExplain(session, *plan, params));
@@ -538,9 +685,12 @@ Result<Cursor> Engine::OpenPreparedCursor(
     ScopedSnapshot ambient(pin.snapshot());
     PSQL_ASSIGN_OR_RETURN(ExecutionView view,
                           BindForExecutionLocked(*plan, params));
-    return OpenDirectCursor(session, std::move(view), std::move(lock),
-                            std::move(pin), std::move(plan),
-                            std::move(keepalive));
+    Result<Cursor> cursor =
+        OpenDirectCursor(session, std::move(view), std::move(lock),
+                         std::move(pin), std::move(plan), qctx,
+                         std::move(keepalive));
+    if (cursor.ok()) clear_guard.Release();
+    return cursor;
   }
 
   // Plain SELECT: stream straight out of the operator pipeline under the
@@ -559,6 +709,7 @@ Result<Cursor> Engine::OpenPreparedCursor(
   impl->lock = std::move(lock);
   impl->snapshot = pin.snapshot();
   impl->pin = std::move(pin);
+  impl->ctx = qctx;
   impl->select_keepalive = view.select;
   impl->plan_keepalive = std::move(plan);
   impl->engine_keepalive = std::move(keepalive);
@@ -573,6 +724,7 @@ Result<Cursor> Engine::OpenPreparedCursor(
     cursor.Close();
     return open;
   }
+  clear_guard.Release();
   return cursor;
 }
 
@@ -582,6 +734,7 @@ Result<Cursor> Engine::OpenDirectCursor(Session& session, ExecutionView view,
                                         SnapshotPin pin,
                                         std::shared_ptr<const CachedPlan>
                                             plan,
+                                        std::shared_ptr<QueryContext> qctx,
                                         std::shared_ptr<Engine> keepalive) {
   PreferenceQueryStats& stats = session.mutable_last_stats();
   AnalyzedPreferenceQuery analyzed(view.select.get(), view.preference);
@@ -604,6 +757,7 @@ Result<Cursor> Engine::OpenDirectCursor(Session& session, ExecutionView view,
   impl->lock = std::move(lock);
   impl->snapshot = pin.snapshot();
   impl->pin = std::move(pin);
+  impl->ctx = std::move(qctx);
   impl->select_keepalive = std::move(view.select);
   impl->pref_keepalive = std::move(view.preference);
   impl->plan_keepalive = std::move(plan);
@@ -987,6 +1141,11 @@ std::shared_ptr<const SkylineEntry> MaintainEntry(
 }  // namespace
 
 void Engine::MaintainSkylineCaches() {
+  // Injected fault: maintenance "fails" — skip the carry entirely. Sound by
+  // construction: the un-carried entries stay keyed at the superseded table
+  // version, unreachable to any new reader, and the pin-aware sweep
+  // reclaims them; repeated queries just rebuild from scratch.
+  PSQL_FAILPOINT_VOID("skyline_maintenance");
   using Kind = Executor::DmlEffect::Kind;
   const Executor::DmlEffect& dml = db_.executor().last_dml();
   if (dml.kind == Kind::kNone) return;
@@ -1060,6 +1219,9 @@ void Engine::TryCollectGarbage(Session& session) {
   // write retries.
   std::unique_lock<std::shared_mutex> lock(mutex_, std::try_to_lock);
   if (!lock.owns_lock()) return;
+  // Injected fault: the horizon computation "fails" — skip this sweep (the
+  // background reclaimer or a later write retries).
+  PSQL_FAILPOINT_VOID("gc_horizon");
   const Executor::DmlEffect& dml = db_.executor().last_dml();
   if (dml.kind == Executor::DmlEffect::Kind::kNone) return;
   auto table = db_.catalog().GetTable(dml.table);
@@ -1175,6 +1337,41 @@ Result<ResultTable> Engine::ExecuteSet(Session& session,
     } else {
       PSQL_ASSIGN_OR_RETURN(options.mvcc_gc, SetValueAsBool(v, knob));
     }
+  } else if (knob == "mvcc_gc_background") {
+    if (reset) {
+      options.mvcc_gc_background = defaults.mvcc_gc_background;
+    } else {
+      PSQL_ASSIGN_OR_RETURN(options.mvcc_gc_background,
+                            SetValueAsBool(v, knob));
+    }
+    // Engine-wide effect: pauses/resumes the background reclaimer thread
+    // for every session sharing this engine.
+    gc_background_enabled_.store(options.mvcc_gc_background,
+                                 std::memory_order_relaxed);
+    gc_cv_.notify_one();
+  } else if (knob == "statement_timeout_ms") {
+    if (reset) {
+      options.statement_timeout_ms = defaults.statement_timeout_ms;
+    } else {
+      PSQL_ASSIGN_OR_RETURN(options.statement_timeout_ms,
+                            SetValueAsSize(v, knob));
+    }
+  } else if (knob == "statement_memory_bytes") {
+    if (reset) {
+      options.statement_memory_bytes = defaults.statement_memory_bytes;
+    } else {
+      PSQL_ASSIGN_OR_RETURN(options.statement_memory_bytes,
+                            SetValueAsSize(v, knob));
+    }
+  } else if (knob == "engine_memory_bytes") {
+    if (reset) {
+      options.engine_memory_bytes = defaults.engine_memory_bytes;
+    } else {
+      PSQL_ASSIGN_OR_RETURN(options.engine_memory_bytes,
+                            SetValueAsSize(v, knob));
+    }
+    // Engine-wide effect: the budget is shared by all sessions' statements.
+    engine_budget_.set_limit(options.engine_memory_bytes);
   } else if (knob == "evaluation_mode") {
     if (reset) {
       options.mode = defaults.mode;
@@ -1226,7 +1423,8 @@ Result<ResultTable> Engine::ExecuteSet(Session& session,
         "' (known: evaluation_mode, bmo_algorithm, bmo_threads, "
         "parallel_min_rows, preference_pushdown, bnl_window, but_only_mode, "
         "keep_aux_views, plan_cache, auto_parameterize, key_cache, "
-        "skyline_cache, simd, mvcc_gc)");
+        "skyline_cache, simd, mvcc_gc, mvcc_gc_background, "
+        "statement_timeout_ms, statement_memory_bytes, engine_memory_bytes)");
   }
 
   // Echo the effective value so scripts/shell users see what stuck.
@@ -1253,6 +1451,14 @@ Result<ResultTable> Engine::ExecuteSet(Session& session,
     effective = options.simd ? "on" : "off";
   } else if (knob == "mvcc_gc") {
     effective = options.mvcc_gc ? "on" : "off";
+  } else if (knob == "mvcc_gc_background") {
+    effective = options.mvcc_gc_background ? "on" : "off";
+  } else if (knob == "statement_timeout_ms") {
+    effective = std::to_string(options.statement_timeout_ms);
+  } else if (knob == "statement_memory_bytes") {
+    effective = std::to_string(options.statement_memory_bytes);
+  } else if (knob == "engine_memory_bytes") {
+    effective = std::to_string(options.engine_memory_bytes);
   } else if (knob == "evaluation_mode") {
     effective = EvaluationModeToString(options.mode);
   } else if (knob == "bmo_algorithm") {

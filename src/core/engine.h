@@ -73,11 +73,13 @@
 #pragma once
 
 #include <atomic>
+#include <condition_variable>
 #include <functional>
 #include <memory>
 #include <mutex>
 #include <shared_mutex>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/cursor.h"
@@ -89,13 +91,17 @@
 #include "preference/key_cache.h"
 #include "storage/epoch.h"
 #include "types/result_table.h"
+#include "util/memory_budget.h"
 #include "util/status.h"
 
 namespace prefsql {
 
 class Engine {
  public:
-  Engine() = default;
+  /// Starts the background MVCC reclaimer thread (see BackgroundGcLoop).
+  Engine();
+  /// Stops and joins the reclaimer before any member is torn down.
+  ~Engine();
 
   Engine(const Engine&) = delete;
   Engine& operator=(const Engine&) = delete;
@@ -160,6 +166,16 @@ class Engine {
   PlanCache& plan_cache() { return plan_cache_; }
   SkylineCache& key_cache() { return key_cache_; }
   FilterCache& filter_cache() { return filter_cache_; }
+
+  /// Engine-wide memory budget shared by all sessions' statement buffers
+  /// (`SET engine_memory_bytes` adjusts the limit; 0 = unlimited).
+  MemoryBudget& memory_budget() { return engine_budget_; }
+
+  /// Cumulative count of background-reclaimer sweeps that won the exclusive
+  /// lock and collected (observability for tests and benches).
+  uint64_t background_gc_passes() const {
+    return background_gc_passes_.load(std::memory_order_relaxed);
+  }
 
  private:
   friend class Cursor;
@@ -243,6 +259,7 @@ class Engine {
                                   std::shared_lock<std::shared_mutex> lock,
                                   SnapshotPin pin,
                                   std::shared_ptr<const CachedPlan> plan,
+                                  std::shared_ptr<QueryContext> qctx,
                                   std::shared_ptr<Engine> keepalive);
 
   Result<ResultTable> ExecuteExplain(Session& session, const CachedPlan& plan,
@@ -285,6 +302,34 @@ class Engine {
   /// when `session` has mvcc_gc off or readers are active.
   void TryCollectGarbage(Session& session);
 
+  /// Body of the background MVCC reclaimer thread: a cv-timed loop that
+  /// periodically (and whenever memory pressure or a knob change notifies
+  /// it) attempts the DDL lock exclusively with try_to_lock — the same
+  /// "exclusive acquisition proves no pins, no readers" safety argument as
+  /// TryCollectGarbage — and on success sweeps superseded version payloads
+  /// of ALL catalog tables. Unlike the opportunistic post-DML sweep it
+  /// retries on a timer, so dead-version residency stays bounded even when
+  /// readers usually hold the lock at commit time.
+  void BackgroundGcLoop();
+
+  /// Frees superseded row-version payloads of every catalog table. Caller
+  /// must hold `mutex_` exclusively. Returns payloads reclaimed.
+  uint64_t CollectGarbageAllTablesLocked();
+
+  /// Engine-budget pressure relief (installed into each statement's
+  /// QueryContext): sheds cold plan/skyline/filter-cache entries — freeing
+  /// their heap memory, though not budget-charged bytes, which only return
+  /// when statements finish — and kicks the background reclaimer so a full
+  /// pin-aware sweep runs before any query is refused.
+  void RelieveMemoryPressure(uint64_t requested_bytes);
+
+  /// Builds the statement's resource-governance context from `session`'s
+  /// knobs (deadline, statement/engine budgets, pressure relief) and
+  /// publishes it as the session's current context so CancelCurrent can
+  /// reach it. The caller establishes the thread-local scope and is
+  /// responsible for retiring it (SessionContextClearGuard / cursor Close).
+  std::shared_ptr<QueryContext> ArmStatementContext(Session& session);
+
   /// Hash of every knob that affects how a statement prepares or executes;
   /// part of the plan-cache key so differently-tuned sessions never share a
   /// preparation.
@@ -300,6 +345,20 @@ class Engine {
   SkylineCache key_cache_;
   FilterCache filter_cache_;
   std::atomic<uint64_t> aux_counter_{0};
+
+  /// Engine-wide statement-buffer budget (`SET engine_memory_bytes`).
+  MemoryBudget engine_budget_;
+
+  // Background MVCC reclaimer (see BackgroundGcLoop). `gc_mu_`/`gc_cv_`
+  // only coordinate the thread's sleep/wake/stop handshake; the sweep
+  // itself synchronizes through `mutex_` like every other GC.
+  std::mutex gc_mu_;
+  std::condition_variable gc_cv_;
+  bool gc_stop_ = false;
+  bool gc_kick_ = false;  ///< pressure relief requested an immediate pass
+  std::atomic<bool> gc_background_enabled_{true};
+  std::atomic<uint64_t> background_gc_passes_{0};
+  std::thread gc_thread_;  ///< last member: joins before peers tear down
 };
 
 }  // namespace prefsql

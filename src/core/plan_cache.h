@@ -104,6 +104,9 @@ class PlanCache {
     if (prepared != nullptr) cache_.Insert(key, std::move(prepared));
   }
 
+  /// Memory-pressure shed: drops up to `n` cold entries (LRU order).
+  size_t Shed(size_t n) { return cache_.EvictOldest(n); }
+
   /// Early reclamation after DDL: drops every entry whose catalog version
   /// differs from `current` (they can never be looked up again). Returns
   /// the number of dropped entries.

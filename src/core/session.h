@@ -11,11 +11,14 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 
 #include "core/bmo.h"
 #include "core/quality.h"
+#include "core/query_context.h"
 
 namespace prefsql {
 
@@ -77,6 +80,24 @@ struct ConnectionOptions {
   /// (runs only when no reader holds the statement lock or a pinned
   /// snapshot; off keeps every version around, e.g. for debugging).
   bool mvcc_gc = true;
+  /// Run the engine's background MVCC reclaimer (a low-priority engine
+  /// thread walking all tables with a pin-aware horizon, bounding
+  /// dead-version residency when the opportunistic post-DML sweep rarely
+  /// wins its try-lock). Engine-wide: any session switching it off pauses
+  /// the thread.
+  bool mvcc_gc_background = true;
+  /// Per-statement deadline in milliseconds; statements that exceed it
+  /// return kTimeout promptly (cooperative checks every few hundred rows /
+  /// dominance tests). 0 = no deadline.
+  uint64_t statement_timeout_ms = 0;
+  /// Per-statement memory budget in bytes for materializing buffers (packed
+  /// key stores, sort/join/BMO staging). Exceeding it returns
+  /// kResourceExhausted instead of OOM-ing. 0 = unlimited.
+  uint64_t statement_memory_bytes = 0;
+  /// Engine-wide memory budget in bytes shared by all sessions' statement
+  /// buffers. Under pressure the engine sheds cold cache entries and runs a
+  /// pin-aware GC sweep before refusing a query. 0 = unlimited.
+  uint64_t engine_memory_bytes = 0;
 };
 
 /// Statistics of the last executed preference query (plus, for any cached
@@ -152,10 +173,38 @@ class Session {
   }
   uint64_t stats_epoch() const { return stats_epoch_; }
 
+  /// Requests cooperative cancellation of this session's in-flight
+  /// statement (and, for a streaming cursor, its remaining pulls). Safe
+  /// from any thread — this is the client-side kill switch (shell Ctrl-C,
+  /// server-side admin). A no-op when nothing is executing; the returned
+  /// bool says whether a statement was actually signalled.
+  bool CancelCurrent() {
+    std::lock_guard<std::mutex> g(current_mu_);
+    if (current_ == nullptr) return false;
+    current_->Cancel();
+    return true;
+  }
+
+  /// Engine-internal: publishes/retires the context of the statement being
+  /// executed so CancelCurrent can reach it cross-thread. The engine keeps
+  /// the context installed for the lifetime of a streaming cursor.
+  void SetCurrentContext(std::shared_ptr<QueryContext> ctx) {
+    std::lock_guard<std::mutex> g(current_mu_);
+    current_ = std::move(ctx);
+  }
+  /// Engine-internal: retires `ctx` only if it is still the installed
+  /// context (a newer statement may have replaced it already).
+  void ClearCurrentContext(const QueryContext* ctx) {
+    std::lock_guard<std::mutex> g(current_mu_);
+    if (current_.get() == ctx) current_.reset();
+  }
+
  private:
   ConnectionOptions options_;
   PreferenceQueryStats last_stats_;
   uint64_t stats_epoch_ = 0;
+  std::mutex current_mu_;
+  std::shared_ptr<QueryContext> current_;
 };
 
 }  // namespace prefsql

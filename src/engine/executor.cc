@@ -2,7 +2,10 @@
 
 #include <algorithm>
 
+#include "core/query_context.h"
 #include "engine/planner.h"
+#include "util/failpoint.h"
+#include "util/memory_budget.h"
 #include "util/string_util.h"
 
 namespace prefsql {
@@ -129,6 +132,11 @@ class DmlCommit {
       : table_(table), dml_(dml), epoch_(table->epochs().BeginWrite()) {}
   ~DmlCommit() {
     if (mutated_) {
+      // Fault-injection site (delay-only — a destructor cannot propagate a
+      // status): stretches the window between the last stamped change and
+      // the epoch becoming visible, the exact interval concurrent readers
+      // and cache maintenance must tolerate.
+      PSQL_FAILPOINT("epoch_publish");
       table_->SealVersion(epoch_);
       table_->epochs().Publish(epoch_);
       dml_->commit_epoch = epoch_;
@@ -253,7 +261,18 @@ Result<ResultTable> Executor::ExecuteInsert(const Statement& stmt) {
   }
 
   DmlCommit commit(table, &dml);
+  // Cooperative interrupt + RowHeap-growth accounting. A mid-statement
+  // interrupt commits the rows already stamped (this storage layer has no
+  // rollback — the DmlCommit guard publishes partial effects by design);
+  // the budget bounds one statement's ingest spike and releases when the
+  // statement finishes.
+  QueryContext* qctx = CurrentQueryContext();
+  ScopedMemoryCharge stmt_charge;
+  ScopedMemoryCharge engine_charge;
+  size_t tick = 0;
+  uint64_t pending = 0;
   auto insert_values = [&](std::vector<Value> values) -> Status {
+    PSQL_RETURN_IF_ERROR(PollInterrupt(&tick));
     if (values.size() != positions.size()) {
       return Status::InvalidArgument(
           "INSERT expects " + std::to_string(positions.size()) +
@@ -264,6 +283,14 @@ Result<ResultTable> Executor::ExecuteInsert(const Statement& stmt) {
       row[positions[i]] = std::move(values[i]);
     }
     PSQL_ASSIGN_OR_RETURN(row, table->CoerceRow(std::move(row)));
+    if (qctx != nullptr) {
+      pending += sizeof(Row) + row.size() * sizeof(Value);
+      if (pending >= kChargeBatchBytes) {
+        PSQL_RETURN_IF_ERROR(
+            qctx->ChargeMemory(pending, &stmt_charge, &engine_charge));
+        pending = 0;
+      }
+    }
     table->AppendVersion(std::move(row), commit.epoch());
     commit.MarkMutated();
     return Status::OK();
@@ -306,10 +333,16 @@ Result<ResultTable> Executor::ExecuteUpdate(const Statement& stmt) {
   const Schema& schema = table->schema();
   const RowHeap& heap = table->heap();
   DmlCommit commit(table, &dml);
+  QueryContext* qctx = CurrentQueryContext();
+  ScopedMemoryCharge stmt_charge;
+  ScopedMemoryCharge engine_charge;
+  size_t tick = 0;
+  uint64_t pending = 0;
   int64_t affected = 0;
   // Only slots that existed at statement start: our own appended versions
   // land above heap_before and must not be revisited.
   for (size_t slot = 0; slot < dml.heap_before; ++slot) {
+    PSQL_RETURN_IF_ERROR(PollInterrupt(&tick));
     if (!heap.VisibleAt(slot, read_epoch)) continue;
     const Row& row = heap.row(slot);
     if (stmt.where != nullptr) {
@@ -331,6 +364,15 @@ Result<ResultTable> Executor::ExecuteUpdate(const Statement& stmt) {
           updated[target_cols[i]],
           table->CoerceToColumn(target_cols[i], std::move(new_values[i])));
     }
+    if (qctx != nullptr) {
+      // Each touched row appends a replacement version (RowHeap growth).
+      pending += sizeof(Row) + updated.size() * sizeof(Value);
+      if (pending >= kChargeBatchBytes) {
+        PSQL_RETURN_IF_ERROR(
+            qctx->ChargeMemory(pending, &stmt_charge, &engine_charge));
+        pending = 0;
+      }
+    }
     table->MarkDeleted(slot, commit.epoch());
     table->AppendVersion(std::move(updated), commit.epoch());
     commit.MarkMutated();
@@ -349,8 +391,10 @@ Result<ResultTable> Executor::ExecuteDelete(const Statement& stmt) {
   const Schema& schema = table->schema();
   const RowHeap& heap = table->heap();
   DmlCommit commit(table, &dml);
+  size_t tick = 0;
   int64_t deleted = 0;
   for (size_t slot = 0; slot < dml.heap_before; ++slot) {
+    PSQL_RETURN_IF_ERROR(PollInterrupt(&tick));
     if (!heap.VisibleAt(slot, read_epoch)) continue;
     if (stmt.where != nullptr) {
       EvalContext ctx{&schema, &heap.row(slot), nullptr, this};

@@ -22,6 +22,10 @@ FilterOperator::FilterOperator(OperatorPtr child, ExprPtr predicate,
 Result<bool> FilterOperator::Next(RowRef* out) {
   RowRef row;
   while (true) {
+    // A selective predicate (e.g. the rewrite path's NOT EXISTS anti-join)
+    // can reject unboundedly many rows inside one pull; poll the deadline/
+    // cancel latch so the reject loop stays interruptible.
+    PSQL_RETURN_IF_ERROR(PollInterrupt(&tick_));
     PSQL_ASSIGN_OR_RETURN(bool more, child_->Next(&row));
     if (!more) return false;
     EvalContext ctx{&child_->schema(), &row.row(), outer_, runner_};

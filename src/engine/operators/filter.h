@@ -3,6 +3,9 @@
 
 #pragma once
 
+#include <cstddef>
+
+#include "core/query_context.h"
 #include "engine/evaluator.h"
 #include "engine/operators/operator.h"
 #include "sql/ast.h"
@@ -30,6 +33,7 @@ class FilterOperator : public PhysicalOperator {
   const Expr* predicate_;
   const EvalContext* outer_;
   SubqueryRunner* runner_;
+  size_t tick_ = 0;  ///< interrupt-poll stride over rejected rows
 };
 
 }  // namespace prefsql

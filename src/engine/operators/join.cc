@@ -1,5 +1,7 @@
 #include "engine/operators/join.h"
 
+#include "core/query_context.h"
+
 namespace prefsql {
 namespace {
 
@@ -52,13 +54,34 @@ Status HashJoinOperator::Open() {
   PSQL_RETURN_IF_ERROR(right_->Open());
   build_rows_.clear();
   build_index_.clear();
+  stmt_charge_.Reset();
+  engine_charge_.Reset();
+  QueryContext* qctx = CurrentQueryContext();
   RowRef row;
+  size_t tick = 0;
+  uint64_t pending = 0;
   while (true) {
+    PSQL_RETURN_IF_ERROR(PollInterrupt(&tick));
     PSQL_ASSIGN_OR_RETURN(bool more, right_->Next(&row));
     if (!more) break;
+    if (qctx != nullptr) {
+      // Row payload + its index entry, batched to keep the atomics off the
+      // per-row path.
+      pending += sizeof(RowRef) + row.row().size() * sizeof(Value) +
+                 2 * sizeof(size_t);
+      if (pending >= kChargeBatchBytes) {
+        PSQL_RETURN_IF_ERROR(
+            qctx->ChargeMemory(pending, &stmt_charge_, &engine_charge_));
+        pending = 0;
+      }
+    }
     build_index_[HashRow(KeyOf(row.row(), right_keys_))].push_back(
         build_rows_.size());
     build_rows_.push_back(std::move(row));
+  }
+  if (qctx != nullptr && pending > 0) {
+    PSQL_RETURN_IF_ERROR(
+        qctx->ChargeMemory(pending, &stmt_charge_, &engine_charge_));
   }
   left_valid_ = false;
   return Status::OK();
@@ -80,6 +103,7 @@ Result<bool> HashJoinOperator::AdvanceLeft() {
 
 Result<bool> HashJoinOperator::Next(RowRef* out) {
   while (true) {
+    PSQL_RETURN_IF_ERROR(PollInterrupt(&tick_));
     if (!left_valid_) {
       PSQL_ASSIGN_OR_RETURN(bool more, AdvanceLeft());
       if (!more) return false;
@@ -120,6 +144,8 @@ void HashJoinOperator::Close() {
   right_->Close();
   build_rows_.clear();
   build_index_.clear();
+  stmt_charge_.Reset();
+  engine_charge_.Reset();
 }
 
 // ===========================================================================
@@ -145,7 +171,9 @@ Status NestedLoopJoinOperator::Open() {
   PSQL_RETURN_IF_ERROR(right_->Open());
   right_rows_.clear();
   RowRef row;
+  size_t tick = 0;
   while (true) {
+    PSQL_RETURN_IF_ERROR(PollInterrupt(&tick));
     PSQL_ASSIGN_OR_RETURN(bool more, right_->Next(&row));
     if (!more) break;
     right_rows_.push_back(std::move(row));
@@ -164,6 +192,7 @@ Result<bool> NestedLoopJoinOperator::Next(RowRef* out) {
       right_pos_ = 0;
     }
     while (right_pos_ < right_rows_.size()) {
+      PSQL_RETURN_IF_ERROR(PollInterrupt(&tick_));
       const Row& right_row = right_rows_[right_pos_++].row();
       Row combined = ConcatRows(left_row_.row(), right_row);
       bool pass = true;

@@ -12,6 +12,7 @@
 #include "engine/evaluator.h"
 #include "engine/operators/operator.h"
 #include "sql/ast.h"
+#include "util/memory_budget.h"
 
 namespace prefsql {
 
@@ -45,6 +46,9 @@ class HashJoinOperator : public PhysicalOperator {
   // Build side (right input), materialized at Open.
   std::vector<RowRef> build_rows_;
   std::unordered_map<size_t, std::vector<size_t>> build_index_;
+  // Budget reservations for the build side, held until Close.
+  ScopedMemoryCharge stmt_charge_;
+  ScopedMemoryCharge engine_charge_;
 
   // Probe state for the current left row.
   RowRef left_row_;
@@ -54,6 +58,7 @@ class HashJoinOperator : public PhysicalOperator {
   size_t match_pos_ = 0;
   bool left_matched_ = false;
   bool left_valid_ = false;
+  size_t tick_ = 0;  // interrupt-poll stride counter for the probe loop
 };
 
 /// Nested-loop join; `join_on` may be null (cross product).
@@ -82,6 +87,7 @@ class NestedLoopJoinOperator : public PhysicalOperator {
   size_t right_pos_ = 0;
   bool left_matched_ = false;
   bool left_valid_ = false;
+  size_t tick_ = 0;  // interrupt-poll stride counter for the scan loop
 };
 
 }  // namespace prefsql

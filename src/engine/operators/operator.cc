@@ -1,5 +1,7 @@
 #include "engine/operators/operator.h"
 
+#include "core/query_context.h"
+
 namespace prefsql {
 
 Result<ResultTable> DrainToTable(PhysicalOperator& op) {
@@ -10,7 +12,17 @@ Result<ResultTable> DrainToTable(PhysicalOperator& op) {
   }
   std::vector<Row> rows;
   RowRef ref;
+  size_t tick = 0;
   while (true) {
+    // Every eager materialization funnels through here (view
+    // materialization, rewrite-mode scripts, DML sources); poll the
+    // deadline/cancel latch so multi-hundred-thousand-row drains stay
+    // interruptible between operator-level polls.
+    Status interrupt = PollInterrupt(&tick);
+    if (!interrupt.ok()) {
+      op.Close();
+      return interrupt;
+    }
     auto more = op.Next(&ref);
     if (!more.ok()) {
       op.Close();

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "core/query_context.h"
+
 namespace prefsql {
 
 SortOperator::SortOperator(OperatorPtr child, std::vector<SortKey> keys)
@@ -11,11 +13,33 @@ Status SortOperator::Open() {
   PSQL_RETURN_IF_ERROR(child_->Open());
   rows_.clear();
   pos_ = 0;
+  stmt_charge_.Reset();
+  engine_charge_.Reset();
+  QueryContext* qctx = CurrentQueryContext();
   RowRef ref;
+  size_t tick = 0;
+  uint64_t pending = 0;
   while (true) {
+    PSQL_RETURN_IF_ERROR(PollInterrupt(&tick));
     PSQL_ASSIGN_OR_RETURN(bool more, child_->Next(&ref));
     if (!more) break;
-    rows_.push_back(std::move(ref).IntoRow());
+    Row row = std::move(ref).IntoRow();
+    if (qctx != nullptr) {
+      pending += sizeof(Row) + row.size() * sizeof(Value);
+      if (pending >= kChargeBatchBytes) {
+        PSQL_RETURN_IF_ERROR(
+            qctx->ChargeMemory(pending, &stmt_charge_, &engine_charge_));
+        pending = 0;
+      }
+    }
+    rows_.push_back(std::move(row));
+  }
+  if (qctx != nullptr) {
+    if (pending > 0) {
+      PSQL_RETURN_IF_ERROR(
+          qctx->ChargeMemory(pending, &stmt_charge_, &engine_charge_));
+    }
+    PSQL_RETURN_IF_ERROR(qctx->CheckInterrupt());
   }
   std::stable_sort(rows_.begin(), rows_.end(),
                    [this](const Row& a, const Row& b) {
@@ -37,6 +61,8 @@ Result<bool> SortOperator::Next(RowRef* out) {
 void SortOperator::Close() {
   child_->Close();
   rows_.clear();
+  stmt_charge_.Reset();
+  engine_charge_.Reset();
 }
 
 LimitOperator::LimitOperator(OperatorPtr child, std::optional<int64_t> limit,

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "engine/operators/operator.h"
+#include "util/memory_budget.h"
 
 namespace prefsql {
 
@@ -32,6 +33,9 @@ class SortOperator : public PhysicalOperator {
   std::vector<SortKey> keys_;
   std::vector<Row> rows_;
   size_t pos_ = 0;
+  // Budget reservations for the materialized input, held until Close.
+  ScopedMemoryCharge stmt_charge_;
+  ScopedMemoryCharge engine_charge_;
 };
 
 /// Skips `offset` rows, then forwards at most `limit` rows and stops

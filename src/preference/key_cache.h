@@ -125,6 +125,9 @@ class SkylineCache {
     cache_.Rekey(old_key, new_key, std::move(entry));
   }
 
+  /// Memory-pressure shed: drops up to `n` cold entries (LRU order).
+  size_t Shed(size_t n) { return cache_.EvictOldest(n); }
+
   /// All live entries of one table, for the post-DML maintenance loop.
   std::vector<std::pair<KeyCacheKey, std::shared_ptr<const SkylineEntry>>>
   SnapshotForTable(uint64_t table_id) const {
@@ -211,6 +214,9 @@ class FilterCache {
               std::shared_ptr<const std::vector<size_t>> positions) {
     if (positions != nullptr) cache_.Insert(key, std::move(positions));
   }
+
+  /// Memory-pressure shed: drops up to `n` cold entries (LRU order).
+  size_t Shed(size_t n) { return cache_.EvictOldest(n); }
 
   /// Same early-reclamation contract as SkylineCache::EvictStale.
   size_t EvictStale(

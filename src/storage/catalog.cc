@@ -1,5 +1,7 @@
 #include "storage/catalog.h"
 
+#include <mutex>
+
 #include "util/string_util.h"
 
 namespace prefsql {
@@ -9,6 +11,7 @@ std::string Catalog::Key(const std::string& name) { return ToLower(name); }
 Status Catalog::CreateTable(const std::string& name,
                             std::vector<ColumnDef> columns,
                             bool if_not_exists) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
   std::string key = Key(name);
   if (tables_.count(key) || views_.count(key)) {
     if (if_not_exists) return Status::OK();
@@ -33,6 +36,7 @@ Status Catalog::CreateTable(const std::string& name,
 
 Status Catalog::CreateView(const std::string& name,
                            std::shared_ptr<SelectStmt> definition) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
   std::string key = Key(name);
   if (tables_.count(key) || views_.count(key)) {
     return Status::AlreadyExists("table or view '" + name + "' already exists");
@@ -44,11 +48,12 @@ Status Catalog::CreateView(const std::string& name,
 
 Status Catalog::CreateIndex(const std::string& name, const std::string& table,
                             const std::vector<std::string>& columns) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
   std::string key = Key(name);
   if (indexes_.count(key)) {
     return Status::AlreadyExists("index '" + name + "' already exists");
   }
-  PSQL_ASSIGN_OR_RETURN(Table * tbl, GetTable(table));
+  PSQL_ASSIGN_OR_RETURN(Table * tbl, GetTableUnlocked(table));
   std::vector<size_t> cols;
   for (const auto& c : columns) {
     PSQL_ASSIGN_OR_RETURN(size_t idx, tbl->ColumnIndex(c));
@@ -65,6 +70,7 @@ Status Catalog::CreateIndex(const std::string& name, const std::string& table,
 
 Status Catalog::CreatePreference(const std::string& name,
                                  PrefTermPtr definition) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
   std::string key = Key(name);
   if (preferences_.count(key)) {
     return Status::AlreadyExists("preference '" + name + "' already exists");
@@ -75,6 +81,7 @@ Status Catalog::CreatePreference(const std::string& name,
 }
 
 Result<const PrefTerm*> Catalog::GetPreference(const std::string& name) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
   auto it = preferences_.find(Key(name));
   if (it == preferences_.end()) {
     return Status::NotFound("no preference '" + name + "'");
@@ -83,11 +90,13 @@ Result<const PrefTerm*> Catalog::GetPreference(const std::string& name) const {
 }
 
 bool Catalog::HasPreference(const std::string& name) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
   return preferences_.count(Key(name)) > 0;
 }
 
 Status Catalog::Drop(Statement::DropKind kind, const std::string& name,
                      bool if_exists) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
   std::string key = Key(name);
   switch (kind) {
     case Statement::DropKind::kTable: {
@@ -144,7 +153,7 @@ Status Catalog::Drop(Statement::DropKind kind, const std::string& name,
   return Status::Internal("unreachable");
 }
 
-Result<Table*> Catalog::GetTable(const std::string& name) const {
+Result<Table*> Catalog::GetTableUnlocked(const std::string& name) const {
   auto it = tables_.find(Key(name));
   if (it == tables_.end()) {
     return Status::NotFound("no table '" + name + "'");
@@ -152,8 +161,14 @@ Result<Table*> Catalog::GetTable(const std::string& name) const {
   return it->second.get();
 }
 
+Result<Table*> Catalog::GetTable(const std::string& name) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return GetTableUnlocked(name);
+}
+
 Result<std::shared_ptr<SelectStmt>> Catalog::GetView(
     const std::string& name) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
   auto it = views_.find(Key(name));
   if (it == views_.end()) {
     return Status::NotFound("no view '" + name + "'");
@@ -162,14 +177,16 @@ Result<std::shared_ptr<SelectStmt>> Catalog::GetView(
 }
 
 bool Catalog::HasTable(const std::string& name) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
   return tables_.count(Key(name)) > 0;
 }
 
 bool Catalog::HasView(const std::string& name) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
   return views_.count(Key(name)) > 0;
 }
 
-std::vector<Index*> Catalog::IndexesOn(const std::string& table) const {
+std::vector<Index*> Catalog::IndexesOnUnlocked(const std::string& table) const {
   std::vector<Index*> out;
   std::string tkey = Key(table);
   for (const auto& [iname, tname] : index_table_) {
@@ -178,15 +195,22 @@ std::vector<Index*> Catalog::IndexesOn(const std::string& table) const {
   return out;
 }
 
+std::vector<Index*> Catalog::IndexesOn(const std::string& table) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return IndexesOnUnlocked(table);
+}
+
 Index* Catalog::FindIndex(const std::string& table,
                           const std::vector<size_t>& columns) const {
-  for (Index* idx : IndexesOn(table)) {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  for (Index* idx : IndexesOnUnlocked(table)) {
     if (idx->key_columns() == columns) return idx;
   }
   return nullptr;
 }
 
 std::vector<std::string> Catalog::TableNames() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
   std::vector<std::string> out;
   for (const auto& [k, t] : tables_) out.push_back(t->name());
   return out;

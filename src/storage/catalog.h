@@ -5,6 +5,7 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
+#include <shared_mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -18,6 +19,16 @@
 namespace prefsql {
 
 /// Owns all persistent objects of a database instance.
+///
+/// The name->object maps are internally synchronized (shared_mutex): the
+/// engine serializes DDL against statements with its own lock, but the
+/// background MVCC reclaimer walks the catalog from its own thread, and
+/// embedded users (workload generators, the shell's .demo, benches) create
+/// tables through Database directly without ever taking the engine lock.
+/// The internal lock only protects map *structure* — returned Table*/Index*
+/// stay valid under concurrent DDL-free traffic because the map values are
+/// stable unique_ptr targets; object contents are protected by MVCC and
+/// the objects' own internal locks.
 class Catalog {
  public:
   /// Database-wide MVCC epoch manager: every table created through this
@@ -74,13 +85,18 @@ class Catalog {
  private:
   static std::string Key(const std::string& name);
 
+  // Unlocked internals for reuse from methods already holding mu_.
+  Result<Table*> GetTableUnlocked(const std::string& name) const;
+  std::vector<Index*> IndexesOnUnlocked(const std::string& table) const;
+
   void BumpVersion() {
-    if (!suppress_version_bumps_) {
+    if (!suppress_version_bumps_.load(std::memory_order_relaxed)) {
       version_.fetch_add(1, std::memory_order_relaxed);
     }
   }
 
   EpochManager epochs_;
+  mutable std::shared_mutex mu_;  // guards the maps below
   std::unordered_map<std::string, std::unique_ptr<Table>> tables_;
   std::unordered_map<std::string, std::shared_ptr<SelectStmt>> views_;
   std::unordered_map<std::string, std::unique_ptr<Index>> indexes_;
@@ -88,7 +104,7 @@ class Catalog {
   // index name -> table key, for IndexesOn.
   std::unordered_map<std::string, std::string> index_table_;
   std::atomic<uint64_t> version_{0};
-  bool suppress_version_bumps_ = false;
+  std::atomic<bool> suppress_version_bumps_{false};
 };
 
 }  // namespace prefsql

@@ -1,0 +1,163 @@
+#include "util/failpoint.h"
+
+#include <chrono>
+#include <cstdlib>
+#include <map>
+#include <mutex>
+#include <thread>
+
+namespace prefsql {
+namespace failpoint {
+namespace {
+
+struct SiteState {
+  Action action;
+  uint64_t hits = 0;
+  bool evaluated = false;
+};
+
+struct Registry {
+  std::mutex mu;
+  std::map<std::string, SiteState> sites;
+  bool env_parsed = false;
+};
+
+Registry& TheRegistry() {
+  static Registry* r = new Registry();  // leaked: outlives static dtors
+  return *r;
+}
+
+// "delay(5)*3" -> {kDelay, 5, 3}. Returns false on malformed input.
+bool ParseSpec(const std::string& spec, Action* out) {
+  std::string body = spec;
+  uint64_t max_hits = 0;
+  const size_t star = body.rfind('*');
+  if (star != std::string::npos) {
+    const std::string count = body.substr(star + 1);
+    if (count.empty()) return false;
+    for (char c : count) {
+      if (c < '0' || c > '9') return false;
+    }
+    max_hits = std::strtoull(count.c_str(), nullptr, 10);
+    body = body.substr(0, star);
+  }
+  Action action;
+  action.max_hits = max_hits;
+  if (body == "off") {
+    action.kind = ActionKind::kOff;
+  } else if (body == "error") {
+    action.kind = ActionKind::kError;
+  } else if (body == "crash") {
+    action.kind = ActionKind::kCrash;
+  } else if (body.rfind("delay(", 0) == 0 && body.back() == ')') {
+    const std::string ms = body.substr(6, body.size() - 7);
+    if (ms.empty()) return false;
+    for (char c : ms) {
+      if (c < '0' || c > '9') return false;
+    }
+    action.kind = ActionKind::kDelay;
+    action.delay_ms = std::strtoull(ms.c_str(), nullptr, 10);
+  } else {
+    return false;
+  }
+  *out = action;
+  return true;
+}
+
+// PREFSQL_FAILPOINTS="name=spec,name=spec"; malformed pairs are skipped.
+void ParseEnvLocked(Registry& reg) {
+  if (reg.env_parsed) return;
+  reg.env_parsed = true;
+  const char* env = std::getenv("PREFSQL_FAILPOINTS");
+  if (env == nullptr) return;
+  std::string s(env);
+  size_t pos = 0;
+  while (pos < s.size()) {
+    size_t comma = s.find(',', pos);
+    if (comma == std::string::npos) comma = s.size();
+    const std::string pair = s.substr(pos, comma - pos);
+    pos = comma + 1;
+    const size_t eq = pair.find('=');
+    if (eq == std::string::npos) continue;
+    Action action;
+    if (ParseSpec(pair.substr(eq + 1), &action)) {
+      reg.sites[pair.substr(0, eq)].action = action;
+    }
+  }
+}
+
+}  // namespace
+
+void Arm(const std::string& name, Action action) {
+  Registry& reg = TheRegistry();
+  std::lock_guard<std::mutex> g(reg.mu);
+  ParseEnvLocked(reg);
+  reg.sites[name].action = action;
+}
+
+bool ArmFromSpec(const std::string& name, const std::string& spec) {
+  Action action;
+  if (!ParseSpec(spec, &action)) return false;
+  Arm(name, action);
+  return true;
+}
+
+void Disarm(const std::string& name) {
+  Arm(name, Action{});
+}
+
+void DisarmAll() {
+  Registry& reg = TheRegistry();
+  std::lock_guard<std::mutex> g(reg.mu);
+  ParseEnvLocked(reg);
+  for (auto& [name, site] : reg.sites) site.action = Action{};
+}
+
+uint64_t HitCount(const std::string& name) {
+  Registry& reg = TheRegistry();
+  std::lock_guard<std::mutex> g(reg.mu);
+  auto it = reg.sites.find(name);
+  return it == reg.sites.end() ? 0 : it->second.hits;
+}
+
+std::vector<std::string> EvaluatedSites() {
+  Registry& reg = TheRegistry();
+  std::lock_guard<std::mutex> g(reg.mu);
+  std::vector<std::string> out;
+  for (const auto& [name, site] : reg.sites) {
+    if (site.evaluated) out.push_back(name);
+  }
+  return out;
+}
+
+Status Evaluate(const char* name) {
+  Action fired;
+  {
+    Registry& reg = TheRegistry();
+    std::lock_guard<std::mutex> g(reg.mu);
+    ParseEnvLocked(reg);
+    SiteState& site = reg.sites[name];
+    site.evaluated = true;
+    if (site.action.kind == ActionKind::kOff) return Status::OK();
+    ++site.hits;
+    fired = site.action;
+    if (site.action.max_hits != 0 && --site.action.max_hits == 0) {
+      site.action = Action{};
+    }
+  }
+  switch (fired.kind) {
+    case ActionKind::kOff:
+      break;
+    case ActionKind::kError:
+      return Status::Internal(std::string("failpoint ") + name);
+    case ActionKind::kDelay:
+      std::this_thread::sleep_for(std::chrono::milliseconds(fired.delay_ms));
+      break;
+    case ActionKind::kCrash:
+      std::abort();
+  }
+  return Status::OK();
+}
+
+}  // namespace failpoint
+}  // namespace prefsql

@@ -121,6 +121,21 @@ class LruCache {
     return out;
   }
 
+  /// Drops up to `n` entries from the cold (least recently used) end —
+  /// the memory-pressure shed primitive. Returns how many were dropped;
+  /// they feed the eviction counter like capacity evictions.
+  size_t EvictOldest(size_t n) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    size_t dropped = 0;
+    while (dropped < n && !lru_.empty()) {
+      map_.erase(lru_.back().first);
+      lru_.pop_back();
+      ++dropped;
+    }
+    counters_.evictions += dropped;
+    return dropped;
+  }
+
   /// Drops every entry whose key matches `pred`; returns how many.
   size_t EvictWhere(const std::function<bool(const Key&)>& pred) {
     std::lock_guard<std::mutex> lock(mutex_);

@@ -1,0 +1,123 @@
+// MemoryBudget: a lock-free byte accountant for query-level and engine-level
+// memory governance.
+//
+// Large allocations on the query path (KeyStore builds, hash-join/sort
+// buffers, RowHeap growth) charge a budget before allocating and release on
+// teardown. A charge that would exceed the limit fails WITHOUT mutating the
+// counter, letting the caller degrade gracefully (shed cache entries, run
+// GC) and retry, or surface kResourceExhausted instead of an OOM kill.
+//
+// A limit of 0 means "unlimited" — the accountant still tracks usage (cheap:
+// one relaxed atomic add) so peak consumption stays observable.
+
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+
+namespace prefsql {
+
+/// Materializing operators batch their per-row charges up to this many bytes
+/// before touching the (atomic) budget counters, keeping accounting off the
+/// per-row fast path.
+inline constexpr uint64_t kChargeBatchBytes = 64 * 1024;
+
+class MemoryBudget {
+ public:
+  MemoryBudget() = default;
+  explicit MemoryBudget(uint64_t limit_bytes) : limit_(limit_bytes) {}
+
+  MemoryBudget(const MemoryBudget&) = delete;
+  MemoryBudget& operator=(const MemoryBudget&) = delete;
+
+  /// Attempts to reserve `bytes`. Returns false (without charging) when the
+  /// reservation would push usage past the limit.
+  bool TryCharge(uint64_t bytes) {
+    if (bytes == 0) return true;
+    uint64_t used = used_.load(std::memory_order_relaxed);
+    for (;;) {
+      const uint64_t limit = limit_.load(std::memory_order_relaxed);
+      const uint64_t next = used + bytes;
+      if (limit != 0 && (next < used || next > limit)) return false;
+      if (used_.compare_exchange_weak(used, next, std::memory_order_relaxed)) {
+        return true;
+      }
+    }
+  }
+
+  /// Returns a previous charge. Releasing more than was charged clamps to
+  /// zero (defensive: double-release must not wedge the budget negative).
+  void Release(uint64_t bytes) {
+    if (bytes == 0) return;
+    uint64_t used = used_.load(std::memory_order_relaxed);
+    for (;;) {
+      const uint64_t next = used > bytes ? used - bytes : 0;
+      if (used_.compare_exchange_weak(used, next, std::memory_order_relaxed)) {
+        return;
+      }
+    }
+  }
+
+  uint64_t used() const { return used_.load(std::memory_order_relaxed); }
+  uint64_t limit() const { return limit_.load(std::memory_order_relaxed); }
+  /// 0 = unlimited. Safe to adjust while queries run; in-flight charges are
+  /// unaffected.
+  void set_limit(uint64_t limit_bytes) {
+    limit_.store(limit_bytes, std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<uint64_t> used_{0};
+  std::atomic<uint64_t> limit_{0};
+};
+
+/// RAII charge against a budget; releases on destruction. `budget` may be
+/// null (no-op) so call sites need no branching when budgets are off.
+class ScopedMemoryCharge {
+ public:
+  ScopedMemoryCharge() = default;
+  ~ScopedMemoryCharge() { Reset(); }
+  ScopedMemoryCharge(const ScopedMemoryCharge&) = delete;
+  ScopedMemoryCharge& operator=(const ScopedMemoryCharge&) = delete;
+  ScopedMemoryCharge(ScopedMemoryCharge&& other) noexcept
+      : budget_(other.budget_), bytes_(other.bytes_) {
+    other.budget_ = nullptr;
+    other.bytes_ = 0;
+  }
+  ScopedMemoryCharge& operator=(ScopedMemoryCharge&& other) noexcept {
+    if (this != &other) {
+      Reset();
+      budget_ = other.budget_;
+      bytes_ = other.bytes_;
+      other.budget_ = nullptr;
+      other.bytes_ = 0;
+    }
+    return *this;
+  }
+
+  /// Adds `bytes` to the held charge. Returns false (charging nothing) when
+  /// the budget refuses.
+  bool Charge(MemoryBudget* budget, uint64_t bytes) {
+    if (budget == nullptr || bytes == 0) return true;
+    if (budget_ != nullptr && budget_ != budget) return false;
+    if (!budget->TryCharge(bytes)) return false;
+    budget_ = budget;
+    bytes_ += bytes;
+    return true;
+  }
+
+  void Reset() {
+    if (budget_ != nullptr) budget_->Release(bytes_);
+    budget_ = nullptr;
+    bytes_ = 0;
+  }
+
+  uint64_t bytes() const { return bytes_; }
+
+ private:
+  MemoryBudget* budget_ = nullptr;
+  uint64_t bytes_ = 0;
+};
+
+}  // namespace prefsql

@@ -25,6 +25,12 @@ const char* StatusCodeToString(StatusCode code) {
       return "Bind error";
     case StatusCode::kExecutionError:
       return "Execution error";
+    case StatusCode::kTimeout:
+      return "Timeout";
+    case StatusCode::kCancelled:
+      return "Cancelled";
+    case StatusCode::kResourceExhausted:
+      return "Resource exhausted";
   }
   return "Unknown";
 }

@@ -21,6 +21,7 @@ namespace prefsql {
 ///   bind       -> kBindError            (parameter arity/type/unbound)
 ///   catalog    -> kNotFound / kAlreadyExists
 ///   execution  -> kExecutionError / kInvalidArgument / kNotImplemented
+///   governance -> kTimeout / kCancelled / kResourceExhausted
 /// and kInternal is always a library bug.
 enum class StatusCode {
   kOk = 0,
@@ -45,6 +46,18 @@ enum class StatusCode {
   /// Runtime failure of an otherwise valid statement (cursor used after
   /// Close, statement aborted mid-stream, ...).
   kExecutionError = 8,
+  /// The statement exceeded its deadline (`SET statement_timeout_ms`) and
+  /// was abandoned cooperatively. Partial DML effects are committed (no
+  /// rollback under MVCC publish semantics); no partial cache entries are
+  /// published.
+  kTimeout = 9,
+  /// The statement was cancelled by the client (Session::CancelCurrent).
+  /// Same cleanup guarantees as kTimeout.
+  kCancelled = 10,
+  /// A per-statement or engine-wide memory budget was exhausted and the
+  /// graceful-degradation path (cache shedding, GC escalation) could not
+  /// recover enough headroom.
+  kResourceExhausted = 11,
 };
 
 /// Human-readable name of a StatusCode ("Parse error", ...).
@@ -87,6 +100,15 @@ class Status {
   static Status ExecutionError(std::string msg) {
     return Status(StatusCode::kExecutionError, std::move(msg));
   }
+  static Status Timeout(std::string msg) {
+    return Status(StatusCode::kTimeout, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
 
   /// True iff the operation succeeded.
   bool ok() const { return code_ == StatusCode::kOk; }
@@ -107,6 +129,11 @@ class Status {
   bool IsBindError() const { return code_ == StatusCode::kBindError; }
   bool IsExecutionError() const {
     return code_ == StatusCode::kExecutionError;
+  }
+  bool IsTimeout() const { return code_ == StatusCode::kTimeout; }
+  bool IsCancelled() const { return code_ == StatusCode::kCancelled; }
+  bool IsResourceExhausted() const {
+    return code_ == StatusCode::kResourceExhausted;
   }
 
   /// "<code name>: <message>" for failures, "OK" otherwise.

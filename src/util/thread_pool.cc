@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <utility>
 
+#include "util/failpoint.h"
+
 namespace prefsql {
 
 ThreadPool::ThreadPool(size_t threads) {
@@ -48,6 +50,10 @@ void ThreadPool::WorkerLoop() {
     queue_.pop_front();
     ++in_flight_;
     lock.unlock();
+    // Fault-injection site (delay-only — the pool has no status channel):
+    // staggers worker start so partition merges and interrupt propagation
+    // race-test under skew instead of lockstep dispatch.
+    PSQL_FAILPOINT("pool_dispatch");
     task();
     lock.lock();
     --in_flight_;

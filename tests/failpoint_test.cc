@@ -1,0 +1,115 @@
+// Unit tests for the failpoint registry (util/failpoint.h). The registry
+// functions (Arm/ArmFromSpec/Evaluate/HitCount/...) are always compiled —
+// only the PSQL_FAILPOINT site macros are gated behind
+// PREFSQL_FAILPOINTS_ENABLED — so this suite runs in every build flavour.
+
+#include "util/failpoint.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <chrono>
+#include <string>
+#include <vector>
+
+namespace prefsql {
+namespace {
+
+class FailpointTest : public ::testing::Test {
+ protected:
+  void SetUp() override { failpoint::DisarmAll(); }
+  void TearDown() override { failpoint::DisarmAll(); }
+};
+
+TEST_F(FailpointTest, UnarmedSiteIsOkAndDoesNotCountHits) {
+  const uint64_t before = failpoint::HitCount("fp_test_unarmed");
+  EXPECT_TRUE(failpoint::Evaluate("fp_test_unarmed").ok());
+  EXPECT_TRUE(failpoint::Evaluate("fp_test_unarmed").ok());
+  // Hits count armed firings only; a disarmed pass-through is free.
+  EXPECT_EQ(failpoint::HitCount("fp_test_unarmed"), before);
+}
+
+TEST_F(FailpointTest, ArmedFiringsIncrementHitCount) {
+  const uint64_t before = failpoint::HitCount("fp_test_hits");
+  ASSERT_TRUE(failpoint::ArmFromSpec("fp_test_hits", "error*3"));
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_FALSE(failpoint::Evaluate("fp_test_hits").ok());
+  }
+  EXPECT_TRUE(failpoint::Evaluate("fp_test_hits").ok());
+  EXPECT_EQ(failpoint::HitCount("fp_test_hits"), before + 3);
+}
+
+TEST_F(FailpointTest, ErrorActionProducesInternalStatus) {
+  ASSERT_TRUE(failpoint::ArmFromSpec("fp_test_error", "error"));
+  Status s = failpoint::Evaluate("fp_test_error");
+  ASSERT_FALSE(s.ok());
+  EXPECT_TRUE(s.IsInternal());
+  EXPECT_NE(s.message().find("failpoint"), std::string::npos);
+  EXPECT_NE(s.message().find("fp_test_error"), std::string::npos);
+}
+
+TEST_F(FailpointTest, HitLimitSelfDisarms) {
+  ASSERT_TRUE(failpoint::ArmFromSpec("fp_test_limit", "error*2"));
+  EXPECT_FALSE(failpoint::Evaluate("fp_test_limit").ok());
+  EXPECT_FALSE(failpoint::Evaluate("fp_test_limit").ok());
+  // Third evaluation: the limit is spent, the site has disarmed itself.
+  EXPECT_TRUE(failpoint::Evaluate("fp_test_limit").ok());
+  EXPECT_TRUE(failpoint::Evaluate("fp_test_limit").ok());
+}
+
+TEST_F(FailpointTest, DelayActionSleeps) {
+  ASSERT_TRUE(failpoint::ArmFromSpec("fp_test_delay", "delay(20)"));
+  const auto t0 = std::chrono::steady_clock::now();
+  EXPECT_TRUE(failpoint::Evaluate("fp_test_delay").ok());
+  const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+      std::chrono::steady_clock::now() - t0);
+  EXPECT_GE(elapsed.count(), 15);  // slack for coarse sleep granularity
+}
+
+TEST_F(FailpointTest, DisarmStopsFiring) {
+  ASSERT_TRUE(failpoint::ArmFromSpec("fp_test_disarm", "error"));
+  EXPECT_FALSE(failpoint::Evaluate("fp_test_disarm").ok());
+  failpoint::Disarm("fp_test_disarm");
+  EXPECT_TRUE(failpoint::Evaluate("fp_test_disarm").ok());
+}
+
+TEST_F(FailpointTest, OffSpecIsAccepted) {
+  ASSERT_TRUE(failpoint::ArmFromSpec("fp_test_off", "off"));
+  EXPECT_TRUE(failpoint::Evaluate("fp_test_off").ok());
+}
+
+TEST_F(FailpointTest, MalformedSpecsAreRejected) {
+  EXPECT_FALSE(failpoint::ArmFromSpec("fp_test_bad", "explode"));
+  EXPECT_FALSE(failpoint::ArmFromSpec("fp_test_bad", "delay"));
+  EXPECT_FALSE(failpoint::ArmFromSpec("fp_test_bad", "delay(x)"));
+  EXPECT_FALSE(failpoint::ArmFromSpec("fp_test_bad", "error*"));
+  EXPECT_FALSE(failpoint::ArmFromSpec("fp_test_bad", ""));
+  // A rejected spec leaves the site disarmed.
+  EXPECT_TRUE(failpoint::Evaluate("fp_test_bad").ok());
+}
+
+TEST_F(FailpointTest, RearmReplacesPreviousAction) {
+  ASSERT_TRUE(failpoint::ArmFromSpec("fp_test_rearm", "error"));
+  EXPECT_FALSE(failpoint::Evaluate("fp_test_rearm").ok());
+  ASSERT_TRUE(failpoint::ArmFromSpec("fp_test_rearm", "off"));
+  EXPECT_TRUE(failpoint::Evaluate("fp_test_rearm").ok());
+}
+
+TEST_F(FailpointTest, EvaluatedSitesRecordsCatalog) {
+  (void)failpoint::Evaluate("fp_test_catalog");
+  std::vector<std::string> sites = failpoint::EvaluatedSites();
+  EXPECT_NE(std::find(sites.begin(), sites.end(), "fp_test_catalog"),
+            sites.end());
+}
+
+TEST_F(FailpointTest, ProgrammaticArmWithActionStruct) {
+  failpoint::Action a;
+  a.kind = failpoint::ActionKind::kError;
+  a.max_hits = 1;
+  failpoint::Arm("fp_test_struct", a);
+  EXPECT_FALSE(failpoint::Evaluate("fp_test_struct").ok());
+  EXPECT_TRUE(failpoint::Evaluate("fp_test_struct").ok());
+}
+
+}  // namespace
+}  // namespace prefsql

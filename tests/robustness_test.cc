@@ -1,0 +1,306 @@
+// Robustness battery: statement deadlines, cooperative cancellation,
+// memory budgets, the background MVCC reclaimer, and the
+// cursor-abandoned-without-Close regression.
+//
+// The deadline/cancel tests run under every golden evaluation config
+// (rewrite, serial BNL, parallel BMO, LESS, SFS with pushdown off) so a
+// regression in any one path's interrupt polling fails loudly.
+
+#include <chrono>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/connection.h"
+#include "core/engine.h"
+#include "workload/generators.h"
+
+namespace prefsql {
+namespace {
+
+using std::chrono::duration_cast;
+using std::chrono::milliseconds;
+using std::chrono::steady_clock;
+
+// A 4-d skyline over the 500k-row `car` relation: large skyline, heavy
+// dominance phase — never finishes inside a 50ms deadline on any path.
+constexpr char kHeavyQuery[] =
+    "SELECT id FROM car PREFERRING LOWEST(price) AND LOWEST(mileage) "
+    "AND HIGHEST(power) AND LOWEST(age)";
+
+constexpr size_t kBigRows = 500000;
+
+// The acceptance bound: a 50ms deadline returns within 2x the deadline.
+// Sanitizer instrumentation slows each inter-poll stride ~10x, so the
+// bound scales there — the property under test (polls reach every path)
+// is unchanged, only the wall-clock ceiling moves.
+#if defined(__SANITIZE_THREAD__) || defined(__SANITIZE_ADDRESS__)
+constexpr long kTimeoutBoundMs = 1500;
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer) || __has_feature(address_sanitizer)
+constexpr long kTimeoutBoundMs = 1500;
+#else
+constexpr long kTimeoutBoundMs = 100;
+#endif
+#else
+constexpr long kTimeoutBoundMs = 100;
+#endif
+
+/// One shared engine holding the 500k-row table (generated once; the
+/// deadline tests never mutate it).
+std::shared_ptr<Engine> BigEngine() {
+  static std::shared_ptr<Engine> engine = [] {
+    auto e = std::make_shared<Engine>();
+    Status s = GenerateUsedCars(e->database(), kBigRows);
+    EXPECT_TRUE(s.ok()) << s.ToString();
+    return e;
+  }();
+  return engine;
+}
+
+struct GoldenConfig {
+  const char* name;
+  void (*apply)(ConnectionOptions& o);
+};
+
+const GoldenConfig kGoldenConfigs[] = {
+    {"rewrite", [](ConnectionOptions& o) { o.mode = EvaluationMode::kRewrite; }},
+    {"serial_bnl",
+     [](ConnectionOptions& o) {
+       o.mode = EvaluationMode::kBlockNestedLoop;
+       o.bmo_threads = 0;
+     }},
+    {"parallel_bmo",
+     [](ConnectionOptions& o) {
+       o.mode = EvaluationMode::kBlockNestedLoop;
+       o.bmo_threads = 4;
+       o.parallel_min_rows = 1024;
+     }},
+    {"less",
+     [](ConnectionOptions& o) {
+       o.mode = EvaluationMode::kBlockNestedLoop;
+       o.bmo_algorithm = BmoAlgorithm::kLess;
+     }},
+    {"sfs_pushdown_off",
+     [](ConnectionOptions& o) {
+       o.mode = EvaluationMode::kSortFilterSkyline;
+       o.preference_pushdown = false;
+     }},
+};
+
+TEST(RobustnessTest, TimeoutFiresUnderEveryGoldenConfig) {
+  auto engine = BigEngine();
+  for (const GoldenConfig& config : kGoldenConfigs) {
+    SCOPED_TRACE(config.name);
+    Connection conn;
+    conn.Attach(engine);
+    config.apply(conn.options());
+    ASSERT_TRUE(conn.Execute("SET statement_timeout_ms = 50").ok());
+    const auto t0 = steady_clock::now();
+    auto result = conn.Execute(kHeavyQuery);
+    const auto elapsed =
+        duration_cast<milliseconds>(steady_clock::now() - t0);
+    ASSERT_FALSE(result.ok()) << config.name << " finished in "
+                              << elapsed.count() << "ms";
+    EXPECT_TRUE(result.status().IsTimeout()) << result.status().ToString();
+    EXPECT_LT(elapsed.count(), kTimeoutBoundMs) << config.name;
+  }
+}
+
+TEST(RobustnessTest, CancelFiresUnderEveryGoldenConfig) {
+  auto engine = BigEngine();
+  for (const GoldenConfig& config : kGoldenConfigs) {
+    SCOPED_TRACE(config.name);
+    Connection conn;
+    conn.Attach(engine);
+    config.apply(conn.options());
+    // Kill switch on another thread: spin until the statement's context is
+    // published (CancelCurrent returns true), cancelling it right away.
+    std::thread killer([&conn] {
+      for (int i = 0; i < 4000; ++i) {
+        if (conn.session().CancelCurrent()) return;
+        std::this_thread::sleep_for(milliseconds(1));
+      }
+    });
+    const auto t0 = steady_clock::now();
+    auto result = conn.Execute(kHeavyQuery);
+    const auto elapsed =
+        duration_cast<milliseconds>(steady_clock::now() - t0);
+    killer.join();
+    ASSERT_FALSE(result.ok()) << config.name << " finished in "
+                              << elapsed.count() << "ms";
+    EXPECT_TRUE(result.status().IsCancelled()) << result.status().ToString();
+    EXPECT_LT(elapsed.count(), 2000) << config.name;
+  }
+}
+
+TEST(RobustnessTest, CancelWithNothingRunningIsANoOp) {
+  Connection conn;
+  EXPECT_FALSE(conn.session().CancelCurrent());
+  // The next statement is unaffected (no sticky cancel latch on the
+  // session itself — the latch lives in the per-statement context).
+  ASSERT_TRUE(conn.Execute("CREATE TABLE t (id INTEGER)").ok());
+  EXPECT_TRUE(conn.Execute("SELECT id FROM t").ok());
+}
+
+TEST(RobustnessTest, TimeoutPublishesNoPartialCacheEntry) {
+  auto engine = BigEngine();
+  Connection conn;
+  conn.Attach(engine);
+  conn.options().mode = EvaluationMode::kBlockNestedLoop;
+  engine->key_cache().Shed(1000000);  // start from an empty skyline cache
+  ASSERT_EQ(engine->key_cache().size(), 0u);
+  ASSERT_TRUE(conn.Execute("SET statement_timeout_ms = 50").ok());
+  auto result = conn.Execute(kHeavyQuery);
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsTimeout()) << result.status().ToString();
+  // The interrupted run must not have published a half-built KeyStore or
+  // skyline position list.
+  EXPECT_EQ(engine->key_cache().size(), 0u);
+}
+
+TEST(RobustnessTest, StatementMemoryBudgetRefusesWithResourceExhausted) {
+  auto engine = std::make_shared<Engine>();
+  ASSERT_TRUE(GenerateUsedCars(engine->database(), 20000).ok());
+  Connection conn;
+  conn.Attach(engine);
+  conn.options().mode = EvaluationMode::kBlockNestedLoop;
+  // 64KB cannot hold the packed keys of a 20k-row 4-d query.
+  ASSERT_TRUE(conn.Execute("SET statement_memory_bytes = 65536").ok());
+  auto result = conn.Execute(kHeavyQuery);
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsResourceExhausted())
+      << result.status().ToString();
+  // Lifting the budget makes the same query succeed — the refusal left no
+  // residual charge or latch behind.
+  ASSERT_TRUE(conn.Execute("SET statement_memory_bytes = 0").ok());
+  EXPECT_TRUE(conn.Execute(kHeavyQuery).ok());
+}
+
+TEST(RobustnessTest, EngineBudgetShedsCachesBeforeRefusing) {
+  auto engine = std::make_shared<Engine>();
+  ASSERT_TRUE(GenerateUsedCars(engine->database(), 20000).ok());
+  Connection conn;
+  conn.Attach(engine);
+  conn.options().mode = EvaluationMode::kBlockNestedLoop;
+  // Warm the skyline cache with a few distinct cheap queries.
+  ASSERT_TRUE(
+      conn.Execute("SELECT id FROM car PREFERRING LOWEST(price)").ok());
+  ASSERT_TRUE(
+      conn.Execute("SELECT id FROM car PREFERRING LOWEST(mileage)").ok());
+  ASSERT_TRUE(
+      conn.Execute("SELECT id FROM car PREFERRING HIGHEST(power)").ok());
+  const size_t warm = engine->key_cache().size();
+  ASSERT_GT(warm, 0u);
+  // Now pinch the engine-wide budget: the next heavy statement exhausts it,
+  // triggering pressure relief (cache shed + GC kick) before the refusal.
+  ASSERT_TRUE(conn.Execute("SET engine_memory_bytes = 65536").ok());
+  auto result = conn.Execute(kHeavyQuery);
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsResourceExhausted())
+      << result.status().ToString();
+  EXPECT_LT(engine->key_cache().size(), warm);
+  ASSERT_TRUE(conn.Execute("SET engine_memory_bytes = 0").ok());
+  EXPECT_TRUE(conn.Execute(kHeavyQuery).ok());
+}
+
+TEST(RobustnessTest, AbandonedCursorReleasesEngineAndLock) {
+  auto engine = std::make_shared<Engine>();
+  ASSERT_TRUE(GenerateUsedCars(engine->database(), 1000).ok());
+  Connection conn;
+  conn.Attach(engine);
+  conn.options().mode = EvaluationMode::kBlockNestedLoop;
+  {
+    auto cursor = conn.OpenCursor(
+        "SELECT id FROM car PREFERRING LOWEST(price) AND LOWEST(mileage)");
+    ASSERT_TRUE(cursor.ok()) << cursor.status().ToString();
+    auto row = cursor->Next();
+    ASSERT_TRUE(row.ok());
+    // Abandon mid-stream: no Close() — the destructor must release the
+    // statement lock, the snapshot pin, and the session's context.
+  }
+  // The shared lock is gone: DML from the same session proceeds.
+  EXPECT_TRUE(conn.Execute("DELETE FROM car WHERE id = 0").ok());
+  // And the session context was retired: a cancel finds nothing in flight.
+  EXPECT_FALSE(conn.session().CancelCurrent());
+}
+
+TEST(RobustnessTest, LiveCursorOutlivesEngineHandleAndConnectionRebind) {
+  auto engine = std::make_shared<Engine>();
+  ASSERT_TRUE(GenerateUsedCars(engine->database(), 1000).ok());
+  auto conn = std::make_unique<Connection>();
+  conn->Attach(engine);
+  conn->options().mode = EvaluationMode::kBlockNestedLoop;
+  auto cursor = conn->OpenCursor(
+      "SELECT id FROM car PREFERRING LOWEST(price) AND LOWEST(mileage)");
+  ASSERT_TRUE(cursor.ok()) << cursor.status().ToString();
+  ASSERT_TRUE(cursor->Next().ok());
+  // Drop every external engine reference: the cursor's keepalive is now the
+  // only owner, so pulling (and the implicit Close in the destructor) must
+  // not touch a destroyed engine.
+  engine.reset();
+  ASSERT_TRUE(cursor->Next().ok());
+  cursor->Close();
+  conn.reset();
+}
+
+TEST(RobustnessTest, BackgroundReclaimerCollectsWithSessionGcOff) {
+  auto engine = std::make_shared<Engine>();
+  Connection conn;
+  conn.Attach(engine);
+  ASSERT_TRUE(conn.Execute("CREATE TABLE kv (id INTEGER, v INTEGER)").ok());
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_TRUE(conn.Execute("INSERT INTO kv VALUES (" + std::to_string(i) +
+                             ", 0)")
+                    .ok());
+  }
+  // Opportunistic post-DML GC off: any reclaim below is the background
+  // thread's work.
+  ASSERT_TRUE(conn.Execute("SET mvcc_gc = off").ok());
+  for (int round = 1; round <= 20; ++round) {
+    ASSERT_TRUE(
+        conn.Execute("UPDATE kv SET v = " + std::to_string(round)).ok());
+  }
+  const auto& xstats = engine->database().executor().stats();
+  const auto deadline = steady_clock::now() + std::chrono::seconds(5);
+  while (xstats.gc_cleared.load(std::memory_order_relaxed) == 0 &&
+         steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(milliseconds(10));
+  }
+  EXPECT_GT(xstats.gc_cleared.load(std::memory_order_relaxed), 0u);
+  EXPECT_GT(engine->background_gc_passes(), 0u);
+
+  // Switching the knob off pauses the timer loop...
+  ASSERT_TRUE(conn.Execute("SET mvcc_gc_background = off").ok());
+  std::this_thread::sleep_for(milliseconds(50));  // drain any in-flight pass
+  const uint64_t paused = engine->background_gc_passes();
+  std::this_thread::sleep_for(milliseconds(150));
+  EXPECT_LE(engine->background_gc_passes(), paused + 1);
+
+  // ... and switching it back on resumes sweeping.
+  ASSERT_TRUE(conn.Execute("SET mvcc_gc_background = on").ok());
+  const auto resume_deadline = steady_clock::now() + std::chrono::seconds(5);
+  while (engine->background_gc_passes() <= paused + 1 &&
+         steady_clock::now() < resume_deadline) {
+    std::this_thread::sleep_for(milliseconds(10));
+  }
+  EXPECT_GT(engine->background_gc_passes(), paused + 1);
+}
+
+TEST(RobustnessTest, TimeoutKnobRoundTripsThroughSet) {
+  Connection conn;
+  ASSERT_TRUE(conn.Execute("SET statement_timeout_ms = 250").ok());
+  EXPECT_EQ(conn.options().statement_timeout_ms, 250u);
+  ASSERT_TRUE(conn.Execute("SET statement_memory_bytes = 1048576").ok());
+  EXPECT_EQ(conn.options().statement_memory_bytes, 1048576u);
+  ASSERT_TRUE(conn.Execute("SET statement_timeout_ms = 0").ok());
+  EXPECT_EQ(conn.options().statement_timeout_ms, 0u);
+  auto bad = conn.Execute("SET statement_timeout_ms = banana");
+  EXPECT_FALSE(bad.ok());
+}
+
+}  // namespace
+}  // namespace prefsql

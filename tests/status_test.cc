@@ -21,6 +21,9 @@ TEST(StatusTest, FactoriesCarryCodeAndMessage) {
   EXPECT_TRUE(Status::Internal("x").IsInternal());
   EXPECT_TRUE(Status::BindError("x").IsBindError());
   EXPECT_TRUE(Status::ExecutionError("x").IsExecutionError());
+  EXPECT_TRUE(Status::Timeout("x").IsTimeout());
+  EXPECT_TRUE(Status::Cancelled("x").IsCancelled());
+  EXPECT_TRUE(Status::ResourceExhausted("x").IsResourceExhausted());
   Status s = Status::ParseError("bad token");
   EXPECT_FALSE(s.ok());
   EXPECT_EQ(s.message(), "bad token");
@@ -34,6 +37,10 @@ TEST(StatusTest, CodeNames) {
   EXPECT_STREQ(StatusCodeToString(StatusCode::kBindError), "Bind error");
   EXPECT_STREQ(StatusCodeToString(StatusCode::kExecutionError),
                "Execution error");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kTimeout), "Timeout");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kCancelled), "Cancelled");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kResourceExhausted),
+               "Resource exhausted");
 }
 
 TEST(StatusTest, NumericCodesAreStableApi) {
@@ -47,6 +54,9 @@ TEST(StatusTest, NumericCodesAreStableApi) {
   EXPECT_EQ(static_cast<int>(StatusCode::kInternal), 6);
   EXPECT_EQ(static_cast<int>(StatusCode::kBindError), 7);
   EXPECT_EQ(static_cast<int>(StatusCode::kExecutionError), 8);
+  EXPECT_EQ(static_cast<int>(StatusCode::kTimeout), 9);
+  EXPECT_EQ(static_cast<int>(StatusCode::kCancelled), 10);
+  EXPECT_EQ(static_cast<int>(StatusCode::kResourceExhausted), 11);
 }
 
 TEST(ResultTest, HoldsValue) {

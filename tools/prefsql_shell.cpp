@@ -15,11 +15,22 @@
 // statements stream through a Cursor (rows appear as they are produced,
 // capped at kMaxRows), and multi-statement scripts run through the
 // per-statement ExecuteScript callback so no result is silently dropped.
+//
+// Ctrl-C cancels the in-flight statement instead of killing the shell:
+// the signal handler only raises a flag (async-signal-safe); a watcher
+// thread turns it into Session::CancelCurrent(), and the statement
+// returns with a Cancelled status. Statement timing is printed after
+// every statement, distinguishing completed / timed-out / cancelled
+// (set a deadline with `SET statement_timeout_ms = <n>;`).
 
 #include <cctype>
+#include <chrono>
+#include <csignal>
 #include <cstdio>
+#include <atomic>
 #include <iostream>
 #include <string>
+#include <thread>
 
 #include "core/connection.h"
 #include "engine/csv.h"
@@ -32,6 +43,52 @@ using prefsql::Connection;
 using prefsql::EvaluationMode;
 
 constexpr size_t kMaxRows = 50;
+
+// ---------------------------------------------------------------------------
+// Ctrl-C -> cooperative cancel. The handler is restricted to flag-raising;
+// CancelCurrent takes a mutex, so the watcher thread issues it instead.
+// ---------------------------------------------------------------------------
+volatile std::sig_atomic_t g_sigint = 0;
+std::atomic<Connection*> g_conn{nullptr};
+std::atomic<bool> g_shutdown{false};
+
+void OnSigint(int) { g_sigint = 1; }
+
+void WatchSigint() {
+  while (!g_shutdown.load(std::memory_order_relaxed)) {
+    if (g_sigint) {
+      g_sigint = 0;
+      Connection* conn = g_conn.load(std::memory_order_acquire);
+      if (conn != nullptr && conn->session().CancelCurrent()) {
+        std::printf("\n^C — cancelling statement\n");
+        std::fflush(stdout);
+      }
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+}
+
+double ElapsedMs(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration_cast<std::chrono::duration<double, std::milli>>(
+             std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+/// Statement postmortem: completed, timed out, or cancelled — with timing,
+/// so deadline experiments read directly off the prompt.
+void PrintOutcome(const prefsql::Status& status, double elapsed_ms) {
+  if (status.ok()) {
+    std::printf("(%.1f ms)\n", elapsed_ms);
+  } else if (status.IsTimeout()) {
+    std::printf("timed out after %.1f ms: %s\n", elapsed_ms,
+                status.ToString().c_str());
+  } else if (status.IsCancelled()) {
+    std::printf("cancelled after %.1f ms: %s\n", elapsed_ms,
+                status.ToString().c_str());
+  } else {
+    std::printf("error: %s\n", status.ToString().c_str());
+  }
+}
 
 /// True iff `sql` holds a single statement (no interior ';').
 bool IsSingleStatement(const std::string& sql) {
@@ -60,9 +117,10 @@ void PrintResult(const prefsql::ResultTable& result) {
 /// Streams a single SELECT through the Cursor API, printing rows as they
 /// arrive (the driver surface the paper's ODBC client would use).
 void RunStreaming(Connection& conn, const std::string& sql) {
+  const auto t0 = std::chrono::steady_clock::now();
   auto cursor = conn.OpenCursor(sql);
   if (!cursor.ok()) {
-    std::printf("error: %s\n", cursor.status().ToString().c_str());
+    PrintOutcome(cursor.status(), ElapsedMs(t0));
     return;
   }
   std::vector<prefsql::Row> rows;
@@ -70,7 +128,7 @@ void RunStreaming(Connection& conn, const std::string& sql) {
   for (;;) {
     auto row = cursor->Next();
     if (!row.ok()) {
-      std::printf("error: %s\n", row.status().ToString().c_str());
+      PrintOutcome(row.status(), ElapsedMs(t0));
       return;
     }
     if (!row->has_value()) break;
@@ -86,8 +144,8 @@ void RunStreaming(Connection& conn, const std::string& sql) {
     }
   }
   prefsql::ResultTable table(cursor->columns(), std::move(rows));
-  std::printf("%s(%zu rows streamed)\n", table.ToString(kMaxRows).c_str(),
-              total);
+  std::printf("%s(%zu rows streamed, %.1f ms)\n",
+              table.ToString(kMaxRows).c_str(), total, ElapsedMs(t0));
 }
 
 void PrintHelp() {
@@ -184,6 +242,12 @@ bool HandleDotCommand(Connection& conn, const std::string& line) {
 
 int main() {
   Connection conn;
+  g_conn.store(&conn, std::memory_order_release);
+  struct sigaction sa = {};
+  sa.sa_handler = OnSigint;
+  sa.sa_flags = SA_RESTART;  // keep getline() reading across a Ctrl-C
+  sigaction(SIGINT, &sa, nullptr);
+  std::thread watcher(WatchSigint);
   std::printf("Preference SQL shell — .help for commands, .quit to exit\n");
   std::string buffer;
   std::string line;
@@ -210,15 +274,17 @@ int main() {
     }
     // Scripts run statement by statement; every result is printed (the old
     // ExecuteScript interface silently dropped all but the last).
+    const auto t0 = std::chrono::steady_clock::now();
     auto status = conn.ExecuteScript(
         sql, [](size_t, const prefsql::Statement&,
                 prefsql::ResultTable result) {
           PrintResult(result);
           return prefsql::Status::OK();
         });
-    if (!status.ok()) {
-      std::printf("error: %s\n", status.ToString().c_str());
-    }
+    PrintOutcome(status, ElapsedMs(t0));
   }
+  g_conn.store(nullptr, std::memory_order_release);
+  g_shutdown.store(true, std::memory_order_relaxed);
+  watcher.join();
   return 0;
 }
