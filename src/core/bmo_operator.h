@@ -123,7 +123,9 @@ class BmoOperator : public PhysicalOperator {
   }
   Status Open() override;
   Result<bool> Next(RowRef* out) override;
+  Result<bool> NextBatch(RowBatch* out) override;
   void Close() override;
+  const char* label() const override { return "bmo"; }
 
   /// Dominance-test counters of the last Open (accumulated over
   /// partitions; survives Close for benches).

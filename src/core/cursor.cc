@@ -52,6 +52,29 @@ Result<std::optional<RowRef>> Cursor::Next() {
       return interrupt;
     }
   }
+  if (impl.ctx != nullptr && impl.ctx->vectorized()) {
+    // Batch mode: refill from the operator tree ~1k rows at a time and
+    // replay the batch row by row — the client API stays row-at-a-time.
+    if (impl.batch_pos >= impl.batch.sel.size()) {
+      ScopedSnapshot ambient(impl.snapshot);
+      ScopedQueryContext qscope(impl.ctx.get());
+      auto more = impl.root->NextBatch(&impl.batch);
+      if (!more.ok()) {
+        Close();
+        return more.status();
+      }
+      if (!*more) {
+        Close();
+        return std::optional<RowRef>();
+      }
+      impl.ctx->batch_stats().Record(impl.batch.sel.size());
+      impl.batch_pos = 0;
+    }
+    RowRef out = std::move(impl.batch.rows[impl.batch.sel[impl.batch_pos]]);
+    ++impl.batch_pos;
+    ++impl.streamed;
+    return std::optional<RowRef>(std::move(out));
+  }
   // Pull under the cursor's pinned snapshot so any subplan materialized
   // mid-stream reads the same point-in-time view the cursor opened with;
   // the query context rides along so the operators keep polling it.
@@ -98,6 +121,7 @@ void Cursor::Close() {
         stats.prefilter_result_count = pre.result_count;
       }
       stats.result_count = impl.streamed;
+      FlushBatchExecStats(impl.ctx.get(), stats);
       impl.session->mutable_last_stats() = stats;
       if (impl.engine != nullptr) {
         impl.engine->SnapshotCacheCounters(*impl.session);
@@ -112,6 +136,10 @@ void Cursor::Close() {
     impl.pref_plan = PreferencePlan{};
     impl.plain_root.reset();
   }
+  // Drop any batched rows before releasing the pin: borrowed refs point
+  // into pinned storage.
+  impl.batch.Clear();
+  impl.batch_pos = 0;
   // Release the snapshot pin after the operator tree is gone (nothing can
   // read at the snapshot anymore) and before the DDL lock, so GC triggered
   // by the lock release never races an active pin.

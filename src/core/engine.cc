@@ -10,6 +10,7 @@
 
 #include "core/analyzer.h"
 #include "core/rewriter.h"
+#include "types/row_batch.h"
 #include "sql/normalize.h"
 #include "sql/parameters.h"
 #include "sql/parser.h"
@@ -188,6 +189,7 @@ std::shared_ptr<QueryContext> Engine::ArmStatementContext(Session& session) {
   auto ctx = std::make_shared<QueryContext>();
   const ConnectionOptions& o = session.options();
   ctx->set_deadline_ms(o.statement_timeout_ms);
+  ctx->set_vectorized(o.vectorized_execution);
   ctx->ArmStatementBudget(o.statement_memory_bytes);
   ctx->set_engine_budget(&engine_budget_);
   ctx->set_pressure_relief(
@@ -211,6 +213,7 @@ uint64_t Engine::KnobFingerprint(const ConnectionOptions& o) {
   h = FingerprintMix(h, o.simd ? 1 : 0);
   h = FingerprintMix(h, o.skyline_cache ? 1 : 0);
   h = FingerprintMix(h, o.mvcc_gc ? 1 : 0);
+  h = FingerprintMix(h, o.vectorized_execution ? 1 : 0);
   return h;
 }
 
@@ -447,6 +450,7 @@ Result<ResultTable> Engine::ExecuteStatement(Session& session,
       return ExecuteDirect(session, *expanded, analyzed.pref);
     }();
     PSQL_RETURN_IF_ERROR(rows.status());
+    FlushBatchExecStats(qctx.get(), session.mutable_last_stats());
     auto result =
         db_.executor().InsertTable(stmt.name, stmt.insert_columns, *rows);
     MaintainSkylineCaches();
@@ -649,6 +653,7 @@ Result<Cursor> Engine::OpenPreparedCursor(
   if (plan->kind == StatementKind::kExplain) {
     PSQL_ASSIGN_OR_RETURN(ResultTable result,
                           ExecuteExplain(session, *plan, params));
+    FlushBatchExecStats(qctx.get(), stats);
     SnapshotCacheCounters(session);
     return MaterializedCursor(std::move(result), &session,
                               std::move(keepalive));
@@ -667,6 +672,7 @@ Result<Cursor> Engine::OpenPreparedCursor(
         return ExecuteViaRewrite(session, *view.select, view.preference);
       }();
       if (result.ok()) {
+        FlushBatchExecStats(qctx.get(), stats);
         SnapshotCacheCounters(session);
         return MaterializedCursor(std::move(*result), &session,
                                   std::move(keepalive));
@@ -961,6 +967,9 @@ Result<ResultTable> Engine::ExecuteExplain(Session& session,
         ", gc cleared " +
         std::to_string(db_.executor().stats().gc_cleared.load(
             std::memory_order_relaxed)));
+    add(std::string("-- vectorized: ") +
+        (session.options().vectorized_execution ? "on" : "off") +
+        " (batch capacity " + std::to_string(kRowBatchCapacity) + ")");
     add(plan_cache_line);
     add(SelectToSql(select));
     return ResultTable(std::move(schema), std::move(lines));
@@ -1356,6 +1365,13 @@ Result<ResultTable> Engine::ExecuteSet(Session& session,
       PSQL_ASSIGN_OR_RETURN(options.statement_timeout_ms,
                             SetValueAsSize(v, knob));
     }
+  } else if (knob == "vectorized_execution") {
+    if (reset) {
+      options.vectorized_execution = defaults.vectorized_execution;
+    } else {
+      PSQL_ASSIGN_OR_RETURN(options.vectorized_execution,
+                            SetValueAsBool(v, knob));
+    }
   } else if (knob == "statement_memory_bytes") {
     if (reset) {
       options.statement_memory_bytes = defaults.statement_memory_bytes;
@@ -1424,7 +1440,8 @@ Result<ResultTable> Engine::ExecuteSet(Session& session,
         "parallel_min_rows, preference_pushdown, bnl_window, but_only_mode, "
         "keep_aux_views, plan_cache, auto_parameterize, key_cache, "
         "skyline_cache, simd, mvcc_gc, mvcc_gc_background, "
-        "statement_timeout_ms, statement_memory_bytes, engine_memory_bytes)");
+        "statement_timeout_ms, vectorized_execution, "
+        "statement_memory_bytes, engine_memory_bytes)");
   }
 
   // Echo the effective value so scripts/shell users see what stuck.
@@ -1455,6 +1472,8 @@ Result<ResultTable> Engine::ExecuteSet(Session& session,
     effective = options.mvcc_gc_background ? "on" : "off";
   } else if (knob == "statement_timeout_ms") {
     effective = std::to_string(options.statement_timeout_ms);
+  } else if (knob == "vectorized_execution") {
+    effective = options.vectorized_execution ? "on" : "off";
   } else if (knob == "statement_memory_bytes") {
     effective = std::to_string(options.statement_memory_bytes);
   } else if (knob == "engine_memory_bytes") {

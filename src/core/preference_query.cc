@@ -36,6 +36,63 @@ bool ContainsSubquery(const Expr& e) {
   return false;
 }
 
+bool IsComparisonOp(BinaryOp op) {
+  return op == BinaryOp::kEq || op == BinaryOp::kNe || op == BinaryOp::kLt ||
+         op == BinaryOp::kLe || op == BinaryOp::kGt || op == BinaryOp::kGe;
+}
+
+/// Mirror of a comparison under operand swap (`4 > a` ≡ `a < 4`).
+BinaryOp MirrorComparisonOp(BinaryOp op) {
+  switch (op) {
+    case BinaryOp::kLt:
+      return BinaryOp::kGt;
+    case BinaryOp::kLe:
+      return BinaryOp::kGe;
+    case BinaryOp::kGt:
+      return BinaryOp::kLt;
+    case BinaryOp::kGe:
+      return BinaryOp::kLe;
+    default:
+      return op;  // kEq / kNe are symmetric
+  }
+}
+
+/// Swaps literal-left comparisons to literal-right throughout `e`, in
+/// place. Subquery pointers are shared between clones and never descended
+/// into — moot here anyway, since subquery-bearing predicates are already
+/// filter-cache-ineligible.
+void CanonicalizeComparisons(Expr& e) {
+  if (e.kind == ExprKind::kBinary && IsComparisonOp(e.binary_op) &&
+      e.left != nullptr && e.right != nullptr &&
+      e.left->kind == ExprKind::kLiteral &&
+      e.right->kind != ExprKind::kLiteral) {
+    std::swap(e.left, e.right);
+    e.binary_op = MirrorComparisonOp(e.binary_op);
+  }
+  for (const ExprPtr* c : {&e.left, &e.right, &e.lo, &e.hi, &e.case_else}) {
+    if (*c != nullptr) CanonicalizeComparisons(**c);
+  }
+  for (const auto& a : e.in_list) {
+    if (a != nullptr) CanonicalizeComparisons(*a);
+  }
+  for (const auto& w : e.case_whens) {
+    if (w.when != nullptr) CanonicalizeComparisons(*w.when);
+    if (w.then != nullptr) CanonicalizeComparisons(*w.then);
+  }
+  for (const auto& a : e.args) {
+    if (a != nullptr) CanonicalizeComparisons(*a);
+  }
+}
+
+/// Filter-cache key text of a WHERE predicate: the printed SQL of a
+/// comparison-canonicalized clone, so commuted spellings of one predicate
+/// (`a < 4` vs `4 > a`) share a single cache entry.
+std::string CanonicalPredicateSql(const Expr& where) {
+  ExprPtr clone = where.Clone();
+  CanonicalizeComparisons(*clone);
+  return ExprToSql(*clone);
+}
+
 }  // namespace
 
 Result<PreferencePlan> BuildPreferencePlan(
@@ -232,7 +289,7 @@ Result<PreferencePlan> BuildPreferencePlan(
   // version, or arrange for the BMO run to publish them.
   if (plan.key_cache_eligible && q.where != nullptr &&
       options.filter_cache != nullptr) {
-    FilterCacheKey fkey{ExprToSql(*q.where), cache_table->id(),
+    FilterCacheKey fkey{CanonicalPredicateSql(*q.where), cache_table->id(),
                         cache_table->VersionAt(config.snapshot)};
     auto positions = options.filter_cache->Lookup(fkey);
     if (positions != nullptr) {

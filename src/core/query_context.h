@@ -26,11 +26,37 @@
 #include <functional>
 #include <mutex>
 #include <string>
+#include <vector>
 
 #include "util/memory_budget.h"
 #include "util/status.h"
 
 namespace prefsql {
+
+/// Counters of the batch-at-a-time (vectorized) pipeline, owned by the
+/// statement's QueryContext. Drain sites (DrainToTable, Cursor refills, the
+/// BMO/sort feeds) count each root-level batch exactly once; operators that
+/// serve NextBatch through the row-loop fallback record their label so
+/// last_stats()/EXPLAIN can show which part of a tree ran unvectorized.
+/// Unsynchronized by design: the operator tree of one statement is pulled
+/// from a single thread (BMO workers receive rows, not the context).
+struct BatchExecStats {
+  uint64_t batches = 0;
+  uint64_t batch_rows = 0;
+  std::vector<std::string> fallback_ops;  ///< distinct labels, first-seen order
+
+  void Record(size_t rows) {
+    ++batches;
+    batch_rows += rows;
+  }
+
+  void RecordFallback(const char* label) {
+    for (const auto& seen : fallback_ops) {
+      if (seen == label) return;
+    }
+    fallback_ops.emplace_back(label);
+  }
+};
 
 /// Hot loops poll the context once per this many iterations. The stride
 /// keeps the steady_clock read off the per-row path; with dominance tests
@@ -147,6 +173,15 @@ class QueryContext {
     return latched_;
   }
 
+  /// Whether this statement drains its operator tree batch-at-a-time
+  /// (`SET vectorized_execution`). Read by drain sites and pipeline
+  /// breakers; the tree itself is protocol-agnostic.
+  void set_vectorized(bool on) { vectorized_ = on; }
+  bool vectorized() const { return vectorized_; }
+
+  BatchExecStats& batch_stats() { return batch_stats_; }
+  const BatchExecStats& batch_stats() const { return batch_stats_; }
+
  private:
   bool has_deadline_ = false;
   Clock::time_point deadline_{};
@@ -158,6 +193,8 @@ class QueryContext {
   MemoryBudget* statement_budget_ = nullptr;
   MemoryBudget* engine_budget_ = nullptr;
   std::function<void(uint64_t)> pressure_relief_;
+  bool vectorized_ = true;
+  BatchExecStats batch_stats_;
 };
 
 namespace query_context_internal {
@@ -187,6 +224,15 @@ class ScopedQueryContext {
 /// Database/Executor use, tests).
 inline QueryContext* CurrentQueryContext() {
   return query_context_internal::TlsCurrent();
+}
+
+/// Whether the current statement should drain operator trees
+/// batch-at-a-time. Defaults to on outside any statement scope (direct
+/// Database/Executor use, tests); `SET vectorized_execution = off` pins the
+/// row-at-a-time path for the session.
+inline bool BatchModeEnabled() {
+  QueryContext* ctx = CurrentQueryContext();
+  return ctx == nullptr ? true : ctx->vectorized();
 }
 
 /// Stride-counted interrupt helper for hot loops:

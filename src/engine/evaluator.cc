@@ -438,6 +438,149 @@ Result<bool> EvaluatePredicate(const Expr& e, const EvalContext& ctx) {
   return t && *t;
 }
 
+namespace {
+
+// Top-level AND chains split into conjuncts; each conjunct filters the
+// selection left-to-right, which is the batch form of the row path's
+// short-circuit AND (a row false under conjunct k never evaluates k+1).
+void CollectConjuncts(const Expr& e, std::vector<const Expr*>* out) {
+  if (e.kind == ExprKind::kBinary && e.binary_op == BinaryOp::kAnd &&
+      e.left != nullptr && e.right != nullptr) {
+    CollectConjuncts(*e.left, out);
+    CollectConjuncts(*e.right, out);
+    return;
+  }
+  out->push_back(&e);
+}
+
+BinaryOp MirrorComparisonOp(BinaryOp op) {
+  switch (op) {
+    case BinaryOp::kLt:
+      return BinaryOp::kGt;
+    case BinaryOp::kGt:
+      return BinaryOp::kLt;
+    case BinaryOp::kLe:
+      return BinaryOp::kGe;
+    case BinaryOp::kGe:
+      return BinaryOp::kLe;
+    default:
+      return op;  // kEq / kNe are symmetric
+  }
+}
+
+// A conjunct shape the batch path can evaluate with one column resolution
+// per batch: `col OP literal` (either operand order) or `col IS [NOT]
+// NULL`. Anything else — outer-scope references (kNotFound here may resolve
+// in an outer scope), ambiguous names, unbound parameters, arbitrary
+// expressions — takes the generic per-row path, which raises the identical
+// error row mode would.
+struct FastConjunct {
+  enum class Kind { kGeneric, kColOpLit, kIsNull };
+  Kind kind = Kind::kGeneric;
+  size_t col = 0;
+  BinaryOp op = BinaryOp::kEq;
+  const Value* lit = nullptr;
+  bool negated = false;  // IS NOT NULL
+};
+
+FastConjunct ClassifyConjunct(const Expr& e, const Schema& schema) {
+  FastConjunct out;
+  if (e.kind == ExprKind::kIsNull && e.left != nullptr &&
+      e.left->kind == ExprKind::kColumnRef) {
+    size_t idx = 0;
+    if (schema.ResolveScoped(e.left->qualifier, e.left->column, &idx) ==
+        Schema::ResolveOutcome::kFound) {
+      out.kind = FastConjunct::Kind::kIsNull;
+      out.col = idx;
+      out.negated = e.negated;
+    }
+    return out;
+  }
+  if (e.kind != ExprKind::kBinary || e.left == nullptr || e.right == nullptr) {
+    return out;
+  }
+  switch (e.binary_op) {
+    case BinaryOp::kEq:
+    case BinaryOp::kNe:
+    case BinaryOp::kLt:
+    case BinaryOp::kLe:
+    case BinaryOp::kGt:
+    case BinaryOp::kGe:
+      break;
+    default:
+      return out;
+  }
+  const Expr* col = nullptr;
+  const Expr* lit = nullptr;
+  bool flipped = false;
+  if (e.left->kind == ExprKind::kColumnRef &&
+      e.right->kind == ExprKind::kLiteral) {
+    col = e.left.get();
+    lit = e.right.get();
+  } else if (e.left->kind == ExprKind::kLiteral &&
+             e.right->kind == ExprKind::kColumnRef) {
+    lit = e.left.get();
+    col = e.right.get();
+    flipped = true;
+  } else {
+    return out;
+  }
+  if (lit->literal.is_param()) return out;
+  size_t idx = 0;
+  if (schema.ResolveScoped(col->qualifier, col->column, &idx) !=
+      Schema::ResolveOutcome::kFound) {
+    return out;
+  }
+  out.kind = FastConjunct::Kind::kColOpLit;
+  out.col = idx;
+  out.lit = &lit->literal;
+  out.op = flipped ? MirrorComparisonOp(e.binary_op) : e.binary_op;
+  return out;
+}
+
+}  // namespace
+
+Status EvaluatePredicateBatch(const Expr& expr, const Schema& schema,
+                              RowBatch* batch, const EvalContext* outer,
+                              SubqueryRunner* runner) {
+  std::vector<const Expr*> conjuncts;
+  CollectConjuncts(expr, &conjuncts);
+  for (const Expr* c : conjuncts) {
+    // Row semantics: once a conjunct filtered every row out, the remaining
+    // conjuncts see no rows and evaluate nothing.
+    if (batch->sel.empty()) break;
+    const FastConjunct fast = ClassifyConjunct(*c, schema);
+    size_t kept = 0;
+    switch (fast.kind) {
+      case FastConjunct::Kind::kColOpLit:
+        for (uint32_t idx : batch->sel) {
+          PSQL_ASSIGN_OR_RETURN(
+              Value v, EvalComparison(fast.op, batch->rows[idx].row()[fast.col],
+                                      *fast.lit));
+          auto t = AsTruth(v);
+          if (t && *t) batch->sel[kept++] = idx;
+        }
+        break;
+      case FastConjunct::Kind::kIsNull:
+        for (uint32_t idx : batch->sel) {
+          if (batch->rows[idx].row()[fast.col].is_null() != fast.negated) {
+            batch->sel[kept++] = idx;
+          }
+        }
+        break;
+      case FastConjunct::Kind::kGeneric:
+        for (uint32_t idx : batch->sel) {
+          EvalContext ctx{&schema, &batch->rows[idx].row(), outer, runner};
+          PSQL_ASSIGN_OR_RETURN(bool pass, EvaluatePredicate(*c, ctx));
+          if (pass) batch->sel[kept++] = idx;
+        }
+        break;
+    }
+    batch->sel.resize(kept);
+  }
+  return Status::OK();
+}
+
 Result<Value> EvaluateConstant(const Expr& e) {
   EvalContext ctx;
   return Evaluate(e, ctx);

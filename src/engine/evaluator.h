@@ -5,6 +5,7 @@
 
 #include "sql/ast.h"
 #include "types/result_table.h"
+#include "types/row_batch.h"
 #include "types/schema.h"
 #include "types/value.h"
 #include "util/status.h"
@@ -50,6 +51,19 @@ Result<Value> Evaluate(const Expr& expr, const EvalContext& ctx);
 /// Evaluates `expr` as a predicate: true iff the result is BOOL TRUE
 /// (NULL/UNKNOWN filters out, as in a WHERE clause).
 Result<bool> EvaluatePredicate(const Expr& expr, const EvalContext& ctx);
+
+/// Batch predicate evaluation: compacts `batch->sel` in place to the rows
+/// where `expr` is TRUE. Top-level AND conjuncts run left-to-right over the
+/// surviving selection (the batch form of the row path's short-circuit
+/// AND), and `column OP literal` / `column IS [NOT] NULL` conjuncts resolve
+/// the column index once per batch instead of once per row. Everything else
+/// falls back to per-row EvaluatePredicate with `outer`/`runner` providing
+/// the correlated scope chain, so results match row mode exactly; only the
+/// order in which multiple *erroring* rows surface may differ (a conjunct
+/// sees rows already filtered by its left siblings).
+Status EvaluatePredicateBatch(const Expr& expr, const Schema& schema,
+                              RowBatch* batch, const EvalContext* outer,
+                              SubqueryRunner* runner);
 
 /// Evaluates a constant expression (no column refs); used for INSERT VALUES.
 Result<Value> EvaluateConstant(const Expr& expr);

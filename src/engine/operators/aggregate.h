@@ -29,6 +29,9 @@ class AggregateOperator : public PhysicalOperator {
   Status Open() override;
   Result<bool> Next(RowRef* out) override;
   void Close() override;
+  // Serves NextBatch through the row-loop fallback: emission is one row
+  // per group, already far below batch granularity.
+  const char* label() const override { return "aggregate"; }
 
  private:
   OperatorPtr child_;

@@ -37,4 +37,20 @@ Result<bool> FilterOperator::Next(RowRef* out) {
   }
 }
 
+Result<bool> FilterOperator::NextBatch(RowBatch* out) {
+  while (true) {
+    // One latch check per child batch replaces the stride-256 row poll; a
+    // fully-rejecting predicate keeps pulling rather than hand back an
+    // empty batch, so the check also bounds the reject loop.
+    if (QueryContext* ctx = CurrentQueryContext()) {
+      PSQL_RETURN_IF_ERROR(ctx->CheckInterrupt());
+    }
+    PSQL_ASSIGN_OR_RETURN(bool more, child_->NextBatch(out));
+    if (!more) return false;
+    PSQL_RETURN_IF_ERROR(EvaluatePredicateBatch(
+        *predicate_, child_->schema(), out, outer_, runner_));
+    if (!out->sel.empty()) return true;
+  }
+}
+
 }  // namespace prefsql

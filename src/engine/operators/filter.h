@@ -25,7 +25,9 @@ class FilterOperator : public PhysicalOperator {
   const Schema& schema() const override { return child_->schema(); }
   Status Open() override { return child_->Open(); }
   Result<bool> Next(RowRef* out) override;
+  Result<bool> NextBatch(RowBatch* out) override;
   void Close() override { child_->Close(); }
+  const char* label() const override { return "filter"; }
 
  private:
   OperatorPtr child_;

@@ -29,6 +29,9 @@ class HashJoinOperator : public PhysicalOperator {
   Status Open() override;
   Result<bool> Next(RowRef* out) override;
   void Close() override;
+  // Joins serve NextBatch through the row-loop fallback (probe state is
+  // inherently per-left-row); the label makes that visible in stats.
+  const char* label() const override { return "hash_join"; }
 
  private:
   Result<bool> AdvanceLeft();
@@ -72,6 +75,7 @@ class NestedLoopJoinOperator : public PhysicalOperator {
   Status Open() override;
   Result<bool> Next(RowRef* out) override;
   void Close() override;
+  const char* label() const override { return "nl_join"; }
 
  private:
   OperatorPtr left_;

@@ -3,12 +3,22 @@
 // SelectStmt into a tree of these; the executor facade drains the root into
 // a ResultTable, while early-exit consumers (EXISTS probes, LIMIT) stop
 // pulling as soon as they are satisfied.
+//
+// Two pull protocols share one tree: row-at-a-time Next(RowRef*) and
+// batch-at-a-time NextBatch(RowBatch*) (types/row_batch.h). A drain site
+// picks exactly one protocol per execution — the two must never be
+// interleaved on the same operator instance. Operators without a native
+// batch implementation serve NextBatch through a row-loop fallback, so a
+// partially-vectorized tree is always correct; the fallback is recorded in
+// the statement's BatchExecStats so parity is inspectable from
+// last_stats()/EXPLAIN.
 
 #pragma once
 
 #include <memory>
 
 #include "types/result_table.h"
+#include "types/row_batch.h"
 #include "types/row_view.h"
 #include "types/schema.h"
 #include "util/status.h"
@@ -30,8 +40,24 @@ class PhysicalOperator {
   /// Produces the next row into `*out`; returns false at end of stream.
   virtual Result<bool> Next(RowRef* out) = 0;
 
+  /// Produces the next batch of rows into `*out` (cleared first); returns
+  /// false at end of stream, true iff at least one selected row — a
+  /// filter-heavy operator keeps pulling internally rather than return an
+  /// empty batch, so callers need no empty-but-not-done handling. The base
+  /// implementation loops this operator's own Next() up to
+  /// kRowBatchCapacity with an identity selection, which also drops the
+  /// whole subtree below to row-at-a-time pulls.
+  virtual Result<bool> NextBatch(RowBatch* out);
+
   /// Releases per-execution state. Must be safe to call after Open failed.
   virtual void Close() = 0;
+
+  /// Short stable label for fallback/EXPLAIN reporting ("filter", "sort").
+  virtual const char* label() const { return "operator"; }
+
+ private:
+  // The row-loop fallback reports itself once per instance.
+  bool batch_fallback_recorded_ = false;
 };
 
 using OperatorPtr = std::unique_ptr<PhysicalOperator>;

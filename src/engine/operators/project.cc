@@ -27,6 +27,25 @@ Result<bool> ProjectOperator::Next(RowRef* out) {
   return true;
 }
 
+Result<bool> ProjectOperator::NextBatch(RowBatch* out) {
+  PSQL_ASSIGN_OR_RETURN(bool more, child_->NextBatch(out));
+  if (!more) return false;
+  for (uint32_t idx : out->sel) {
+    // Build the output row fully before overwriting the slot: the eval
+    // context reads the input row living there.
+    EvalContext ctx{&child_->schema(), &out->rows[idx].row(), outer_,
+                    runner_};
+    Row row;
+    row.reserve(exprs_.size());
+    for (const ExprPtr& e : exprs_) {
+      PSQL_ASSIGN_OR_RETURN(Value v, Evaluate(*e, ctx));
+      row.push_back(std::move(v));
+    }
+    out->rows[idx] = RowRef::Owned(std::move(row));
+  }
+  return true;
+}
+
 DistinctOperator::DistinctOperator(OperatorPtr child, size_t key_width)
     : child_(std::move(child)), key_width_(key_width) {}
 
@@ -75,6 +94,17 @@ Result<bool> PrefixOperator::Next(RowRef* out) {
   Row row = std::move(in).IntoRow();
   row.resize(schema_.num_columns());
   *out = RowRef::Owned(std::move(row));
+  return true;
+}
+
+Result<bool> PrefixOperator::NextBatch(RowBatch* out) {
+  PSQL_ASSIGN_OR_RETURN(bool more, child_->NextBatch(out));
+  if (!more) return false;
+  for (uint32_t idx : out->sel) {
+    Row row = std::move(out->rows[idx]).IntoRow();
+    row.resize(schema_.num_columns());
+    out->rows[idx] = RowRef::Owned(std::move(row));
+  }
   return true;
 }
 

@@ -1,5 +1,9 @@
 #include "engine/operators/scan.h"
 
+#include <algorithm>
+
+#include "core/query_context.h"
+
 namespace prefsql {
 
 SeqScanOperator::SeqScanOperator(Schema schema, const std::vector<Row>* rows,
@@ -24,6 +28,19 @@ Result<bool> SeqScanOperator::Next(RowRef* out) {
   return true;
 }
 
+Result<bool> SeqScanOperator::NextBatch(RowBatch* out) {
+  out->Clear();
+  if (pos_ >= rows_->size()) return false;
+  const size_t take = std::min(kRowBatchCapacity, rows_->size() - pos_);
+  out->rows.reserve(take);
+  out->sel.reserve(take);
+  for (size_t i = 0; i < take; ++i) {
+    out->PushRow(RowRef::Borrowed(&(*rows_)[pos_ + i]));
+  }
+  pos_ += take;
+  return true;
+}
+
 void SeqScanOperator::Close() {}
 
 PositionScanOperator::PositionScanOperator(Schema schema,
@@ -44,6 +61,19 @@ Result<bool> PositionScanOperator::Next(RowRef* out) {
   return true;
 }
 
+Result<bool> PositionScanOperator::NextBatch(RowBatch* out) {
+  out->Clear();
+  if (pos_ >= positions_.size()) return false;
+  const size_t take = std::min(kRowBatchCapacity, positions_.size() - pos_);
+  out->rows.reserve(take);
+  out->sel.reserve(take);
+  for (size_t i = 0; i < take; ++i) {
+    out->PushRow(RowRef::Borrowed(&(*rows_)[positions_[pos_ + i]]));
+  }
+  pos_ += take;
+  return true;
+}
+
 void PositionScanOperator::Close() {}
 
 HeapScanOperator::HeapScanOperator(Schema schema, const RowHeap* heap,
@@ -57,6 +87,7 @@ HeapScanOperator::HeapScanOperator(Schema schema, const RowHeap* heap,
 
 Status HeapScanOperator::Open() {
   pos_ = 0;
+  tick_ = 0;
   scanned_ = 0;
   skipped_ = 0;
   return Status::OK();
@@ -74,6 +105,25 @@ Result<bool> HeapScanOperator::Next(RowRef* out) {
     return true;
   }
   return false;
+}
+
+Result<bool> HeapScanOperator::NextBatch(RowBatch* out) {
+  out->Clear();
+  // One visibility sweep fills the whole batch. A run of dead versions
+  // keeps sweeping (the slot range is sealed, so this terminates) rather
+  // than hand back an empty batch; the stride poll keeps a
+  // dead-version-heavy sweep interruptible mid-batch.
+  while (pos_ < limit_ && out->rows.size() < kRowBatchCapacity) {
+    PSQL_RETURN_IF_ERROR(PollInterrupt(&tick_));
+    size_t slot = pos_++;
+    ++scanned_;
+    if (!heap_->VisibleAt(slot, snapshot_)) {
+      ++skipped_;
+      continue;
+    }
+    out->PushRow(RowRef::Borrowed(&heap_->row(slot)));
+  }
+  return !out->rows.empty();
 }
 
 void HeapScanOperator::Close() {
@@ -97,6 +147,7 @@ HeapPositionScanOperator::HeapPositionScanOperator(
 
 Status HeapPositionScanOperator::Open() {
   pos_ = 0;
+  tick_ = 0;
   scanned_ = 0;
   skipped_ = 0;
   return Status::OK();
@@ -114,6 +165,21 @@ Result<bool> HeapPositionScanOperator::Next(RowRef* out) {
     return true;
   }
   return false;
+}
+
+Result<bool> HeapPositionScanOperator::NextBatch(RowBatch* out) {
+  out->Clear();
+  while (pos_ < positions_.size() && out->rows.size() < kRowBatchCapacity) {
+    PSQL_RETURN_IF_ERROR(PollInterrupt(&tick_));
+    size_t slot = positions_[pos_++];
+    ++scanned_;
+    if (check_visibility_ && !heap_->VisibleAt(slot, snapshot_)) {
+      ++skipped_;
+      continue;
+    }
+    out->PushRow(RowRef::Borrowed(&heap_->row(slot)));
+  }
+  return !out->rows.empty();
 }
 
 void HeapPositionScanOperator::Close() {
@@ -134,6 +200,14 @@ Result<bool> OneRowOperator::Next(RowRef* out) {
   if (done_) return false;
   done_ = true;
   *out = RowRef::Borrowed(&row_);
+  return true;
+}
+
+Result<bool> OneRowOperator::NextBatch(RowBatch* out) {
+  out->Clear();
+  if (done_) return false;
+  done_ = true;
+  out->PushRow(RowRef::Borrowed(&row_));
   return true;
 }
 

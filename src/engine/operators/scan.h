@@ -35,7 +35,9 @@ class SeqScanOperator : public PhysicalOperator {
   const Schema& schema() const override { return schema_; }
   Status Open() override;
   Result<bool> Next(RowRef* out) override;
+  Result<bool> NextBatch(RowBatch* out) override;
   void Close() override;
+  const char* label() const override { return "seq_scan"; }
 
  private:
   Schema schema_;
@@ -56,7 +58,9 @@ class PositionScanOperator : public PhysicalOperator {
   const Schema& schema() const override { return schema_; }
   Status Open() override;
   Result<bool> Next(RowRef* out) override;
+  Result<bool> NextBatch(RowBatch* out) override;
   void Close() override;
+  const char* label() const override { return "position_scan"; }
 
  private:
   Schema schema_;
@@ -77,7 +81,9 @@ class HeapScanOperator : public PhysicalOperator {
   const Schema& schema() const override { return schema_; }
   Status Open() override;
   Result<bool> Next(RowRef* out) override;
+  Result<bool> NextBatch(RowBatch* out) override;
   void Close() override;
+  const char* label() const override { return "heap_scan"; }
 
  private:
   Schema schema_;
@@ -86,6 +92,7 @@ class HeapScanOperator : public PhysicalOperator {
   uint64_t snapshot_;
   MvccScanCounters* counters_;
   size_t pos_ = 0;
+  size_t tick_ = 0;
   uint64_t scanned_ = 0;
   uint64_t skipped_ = 0;
 };
@@ -105,7 +112,9 @@ class HeapPositionScanOperator : public PhysicalOperator {
   const Schema& schema() const override { return schema_; }
   Status Open() override;
   Result<bool> Next(RowRef* out) override;
+  Result<bool> NextBatch(RowBatch* out) override;
   void Close() override;
+  const char* label() const override { return "heap_position_scan"; }
 
  private:
   Schema schema_;
@@ -115,6 +124,7 @@ class HeapPositionScanOperator : public PhysicalOperator {
   bool check_visibility_;
   MvccScanCounters* counters_;
   size_t pos_ = 0;
+  size_t tick_ = 0;
   uint64_t scanned_ = 0;
   uint64_t skipped_ = 0;
 };
@@ -127,7 +137,9 @@ class OneRowOperator : public PhysicalOperator {
   const Schema& schema() const override { return schema_; }
   Status Open() override;
   Result<bool> Next(RowRef* out) override;
+  Result<bool> NextBatch(RowBatch* out) override;
   void Close() override {}
+  const char* label() const override { return "one_row"; }
 
  private:
   Schema schema_;

@@ -16,23 +16,45 @@ Status SortOperator::Open() {
   stmt_charge_.Reset();
   engine_charge_.Reset();
   QueryContext* qctx = CurrentQueryContext();
-  RowRef ref;
-  size_t tick = 0;
   uint64_t pending = 0;
-  while (true) {
-    PSQL_RETURN_IF_ERROR(PollInterrupt(&tick));
-    PSQL_ASSIGN_OR_RETURN(bool more, child_->Next(&ref));
-    if (!more) break;
-    Row row = std::move(ref).IntoRow();
-    if (qctx != nullptr) {
-      pending += sizeof(Row) + row.size() * sizeof(Value);
-      if (pending >= kChargeBatchBytes) {
+  if (BatchModeEnabled()) {
+    // Batch feed: one interrupt check and one (accumulated) memory charge
+    // per ~1k rows instead of stride-256 row polls.
+    RowBatch batch;
+    while (true) {
+      if (qctx != nullptr) PSQL_RETURN_IF_ERROR(qctx->CheckInterrupt());
+      PSQL_ASSIGN_OR_RETURN(bool more, child_->NextBatch(&batch));
+      if (!more) break;
+      if (qctx != nullptr) qctx->batch_stats().Record(batch.sel.size());
+      for (uint32_t idx : batch.sel) {
+        Row row = std::move(batch.rows[idx]).IntoRow();
+        pending += sizeof(Row) + row.size() * sizeof(Value);
+        rows_.push_back(std::move(row));
+      }
+      if (qctx != nullptr && pending >= kChargeBatchBytes) {
         PSQL_RETURN_IF_ERROR(
             qctx->ChargeMemory(pending, &stmt_charge_, &engine_charge_));
         pending = 0;
       }
     }
-    rows_.push_back(std::move(row));
+  } else {
+    RowRef ref;
+    size_t tick = 0;
+    while (true) {
+      PSQL_RETURN_IF_ERROR(PollInterrupt(&tick));
+      PSQL_ASSIGN_OR_RETURN(bool more, child_->Next(&ref));
+      if (!more) break;
+      Row row = std::move(ref).IntoRow();
+      if (qctx != nullptr) {
+        pending += sizeof(Row) + row.size() * sizeof(Value);
+        if (pending >= kChargeBatchBytes) {
+          PSQL_RETURN_IF_ERROR(
+              qctx->ChargeMemory(pending, &stmt_charge_, &engine_charge_));
+          pending = 0;
+        }
+      }
+      rows_.push_back(std::move(row));
+    }
   }
   if (qctx != nullptr) {
     if (pending > 0) {
@@ -55,6 +77,19 @@ Status SortOperator::Open() {
 Result<bool> SortOperator::Next(RowRef* out) {
   if (pos_ >= rows_.size()) return false;
   *out = RowRef::Owned(std::move(rows_[pos_++]));
+  return true;
+}
+
+Result<bool> SortOperator::NextBatch(RowBatch* out) {
+  out->Clear();
+  if (pos_ >= rows_.size()) return false;
+  const size_t take = std::min(kRowBatchCapacity, rows_.size() - pos_);
+  out->rows.reserve(take);
+  out->sel.reserve(take);
+  for (size_t i = 0; i < take; ++i) {
+    out->PushRow(RowRef::Owned(std::move(rows_[pos_ + i])));
+  }
+  pos_ += take;
   return true;
 }
 
@@ -88,6 +123,32 @@ Result<bool> LimitOperator::Next(RowRef* out) {
     ++emitted_;
     *out = std::move(row);
     return true;
+  }
+}
+
+Result<bool> LimitOperator::NextBatch(RowBatch* out) {
+  if (limit_ && emitted_ >= *limit_) return false;
+  while (true) {
+    PSQL_ASSIGN_OR_RETURN(bool more, child_->NextBatch(out));
+    if (!more) return false;
+    // OFFSET consumes from the front of the selection; LIMIT truncates its
+    // tail. Row data stays in place — only `sel` changes.
+    if (offset_ && skipped_ < *offset_) {
+      const size_t skip = std::min(static_cast<size_t>(*offset_ - skipped_),
+                                   out->sel.size());
+      out->sel.erase(out->sel.begin(),
+                     out->sel.begin() + static_cast<ptrdiff_t>(skip));
+      skipped_ += static_cast<int64_t>(skip);
+    }
+    if (limit_) {
+      const size_t room = static_cast<size_t>(*limit_ - emitted_);
+      if (out->sel.size() > room) out->sel.resize(room);
+    }
+    if (!out->sel.empty()) {
+      emitted_ += static_cast<int64_t>(out->sel.size());
+      return true;
+    }
+    // Whole batch swallowed by OFFSET: pull again.
   }
 }
 

@@ -194,7 +194,9 @@ class SkylineCache {
 /// unreachable; only subquery-free predicates are cached (a subquery's
 /// value can change with *other* tables' versions).
 struct FilterCacheKey {
-  std::string where_text;  ///< ExprToSql of the (bound) WHERE predicate
+  /// Printed SQL of the (bound) WHERE predicate, comparisons canonicalized
+  /// to literal-right (`a < 4` and `4 > a` key identically).
+  std::string where_text;
   uint64_t table_id = 0;
   uint64_t table_version = 0;
 

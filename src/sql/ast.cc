@@ -204,6 +204,7 @@ std::shared_ptr<SelectStmt> SelectStmt::Clone() const {
   }
   out->limit = limit;
   out->offset = offset;
+  out->limit_param = limit_param;
   return out;
 }
 

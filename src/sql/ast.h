@@ -230,6 +230,9 @@ struct SelectStmt {
   std::vector<OrderItem> order_by;
   std::optional<int64_t> limit;
   std::optional<int64_t> offset;
+  /// Parameter hole for the LIMIT count (`LIMIT ?` / `LIMIT $k`), engaged
+  /// when is_param(); binding fills `limit`. Null otherwise.
+  Value limit_param;
 
   std::shared_ptr<SelectStmt> Clone() const;
 

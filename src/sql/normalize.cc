@@ -64,19 +64,21 @@ bool IsValueToken(TokenType t) {
          t == TokenType::kNamedParam;
 }
 
-/// Keywords that switch into a value clause.
+/// Keywords that switch into a value clause. LIMIT counts are liftable too
+/// (`LIMIT 10` and `LIMIT 20` share one prepared plan; binding re-checks
+/// the count), unlike OFFSET which stays structural.
 bool OpensLiftClause(const Token& t) {
   return t.IsKeyword("WHERE") || t.IsKeyword("HAVING") || t.IsKeyword("ON") ||
-         t.IsKeyword("PREFERRING") || t.IsKeyword("ONLY");  // BUT ONLY
+         t.IsKeyword("PREFERRING") || t.IsKeyword("ONLY") ||  // BUT ONLY
+         t.IsKeyword("LIMIT");
 }
 
 /// Keywords that switch back to a keep clause (select list, FROM,
-/// GROUP/ORDER BY, LIMIT/OFFSET, GROUPING attribute lists).
+/// GROUP/ORDER BY, OFFSET, GROUPING attribute lists).
 bool OpensKeepClause(const Token& t) {
   return t.IsKeyword("SELECT") || t.IsKeyword("FROM") ||
          t.IsKeyword("GROUP") || t.IsKeyword("ORDER") ||
-         t.IsKeyword("LIMIT") || t.IsKeyword("OFFSET") ||
-         t.IsKeyword("GROUPING");
+         t.IsKeyword("OFFSET") || t.IsKeyword("GROUPING");
 }
 
 }  // namespace

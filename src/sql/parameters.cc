@@ -80,6 +80,7 @@ void CollectSelect(ParameterSignature* sig, const SelectStmt& select) {
   for (const auto& g : select.group_by) CollectExpr(sig, *g);
   if (select.having) CollectExpr(sig, *select.having);
   for (const auto& o : select.order_by) CollectExpr(sig, *o.expr);
+  CollectValue(sig, select.limit_param, ParamConstraint::kAny);
 }
 
 // ---------------------------------------------------------------------------
@@ -135,7 +136,7 @@ bool SelectHasParameters(const SelectStmt& select) {
   for (const auto& o : select.order_by) {
     if (ExprHasParameters(*o.expr)) return true;
   }
-  return false;
+  return select.limit_param.is_param();
 }
 
 bool StatementHasParameters(const Statement& stmt) {
@@ -296,6 +297,27 @@ Status BindSelect(SelectStmt& select, const std::vector<Value>& values,
   }
   for (auto& o : select.order_by) {
     PSQL_RETURN_IF_ERROR(BindExpr(*o.expr, values, parse_errors));
+  }
+  if (select.limit_param.is_param()) {
+    const size_t index = static_cast<size_t>(select.limit_param.ParamIndex());
+    if (index >= values.size()) {
+      return Status::BindError("parameter " +
+                               ParamDisplay(select.limit_param) +
+                               " is not bound");
+    }
+    const Value& v = values[index];
+    // LIMIT is structural: only a non-negative integer makes a valid count,
+    // whatever the binding channel. Auto-parameterized texts report the
+    // parser's own error so literal and lifted forms fail identically.
+    if (v.type() != ValueType::kInt || v.AsInt() < 0) {
+      if (parse_errors) return Status::ParseError("expected LIMIT count");
+      return Status::BindError(
+          "parameter " + std::to_string(index + 1) +
+          " requires a non-negative integer (LIMIT count), got " +
+          v.ToString());
+    }
+    select.limit = v.AsInt();
+    select.limit_param = v;
   }
   return Status::OK();
 }

@@ -422,8 +422,16 @@ Result<std::shared_ptr<SelectStmt>> Parser::ParseSelect() {
     } while (Match(TokenType::kComma));
   }
   if (MatchKeyword("LIMIT")) {
-    if (!Check(TokenType::kInteger)) return Error("expected LIMIT count");
-    sel->limit = Advance().int_value;
+    if (Check(TokenType::kQuestion)) {
+      Advance();
+      sel->limit_param = MakeParam("");
+    } else if (Check(TokenType::kNamedParam)) {
+      sel->limit_param = MakeParam(Advance().text);
+    } else if (Check(TokenType::kInteger)) {
+      sel->limit = Advance().int_value;
+    } else {
+      return Error("expected LIMIT count");
+    }
     if (MatchKeyword("OFFSET")) {
       if (!Check(TokenType::kInteger)) return Error("expected OFFSET count");
       sel->offset = Advance().int_value;

@@ -255,7 +255,13 @@ std::string SelectToSql(const SelectStmt& s) {
     }
     out += " ORDER BY " + Join(parts, ", ");
   }
-  if (s.limit) out += " LIMIT " + std::to_string(*s.limit);
+  if (s.limit_param.is_param()) {
+    out += " LIMIT " + (s.limit_param.ParamName().empty()
+                            ? "?"
+                            : "$" + s.limit_param.ParamName());
+  } else if (s.limit) {
+    out += " LIMIT " + std::to_string(*s.limit);
+  }
   if (s.offset) out += " OFFSET " + std::to_string(*s.offset);
   return out;
 }

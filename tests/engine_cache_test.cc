@@ -61,6 +61,24 @@ TEST_F(EngineCacheTest, RepeatedStatementHitsThePlanCache) {
   EXPECT_EQ(first->ToString(), lower->ToString());
 }
 
+TEST_F(EngineCacheTest, LimitVariantsShareOnePreparedPlan) {
+  // Auto-parameterization lifts the LIMIT count too, so texts differing
+  // only in the count key onto one prepared plan.
+  const std::string base =
+      "SELECT name FROM gear PREFERRING LOWEST(price) AND LOWEST(weight)";
+  auto r1 = conn_.Execute(base + " LIMIT 1");
+  ASSERT_TRUE(r1.ok()) << r1.status().ToString();
+  EXPECT_FALSE(conn_.last_stats().plan_cache_hit);
+  EXPECT_TRUE(conn_.last_stats().auto_parameterized);
+  EXPECT_EQ(r1->num_rows(), 1u);
+
+  auto r2 = conn_.Execute(base + " LIMIT 3");
+  ASSERT_TRUE(r2.ok());
+  EXPECT_TRUE(conn_.last_stats().plan_cache_hit);  // only the count differs
+  EXPECT_EQ(conn_.last_stats().bound_parameters, 1u);
+  EXPECT_EQ(r2->num_rows(), 2u);  // the full skyline: tarp, bivy
+}
+
 TEST_F(EngineCacheTest, DdlInvalidatesThePlanCache) {
   ASSERT_TRUE(conn_.Execute(kQuery).ok());
   ASSERT_TRUE(conn_.Execute(kQuery).ok());
@@ -200,6 +218,23 @@ TEST_F(EngineCacheTest, FilteredQueriesShareTheWholeTableKeys) {
       << conn_.last_stats().key_cache_detail;
 }
 
+TEST_F(EngineCacheTest, CommutedComparisonsShareOneFilterEntry) {
+  // The filter-position cache keys on a canonicalized predicate text:
+  // `a < 4` and `4 > a` are one predicate and must share one entry.
+  ASSERT_TRUE(conn_.Execute("SET evaluation_mode = bnl").ok());
+  auto r1 = conn_.Execute(
+      "SELECT name FROM gear WHERE price < 200 PREFERRING LOWEST(weight)");
+  ASSERT_TRUE(r1.ok()) << r1.status().ToString();
+  EXPECT_EQ(conn_.engine()->filter_cache().size(), 1u);
+
+  auto r2 = conn_.Execute(
+      "SELECT name FROM gear WHERE 200 > price PREFERRING LOWEST(weight)");
+  ASSERT_TRUE(r2.ok());
+  // Served from the first spelling's entry — not inserted a second time.
+  EXPECT_EQ(conn_.engine()->filter_cache().size(), 1u);
+  EXPECT_EQ(r1->ToString(), r2->ToString());
+}
+
 TEST_F(EngineCacheTest, IneligibleShapesSkipTheKeyCache) {
   ASSERT_TRUE(conn_.Execute("SET evaluation_mode = bnl").ok());
   // A subquery in the WHERE can read other tables: the candidate set is
@@ -272,17 +307,31 @@ TEST(ParameterizeSqlTest, LiftsValuePositionLiteralsInOrder) {
 }
 
 TEST(ParameterizeSqlTest, KeepsStructuralAndDisplayLiterals) {
-  // Select-list literals derive headers; LIMIT/OFFSET counts and ORDER BY
-  // expressions are structural. None may be lifted.
+  // Select-list literals derive headers; OFFSET counts and ORDER BY
+  // expressions are structural. LIMIT counts, in contrast, are liftable —
+  // binding re-validates the count.
   auto p = ParameterizeSql(
       "SELECT 1, a FROM t WHERE b = 2 ORDER BY a LIMIT 5 OFFSET 2");
   ASSERT_TRUE(p.parameterized);
   EXPECT_EQ(p.text,
-            "SELECT 1, a FROM t WHERE b = ? ORDER BY a LIMIT 5 OFFSET 2");
-  ASSERT_EQ(p.values.size(), 1u);
+            "SELECT 1, a FROM t WHERE b = ? ORDER BY a LIMIT ? OFFSET 2");
+  ASSERT_EQ(p.values.size(), 2u);
   EXPECT_EQ(p.values[0].AsInt(), 2);
+  EXPECT_EQ(p.values[1].AsInt(), 5);
   // Nothing liftable at all -> fall back to plain normalization.
-  EXPECT_FALSE(ParameterizeSql("SELECT 1, a FROM t LIMIT 5").parameterized);
+  EXPECT_FALSE(
+      ParameterizeSql("SELECT 1, a FROM t ORDER BY a OFFSET 2")
+          .parameterized);
+}
+
+TEST(ParameterizeSqlTest, LiftsBareLimitCount) {
+  // A statement whose only literal is the LIMIT count still parameterizes:
+  // `LIMIT 5` and `LIMIT 9` share one prepared plan.
+  auto p = ParameterizeSql("SELECT 1, a FROM t LIMIT 5");
+  ASSERT_TRUE(p.parameterized);
+  EXPECT_EQ(p.text, "SELECT 1, a FROM t LIMIT ?");
+  ASSERT_EQ(p.values.size(), 1u);
+  EXPECT_EQ(p.values[0].AsInt(), 5);
 }
 
 TEST(ParameterizeSqlTest, FoldsUnaryMinusAndKeepsDates) {

@@ -75,6 +75,34 @@ TEST_F(PreparedStatementTest, NamedParametersShareOneOrdinal) {
   EXPECT_TRUE(stmt->Bind("nope", Value::Int(1)).IsBindError());
 }
 
+TEST_F(PreparedStatementTest, BindableLimitCount) {
+  auto stmt = conn_.Prepare(
+      "SELECT id FROM car WHERE price >= ? ORDER BY id LIMIT ?");
+  ASSERT_TRUE(stmt.ok()) << stmt.status().ToString();
+  ASSERT_EQ(stmt->parameter_count(), 2u);
+
+  ASSERT_TRUE(stmt->Bind(0, Value::Int(12000)).ok());
+  ASSERT_TRUE(stmt->Bind(1, Value::Int(2)).ok());
+  auto r1 = stmt->Execute();
+  ASSERT_TRUE(r1.ok()) << r1.status().ToString();
+  ASSERT_EQ(r1->num_rows(), 2u);  // ids 1 and 2 of {1, 2, 3, 4}
+  EXPECT_EQ(r1->at(0, 0).AsInt(), 1);
+  EXPECT_EQ(r1->at(1, 0).AsInt(), 2);
+
+  // Rebinding only the count re-executes the same prepared plan.
+  ASSERT_TRUE(stmt->Bind(1, Value::Int(10)).ok());
+  auto r2 = stmt->Execute();
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ(r2->num_rows(), 4u);
+  EXPECT_TRUE(conn_.last_stats().plan_cache_hit);
+
+  // The count must be a non-negative integer, whatever the channel.
+  ASSERT_TRUE(stmt->Bind(1, Value::Int(-1)).ok());
+  EXPECT_FALSE(stmt->Execute().ok());
+  ASSERT_TRUE(stmt->Bind(1, Value::Text("three")).ok());
+  EXPECT_FALSE(stmt->Execute().ok());
+}
+
 TEST_F(PreparedStatementTest, BindArityAndTypeErrors) {
   auto stmt = conn_.Prepare(
       "SELECT id FROM car PREFERRING price AROUND $t AND color CONTAINS ?");
