@@ -7,6 +7,7 @@
 // shared CI runners are noisy; the signal is the cold/warm ratio and the
 // hit flags, which are deterministic.
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdio>
@@ -19,6 +20,8 @@
 
 #include "bench_json.h"
 #include "core/connection.h"
+#include "net/client.h"
+#include "net/server.h"
 #include "workload/generators.h"
 
 namespace {
@@ -54,11 +57,17 @@ int main(int argc, char** argv) {
   // --mixed-writers 8 --mixed-readers 8.
   int mixed_writers = 1;
   int mixed_readers = 2;
+  // 0 = spin up an in-process prefsqld on an ephemeral loopback port;
+  // nonzero = benchmark an externally started daemon (expects the usedcars
+  // demo data set: prefsqld --demo usedcars).
+  int networked_port = 0;
   for (int i = 1; i + 1 < argc; ++i) {
     if (std::strcmp(argv[i], "--mixed-writers") == 0) {
       mixed_writers = std::atoi(argv[i + 1]);
     } else if (std::strcmp(argv[i], "--mixed-readers") == 0) {
       mixed_readers = std::atoi(argv[i + 1]);
+    } else if (std::strcmp(argv[i], "--networked-port") == 0) {
+      networked_port = std::atoi(argv[i + 1]);
     }
   }
 
@@ -728,6 +737,123 @@ int main(int argc, char** argv) {
             .Field("speedup", row_ms / batch_ms);
       }
     }
+  }
+
+  // --- 13. Networked serving: concurrent wire-protocol clients against a
+  //         prefsqld instance. Eight clients connect over TCP, prepare the
+  //         AROUND-target skyline query once, and stream every execution's
+  //         rows through FETCH pages — per-query latency includes the bind
+  //         ship, the execute round trip, and every page round trip, so the
+  //         percentiles measure the full serving stack (framing, reactor,
+  //         handler pool, engine) rather than the engine alone.
+  {
+    constexpr int kClients = 8;
+    constexpr int kPerClient = 40;
+
+    std::unique_ptr<prefsql::net::Server> server;
+    int port = networked_port;
+    if (port == 0) {
+      auto engine = std::make_shared<prefsql::Engine>();
+      {
+        prefsql::Connection setup;
+        setup.Attach(engine);
+        if (!prefsql::GenerateUsedCars(setup.database(), kRows, 7).ok()) {
+          return 1;
+        }
+      }
+      prefsql::net::ServerOptions options;
+      options.max_connections = kClients + 2;
+      server = std::make_unique<prefsql::net::Server>(engine, options);
+      auto started = server->Start();
+      if (!started.ok()) {
+        std::fprintf(stderr, "server start failed: %s\n",
+                     started.ToString().c_str());
+        return 1;
+      }
+      port = server->port();
+    }
+
+    std::vector<std::vector<double>> per_client(kClients);
+    std::atomic<int> failures{0};
+    const auto t0 = Clock::now();
+    std::vector<std::thread> clients;
+    for (int c = 0; c < kClients; ++c) {
+      clients.emplace_back([&, c]() {
+        auto client = prefsql::net::Client::Connect("127.0.0.1", port);
+        if (!client.ok()) {
+          std::fprintf(stderr, "client %d connect failed: %s\n", c,
+                       client.status().ToString().c_str());
+          failures.fetch_add(1);
+          return;
+        }
+        (void)(*client)->Execute("SET evaluation_mode = bnl");
+        auto stmt = (*client)->Prepare(
+            "SELECT id FROM car PREFERRING price AROUND $target AND "
+            "LOWEST(mileage)");
+        if (!stmt.ok()) {
+          std::fprintf(stderr, "client %d prepare failed: %s\n", c,
+                       stmt.status().ToString().c_str());
+          failures.fetch_add(1);
+          return;
+        }
+        for (int i = 0; i < kPerClient; ++i) {
+          (void)stmt->Bind("target", prefsql::Value::Int(
+                                         15000 + (c * kPerClient + i) % 64));
+          const auto q0 = Clock::now();
+          auto cursor = stmt->Open();
+          if (!cursor.ok()) {
+            std::fprintf(stderr, "client %d open failed: %s\n", c,
+                         cursor.status().ToString().c_str());
+            failures.fetch_add(1);
+            return;
+          }
+          for (;;) {
+            auto row = cursor->Next();
+            if (!row.ok()) {
+              std::fprintf(stderr, "client %d fetch failed: %s\n", c,
+                           row.status().ToString().c_str());
+              failures.fetch_add(1);
+              return;
+            }
+            if (!row->has_value()) break;
+          }
+          per_client[c].push_back(MsSince(q0));
+        }
+      });
+    }
+    for (auto& t : clients) t.join();
+    const double wall_ms = MsSince(t0);
+    if (server != nullptr) server->Shutdown();
+    if (failures.load() != 0) return 1;
+
+    std::vector<double> latencies;
+    for (const auto& samples : per_client) {
+      latencies.insert(latencies.end(), samples.begin(), samples.end());
+    }
+    std::sort(latencies.begin(), latencies.end());
+    auto pct = [&](double p) {
+      if (latencies.empty()) return 0.0;
+      size_t idx = static_cast<size_t>(p * (latencies.size() - 1));
+      return latencies[idx];
+    };
+    const double qps = latencies.size() * 1000.0 / wall_ms;
+    std::printf(
+        "networked, %zu rows, %d clients x %d queries over TCP: p50 %.3f "
+        "ms, p95 %.3f ms, p99 %.3f ms, %.0f queries/s (%.3f ms wall)\n",
+        kRows, kClients, kPerClient, pct(0.5), pct(0.95), pct(0.99), qps,
+        wall_ms);
+    json.BeginRecord()
+        .Field("section", "networked")
+        .Field("rows", static_cast<uint64_t>(kRows))
+        .Field("clients", static_cast<uint64_t>(kClients))
+        .Field("queries_per_client", static_cast<uint64_t>(kPerClient))
+        .Field("queries", static_cast<uint64_t>(latencies.size()))
+        .Field("external_daemon", static_cast<uint64_t>(networked_port != 0))
+        .Field("p50_ms", pct(0.5))
+        .Field("p95_ms", pct(0.95))
+        .Field("p99_ms", pct(0.99))
+        .Field("wall_ms", wall_ms)
+        .Field("qps", qps);
   }
 
   if (!json.Write()) {

@@ -244,15 +244,22 @@ Result<Cursor> Engine::OpenCursor(Session& session, const std::string& sql,
         StartsWithKeyword(text, "explain")) {
       std::string key_text = std::move(text);
       std::vector<Value> lifted;
+      std::vector<uint32_t> lifted_widths;
       const std::vector<Value>* params = nullptr;
+      const std::vector<uint32_t>* widths = nullptr;
       bool auto_par = false;
       const std::string* parse_text = &sql;
       if (session.options().auto_parameterize) {
-        ParameterizedSql p = ParameterizeSql(sql);
+        // IN lists collapse to one arity-normalized placeholder here (the
+        // text path re-expands at bind time); PREPARE keeps placeholders
+        // 1:1 with values, so only this path asks for collapsing.
+        ParameterizedSql p = ParameterizeSql(sql, /*collapse_in_lists=*/true);
         if (p.parameterized) {
           key_text = std::move(p.text);
           lifted = std::move(p.values);
+          lifted_widths = std::move(p.widths);
           params = &lifted;
+          widths = &lifted_widths;
           auto_par = true;
           parse_text = &key_text;
         }
@@ -261,7 +268,7 @@ Result<Cursor> Engine::OpenCursor(Session& session, const std::string& sql,
       if (auto cached = plan_cache_.Lookup(key)) {
         return OpenPreparedCursor(session, std::move(cached),
                                   /*plan_cache_hit=*/true, params, auto_par,
-                                  std::move(keepalive));
+                                  std::move(keepalive), widths);
       }
       auto parsed = ParseStatement(*parse_text);
       if (!parsed.ok() && auto_par) {
@@ -284,7 +291,7 @@ Result<Cursor> Engine::OpenCursor(Session& session, const std::string& sql,
         plan_cache_.Insert(key, prepared);
         return OpenPreparedCursor(session, std::move(prepared),
                                   /*plan_cache_hit=*/false, params, auto_par,
-                                  std::move(keepalive));
+                                  std::move(keepalive), widths);
       }
       PSQL_ASSIGN_OR_RETURN(ResultTable result,
                             ExecuteStatement(session, stmt));
@@ -544,7 +551,12 @@ Result<std::shared_ptr<const CachedPlan>> Engine::LookupOrPrepare(
 }
 
 Result<Engine::ExecutionView> Engine::BindForExecutionLocked(
-    const CachedPlan& plan, const std::vector<Value>* params) {
+    const CachedPlan& plan, const std::vector<Value>* params,
+    const std::vector<uint32_t>* widths) {
+  bool wide = false;
+  if (widths != nullptr) {
+    for (uint32_t w : *widths) wide = wide || w != 1;
+  }
   const bool is_pref =
       plan.select != nullptr && plan.select->IsPreferenceQuery();
   std::shared_ptr<const SelectStmt> select = plan.select;
@@ -565,6 +577,9 @@ Result<Engine::ExecutionView> Engine::BindForExecutionLocked(
   }
   if (params != nullptr && !params->empty()) {
     auto bound = select->Clone();
+    // Collapsed IN-list placeholders re-expand on the private clone first,
+    // so binding below consumes the flat value vector 1:1 as always.
+    if (wide) PSQL_RETURN_IF_ERROR(ExpandWideParameters(*bound, *widths));
     PSQL_RETURN_IF_ERROR(
         BindSelectParameters(*bound, *params, /*parse_errors=*/true));
     select = std::move(bound);
@@ -581,6 +596,14 @@ Result<Engine::ExecutionView> Engine::BindForExecutionLocked(
     uint64_t fp = kFingerprintSeed;
     if (memoizable) {
       for (const Value& p : *params) fp = FingerprintValue(fp, p);
+      // The same flat values can split differently across collapsed
+      // placeholders (widths [2,1] vs [1,2] over three values compile
+      // different preferences), so the split is part of the identity.
+      if (wide) {
+        for (uint32_t w : *widths) {
+          fp = FingerprintValue(fp, Value::Int(static_cast<int64_t>(w)));
+        }
+      }
       std::lock_guard<std::mutex> guard(plan.bound_mutex);
       auto it = plan.bound_prefs.find(fp);
       if (it != plan.bound_prefs.end()) pref = it->second;
@@ -618,23 +641,35 @@ Cursor Engine::MaterializedCursor(ResultTable result, Session* session,
 Result<ResultTable> Engine::ExecutePrepared(
     Session& session, std::shared_ptr<const CachedPlan> plan,
     bool plan_cache_hit, const std::vector<Value>* params,
-    bool auto_parameterized) {
+    bool auto_parameterized, const std::vector<uint32_t>* widths) {
   PSQL_ASSIGN_OR_RETURN(
       Cursor cursor,
       OpenPreparedCursor(session, std::move(plan), plan_cache_hit, params,
-                         auto_parameterized, nullptr));
+                         auto_parameterized, nullptr, widths));
   return DrainCursor(cursor);
 }
 
 Result<Cursor> Engine::OpenPreparedCursor(
     Session& session, std::shared_ptr<const CachedPlan> plan,
     bool plan_cache_hit, const std::vector<Value>* params,
-    bool auto_parameterized, std::shared_ptr<Engine> keepalive) {
+    bool auto_parameterized, std::shared_ptr<Engine> keepalive,
+    const std::vector<uint32_t>* widths) {
   const size_t provided = params != nullptr ? params->size() : 0;
-  if (plan->params.count() != provided) {
+  uint64_t expected = plan->params.count();
+  if (widths != nullptr && !widths->empty()) {
+    // Collapsed placeholders: the plan carries one slot per placeholder
+    // and the flat values must cover every slot's width exactly.
+    if (widths->size() != plan->params.count()) {
+      return Status::BindError(
+          "statement expects " + std::to_string(plan->params.count()) +
+          " placeholder(s), got " + std::to_string(widths->size()));
+    }
+    expected = 0;
+    for (uint32_t w : *widths) expected += w;
+  }
+  if (expected != provided) {
     if (provided == 0) return UnboundParametersError();
-    return Status::BindError("statement expects " +
-                             std::to_string(plan->params.count()) +
+    return Status::BindError("statement expects " + std::to_string(expected) +
                              " parameter(s), got " + std::to_string(provided));
   }
   PreferenceQueryStats& stats = session.ResetStatsForNewStatement();
@@ -652,7 +687,7 @@ Result<Cursor> Engine::OpenPreparedCursor(
 
   if (plan->kind == StatementKind::kExplain) {
     PSQL_ASSIGN_OR_RETURN(ResultTable result,
-                          ExecuteExplain(session, *plan, params));
+                          ExecuteExplain(session, *plan, params, widths));
     FlushBatchExecStats(qctx.get(), stats);
     SnapshotCacheCounters(session);
     return MaterializedCursor(std::move(result), &session,
@@ -668,7 +703,7 @@ Result<Cursor> Engine::OpenPreparedCursor(
       Result<ResultTable> result = [&]() -> Result<ResultTable> {
         std::unique_lock<std::shared_mutex> lock(mutex_);
         PSQL_ASSIGN_OR_RETURN(ExecutionView view,
-                              BindForExecutionLocked(*plan, params));
+                              BindForExecutionLocked(*plan, params, widths));
         return ExecuteViaRewrite(session, *view.select, view.preference);
       }();
       if (result.ok()) {
@@ -690,7 +725,7 @@ Result<Cursor> Engine::OpenPreparedCursor(
     stats.pinned_epoch = pin.snapshot();
     ScopedSnapshot ambient(pin.snapshot());
     PSQL_ASSIGN_OR_RETURN(ExecutionView view,
-                          BindForExecutionLocked(*plan, params));
+                          BindForExecutionLocked(*plan, params, widths));
     Result<Cursor> cursor =
         OpenDirectCursor(session, std::move(view), std::move(lock),
                          std::move(pin), std::move(plan), qctx,
@@ -706,7 +741,7 @@ Result<Cursor> Engine::OpenPreparedCursor(
   stats.pinned_epoch = pin.snapshot();
   ScopedSnapshot ambient(pin.snapshot());
   PSQL_ASSIGN_OR_RETURN(ExecutionView view,
-                        BindForExecutionLocked(*plan, params));
+                        BindForExecutionLocked(*plan, params, widths));
   PSQL_ASSIGN_OR_RETURN(OperatorPtr root,
                         db_.executor().PlanSelectOperator(*view.select));
   auto impl = std::make_unique<Cursor::Impl>();
@@ -912,9 +947,9 @@ Result<ResultTable> Engine::ExecuteDirect(
   return result;
 }
 
-Result<ResultTable> Engine::ExecuteExplain(Session& session,
-                                           const CachedPlan& plan,
-                                           const std::vector<Value>* params) {
+Result<ResultTable> Engine::ExecuteExplain(
+    Session& session, const CachedPlan& plan,
+    const std::vector<Value>* params, const std::vector<uint32_t>* widths) {
   Schema schema = Schema::FromNames({"plan"});
   std::vector<Row> lines;
   auto add = [&](const std::string& s) { lines.push_back({Value::Text(s)}); };
@@ -923,7 +958,7 @@ Result<ResultTable> Engine::ExecuteExplain(Session& session,
   session.mutable_last_stats().pinned_epoch = pin.snapshot();
   ScopedSnapshot ambient(pin.snapshot());
   PSQL_ASSIGN_OR_RETURN(ExecutionView view,
-                        BindForExecutionLocked(plan, params));
+                        BindForExecutionLocked(plan, params, widths));
   const SelectStmt& select = *view.select;
   if (!select.IsPreferenceQuery()) {
     add("-- standard SQL: passed through to the host database unchanged");

@@ -207,11 +207,15 @@ class Engine {
   /// Executes a prepared SELECT/EXPLAIN by draining a cursor over it.
   /// `params` are the values for the plan's parameter holes (nullptr when
   /// the statement has none); `auto_parameterized` tags the stats.
+  /// `widths`, when non-null, maps IN-list-collapsed placeholders to the
+  /// number of flat values each consumes (see ParameterizeSql).
   Result<ResultTable> ExecutePrepared(Session& session,
                                       std::shared_ptr<const CachedPlan> plan,
                                       bool plan_cache_hit,
                                       const std::vector<Value>* params,
-                                      bool auto_parameterized);
+                                      bool auto_parameterized,
+                                      const std::vector<uint32_t>* widths =
+                                          nullptr);
 
   /// Opens a cursor over a prepared SELECT/EXPLAIN: streaming for the
   /// direct path and plain SELECTs, materialized for EXPLAIN and the
@@ -221,7 +225,9 @@ class Engine {
                                     bool plan_cache_hit,
                                     const std::vector<Value>* params,
                                     bool auto_parameterized,
-                                    std::shared_ptr<Engine> keepalive);
+                                    std::shared_ptr<Engine> keepalive,
+                                    const std::vector<uint32_t>* widths =
+                                        nullptr);
 
   /// The artifacts one execution of a prepared statement runs against:
   /// the (re-)expanded query block with bound values injected, and the
@@ -237,7 +243,8 @@ class Engine {
   /// PREFERRING clause when it could not be compiled at prepare time.
   /// Caller must hold the statement lock.
   Result<ExecutionView> BindForExecutionLocked(
-      const CachedPlan& plan, const std::vector<Value>* params);
+      const CachedPlan& plan, const std::vector<Value>* params,
+      const std::vector<uint32_t>* widths = nullptr);
 
   /// Preference SELECT via the §3.2 rewrite strategy; caller must hold the
   /// lock exclusively (the Aux views are created in the shared catalog).
@@ -263,7 +270,9 @@ class Engine {
                                   std::shared_ptr<Engine> keepalive);
 
   Result<ResultTable> ExecuteExplain(Session& session, const CachedPlan& plan,
-                                     const std::vector<Value>* params);
+                                     const std::vector<Value>* params,
+                                     const std::vector<uint32_t>* widths =
+                                         nullptr);
 
   /// SET <knob> = <value>: run-time access to the session's options.
   Result<ResultTable> ExecuteSet(Session& session, const Statement& stmt);

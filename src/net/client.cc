@@ -1,0 +1,372 @@
+#include "net/client.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace prefsql::net {
+
+namespace {
+
+Status SocketError(const char* what) {
+  return Status::ExecutionError(std::string(what) + ": " +
+                                std::strerror(errno));
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// RemoteCursor
+// ---------------------------------------------------------------------------
+
+RemoteCursor::~RemoteCursor() { Close(); }
+
+RemoteCursor::RemoteCursor(RemoteCursor&& other) noexcept
+    : client_(other.client_),
+      schema_(std::move(other.schema_)),
+      buffer_(std::move(other.buffer_)),
+      open_(other.open_),
+      exhausted_(other.exhausted_) {
+  other.client_ = nullptr;
+  other.open_ = false;
+}
+
+RemoteCursor& RemoteCursor::operator=(RemoteCursor&& other) noexcept {
+  if (this != &other) {
+    Close();
+    client_ = other.client_;
+    schema_ = std::move(other.schema_);
+    buffer_ = std::move(other.buffer_);
+    open_ = other.open_;
+    exhausted_ = other.exhausted_;
+    other.client_ = nullptr;
+    other.open_ = false;
+  }
+  return *this;
+}
+
+Result<std::optional<Row>> RemoteCursor::Next() {
+  if (!open_ || client_ == nullptr) {
+    return Status::ExecutionError("cursor is closed");
+  }
+  if (buffer_.empty() && !exhausted_) {
+    auto page = client_->FetchPage(schema_.num_columns());
+    if (!page.ok()) {
+      // Mid-stream failure: the server already freed the cursor.
+      open_ = false;
+      client_ = nullptr;
+      return page.status();
+    }
+    for (Row& row : page->rows) buffer_.push_back(std::move(row));
+    exhausted_ = page->last;
+  }
+  if (buffer_.empty()) {
+    open_ = false;  // end of stream; server closed the cursor with last=1
+    return std::optional<Row>{};
+  }
+  Row row = std::move(buffer_.front());
+  buffer_.pop_front();
+  return std::optional<Row>(std::move(row));
+}
+
+void RemoteCursor::Close() {
+  if (open_ && client_ != nullptr && !exhausted_) {
+    client_->CloseCursorEarly();
+  }
+  open_ = false;
+  client_ = nullptr;
+  buffer_.clear();
+}
+
+// ---------------------------------------------------------------------------
+// RemoteStatement
+// ---------------------------------------------------------------------------
+
+RemoteStatement::~RemoteStatement() { Close(); }
+
+RemoteStatement::RemoteStatement(RemoteStatement&& other) noexcept
+    : client_(other.client_),
+      id_(other.id_),
+      param_names_(std::move(other.param_names_)),
+      pending_(std::move(other.pending_)),
+      pending_clear_(other.pending_clear_) {
+  other.client_ = nullptr;
+}
+
+RemoteStatement& RemoteStatement::operator=(RemoteStatement&& other) noexcept {
+  if (this != &other) {
+    Close();
+    client_ = other.client_;
+    id_ = other.id_;
+    param_names_ = std::move(other.param_names_);
+    pending_ = std::move(other.pending_);
+    pending_clear_ = other.pending_clear_;
+    other.client_ = nullptr;
+  }
+  return *this;
+}
+
+Status RemoteStatement::Bind(size_t index, Value value) {
+  if (index >= param_names_.size()) {
+    return Status::BindError(
+        "parameter index " + std::to_string(index) + " out of range (" +
+        std::to_string(param_names_.size()) + " parameter(s))");
+  }
+  pending_.emplace_back(static_cast<uint32_t>(index), std::move(value));
+  return Status::OK();
+}
+
+Status RemoteStatement::Bind(const std::string& name, Value value) {
+  if (name.empty()) {
+    return Status::BindError(
+        "parameter name must not be empty (bind positional '?' slots by "
+        "index)");
+  }
+  bool found = false;
+  for (size_t i = 0; i < param_names_.size(); ++i) {
+    if (param_names_[i] == name) {
+      pending_.emplace_back(static_cast<uint32_t>(i), value);
+      found = true;
+    }
+  }
+  if (!found) {
+    return Status::BindError("statement has no parameter named '$" + name +
+                             "'");
+  }
+  return Status::OK();
+}
+
+void RemoteStatement::ClearBindings() {
+  pending_.clear();
+  pending_clear_ = true;
+}
+
+Status RemoteStatement::ShipBindings() {
+  if (pending_.empty() && !pending_clear_) return Status::OK();
+  if (client_ == nullptr) {
+    return Status::ExecutionError("statement is closed");
+  }
+  auto reply = client_->RoundTrip(
+      EncodeBind(id_, pending_clear_, pending_), Verb::kOk);
+  PSQL_RETURN_IF_ERROR(reply.status());
+  pending_.clear();
+  pending_clear_ = false;
+  return Status::OK();
+}
+
+Result<ResultTable> RemoteStatement::Execute() {
+  PSQL_ASSIGN_OR_RETURN(RemoteCursor cursor, Open());
+  std::vector<Row> rows;
+  for (;;) {
+    PSQL_ASSIGN_OR_RETURN(auto row, cursor.Next());
+    if (!row.has_value()) break;
+    rows.push_back(std::move(*row));
+  }
+  return ResultTable(cursor.columns(), std::move(rows));
+}
+
+Result<RemoteCursor> RemoteStatement::Open() {
+  if (client_ == nullptr) {
+    return Status::ExecutionError("statement is closed");
+  }
+  PSQL_RETURN_IF_ERROR(ShipBindings());
+  auto reply = client_->RoundTrip(EncodeStmtId(Verb::kExecuteStmt, id_),
+                                  Verb::kResultHeader);
+  PSQL_RETURN_IF_ERROR(reply.status());
+  PSQL_ASSIGN_OR_RETURN(Schema schema, DecodeResultHeader(reply->payload));
+  return RemoteCursor(client_, std::move(schema));
+}
+
+void RemoteStatement::Close() {
+  if (client_ != nullptr) {
+    client_->CloseStatement(id_);
+    client_ = nullptr;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Client
+// ---------------------------------------------------------------------------
+
+Client::Client(int fd, ClientOptions options)
+    : fd_(fd), options_(options), frames_(options.max_frame_bytes) {}
+
+Client::~Client() { Close(); }
+
+Result<std::unique_ptr<Client>> Client::Connect(const std::string& host,
+                                                int port,
+                                                ClientOptions options) {
+  std::string addr_text = host == "localhost" ? "127.0.0.1" : host;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::inet_pton(AF_INET, addr_text.c_str(), &addr.sin_addr) != 1) {
+    return Status::InvalidArgument("bad server address '" + host +
+                                   "' (numeric IPv4 expected)");
+  }
+  int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC | SOCK_NONBLOCK, 0);
+  if (fd < 0) return SocketError("socket");
+  int rc = ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+  if (rc != 0 && errno == EINPROGRESS) {
+    pollfd pfd{fd, POLLOUT, 0};
+    int timeout = options.connect_timeout_ms > 0 ? options.connect_timeout_ms
+                                                 : -1;
+    if (::poll(&pfd, 1, timeout) <= 0) {
+      ::close(fd);
+      return Status::ExecutionError("connect to " + host + ":" +
+                                    std::to_string(port) + " timed out");
+    }
+    int err = 0;
+    socklen_t len = sizeof(err);
+    ::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len);
+    if (err != 0) {
+      ::close(fd);
+      return Status::ExecutionError("connect to " + host + ":" +
+                                    std::to_string(port) + " failed: " +
+                                    std::strerror(err));
+    }
+  } else if (rc != 0) {
+    Status st = SocketError("connect");
+    ::close(fd);
+    return st;
+  }
+  // Blocking from here on: the client API is synchronous request/response.
+  int flags = ::fcntl(fd, F_GETFL, 0);
+  ::fcntl(fd, F_SETFL, flags & ~O_NONBLOCK);
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+
+  auto client = std::unique_ptr<Client>(new Client(fd, options));
+  auto reply = client->RoundTrip(EncodeHello(), Verb::kHelloOk);
+  PSQL_RETURN_IF_ERROR(reply.status());
+  PSQL_ASSIGN_OR_RETURN(client->banner_, DecodeHelloOk(reply->payload));
+  return client;
+}
+
+void Client::Close() {
+  if (fd_ < 0) return;
+  // Best-effort GOODBYE so the server logs a clean close; ignore failures
+  // (the peer may already be gone).
+  auto ignored = RoundTrip(EncodeEmptyFrame(Verb::kGoodbye), Verb::kOk);
+  (void)ignored;
+  ::close(fd_);
+  fd_ = -1;
+}
+
+Status Client::WriteBytes(const std::vector<uint8_t>& bytes) {
+  std::lock_guard<std::mutex> guard(write_mu_);
+  if (fd_ < 0) return Status::ExecutionError("client is closed");
+  size_t sent = 0;
+  while (sent < bytes.size()) {
+    ssize_t n = ::send(fd_, bytes.data() + sent, bytes.size() - sent,
+                       MSG_NOSIGNAL);
+    if (n > 0) {
+      sent += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    return SocketError("send");
+  }
+  return Status::OK();
+}
+
+Result<Frame> Client::ReadFrame() {
+  for (;;) {
+    auto next = frames_.Next();
+    PSQL_RETURN_IF_ERROR(next.status());
+    if (next->has_value()) return std::move(**next);
+    uint8_t buf[64 * 1024];
+    ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+    if (n > 0) {
+      frames_.Append(buf, static_cast<size_t>(n));
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    if (n == 0) {
+      return Status::ExecutionError("server closed the connection");
+    }
+    return SocketError("recv");
+  }
+}
+
+Result<Frame> Client::RoundTrip(const std::vector<uint8_t>& request,
+                                Verb expect) {
+  PSQL_RETURN_IF_ERROR(WriteBytes(request));
+  PSQL_ASSIGN_OR_RETURN(Frame frame, ReadFrame());
+  if (frame.verb == Verb::kError) {
+    return DecodeError(frame.payload);
+  }
+  if (frame.verb != expect) {
+    return Status::ExecutionError(
+        "protocol error: unexpected server verb " +
+        std::to_string(static_cast<int>(frame.verb)));
+  }
+  return frame;
+}
+
+Result<ResultTable> Client::Execute(const std::string& sql) {
+  PSQL_ASSIGN_OR_RETURN(RemoteCursor cursor, OpenCursor(sql));
+  std::vector<Row> rows;
+  for (;;) {
+    PSQL_ASSIGN_OR_RETURN(auto row, cursor.Next());
+    if (!row.has_value()) break;
+    rows.push_back(std::move(*row));
+  }
+  return ResultTable(cursor.columns(), std::move(rows));
+}
+
+Result<RemoteCursor> Client::OpenCursor(const std::string& sql) {
+  auto reply =
+      RoundTrip(EncodeSql(Verb::kExecute, sql), Verb::kResultHeader);
+  PSQL_RETURN_IF_ERROR(reply.status());
+  PSQL_ASSIGN_OR_RETURN(Schema schema, DecodeResultHeader(reply->payload));
+  return RemoteCursor(this, std::move(schema));
+}
+
+Result<RemoteStatement> Client::Prepare(const std::string& sql) {
+  auto reply = RoundTrip(EncodeSql(Verb::kPrepare, sql), Verb::kPrepared);
+  PSQL_RETURN_IF_ERROR(reply.status());
+  PSQL_ASSIGN_OR_RETURN(PreparedInfo info, DecodePrepared(reply->payload));
+  return RemoteStatement(this, info.stmt_id, std::move(info.param_names));
+}
+
+Result<std::vector<std::pair<std::string, int64_t>>> Client::Stats() {
+  auto reply =
+      RoundTrip(EncodeEmptyFrame(Verb::kStats), Verb::kStatsResult);
+  PSQL_RETURN_IF_ERROR(reply.status());
+  return DecodeStatsResult(reply->payload);
+}
+
+Status Client::Cancel() {
+  // Out-of-band: just the write, no response to read (the in-flight
+  // request's response stream stays un-interleaved).
+  return WriteBytes(EncodeEmptyFrame(Verb::kCancel));
+}
+
+Result<RowPage> Client::FetchPage(size_t num_columns) {
+  auto reply =
+      RoundTrip(EncodeFetch(options_.fetch_page_rows), Verb::kRowPage);
+  PSQL_RETURN_IF_ERROR(reply.status());
+  return DecodeRowPage(reply->payload, num_columns);
+}
+
+void Client::CloseCursorEarly() {
+  auto ignored =
+      RoundTrip(EncodeEmptyFrame(Verb::kCloseCursor), Verb::kOk);
+  (void)ignored;  // best-effort: a dead connection closes it anyway
+}
+
+void Client::CloseStatement(uint32_t id) {
+  if (fd_ < 0) return;
+  auto ignored = RoundTrip(EncodeStmtId(Verb::kCloseStmt, id), Verb::kOk);
+  (void)ignored;
+}
+
+}  // namespace prefsql::net

@@ -1,0 +1,206 @@
+// Blocking C++ client for the prefsqld wire protocol — the remote mirror
+// of the in-process Connection / PreparedStatement / Cursor surface.
+//
+//   auto client = net::Client::Connect("127.0.0.1", port);
+//   auto rows = (*client)->Execute("SELECT * FROM car PREFERRING "
+//                                  "LOWEST(price)");            // ResultTable
+//   auto stmt = (*client)->Prepare("SELECT ... AROUND ?");
+//   stmt->Bind(0, Value::Int(40000));
+//   auto cursor = stmt->Open();                                  // streamed
+//   while (auto row = cursor->Next()) { ... }                    // row pages
+//
+// Errors carry the engine's stable numeric StatusCode across the wire, so
+// remote callers branch on exactly the codes embedded callers see
+// (kParseError, kBindError, kTimeout, kCancelled, ...).
+//
+// Threading: a Client is used from one thread — with one exception,
+// Cancel(), which may be called from any thread while a request is in
+// flight (it writes the out-of-band CANCEL frame; the in-flight request
+// then completes or returns kCancelled). This mirrors
+// Session::CancelCurrent and is what the shell's Ctrl-C handler uses.
+//
+// At most one RemoteCursor is open per client at a time (the protocol's
+// one-cursor-per-connection rule); RemoteCursor and RemoteStatement
+// borrow the Client and must not outlive it.
+
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "net/protocol.h"
+#include "types/result_table.h"
+#include "types/schema.h"
+#include "types/value.h"
+#include "util/status.h"
+
+namespace prefsql::net {
+
+struct ClientOptions {
+  /// Frame cap applied to server responses (mirror of the server's cap).
+  uint32_t max_frame_bytes = kDefaultMaxFrameBytes;
+  /// Rows requested per FETCH round trip.
+  uint32_t fetch_page_rows = 512;
+  /// Connect timeout; 0 blocks indefinitely.
+  int connect_timeout_ms = 5000;
+};
+
+class Client;
+
+/// Streamed remote result: buffers one ROW_PAGE at a time, fetching the
+/// next page lazily. Movable; Close() (or destruction) releases the
+/// server-side cursor early.
+class RemoteCursor {
+ public:
+  RemoteCursor() = default;
+  ~RemoteCursor();
+  RemoteCursor(RemoteCursor&& other) noexcept;
+  RemoteCursor& operator=(RemoteCursor&& other) noexcept;
+  RemoteCursor(const RemoteCursor&) = delete;
+  RemoteCursor& operator=(const RemoteCursor&) = delete;
+
+  const Schema& columns() const { return schema_; }
+
+  /// The next row, or nullopt at end of stream. A mid-stream server error
+  /// (deadline, cancel, budget) surfaces with its numeric code and closes
+  /// the cursor.
+  Result<std::optional<Row>> Next();
+
+  /// Releases the server-side cursor (early close); idempotent.
+  void Close();
+
+  bool is_open() const { return open_; }
+
+ private:
+  friend class Client;
+  friend class RemoteStatement;
+  RemoteCursor(Client* client, Schema schema)
+      : client_(client), schema_(std::move(schema)), open_(true) {}
+
+  Client* client_ = nullptr;
+  Schema schema_;
+  std::deque<Row> buffer_;
+  bool open_ = false;
+  bool exhausted_ = false;  ///< server sent the last page already
+};
+
+/// Server-side prepared statement handle. Bind calls accumulate locally
+/// and ship with the next Execute/Open (one BIND round trip per
+/// execution, not per value).
+class RemoteStatement {
+ public:
+  RemoteStatement() = default;
+  ~RemoteStatement();
+  RemoteStatement(RemoteStatement&& other) noexcept;
+  RemoteStatement& operator=(RemoteStatement&& other) noexcept;
+  RemoteStatement(const RemoteStatement&) = delete;
+  RemoteStatement& operator=(const RemoteStatement&) = delete;
+
+  size_t parameter_count() const { return param_names_.size(); }
+  const std::vector<std::string>& parameter_names() const {
+    return param_names_;
+  }
+
+  /// Binds slot `index` (0-based); kBindError on a bad index. Value
+  /// constraints are checked server-side at ship time.
+  Status Bind(size_t index, Value value);
+  /// Binds every slot named `$name`.
+  Status Bind(const std::string& name, Value value);
+  /// Clears all bindings (shipped with the next execution).
+  void ClearBindings();
+
+  /// Executes with the current bindings, materializing the result.
+  Result<ResultTable> Execute();
+  /// Executes with the current bindings, streaming row pages.
+  Result<RemoteCursor> Open();
+
+  /// Frees the server-side statement; idempotent.
+  void Close();
+
+ private:
+  friend class Client;
+  RemoteStatement(Client* client, uint32_t id,
+                  std::vector<std::string> names)
+      : client_(client), id_(id), param_names_(std::move(names)) {}
+
+  /// Ships pending ClearBindings/Bind calls; no-op when clean.
+  Status ShipBindings();
+
+  Client* client_ = nullptr;
+  uint32_t id_ = 0;
+  std::vector<std::string> param_names_;
+  std::vector<std::pair<uint32_t, Value>> pending_;
+  bool pending_clear_ = false;
+};
+
+/// One blocking protocol connection.
+class Client {
+ public:
+  /// Dials `host:port` and completes the versioned handshake.
+  static Result<std::unique_ptr<Client>> Connect(
+      const std::string& host, int port, ClientOptions options = {});
+
+  ~Client();
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// One-shot execute: streams every page and materializes the result
+  /// (works for SELECT, DML, DDL, SET, EXPLAIN — anything a statement
+  /// returns).
+  Result<ResultTable> Execute(const std::string& sql);
+
+  /// Opens a streamed cursor over one statement.
+  Result<RemoteCursor> OpenCursor(const std::string& sql);
+
+  /// Prepares a statement server-side for repeated bound execution.
+  Result<RemoteStatement> Prepare(const std::string& sql);
+
+  /// Server + this-connection counters (the STATS verb).
+  Result<std::vector<std::pair<std::string, int64_t>>> Stats();
+
+  /// Out-of-band cancel of this connection's in-flight statement; safe
+  /// from any thread.
+  Status Cancel();
+
+  /// Best-effort GOODBYE, then closes the socket; idempotent.
+  void Close();
+
+  bool is_open() const { return fd_ >= 0; }
+  /// The server's HELLO_OK banner.
+  const std::string& banner() const { return banner_; }
+
+ private:
+  friend class RemoteCursor;
+  friend class RemoteStatement;
+
+  Client(int fd, ClientOptions options);
+
+  /// Writes one encoded frame (serialized against concurrent Cancel).
+  Status WriteBytes(const std::vector<uint8_t>& bytes);
+  /// Blocks until one complete frame arrives.
+  Result<Frame> ReadFrame();
+  /// Write + read-one-frame; decodes kError frames into their Status.
+  /// `expect` is the success verb; anything else is a protocol error.
+  Result<Frame> RoundTrip(const std::vector<uint8_t>& request, Verb expect);
+
+  /// FETCH one page for the open cursor.
+  Result<RowPage> FetchPage(size_t num_columns);
+  /// CLOSE_CURSOR round trip (RemoteCursor::Close).
+  void CloseCursorEarly();
+  /// CLOSE_STMT round trip (RemoteStatement::Close).
+  void CloseStatement(uint32_t id);
+
+  int fd_ = -1;
+  ClientOptions options_;
+  std::string banner_;
+  FrameBuffer frames_;
+  std::mutex write_mu_;  ///< serializes request writes against Cancel()
+};
+
+}  // namespace prefsql::net

@@ -1,0 +1,507 @@
+#include "net/protocol.h"
+
+#include <algorithm>
+
+namespace prefsql::net {
+
+// ---------------------------------------------------------------------------
+// WireWriter
+// ---------------------------------------------------------------------------
+
+void WireWriter::PutValue(const Value& v) {
+  PutU8(static_cast<uint8_t>(v.type()));
+  switch (v.type()) {
+    case ValueType::kNull:
+      break;
+    case ValueType::kBool:
+      PutU8(v.AsBool() ? 1 : 0);
+      break;
+    case ValueType::kInt:
+      PutI64(v.AsInt());
+      break;
+    case ValueType::kDouble:
+      PutDouble(v.AsDouble());
+      break;
+    case ValueType::kText:
+      PutString(v.AsText());
+      break;
+    case ValueType::kDate:
+      PutI64(v.AsDateDays());
+      break;
+    case ValueType::kParam:
+      // Parameter holes never cross the wire (binding replaces them before
+      // execution; clients ship concrete values). Encode as NULL so a
+      // library bug degrades instead of corrupting the stream.
+      buf_.back() = static_cast<uint8_t>(ValueType::kNull);
+      break;
+  }
+}
+
+void WireWriter::PutSchema(const Schema& schema) {
+  PutU32(static_cast<uint32_t>(schema.num_columns()));
+  for (const ColumnInfo& col : schema.columns()) {
+    PutString(col.qualifier);
+    PutString(col.name);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// WireReader
+// ---------------------------------------------------------------------------
+
+bool WireReader::Take(size_t n, const uint8_t** out) {
+  if (!ok_ || size_ - pos_ < n) {
+    ok_ = false;
+    return false;
+  }
+  *out = data_ + pos_;
+  pos_ += n;
+  return true;
+}
+
+bool WireReader::GetU8(uint8_t* out) {
+  const uint8_t* p;
+  if (!Take(1, &p)) return false;
+  *out = p[0];
+  return true;
+}
+
+bool WireReader::GetU16(uint16_t* out) {
+  const uint8_t* p;
+  if (!Take(2, &p)) return false;
+  *out = static_cast<uint16_t>(p[0] | (p[1] << 8));
+  return true;
+}
+
+bool WireReader::GetU32(uint32_t* out) {
+  const uint8_t* p;
+  if (!Take(4, &p)) return false;
+  *out = static_cast<uint32_t>(p[0]) | (static_cast<uint32_t>(p[1]) << 8) |
+         (static_cast<uint32_t>(p[2]) << 16) |
+         (static_cast<uint32_t>(p[3]) << 24);
+  return true;
+}
+
+bool WireReader::GetI64(int64_t* out) {
+  const uint8_t* p;
+  if (!Take(8, &p)) return false;
+  uint64_t v = 0;
+  for (size_t i = 0; i < 8; ++i) v |= static_cast<uint64_t>(p[i]) << (8 * i);
+  *out = static_cast<int64_t>(v);
+  return true;
+}
+
+bool WireReader::GetDouble(double* out) {
+  int64_t bits;
+  if (!GetI64(&bits)) return false;
+  std::memcpy(out, &bits, sizeof(*out));
+  return true;
+}
+
+bool WireReader::GetString(std::string* out) {
+  uint32_t len;
+  if (!GetU32(&len)) return false;
+  const uint8_t* p;
+  if (!Take(len, &p)) return false;
+  out->assign(reinterpret_cast<const char*>(p), len);
+  return true;
+}
+
+bool WireReader::GetValue(Value* out) {
+  uint8_t tag;
+  if (!GetU8(&tag)) return false;
+  switch (static_cast<ValueType>(tag)) {
+    case ValueType::kNull:
+      *out = Value::Null();
+      return true;
+    case ValueType::kBool: {
+      uint8_t b;
+      if (!GetU8(&b)) return false;
+      *out = Value::Bool(b != 0);
+      return true;
+    }
+    case ValueType::kInt: {
+      int64_t i;
+      if (!GetI64(&i)) return false;
+      *out = Value::Int(i);
+      return true;
+    }
+    case ValueType::kDouble: {
+      double d;
+      if (!GetDouble(&d)) return false;
+      *out = Value::Double(d);
+      return true;
+    }
+    case ValueType::kText: {
+      std::string s;
+      if (!GetString(&s)) return false;
+      *out = Value::Text(std::move(s));
+      return true;
+    }
+    case ValueType::kDate: {
+      int64_t days;
+      if (!GetI64(&days)) return false;
+      *out = Value::Date(days);
+      return true;
+    }
+    default:
+      ok_ = false;  // includes kParam: holes never cross the wire
+      return false;
+  }
+}
+
+bool WireReader::GetSchema(Schema* out) {
+  uint32_t ncols;
+  if (!GetU32(&ncols)) return false;
+  // Each column costs at least two length prefixes; bound the count by the
+  // remaining bytes so a hostile prefix cannot force a huge allocation.
+  if (ncols > remaining() / (2 * sizeof(uint32_t)) + 1) {
+    ok_ = false;
+    return false;
+  }
+  std::vector<ColumnInfo> cols;
+  cols.reserve(ncols);
+  for (uint32_t i = 0; i < ncols; ++i) {
+    ColumnInfo col;
+    if (!GetString(&col.qualifier) || !GetString(&col.name)) return false;
+    cols.push_back(std::move(col));
+  }
+  *out = Schema(std::move(cols));
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Frame encoding
+// ---------------------------------------------------------------------------
+
+std::vector<uint8_t> EncodeFrame(Verb verb,
+                                 const std::vector<uint8_t>& payload) {
+  const uint32_t length = static_cast<uint32_t>(payload.size() + 1);
+  std::vector<uint8_t> out;
+  out.reserve(kFrameHeaderBytes + length);
+  for (size_t i = 0; i < 4; ++i) {
+    out.push_back(static_cast<uint8_t>(length >> (8 * i)));
+  }
+  out.push_back(static_cast<uint8_t>(verb));
+  out.insert(out.end(), payload.begin(), payload.end());
+  return out;
+}
+
+std::vector<uint8_t> EncodeEmptyFrame(Verb verb) {
+  return EncodeFrame(verb, {});
+}
+
+std::vector<uint8_t> EncodeHello() {
+  WireWriter w;
+  w.PutU32(kMagic);
+  w.PutU16(kProtocolVersion);
+  return EncodeFrame(Verb::kHello, w.bytes());
+}
+
+std::vector<uint8_t> EncodeHelloOk(const std::string& banner) {
+  WireWriter w;
+  w.PutU16(kProtocolVersion);
+  w.PutString(banner);
+  return EncodeFrame(Verb::kHelloOk, w.bytes());
+}
+
+std::vector<uint8_t> EncodeSql(Verb verb, const std::string& sql) {
+  WireWriter w;
+  w.PutString(sql);
+  return EncodeFrame(verb, w.bytes());
+}
+
+std::vector<uint8_t> EncodeBind(
+    uint32_t stmt_id, bool clear_first,
+    const std::vector<std::pair<uint32_t, Value>>& values) {
+  WireWriter w;
+  w.PutU32(stmt_id);
+  w.PutU8(clear_first ? 1 : 0);
+  w.PutU32(static_cast<uint32_t>(values.size()));
+  for (const auto& [index, value] : values) {
+    w.PutU32(index);
+    w.PutValue(value);
+  }
+  return EncodeFrame(Verb::kBind, w.bytes());
+}
+
+std::vector<uint8_t> EncodeStmtId(Verb verb, uint32_t stmt_id) {
+  WireWriter w;
+  w.PutU32(stmt_id);
+  return EncodeFrame(verb, w.bytes());
+}
+
+std::vector<uint8_t> EncodeFetch(uint32_t max_rows) {
+  WireWriter w;
+  w.PutU32(max_rows);
+  return EncodeFrame(Verb::kFetch, w.bytes());
+}
+
+std::vector<uint8_t> EncodeError(const Status& status) {
+  WireWriter w;
+  w.PutU16(static_cast<uint16_t>(status.code()));
+  w.PutString(status.message());
+  return EncodeFrame(Verb::kError, w.bytes());
+}
+
+std::vector<uint8_t> EncodePrepared(uint32_t stmt_id,
+                                    const std::vector<std::string>& names) {
+  WireWriter w;
+  w.PutU32(stmt_id);
+  w.PutU32(static_cast<uint32_t>(names.size()));
+  for (const std::string& name : names) w.PutString(name);
+  return EncodeFrame(Verb::kPrepared, w.bytes());
+}
+
+std::vector<uint8_t> EncodeResultHeader(const Schema& schema) {
+  WireWriter w;
+  w.PutSchema(schema);
+  return EncodeFrame(Verb::kResultHeader, w.bytes());
+}
+
+std::vector<uint8_t> EncodeRowPage(bool last, const std::vector<Row>& rows) {
+  WireWriter w;
+  w.PutU8(last ? 1 : 0);
+  w.PutU32(static_cast<uint32_t>(rows.size()));
+  for (const Row& row : rows) {
+    for (const Value& v : row) w.PutValue(v);
+  }
+  return EncodeFrame(Verb::kRowPage, w.bytes());
+}
+
+std::vector<uint8_t> EncodeStatsResult(
+    const std::vector<std::pair<std::string, int64_t>>& stats) {
+  WireWriter w;
+  w.PutU32(static_cast<uint32_t>(stats.size()));
+  for (const auto& [key, value] : stats) {
+    w.PutString(key);
+    w.PutI64(value);
+  }
+  return EncodeFrame(Verb::kStatsResult, w.bytes());
+}
+
+// ---------------------------------------------------------------------------
+// Frame decoding
+// ---------------------------------------------------------------------------
+
+namespace {
+Status Malformed(const char* what) {
+  return Status::ParseError(std::string("malformed ") + what + " frame");
+}
+}  // namespace
+
+Status DecodeHello(const std::vector<uint8_t>& payload) {
+  WireReader r(payload);
+  uint32_t magic;
+  uint16_t version;
+  if (!r.GetU32(&magic) || !r.GetU16(&version) || !r.AtEnd()) {
+    return Malformed("HELLO");
+  }
+  if (magic != kMagic) {
+    return Status::ParseError("bad protocol magic (not a prefsql client?)");
+  }
+  if (version != kProtocolVersion) {
+    return Status::NotImplemented(
+        "unsupported protocol version " + std::to_string(version) +
+        " (server speaks " + std::to_string(kProtocolVersion) + ")");
+  }
+  return Status::OK();
+}
+
+Result<std::string> DecodeHelloOk(const std::vector<uint8_t>& payload) {
+  WireReader r(payload);
+  uint16_t version;
+  std::string banner;
+  if (!r.GetU16(&version) || !r.GetString(&banner) || !r.AtEnd()) {
+    return Malformed("HELLO_OK");
+  }
+  if (version != kProtocolVersion) {
+    return Status::NotImplemented("unsupported server protocol version " +
+                                  std::to_string(version));
+  }
+  return banner;
+}
+
+Result<std::string> DecodeSql(const std::vector<uint8_t>& payload) {
+  WireReader r(payload);
+  std::string sql;
+  if (!r.GetString(&sql) || !r.AtEnd()) return Malformed("SQL");
+  return sql;
+}
+
+Result<BindRequest> DecodeBind(const std::vector<uint8_t>& payload) {
+  WireReader r(payload);
+  BindRequest req;
+  uint8_t clear;
+  uint32_t count;
+  if (!r.GetU32(&req.stmt_id) || !r.GetU8(&clear) || !r.GetU32(&count)) {
+    return Malformed("BIND");
+  }
+  req.clear_first = clear != 0;
+  // Every entry costs at least index + tag bytes.
+  if (count > r.remaining() / 5 + 1) return Malformed("BIND");
+  req.values.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    uint32_t index;
+    Value value;
+    if (!r.GetU32(&index) || !r.GetValue(&value)) return Malformed("BIND");
+    req.values.emplace_back(index, std::move(value));
+  }
+  if (!r.AtEnd()) return Malformed("BIND");
+  return req;
+}
+
+Result<uint32_t> DecodeStmtId(const std::vector<uint8_t>& payload) {
+  WireReader r(payload);
+  uint32_t id;
+  if (!r.GetU32(&id) || !r.AtEnd()) return Malformed("statement-id");
+  return id;
+}
+
+Result<uint32_t> DecodeFetch(const std::vector<uint8_t>& payload) {
+  WireReader r(payload);
+  uint32_t max_rows;
+  if (!r.GetU32(&max_rows) || !r.AtEnd()) return Malformed("FETCH");
+  return max_rows;
+}
+
+Status DecodeError(const std::vector<uint8_t>& payload) {
+  WireReader r(payload);
+  uint16_t code;
+  std::string message;
+  if (!r.GetU16(&code) || !r.GetString(&message) || !r.AtEnd()) {
+    return Malformed("ERROR");
+  }
+  if (code == 0 || code > static_cast<uint16_t>(StatusCode::kResourceExhausted)) {
+    // Unknown category from a future peer: preserve the message, degrade
+    // the code.
+    return Status::ExecutionError("remote error (code " +
+                                  std::to_string(code) + "): " + message);
+  }
+  return Status(static_cast<StatusCode>(code), std::move(message));
+}
+
+Result<PreparedInfo> DecodePrepared(const std::vector<uint8_t>& payload) {
+  WireReader r(payload);
+  PreparedInfo info;
+  uint32_t count;
+  if (!r.GetU32(&info.stmt_id) || !r.GetU32(&count)) {
+    return Malformed("PREPARED");
+  }
+  if (count > r.remaining() / sizeof(uint32_t) + 1) {
+    return Malformed("PREPARED");
+  }
+  info.param_names.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    std::string name;
+    if (!r.GetString(&name)) return Malformed("PREPARED");
+    info.param_names.push_back(std::move(name));
+  }
+  if (!r.AtEnd()) return Malformed("PREPARED");
+  return info;
+}
+
+Result<Schema> DecodeResultHeader(const std::vector<uint8_t>& payload) {
+  WireReader r(payload);
+  Schema schema;
+  if (!r.GetSchema(&schema) || !r.AtEnd()) return Malformed("RESULT_HEADER");
+  return schema;
+}
+
+Result<RowPage> DecodeRowPage(const std::vector<uint8_t>& payload,
+                              size_t num_columns) {
+  WireReader r(payload);
+  RowPage page;
+  uint8_t last;
+  uint32_t nrows;
+  if (!r.GetU8(&last) || !r.GetU32(&nrows)) return Malformed("ROW_PAGE");
+  page.last = last != 0;
+  // Every non-empty row costs at least one tag byte per value; a
+  // zero-column result (DML, DDL) never ships rows at all, so a positive
+  // count there is a lie that would otherwise loop unboundedly.
+  if (num_columns == 0 && nrows > 0) return Malformed("ROW_PAGE");
+  if (num_columns > 0 && nrows > r.remaining() / num_columns + 1) {
+    return Malformed("ROW_PAGE");
+  }
+  page.rows.reserve(nrows);
+  for (uint32_t i = 0; i < nrows; ++i) {
+    Row row;
+    row.reserve(num_columns);
+    for (size_t c = 0; c < num_columns; ++c) {
+      Value v;
+      if (!r.GetValue(&v)) return Malformed("ROW_PAGE");
+      row.push_back(std::move(v));
+    }
+    page.rows.push_back(std::move(row));
+  }
+  if (!r.AtEnd()) return Malformed("ROW_PAGE");
+  return page;
+}
+
+Result<std::vector<std::pair<std::string, int64_t>>> DecodeStatsResult(
+    const std::vector<uint8_t>& payload) {
+  WireReader r(payload);
+  uint32_t count;
+  if (!r.GetU32(&count)) return Malformed("STATS_RESULT");
+  if (count > r.remaining() / (sizeof(uint32_t) + sizeof(int64_t)) + 1) {
+    return Malformed("STATS_RESULT");
+  }
+  std::vector<std::pair<std::string, int64_t>> stats;
+  stats.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    std::string key;
+    int64_t value;
+    if (!r.GetString(&key) || !r.GetI64(&value)) {
+      return Malformed("STATS_RESULT");
+    }
+    stats.emplace_back(std::move(key), value);
+  }
+  if (!r.AtEnd()) return Malformed("STATS_RESULT");
+  return stats;
+}
+
+// ---------------------------------------------------------------------------
+// FrameBuffer
+// ---------------------------------------------------------------------------
+
+void FrameBuffer::Append(const uint8_t* data, size_t size) {
+  // Compact lazily: once the consumed prefix dominates the buffer, slide
+  // the live suffix down so the buffer does not grow without bound across
+  // a long-lived connection.
+  if (consumed_ > 4096 && consumed_ > buf_.size() / 2) {
+    buf_.erase(buf_.begin(), buf_.begin() + static_cast<long>(consumed_));
+    consumed_ = 0;
+  }
+  buf_.insert(buf_.end(), data, data + size);
+}
+
+Result<std::optional<Frame>> FrameBuffer::Next() {
+  if (buffered() < kFrameHeaderBytes) return std::optional<Frame>{};
+  const uint8_t* p = buf_.data() + consumed_;
+  const uint32_t length = static_cast<uint32_t>(p[0]) |
+                          (static_cast<uint32_t>(p[1]) << 8) |
+                          (static_cast<uint32_t>(p[2]) << 16) |
+                          (static_cast<uint32_t>(p[3]) << 24);
+  if (length == 0) {
+    return Status::ParseError("empty frame (missing verb byte)");
+  }
+  if (length > max_frame_bytes_) {
+    return Status::ParseError("frame length " + std::to_string(length) +
+                              " exceeds the " +
+                              std::to_string(max_frame_bytes_) +
+                              "-byte frame cap");
+  }
+  if (buffered() < kFrameHeaderBytes + length) return std::optional<Frame>{};
+  Frame frame;
+  frame.verb = static_cast<Verb>(p[kFrameHeaderBytes]);
+  frame.payload.assign(p + kFrameHeaderBytes + 1,
+                       p + kFrameHeaderBytes + length);
+  consumed_ += kFrameHeaderBytes + length;
+  if (consumed_ == buf_.size()) {
+    buf_.clear();
+    consumed_ = 0;
+  }
+  return std::optional<Frame>(std::move(frame));
+}
+
+}  // namespace prefsql::net

@@ -1,0 +1,262 @@
+// prefsqld wire protocol: length-prefixed binary frames over TCP.
+//
+// Every message is one frame:
+//
+//   [u32 length][u8 verb][payload ...]        (all integers little-endian)
+//
+// `length` counts the verb byte plus the payload, so a complete frame
+// occupies 4 + length bytes on the wire. Frames above the negotiated
+// maximum (ServerOptions::max_frame_bytes, default 16 MiB) are rejected
+// before buffering — a malicious length prefix cannot make either side
+// allocate unboundedly.
+//
+// The conversation is strict request-response: the client sends one
+// request verb and reads frames until the response is complete (one frame
+// for most verbs). The single exception is CANCEL, which is out-of-band:
+// it may be sent while a request is in flight, elicits *no* response
+// frame of its own, and the in-flight request either completes normally
+// or fails with the numeric kCancelled status — exactly the semantics of
+// Session::CancelCurrent. Because CANCEL never injects a response, the
+// request-response stream never interleaves and a blocking client stays
+// trivially correct.
+//
+// Handshake: the first client frame must be HELLO carrying the protocol
+// magic and version; the server answers HELLO_OK (version + banner) or an
+// ERROR frame and closes. Anything else first — or a malformed frame at
+// any point — is a protocol error: the server sends ERROR and closes the
+// connection (counted in the server's protocol_errors).
+//
+// Verb state machine (per connection, after the handshake):
+//
+//   EXECUTE sql          -> RESULT_HEADER          (opens the cursor)
+//   PREPARE sql          -> PREPARED id names      (server-side statement)
+//   BIND id values       -> OK
+//   EXECUTE_STMT id      -> RESULT_HEADER          (opens the cursor)
+//   FETCH max_rows       -> ROW_PAGE last rows     (last=1 closes it)
+//   CLOSE_CURSOR         -> OK                     (early close)
+//   CLOSE_STMT id        -> OK
+//   STATS                -> STATS_RESULT pairs
+//   GOODBYE              -> OK, then either side closes
+//   CANCEL               -> (no response; out-of-band)
+//
+// At most one cursor is open per connection; EXECUTE/EXECUTE_STMT while
+// one is open, or FETCH while none is, report kExecutionError. Errors
+// carry the engine's stable numeric StatusCode plus the message, so a
+// remote client branches on exactly the codes an embedded one would.
+//
+// Values are tagged with their ValueType ordinal; TEXT carries u32 length
+// + bytes, DOUBLE the IEEE-754 bit pattern, DATE the day number. Schemas
+// are (qualifier, name) string pairs so remote result headers print
+// identically to in-process ones.
+
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "types/schema.h"
+#include "types/value.h"
+#include "util/status.h"
+
+namespace prefsql::net {
+
+/// Protocol magic ("PSQL" little-endian) carried by HELLO.
+inline constexpr uint32_t kMagic = 0x4C515350u;
+/// Protocol version carried by HELLO / HELLO_OK.
+inline constexpr uint16_t kProtocolVersion = 1;
+/// Default cap on one frame's length field (verb + payload bytes).
+inline constexpr uint32_t kDefaultMaxFrameBytes = 16u * 1024 * 1024;
+/// Frame header: u32 length prefix.
+inline constexpr size_t kFrameHeaderBytes = 4;
+
+/// Wire verbs. Client requests occupy 1..63, server responses 128..191.
+enum class Verb : uint8_t {
+  // client -> server
+  kHello = 1,
+  kExecute = 2,       ///< payload: string sql
+  kPrepare = 3,       ///< payload: string sql
+  kBind = 4,          ///< payload: u32 stmt_id, u8 clear, u32 n, n×(u32 index, Value)
+  kExecuteStmt = 5,   ///< payload: u32 stmt_id
+  kFetch = 6,         ///< payload: u32 max_rows (0 = server default page)
+  kCloseCursor = 7,   ///< payload: empty
+  kCloseStmt = 8,     ///< payload: u32 stmt_id
+  kCancel = 9,        ///< payload: empty; out-of-band, no response
+  kStats = 10,        ///< payload: empty
+  kGoodbye = 11,      ///< payload: empty
+
+  // server -> client
+  kOk = 128,           ///< payload: empty
+  kHelloOk = 129,      ///< payload: u16 version, string banner
+  kError = 130,        ///< payload: u16 status code, string message
+  kPrepared = 131,     ///< payload: u32 stmt_id, u32 n, n×string name
+  kResultHeader = 132, ///< payload: encoded Schema
+  kRowPage = 133,      ///< payload: u8 last, u32 nrows, nrows×ncols Values
+  kStatsResult = 134,  ///< payload: u32 n, n×(string key, i64 value)
+};
+
+/// One reassembled frame: the verb plus its payload bytes.
+struct Frame {
+  Verb verb = Verb::kOk;
+  std::vector<uint8_t> payload;
+};
+
+// ---------------------------------------------------------------------------
+// Encoding
+// ---------------------------------------------------------------------------
+
+/// Append-only little-endian encoder for frame payloads.
+class WireWriter {
+ public:
+  void PutU8(uint8_t v) { buf_.push_back(v); }
+  void PutU16(uint16_t v) { PutLE(v); }
+  void PutU32(uint32_t v) { PutLE(v); }
+  void PutI64(int64_t v) { PutLE(static_cast<uint64_t>(v)); }
+  void PutDouble(double v) {
+    uint64_t bits;
+    std::memcpy(&bits, &v, sizeof(bits));
+    PutLE(bits);
+  }
+  void PutString(std::string_view s) {
+    PutU32(static_cast<uint32_t>(s.size()));
+    buf_.insert(buf_.end(), s.begin(), s.end());
+  }
+  void PutValue(const Value& v);
+  void PutSchema(const Schema& schema);
+
+  const std::vector<uint8_t>& bytes() const { return buf_; }
+  std::vector<uint8_t> Take() { return std::move(buf_); }
+
+ private:
+  template <typename T>
+  void PutLE(T v) {
+    for (size_t i = 0; i < sizeof(T); ++i) {
+      buf_.push_back(static_cast<uint8_t>(v >> (8 * i)));
+    }
+  }
+  std::vector<uint8_t> buf_;
+};
+
+/// Bounds-checked little-endian decoder. Every getter reports false (and
+/// latches the failure) instead of reading past the payload, so decode
+/// functions turn arbitrary bytes into either a value or a kParseError —
+/// never undefined behavior.
+class WireReader {
+ public:
+  WireReader(const uint8_t* data, size_t size) : data_(data), size_(size) {}
+  explicit WireReader(const std::vector<uint8_t>& bytes)
+      : WireReader(bytes.data(), bytes.size()) {}
+
+  bool GetU8(uint8_t* out);
+  bool GetU16(uint16_t* out);
+  bool GetU32(uint32_t* out);
+  bool GetI64(int64_t* out);
+  bool GetDouble(double* out);
+  bool GetString(std::string* out);
+  bool GetValue(Value* out);
+  bool GetSchema(Schema* out);
+
+  /// True iff every get so far succeeded.
+  bool ok() const { return ok_; }
+  /// Bytes not yet consumed.
+  size_t remaining() const { return size_ - pos_; }
+  /// True iff the payload was consumed exactly (trailing garbage is a
+  /// protocol error for fixed-shape payloads).
+  bool AtEnd() const { return ok_ && pos_ == size_; }
+
+ private:
+  bool Take(size_t n, const uint8_t** out);
+  const uint8_t* data_;
+  size_t size_;
+  size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+/// Serializes a complete frame (header + verb + payload).
+std::vector<uint8_t> EncodeFrame(Verb verb, const std::vector<uint8_t>& payload);
+/// Convenience: frame with an empty payload.
+std::vector<uint8_t> EncodeEmptyFrame(Verb verb);
+
+// Typed payload builders for every frame shape.
+std::vector<uint8_t> EncodeHello();
+std::vector<uint8_t> EncodeHelloOk(const std::string& banner);
+std::vector<uint8_t> EncodeSql(Verb verb, const std::string& sql);
+std::vector<uint8_t> EncodeBind(uint32_t stmt_id, bool clear_first,
+                                const std::vector<std::pair<uint32_t, Value>>&
+                                    values);
+std::vector<uint8_t> EncodeStmtId(Verb verb, uint32_t stmt_id);
+std::vector<uint8_t> EncodeFetch(uint32_t max_rows);
+std::vector<uint8_t> EncodeError(const Status& status);
+std::vector<uint8_t> EncodePrepared(uint32_t stmt_id,
+                                    const std::vector<std::string>& names);
+std::vector<uint8_t> EncodeResultHeader(const Schema& schema);
+std::vector<uint8_t> EncodeRowPage(bool last, const std::vector<Row>& rows);
+std::vector<uint8_t> EncodeStatsResult(
+    const std::vector<std::pair<std::string, int64_t>>& stats);
+
+// Typed payload decoders; each rejects trailing bytes.
+Status DecodeHello(const std::vector<uint8_t>& payload);
+Result<std::string> DecodeHelloOk(const std::vector<uint8_t>& payload);
+Result<std::string> DecodeSql(const std::vector<uint8_t>& payload);
+struct BindRequest {
+  uint32_t stmt_id = 0;
+  bool clear_first = false;
+  std::vector<std::pair<uint32_t, Value>> values;
+};
+Result<BindRequest> DecodeBind(const std::vector<uint8_t>& payload);
+Result<uint32_t> DecodeStmtId(const std::vector<uint8_t>& payload);
+Result<uint32_t> DecodeFetch(const std::vector<uint8_t>& payload);
+/// The remote failure as a Status carrying the original numeric code;
+/// a malformed ERROR payload itself decodes to kParseError.
+Status DecodeError(const std::vector<uint8_t>& payload);
+struct PreparedInfo {
+  uint32_t stmt_id = 0;
+  std::vector<std::string> param_names;
+};
+Result<PreparedInfo> DecodePrepared(const std::vector<uint8_t>& payload);
+Result<Schema> DecodeResultHeader(const std::vector<uint8_t>& payload);
+struct RowPage {
+  bool last = false;
+  std::vector<Row> rows;
+};
+/// `num_columns` comes from the preceding RESULT_HEADER; every row must
+/// carry exactly that many values.
+Result<RowPage> DecodeRowPage(const std::vector<uint8_t>& payload,
+                              size_t num_columns);
+Result<std::vector<std::pair<std::string, int64_t>>> DecodeStatsResult(
+    const std::vector<uint8_t>& payload);
+
+// ---------------------------------------------------------------------------
+// Frame reassembly
+// ---------------------------------------------------------------------------
+
+/// Incremental frame reassembler: feed it whatever the socket produced,
+/// pop complete frames. Tolerates arbitrary fragmentation (byte-at-a-time
+/// delivery) and rejects oversized or truncated-forever frames by policy
+/// of the caller (`max_frame_bytes`).
+class FrameBuffer {
+ public:
+  explicit FrameBuffer(uint32_t max_frame_bytes = kDefaultMaxFrameBytes)
+      : max_frame_bytes_(max_frame_bytes) {}
+
+  /// Appends raw socket bytes.
+  void Append(const uint8_t* data, size_t size);
+
+  /// Pops the next complete frame: nullopt when more bytes are needed, a
+  /// kParseError status when the pending length prefix exceeds the frame
+  /// cap or declares an empty frame (no verb byte) — the connection is
+  /// unrecoverable then.
+  Result<std::optional<Frame>> Next();
+
+  /// Bytes buffered but not yet consumed.
+  size_t buffered() const { return buf_.size() - consumed_; }
+
+ private:
+  uint32_t max_frame_bytes_;
+  std::vector<uint8_t> buf_;
+  size_t consumed_ = 0;
+};
+
+}  // namespace prefsql::net

@@ -1,0 +1,530 @@
+#include "net/server.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace prefsql::net {
+
+namespace {
+
+/// Best-effort close that survives EINTR.
+void CloseFd(int fd) {
+  if (fd >= 0) ::close(fd);
+}
+
+Status SocketError(const char* what) {
+  return Status::ExecutionError(std::string(what) + ": " +
+                                std::strerror(errno));
+}
+
+}  // namespace
+
+std::vector<std::pair<std::string, int64_t>> ServerStats::Snapshot() const {
+  auto get = [](const std::atomic<uint64_t>& a) {
+    return static_cast<int64_t>(a.load(std::memory_order_relaxed));
+  };
+  return {
+      {"connections_accepted", get(connections_accepted)},
+      {"connections_refused", get(connections_refused)},
+      {"connections_closed", get(connections_closed)},
+      {"active_connections", get(active_connections)},
+      {"statements", get(statements)},
+      {"rows_shipped", get(rows_shipped)},
+      {"cancels", get(cancels)},
+      {"protocol_errors", get(protocol_errors)},
+  };
+}
+
+Server::Server(std::shared_ptr<Engine> engine, ServerOptions options)
+    : engine_(std::move(engine)), options_(std::move(options)) {}
+
+Server::~Server() { Shutdown(); }
+
+Status Server::Start() {
+  std::lock_guard<std::mutex> guard(lifecycle_mu_);
+  if (started_) return Status::ExecutionError("server already started");
+
+  std::string host = options_.host == "localhost" ? "127.0.0.1"
+                                                  : options_.host;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options_.port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    return Status::InvalidArgument("bad listen address '" + options_.host +
+                                   "' (numeric IPv4 expected)");
+  }
+
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC,
+                        0);
+  if (listen_fd_ < 0) return SocketError("socket");
+  int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    Status st = SocketError("bind");
+    CloseFd(listen_fd_);
+    listen_fd_ = -1;
+    return st;
+  }
+  if (::listen(listen_fd_, 128) != 0) {
+    Status st = SocketError("listen");
+    CloseFd(listen_fd_);
+    listen_fd_ = -1;
+    return st;
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &len) ==
+      0) {
+    port_ = ntohs(bound.sin_port);
+  }
+  if (::pipe2(wake_fds_, O_NONBLOCK | O_CLOEXEC) != 0) {
+    Status st = SocketError("pipe2");
+    CloseFd(listen_fd_);
+    listen_fd_ = -1;
+    return st;
+  }
+
+  pool_ = std::make_unique<ThreadPool>(options_.max_connections);
+  stopping_.store(false, std::memory_order_release);
+  reactor_ = std::thread(&Server::ReactorLoop, this);
+  started_ = true;
+  joined_ = false;
+  return Status::OK();
+}
+
+void Server::Shutdown() {
+  std::lock_guard<std::mutex> guard(lifecycle_mu_);
+  if (!started_ || joined_) return;
+  stopping_.store(true, std::memory_order_release);
+  WakeReactor();
+  reactor_.join();
+  // Every handler has exited (the reactor reaps all connections before it
+  // returns), so the pool drains immediately.
+  pool_.reset();
+  CloseFd(wake_fds_[0]);
+  CloseFd(wake_fds_[1]);
+  wake_fds_[0] = wake_fds_[1] = -1;
+  joined_ = true;
+}
+
+void Server::WakeReactor() {
+  if (wake_fds_[1] < 0) return;
+  uint8_t byte = 0;
+  ssize_t ignored = ::write(wake_fds_[1], &byte, 1);
+  (void)ignored;  // pipe full = reactor already has a wakeup pending
+}
+
+// ---------------------------------------------------------------------------
+// Reactor
+// ---------------------------------------------------------------------------
+
+void Server::ReactorLoop() {
+  std::unordered_map<int, std::shared_ptr<Conn>> conns;
+  bool accepting = true;
+
+  auto flag_closing = [](Conn* conn) {
+    std::lock_guard<std::mutex> lk(conn->mu);
+    conn->closing = true;
+    conn->cv.notify_all();
+  };
+
+  for (;;) {
+    const bool stop = stopping_.load(std::memory_order_acquire);
+    if (stop && accepting) {
+      // Graceful shutdown step 1: stop accepting, tell every handler to
+      // finish its queued work and exit. In-flight statements complete —
+      // they are not cancelled.
+      CloseFd(listen_fd_);
+      listen_fd_ = -1;
+      accepting = false;
+      for (auto& [fd, conn] : conns) flag_closing(conn.get());
+    }
+
+    // Reap connections whose handler has exited.
+    for (auto it = conns.begin(); it != conns.end();) {
+      if (it->second->handler_done.load(std::memory_order_acquire)) {
+        CloseFd(it->second->fd);
+        stats_.connections_closed.fetch_add(1, std::memory_order_relaxed);
+        stats_.active_connections.fetch_sub(1, std::memory_order_relaxed);
+        it = conns.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    if (stop && conns.empty()) break;
+
+    std::vector<pollfd> fds;
+    fds.push_back({wake_fds_[0], POLLIN, 0});
+    if (accepting) fds.push_back({listen_fd_, POLLIN, 0});
+    std::vector<Conn*> polled;
+    for (auto& [fd, conn] : conns) {
+      fds.push_back({fd, POLLIN, 0});
+      polled.push_back(conn.get());
+    }
+    if (::poll(fds.data(), fds.size(), /*timeout_ms=*/1000) < 0 &&
+        errno != EINTR) {
+      break;  // poll itself failed: tear down rather than spin
+    }
+
+    size_t idx = 0;
+    if (fds[idx].revents & POLLIN) {
+      uint8_t drain[64];
+      while (::read(wake_fds_[0], drain, sizeof(drain)) > 0) {
+      }
+    }
+    ++idx;
+
+    if (accepting) {
+      if (fds[idx].revents & (POLLIN | POLLERR)) {
+        for (;;) {
+          int fd = ::accept4(listen_fd_, nullptr, nullptr,
+                             SOCK_NONBLOCK | SOCK_CLOEXEC);
+          if (fd < 0) break;
+          if (conns.size() >= options_.max_connections) {
+            // No handler worker to give this connection: refuse with a
+            // best-effort ERROR frame. No handler exists yet, so this
+            // write cannot interleave with one.
+            stats_.connections_refused.fetch_add(1,
+                                                 std::memory_order_relaxed);
+            auto refusal = EncodeError(Status::ResourceExhausted(
+                "server connection limit (" +
+                std::to_string(options_.max_connections) + ") reached"));
+            ssize_t ignored =
+                ::send(fd, refusal.data(), refusal.size(), MSG_NOSIGNAL);
+            (void)ignored;
+            CloseFd(fd);
+            continue;
+          }
+          auto conn = std::make_shared<Conn>();
+          conn->fd = fd;
+          conn->id = next_conn_id_++;
+          conn->frames = FrameBuffer(options_.max_frame_bytes);
+          ConnectionOptions copts;
+          copts.statement_timeout_ms = options_.statement_timeout_ms;
+          copts.statement_memory_bytes = options_.statement_memory_bytes;
+          copts.engine_memory_bytes = options_.engine_memory_bytes;
+          conn->session = std::make_shared<Session>(copts);
+          stats_.connections_accepted.fetch_add(1,
+                                                std::memory_order_relaxed);
+          stats_.active_connections.fetch_add(1, std::memory_order_relaxed);
+          conns.emplace(fd, conn);
+          pool_->Submit([this, conn] { HandleConn(conn); });
+        }
+      }
+      ++idx;
+    }
+
+    for (size_t c = 0; c < polled.size(); ++c, ++idx) {
+      if (fds[idx].revents & (POLLIN | POLLHUP | POLLERR)) {
+        ReadFromConn(polled[c]);
+      }
+    }
+  }
+
+  // Reactor exit: every connection has been reaped; release the listen fd
+  // if shutdown raced an early failure.
+  CloseFd(listen_fd_);
+  listen_fd_ = -1;
+}
+
+bool Server::ReadFromConn(Conn* conn) {
+  const bool stop = stopping_.load(std::memory_order_acquire);
+  uint8_t buf[64 * 1024];
+  for (;;) {
+    ssize_t n = ::recv(conn->fd, buf, sizeof(buf), 0);
+    if (n > 0) {
+      conn->frames.Append(buf, static_cast<size_t>(n));
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+    if (n < 0 && errno == EINTR) continue;
+    // EOF or hard error: the peer is gone. Cancel whatever its handler is
+    // executing so an abandoned statement releases its locks promptly.
+    conn->peer_gone.store(true, std::memory_order_release);
+    conn->session->CancelCurrent();
+    std::lock_guard<std::mutex> lk(conn->mu);
+    conn->closing = true;
+    conn->cv.notify_all();
+    return false;
+  }
+
+  for (;;) {
+    auto next = conn->frames.Next();
+    if (!next.ok()) {
+      // Unrecoverable framing (oversized/empty length prefix): hand the
+      // error to the handler — it owns the write side — and close.
+      stats_.protocol_errors.fetch_add(1, std::memory_order_relaxed);
+      std::lock_guard<std::mutex> lk(conn->mu);
+      conn->protocol_error = next.status();
+      conn->closing = true;
+      conn->cv.notify_all();
+      return false;
+    }
+    if (!next->has_value()) break;
+    Frame frame = std::move(**next);
+    if (frame.verb == Verb::kCancel) {
+      // Out-of-band by design: handled here on the reactor, never queued,
+      // so it reaches a statement the handler is still executing.
+      conn->cancels.fetch_add(1, std::memory_order_relaxed);
+      stats_.cancels.fetch_add(1, std::memory_order_relaxed);
+      conn->session->CancelCurrent();
+      continue;
+    }
+    if (stop) continue;  // draining: new requests are dropped
+    std::lock_guard<std::mutex> lk(conn->mu);
+    conn->queue.push_back(std::move(frame));
+    conn->cv.notify_all();
+  }
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Connection handler (one long-running pool task per connection)
+// ---------------------------------------------------------------------------
+
+void Server::HandleConn(std::shared_ptr<Conn> conn) {
+  ConnState st;
+  for (;;) {
+    Frame frame;
+    bool have_frame = false;
+    std::optional<Status> protocol_error;
+    {
+      std::unique_lock<std::mutex> lk(conn->mu);
+      conn->cv.wait(lk, [&] {
+        return !conn->queue.empty() || conn->closing;
+      });
+      if (!conn->queue.empty()) {
+        frame = std::move(conn->queue.front());
+        conn->queue.pop_front();
+        have_frame = true;
+      } else {
+        protocol_error = conn->protocol_error;
+      }
+    }
+    if (!have_frame) {
+      if (protocol_error.has_value()) SendError(conn.get(), *protocol_error);
+      break;
+    }
+    if (!ProcessFrame(conn.get(), &st, frame)) break;
+  }
+  // Close the cursor on this thread: it holds the engine's shared DDL
+  // lock, which must be released where it was acquired.
+  if (st.cursor.has_value()) {
+    st.cursor->Close();
+    st.cursor.reset();
+  }
+  st.statements.clear();
+  conn->handler_done.store(true, std::memory_order_release);
+  WakeReactor();
+}
+
+bool Server::WriteFrame(Conn* conn, const std::vector<uint8_t>& bytes) {
+  size_t sent = 0;
+  int stalls = 0;
+  while (sent < bytes.size()) {
+    if (conn->peer_gone.load(std::memory_order_acquire)) return false;
+    ssize_t n = ::send(conn->fd, bytes.data() + sent, bytes.size() - sent,
+                       MSG_NOSIGNAL);
+    if (n > 0) {
+      sent += static_cast<size_t>(n);
+      stalls = 0;
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      // Nonblocking socket with a full send buffer: wait for writability
+      // in slices so a vanished peer or shutdown cannot wedge the worker.
+      pollfd pfd{conn->fd, POLLOUT, 0};
+      ::poll(&pfd, 1, /*timeout_ms=*/500);
+      if (++stalls > 60) return false;  // ~30 s without progress
+      continue;
+    }
+    conn->peer_gone.store(true, std::memory_order_release);
+    return false;
+  }
+  return true;
+}
+
+bool Server::SendError(Conn* conn, const Status& status) {
+  return WriteFrame(conn, EncodeError(status));
+}
+
+bool Server::ProcessFrame(Conn* conn, ConnState* st, const Frame& frame) {
+  if (!st->hello_done) {
+    if (frame.verb != Verb::kHello) {
+      stats_.protocol_errors.fetch_add(1, std::memory_order_relaxed);
+      SendError(conn, Status::ParseError("expected HELLO handshake"));
+      return false;
+    }
+    Status hello = DecodeHello(frame.payload);
+    if (!hello.ok()) {
+      stats_.protocol_errors.fetch_add(1, std::memory_order_relaxed);
+      SendError(conn, hello);
+      return false;
+    }
+    st->hello_done = true;
+    return WriteFrame(conn, EncodeHelloOk("prefsqld"));
+  }
+
+  switch (frame.verb) {
+    case Verb::kExecute: {
+      auto sql = DecodeSql(frame.payload);
+      if (!sql.ok()) break;  // malformed: fall through to protocol error
+      if (st->cursor.has_value()) {
+        return SendError(conn, Status::ExecutionError(
+                                   "a cursor is already open on this "
+                                   "connection (FETCH it to completion or "
+                                   "CLOSE_CURSOR first)"));
+      }
+      auto cursor = engine_->OpenCursor(*conn->session, *sql, engine_);
+      if (!cursor.ok()) return SendError(conn, cursor.status());
+      conn->statements.fetch_add(1, std::memory_order_relaxed);
+      stats_.statements.fetch_add(1, std::memory_order_relaxed);
+      st->cursor_schema = cursor->columns();
+      st->cursor.emplace(std::move(*cursor));
+      return WriteFrame(conn, EncodeResultHeader(st->cursor_schema));
+    }
+    case Verb::kPrepare: {
+      auto sql = DecodeSql(frame.payload);
+      if (!sql.ok()) break;
+      auto prepared = engine_->Prepare(*conn->session, *sql, engine_);
+      if (!prepared.ok()) return SendError(conn, prepared.status());
+      const uint32_t id = st->next_stmt_id++;
+      std::vector<std::string> names = prepared->parameter_names();
+      st->statements.emplace(id, std::move(*prepared));
+      return WriteFrame(conn, EncodePrepared(id, names));
+    }
+    case Verb::kBind: {
+      auto req = DecodeBind(frame.payload);
+      if (!req.ok()) break;
+      auto it = st->statements.find(req->stmt_id);
+      if (it == st->statements.end()) {
+        return SendError(conn, Status::BindError(
+                                   "unknown statement id " +
+                                   std::to_string(req->stmt_id)));
+      }
+      if (req->clear_first) it->second.ClearBindings();
+      for (const auto& [index, value] : req->values) {
+        Status bound = it->second.Bind(index, value);
+        if (!bound.ok()) return SendError(conn, bound);
+      }
+      return WriteFrame(conn, EncodeEmptyFrame(Verb::kOk));
+    }
+    case Verb::kExecuteStmt: {
+      auto id = DecodeStmtId(frame.payload);
+      if (!id.ok()) break;
+      auto it = st->statements.find(*id);
+      if (it == st->statements.end()) {
+        return SendError(conn, Status::BindError("unknown statement id " +
+                                                 std::to_string(*id)));
+      }
+      if (st->cursor.has_value()) {
+        return SendError(conn, Status::ExecutionError(
+                                   "a cursor is already open on this "
+                                   "connection (FETCH it to completion or "
+                                   "CLOSE_CURSOR first)"));
+      }
+      auto cursor = it->second.Open();
+      if (!cursor.ok()) return SendError(conn, cursor.status());
+      conn->statements.fetch_add(1, std::memory_order_relaxed);
+      stats_.statements.fetch_add(1, std::memory_order_relaxed);
+      st->cursor_schema = cursor->columns();
+      st->cursor.emplace(std::move(*cursor));
+      return WriteFrame(conn, EncodeResultHeader(st->cursor_schema));
+    }
+    case Verb::kFetch: {
+      auto max = DecodeFetch(frame.payload);
+      if (!max.ok()) break;
+      if (!st->cursor.has_value()) {
+        return SendError(conn,
+                         Status::ExecutionError("no cursor is open"));
+      }
+      uint32_t want = *max == 0 ? options_.default_fetch_rows : *max;
+      want = std::min(want, options_.max_fetch_rows);
+      std::vector<Row> rows;
+      rows.reserve(want);
+      bool last = false;
+      while (rows.size() < want) {
+        auto next = st->cursor->Next();
+        if (!next.ok()) {
+          // Mid-stream failure (deadline, cancel, budget): the cursor is
+          // dead — free the statement and carry the numeric code across.
+          st->cursor->Close();
+          st->cursor.reset();
+          return SendError(conn, next.status());
+        }
+        if (!next->has_value()) {
+          last = true;
+          break;
+        }
+        rows.push_back((**next).row());
+      }
+      conn->rows_shipped.fetch_add(rows.size(), std::memory_order_relaxed);
+      stats_.rows_shipped.fetch_add(rows.size(), std::memory_order_relaxed);
+      if (last) {
+        st->cursor->Close();
+        st->cursor.reset();
+      }
+      return WriteFrame(conn, EncodeRowPage(last, rows));
+    }
+    case Verb::kCloseCursor: {
+      if (st->cursor.has_value()) {
+        st->cursor->Close();
+        st->cursor.reset();
+      }
+      return WriteFrame(conn, EncodeEmptyFrame(Verb::kOk));
+    }
+    case Verb::kCloseStmt: {
+      auto id = DecodeStmtId(frame.payload);
+      if (!id.ok()) break;
+      st->statements.erase(*id);
+      return WriteFrame(conn, EncodeEmptyFrame(Verb::kOk));
+    }
+    case Verb::kStats: {
+      auto snapshot = stats_.Snapshot();
+      snapshot.emplace_back(
+          "conn.statements",
+          static_cast<int64_t>(
+              conn->statements.load(std::memory_order_relaxed)));
+      snapshot.emplace_back(
+          "conn.rows_shipped",
+          static_cast<int64_t>(
+              conn->rows_shipped.load(std::memory_order_relaxed)));
+      snapshot.emplace_back(
+          "conn.cancels",
+          static_cast<int64_t>(
+              conn->cancels.load(std::memory_order_relaxed)));
+      return WriteFrame(conn, EncodeStatsResult(snapshot));
+    }
+    case Verb::kGoodbye: {
+      WriteFrame(conn, EncodeEmptyFrame(Verb::kOk));
+      return false;
+    }
+    case Verb::kCancel:
+      // Intercepted by the reactor; tolerate one slipping through.
+      return true;
+    default:
+      break;
+  }
+
+  // Unknown verb or malformed payload for a known verb: protocol error,
+  // report and close (the stream position can no longer be trusted).
+  stats_.protocol_errors.fetch_add(1, std::memory_order_relaxed);
+  SendError(conn, Status::ParseError(
+                      "malformed frame (verb " +
+                      std::to_string(static_cast<int>(frame.verb)) + ")"));
+  return false;
+}
+
+}  // namespace prefsql::net

@@ -1,0 +1,185 @@
+// prefsqld server core: a poll()-based reactor accepting TCP connections,
+// each bound to its own Session over one shared Engine.
+//
+// Threading model. The statement lifecycle of a connection must stay on
+// one thread: a streaming Cursor holds the engine's shared DDL lock (a
+// std::shared_mutex, which must be unlocked on the thread that locked
+// it), so EXECUTE and the FETCHes that drain it cannot hop between pool
+// workers. The server therefore splits work as:
+//
+//   * one reactor thread owns all sockets: it accepts, reads, reassembles
+//     frames (net/protocol.h), and handles exactly one verb inline —
+//     CANCEL, which it delivers out-of-band via Session::CancelCurrent
+//     (thread-safe by design) so a cancel reaches a statement the
+//     connection's own handler is still executing;
+//   * every accepted connection gets one long-running handler task on a
+//     ThreadPool sized ServerOptions::max_connections. The handler pops
+//     frames from its connection's queue, executes verbs against the
+//     shared Engine through the connection's private Session, and writes
+//     responses back on the same thread — EXECUTE, every FETCH, and the
+//     final cursor Close all run on that one worker.
+//
+// Accepts beyond max_connections are refused with an ERROR frame (the
+// pool has no free worker to give them — the cap doubles as the
+// per-connection admission limit). Each accepted connection's Session is
+// armed with the daemon's governance knobs (statement deadline,
+// statement/engine memory budgets — the PR 8 limits), so one remote
+// client can neither wedge nor OOM the shared engine.
+//
+// Graceful shutdown: stop accepting, let every handler finish the frames
+// already queued (in-flight statements run to completion — they are not
+// cancelled), then close the sockets and join. A connection whose peer
+// disappears mid-statement *is* cancelled (CancelCurrent on EOF), so an
+// abandoned long query releases its locks promptly.
+
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "core/engine.h"
+#include "net/protocol.h"
+#include "util/status.h"
+#include "util/thread_pool.h"
+
+namespace prefsql::net {
+
+/// Daemon-level configuration of one Server.
+struct ServerOptions {
+  /// Numeric IPv4 listen address ("127.0.0.1", "0.0.0.0"; "localhost" is
+  /// accepted as an alias for 127.0.0.1).
+  std::string host = "127.0.0.1";
+  /// Listen port; 0 picks an ephemeral port (read it back via port()).
+  uint16_t port = 0;
+  /// Connection cap = handler pool size; accepts beyond it are refused
+  /// with an ERROR frame.
+  size_t max_connections = 32;
+  /// Per-frame byte cap enforced before buffering (both directions).
+  uint32_t max_frame_bytes = kDefaultMaxFrameBytes;
+  /// Rows per ROW_PAGE when a FETCH asks for 0, and the hard per-page cap.
+  uint32_t default_fetch_rows = 512;
+  uint32_t max_fetch_rows = 65536;
+  /// Governance knobs stamped into every accepted connection's Session
+  /// (the per-connection limits; 0 = unlimited, as in ConnectionOptions).
+  uint64_t statement_timeout_ms = 0;
+  uint64_t statement_memory_bytes = 0;
+  uint64_t engine_memory_bytes = 0;
+};
+
+/// Server-wide counters (atomic; readable while serving). Per-connection
+/// counters live on the connection and are surfaced by the STATS verb.
+struct ServerStats {
+  std::atomic<uint64_t> connections_accepted{0};
+  std::atomic<uint64_t> connections_refused{0};
+  std::atomic<uint64_t> connections_closed{0};
+  std::atomic<uint64_t> active_connections{0};
+  std::atomic<uint64_t> statements{0};      ///< EXECUTE + EXECUTE_STMT served
+  std::atomic<uint64_t> rows_shipped{0};    ///< rows across all ROW_PAGEs
+  std::atomic<uint64_t> cancels{0};         ///< CANCEL frames received
+  std::atomic<uint64_t> protocol_errors{0}; ///< malformed frames/handshakes
+
+  /// Key-value snapshot (STATS verb payload, daemon printouts).
+  std::vector<std::pair<std::string, int64_t>> Snapshot() const;
+};
+
+/// One TCP server over one shared Engine. Start() spawns the reactor and
+/// handler pool; Shutdown() (or destruction) drains and joins.
+class Server {
+ public:
+  Server(std::shared_ptr<Engine> engine, ServerOptions options);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Binds, listens, and spawns the reactor. kExecutionError on socket
+  /// failures (address in use, bad host, ...).
+  Status Start();
+
+  /// Graceful shutdown: stop accepting, drain in-flight statements, close
+  /// every connection, join the reactor and pool. Idempotent.
+  void Shutdown();
+
+  /// The bound listen port (resolves port 0); valid after Start().
+  int port() const { return port_; }
+
+  const ServerOptions& options() const { return options_; }
+  ServerStats& stats() { return stats_; }
+
+ private:
+  /// Per-connection state shared between the reactor (socket I/O, CANCEL,
+  /// lifecycle flags) and the connection's handler task (verb execution,
+  /// response writes).
+  struct Conn {
+    int fd = -1;
+    uint64_t id = 0;
+    FrameBuffer frames;                  // reactor thread only
+    std::shared_ptr<Session> session;    // CancelCurrent is thread-safe
+
+    std::mutex mu;
+    std::condition_variable cv;
+    std::deque<Frame> queue;             // reactor -> handler
+    bool closing = false;                // EOF, protocol error, or shutdown
+    std::optional<Status> protocol_error;  // sent by handler before exit
+
+    std::atomic<bool> peer_gone{false};  // EOF/reset seen: abort writes
+    std::atomic<bool> handler_done{false};
+
+    // Per-connection counters (STATS verb).
+    std::atomic<uint64_t> statements{0};
+    std::atomic<uint64_t> rows_shipped{0};
+    std::atomic<uint64_t> cancels{0};
+  };
+
+  /// Handler-local execution state (single-threaded by construction).
+  struct ConnState {
+    bool hello_done = false;
+    uint32_t next_stmt_id = 1;
+    std::unordered_map<uint32_t, PreparedStatement> statements;
+    std::optional<Cursor> cursor;
+    Schema cursor_schema;
+  };
+
+  void ReactorLoop();
+  /// Drains readable bytes of `conn` into its frame queue; CANCEL frames
+  /// are handled inline. Returns false when the connection is done for
+  /// (EOF, error, malformed framing) and has been flagged closing.
+  bool ReadFromConn(Conn* conn);
+  void HandleConn(std::shared_ptr<Conn> conn);
+  /// Executes one frame; returns false when the connection should close
+  /// (GOODBYE, protocol error, write failure).
+  bool ProcessFrame(Conn* conn, ConnState* st, const Frame& frame);
+  /// Writes a complete frame, handling partial writes on the nonblocking
+  /// socket; false when the peer is gone.
+  bool WriteFrame(Conn* conn, const std::vector<uint8_t>& bytes);
+  bool SendError(Conn* conn, const Status& status);
+  void WakeReactor();
+
+  std::shared_ptr<Engine> engine_;
+  ServerOptions options_;
+  ServerStats stats_;
+
+  int listen_fd_ = -1;
+  int wake_fds_[2] = {-1, -1};
+  int port_ = 0;
+  std::atomic<bool> stopping_{false};
+  bool started_ = false;
+  bool joined_ = false;
+  std::mutex lifecycle_mu_;
+
+  std::unique_ptr<ThreadPool> pool_;
+  std::thread reactor_;
+  uint64_t next_conn_id_ = 1;  // reactor thread only
+};
+
+}  // namespace prefsql::net

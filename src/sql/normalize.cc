@@ -83,7 +83,8 @@ bool OpensKeepClause(const Token& t) {
 
 }  // namespace
 
-ParameterizedSql ParameterizeSql(const std::string& sql) {
+ParameterizedSql ParameterizeSql(const std::string& sql,
+                                 bool collapse_in_lists) {
   ParameterizedSql out;
   auto tokens = Tokenize(sql);
   if (!tokens.ok()) return out;  // let the parser report the error
@@ -92,6 +93,7 @@ ParameterizedSql ParameterizeSql(const std::string& sql) {
   struct Piece {
     TokenType type;
     std::string text;
+    uint32_t width = 1;
   };
   std::vector<Piece> pieces;
   std::vector<Value> values;
@@ -161,13 +163,52 @@ ParameterizedSql ParameterizeSql(const std::string& sql) {
   }
   if (values.empty()) return ParameterizedSql{};
 
+  // Arity normalization: a fully lifted IN list — `IN (?, ?, ?)` — becomes
+  // one width-3 placeholder, `IN (?)`, so every arity keys identically.
+  // Any unlifted member (an identifier, a DATE literal, a subquery) breaks
+  // the pattern and the list is left as rendered.
+  if (collapse_in_lists) {
+    std::vector<Piece> collapsed;
+    collapsed.reserve(pieces.size());
+    for (size_t i = 0; i < pieces.size();) {
+      const bool in_kw = pieces[i].type == TokenType::kKeyword &&
+                         EqualsIgnoreCase(pieces[i].text, "IN");
+      if (in_kw && i + 2 < pieces.size() &&
+          pieces[i + 1].type == TokenType::kLParen &&
+          pieces[i + 2].type == TokenType::kQuestion) {
+        // Try to match `( ? (, ?)* )` starting at the LParen.
+        size_t j = i + 3;
+        uint32_t members = 1;
+        while (j + 1 < pieces.size() &&
+               pieces[j].type == TokenType::kComma &&
+               pieces[j + 1].type == TokenType::kQuestion) {
+          ++members;
+          j += 2;
+        }
+        if (j < pieces.size() && pieces[j].type == TokenType::kRParen) {
+          collapsed.push_back(pieces[i]);
+          collapsed.push_back(pieces[i + 1]);
+          collapsed.push_back({TokenType::kQuestion, "?", members});
+          collapsed.push_back(pieces[j]);
+          i = j + 1;
+          continue;
+        }
+      }
+      collapsed.push_back(pieces[i]);
+      ++i;
+    }
+    pieces = std::move(collapsed);
+  }
+
   // Drop trailing semicolons, then render with canonical spacing.
   while (!pieces.empty() && pieces.back().type == TokenType::kSemicolon) {
     pieces.pop_back();
   }
   std::string text;
+  std::vector<uint32_t> widths;
   TokenType prev = TokenType::kEnd;
   for (const Piece& piece : pieces) {
+    if (piece.type == TokenType::kQuestion) widths.push_back(piece.width);
     const bool no_space_before = piece.type == TokenType::kComma ||
                                  piece.type == TokenType::kRParen ||
                                  piece.type == TokenType::kDot ||
@@ -181,6 +222,7 @@ ParameterizedSql ParameterizeSql(const std::string& sql) {
   out.parameterized = true;
   out.text = std::move(text);
   out.values = std::move(values);
+  out.widths = std::move(widths);
   return out;
 }
 

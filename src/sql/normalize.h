@@ -10,6 +10,7 @@
 
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -35,6 +36,11 @@ struct ParameterizedSql {
   std::string text;
   /// The lifted literal values, in placeholder order.
   std::vector<Value> values;
+  /// One entry per `?` in `text`, in placeholder order: how many consecutive
+  /// entries of `values` that placeholder consumes. Width 1 everywhere
+  /// unless IN-list collapsing ran (then a collapsed `IN (?)` placeholder
+  /// carries the original list's arity). sum(widths) == values.size().
+  std::vector<uint32_t> widths;
 };
 
 /// Auto-parameterization for plan-cache keying: lifts the constant literals
@@ -53,6 +59,16 @@ struct ParameterizedSql {
 /// NormalizeSql for those. Kept tokens are re-emitted byte-for-byte from
 /// the source (case and quoting preserved, like NormalizeSql), so the
 /// canonical text re-parses to the same AST with `?` holes.
-ParameterizedSql ParameterizeSql(const std::string& sql);
+///
+/// With `collapse_in_lists` set, a run of fully lifted IN-list members —
+/// `IN (?, ?, ?)` after lifting — additionally collapses to a single `IN
+/// (?)` placeholder of width 3 (recorded in `widths`), so IN lists that
+/// differ only in arity share one cache key; the executor re-expands the
+/// placeholder from `widths` at bind time. Lists containing any unlifted
+/// member (identifiers, DATE literals) are left alone. Only the
+/// text-execution path should ask for collapsing: PREPARE keeps the 1:1
+/// placeholder-to-value mapping its signature arithmetic assumes.
+ParameterizedSql ParameterizeSql(const std::string& sql,
+                                 bool collapse_in_lists = false);
 
 }  // namespace prefsql

@@ -322,7 +322,165 @@ Status BindSelect(SelectStmt& select, const std::vector<Value>& values,
   return Status::OK();
 }
 
+// ---------------------------------------------------------------------------
+// IN-list width expansion (see ExpandWideParameters)
+// ---------------------------------------------------------------------------
+
+class WidthExpander {
+ public:
+  explicit WidthExpander(const std::vector<uint32_t>& widths)
+      : widths_(widths) {
+    base_.reserve(widths.size());
+    uint32_t sum = 0;
+    for (uint32_t w : widths) {
+      base_.push_back(sum);
+      sum += w;
+    }
+  }
+
+  Status ExpandSelect(SelectStmt& select) {
+    for (auto& item : select.items) {
+      PSQL_RETURN_IF_ERROR(ExpandExpr(*item.expr));
+    }
+    for (auto& tr : select.from) PSQL_RETURN_IF_ERROR(ExpandTableRef(*tr));
+    if (select.where) PSQL_RETURN_IF_ERROR(ExpandExpr(*select.where));
+    if (select.preferring) {
+      PSQL_RETURN_IF_ERROR(ExpandPref(*select.preferring));
+    }
+    if (select.but_only) PSQL_RETURN_IF_ERROR(ExpandExpr(*select.but_only));
+    for (auto& g : select.group_by) PSQL_RETURN_IF_ERROR(ExpandExpr(*g));
+    if (select.having) PSQL_RETURN_IF_ERROR(ExpandExpr(*select.having));
+    for (auto& o : select.order_by) {
+      PSQL_RETURN_IF_ERROR(ExpandExpr(*o.expr));
+    }
+    return Renumber(select.limit_param);
+  }
+
+ private:
+  Status SlotIndex(const Value& slot, size_t* index) const {
+    *index = static_cast<size_t>(slot.ParamIndex());
+    if (*index >= widths_.size()) {
+      return Status::BindError("parameter " + ParamDisplay(slot) +
+                               " has no recorded width");
+    }
+    return Status::OK();
+  }
+
+  /// Scalar positions admit only width-1 slots; the ordinal moves from
+  /// placeholder space to flat-value space.
+  Status Renumber(Value& slot) {
+    if (!slot.is_param()) return Status::OK();
+    size_t i = 0;
+    PSQL_RETURN_IF_ERROR(SlotIndex(slot, &i));
+    if (widths_[i] != 1) {
+      return Status::BindError("parameter " + ParamDisplay(slot) +
+                               " is an IN-list slot used in a scalar "
+                               "position");
+    }
+    slot = Value::Param(static_cast<int32_t>(base_[i]), slot.ParamName());
+    return Status::OK();
+  }
+
+  /// Preference value sets: a width-m slot splices into m slots.
+  Status ExpandValueList(std::vector<Value>& vs) {
+    std::vector<Value> out;
+    out.reserve(vs.size());
+    for (Value& v : vs) {
+      if (!v.is_param()) {
+        out.push_back(std::move(v));
+        continue;
+      }
+      size_t i = 0;
+      PSQL_RETURN_IF_ERROR(SlotIndex(v, &i));
+      for (uint32_t k = 0; k < widths_[i]; ++k) {
+        out.push_back(Value::Param(static_cast<int32_t>(base_[i] + k),
+                                   v.ParamName()));
+      }
+    }
+    vs = std::move(out);
+    return Status::OK();
+  }
+
+  Status ExpandExpr(Expr& e) {
+    if (e.kind == ExprKind::kLiteral) {
+      PSQL_RETURN_IF_ERROR(Renumber(e.literal));
+    }
+    if (e.left) PSQL_RETURN_IF_ERROR(ExpandExpr(*e.left));
+    if (e.right) PSQL_RETURN_IF_ERROR(ExpandExpr(*e.right));
+    if (!e.in_list.empty()) {
+      std::vector<ExprPtr> out;
+      out.reserve(e.in_list.size());
+      for (auto& item : e.in_list) {
+        if (item->kind == ExprKind::kLiteral && item->literal.is_param()) {
+          size_t i = 0;
+          PSQL_RETURN_IF_ERROR(SlotIndex(item->literal, &i));
+          for (uint32_t k = 0; k < widths_[i]; ++k) {
+            out.push_back(Expr::MakeLiteral(
+                Value::Param(static_cast<int32_t>(base_[i] + k),
+                             item->literal.ParamName())));
+          }
+        } else {
+          PSQL_RETURN_IF_ERROR(ExpandExpr(*item));
+          out.push_back(std::move(item));
+        }
+      }
+      e.in_list = std::move(out);
+    }
+    if (e.lo) PSQL_RETURN_IF_ERROR(ExpandExpr(*e.lo));
+    if (e.hi) PSQL_RETURN_IF_ERROR(ExpandExpr(*e.hi));
+    for (auto& cw : e.case_whens) {
+      PSQL_RETURN_IF_ERROR(ExpandExpr(*cw.when));
+      PSQL_RETURN_IF_ERROR(ExpandExpr(*cw.then));
+    }
+    if (e.case_else) PSQL_RETURN_IF_ERROR(ExpandExpr(*e.case_else));
+    for (auto& a : e.args) PSQL_RETURN_IF_ERROR(ExpandExpr(*a));
+    return ExpandSubquery(e.subquery);
+  }
+
+  Status ExpandPref(PrefTerm& p) {
+    if (p.attr) PSQL_RETURN_IF_ERROR(ExpandExpr(*p.attr));
+    PSQL_RETURN_IF_ERROR(Renumber(p.target));
+    PSQL_RETURN_IF_ERROR(Renumber(p.low));
+    PSQL_RETURN_IF_ERROR(Renumber(p.high));
+    PSQL_RETURN_IF_ERROR(ExpandValueList(p.values));
+    PSQL_RETURN_IF_ERROR(ExpandValueList(p.values2));
+    for (auto& [better, worse] : p.edges) {
+      PSQL_RETURN_IF_ERROR(Renumber(better));
+      PSQL_RETURN_IF_ERROR(Renumber(worse));
+    }
+    for (auto& c : p.children) PSQL_RETURN_IF_ERROR(ExpandPref(*c));
+    return Status::OK();
+  }
+
+  Status ExpandTableRef(TableRef& tr) {
+    PSQL_RETURN_IF_ERROR(ExpandSubquery(tr.subquery));
+    if (tr.join_left) PSQL_RETURN_IF_ERROR(ExpandTableRef(*tr.join_left));
+    if (tr.join_right) PSQL_RETURN_IF_ERROR(ExpandTableRef(*tr.join_right));
+    if (tr.join_on) PSQL_RETURN_IF_ERROR(ExpandExpr(*tr.join_on));
+    return Status::OK();
+  }
+
+  /// Same shared-subtree discipline as BindSubquery: never rewrite through
+  /// the shared pointer — detach a private copy first.
+  Status ExpandSubquery(std::shared_ptr<SelectStmt>& sub) {
+    if (sub == nullptr || !SelectHasParameters(*sub)) return Status::OK();
+    auto copy = sub->Clone();
+    PSQL_RETURN_IF_ERROR(ExpandSelect(*copy));
+    sub = std::move(copy);
+    return Status::OK();
+  }
+
+  const std::vector<uint32_t>& widths_;
+  std::vector<uint32_t> base_;
+};
+
 }  // namespace
+
+Status ExpandWideParameters(SelectStmt& select,
+                            const std::vector<uint32_t>& widths) {
+  WidthExpander expander(widths);
+  return expander.ExpandSelect(select);
+}
 
 ParameterSignature CollectParameters(const SelectStmt& select) {
   ParameterSignature sig;

@@ -18,6 +18,7 @@
 
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -78,5 +79,19 @@ Status BindSelectParameters(SelectStmt& select,
 Status BindStatementParameters(Statement& stmt,
                                const std::vector<Value>& values,
                                bool parse_errors = false);
+
+/// Re-expands IN-list-collapsed placeholders (see ParameterizeSql's
+/// `collapse_in_lists`) on a private clone of a cached plan, in place.
+/// `widths[i]` says how many consecutive flat values placeholder `i`
+/// consumes; a width-m slot inside an IN list (Expr::in_list) or a
+/// preference value set (PrefTerm::values / values2) is replaced by m
+/// parameter slots with consecutive flat ordinals, and every other slot is
+/// renumbered from its placeholder ordinal to its flat base ordinal. After
+/// this pass BindSelectParameters consumes the flat value vector 1:1 as
+/// usual. A width > 1 slot in a scalar position is a bind error (collapse
+/// only ever produces wide slots inside lists). Identity widths (all 1)
+/// make this a pure renumbering no-op — callers should skip it then.
+Status ExpandWideParameters(SelectStmt& select,
+                            const std::vector<uint32_t>& widths);
 
 }  // namespace prefsql

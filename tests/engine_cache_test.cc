@@ -374,6 +374,99 @@ TEST(ParameterizeSqlTest, SubqueriesRestoreTheOuterClause) {
   ASSERT_EQ(p.values.size(), 2u);
 }
 
+TEST(ParameterizeSqlTest, CollapsesInListsOnRequest) {
+  // Arity normalization: a fully lifted IN list keys as one placeholder
+  // whose width records the original member count.
+  auto p = ParameterizeSql("SELECT a FROM t WHERE b IN (1, 2, 3) AND c = 4",
+                           /*collapse_in_lists=*/true);
+  ASSERT_TRUE(p.parameterized);
+  EXPECT_EQ(p.text, "SELECT a FROM t WHERE b IN (?) AND c = ?");
+  ASSERT_EQ(p.values.size(), 4u);
+  ASSERT_EQ(p.widths.size(), 2u);
+  EXPECT_EQ(p.widths[0], 3u);
+  EXPECT_EQ(p.widths[1], 1u);
+
+  // PREFERRING value sets collapse the same way.
+  auto q = ParameterizeSql(
+      "SELECT a FROM t PREFERRING b IN ('x', 'y') AND c AROUND 7",
+      /*collapse_in_lists=*/true);
+  ASSERT_TRUE(q.parameterized);
+  EXPECT_EQ(q.text, "SELECT a FROM t PREFERRING b IN (?) AND c AROUND ?");
+  ASSERT_EQ(q.widths.size(), 2u);
+  EXPECT_EQ(q.widths[0], 2u);
+  EXPECT_EQ(q.widths[1], 1u);
+
+  // Without the flag the arity is preserved, one width per placeholder.
+  auto r = ParameterizeSql("SELECT a FROM t WHERE b IN (1, 2, 3) AND c = 4");
+  ASSERT_TRUE(r.parameterized);
+  EXPECT_EQ(r.text, "SELECT a FROM t WHERE b IN (?, ?, ?) AND c = ?");
+  EXPECT_EQ(r.widths, (std::vector<uint32_t>{1, 1, 1, 1}));
+}
+
+TEST(ParameterizeSqlTest, UnliftedInListMembersBlockCollapse) {
+  // A member that did not lift (identifier, DATE literal, subquery) leaves
+  // the whole list as rendered — partial collapse would misalign values.
+  auto p = ParameterizeSql("SELECT a FROM t WHERE b IN (1, c, 3)",
+                           /*collapse_in_lists=*/true);
+  ASSERT_TRUE(p.parameterized);
+  EXPECT_EQ(p.text, "SELECT a FROM t WHERE b IN (?, c, ?)");
+  EXPECT_EQ(p.widths, (std::vector<uint32_t>{1, 1}));
+
+  auto q = ParameterizeSql(
+      "SELECT a FROM t WHERE b IN (SELECT c FROM u WHERE d = 4) AND e = 5",
+      /*collapse_in_lists=*/true);
+  ASSERT_TRUE(q.parameterized);
+  EXPECT_EQ(
+      q.text,
+      "SELECT a FROM t WHERE b IN (SELECT c FROM u WHERE d = ?) AND e = ?");
+  EXPECT_EQ(q.widths, (std::vector<uint32_t>{1, 1}));
+}
+
+TEST_F(EngineCacheTest, InListArityVariantsShareOnePreparedPlan) {
+  // The carried ROADMAP item: `IN (?, ?)` vs `IN (?, ?, ?)` used to occupy
+  // two cache entries. With arity normalization every member count keys
+  // onto one collapsed entry; binding re-expands the list per execution.
+  auto r1 = conn_.Execute("SELECT name FROM gear WHERE price IN (120, 300)");
+  ASSERT_TRUE(r1.ok()) << r1.status().ToString();
+  EXPECT_FALSE(conn_.last_stats().plan_cache_hit);
+  EXPECT_TRUE(conn_.last_stats().auto_parameterized);
+  EXPECT_EQ(r1->num_rows(), 2u);  // tarp, tent
+
+  auto r2 =
+      conn_.Execute("SELECT name FROM gear WHERE price IN (120, 150, 180)");
+  ASSERT_TRUE(r2.ok());
+  EXPECT_TRUE(conn_.last_stats().plan_cache_hit);  // only the arity differs
+  EXPECT_EQ(conn_.last_stats().bound_parameters, 3u);
+  EXPECT_EQ(r2->num_rows(), 3u);  // tarp, bivy, hammock
+
+  auto r3 = conn_.Execute("SELECT name FROM gear WHERE price IN (999)");
+  ASSERT_TRUE(r3.ok());
+  EXPECT_TRUE(conn_.last_stats().plan_cache_hit);
+  EXPECT_EQ(r3->num_rows(), 0u);
+}
+
+TEST_F(EngineCacheTest, InListWidthsKeepBoundPreferencesApart) {
+  // Both statements collapse to `PREFERRING name IN (?) AND price IN (?)`
+  // with the identical flat value vector ('tarp', 120, 150) — only the
+  // width split differs. The per-plan compiled-preference memo must treat
+  // them as distinct bindings or the second would run the first's sets.
+  auto r1 = conn_.Execute(
+      "SELECT name FROM gear PREFERRING name IN ('tarp') "
+      "AND price IN (120, 150)");
+  ASSERT_TRUE(r1.ok()) << r1.status().ToString();
+  // tarp satisfies both POS sets and dominates everything else.
+  ASSERT_EQ(r1->num_rows(), 1u);
+  EXPECT_EQ(r1->at(0, 0).AsText(), "tarp");
+
+  auto r2 = conn_.Execute(
+      "SELECT name FROM gear PREFERRING name IN ('tarp', 120) "
+      "AND price IN (150)");
+  ASSERT_TRUE(r2.ok()) << r2.status().ToString();
+  EXPECT_TRUE(conn_.last_stats().plan_cache_hit);
+  // tarp matches the name set, hammock (150) the price set: incomparable.
+  EXPECT_EQ(r2->num_rows(), 2u);
+}
+
 TEST(PreferenceFingerprintTest, DistinguishesParametersAndStructure) {
   auto fp = [](const std::string& text) {
     auto term = ParsePreference(text);

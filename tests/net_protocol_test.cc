@@ -1,0 +1,347 @@
+// Wire-protocol unit coverage (net/protocol.h): encode/decode roundtrips
+// for every frame shape, frame reassembly under arbitrary fragmentation,
+// and hostile-input hardening — truncated prefixes, random bytes, lying
+// count fields, and oversized length prefixes must all land in kParseError
+// (never a crash or an unbounded allocation).
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <random>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "net/protocol.h"
+#include "types/schema.h"
+#include "types/value.h"
+#include "util/status.h"
+
+namespace prefsql::net {
+namespace {
+
+// The typed Encode* builders return complete frames (header + verb +
+// payload) while the Decode* functions take payloads; strip the header.
+std::vector<uint8_t> PayloadOf(const std::vector<uint8_t>& frame) {
+  EXPECT_GE(frame.size(), kFrameHeaderBytes + 1);
+  return std::vector<uint8_t>(frame.begin() + kFrameHeaderBytes + 1,
+                              frame.end());
+}
+
+// Pops exactly one frame that must be complete and well-formed.
+Frame MustPop(FrameBuffer& fb) {
+  auto next = fb.Next();
+  EXPECT_TRUE(next.ok()) << next.status().ToString();
+  EXPECT_TRUE(next->has_value());
+  return std::move(**next);
+}
+
+TEST(WireValue, RoundTripsEveryType) {
+  const std::vector<Value> values = {
+      Value::Null(),
+      Value::Bool(true),
+      Value::Bool(false),
+      Value::Int(0),
+      Value::Int(-1),
+      Value::Int(INT64_MIN),
+      Value::Int(INT64_MAX),
+      Value::Double(3.25),
+      Value::Double(-0.0),
+      Value::Text(""),
+      Value::Text("k\xc3\xa4se & wine"),  // non-ASCII bytes survive
+      Value::Date(Value::Date(11139).AsDateDays()),
+  };
+  WireWriter w;
+  for (const auto& v : values) w.PutValue(v);
+  WireReader r(w.bytes());
+  for (const auto& v : values) {
+    Value got;
+    ASSERT_TRUE(r.GetValue(&got));
+    EXPECT_TRUE(got.IdentityEquals(v))
+        << got.ToString() << " != " << v.ToString();
+  }
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(WireValue, ParamValuesDegradeToNull) {
+  // kParam never legitimately crosses the wire; encoding one must not
+  // produce an undecodable byte stream.
+  WireWriter w;
+  w.PutValue(Value::Param(0, "x"));
+  WireReader r(w.bytes());
+  Value got;
+  ASSERT_TRUE(r.GetValue(&got));
+  EXPECT_TRUE(got.is_null());
+}
+
+TEST(WireReader, RefusesOverlongReads) {
+  WireWriter w;
+  w.PutU16(7);
+  WireReader r(w.bytes());
+  int64_t big;
+  EXPECT_FALSE(r.GetI64(&big));
+  EXPECT_FALSE(r.ok());
+  // A latched failure stays failed.
+  uint8_t b;
+  EXPECT_FALSE(r.GetU8(&b));
+}
+
+TEST(Frames, HelloRoundTrip) {
+  EXPECT_TRUE(DecodeHello(PayloadOf(EncodeHello())).ok());
+
+  // Wrong magic and wrong version are both rejected.
+  WireWriter bad_magic;
+  bad_magic.PutU32(0xDEADBEEF);
+  bad_magic.PutU16(kProtocolVersion);
+  EXPECT_FALSE(DecodeHello(bad_magic.bytes()).ok());
+
+  WireWriter bad_version;
+  bad_version.PutU32(kMagic);
+  bad_version.PutU16(kProtocolVersion + 1);
+  EXPECT_FALSE(DecodeHello(bad_version.bytes()).ok());
+}
+
+TEST(Frames, HelloOkCarriesBanner) {
+  auto decoded = DecodeHelloOk(PayloadOf(EncodeHelloOk("prefsqld")));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(*decoded, "prefsqld");
+}
+
+TEST(Frames, SqlRoundTrip) {
+  const std::string sql = "SELECT * FROM car PREFERRING LOWEST(price)";
+  auto decoded = DecodeSql(PayloadOf(EncodeSql(Verb::kExecute, sql)));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(*decoded, sql);
+}
+
+TEST(Frames, BindRoundTrip) {
+  std::vector<std::pair<uint32_t, Value>> values = {
+      {0, Value::Int(40000)}, {2, Value::Text("Audi")}};
+  auto decoded = DecodeBind(PayloadOf(EncodeBind(7, true, values)));
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->stmt_id, 7u);
+  EXPECT_TRUE(decoded->clear_first);
+  ASSERT_EQ(decoded->values.size(), 2u);
+  EXPECT_EQ(decoded->values[0].first, 0u);
+  EXPECT_TRUE(decoded->values[1].second.IdentityEquals(Value::Text("Audi")));
+}
+
+TEST(Frames, ErrorRoundTripPreservesNumericCode) {
+  Status in = Status::Timeout("deadline of 5 ms exceeded");
+  Status out = DecodeError(PayloadOf(EncodeError(in)));
+  EXPECT_EQ(out.code(), in.code());
+  EXPECT_EQ(out.message(), in.message());
+
+  // Unknown future codes degrade without losing the message.
+  WireWriter w;
+  w.PutU16(9999);
+  w.PutString("from the future");
+  Status degraded = DecodeError(w.bytes());
+  EXPECT_FALSE(degraded.ok());
+  EXPECT_NE(degraded.message().find("from the future"), std::string::npos);
+}
+
+TEST(Frames, PreparedRoundTrip) {
+  auto decoded = DecodePrepared(PayloadOf(EncodePrepared(3, {"$price", "$make"})));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->stmt_id, 3u);
+  ASSERT_EQ(decoded->param_names.size(), 2u);
+  EXPECT_EQ(decoded->param_names[1], "$make");
+}
+
+TEST(Frames, ResultHeaderRoundTrip) {
+  Schema schema({{"c", "price"}, {"", "make"}});
+  auto decoded = DecodeResultHeader(PayloadOf(EncodeResultHeader(schema)));
+  ASSERT_TRUE(decoded.ok());
+  ASSERT_EQ(decoded->num_columns(), 2u);
+  EXPECT_EQ(decoded->column(0).qualifier, "c");
+  EXPECT_EQ(decoded->column(0).name, "price");
+  EXPECT_EQ(decoded->column(1).FullName(), "make");
+}
+
+TEST(Frames, RowPageRoundTrip) {
+  std::vector<Row> rows = {{Value::Int(1), Value::Text("a")},
+                           {Value::Int(2), Value::Null()}};
+  auto decoded = DecodeRowPage(PayloadOf(EncodeRowPage(false, rows)), 2);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_FALSE(decoded->last);
+  ASSERT_EQ(decoded->rows.size(), 2u);
+  EXPECT_TRUE(decoded->rows[1][1].is_null());
+
+  auto final_page = DecodeRowPage(PayloadOf(EncodeRowPage(true, {})), 2);
+  ASSERT_TRUE(final_page.ok());
+  EXPECT_TRUE(final_page->last);
+  EXPECT_TRUE(final_page->rows.empty());
+}
+
+TEST(Frames, RowPageColumnCountMismatchIsAnError) {
+  std::vector<Row> rows = {{Value::Int(1), Value::Int(2)}};
+  EXPECT_FALSE(DecodeRowPage(PayloadOf(EncodeRowPage(true, rows)), 3).ok());
+}
+
+TEST(Frames, StatsRoundTrip) {
+  std::vector<std::pair<std::string, int64_t>> stats = {
+      {"statements", 12}, {"rows_shipped", -1}};
+  auto decoded = DecodeStatsResult(PayloadOf(EncodeStatsResult(stats)));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(*decoded, stats);
+}
+
+// ---------------------------------------------------------------------------
+// Frame reassembly
+// ---------------------------------------------------------------------------
+
+TEST(FrameBufferTest, ReassemblesByteAtATime) {
+  auto bytes = EncodeSql(Verb::kExecute, "SELECT 1");  // a complete frame
+  FrameBuffer fb;
+  for (size_t i = 0; i < bytes.size(); ++i) {
+    fb.Append(&bytes[i], 1);
+    auto next = fb.Next();
+    ASSERT_TRUE(next.ok());
+    if (i + 1 < bytes.size()) {
+      EXPECT_FALSE(next->has_value()) << "frame completed early at " << i;
+    } else {
+      ASSERT_TRUE(next->has_value());
+      EXPECT_EQ((*next)->verb, Verb::kExecute);
+    }
+  }
+}
+
+TEST(FrameBufferTest, PopsPipelinedFrames) {
+  auto a = EncodeEmptyFrame(Verb::kStats);
+  auto b = EncodeEmptyFrame(Verb::kGoodbye);
+  std::vector<uint8_t> both = a;
+  both.insert(both.end(), b.begin(), b.end());
+  FrameBuffer fb;
+  fb.Append(both.data(), both.size());
+  EXPECT_EQ(MustPop(fb).verb, Verb::kStats);
+  EXPECT_EQ(MustPop(fb).verb, Verb::kGoodbye);
+  auto empty = fb.Next();
+  ASSERT_TRUE(empty.ok());
+  EXPECT_FALSE(empty->has_value());
+  EXPECT_EQ(fb.buffered(), 0u);
+}
+
+TEST(FrameBufferTest, RejectsOversizedLengthPrefixWithoutAllocating) {
+  FrameBuffer fb(/*max_frame_bytes=*/1024);
+  // Length prefix claims 256 MiB; only the 4 header bytes ever arrive.
+  const uint8_t huge[4] = {0x00, 0x00, 0x00, 0x10};
+  fb.Append(huge, sizeof(huge));
+  auto next = fb.Next();
+  EXPECT_FALSE(next.ok());
+  EXPECT_TRUE(next.status().IsParseError()) << next.status().ToString();
+}
+
+TEST(FrameBufferTest, RejectsZeroLengthFrame) {
+  FrameBuffer fb;
+  const uint8_t empty_len[4] = {0, 0, 0, 0};  // no room for the verb byte
+  fb.Append(empty_len, sizeof(empty_len));
+  EXPECT_FALSE(fb.Next().ok());
+}
+
+// ---------------------------------------------------------------------------
+// Hostile inputs
+// ---------------------------------------------------------------------------
+
+// Every strict prefix of a valid payload must decode to an error, not a
+// crash or an accepted half-message.
+template <typename DecodeFn>
+void CheckAllTruncations(const std::vector<uint8_t>& payload,
+                         DecodeFn decode) {
+  for (size_t len = 0; len < payload.size(); ++len) {
+    std::vector<uint8_t> prefix(payload.begin(), payload.begin() + len);
+    EXPECT_FALSE(decode(prefix).ok()) << "prefix of length " << len;
+  }
+}
+
+TEST(HostileInput, TruncatedPayloadsAlwaysError) {
+  CheckAllTruncations(PayloadOf(EncodeHello()),
+                      [](const auto& p) { return DecodeHello(p); });
+  CheckAllTruncations(PayloadOf(EncodeSql(Verb::kExecute, "SELECT 1")),
+                      [](const auto& p) { return DecodeSql(p).status(); });
+  CheckAllTruncations(
+      PayloadOf(EncodeBind(1, false,
+                           {{0, Value::Int(5)}, {1, Value::Text("x")}})),
+      [](const auto& p) { return DecodeBind(p).status(); });
+  CheckAllTruncations(PayloadOf(EncodePrepared(2, {"$a", "$b"})),
+                      [](const auto& p) { return DecodePrepared(p).status(); });
+  CheckAllTruncations(
+      PayloadOf(EncodeResultHeader(Schema({{"t", "x"}, {"", "y"}}))),
+      [](const auto& p) { return DecodeResultHeader(p).status(); });
+  std::vector<Row> rows = {{Value::Int(1), Value::Text("ab")}};
+  CheckAllTruncations(PayloadOf(EncodeRowPage(true, rows)), [](const auto& p) {
+    return DecodeRowPage(p, 2).status();
+  });
+  CheckAllTruncations(PayloadOf(EncodeStatsResult({{"k", 1}})),
+                      [](const auto& p) {
+                        return DecodeStatsResult(p).status();
+                      });
+}
+
+TEST(HostileInput, LyingCountFieldsDoNotOverAllocate) {
+  // A BIND declaring 2^31 values backed by 4 bytes must fail fast.
+  WireWriter w;
+  w.PutU32(1);           // stmt id
+  w.PutU8(0);            // clear
+  w.PutU32(0x80000000u); // n values — a lie
+  w.PutU32(0);
+  EXPECT_FALSE(DecodeBind(w.bytes()).ok());
+
+  WireWriter schema_lie;
+  schema_lie.PutU32(0xFFFFFFFFu);  // column count lie
+  EXPECT_FALSE(DecodeResultHeader(schema_lie.bytes()).ok());
+
+  WireWriter page_lie;
+  page_lie.PutU8(1);
+  page_lie.PutU32(0x7FFFFFFFu);  // row count lie
+  EXPECT_FALSE(DecodeRowPage(page_lie.bytes(), 4).ok());
+
+  WireWriter string_lie;
+  string_lie.PutU32(0xFFFFFFF0u);  // string length beyond the payload
+  EXPECT_FALSE(DecodeSql(string_lie.bytes()).ok());
+}
+
+TEST(HostileInput, RandomBytesNeverCrashDecoders) {
+  std::mt19937 rng(0xC0FFEE);  // deterministic: failures reproduce
+  std::uniform_int_distribution<int> byte(0, 255);
+  std::uniform_int_distribution<size_t> length(0, 96);
+  for (int round = 0; round < 2000; ++round) {
+    std::vector<uint8_t> junk(length(rng));
+    for (auto& b : junk) b = static_cast<uint8_t>(byte(rng));
+    // Outcomes are unchecked — surviving without UB is the contract
+    // (ASan/UBSan/TSan jobs make that check real).
+    (void)DecodeHello(junk);
+    (void)DecodeHelloOk(junk);
+    (void)DecodeSql(junk);
+    (void)DecodeBind(junk);
+    (void)DecodeStmtId(junk);
+    (void)DecodeFetch(junk);
+    (void)DecodeError(junk);
+    (void)DecodePrepared(junk);
+    (void)DecodeResultHeader(junk);
+    (void)DecodeRowPage(junk, round % 5);
+    (void)DecodeStatsResult(junk);
+  }
+}
+
+TEST(HostileInput, RandomFrameStreamsNeverCrashTheBuffer) {
+  std::mt19937 rng(0xBADF00D);
+  std::uniform_int_distribution<int> byte(0, 255);
+  for (int round = 0; round < 200; ++round) {
+    FrameBuffer fb(4096);
+    std::uniform_int_distribution<size_t> chunk(1, 64);
+    for (int feed = 0; feed < 20; ++feed) {
+      std::vector<uint8_t> junk(chunk(rng));
+      for (auto& b : junk) b = static_cast<uint8_t>(byte(rng));
+      fb.Append(junk.data(), junk.size());
+      // Drain until the buffer needs more bytes or poisons itself.
+      for (;;) {
+        auto next = fb.Next();
+        if (!next.ok() || !next->has_value()) break;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace prefsql::net

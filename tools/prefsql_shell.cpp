@@ -22,18 +22,28 @@
 // returns with a Cancelled status. Statement timing is printed after
 // every statement, distinguishing completed / timed-out / cancelled
 // (set a deadline with `SET statement_timeout_ms = <n>;`).
+//
+// Remote mode: `prefsql_shell --connect host:port` drives a running
+// prefsqld over the wire protocol instead of an embedded engine. The
+// statement loop, streaming display, and timing lines are shared; Ctrl-C
+// sends the out-of-band CANCEL frame, and `.stats` prints the server's
+// counters. Errors arrive with the same numeric status codes the
+// embedded engine produces.
 
 #include <cctype>
 #include <chrono>
 #include <csignal>
 #include <cstdio>
+#include <cstdlib>
 #include <atomic>
 #include <iostream>
+#include <memory>
 #include <string>
 #include <thread>
 
 #include "core/connection.h"
 #include "engine/csv.h"
+#include "net/client.h"
 #include "util/string_util.h"
 #include "workload/generators.h"
 
@@ -50,6 +60,7 @@ constexpr size_t kMaxRows = 50;
 // ---------------------------------------------------------------------------
 volatile std::sig_atomic_t g_sigint = 0;
 std::atomic<Connection*> g_conn{nullptr};
+std::atomic<prefsql::net::Client*> g_remote{nullptr};
 std::atomic<bool> g_shutdown{false};
 
 void OnSigint(int) { g_sigint = 1; }
@@ -60,6 +71,13 @@ void WatchSigint() {
       g_sigint = 0;
       Connection* conn = g_conn.load(std::memory_order_acquire);
       if (conn != nullptr && conn->session().CancelCurrent()) {
+        std::printf("\n^C — cancelling statement\n");
+        std::fflush(stdout);
+      }
+      // Remote mode: the kill switch is the out-of-band CANCEL frame
+      // (Client::Cancel is the one thread-safe entry point).
+      prefsql::net::Client* remote = g_remote.load(std::memory_order_acquire);
+      if (remote != nullptr && remote->Cancel().ok()) {
         std::printf("\n^C — cancelling statement\n");
         std::fflush(stdout);
       }
@@ -238,9 +256,155 @@ bool HandleDotCommand(Connection& conn, const std::string& line) {
   return true;
 }
 
+// ---------------------------------------------------------------------------
+// Remote mode (--connect host:port): the same statement loop over the wire.
+// ---------------------------------------------------------------------------
+
+/// Streams a single SELECT through the RemoteCursor, mirroring
+/// RunStreaming's display (rows appear as pages arrive).
+void RunRemoteStreaming(prefsql::net::Client& client, const std::string& sql) {
+  const auto t0 = std::chrono::steady_clock::now();
+  auto cursor = client.OpenCursor(sql);
+  if (!cursor.ok()) {
+    PrintOutcome(cursor.status(), ElapsedMs(t0));
+    return;
+  }
+  std::vector<prefsql::Row> rows;
+  size_t total = 0;
+  for (;;) {
+    auto row = cursor->Next();
+    if (!row.ok()) {
+      PrintOutcome(row.status(), ElapsedMs(t0));
+      return;
+    }
+    if (!row->has_value()) break;
+    ++total;
+    if (rows.size() < kMaxRows) {
+      rows.push_back(std::move(**row));
+    } else {
+      cursor->Close();  // frees the server-side cursor promptly
+      std::printf("... display cap reached after %zu rows\n", kMaxRows);
+      break;
+    }
+  }
+  prefsql::ResultTable table(cursor->columns(), std::move(rows));
+  std::printf("%s(%zu rows streamed, %.1f ms)\n",
+              table.ToString(kMaxRows).c_str(), total, ElapsedMs(t0));
+}
+
+bool HandleRemoteDotCommand(prefsql::net::Client& client,
+                            const std::string& line) {
+  if (line == ".help") {
+    std::printf(
+        "remote commands:\n"
+        "  .help     this text\n"
+        "  .stats    server + connection counters (STATS verb)\n"
+        "  .quit     exit\n"
+        "anything else: SQL / Preference SQL, terminated by ';'\n");
+    return true;
+  }
+  if (line == ".stats") {
+    auto stats = client.Stats();
+    if (!stats.ok()) {
+      std::printf("%s\n", stats.status().ToString().c_str());
+      return true;
+    }
+    for (const auto& [key, value] : *stats) {
+      std::printf("  %-22s %lld\n", key.c_str(),
+                  static_cast<long long>(value));
+    }
+    return true;
+  }
+  if (line == ".quit" || line == ".exit") return false;
+  std::printf("unknown remote command %s (try .help)\n", line.c_str());
+  return true;
+}
+
+int RunRemote(const std::string& host, int port) {
+  auto connected = prefsql::net::Client::Connect(host, port);
+  if (!connected.ok()) {
+    std::fprintf(stderr, "connect %s:%d failed: %s\n", host.c_str(), port,
+                 connected.status().ToString().c_str());
+    return 1;
+  }
+  std::unique_ptr<prefsql::net::Client> client = std::move(*connected);
+  g_remote.store(client.get(), std::memory_order_release);
+  struct sigaction sa = {};
+  sa.sa_handler = OnSigint;
+  sa.sa_flags = SA_RESTART;
+  sigaction(SIGINT, &sa, nullptr);
+  std::thread watcher(WatchSigint);
+  std::printf("connected to %s:%d (%s) — .help for commands\n", host.c_str(),
+              port, client->banner().c_str());
+
+  std::string buffer;
+  std::string line;
+  while (true) {
+    std::printf(buffer.empty() ? "prefsql> " : "    ...> ");
+    std::fflush(stdout);
+    if (!std::getline(std::cin, line)) break;
+    while (!line.empty() && (line.back() == ' ' || line.back() == '\r' ||
+                             line.back() == '\t')) {
+      line.pop_back();
+    }
+    if (buffer.empty() && !line.empty() && line[0] == '.') {
+      if (!HandleRemoteDotCommand(*client, line)) break;
+      continue;
+    }
+    buffer += line + "\n";
+    if (line.empty() || line.back() != ';') continue;
+    std::string sql;
+    sql.swap(buffer);
+    if (IsSingleStatement(sql) && prefsql::FirstSqlWord(sql) == "SELECT") {
+      RunRemoteStreaming(*client, sql);
+      continue;
+    }
+    // The wire protocol carries one statement per EXECUTE; a script runs
+    // as a single server-side statement only when it is one statement.
+    const auto t0 = std::chrono::steady_clock::now();
+    auto result = client->Execute(sql);
+    if (result.ok()) PrintResult(*result);
+    PrintOutcome(result.status(), ElapsedMs(t0));
+  }
+  g_remote.store(nullptr, std::memory_order_release);
+  g_shutdown.store(true, std::memory_order_relaxed);
+  watcher.join();
+  client->Close();
+  return 0;
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  std::string connect_spec;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--connect" && i + 1 < argc) {
+      connect_spec = argv[++i];
+    } else if (arg.rfind("--connect=", 0) == 0) {
+      connect_spec = arg.substr(10);
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--connect host:port]\n"
+                   "  (no flags: embedded engine; --connect: remote "
+                   "prefsqld)\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+  if (!connect_spec.empty()) {
+    size_t colon = connect_spec.rfind(':');
+    int port = colon == std::string::npos
+                   ? 0
+                   : std::atoi(connect_spec.c_str() + colon + 1);
+    if (colon == std::string::npos || port <= 0 || port > 65535) {
+      std::fprintf(stderr, "bad --connect '%s' (host:port expected)\n",
+                   connect_spec.c_str());
+      return 2;
+    }
+    return RunRemote(connect_spec.substr(0, colon), port);
+  }
+
   Connection conn;
   g_conn.store(&conn, std::memory_order_release);
   struct sigaction sa = {};

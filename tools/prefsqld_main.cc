@@ -1,0 +1,201 @@
+// prefsqld: the stand-alone Preference SQL server — one shared Engine
+// behind the length-prefixed wire protocol (net/protocol.h), serving many
+// remote sessions the way the paper's middleware serves many ODBC clients.
+//
+//   $ ./build/tools/prefsqld --port 5433 --demo cars
+//   prefsqld: listening on 127.0.0.1:5433 (max 32 connections)
+//
+// Signals:
+//   SIGUSR1      print the server counters (connections, statements, rows
+//                shipped, cancels, protocol errors) without interrupting
+//                service;
+//   SIGINT/TERM  graceful shutdown — stop accepting, drain in-flight
+//                statements, close every connection, print final stats.
+//
+// Per-connection governance (the PR 8 knobs) is set once here and stamped
+// into every accepted connection's Session: --statement-timeout-ms,
+// --statement-memory-bytes, --engine-memory-bytes.
+
+#include <csignal>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+
+#include "core/engine.h"
+#include "net/server.h"
+#include "workload/generators.h"
+
+namespace {
+
+using prefsql::Engine;
+using prefsql::net::Server;
+using prefsql::net::ServerOptions;
+
+void PrintUsage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s [options]\n"
+      "  --host <addr>                 listen address (default 127.0.0.1)\n"
+      "  --port <n>                    listen port; 0 picks one (default 0)\n"
+      "  --max-connections <n>         concurrent connection cap (default "
+      "32)\n"
+      "  --max-frame-bytes <n>         wire frame size cap\n"
+      "  --statement-timeout-ms <n>    per-statement deadline (0 = none)\n"
+      "  --statement-memory-bytes <n>  per-statement memory budget (0 = "
+      "none)\n"
+      "  --engine-memory-bytes <n>     engine-wide memory budget (0 = none)\n"
+      "  --demo <name>                 preload demo data: oldtimer | cars |\n"
+      "                                usedcars | products | trips | hotels "
+      "|\n"
+      "                                programmers\n"
+      "  --help                        this text\n",
+      argv0);
+}
+
+bool ParseU64(const char* s, uint64_t* out) {
+  char* end = nullptr;
+  unsigned long long v = std::strtoull(s, &end, 10);
+  if (end == s || *end != '\0') return false;
+  *out = static_cast<uint64_t>(v);
+  return true;
+}
+
+prefsql::Status LoadDemo(Engine& engine, const std::string& name) {
+  auto& db = engine.database();
+  if (name == "oldtimer") return prefsql::LoadOldtimer(db);
+  if (name == "cars") return prefsql::LoadCarsExample(db);
+  if (name == "usedcars") return prefsql::GenerateUsedCars(db, 2000);
+  if (name == "products") return prefsql::GenerateProducts(db, 1000);
+  if (name == "trips") return prefsql::GenerateTrips(db, 800);
+  if (name == "hotels") return prefsql::GenerateHotels(db, 500);
+  if (name == "programmers") return prefsql::GenerateProgrammers(db, 500);
+  return prefsql::Status::ExecutionError("unknown demo '" + name + "'");
+}
+
+void PrintStats(Server& server, const char* heading) {
+  std::printf("prefsqld: %s\n", heading);
+  for (const auto& [key, value] : server.stats().Snapshot()) {
+    std::printf("  %-22s %lld\n", key.c_str(),
+                static_cast<long long>(value));
+  }
+  std::fflush(stdout);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ServerOptions options;
+  std::string demo;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "prefsqld: %s needs a value\n", arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    uint64_t n = 0;
+    if (arg == "--help" || arg == "-h") {
+      PrintUsage(argv[0]);
+      return 0;
+    } else if (arg == "--host") {
+      options.host = next();
+    } else if (arg == "--port") {
+      if (!ParseU64(next(), &n) || n > 65535) {
+        std::fprintf(stderr, "prefsqld: bad --port\n");
+        return 2;
+      }
+      options.port = static_cast<uint16_t>(n);
+    } else if (arg == "--max-connections") {
+      if (!ParseU64(next(), &n) || n == 0) {
+        std::fprintf(stderr, "prefsqld: bad --max-connections\n");
+        return 2;
+      }
+      options.max_connections = static_cast<size_t>(n);
+    } else if (arg == "--max-frame-bytes") {
+      if (!ParseU64(next(), &n) || n == 0) {
+        std::fprintf(stderr, "prefsqld: bad --max-frame-bytes\n");
+        return 2;
+      }
+      options.max_frame_bytes = static_cast<uint32_t>(n);
+    } else if (arg == "--statement-timeout-ms") {
+      if (!ParseU64(next(), &n)) {
+        std::fprintf(stderr, "prefsqld: bad --statement-timeout-ms\n");
+        return 2;
+      }
+      options.statement_timeout_ms = n;
+    } else if (arg == "--statement-memory-bytes") {
+      if (!ParseU64(next(), &n)) {
+        std::fprintf(stderr, "prefsqld: bad --statement-memory-bytes\n");
+        return 2;
+      }
+      options.statement_memory_bytes = n;
+    } else if (arg == "--engine-memory-bytes") {
+      if (!ParseU64(next(), &n)) {
+        std::fprintf(stderr, "prefsqld: bad --engine-memory-bytes\n");
+        return 2;
+      }
+      options.engine_memory_bytes = n;
+    } else if (arg == "--demo") {
+      demo = next();
+    } else {
+      std::fprintf(stderr, "prefsqld: unknown option '%s'\n", arg.c_str());
+      PrintUsage(argv[0]);
+      return 2;
+    }
+  }
+
+  // Block the control signals *before* any thread spawns (Engine starts
+  // its GC thread in the constructor) so every thread inherits the mask
+  // and only the sigwait loop below ever sees them.
+  sigset_t mask;
+  sigemptyset(&mask);
+  sigaddset(&mask, SIGINT);
+  sigaddset(&mask, SIGTERM);
+  sigaddset(&mask, SIGUSR1);
+  pthread_sigmask(SIG_BLOCK, &mask, nullptr);
+  signal(SIGPIPE, SIG_IGN);
+
+  auto engine = std::make_shared<Engine>();
+  if (!demo.empty()) {
+    auto st = LoadDemo(*engine, demo);
+    if (!st.ok()) {
+      std::fprintf(stderr, "prefsqld: --demo %s: %s\n", demo.c_str(),
+                   st.ToString().c_str());
+      return 1;
+    }
+    std::printf("prefsqld: loaded demo '%s'\n", demo.c_str());
+  }
+
+  Server server(engine, options);
+  if (auto st = server.Start(); !st.ok()) {
+    std::fprintf(stderr, "prefsqld: start failed: %s\n",
+                 st.ToString().c_str());
+    return 1;
+  }
+  std::printf("prefsqld: listening on %s:%d (max %zu connections)\n",
+              options.host.c_str(), server.port(), options.max_connections);
+  std::fflush(stdout);
+
+  for (;;) {
+    int sig = 0;
+    if (sigwait(&mask, &sig) != 0) continue;
+    if (sig == SIGUSR1) {
+      PrintStats(server, "stats");
+      continue;
+    }
+    std::printf("prefsqld: %s — draining and shutting down\n",
+                sig == SIGINT ? "SIGINT" : "SIGTERM");
+    std::fflush(stdout);
+    break;
+  }
+
+  server.Shutdown();
+  PrintStats(server, "final stats");
+  return 0;
+}
